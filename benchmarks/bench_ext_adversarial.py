@@ -1,0 +1,94 @@
+"""Extension — active evasion and adversarial retraining.
+
+Beyond the paper's passive time-resistance study (§IV-G): an attacker who
+knows the detector reads opcode statistics pads their phishing bytecode
+with unreachable bytes drawn from the *benign* byte distribution
+(mimicry). Three claims are checked:
+
+1. mimicry padding at ~1x the contract length substantially cuts the
+   clean-trained Random Forest's recall on attacked phishing samples,
+2. precision on (untouched) benign traffic is unaffected — this attacker
+   cannot create false positives,
+3. adversarial retraining (augmenting the training set with attacked
+   phishing copies) recovers most of the lost recall.
+"""
+
+import numpy as np
+
+from repro.models.hsc import HSCDetector
+from repro.robustness.attacks import (
+    mimicry_padding,
+    opcode_byte_distribution,
+)
+from repro.robustness.evaluate import (
+    adversarial_retraining,
+    evaluate_under_attack,
+)
+
+from benchmarks.conftest import SEED, run_once
+
+STRENGTHS = (0.0, 0.5, 1.0, 2.0)
+
+
+def _rf_factory():
+    detector = HSCDetector(variant="Random Forest", seed=SEED)
+    detector.set_params(clf__n_estimators=80)
+    return detector
+
+
+def test_ext_adversarial_evasion(benchmark, dataset):
+    train, test = dataset.train_test_split(0.3, seed=SEED)
+    benign_codes = [
+        code for code, label in zip(train.bytecodes, train.labels)
+        if label == 0
+    ]
+    distribution = opcode_byte_distribution(benign_codes)
+
+    def attack(bytecode, rng, strength):
+        return mimicry_padding(
+            bytecode, rng, int(strength * len(bytecode)), distribution
+        )
+
+    def run():
+        sweep = evaluate_under_attack(
+            _rf_factory(),
+            train.bytecodes, train.labels,
+            test.bytecodes, test.labels,
+            attack,
+            strengths=STRENGTHS,
+            attack_name="benign-mimicry",
+            seed=SEED,
+        )
+        retrained = adversarial_retraining(
+            _rf_factory,
+            train.bytecodes, train.labels,
+            test.bytecodes, test.labels,
+            attack,
+            strength=1.0,
+            seed=SEED,
+        )
+        return sweep, retrained
+
+    sweep, retrained = run_once(benchmark, run)
+
+    print("\nExtension — adversarial evasion (benign-mimicry padding)")
+    print(sweep.table())
+    print(
+        "retraining at strength 1.0: "
+        f"clean-trained recall = {retrained['clean_model'].recall:.3f}, "
+        f"hardened recall = {retrained['hardened_model'].recall:.3f}"
+    )
+
+    # Claim 1: the attack works — recall drops by at least 10 points at
+    # the sweet-spot strength (its index in STRENGTHS is 2).
+    assert sweep.clean_recall - sweep.recalls[2] > 0.10
+    # Claim 2: precision never collapses — benign traffic is untouched,
+    # so false positives cannot increase (precision can only move through
+    # true-positive loss).
+    for metric in sweep.metrics:
+        assert metric.precision >= sweep.metrics[0].precision - 0.10
+    # Claim 3: hardening recovers recall.
+    assert (
+        retrained["hardened_model"].recall
+        > retrained["clean_model"].recall + 0.05
+    )

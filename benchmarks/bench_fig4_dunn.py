@@ -1,0 +1,32 @@
+"""Fig. 4 — Dunn's pairwise comparisons with Holm correction.
+
+Paper shape: ~65% of model pairs differ significantly on Accuracy/F1/
+Precision (61.5% on Recall); pairs *within* a category differ far less
+often (33–41%) than pairs *across* categories (76–80%).
+"""
+
+from repro.core.pam import METRICS, PostHocAnalysisModule
+
+from benchmarks.bench_table3_kruskal import evaluate_for_stats
+from benchmarks.conftest import run_once
+
+
+def test_fig4_dunn_pairwise(benchmark, dataset):
+    evaluation = evaluate_for_stats(dataset)
+    pam = PostHocAnalysisModule()
+    report = run_once(benchmark, lambda: pam.analyze(evaluation))
+
+    print("\nFig. 4 — significant Dunn pairs per metric")
+    print(f"{'Metric':10s} {'All':>6s} {'Same-cat':>9s} {'Cross-cat':>10s}")
+    for metric in METRICS:
+        overall = report.significant_pair_fraction(metric)
+        same = report.pair_fraction_by_category(metric, same_category=True)
+        cross = report.pair_fraction_by_category(metric, same_category=False)
+        print(f"{metric:10s} {overall:6.1%} {same:9.1%} {cross:10.1%}")
+
+    # Shape: differences across categories dominate differences within.
+    cross_acc = report.pair_fraction_by_category("accuracy", False)
+    same_acc = report.pair_fraction_by_category("accuracy", True)
+    assert cross_acc > same_acc
+    # A non-trivial share of pairs differs overall.
+    assert report.significant_pair_fraction("accuracy") > 0.1

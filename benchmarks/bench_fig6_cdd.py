@@ -1,0 +1,58 @@
+"""Fig. 6 — critical difference diagram over the scalability results.
+
+Paper shape: Random Forest occupies the best (rightmost) rank for all four
+metrics; a thick line connects classifiers the Wilcoxon test cannot
+separate (with only 3 splits × few observations, p_adj stays high — the
+paper reports p_adj = 0.75 throughout, i.e. no significant pairs).
+"""
+
+from repro.analysis.cdd import critical_difference
+from repro.core.pam import METRICS
+
+from benchmarks.bench_fig5_scalability import (
+    SCALABILITY_MODELS,
+    SPLIT_RATIOS,
+    evaluate_scalability,
+)
+from benchmarks.conftest import run_once
+
+
+def test_fig6_critical_difference(benchmark, dataset):
+    results = evaluate_scalability(dataset)
+
+    def build_diagrams():
+        diagrams = {}
+        for metric in METRICS:
+            scores = {
+                model: [
+                    float(results[ratio].metric_values(model, metric).mean())
+                    for ratio in SPLIT_RATIOS
+                ]
+                for model in SCALABILITY_MODELS
+            }
+            diagrams[metric] = critical_difference(scores)
+        return diagrams
+
+    diagrams = run_once(benchmark, build_diagrams)
+
+    print("\nFig. 6 — critical difference diagrams")
+    rf_best = 0
+    for metric in METRICS:
+        diagram = diagrams[metric]
+        print(f"[{metric}]")
+        print(diagram.render())
+        if diagram.ordered()[0] == "Random Forest":
+            rf_best += 1
+        for pair in diagram.pairwise:
+            delta = diagram.effect_sizes[(pair.group_a, pair.group_b)]
+            print(f"  δ({pair.group_a} vs {pair.group_b}) = {delta:+.3f} "
+                  f"p_adj={pair.p_adjusted:.2f}")
+
+    # Random Forest ranks best on at least 3 of the 4 metrics.
+    assert rf_best >= 3
+    # With 3 blocks the Wilcoxon pairs cannot reach significance —
+    # exactly the paper's p_adj = 0.75 observation.
+    for metric in METRICS:
+        assert all(
+            not pair.significant() for pair in diagrams[metric].pairwise
+        )

@@ -1,0 +1,48 @@
+"""Fig. 7 — training and inference time per data split.
+
+Paper shape: SCSGuard's (LM) training and inference times dominate by
+orders of magnitude and grow with data size, while Random Forest (HSC) and
+ECA+EfficientNet (VM) stay low and stable. Absolute seconds differ (GPU vs
+CPU, scaled models); the ordering LM ≫ VM > HSC must hold.
+"""
+
+from benchmarks.bench_fig5_scalability import (
+    SCALABILITY_MODELS,
+    SPLIT_RATIOS,
+    evaluate_scalability,
+)
+from benchmarks.conftest import run_once
+
+
+def test_fig7_time_metrics(benchmark, dataset):
+    results = run_once(benchmark, lambda: evaluate_scalability(dataset))
+
+    train_times: dict[str, list[float]] = {}
+    inference_times: dict[str, list[float]] = {}
+    for model in SCALABILITY_MODELS:
+        train_times[model] = []
+        inference_times[model] = []
+        for ratio in SPLIT_RATIOS:
+            train, inference = results[ratio].mean_times(model)
+            train_times[model].append(train)
+            inference_times[model].append(inference)
+
+    print("\nFig. 7 — training time (s) per split")
+    print(f"{'Model':18s}" + "".join(f" {r:>8.2f}" for r in SPLIT_RATIOS))
+    for model in SCALABILITY_MODELS:
+        print(f"{model:18s}"
+              + "".join(f" {t:8.3f}" for t in train_times[model]))
+    print("Fig. 7 — inference time (s) per split")
+    for model in SCALABILITY_MODELS:
+        print(f"{model:18s}"
+              + "".join(f" {t:8.3f}" for t in inference_times[model]))
+
+    # LM training dominates the HSC at full data.
+    assert train_times["SCSGuard"][-1] > 3 * train_times["Random Forest"][-1]
+    # LM inference dominates the HSC's.
+    assert (
+        inference_times["SCSGuard"][-1]
+        > inference_times["Random Forest"][-1]
+    )
+    # LM cost grows with the data split.
+    assert train_times["SCSGuard"][-1] > train_times["SCSGuard"][0]

@@ -1,0 +1,53 @@
+"""Fig. 8 — time-resistance: train Oct 2023 – Jan 2024, test 9 months.
+
+Paper shape: all three best-per-category models stay usable over the nine
+test months with only mild decay (evolving attack patterns); Random Forest
+is the most stable (AUT 0.89), then SCSGuard (0.84), then
+ECA+EfficientNet (0.79, more fluctuation).
+"""
+
+from repro.analysis.timeeval import time_decay_evaluation
+from repro.core.registry import create_model
+
+from benchmarks.conftest import SEED, run_once
+
+MODELS = ("Random Forest", "ECA+EfficientNet", "SCSGuard")
+
+
+def test_fig8_time_resistance(benchmark, temporal_dataset):
+    results = run_once(
+        benchmark,
+        lambda: time_decay_evaluation(
+            temporal_dataset,
+            create_model,
+            list(MODELS),
+            train_months=(0, 1, 2, 3),
+            seed=SEED,
+        ),
+    )
+    by_model = {r.model: r for r in results}
+
+    print("\nFig. 8 — F1 over the test months (train: 2023-10..2024-01)")
+    months = by_model["Random Forest"].months
+    print(f"{'Model':18s}" + "".join(f" m{m:<4d}" for m in months) + "  AUT")
+    for model in MODELS:
+        series = by_model[model].series("f1")
+        print(f"{model:18s}"
+              + "".join(f" {v:5.2f}" for v in series)
+              + f"  {by_model[model].aut_f1:.2f}")
+
+    # Shape assertions. Floors are per model: the VM trains from scratch
+    # on the small Oct–Jan window and sits lower than the paper's
+    # pretrained variant (EXPERIMENTS.md).
+    floors = {"Random Forest": 0.70, "SCSGuard": 0.55,
+              "ECA+EfficientNet": 0.42}
+    rf_aut = by_model["Random Forest"].aut_f1
+    for model in MODELS:
+        aut = by_model[model].aut_f1
+        assert aut > floors[model], f"{model}: AUT {aut:.2f} too low"
+        # Random Forest is the most stable model.
+        assert rf_aut >= aut - 0.02, f"RF should lead, {model} has {aut:.2f}"
+    # Mild decay, not collapse: last-month F1 stays within 0.35 of the
+    # first test month for the HSC.
+    rf_series = by_model["Random Forest"].series("f1")
+    assert rf_series[-1] > rf_series[0] - 0.35

@@ -1,0 +1,62 @@
+"""Substrate micro-benchmarks: disassembler and interpreter throughput.
+
+Not a paper artifact — these keep the EVM substrate honest. The BDM must
+disassemble thousands of contracts per dataset build and the corpus
+validator executes every generated contract, so regressions here slow
+every experiment.
+"""
+
+import numpy as np
+
+from repro.evm.disassembler import disassemble
+from repro.evm.machine import EVM, ExecutionContext, Halt
+
+
+def _corpus_codes(corpus, count=64):
+    return [r.bytecode for r in corpus.unique_records()[:count]]
+
+
+def test_disassembler_throughput(benchmark, corpus):
+    codes = _corpus_codes(corpus)
+    total_bytes = sum(len(c) for c in codes)
+
+    def run():
+        return sum(len(disassemble(code)) for code in codes)
+
+    instructions = benchmark(run)
+    print(f"\ndisassembled {len(codes)} contracts, {total_bytes} bytes, "
+          f"{instructions} instructions per round")
+    assert instructions > 0
+
+
+def test_interpreter_throughput(benchmark, corpus):
+    records = [r for r in corpus.unique_records() if r.kind == "base"][:32]
+
+    def run():
+        clean = 0
+        for record in records:
+            context = ExecutionContext(
+                timestamp=record.timestamp,
+                calldata=record.example_calldata,
+            )
+            result = EVM().execute(record.bytecode, context)
+            clean += result.halt in (Halt.STOP, Halt.RETURN)
+        return clean
+
+    clean = benchmark(run)
+    print(f"\nexecuted {len(records)} contracts, {clean} clean halts")
+    assert clean == len(records)
+
+
+def test_histogram_extraction_throughput(benchmark, corpus):
+    from repro.features.histogram import OpcodeHistogramExtractor
+
+    codes = _corpus_codes(corpus, count=128)
+    extractor = OpcodeHistogramExtractor().fit(codes)
+
+    def run():
+        return extractor.transform(codes)
+
+    matrix = benchmark(run)
+    assert matrix.shape[0] == len(codes)
+    assert np.all(matrix.sum(axis=1) > 0)

@@ -1,0 +1,78 @@
+"""Table II — Accuracy/F1/Precision/Recall for all 16 models.
+
+Paper shape: HSCs best (avg ≈91.5% accuracy; Random Forest best overall at
+93.63%), LMs second (≈88.8%; SCSGuard best LM), VMs third (≈83.8%), and
+ESCORT near chance (55.91%) — vulnerability features do not transfer to a
+social-engineering task.
+"""
+
+import numpy as np
+
+from repro.core.mem import ModelEvaluationModule
+from repro.core.registry import MODEL_NAMES, category_of
+
+from benchmarks.conftest import N_FOLDS, N_RUNS, SEED, run_once
+
+#: Keep a Table II evaluation result shared with the statistics benches.
+_CACHE: dict = {}
+
+
+def evaluate_table2(dataset):
+    """Run (or reuse) the full 16-model evaluation."""
+    if "result" not in _CACHE:
+        mem = ModelEvaluationModule(n_folds=N_FOLDS, n_runs=N_RUNS, seed=SEED)
+        _CACHE["result"] = mem.evaluate(dataset, list(MODEL_NAMES))
+    return _CACHE["result"]
+
+
+def test_table2_model_comparison(benchmark, dataset):
+    result = run_once(benchmark, lambda: evaluate_table2(dataset))
+
+    print("\nTable II — averaged performance metrics "
+          f"({N_FOLDS}-fold × {N_RUNS} runs, n={len(dataset)})")
+    print(result.table())
+
+    category_accuracy = {
+        category: result.category_mean(category, "accuracy")
+        for category in ("HSC", "VM", "LM", "VDM")
+    }
+    print("category means:", {
+        k: f"{v:.3f}" for k, v in category_accuracy.items()
+    })
+
+    # --- Shape assertions (paper ordering) --------------------------- #
+    # Every mainstream category clearly beats the vulnerability detector.
+    assert category_accuracy["HSC"] > category_accuracy["VDM"] + 0.10
+    assert category_accuracy["LM"] > category_accuracy["VDM"] + 0.05
+    assert category_accuracy["VM"] > category_accuracy["VDM"] + 0.05
+    # HSCs lead the field.
+    assert category_accuracy["HSC"] >= category_accuracy["VM"]
+    # Random Forest is a top model: within 3 points of the best of the 13
+    # models the paper's post-hoc analysis keeps (§IV-E drops ESCORT and
+    # the β variants); at the reduced default scale the β sliding-window
+    # variants are high-variance and can fluke above their α siblings.
+    post_hoc_models = [
+        name for name in MODEL_NAMES
+        if name != "ESCORT" and not name.endswith("β")
+    ]
+    best_accuracy = max(
+        result.mean_metrics(name).accuracy for name in post_hoc_models
+    )
+    rf_accuracy = result.mean_metrics("Random Forest").accuracy
+    assert rf_accuracy >= best_accuracy - 0.03
+    # Everything except ESCORT performs usefully. Deep vision models
+    # trained from random init are data-starved at the reduced default
+    # corpus (the paper's own Fig. 5 point: VMs need data to shine), so
+    # their floor is "clearly above chance" rather than the 0.62 the
+    # shallow pipelines must clear.
+    for name in MODEL_NAMES:
+        if name == "ESCORT":
+            continue
+        floor = 0.55 if category_of(name) == "VM" else 0.62
+        assert result.mean_metrics(name).accuracy > floor, name
+    # ESCORT is the worst model.
+    escort_accuracy = result.mean_metrics("ESCORT").accuracy
+    assert all(
+        result.mean_metrics(name).accuracy >= escort_accuracy - 0.02
+        for name in MODEL_NAMES
+    )

@@ -1,0 +1,46 @@
+"""Time-resistance study (a miniature Fig. 8).
+
+Trains on the first four study months (Oct 2023 – Jan 2024) and evaluates
+on each later month, where attack patterns drift (obfuscation grows and a
+new rug-pull family phases in mid-study). Reports per-month F1 and the
+Area Under Time (AUT) robustness score.
+
+Run:  python examples/time_resistance.py
+"""
+
+from repro.analysis.timeeval import time_decay_evaluation
+from repro.chain.timeline import month_label
+from repro.core.registry import create_model
+from repro.datagen.corpus import CorpusConfig, build_corpus
+from repro.datagen.dataset import Dataset
+
+
+def main() -> None:
+    # Benign deployments follow the phishing temporal profile (§IV-G).
+    corpus = build_corpus(
+        CorpusConfig(
+            n_phishing=100, n_benign=100, seed=23, benign_temporal_match=True
+        )
+    )
+    dataset = Dataset.from_corpus(corpus, seed=23)
+
+    results = time_decay_evaluation(
+        dataset,
+        create_model,
+        ["Random Forest", "SCSGuard"],
+        train_months=(0, 1, 2, 3),
+        seed=23,
+    )
+
+    for result in results:
+        print(f"\n{result.model} (trained in {result.train_seconds:.1f}s)")
+        for month, metrics in zip(result.months, result.metrics):
+            print(f"  {month_label(month)}: F1 = {metrics.f1:.3f} "
+                  f"(precision {metrics.precision:.3f}, "
+                  f"recall {metrics.recall:.3f})")
+        print(f"  AUT(F1) = {result.aut_f1:.3f} "
+              f"(paper: RF 0.89, SCSGuard 0.84)")
+
+
+if __name__ == "__main__":
+    main()

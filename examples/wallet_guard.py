@@ -1,0 +1,73 @@
+"""Wallet guard: pre-signature scanning with a latency budget.
+
+The paper's §IV-F motivates timeliness: "in crypto wallets, users interact
+with smart contracts in real-time, often signing transactions within
+seconds. Any delay in detecting a phishing contract could mean a user
+already approved a malicious transaction." This example simulates a wallet
+that checks every contract the user is about to interact with, and reports
+the per-scan latency of a pre-trained Random Forest detector.
+
+A real wallet warns on probabilities, not hard labels, so the blocking
+threshold is chosen on a calibration split as the highest-recall
+operating point with at least 95% precision (nuisance warnings erode user
+trust faster than the occasional miss).
+
+Run:  python examples/wallet_guard.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.registry import create_model
+from repro.datagen.corpus import CorpusConfig, build_corpus
+from repro.datagen.dataset import Dataset
+from repro.ml.curves import operating_point_at_precision
+
+
+def main() -> None:
+    corpus = build_corpus(CorpusConfig(n_phishing=100, n_benign=100, seed=31))
+    dataset = Dataset.from_corpus(corpus, seed=31)
+    train, calibration = dataset.train_test_split(0.25, seed=31)
+
+    # Train the detector once, offline, before any user interaction.
+    detector = create_model("Random Forest", seed=31)
+    started = time.perf_counter()
+    detector.fit(train.bytecodes, train.labels)
+    print(f"detector trained in {time.perf_counter() - started:.2f}s "
+          f"on {len(train.bytecodes)} contracts")
+
+    # Pick the blocking threshold on held-out data: the highest recall
+    # achievable at >= 95% precision.
+    scores = detector.predict_proba(calibration.bytecodes)[:, 1]
+    point = operating_point_at_precision(
+        np.asarray(calibration.labels), scores, min_precision=0.95
+    )
+    threshold = point.threshold if point is not None else 0.5
+    if point is not None:
+        print(f"operating point: threshold={threshold:.2f} "
+              f"(precision {point.precision:.2f}, recall {point.recall:.2f} "
+              "on the calibration split)")
+
+    # The user's wallet session: five transaction targets, mixed classes.
+    session = corpus.phishing_records()[:3] + corpus.benign_records()[:2]
+    print("\nincoming transaction targets:")
+    blocked = 0
+    for record in session:
+        code = corpus.chain.get_code(record.address)
+        started = time.perf_counter()
+        probability = float(detector.predict_proba([code])[0, 1])
+        latency_ms = (time.perf_counter() - started) * 1000
+        flagged = probability >= threshold
+        verdict = "BLOCK " if flagged else "allow "
+        truth = "phishing" if record.label else "benign"
+        blocked += int(flagged and record.label)
+        print(f"  {verdict} {record.address}  p={probability:.2f} "
+              f"latency={latency_ms:6.1f} ms  (ground truth: {truth})")
+
+    print(f"\nblocked {blocked}/3 phishing targets before signature")
+    print("a scan must complete well within the seconds-long signing flow")
+
+
+if __name__ == "__main__":
+    main()

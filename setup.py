@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `pip install -e .` where the offline
+environment lacks the `wheel` package needed for PEP 517 editable builds."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""PhishingHook reproduction (DSN 2025).
+
+Opcode-based phishing detection for Ethereum smart contracts, rebuilt from
+scratch: EVM substrate, simulated data plane, synthetic labeled corpus,
+classical ML + numpy autograd NN stacks, the 16 detection models, the
+statistical post-hoc battery and every evaluation artifact of the paper.
+
+Entry points:
+
+* :class:`repro.core.pipeline.PhishingHook` — the end-to-end framework,
+* :func:`repro.core.registry.create_model` — any Table II model by name,
+* :func:`repro.datagen.corpus.build_corpus` — the synthetic data plane,
+* ``phishinghook`` (CLI) — demo / scan / disasm / dataset / attack /
+  calibrate commands.
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

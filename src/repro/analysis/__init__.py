@@ -1,0 +1,77 @@
+"""Statistical analysis and interpretability tooling.
+
+* :mod:`repro.analysis.stats` — the §IV-E/§IV-F statistical battery:
+  Shapiro–Wilk, Kruskal–Wallis, Dunn's pairwise test, Holm–Bonferroni,
+  Friedman, Wilcoxon signed-rank and Cliff's δ (substitution S7: the
+  paper's R scripts, reimplemented and cross-checked against scipy),
+* :mod:`repro.analysis.shap_values` — exact TreeSHAP for the tree
+  ensembles plus a model-agnostic permutation Shapley fallback (Fig. 9),
+* :mod:`repro.analysis.timeeval` — time-decay evaluation and the Area
+  Under Time (AUT) metric (Fig. 8),
+* :mod:`repro.analysis.cdd` — critical-difference-diagram ranking
+  (Fig. 6),
+* :mod:`repro.analysis.calibration` — reliability diagrams, ECE/MCE,
+  Brier score and post-hoc probability scaling for the live-deployment
+  scenario (§V, §VII),
+* :mod:`repro.analysis.bootstrap` — percentile/BCa confidence intervals
+  and paired bootstrap model tests (PAM companion, §V).
+"""
+
+from repro.analysis.bootstrap import (
+    BootstrapInterval,
+    bootstrap_ci,
+    paired_bootstrap_test,
+)
+from repro.analysis.calibration import (
+    IsotonicCalibrator,
+    PlattScaler,
+    TemperatureScaler,
+    brier_score,
+    expected_calibration_error,
+    maximum_calibration_error,
+    reliability_bins,
+)
+from repro.analysis.cdd import CriticalDifferenceDiagram, critical_difference
+from repro.analysis.shap_values import (
+    permutation_shap_values,
+    tree_shap_values,
+)
+from repro.analysis.stats import (
+    TestResult,
+    cliffs_delta,
+    dunn_test,
+    friedman_test,
+    holm_bonferroni,
+    kruskal_wallis,
+    shapiro_wilk,
+    wilcoxon_signed_rank,
+)
+from repro.analysis.timeeval import TimeDecayResult, area_under_time, time_decay_evaluation
+
+__all__ = [
+    "TestResult",
+    "shapiro_wilk",
+    "kruskal_wallis",
+    "dunn_test",
+    "holm_bonferroni",
+    "friedman_test",
+    "wilcoxon_signed_rank",
+    "cliffs_delta",
+    "tree_shap_values",
+    "permutation_shap_values",
+    "area_under_time",
+    "time_decay_evaluation",
+    "TimeDecayResult",
+    "critical_difference",
+    "CriticalDifferenceDiagram",
+    "reliability_bins",
+    "expected_calibration_error",
+    "maximum_calibration_error",
+    "brier_score",
+    "PlattScaler",
+    "TemperatureScaler",
+    "IsotonicCalibrator",
+    "BootstrapInterval",
+    "bootstrap_ci",
+    "paired_bootstrap_test",
+]

@@ -1,0 +1,175 @@
+"""Bootstrap resampling: confidence intervals and paired model tests.
+
+The PAM exists "to assess and generalize results from the n samples
+collected to the full set N of contracts deployed in the chain" (§V).
+Rank tests answer *whether* models differ; the bootstrap quantifies *by
+how much*: a confidence interval on each metric and a paired test on the
+per-fold metric difference between two models. Percentile and BCa
+(bias-corrected and accelerated) intervals are provided — BCa corrects
+the skew that small per-fold samples (10–30 observations) typically show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import norm
+
+__all__ = [
+    "BootstrapInterval",
+    "bootstrap_ci",
+    "paired_bootstrap_test",
+]
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A bootstrap confidence interval for one statistic."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+    method: str
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def __contains__(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.4f} "
+            f"[{self.lower:.4f}, {self.upper:.4f}] "
+            f"({self.confidence:.0%} {self.method})"
+        )
+
+
+def _validate_sample(values) -> np.ndarray:
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size < 2:
+        raise ValueError("bootstrap needs a 1-D sample of size >= 2")
+    if not np.isfinite(values).all():
+        raise ValueError("sample must be finite")
+    return values
+
+
+def _resample_statistics(
+    values: np.ndarray,
+    statistic,
+    n_resamples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    indices = rng.integers(0, values.size, size=(n_resamples, values.size))
+    return np.array([statistic(values[row]) for row in indices])
+
+
+def bootstrap_ci(
+    values,
+    statistic=np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    method: str = "bca",
+    seed: int = 0,
+) -> BootstrapInterval:
+    """Confidence interval for ``statistic(values)`` by resampling.
+
+    Args:
+        statistic: Callable mapping a 1-D array to a scalar.
+        method: ``"percentile"`` or ``"bca"``. BCa additionally estimates
+            the bias correction (fraction of resamples below the point
+            estimate) and the acceleration (jackknife skewness), following
+            Efron & Tibshirani (1993, ch. 14).
+
+    Returns:
+        A :class:`BootstrapInterval`; ``estimate`` is the plug-in value on
+        the original sample.
+    """
+    values = _validate_sample(values)
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie in (0, 1)")
+    if method not in ("percentile", "bca"):
+        raise ValueError(f"unknown method {method!r}")
+    if n_resamples < 100:
+        raise ValueError("n_resamples must be >= 100")
+
+    rng = np.random.default_rng(seed)
+    estimate = float(statistic(values))
+    resampled = _resample_statistics(values, statistic, n_resamples, rng)
+    alpha = 1.0 - confidence
+
+    if method == "percentile":
+        lower, upper = np.quantile(resampled, [alpha / 2, 1 - alpha / 2])
+        return BootstrapInterval(estimate, float(lower), float(upper),
+                                 confidence, method)
+
+    # --- BCa ---------------------------------------------------------- #
+    below = np.mean(resampled < estimate)
+    # Degenerate resample distributions (all equal) fall back cleanly.
+    if below in (0.0, 1.0):
+        lower, upper = np.quantile(resampled, [alpha / 2, 1 - alpha / 2])
+        return BootstrapInterval(estimate, float(lower), float(upper),
+                                 confidence, "percentile")
+    bias = norm.ppf(below)
+
+    jackknife = np.array([
+        statistic(np.delete(values, i)) for i in range(values.size)
+    ])
+    deviations = jackknife.mean() - jackknife
+    denominator = np.sum(deviations**2) ** 1.5
+    acceleration = (
+        0.0 if denominator == 0
+        else float(np.sum(deviations**3) / (6.0 * denominator))
+    )
+
+    def adjusted_quantile(q: float) -> float:
+        z = bias + norm.ppf(q)
+        return float(norm.cdf(bias + z / (1.0 - acceleration * z)))
+
+    lower_q = adjusted_quantile(alpha / 2)
+    upper_q = adjusted_quantile(1 - alpha / 2)
+    lower, upper = np.quantile(resampled, [lower_q, upper_q])
+    return BootstrapInterval(estimate, float(lower), float(upper),
+                             confidence, "bca")
+
+
+def paired_bootstrap_test(
+    first,
+    second,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, BootstrapInterval]:
+    """Paired bootstrap test on the mean difference of two models.
+
+    ``first`` and ``second`` are paired per-trial metrics (same folds,
+    same runs — exactly the 30-trial layout of §IV-D). Resamples the
+    per-pair differences; the two-sided p-value is the fraction of
+    resampled mean differences on the far side of zero (doubled, capped
+    at 1), and the interval is a percentile CI on the mean difference.
+
+    Returns:
+        ``(p_value, interval)``.
+    """
+    first = _validate_sample(first)
+    second = _validate_sample(second)
+    if first.shape != second.shape:
+        raise ValueError("paired samples must have identical shape")
+    differences = first - second
+    rng = np.random.default_rng(seed)
+    resampled = _resample_statistics(
+        differences, np.mean, n_resamples, rng
+    )
+    observed = float(differences.mean())
+    if observed >= 0:
+        tail = float(np.mean(resampled <= 0))
+    else:
+        tail = float(np.mean(resampled >= 0))
+    p_value = min(1.0, 2.0 * tail)
+    lower, upper = np.quantile(resampled, [0.025, 0.975])
+    interval = BootstrapInterval(
+        observed, float(lower), float(upper), 0.95, "percentile"
+    )
+    return p_value, interval

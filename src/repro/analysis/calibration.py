@@ -1,0 +1,277 @@
+"""Probability calibration: reliability diagrams, ECE/MCE, Brier, scaling.
+
+Table II scores models by thresholded metrics, but the live-deployment
+story (§V, §VII: wallets warning users in real time) consumes the phishing
+*probability* itself — a wallet may warn softly at p≈0.6 and block at
+p≈0.95. That only works if the probabilities are calibrated: among
+contracts scored 0.8, about 80% should actually be phishing. This module
+measures calibration (reliability bins, expected/maximum calibration
+error, Brier score) and repairs it post hoc with the two standard
+single-parameter-family methods, Platt scaling and temperature scaling,
+plus non-parametric isotonic regression (PAV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ReliabilityBin",
+    "reliability_bins",
+    "expected_calibration_error",
+    "maximum_calibration_error",
+    "brier_score",
+    "PlattScaler",
+    "TemperatureScaler",
+    "IsotonicCalibrator",
+]
+
+_EPS = 1e-12
+
+
+def _validate_probs(y_true, probs) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    probs = np.asarray(probs, dtype=float)
+    if y_true.shape != probs.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs probs {probs.shape}"
+        )
+    if y_true.ndim != 1 or y_true.size == 0:
+        raise ValueError("y_true must be a non-empty 1-D array")
+    if not np.isin(y_true, (0, 1)).all():
+        raise ValueError("y_true must contain only 0/1 labels")
+    if np.any((probs < 0) | (probs > 1)) or not np.isfinite(probs).all():
+        raise ValueError("probs must lie in [0, 1]")
+    return y_true, probs
+
+
+@dataclass(frozen=True)
+class ReliabilityBin:
+    """One bin of a reliability diagram."""
+
+    lower: float
+    upper: float
+    count: int
+    mean_predicted: float
+    fraction_positive: float
+
+    @property
+    def gap(self) -> float:
+        """|confidence − accuracy| for this bin; 0 when empty."""
+        if self.count == 0:
+            return 0.0
+        return abs(self.mean_predicted - self.fraction_positive)
+
+
+def reliability_bins(y_true, probs, n_bins: int = 10) -> list[ReliabilityBin]:
+    """Equal-width reliability diagram over predicted probabilities.
+
+    Bin ``i`` covers ``(i/n, (i+1)/n]`` with the first bin closed at 0,
+    so every probability lands in exactly one bin.
+    """
+    y_true, probs = _validate_probs(y_true, probs)
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    # right-closed bins; probability 0 goes to bin 0.
+    indices = np.clip(np.ceil(probs * n_bins).astype(int) - 1, 0, n_bins - 1)
+    bins = []
+    for i in range(n_bins):
+        mask = indices == i
+        count = int(mask.sum())
+        bins.append(
+            ReliabilityBin(
+                lower=float(edges[i]),
+                upper=float(edges[i + 1]),
+                count=count,
+                mean_predicted=float(probs[mask].mean()) if count else 0.0,
+                fraction_positive=float(y_true[mask].mean()) if count else 0.0,
+            )
+        )
+    return bins
+
+
+def expected_calibration_error(y_true, probs, n_bins: int = 10) -> float:
+    """ECE: bin-count-weighted mean |confidence − accuracy|."""
+    bins = reliability_bins(y_true, probs, n_bins)
+    total = sum(b.count for b in bins)
+    return float(sum(b.count * b.gap for b in bins) / total)
+
+
+def maximum_calibration_error(y_true, probs, n_bins: int = 10) -> float:
+    """MCE: worst-bin |confidence − accuracy| over non-empty bins."""
+    bins = reliability_bins(y_true, probs, n_bins)
+    gaps = [b.gap for b in bins if b.count > 0]
+    return float(max(gaps))
+
+
+def brier_score(y_true, probs) -> float:
+    """Mean squared error between probabilities and 0/1 outcomes."""
+    y_true, probs = _validate_probs(y_true, probs)
+    return float(np.mean((probs - y_true) ** 2))
+
+
+def _logit(probs: np.ndarray) -> np.ndarray:
+    clipped = np.clip(probs, _EPS, 1.0 - _EPS)
+    return np.log(clipped / (1.0 - clipped))
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    expz = np.exp(z[~positive])
+    out[~positive] = expz / (1.0 + expz)
+    return out
+
+
+class PlattScaler:
+    """Platt scaling: fit ``sigmoid(a * logit(p) + b)`` by NLL descent.
+
+    Two parameters let it fix both slope (over/under-confidence) and bias
+    (class-prior shift). Fit on a held-out calibration split, never on the
+    training data of the underlying model.
+    """
+
+    def __init__(self, max_iter: int = 200, learning_rate: float = 0.5):
+        self.max_iter = max_iter
+        self.learning_rate = learning_rate
+        self.slope_ = 1.0
+        self.intercept_ = 0.0
+        self._fitted = False
+
+    def fit(self, probs, y_true) -> "PlattScaler":
+        """Fit slope/intercept by full-batch gradient descent on NLL."""
+        y_true, probs = _validate_probs(y_true, probs)
+        logits = _logit(probs)
+        slope, intercept = 1.0, 0.0
+        n = y_true.size
+        for _ in range(self.max_iter):
+            predicted = _sigmoid(slope * logits + intercept)
+            error = predicted - y_true
+            grad_slope = float(error @ logits) / n
+            grad_intercept = float(error.sum()) / n
+            slope -= self.learning_rate * grad_slope
+            intercept -= self.learning_rate * grad_intercept
+        self.slope_ = slope
+        self.intercept_ = intercept
+        self._fitted = True
+        return self
+
+    def transform(self, probs) -> np.ndarray:
+        """Map raw probabilities through the fitted sigmoid."""
+        if not self._fitted:
+            raise RuntimeError("PlattScaler is not fitted")
+        probs = np.asarray(probs, dtype=float)
+        return _sigmoid(self.slope_ * _logit(probs) + self.intercept_)
+
+
+class TemperatureScaler:
+    """Temperature scaling: ``sigmoid(logit(p) / T)`` with scalar T > 0.
+
+    The single-parameter special case of Platt scaling; cannot shift the
+    decision boundary (argmax-preserving), only sharpen or soften. T is
+    found by golden-section search on the calibration NLL.
+    """
+
+    def __init__(self, bounds: tuple[float, float] = (0.05, 20.0),
+                 tolerance: float = 1e-4):
+        low, high = bounds
+        if not 0 < low < high:
+            raise ValueError("bounds must satisfy 0 < low < high")
+        self.bounds = (float(low), float(high))
+        self.tolerance = tolerance
+        self.temperature_ = 1.0
+        self._fitted = False
+
+    @staticmethod
+    def _nll(logits: np.ndarray, y_true: np.ndarray, temperature: float) -> float:
+        predicted = np.clip(_sigmoid(logits / temperature), _EPS, 1 - _EPS)
+        return float(
+            -np.mean(y_true * np.log(predicted)
+                     + (1 - y_true) * np.log(1 - predicted))
+        )
+
+    def fit(self, probs, y_true) -> "TemperatureScaler":
+        """Find T minimizing calibration NLL by golden-section search."""
+        y_true, probs = _validate_probs(y_true, probs)
+        logits = _logit(probs)
+        low, high = self.bounds
+        inverse_golden = (np.sqrt(5.0) - 1.0) / 2.0
+        left = high - inverse_golden * (high - low)
+        right = low + inverse_golden * (high - low)
+        nll_left = self._nll(logits, y_true, left)
+        nll_right = self._nll(logits, y_true, right)
+        while high - low > self.tolerance:
+            if nll_left < nll_right:
+                high, right, nll_right = right, left, nll_left
+                left = high - inverse_golden * (high - low)
+                nll_left = self._nll(logits, y_true, left)
+            else:
+                low, left, nll_left = left, right, nll_right
+                right = low + inverse_golden * (high - low)
+                nll_right = self._nll(logits, y_true, right)
+        self.temperature_ = (low + high) / 2.0
+        self._fitted = True
+        return self
+
+    def transform(self, probs) -> np.ndarray:
+        """Soften (T > 1) or sharpen (T < 1) the raw probabilities."""
+        if not self._fitted:
+            raise RuntimeError("TemperatureScaler is not fitted")
+        probs = np.asarray(probs, dtype=float)
+        return _sigmoid(_logit(probs) / self.temperature_)
+
+
+class IsotonicCalibrator:
+    """Isotonic regression via pool-adjacent-violators (PAV).
+
+    Non-parametric: learns any monotone map from score to probability.
+    Needs more calibration data than the parametric scalers but repairs
+    arbitrarily-shaped reliability curves.
+    """
+
+    def __init__(self):
+        self.thresholds_: np.ndarray | None = None
+        self.values_: np.ndarray | None = None
+
+    def fit(self, probs, y_true) -> "IsotonicCalibrator":
+        """Pool adjacent violators over the score-sorted labels."""
+        y_true, probs = _validate_probs(y_true, probs)
+        order = np.argsort(probs, kind="stable")
+        x = probs[order]
+        y = y_true[order].astype(float)
+        # PAV with block merging: each block holds (value_sum, count).
+        block_sum = list(y)
+        block_count = [1.0] * y.size
+        block_end = list(range(y.size))  # last input index of each block
+        i = 0
+        while i < len(block_sum) - 1:
+            if block_sum[i] / block_count[i] > block_sum[i + 1] / block_count[i + 1]:
+                block_sum[i] += block_sum.pop(i + 1)
+                block_count[i] += block_count.pop(i + 1)
+                block_end[i] = block_end.pop(i + 1)
+                if i > 0:
+                    i -= 1
+            else:
+                i += 1
+        values = np.array(
+            [s / c for s, c in zip(block_sum, block_count)]
+        )
+        thresholds = np.array([x[end] for end in block_end])
+        self.thresholds_ = thresholds
+        self.values_ = values
+        return self
+
+    def transform(self, probs) -> np.ndarray:
+        """Evaluate the fitted monotone step function."""
+        if self.thresholds_ is None:
+            raise RuntimeError("IsotonicCalibrator is not fitted")
+        probs = np.asarray(probs, dtype=float)
+        # Step-function interpolation: value of the first block whose
+        # right edge is >= p; clamp above the last edge.
+        indices = np.searchsorted(self.thresholds_, probs, side="left")
+        indices = np.minimum(indices, self.values_.size - 1)
+        return self.values_[indices]

@@ -1,0 +1,124 @@
+"""Critical Difference Diagram data (Fig. 6, after Demšar 2006).
+
+Procedure as the paper describes (§IV-F): a Friedman test first checks for
+any difference across treatments; on rejection (or regardless, for
+reporting), pairwise Wilcoxon signed-rank tests with Holm correction decide
+which pairs differ, and Cliff's δ quantifies effect sizes. The diagram
+itself is the mean-rank axis plus cliques of statistically indistinguishable
+treatments (the thick connecting line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.stats import (
+    PairwiseResult,
+    TestResult,
+    cliffs_delta,
+    friedman_test,
+    holm_bonferroni,
+    rankdata,
+    wilcoxon_signed_rank,
+)
+
+__all__ = ["CriticalDifferenceDiagram", "critical_difference"]
+
+
+@dataclass
+class CriticalDifferenceDiagram:
+    """All data needed to draw a CDD."""
+
+    treatments: list[str]
+    mean_ranks: dict[str, float]
+    friedman: TestResult
+    pairwise: list[PairwiseResult] = field(default_factory=list)
+    effect_sizes: dict[tuple[str, str], float] = field(default_factory=dict)
+    cliques: list[tuple[str, ...]] = field(default_factory=list)
+
+    def ordered(self) -> list[str]:
+        """Treatments best-first (highest metric = highest mean rank)."""
+        return sorted(self.treatments, key=self.mean_ranks.get, reverse=True)
+
+    def render(self) -> str:
+        """A text rendering of the diagram."""
+        lines = [
+            f"Friedman χ²={self.friedman.statistic:.3f} "
+            f"p={self.friedman.p_value:.3g}"
+        ]
+        for name in self.ordered():
+            lines.append(f"  {self.mean_ranks[name]:.2f}  {name}")
+        for clique in self.cliques:
+            lines.append("  ── connected (no significant difference): "
+                         + ", ".join(clique))
+        return "\n".join(lines)
+
+
+def critical_difference(
+    scores: dict[str, list[float]], alpha: float = 0.05
+) -> CriticalDifferenceDiagram:
+    """Build CDD data from per-treatment score lists (paired blocks).
+
+    Args:
+        scores: treatment → score per block; all lists of equal length
+            (e.g. per data-split metric values in the scalability study).
+    """
+    names = list(scores)
+    if len(names) < 2:
+        raise ValueError("need at least two treatments")
+    lengths = {len(v) for v in scores.values()}
+    if len(lengths) != 1:
+        raise ValueError("all treatments need the same number of blocks")
+    matrix = np.column_stack([np.asarray(scores[n], dtype=float) for n in names])
+
+    friedman = friedman_test(matrix)
+    ranks = np.vstack([rankdata(row) for row in matrix])
+    mean_ranks = {name: float(ranks[:, i].mean()) for i, name in enumerate(names)}
+
+    comparisons = []
+    raw_p = []
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            result = wilcoxon_signed_rank(matrix[:, i], matrix[:, j])
+            comparisons.append((names[i], names[j], result))
+            raw_p.append(result.p_value)
+    adjusted = holm_bonferroni(raw_p)
+    pairwise = [
+        PairwiseResult(a, b, r.statistic, r.p_value, p_adj)
+        for (a, b, r), p_adj in zip(comparisons, adjusted)
+    ]
+    effect_sizes = {
+        (a, b): cliffs_delta(scores[a], scores[b])
+        for a, b, __ in comparisons
+    }
+
+    # Cliques: maximal runs of rank-adjacent treatments with no
+    # significant pairwise difference (the thick line in the figure).
+    not_significant = {
+        frozenset((p.group_a, p.group_b))
+        for p in pairwise
+        if not p.significant(alpha)
+    }
+    ordered = sorted(names, key=mean_ranks.get)
+    cliques: list[tuple[str, ...]] = []
+    start = 0
+    while start < len(ordered):
+        stop = start
+        while stop + 1 < len(ordered) and all(
+            frozenset((ordered[k], ordered[stop + 1])) in not_significant
+            for k in range(start, stop + 1)
+        ):
+            stop += 1
+        if stop > start:
+            cliques.append(tuple(ordered[start : stop + 1]))
+        start = max(stop, start + 1)
+    return CriticalDifferenceDiagram(
+        treatments=names,
+        mean_ranks=mean_ranks,
+        friedman=friedman,
+        pairwise=pairwise,
+        effect_sizes=effect_sizes,
+        cliques=cliques,
+    )

@@ -1,0 +1,146 @@
+"""Markdown report generation over evaluation artifacts.
+
+Collects the outputs of an evaluation campaign — the Table II metrics, the
+post-hoc statistics, optional scalability and time-resistance results —
+into a single self-contained markdown document, the artifact a security
+team would circulate after running the framework on fresh data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mem import EvaluationResult
+from repro.core.pam import METRICS, PostHocReport
+from repro.core.registry import MODEL_CATEGORIES
+
+__all__ = ["render_report"]
+
+
+def _metrics_table(evaluation: EvaluationResult) -> list[str]:
+    lines = [
+        "| Model | Category | Accuracy (%) | F1 | Precision | Recall |",
+        "|-------|----------|-------------:|---:|----------:|-------:|",
+    ]
+    ranked = sorted(
+        evaluation.models(),
+        key=lambda m: evaluation.mean_metrics(m).accuracy,
+        reverse=True,
+    )
+    for model in ranked:
+        mean = evaluation.mean_metrics(model)
+        category = MODEL_CATEGORIES.get(model, "?")
+        lines.append(
+            f"| {model} | {category} | {mean.accuracy * 100:.2f} "
+            f"| {mean.f1 * 100:.2f} | {mean.precision * 100:.2f} "
+            f"| {mean.recall * 100:.2f} |"
+        )
+    return lines
+
+
+def _timing_table(evaluation: EvaluationResult) -> list[str]:
+    lines = [
+        "| Model | Train (s) | Inference (s) |",
+        "|-------|----------:|--------------:|",
+    ]
+    for model in evaluation.models():
+        train_seconds, inference_seconds = evaluation.mean_times(model)
+        lines.append(
+            f"| {model} | {train_seconds:.2f} | {inference_seconds:.3f} |"
+        )
+    return lines
+
+
+def _posthoc_section(report: PostHocReport) -> list[str]:
+    lines = [
+        "## Statistical validation",
+        "",
+        "| Metric | Kruskal–Wallis H | p (Holm-adjusted) | Significant |",
+        "|--------|-----------------:|------------------:|-------------|",
+    ]
+    for metric in METRICS:
+        test = report.kruskal[metric]
+        adjusted = report.kruskal_adjusted_p[metric]
+        verdict = "yes" if adjusted < 0.05 else "no"
+        lines.append(
+            f"| {metric} | {test.statistic:.2f} | {adjusted:.3g} | {verdict} |"
+        )
+    lines += [
+        "",
+        f"Shapiro–Wilk normality violations: "
+        f"{report.normality_violations}/{len(report.normality)} "
+        f"model-metric pairs (motivates the nonparametric pipeline).",
+        "",
+        "Significant Dunn pairs (Holm-adjusted, α = 0.05):",
+        "",
+    ]
+    for metric in METRICS:
+        overall = report.significant_pair_fraction(metric)
+        same = report.pair_fraction_by_category(metric, same_category=True)
+        cross = report.pair_fraction_by_category(metric, same_category=False)
+        lines.append(
+            f"* {metric}: {overall:.0%} of all pairs "
+            f"(same-category {same:.0%}, cross-category {cross:.0%})"
+        )
+    return lines
+
+
+def render_report(
+    evaluation: EvaluationResult,
+    post_hoc: PostHocReport | None = None,
+    title: str = "PhishingHook evaluation report",
+    dataset_size: int | None = None,
+) -> str:
+    """Render a complete markdown report.
+
+    Args:
+        evaluation: The MEM campaign to summarize.
+        post_hoc: Optional PAM output; adds the statistics section.
+        title: Document heading.
+        dataset_size: Optional sample count for the preamble.
+    """
+    if not evaluation.trials:
+        raise ValueError("cannot report on an empty evaluation")
+    trials_per_model = len(evaluation.for_model(evaluation.models()[0]))
+    best = max(
+        evaluation.models(),
+        key=lambda m: evaluation.mean_metrics(m).accuracy,
+    )
+    best_metrics = evaluation.mean_metrics(best)
+
+    lines = [f"# {title}", ""]
+    preamble = (
+        f"{len(evaluation.models())} models, {trials_per_model} trials each"
+    )
+    if dataset_size is not None:
+        preamble += f", {dataset_size} contracts"
+    lines += [
+        preamble + ".",
+        "",
+        f"**Best model:** {best} "
+        f"({best_metrics.accuracy * 100:.2f}% accuracy, "
+        f"F1 {best_metrics.f1 * 100:.2f}).",
+        "",
+        "## Model comparison",
+        "",
+    ]
+    lines += _metrics_table(evaluation)
+    lines += ["", "## Cost", ""]
+    lines += _timing_table(evaluation)
+    if post_hoc is not None:
+        lines += [""]
+        lines += _posthoc_section(post_hoc)
+
+    categories = sorted({
+        MODEL_CATEGORIES.get(m) for m in evaluation.models()
+        if MODEL_CATEGORIES.get(m)
+    })
+    if len(categories) > 1:
+        lines += ["", "## Category means", ""]
+        for category in categories:
+            try:
+                mean = evaluation.category_mean(category, "accuracy")
+            except KeyError:
+                continue
+            lines.append(f"* {category}: {mean * 100:.2f}% accuracy")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,328 @@
+"""The post-hoc statistical battery of §IV-E and §IV-F.
+
+Implements the exact procedures (and formulas) the paper describes:
+
+* Shapiro–Wilk normality test — W = (Σ aᵢ x₍ᵢ₎)² / Σ (xᵢ − x̄)²,
+* Kruskal–Wallis — H = 12/(N(N+1)) · Σ Rᵢ²/nᵢ − 3(N+1), with tie
+  correction,
+* Dunn's pairwise test — Z = (R̄ᵢ − R̄ⱼ) / √[(N(N+1)/12)(1/nᵢ + 1/nⱼ)],
+* Holm–Bonferroni step-down correction,
+* Friedman test and Wilcoxon signed-rank (scalability post hoc, Fig. 6),
+* Cliff's δ effect size.
+
+scipy is used only for reference distributions (normal, χ²); the test
+statistics themselves are computed here and cross-validated against
+``scipy.stats`` in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import stats as _sps
+
+__all__ = [
+    "TestResult",
+    "PairwiseResult",
+    "shapiro_wilk",
+    "kruskal_wallis",
+    "dunn_test",
+    "holm_bonferroni",
+    "friedman_test",
+    "wilcoxon_signed_rank",
+    "cliffs_delta",
+    "rankdata",
+]
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """A named test statistic with its p-value."""
+
+    statistic: float
+    p_value: float
+    name: str = ""
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+@dataclass(frozen=True)
+class PairwiseResult:
+    """One pairwise comparison (Dunn / Wilcoxon) with adjusted p."""
+
+    group_a: str
+    group_b: str
+    statistic: float
+    p_value: float
+    p_adjusted: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_adjusted < alpha
+
+
+def rankdata(values: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based) with ties sharing their mean rank."""
+    values = np.asarray(values, dtype=float)
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=float)
+    ranks[order] = np.arange(1, len(values) + 1, dtype=float)
+    # Average ranks over tied groups.
+    sorted_values = values[order]
+    index = 0
+    while index < len(values):
+        stop = index
+        while stop + 1 < len(values) and sorted_values[stop + 1] == sorted_values[index]:
+            stop += 1
+        if stop > index:
+            mean_rank = 0.5 * (index + 1 + stop + 1)
+            ranks[order[index : stop + 1]] = mean_rank
+        index = stop + 1
+    return ranks
+
+
+# --------------------------------------------------------------------- #
+# Shapiro–Wilk
+# --------------------------------------------------------------------- #
+
+
+def _shapiro_coefficients(n: int) -> np.ndarray:
+    """Royston's approximation of the Shapiro–Wilk coefficients a."""
+    m = _sps.norm.ppf((np.arange(1, n + 1) - 0.375) / (n + 0.25))
+    c = m / np.sqrt(m @ m)
+    u = 1.0 / np.sqrt(n)
+    a_n = (
+        c[-1] + 0.221157 * u - 0.147981 * u**2 - 2.071190 * u**3
+        + 4.434685 * u**4 - 2.706056 * u**5
+    )
+    a_n1 = (
+        c[-2] + 0.042981 * u - 0.293762 * u**2 - 1.752461 * u**3
+        + 5.682633 * u**4 - 3.582633 * u**5
+    )
+    a = np.empty(n)
+    if n <= 5:
+        phi = (m @ m - 2 * m[-1] ** 2) / (1 - 2 * a_n**2)
+        if phi <= 0:
+            raise ValueError(f"sample size {n} too small for W approximation")
+        a[1:-1] = m[1:-1] / np.sqrt(phi)
+        a[0], a[-1] = -a_n, a_n
+    else:
+        phi = (m @ m - 2 * m[-1] ** 2 - 2 * m[-2] ** 2) / (
+            1 - 2 * a_n**2 - 2 * a_n1**2
+        )
+        a[2:-2] = m[2:-2] / np.sqrt(phi)
+        a[0], a[-1] = -a_n, a_n
+        a[1], a[-2] = -a_n1, a_n1
+    return a
+
+
+def shapiro_wilk(values) -> TestResult:
+    """Shapiro–Wilk normality test (Royston 1992 approximation).
+
+    The null hypothesis is that ``values`` are normally distributed; it is
+    rejected for W significantly below 1 (p < 0.05).
+    """
+    x = np.sort(np.asarray(values, dtype=float))
+    n = len(x)
+    if n < 3:
+        raise ValueError(f"Shapiro–Wilk needs n ≥ 3, got {n}")
+    if np.ptp(x) == 0:
+        raise ValueError("all values identical; W undefined")
+    a = _shapiro_coefficients(n)
+    numerator = (a @ x) ** 2
+    denominator = np.sum((x - x.mean()) ** 2)
+    W = numerator / denominator
+    # Royston's normalizing transformation of W → z.
+    log_n = np.log(n)
+    if n <= 11:
+        gamma = -2.273 + 0.459 * n
+        w_transformed = -np.log(gamma - np.log1p(-W))
+        mu = 0.5440 - 0.39978 * n + 0.025054 * n**2 - 0.0006714 * n**3
+        sigma = np.exp(
+            1.3822 - 0.77857 * n + 0.062767 * n**2 - 0.0020322 * n**3
+        )
+    else:
+        w_transformed = np.log1p(-W)
+        mu = -1.5861 - 0.31082 * log_n - 0.083751 * log_n**2 + 0.0038915 * log_n**3
+        sigma = np.exp(-0.4803 - 0.082676 * log_n + 0.0030302 * log_n**2)
+    z = (w_transformed - mu) / sigma
+    p = float(_sps.norm.sf(z))
+    return TestResult(statistic=float(W), p_value=p, name="shapiro-wilk")
+
+
+# --------------------------------------------------------------------- #
+# Kruskal–Wallis
+# --------------------------------------------------------------------- #
+
+
+def kruskal_wallis(groups: list[np.ndarray]) -> TestResult:
+    """Kruskal–Wallis H test over k independent groups (tie-corrected).
+
+    H = 12/(N(N+1)) Σ Rᵢ²/nᵢ − 3(N+1), referred to χ²(k−1).
+    """
+    if len(groups) < 2:
+        raise ValueError("Kruskal–Wallis needs at least 2 groups")
+    groups = [np.asarray(g, dtype=float) for g in groups]
+    if any(len(g) == 0 for g in groups):
+        raise ValueError("empty group")
+    pooled = np.concatenate(groups)
+    N = len(pooled)
+    ranks = rankdata(pooled)
+    H = 0.0
+    start = 0
+    for group in groups:
+        stop = start + len(group)
+        rank_sum = ranks[start:stop].sum()
+        H += rank_sum**2 / len(group)
+        start = stop
+    H = 12.0 / (N * (N + 1)) * H - 3.0 * (N + 1)
+    # Tie correction.
+    __, counts = np.unique(pooled, return_counts=True)
+    tie_term = 1.0 - np.sum(counts**3 - counts) / (N**3 - N)
+    if tie_term > 0:
+        H /= tie_term
+    p = float(_sps.chi2.sf(H, df=len(groups) - 1))
+    return TestResult(statistic=float(H), p_value=p, name="kruskal-wallis")
+
+
+# --------------------------------------------------------------------- #
+# Multiple-comparison machinery
+# --------------------------------------------------------------------- #
+
+
+def holm_bonferroni(p_values: list[float]) -> list[float]:
+    """Holm's step-down adjusted p-values (monotone, clipped at 1)."""
+    p = np.asarray(p_values, dtype=float)
+    m = len(p)
+    order = np.argsort(p)
+    adjusted = np.empty(m)
+    running_max = 0.0
+    for rank, index in enumerate(order):
+        value = min((m - rank) * p[index], 1.0)
+        running_max = max(running_max, value)
+        adjusted[index] = running_max
+    return adjusted.tolist()
+
+
+def dunn_test(
+    groups: dict[str, np.ndarray], adjust: bool = True
+) -> list[PairwiseResult]:
+    """Dunn's pairwise multiple-comparison test after Kruskal–Wallis.
+
+    Z = (R̄ᵢ − R̄ⱼ) / √[(N(N+1)/12 − T) (1/nᵢ + 1/nⱼ)], where T is the tie
+    correction Σ(t³−t)/(12(N−1)); p-values are two-sided normal and Holm-
+    adjusted when ``adjust``.
+    """
+    names = list(groups)
+    if len(names) < 2:
+        raise ValueError("Dunn's test needs at least 2 groups")
+    arrays = [np.asarray(groups[name], dtype=float) for name in names]
+    pooled = np.concatenate(arrays)
+    N = len(pooled)
+    ranks = rankdata(pooled)
+    mean_ranks: dict[str, float] = {}
+    sizes: dict[str, int] = {}
+    start = 0
+    for name, array in zip(names, arrays):
+        stop = start + len(array)
+        mean_ranks[name] = float(ranks[start:stop].mean())
+        sizes[name] = len(array)
+        start = stop
+    __, counts = np.unique(pooled, return_counts=True)
+    tie_correction = np.sum(counts**3 - counts) / (12.0 * (N - 1))
+
+    comparisons: list[tuple[str, str, float, float]] = []
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            a, b = names[i], names[j]
+            variance = (N * (N + 1) / 12.0 - tie_correction) * (
+                1.0 / sizes[a] + 1.0 / sizes[b]
+            )
+            z = (mean_ranks[a] - mean_ranks[b]) / np.sqrt(variance)
+            p = float(2.0 * _sps.norm.sf(abs(z)))
+            comparisons.append((a, b, float(z), p))
+
+    raw_p = [c[3] for c in comparisons]
+    adjusted = holm_bonferroni(raw_p) if adjust else raw_p
+    return [
+        PairwiseResult(a, b, z, p, p_adj)
+        for (a, b, z, p), p_adj in zip(comparisons, adjusted)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Friedman / Wilcoxon / Cliff's delta (scalability post hoc)
+# --------------------------------------------------------------------- #
+
+
+def friedman_test(matrix: np.ndarray) -> TestResult:
+    """Friedman test on an (n_blocks, k_treatments) matrix.
+
+    χ²_F = 12n/(k(k+1)) Σ (R̄ⱼ − (k+1)/2)², referred to χ²(k−1).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[1] < 2:
+        raise ValueError("need an (n_blocks, k≥2) matrix")
+    n, k = matrix.shape
+    ranks = np.vstack([rankdata(row) for row in matrix])
+    mean_ranks = ranks.mean(axis=0)
+    statistic = 12.0 * n / (k * (k + 1)) * np.sum(
+        (mean_ranks - (k + 1) / 2.0) ** 2
+    )
+    p = float(_sps.chi2.sf(statistic, df=k - 1))
+    return TestResult(statistic=float(statistic), p_value=p, name="friedman")
+
+
+def wilcoxon_signed_rank(a, b) -> TestResult:
+    """Wilcoxon signed-rank test for paired samples (exact for n ≤ 15).
+
+    Zero differences are discarded (Wilcoxon's original procedure).
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError("paired samples must have equal length")
+    differences = a - b
+    differences = differences[differences != 0]
+    n = len(differences)
+    if n == 0:
+        return TestResult(statistic=0.0, p_value=1.0, name="wilcoxon")
+    ranks = rankdata(np.abs(differences))
+    w_plus = ranks[differences > 0].sum()
+    w_minus = ranks[differences < 0].sum()
+    statistic = min(w_plus, w_minus)
+    if n <= 15:
+        # Exact null distribution by enumeration of sign assignments.
+        totals = np.zeros(1, dtype=np.float64)
+        # Distribution of W+ over all 2^n sign patterns via DP.
+        max_sum = int(ranks.sum() * 2)  # ranks may be half-integers (ties)
+        scale = 2  # work in half-rank units to stay integral
+        weights = np.zeros(max_sum + 1)
+        weights[0] = 1.0
+        for rank in ranks:
+            step = int(round(rank * scale))
+            shifted = np.zeros_like(weights)
+            shifted[step:] = weights[: len(weights) - step]
+            weights = weights + shifted
+        cumulative = np.cumsum(weights)
+        threshold = int(round(statistic * scale))
+        p = float(2.0 * cumulative[threshold] / weights.sum())
+        p = min(p, 1.0)
+    else:
+        mean = n * (n + 1) / 4.0
+        variance = n * (n + 1) * (2 * n + 1) / 24.0
+        z = (statistic - mean) / np.sqrt(variance)
+        p = float(2.0 * _sps.norm.sf(abs(z)))
+    return TestResult(statistic=float(statistic), p_value=p, name="wilcoxon")
+
+
+def cliffs_delta(a, b) -> float:
+    """Cliff's δ: P(a > b) − P(a < b), in [−1, 1]."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if len(a) == 0 or len(b) == 0:
+        raise ValueError("empty sample")
+    greater = np.sum(a[:, None] > b[None, :])
+    less = np.sum(a[:, None] < b[None, :])
+    return float((greater - less) / (len(a) * len(b)))

@@ -1,0 +1,80 @@
+"""Time-resistance evaluation and the Area Under Time metric (§IV-G).
+
+Following TESSERACT (Pendlebury et al.), models train on an early window
+(Oct 2023 – Jan 2024) and are tested on consecutive monthly windows. AUT is
+the normalized area under the metric-vs-time curve; AUT ∈ [0, 1] with
+higher = more robust to temporal drift.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datagen.dataset import Dataset
+from repro.ml.metrics import Metrics, classification_metrics
+
+__all__ = ["area_under_time", "TimeDecayResult", "time_decay_evaluation"]
+
+
+def area_under_time(values: list[float]) -> float:
+    """Trapezoidal area under a unit-spaced metric curve, normalized to [0, 1].
+
+    AUT(f, N) = (1/(N−1)) Σ (f(k) + f(k+1))/2 over the N test periods.
+    A single period degenerates to its value.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("need at least one period")
+    if any(not 0.0 <= v <= 1.0 for v in values):
+        raise ValueError("metric values must lie in [0, 1]")
+    if len(values) == 1:
+        return values[0]
+    pairs = zip(values[:-1], values[1:])
+    return float(sum((a + b) / 2.0 for a, b in pairs) / (len(values) - 1))
+
+
+@dataclass
+class TimeDecayResult:
+    """One model's month-by-month test metrics (Fig. 8 panel)."""
+
+    model: str
+    months: list[int] = field(default_factory=list)
+    metrics: list[Metrics] = field(default_factory=list)
+    train_seconds: float = 0.0
+
+    def series(self, metric: str) -> list[float]:
+        return [m.as_dict()[metric] for m in self.metrics]
+
+    @property
+    def aut_f1(self) -> float:
+        """AUT of the phishing F1 curve — the paper's headline number."""
+        return area_under_time(self.series("f1"))
+
+
+def time_decay_evaluation(
+    dataset: Dataset,
+    model_factory,
+    model_names: list[str],
+    train_months: tuple[int, ...] = (0, 1, 2, 3),
+    seed: int = 0,
+) -> list[TimeDecayResult]:
+    """Train each model once on the early window, test per later month."""
+    train, monthly = dataset.temporal_split(train_months=train_months)
+    results = []
+    for name in model_names:
+        model = model_factory(name, seed=seed)
+        started = time.perf_counter()
+        model.fit(train.bytecodes, train.labels)
+        elapsed = time.perf_counter() - started
+        result = TimeDecayResult(model=name, train_seconds=elapsed)
+        for month, test in monthly:
+            predictions = model.predict(test.bytecodes)
+            result.months.append(month)
+            result.metrics.append(
+                classification_metrics(test.labels, predictions)
+            )
+        results.append(result)
+    return results

@@ -1,0 +1,195 @@
+"""A minimal simulated Ethereum ledger.
+
+Holds exactly the state the PhishingHook pipeline touches: contract
+accounts (address → deployed bytecode), the contract-creation transactions
+that produced them, and block metadata (number, timestamp). Everything is
+deterministic given the caller-supplied addresses/timestamps, so tests and
+benchmarks are reproducible bit-for-bit.
+
+Addresses are 20-byte values handled as ``0x``-prefixed lowercase hex
+strings at the API boundary, mirroring real tooling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.chain.timeline import block_number_at
+from repro.evm.disassembler import normalize_bytecode
+
+__all__ = ["Account", "Block", "Transaction", "Blockchain", "ChainError"]
+
+
+class ChainError(Exception):
+    """Raised for invalid ledger operations (unknown hashes, bad addresses)."""
+
+
+def _normalize_address(address: str) -> str:
+    text = address.lower()
+    if not text.startswith("0x"):
+        text = "0x" + text
+    body = text[2:]
+    if len(body) != 40:
+        raise ChainError(f"address must be 20 bytes, got {address!r}")
+    try:
+        bytes.fromhex(body)
+    except ValueError:
+        raise ChainError(f"address is not hex: {address!r}")
+    return text
+
+
+def derive_address(seed: bytes | str) -> str:
+    """Deterministically derive a 20-byte address from a seed."""
+    if isinstance(seed, str):
+        seed = seed.encode()
+    return "0x" + hashlib.sha3_256(seed).hexdigest()[:40]
+
+
+@dataclass(frozen=True)
+class Account:
+    """A contract account: address plus deployed (runtime) bytecode."""
+
+    address: str
+    code: bytes
+    deployed_at: int  # unix timestamp
+
+    @property
+    def code_hex(self) -> str:
+        return "0x" + self.code.hex()
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A contract-creation transaction."""
+
+    tx_hash: str
+    sender: str
+    contract_address: str
+    block_number: int
+    timestamp: int
+
+
+@dataclass
+class Block:
+    """Block metadata; transactions are creation txs included in it."""
+
+    number: int
+    timestamp: int
+    transactions: list[str] = field(default_factory=list)
+
+
+class Blockchain:
+    """The simulated ledger.
+
+    Example:
+        >>> chain = Blockchain()
+        >>> address = chain.deploy(b"\\x60\\x01\\x00", timestamp=1700000000)
+        >>> chain.get_code(address).hex()
+        '600100'
+    """
+
+    def __init__(self) -> None:
+        self._accounts: dict[str, Account] = {}
+        self._transactions: dict[str, Transaction] = {}
+        self._blocks: dict[int, Block] = {}
+        self._head = 0
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def deploy(
+        self,
+        code: bytes | str,
+        timestamp: int,
+        address: str | None = None,
+        sender: str | None = None,
+    ) -> str:
+        """Record a contract deployment; returns the contract address.
+
+        The address defaults to a hash of (code, timestamp, deploy count),
+        so repeated identical deployments (minimal proxy clones) receive
+        distinct addresses while sharing bytecode — the duplication the
+        paper's dataset-construction step must de-duplicate.
+        """
+        raw = normalize_bytecode(code)
+        if address is None:
+            address = derive_address(
+                raw + timestamp.to_bytes(8, "big") + len(self._accounts).to_bytes(8, "big")
+            )
+        address = _normalize_address(address)
+        if address in self._accounts:
+            raise ChainError(f"address {address} already has code")
+        sender = _normalize_address(sender) if sender else derive_address(address)
+
+        block_number = block_number_at(timestamp)
+        account = Account(address=address, code=raw, deployed_at=timestamp)
+        tx_hash = "0x" + hashlib.sha3_256(
+            (address + str(timestamp)).encode()
+        ).hexdigest()
+        transaction = Transaction(
+            tx_hash=tx_hash,
+            sender=sender,
+            contract_address=address,
+            block_number=block_number,
+            timestamp=timestamp,
+        )
+        block = self._blocks.setdefault(
+            block_number, Block(number=block_number, timestamp=timestamp)
+        )
+        block.transactions.append(tx_hash)
+
+        self._accounts[address] = account
+        self._transactions[tx_hash] = transaction
+        self._head = max(self._head, block_number)
+        return address
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def get_code(self, address: str) -> bytes:
+        """Deployed bytecode at ``address`` (empty bytes for EOAs)."""
+        account = self._accounts.get(_normalize_address(address))
+        return account.code if account else b""
+
+    def get_account(self, address: str) -> Account | None:
+        return self._accounts.get(_normalize_address(address))
+
+    def get_transaction(self, tx_hash: str) -> Transaction:
+        try:
+            return self._transactions[tx_hash]
+        except KeyError:
+            raise ChainError(f"unknown transaction {tx_hash}")
+
+    def get_block(self, number: int) -> Block | None:
+        return self._blocks.get(number)
+
+    @property
+    def head_block(self) -> int:
+        """Height of the most recent block containing a deployment."""
+        return self._head
+
+    @property
+    def contract_count(self) -> int:
+        return len(self._accounts)
+
+    def accounts(self) -> list[Account]:
+        """All contract accounts, ordered by deployment time."""
+        return sorted(self._accounts.values(), key=lambda a: (a.deployed_at, a.address))
+
+    def transactions(self) -> list[Transaction]:
+        """All creation transactions, ordered by (block, hash)."""
+        return sorted(
+            self._transactions.values(), key=lambda t: (t.block_number, t.tx_hash)
+        )
+
+    def __contains__(self, address: str) -> bool:
+        try:
+            return _normalize_address(address) in self._accounts
+        except ChainError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._accounts)

@@ -1,0 +1,133 @@
+"""Stand-in for etherscan.io's label service.
+
+etherscan.io flags phishing smart contracts with the label ``"Phish/Hack"``
+(Fig. 1-➋); PhishingHook scrapes that flag for every candidate address.
+This simulated explorer exposes the same lookup, plus two realism knobs the
+paper's threat discussion motivates:
+
+* *label lag* — a contract is only flagged some time after deployment
+  (community reports take a while), and
+* *label noise* — a configurable fraction of flags is dropped or spuriously
+  added, so the pipeline can be stress-tested against imperfect oracles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.chain.blockchain import Blockchain, ChainError
+
+__all__ = ["Explorer", "PHISH_HACK_LABEL"]
+
+#: The exact label string etherscan uses for phishing contracts.
+PHISH_HACK_LABEL = "Phish/Hack"
+
+
+def _stable_unit_interval(address: str, salt: str) -> float:
+    """Deterministic pseudo-random float in [0, 1) from an address."""
+    digest = hashlib.sha3_256((salt + address.lower()).encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+class Explorer:
+    """Label oracle over a simulated chain.
+
+    Args:
+        chain: The ledger whose contracts can be labeled.
+        label_lag_seconds: Flags only become visible this long after
+            deployment (0 disables the lag).
+        false_negative_rate: Fraction of true phishing flags hidden.
+        false_positive_rate: Fraction of benign contracts spuriously flagged.
+    """
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        label_lag_seconds: int = 0,
+        false_negative_rate: float = 0.0,
+        false_positive_rate: float = 0.0,
+    ):
+        for name, rate in (
+            ("false_negative_rate", false_negative_rate),
+            ("false_positive_rate", false_positive_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self._chain = chain
+        self._labels: dict[str, str] = {}
+        self.label_lag_seconds = label_lag_seconds
+        self.false_negative_rate = false_negative_rate
+        self.false_positive_rate = false_positive_rate
+
+    # ------------------------------------------------------------------ #
+    # Label administration (what community reports / etherscan staff do)
+    # ------------------------------------------------------------------ #
+
+    def flag_phishing(self, address: str) -> None:
+        """Mark ``address`` with the ``Phish/Hack`` label."""
+        self.set_label(address, PHISH_HACK_LABEL)
+
+    def set_label(self, address: str, label: str) -> None:
+        # Labels are accepted for any address string; etherscan labels EOAs too.
+        self._labels[address.lower()] = label
+
+    # ------------------------------------------------------------------ #
+    # Scraping surface (what PhishingHook's data gathering consumes)
+    # ------------------------------------------------------------------ #
+
+    def get_label(self, address: str, at_timestamp: int | None = None) -> str | None:
+        """The public label of ``address``, or ``None``.
+
+        ``at_timestamp`` simulates scraping at a particular time: with a
+        configured label lag, recently deployed contracts are unflagged.
+        Noise rates deterministically hide/add flags per address.
+        """
+        key = address.lower()
+        label = self._labels.get(key)
+
+        if label == PHISH_HACK_LABEL:
+            if self._lag_hides(key, at_timestamp):
+                return None
+            if (
+                self.false_negative_rate > 0.0
+                and _stable_unit_interval(key, "fn") < self.false_negative_rate
+            ):
+                return None
+            return label
+        if label is not None:
+            return label
+        if (
+            self.false_positive_rate > 0.0
+            and _stable_unit_interval(key, "fp") < self.false_positive_rate
+        ):
+            return PHISH_HACK_LABEL
+        return None
+
+    def is_phishing(self, address: str, at_timestamp: int | None = None) -> bool:
+        """True when the visible label equals ``Phish/Hack``."""
+        return self.get_label(address, at_timestamp) == PHISH_HACK_LABEL
+
+    def scrape(
+        self, addresses: list[str], at_timestamp: int | None = None
+    ) -> dict[str, bool]:
+        """Batch lookup: address → flagged?, as the BEM's crawler does."""
+        return {
+            address: self.is_phishing(address, at_timestamp)
+            for address in addresses
+        }
+
+    def flagged_addresses(self) -> list[str]:
+        """All addresses carrying the ``Phish/Hack`` label (ground truth)."""
+        return sorted(
+            address
+            for address, label in self._labels.items()
+            if label == PHISH_HACK_LABEL
+        )
+
+    def _lag_hides(self, address: str, at_timestamp: int | None) -> bool:
+        if not self.label_lag_seconds or at_timestamp is None:
+            return False
+        account = self._chain.get_account(address)
+        if account is None:
+            return False
+        return at_timestamp < account.deployed_at + self.label_lag_seconds

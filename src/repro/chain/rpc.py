@@ -1,0 +1,173 @@
+"""In-process JSON-RPC endpoint (the ``eth_getCode`` surface).
+
+The BEM extracts bytecode "via a JSON-RPC API" (Fig. 1-➌). To exercise the
+identical code path offline, :class:`JsonRpcServer` implements the JSON-RPC
+2.0 envelope over a simulated chain, and :class:`JsonRpcClient` provides
+the typed convenience wrappers the BEM calls. Requests and responses are
+real JSON strings, so (de)serialization bugs are caught the same way they
+would be against a live node.
+
+Supported methods: ``eth_getCode``, ``eth_blockNumber``, ``eth_chainId``,
+``eth_getTransactionByHash``, ``web3_clientVersion``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.chain.blockchain import Blockchain, ChainError
+
+__all__ = ["JsonRpcServer", "JsonRpcClient", "JsonRpcError"]
+
+_PARSE_ERROR = -32700
+_INVALID_REQUEST = -32600
+_METHOD_NOT_FOUND = -32601
+_INVALID_PARAMS = -32602
+_SERVER_ERROR = -32000
+
+
+class JsonRpcError(Exception):
+    """Raised by the client when the server answers with an error object."""
+
+    def __init__(self, code: int, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class JsonRpcServer:
+    """Serve JSON-RPC 2.0 requests against a simulated chain."""
+
+    CLIENT_VERSION = "PhishingHookSim/1.0.0"
+
+    def __init__(self, chain: Blockchain, chain_id: int = 1):
+        self._chain = chain
+        self._chain_id = chain_id
+
+    def handle(self, request_text: str) -> str:
+        """Process one JSON-RPC request string, return the response string."""
+        try:
+            request = json.loads(request_text)
+        except json.JSONDecodeError:
+            return self._error(None, _PARSE_ERROR, "parse error")
+        if not isinstance(request, dict) or request.get("jsonrpc") != "2.0":
+            return self._error(None, _INVALID_REQUEST, "invalid request")
+        request_id = request.get("id")
+        method = request.get("method")
+        params = request.get("params", [])
+        if not isinstance(method, str):
+            return self._error(request_id, _INVALID_REQUEST, "missing method")
+        handler = self._dispatch_table().get(method)
+        if handler is None:
+            return self._error(
+                request_id, _METHOD_NOT_FOUND, f"method {method!r} not found"
+            )
+        try:
+            result = handler(params)
+        except (ChainError, ValueError, IndexError, TypeError) as exc:
+            return self._error(request_id, _INVALID_PARAMS, str(exc))
+        except Exception as exc:  # noqa: BLE001 - report as server error
+            return self._error(request_id, _SERVER_ERROR, str(exc))
+        return json.dumps({"jsonrpc": "2.0", "id": request_id, "result": result})
+
+    # ------------------------------------------------------------------ #
+
+    def _dispatch_table(self):
+        return {
+            "eth_getCode": self._eth_get_code,
+            "eth_blockNumber": self._eth_block_number,
+            "eth_chainId": self._eth_chain_id,
+            "eth_getTransactionByHash": self._eth_get_transaction,
+            "web3_clientVersion": self._client_version,
+        }
+
+    def _eth_get_code(self, params: list[Any]) -> str:
+        if not params:
+            raise ValueError("eth_getCode requires [address, block]")
+        address = params[0]
+        code = self._chain.get_code(address)
+        return "0x" + code.hex()
+
+    def _eth_block_number(self, params: list[Any]) -> str:
+        return hex(self._chain.head_block)
+
+    def _eth_chain_id(self, params: list[Any]) -> str:
+        return hex(self._chain_id)
+
+    def _eth_get_transaction(self, params: list[Any]) -> dict[str, Any] | None:
+        if not params:
+            raise ValueError("eth_getTransactionByHash requires [hash]")
+        try:
+            transaction = self._chain.get_transaction(params[0])
+        except ChainError:
+            return None
+        return {
+            "hash": transaction.tx_hash,
+            "from": transaction.sender,
+            "to": None,
+            "creates": transaction.contract_address,
+            "blockNumber": hex(transaction.block_number),
+        }
+
+    def _client_version(self, params: list[Any]) -> str:
+        return self.CLIENT_VERSION
+
+    @staticmethod
+    def _error(request_id: Any, code: int, message: str) -> str:
+        return json.dumps(
+            {
+                "jsonrpc": "2.0",
+                "id": request_id,
+                "error": {"code": code, "message": message},
+            }
+        )
+
+
+class JsonRpcClient:
+    """Typed wrappers over a :class:`JsonRpcServer` (or compatible handler).
+
+    ``transport`` is any callable mapping a request string to a response
+    string, so tests can interpose fault injection.
+    """
+
+    def __init__(self, server: JsonRpcServer | None = None, transport=None):
+        if (server is None) == (transport is None):
+            raise ValueError("provide exactly one of server / transport")
+        self._transport = transport or server.handle
+        self._next_id = 0
+
+    def call(self, method: str, params: list[Any] | None = None) -> Any:
+        """Issue one JSON-RPC call, returning the decoded ``result``."""
+        self._next_id += 1
+        request = json.dumps(
+            {
+                "jsonrpc": "2.0",
+                "id": self._next_id,
+                "method": method,
+                "params": params or [],
+            }
+        )
+        response = json.loads(self._transport(request))
+        if "error" in response:
+            error = response["error"]
+            raise JsonRpcError(error.get("code", 0), error.get("message", ""))
+        return response.get("result")
+
+    # Convenience wrappers ------------------------------------------------ #
+
+    def get_code(self, address: str, block: str = "latest") -> bytes:
+        result = self.call("eth_getCode", [address, block])
+        return bytes.fromhex(result[2:])
+
+    def block_number(self) -> int:
+        return int(self.call("eth_blockNumber"), 16)
+
+    def chain_id(self) -> int:
+        return int(self.call("eth_chainId"), 16)
+
+    def client_version(self) -> str:
+        return self.call("web3_clientVersion")
+
+    def get_transaction(self, tx_hash: str) -> dict[str, Any] | None:
+        return self.call("eth_getTransactionByHash", [tx_hash])

@@ -1,0 +1,104 @@
+"""The study window: October 2023 – October 2024 (13 months).
+
+The paper limits its BigQuery search to contracts deployed in this window
+(§III, Fig. 2). This module maps between month indices (0 = 2023-10,
+12 = 2024-10), human labels and unix timestamps, and approximates block
+numbers at Ethereum's ~12s slot cadence from the Shanghai anchor block.
+"""
+
+from __future__ import annotations
+
+import calendar
+import datetime
+
+__all__ = [
+    "MONTHS",
+    "N_MONTHS",
+    "month_label",
+    "month_index",
+    "month_to_timestamp",
+    "timestamp_to_month",
+    "timestamp_in_month",
+    "block_number_at",
+]
+
+#: First month of the study window.
+_START_YEAR, _START_MONTH = 2023, 10
+
+#: Number of months in the window (2023-10 .. 2024-10 inclusive).
+N_MONTHS = 13
+
+#: Anchor: the paper pins "Ethereum starting from the Shanghai update at
+#: block 17034870" (§II). Shanghai activated 2023-04-12T22:27:35Z.
+_SHANGHAI_BLOCK = 17_034_870
+_SHANGHAI_TIMESTAMP = 1_681_338_455
+_SECONDS_PER_BLOCK = 12
+
+
+def _year_month(index: int) -> tuple[int, int]:
+    if not 0 <= index < N_MONTHS:
+        raise ValueError(f"month index {index} outside study window [0, {N_MONTHS})")
+    total = (_START_YEAR * 12 + _START_MONTH - 1) + index
+    return total // 12, total % 12 + 1
+
+
+def month_label(index: int) -> str:
+    """Human label for a month index, e.g. ``month_label(0) == "2023-10"``."""
+    year, month = _year_month(index)
+    return f"{year:04d}-{month:02d}"
+
+
+#: Ordered labels of the 13 study months.
+MONTHS = tuple(month_label(i) for i in range(N_MONTHS))
+
+
+def month_index(label: str) -> int:
+    """Inverse of :func:`month_label`."""
+    try:
+        return MONTHS.index(label)
+    except ValueError:
+        raise ValueError(f"{label!r} not in study window {MONTHS[0]}..{MONTHS[-1]}")
+
+
+def month_to_timestamp(index: int, fraction: float = 0.0) -> int:
+    """Unix timestamp ``fraction`` of the way through month ``index``."""
+    if not 0.0 <= fraction < 1.0 + 1e-9:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    year, month = _year_month(index)
+    start = datetime.datetime(year, month, 1, tzinfo=datetime.timezone.utc)
+    days = calendar.monthrange(year, month)[1]
+    seconds = min(fraction, 1.0) * days * 86400
+    return int(start.timestamp() + seconds)
+
+
+def timestamp_to_month(timestamp: int) -> int:
+    """Month index containing ``timestamp``.
+
+    Raises:
+        ValueError: If the timestamp falls outside the study window.
+    """
+    moment = datetime.datetime.fromtimestamp(timestamp, tz=datetime.timezone.utc)
+    index = (moment.year * 12 + moment.month - 1) - (
+        _START_YEAR * 12 + _START_MONTH - 1
+    )
+    if not 0 <= index < N_MONTHS:
+        raise ValueError(
+            f"timestamp {timestamp} ({moment:%Y-%m}) outside study window"
+        )
+    return index
+
+
+def timestamp_in_month(timestamp: int) -> bool:
+    """True when ``timestamp`` lies inside the study window."""
+    try:
+        timestamp_to_month(timestamp)
+    except ValueError:
+        return False
+    return True
+
+
+def block_number_at(timestamp: int) -> int:
+    """Approximate mainnet block height at ``timestamp`` (~12 s slots)."""
+    if timestamp < _SHANGHAI_TIMESTAMP:
+        raise ValueError("timestamp precedes the Shanghai update")
+    return _SHANGHAI_BLOCK + (timestamp - _SHANGHAI_TIMESTAMP) // _SECONDS_PER_BLOCK

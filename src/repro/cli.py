@@ -1,0 +1,224 @@
+"""Command-line interface: ``phishinghook <command>``.
+
+Commands:
+
+* ``demo`` — build a synthetic corpus, run a reduced Table II evaluation
+  and print the results table,
+* ``scan`` — classify one contract address on a fresh simulated chain,
+* ``disasm`` — disassemble a hex bytecode string to the BDM's CSV rows,
+* ``dataset`` — build a corpus and print Fig. 2-style monthly counts,
+* ``attack`` — demonstrate the benign-mimicry evasion sweep against a
+  clean-trained Random Forest (extension; see ``repro.robustness``),
+* ``calibrate`` — measure a model's probability calibration (ECE/Brier)
+  and the repair from temperature scaling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.chain.timeline import MONTHS
+from repro.core.pipeline import PhishingHook, PipelineConfig
+from repro.datagen.corpus import CorpusConfig, build_corpus
+from repro.evm.disassembler import Disassembler
+
+__all__ = ["main"]
+
+
+def _cmd_demo(args) -> int:
+    corpus = build_corpus(
+        CorpusConfig(
+            n_phishing=args.contracts // 2,
+            n_benign=args.contracts // 2,
+            seed=args.seed,
+        )
+    )
+    hook = PhishingHook(
+        corpus,
+        PipelineConfig(
+            model_names=tuple(args.models.split(",")),
+            n_folds=args.folds,
+            seed=args.seed,
+            run_post_hoc=False,
+        ),
+    )
+    outcome = hook.run()
+    print(outcome.evaluation.table())
+    return 0
+
+
+def _cmd_scan(args) -> int:
+    corpus = build_corpus(
+        CorpusConfig(n_phishing=args.contracts // 2,
+                     n_benign=args.contracts // 2, seed=args.seed)
+    )
+    hook = PhishingHook(corpus, PipelineConfig(run_post_hoc=False))
+    address = args.address
+    if address == "random-phishing":
+        address = corpus.phishing_records()[0].address
+    flagged, probability = hook.classify_address(address, args.model)
+    verdict = "PHISHING" if flagged else "benign"
+    print(f"{address}: {verdict} (p={probability:.3f}, model={args.model})")
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    print(Disassembler(args.bytecode).to_csv(), end="")
+    return 0
+
+
+def _cmd_dataset(args) -> int:
+    corpus = build_corpus(
+        CorpusConfig(n_phishing=args.contracts // 2,
+                     n_benign=args.contracts // 2, seed=args.seed)
+    )
+    obtained = corpus.monthly_counts(label=1)
+    unique = corpus.monthly_counts(label=1, unique=True)
+    print(f"{'Month':8s} {'Obtained':>9s} {'Unique':>7s}")
+    for label, got, uniq in zip(MONTHS, obtained, unique):
+        print(f"{label:8s} {got:9d} {uniq:7d}")
+    print(f"{'total':8s} {obtained.sum():9d} {unique.sum():7d}")
+    return 0
+
+
+def _train_test_from_args(args):
+    from repro.datagen.dataset import Dataset
+
+    corpus = build_corpus(
+        CorpusConfig(n_phishing=args.contracts // 2,
+                     n_benign=args.contracts // 2, seed=args.seed)
+    )
+    dataset = Dataset.from_corpus(corpus, seed=args.seed)
+    return dataset.train_test_split(0.3, seed=args.seed)
+
+
+def _cmd_attack(args) -> int:
+    from repro.models.hsc import HSCDetector
+    from repro.robustness import (
+        evaluate_under_attack,
+        mimicry_padding,
+        opcode_byte_distribution,
+    )
+
+    train, test = _train_test_from_args(args)
+    benign_codes = [
+        code for code, label in zip(train.bytecodes, train.labels)
+        if label == 0
+    ]
+    distribution = opcode_byte_distribution(benign_codes)
+
+    def attack(bytecode, rng, strength):
+        return mimicry_padding(
+            bytecode, rng, int(strength * len(bytecode)), distribution
+        )
+
+    detector = HSCDetector(variant="Random Forest", seed=args.seed)
+    sweep = evaluate_under_attack(
+        detector,
+        train.bytecodes, train.labels,
+        test.bytecodes, test.labels,
+        attack,
+        strengths=[float(s) for s in args.strengths.split(",")],
+        attack_name="benign-mimicry",
+        seed=args.seed,
+    )
+    print(sweep.table())
+    print(f"recall lost at max strength: {sweep.recall_drop():.3f}")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.analysis.calibration import (
+        TemperatureScaler,
+        brier_score,
+        expected_calibration_error,
+    )
+    from repro.core.registry import create_model
+
+    train, test = _train_test_from_args(args)
+    detector = create_model(args.model, seed=args.seed)
+    detector.fit(train.bytecodes, np.asarray(train.labels))
+    probabilities = detector.predict_proba(test.bytecodes)[:, 1]
+    labels = np.asarray(test.labels)
+
+    # Calibrate on half the test split, report on the other half.
+    half = labels.size // 2
+    scaler = TemperatureScaler().fit(probabilities[:half], labels[:half])
+    raw, scaled = probabilities[half:], scaler.transform(probabilities[half:])
+    held = labels[half:]
+
+    print(f"{args.model}: temperature = {scaler.temperature_:.3f}")
+    print(f"{'':14s} {'ECE':>7s} {'Brier':>7s}")
+    print(f"{'raw':14s} {expected_calibration_error(held, raw):7.4f} "
+          f"{brier_score(held, raw):7.4f}")
+    print(f"{'temperature':14s} "
+          f"{expected_calibration_error(held, scaled):7.4f} "
+          f"{brier_score(held, scaled):7.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="phishinghook",
+        description="PhishingHook: opcode-based phishing detection "
+                    "(DSN 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a reduced Table II evaluation")
+    demo.add_argument("--contracts", type=int, default=200)
+    demo.add_argument("--folds", type=int, default=3)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--models", default="Random Forest,k-NN,Logistic Regression",
+        help="comma-separated Table II model names",
+    )
+    demo.set_defaults(func=_cmd_demo)
+
+    scan = sub.add_parser("scan", help="classify one contract address")
+    scan.add_argument("address", help="0x… address, or 'random-phishing'")
+    scan.add_argument("--model", default="Random Forest")
+    scan.add_argument("--contracts", type=int, default=200)
+    scan.add_argument("--seed", type=int, default=0)
+    scan.set_defaults(func=_cmd_scan)
+
+    disasm = sub.add_parser("disasm", help="disassemble hex bytecode to CSV")
+    disasm.add_argument("bytecode", help="hex string, 0x prefix optional")
+    disasm.set_defaults(func=_cmd_disasm)
+
+    dataset = sub.add_parser("dataset", help="print Fig. 2 monthly counts")
+    dataset.add_argument("--contracts", type=int, default=200)
+    dataset.add_argument("--seed", type=int, default=0)
+    dataset.set_defaults(func=_cmd_dataset)
+
+    attack = sub.add_parser(
+        "attack", help="benign-mimicry evasion sweep against Random Forest"
+    )
+    attack.add_argument("--contracts", type=int, default=200)
+    attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument(
+        "--strengths", default="0,0.5,1,2",
+        help="comma-separated padding strengths (x contract length)",
+    )
+    attack.set_defaults(func=_cmd_attack)
+
+    calibrate = sub.add_parser(
+        "calibrate", help="probability calibration report for one model"
+    )
+    calibrate.add_argument("--model", default="Random Forest")
+    calibrate.add_argument("--contracts", type=int, default=200)
+    calibrate.add_argument("--seed", type=int, default=0)
+    calibrate.set_defaults(func=_cmd_calibrate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

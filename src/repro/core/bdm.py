@@ -1,0 +1,69 @@
+"""Bytecode Disassembler Module (BDM) — Fig. 1 steps ➎–➏.
+
+Disassembles extracted bytecode into (mnemonic, operand, gas) triples and
+persists them as the CSV files the feature extractors consume. The heavy
+lifting lives in :mod:`repro.evm.disassembler`; this module adds the
+batch/file layer of the framework.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.evm.disassembler import Disassembler
+from repro.evm.instruction import Instruction
+
+__all__ = ["BytecodeDisassemblerModule"]
+
+
+class BytecodeDisassemblerModule:
+    """Batch disassembly with optional CSV persistence.
+
+    Args:
+        output_dir: When given, :meth:`disassemble_to_csv` writes one
+            ``<address>.csv`` per contract there.
+    """
+
+    def __init__(self, output_dir: str | pathlib.Path | None = None):
+        self.output_dir = pathlib.Path(output_dir) if output_dir else None
+
+    def disassemble(self, bytecode: bytes | str) -> list[Instruction]:
+        """One contract's instruction list."""
+        return Disassembler(bytecode).disassemble()
+
+    def triples(self, bytecode: bytes | str) -> list[tuple[str, str, float]]:
+        """The paper's (mnemonic, operand, gas) rows for one contract."""
+        return [i.as_triple() for i in self.disassemble(bytecode)]
+
+    def disassemble_batch(
+        self, bytecodes: list[bytes]
+    ) -> list[list[Instruction]]:
+        return [self.disassemble(code) for code in bytecodes]
+
+    def disassemble_to_csv(self, address: str, bytecode: bytes) -> pathlib.Path:
+        """Write one contract's disassembly CSV; returns the file path."""
+        if self.output_dir is None:
+            raise RuntimeError("BDM was constructed without an output_dir")
+        self.output_dir.mkdir(parents=True, exist_ok=True)
+        path = self.output_dir / f"{address.lower()}.csv"
+        path.write_text(Disassembler(bytecode).to_csv())
+        return path
+
+    def opcode_usage(self, bytecodes: list[bytes]) -> dict[str, list[int]]:
+        """Per-contract usage counts per mnemonic (feeds Fig. 3).
+
+        Returns mnemonic → list of per-contract counts (zeros included),
+        so downstream code can draw usage distributions per opcode.
+        """
+        per_contract: list[dict[str, int]] = []
+        mnemonics: set[str] = set()
+        for bytecode in bytecodes:
+            counts: dict[str, int] = {}
+            for instruction in Disassembler(bytecode).instructions():
+                counts[instruction.mnemonic] = counts.get(instruction.mnemonic, 0) + 1
+            per_contract.append(counts)
+            mnemonics.update(counts)
+        return {
+            name: [counts.get(name, 0) for counts in per_contract]
+            for name in sorted(mnemonics)
+        }

@@ -1,0 +1,141 @@
+"""Live detection — the paper's §VII future work, implemented.
+
+"While the scope of PhishingHook is to detect phishing smart contracts
+before they are deployed, we consider live detection an interesting future
+work." This module provides that deployment mode: a
+:class:`LiveDetector` watches a chain for new contract deployments, scores
+each one as it lands, and raises alerts above a confidence threshold —
+with the per-scan latency accounting §IV-F motivates (wallet users sign
+within seconds).
+
+The monitor is poll-based over the simulated ledger (block-height cursor),
+matching how production watchers tail JSON-RPC nodes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.chain.blockchain import Blockchain
+from repro.models.detector import PhishingDetector
+
+__all__ = ["Alert", "LiveDetector", "MonitorStats"]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One flagged deployment."""
+
+    address: str
+    probability: float
+    block_number: int
+    timestamp: int
+    latency_seconds: float
+
+
+@dataclass
+class MonitorStats:
+    """Aggregate accounting for a monitoring session."""
+
+    scanned: int = 0
+    flagged: int = 0
+    skipped_empty: int = 0
+    total_latency_seconds: float = 0.0
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        return self.total_latency_seconds / self.scanned if self.scanned else 0.0
+
+
+class LiveDetector:
+    """Score new deployments as they appear on a chain.
+
+    Args:
+        chain: The ledger to watch.
+        model: A *fitted* detector (training happens offline, ahead of
+            monitoring — the latency budget covers scoring only).
+        threshold: Alert when P(phishing) ≥ threshold.
+        on_alert: Optional callback invoked with each :class:`Alert`.
+    """
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        model: PhishingDetector,
+        threshold: float = 0.5,
+        on_alert=None,
+    ):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self.chain = chain
+        self.model = model
+        self.threshold = threshold
+        self.on_alert = on_alert
+        self.stats = MonitorStats()
+        self._seen: set[str] = set()
+        self.alerts: list[Alert] = []
+
+    def mark_existing_as_seen(self) -> int:
+        """Skip contracts already deployed; monitor only the future."""
+        existing = {account.address for account in self.chain.accounts()}
+        self._seen |= existing
+        return len(existing)
+
+    def poll(self) -> list[Alert]:
+        """Scan all unseen deployments; returns new alerts (oldest first)."""
+        new_alerts: list[Alert] = []
+        for account in self.chain.accounts():
+            if account.address in self._seen:
+                continue
+            self._seen.add(account.address)
+            if not account.code:
+                self.stats.skipped_empty += 1
+                continue
+            started = time.perf_counter()
+            probability = float(
+                self.model.predict_proba([account.code])[0, 1]
+            )
+            latency = time.perf_counter() - started
+            self.stats.scanned += 1
+            self.stats.total_latency_seconds += latency
+            if probability >= self.threshold:
+                transaction = next(
+                    (
+                        t for t in self.chain.transactions()
+                        if t.contract_address == account.address
+                    ),
+                    None,
+                )
+                alert = Alert(
+                    address=account.address,
+                    probability=probability,
+                    block_number=(
+                        transaction.block_number if transaction else 0
+                    ),
+                    timestamp=account.deployed_at,
+                    latency_seconds=latency,
+                )
+                new_alerts.append(alert)
+                self.alerts.append(alert)
+                self.stats.flagged += 1
+                if self.on_alert is not None:
+                    self.on_alert(alert)
+        return new_alerts
+
+    def precision_against(self, ground_truth: set[str]) -> float:
+        """Alert precision given the true phishing address set."""
+        if not self.alerts:
+            return 0.0
+        hits = sum(1 for alert in self.alerts if alert.address in ground_truth)
+        return hits / len(self.alerts)
+
+    def recall_against(self, ground_truth: set[str]) -> float:
+        """Alert recall over the scanned portion of the ground truth."""
+        scanned_truth = ground_truth & self._seen
+        if not scanned_truth:
+            return 0.0
+        hits = sum(
+            1 for alert in self.alerts if alert.address in scanned_truth
+        )
+        return hits / len(scanned_truth)

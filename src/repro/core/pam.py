@@ -1,0 +1,137 @@
+"""Post-hoc Analysis Module (PAM) — Fig. 1 step ➑, §IV-E.
+
+Statistical validation of the MEM results, exactly as the paper's R
+scripts proceed:
+
+1. Shapiro–Wilk normality on every (model, metric) distribution — the
+   parametric-vs-nonparametric fork;
+2. Kruskal–Wallis per metric across models, with Holm–Bonferroni
+   adjustment across the four metrics (Table III);
+3. Dunn's pairwise tests with Holm correction to locate the diverging
+   model pairs (Fig. 4), plus the within- vs cross-category significance
+   ratios the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.bootstrap import BootstrapInterval, bootstrap_ci
+from repro.analysis.stats import (
+    PairwiseResult,
+    TestResult,
+    dunn_test,
+    holm_bonferroni,
+    kruskal_wallis,
+    shapiro_wilk,
+)
+from repro.core.mem import EvaluationResult
+from repro.core.registry import category_of
+
+__all__ = ["PostHocAnalysisModule", "PostHocReport"]
+
+METRICS = ("accuracy", "f1", "precision", "recall")
+
+
+@dataclass
+class PostHocReport:
+    """Everything §IV-E reports."""
+
+    normality: dict[tuple[str, str], TestResult] = field(default_factory=dict)
+    normality_violations: int = 0
+    kruskal: dict[str, TestResult] = field(default_factory=dict)
+    kruskal_adjusted_p: dict[str, float] = field(default_factory=dict)
+    dunn: dict[str, list[PairwiseResult]] = field(default_factory=dict)
+    intervals: dict[tuple[str, str], BootstrapInterval] = field(
+        default_factory=dict
+    )
+
+    def significant_pair_fraction(self, metric: str) -> float:
+        """Fraction of model pairs with a significant Dunn difference."""
+        results = self.dunn[metric]
+        return float(np.mean([r.significant() for r in results]))
+
+    def pair_fraction_by_category(
+        self, metric: str, same_category: bool
+    ) -> float:
+        """Significant fraction among same- or cross-category pairs."""
+        results = [
+            r for r in self.dunn[metric]
+            if (category_of(r.group_a) == category_of(r.group_b))
+            == same_category
+        ]
+        if not results:
+            return float("nan")
+        return float(np.mean([r.significant() for r in results]))
+
+    def table3(self) -> str:
+        """Render the Table III layout."""
+        lines = [f"{'Metric':10s} {'H':>10s} {'p':>12s} {'p_adj':>12s}"]
+        for metric in METRICS:
+            test = self.kruskal[metric]
+            lines.append(
+                f"{metric:10s} {test.statistic:10.2f} "
+                f"{test.p_value:12.3e} {self.kruskal_adjusted_p[metric]:12.3e}"
+            )
+        return "\n".join(lines)
+
+
+class PostHocAnalysisModule:
+    """Run the §IV-E battery over an :class:`EvaluationResult`.
+
+    Args:
+        exclude: Models dropped before the analysis. The paper excludes
+            ESCORT (ineffective on the task) and the β LM variants (worst
+            variant of each LM).
+    """
+
+    def __init__(self, exclude: tuple[str, ...] = ("ESCORT", "GPT-2β", "T5β")):
+        self.exclude = tuple(exclude)
+
+    def analyze(self, evaluation: EvaluationResult) -> PostHocReport:
+        models = [m for m in evaluation.models() if m not in self.exclude]
+        if len(models) < 2:
+            raise ValueError("post-hoc analysis needs at least two models")
+        report = PostHocReport()
+
+        for model in models:
+            for metric in METRICS:
+                values = evaluation.metric_values(model, metric)
+                try:
+                    result = shapiro_wilk(values)
+                except ValueError:
+                    # Degenerate (constant) metric distribution: counts as
+                    # a normality violation, like a hard rejection.
+                    result = TestResult(
+                        statistic=float("nan"), p_value=0.0, name="shapiro-wilk"
+                    )
+                report.normality[(model, metric)] = result
+                if result.p_value < 0.05:
+                    report.normality_violations += 1
+
+        raw_p = []
+        for metric in METRICS:
+            groups = [evaluation.metric_values(m, metric) for m in models]
+            test = kruskal_wallis(groups)
+            report.kruskal[metric] = test
+            raw_p.append(test.p_value)
+        adjusted = holm_bonferroni(raw_p)
+        report.kruskal_adjusted_p = dict(zip(METRICS, adjusted))
+
+        for metric in METRICS:
+            groups = {
+                m: evaluation.metric_values(m, metric) for m in models
+            }
+            report.dunn[metric] = dunn_test(groups, adjust=True)
+
+        # Per-(model, metric) bootstrap CIs — the "generalize from n to N"
+        # quantification (§V); BCa corrects per-fold skew.
+        for model in models:
+            for metric in METRICS:
+                values = evaluation.metric_values(model, metric)
+                report.intervals[(model, metric)] = bootstrap_ci(
+                    values, n_resamples=500, seed=0
+                )
+        return report

@@ -1,0 +1,133 @@
+"""The 16-model registry behind Table II.
+
+``create_model(name, seed)`` instantiates any Table II row with the
+hyperparameters used throughout the evaluation. CPU-scale knobs come from
+environment variables so paper-scale runs are the same code with bigger
+numbers (see "Scale knobs" in DESIGN.md):
+
+* ``PHOOK_IMAGE_SIZE`` — vision input side (default 16),
+* ``PHOOK_EPOCHS`` — deep-model epoch budget multiplier base,
+* ``PHOOK_SEQ_LEN`` — LM token limit (default 96).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.models import (
+    ESCORTClassifier,
+    EcaEfficientNetClassifier,
+    GPT2Classifier,
+    HSCDetector,
+    SCSGuardClassifier,
+    T5Classifier,
+    ViTClassifier,
+)
+from repro.models.detector import PhishingDetector
+from repro.models.hsc import HSC_VARIANTS
+
+__all__ = ["MODEL_NAMES", "MODEL_CATEGORIES", "create_model", "category_of"]
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+def _image_size() -> int:
+    return _env_int("PHOOK_IMAGE_SIZE", 16)
+
+
+def _epochs(default: int) -> int:
+    base = _env_int("PHOOK_EPOCHS", 0)
+    return base if base > 0 else default
+
+
+def _seq_len() -> int:
+    return _env_int("PHOOK_SEQ_LEN", 96)
+
+
+_FACTORIES: dict[str, callable] = {
+    **{
+        name: (lambda seed, n=name: HSCDetector(variant=n, seed=seed))
+        for name in HSC_VARIANTS
+    },
+    "ViT+R2D2": lambda seed: ViTClassifier(
+        encoding="r2d2", image_size=_image_size(), epochs=_epochs(30), seed=seed
+    ),
+    "ViT+Freq": lambda seed: ViTClassifier(
+        encoding="freq", image_size=_image_size(), epochs=_epochs(30), seed=seed
+    ),
+    "ECA+EfficientNet": lambda seed: EcaEfficientNetClassifier(
+        image_size=_image_size(), epochs=_epochs(25), seed=seed
+    ),
+    "SCSGuard": lambda seed: SCSGuardClassifier(
+        epochs=_epochs(8), seed=seed
+    ),
+    "GPT-2α": lambda seed: GPT2Classifier(
+        variant="alpha", max_length=_seq_len(), epochs=_epochs(12), dim=48,
+        seed=seed,
+    ),
+    "GPT-2β": lambda seed: GPT2Classifier(
+        variant="beta", max_length=_seq_len(), epochs=_epochs(6), dim=48,
+        seed=seed,
+    ),
+    "T5α": lambda seed: T5Classifier(
+        variant="alpha", max_length=_seq_len(), epochs=_epochs(8), dim=48,
+        seed=seed,
+    ),
+    "T5β": lambda seed: T5Classifier(
+        variant="beta", max_length=_seq_len(), epochs=_epochs(6), dim=48,
+        seed=seed,
+    ),
+    "ESCORT": lambda seed: ESCORTClassifier(seed=seed),
+}
+
+#: The 16 Table II rows, in the paper's order.
+MODEL_NAMES: tuple[str, ...] = (
+    "Random Forest",
+    "k-NN",
+    "SVM",
+    "Logistic Regression",
+    "XGBoost",
+    "LightGBM",
+    "CatBoost",
+    "ECA+EfficientNet",
+    "ViT+R2D2",
+    "ViT+Freq",
+    "SCSGuard",
+    "GPT-2α",
+    "T5α",
+    "GPT-2β",
+    "T5β",
+    "ESCORT",
+)
+
+MODEL_CATEGORIES: dict[str, str] = {
+    **{name: "HSC" for name in HSC_VARIANTS},
+    "ECA+EfficientNet": "VM",
+    "ViT+R2D2": "VM",
+    "ViT+Freq": "VM",
+    "SCSGuard": "LM",
+    "GPT-2α": "LM",
+    "GPT-2β": "LM",
+    "T5α": "LM",
+    "T5β": "LM",
+    "ESCORT": "VDM",
+}
+
+
+def create_model(name: str, seed: int = 0) -> PhishingDetector:
+    """Instantiate a Table II model by display name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; choose from {sorted(_FACTORIES)}"
+        )
+    return factory(seed)
+
+
+def category_of(name: str) -> str:
+    """Model category ("HSC"/"VM"/"LM"/"VDM") for a Table II row."""
+    return MODEL_CATEGORIES[name]

@@ -1,0 +1,187 @@
+"""Hyperparameter search — the Optuna substitute (§IV-C, substitution S6).
+
+Optuna's define-by-run API is mirrored at small scale: an objective
+receives a :class:`Trial` and asks it for parameter values
+(``trial.suggest_float`` …); :class:`GridSearch` enumerates a grid while
+:class:`RandomSearch` samples the space. The paper's protocol — "grid
+search over an arbitrary search space … using 10-fold cross-validation" —
+is provided by :func:`cross_validated_objective`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datagen.dataset import Dataset
+from repro.ml.metrics import accuracy_score
+
+__all__ = [
+    "SearchSpace",
+    "Trial",
+    "GridSearch",
+    "RandomSearch",
+    "cross_validated_objective",
+]
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Declarative parameter space.
+
+    Attributes:
+        categorical: name → tuple of choices.
+        uniform: name → (low, high) continuous range.
+        log_uniform: name → (low, high) positive range sampled in log space.
+        integer: name → (low, high) inclusive integer range.
+    """
+
+    categorical: dict = field(default_factory=dict)
+    uniform: dict = field(default_factory=dict)
+    log_uniform: dict = field(default_factory=dict)
+    integer: dict = field(default_factory=dict)
+
+    def names(self) -> list[str]:
+        return (
+            list(self.categorical) + list(self.uniform)
+            + list(self.log_uniform) + list(self.integer)
+        )
+
+
+class Trial:
+    """One parameter assignment handed to the objective."""
+
+    def __init__(self, params: dict):
+        self.params = dict(params)
+
+    def suggest_categorical(self, name: str, choices):
+        value = self.params[name]
+        if value not in choices:
+            raise ValueError(f"{name}={value!r} not in {choices}")
+        return value
+
+    def suggest_float(self, name: str, low: float, high: float):
+        return float(self.params[name])
+
+    def suggest_int(self, name: str, low: int, high: int):
+        return int(self.params[name])
+
+
+@dataclass
+class SearchResult:
+    best_params: dict
+    best_value: float
+    trials: list[tuple[dict, float]] = field(default_factory=list)
+
+
+class GridSearch:
+    """Exhaustive search over the categorical/integer grid.
+
+    Continuous dimensions are discretized into ``resolution`` points.
+    """
+
+    def __init__(self, space: SearchSpace, resolution: int = 3):
+        self.space = space
+        self.resolution = resolution
+
+    def _axes(self) -> dict[str, list]:
+        axes: dict[str, list] = {}
+        for name, choices in self.space.categorical.items():
+            axes[name] = list(choices)
+        for name, (low, high) in self.space.integer.items():
+            count = min(self.resolution, high - low + 1)
+            axes[name] = sorted(
+                {int(round(v)) for v in np.linspace(low, high, count)}
+            )
+        for name, (low, high) in self.space.uniform.items():
+            axes[name] = list(np.linspace(low, high, self.resolution))
+        for name, (low, high) in self.space.log_uniform.items():
+            axes[name] = list(
+                np.exp(np.linspace(np.log(low), np.log(high), self.resolution))
+            )
+        return axes
+
+    def optimize(self, objective) -> SearchResult:
+        axes = self._axes()
+        if not axes:
+            raise ValueError("empty search space")
+        names = list(axes)
+        best_params: dict | None = None
+        best_value = -np.inf
+        trials = []
+        for combo in itertools.product(*axes.values()):
+            params = dict(zip(names, combo))
+            value = float(objective(Trial(params)))
+            trials.append((params, value))
+            if value > best_value:
+                best_value, best_params = value, params
+        if best_params is None:
+            raise ValueError("empty search space")
+        return SearchResult(best_params, best_value, trials)
+
+
+class RandomSearch:
+    """Uniform random sampling of the space (Optuna's fallback sampler)."""
+
+    def __init__(self, space: SearchSpace, n_trials: int = 20, seed: int = 0):
+        self.space = space
+        self.n_trials = n_trials
+        self.seed = seed
+
+    def _sample(self, rng: np.random.Generator) -> dict:
+        params: dict = {}
+        for name, choices in self.space.categorical.items():
+            params[name] = choices[int(rng.integers(0, len(choices)))]
+        for name, (low, high) in self.space.integer.items():
+            params[name] = int(rng.integers(low, high + 1))
+        for name, (low, high) in self.space.uniform.items():
+            params[name] = float(rng.uniform(low, high))
+        for name, (low, high) in self.space.log_uniform.items():
+            params[name] = float(
+                np.exp(rng.uniform(np.log(low), np.log(high)))
+            )
+        return params
+
+    def optimize(self, objective) -> SearchResult:
+        if not self.space.names():
+            raise ValueError("empty search space")
+        rng = np.random.default_rng(self.seed)
+        best_params: dict | None = None
+        best_value = -np.inf
+        trials = []
+        for __ in range(self.n_trials):
+            params = self._sample(rng)
+            value = float(objective(Trial(params)))
+            trials.append((params, value))
+            if value > best_value:
+                best_value, best_params = value, params
+        return SearchResult(best_params, best_value, trials)
+
+
+def cross_validated_objective(
+    dataset: Dataset,
+    build_model,
+    n_folds: int = 10,
+    seed: int = 0,
+):
+    """Objective factory: mean k-fold accuracy of ``build_model(trial)``.
+
+    ``build_model`` receives a :class:`Trial` and returns an unfitted
+    detector exposing ``fit(bytecodes, labels)`` / ``predict(bytecodes)``.
+    """
+    folds = dataset.stratified_kfold(n_folds, seed=seed)
+
+    def objective(trial: Trial) -> float:
+        scores = []
+        for train_idx, test_idx in folds:
+            train, test = dataset.subset(train_idx), dataset.subset(test_idx)
+            model = build_model(trial)
+            model.fit(train.bytecodes, train.labels)
+            scores.append(
+                accuracy_score(test.labels, model.predict(test.bytecodes))
+            )
+        return float(np.mean(scores))
+
+    return objective

@@ -1,0 +1,274 @@
+"""Benign contract families.
+
+Eight families spanning the contract types that dominate real Ethereum
+deployments. Two of them are deliberately *gray*: the payment splitter
+sweeps its own balance outward and the airdrop distributor exposes
+``claim()``-style entry points — behaviours phishing families also exhibit —
+so the class boundary is genuinely fuzzy, as in the wild.
+"""
+
+from repro.datagen.families import BENIGN, FamilySpec, register_family
+
+__all__ = ["BENIGN_FAMILIES"]
+
+ERC20_TOKEN = register_family(
+    FamilySpec(
+        name="erc20_token",
+        label=BENIGN,
+        selectors=(
+            "transfer(address,uint256)",
+            "transferFrom(address,address,uint256)",
+            "approve(address,uint256)",
+            "balanceOf(address)",
+            "allowance(address,address)",
+            "totalSupply()",
+            "mint(address,uint256)",
+        ),
+        weights={
+            "mapping_update": 3.0,
+            "mapping_read": 2.0,
+            "require_caller": 2.0,
+            "gas_guard": 1.5,
+            "safe_math": 2.0,
+            "emit_transfer": 2.0,
+            "emit_approval": 1.2,
+            "counter_increment": 1.0,
+            "store_const": 1.0,
+            "arith_mix": 1.0,
+            "bit_pack": 0.5,
+            "staticcall_view": 0.3,
+            "checked_call": 0.3,
+            "junk_pushpop": 0.8,
+            "calldata_arg": 1.0,
+        },
+        n_functions=(4, 7),
+        n_statements=(4, 9),
+        payable_probability=0.1,
+        fallback_reverts_probability=0.9,
+        proxy_probability=0.10,
+        popularity=2.5,
+    )
+)
+
+ERC721_NFT = register_family(
+    FamilySpec(
+        name="erc721_nft",
+        label=BENIGN,
+        selectors=(
+            "ownerOf(uint256)",
+            "safeTransferFrom(address,address,uint256)",
+            "approve(address,uint256)",
+            "balanceOf(address)",
+            "mint(address,uint256)",
+            "totalSupply()",
+        ),
+        weights={
+            "mapping_update": 2.5,
+            "mapping_read": 2.5,
+            "require_caller": 2.0,
+            "owner_check": 1.0,
+            "emit_transfer": 1.5,
+            "emit_approval": 1.0,
+            "safe_math": 1.0,
+            "counter_increment": 1.5,
+            "bit_pack": 1.0,
+            "gas_guard": 1.2,
+            "junk_dupswap": 0.8,
+            "calldata_arg": 1.2,
+        },
+        n_functions=(4, 6),
+        n_statements=(4, 8),
+        payable_probability=0.4,
+        proxy_probability=0.12,
+        popularity=1.5,
+    )
+)
+
+MULTISIG_WALLET = register_family(
+    FamilySpec(
+        name="multisig_wallet",
+        label=BENIGN,
+        selectors=(
+            "submitTransaction(address,uint256,bytes)",
+            "confirmTransaction(uint256)",
+            "execute(address,uint256,bytes)",
+            "withdraw()",
+            "deposit()",
+        ),
+        weights={
+            "owner_check": 2.0,
+            "counter_increment": 2.0,
+            "mapping_update": 1.5,
+            "checked_call": 2.0,
+            "external_call": 1.0,
+            "gas_guard": 2.0,
+            "calldata_arg": 1.5,
+            "bit_pack": 1.0,
+            "require_caller": 1.5,
+            "selfbalance_probe": 0.8,
+            "junk_pushpop": 0.5,
+        },
+        n_functions=(3, 5),
+        n_statements=(4, 9),
+        payable_probability=0.8,
+        fallback_reverts_probability=0.4,
+        proxy_probability=0.15,
+        popularity=1.0,
+    )
+)
+
+VESTING_ESCROW = register_family(
+    FamilySpec(
+        name="vesting_escrow",
+        label=BENIGN,
+        selectors=("release()", "withdraw()", "deposit()", "totalSupply()"),
+        weights={
+            "timestamp_guard": 3.0,
+            "counter_increment": 1.5,
+            "mapping_read": 1.0,
+            "external_call": 1.0,
+            "arith_mix": 2.0,
+            "gas_guard": 1.5,
+            "emit_transfer": 0.5,
+            "require_caller": 1.5,
+            "store_const": 1.0,
+            "safe_math": 1.0,
+        },
+        n_functions=(2, 4),
+        n_statements=(3, 7),
+        payable_probability=0.6,
+        proxy_probability=0.10,
+        popularity=0.8,
+    )
+)
+
+STAKING_POOL = register_family(
+    FamilySpec(
+        name="staking_pool",
+        label=BENIGN,
+        selectors=(
+            "stake(uint256)",
+            "unstake(uint256)",
+            "getReward()",
+            "deposit()",
+            "withdraw()",
+            "balanceOf(address)",
+        ),
+        weights={
+            "mapping_update": 2.5,
+            "timestamp_guard": 1.5,
+            "arith_mix": 2.0,
+            "safe_math": 1.5,
+            "emit_transfer": 1.0,
+            "external_call": 1.0,
+            "staticcall_view": 1.0,
+            "gas_guard": 1.5,
+            "selfbalance_probe": 1.0,
+            "require_caller": 1.2,
+            "junk_dupswap": 0.5,
+        },
+        n_functions=(3, 6),
+        n_statements=(4, 9),
+        payable_probability=0.7,
+        proxy_probability=0.14,
+        popularity=1.2,
+    )
+)
+
+DEX_PAIR = register_family(
+    FamilySpec(
+        name="dex_pair",
+        label=BENIGN,
+        selectors=(
+            "swap(uint256,uint256,address)",
+            "deposit()",
+            "withdraw()",
+            "totalSupply()",
+            "balanceOf(address)",
+        ),
+        weights={
+            "arith_mix": 3.0,
+            "safe_math": 2.0,
+            "staticcall_view": 1.5,
+            "mapping_update": 1.0,
+            "gas_guard": 1.5,
+            "checked_call": 1.5,
+            "bit_pack": 1.0,
+            "emit_transfer": 1.0,
+            "require_caller": 1.0,
+            "calldata_arg": 1.0,
+        },
+        n_functions=(3, 5),
+        n_statements=(5, 10),
+        payable_probability=0.5,
+        proxy_probability=0.12,
+        popularity=1.0,
+    )
+)
+
+PAYMENT_SPLITTER = register_family(
+    FamilySpec(
+        name="payment_splitter",
+        label=BENIGN,
+        selectors=("release()", "withdraw()", "claim()"),
+        weights={
+            # Gray family: legitimately sweeps its balance outward.
+            "sweep_balance": 1.5,
+            "selfbalance_probe": 2.0,
+            "arith_mix": 1.5,
+            "mapping_read": 1.0,
+            "counter_increment": 1.0,
+            "gas_guard": 1.0,
+            "emit_transfer": 0.5,
+            "require_caller": 1.0,
+            "external_call": 0.8,
+        },
+        n_functions=(2, 4),
+        n_statements=(3, 7),
+        payable_probability=0.9,
+        fallback_reverts_probability=0.2,
+        proxy_probability=0.15,
+        popularity=0.6,
+    )
+)
+
+AIRDROP_DISTRIBUTOR = register_family(
+    FamilySpec(
+        name="airdrop_distributor",
+        label=BENIGN,
+        selectors=(
+            "claim()",
+            "claimRewards()",
+            "airdrop(address[],uint256)",
+            "getReward()",
+        ),
+        weights={
+            # Gray family: claim()-style entry points like fake airdrops.
+            "mapping_update": 2.0,
+            "emit_transfer": 2.0,
+            "external_call": 1.5,
+            "require_caller": 1.5,
+            "gas_guard": 1.0,
+            "counter_increment": 1.0,
+            "timestamp_guard": 1.0,
+            "calldata_arg": 1.0,
+            "junk_pushpop": 0.5,
+        },
+        n_functions=(2, 4),
+        n_statements=(3, 8),
+        payable_probability=0.3,
+        proxy_probability=0.12,
+        popularity=0.7,
+    )
+)
+
+BENIGN_FAMILIES = (
+    ERC20_TOKEN,
+    ERC721_NFT,
+    MULTISIG_WALLET,
+    VESTING_ESCROW,
+    STAKING_POOL,
+    DEX_PAIR,
+    PAYMENT_SPLITTER,
+    AIRDROP_DISTRIBUTOR,
+)

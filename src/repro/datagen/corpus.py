@@ -1,0 +1,268 @@
+"""Corpus construction: populate a simulated chain with labeled contracts.
+
+Reproduces the paper's data-gathering outcome (§III, Fig. 2): a stream of
+phishing deployments following the observed monthly profile, massively
+duplicated by minimal-proxy cloning (17,455 obtained → 3,458 unique at
+paper scale), enriched with benign contracts. The builder deploys every
+contract on a :class:`~repro.chain.blockchain.Blockchain`, flags phishing
+addresses on the :class:`~repro.chain.explorer.Explorer`, and optionally
+validates that every unique bytecode executes to a clean halt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.explorer import Explorer
+from repro.chain.timeline import N_MONTHS, month_to_timestamp
+from repro.datagen import benign as _benign  # noqa: F401 - registers families
+from repro.datagen import phishing as _phishing  # noqa: F401 - registers families
+from repro.datagen.families import BENIGN, FAMILIES, PHISHING, generate_contract
+from repro.datagen.mutation import minimal_proxy
+from repro.datagen.solidity_like import Environment
+from repro.evm.machine import EVM, ExecutionContext, Halt
+
+__all__ = [
+    "PHISHING_MONTHLY_PROFILE",
+    "CorpusConfig",
+    "ContractRecord",
+    "Corpus",
+    "build_corpus",
+]
+
+#: Monthly counts of *obtained* phishing contracts, Oct 2023 – Oct 2024,
+#: shaped after Fig. 2 and summing to the paper's 17,455.
+PHISHING_MONTHLY_PROFILE = (
+    15, 150, 400, 900, 1500, 2200, 2500, 2300, 1900, 1400, 2200, 1500, 490
+)
+
+assert sum(PHISHING_MONTHLY_PROFILE) == 17_455
+assert len(PHISHING_MONTHLY_PROFILE) == N_MONTHS
+
+
+@dataclass(frozen=True)
+class ContractRecord:
+    """One deployed contract with its ground-truth metadata."""
+
+    address: str
+    bytecode: bytes
+    label: int                     # 0 benign, 1 phishing
+    family: str
+    month: int
+    timestamp: int
+    kind: str = "base"             # "base" | "proxy"
+    base_address: str | None = None
+    example_calldata: bytes = b""
+
+
+@dataclass
+class CorpusConfig:
+    """Knobs for corpus construction.
+
+    Attributes:
+        n_phishing: Target count of *unique* phishing bytecodes.
+        n_benign: Target count of *unique* benign bytecodes.
+        clone_factor: Mean minimal-proxy clones per proxied base
+            (Poisson); the default reproduces the paper's ≈5× obtained-to-
+            unique duplication.
+        seed: Master RNG seed.
+        benign_temporal_match: Deploy benign contracts following the
+            phishing monthly profile (used by the Fig. 8 dataset) instead
+            of uniformly.
+        validate: Execute every unique bytecode and require a clean halt.
+        attacker_pool_size: Number of distinct hot wallets phishing
+            campaigns share.
+        background_contracts: Extra unlabeled benign deployments that only
+            serve to make the BigQuery crawl realistic.
+        phishing_profile: Monthly deployment weights for phishing
+            contracts. ``None`` uses the Fig. 2 profile; ``"uniform"``
+            spreads deployments evenly — useful for the §IV-G second
+            dataset at reduced scale, where the Fig. 2 profile would leave
+            too few samples in the Oct–Jan training window.
+    """
+
+    n_phishing: int = 300
+    n_benign: int = 300
+    clone_factor: float = 30.0
+    seed: int = 7
+    benign_temporal_match: bool = False
+    validate: bool = True
+    attacker_pool_size: int = 24
+    token_pool_size: int = 32
+    background_contracts: int = 0
+    phishing_profile: tuple | str | None = None
+
+
+@dataclass
+class Corpus:
+    """The built corpus: chain + explorer + per-contract records."""
+
+    chain: Blockchain
+    explorer: Explorer
+    records: list[ContractRecord]
+    config: CorpusConfig
+
+    def unique_records(self) -> list[ContractRecord]:
+        """First record per distinct bytecode — the paper's dedup step."""
+        seen: set[bytes] = set()
+        unique = []
+        for record in self.records:
+            if record.bytecode in seen:
+                continue
+            seen.add(record.bytecode)
+            unique.append(record)
+        return unique
+
+    def monthly_counts(self, label: int, unique: bool = False) -> np.ndarray:
+        """Per-month deployment counts (Fig. 2's two series)."""
+        records = self.unique_records() if unique else self.records
+        counts = np.zeros(N_MONTHS, dtype=int)
+        for record in records:
+            if record.label == label:
+                counts[record.month] += 1
+        return counts
+
+    def phishing_records(self, unique: bool = True) -> list[ContractRecord]:
+        source = self.unique_records() if unique else self.records
+        return [r for r in source if r.label == PHISHING]
+
+    def benign_records(self, unique: bool = True) -> list[ContractRecord]:
+        source = self.unique_records() if unique else self.records
+        return [r for r in source if r.label == BENIGN]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def _month_distribution(profile: tuple | None, rng: np.random.Generator,
+                        month_floor: dict[str, int] | None = None) -> np.ndarray:
+    if profile is None:
+        return np.full(N_MONTHS, 1.0 / N_MONTHS)
+    weights = np.asarray(profile, dtype=float)
+    return weights / weights.sum()
+
+
+def _pick_family(rng: np.random.Generator, label: int, month: int):
+    candidates = [
+        spec for spec in FAMILIES.values()
+        if spec.label == label and spec.active(month)
+    ]
+    weights = np.array([spec.popularity for spec in candidates], dtype=float)
+    weights /= weights.sum()
+    return candidates[int(rng.choice(len(candidates), p=weights))]
+
+
+def _validate(record: ContractRecord) -> None:
+    context = ExecutionContext(
+        timestamp=record.timestamp,
+        calldata=record.example_calldata,
+    )
+    result = EVM(gas_limit=10_000_000).execute(record.bytecode, context)
+    if result.halt not in (Halt.STOP, Halt.RETURN, Halt.SELFDESTRUCT):
+        raise AssertionError(
+            f"{record.family} contract at {record.address} did not halt "
+            f"cleanly: {result.halt} ({result.error})"
+        )
+
+
+def build_corpus(config: CorpusConfig | None = None) -> Corpus:
+    """Generate, deploy and label the full synthetic corpus."""
+    config = config or CorpusConfig()
+    rng = np.random.default_rng(config.seed)
+    chain = Blockchain()
+    explorer = Explorer(chain)
+    records: list[ContractRecord] = []
+
+    attacker_pool = [
+        int(rng.integers(1, 1 << 62)) << 96 | int(rng.integers(1, 1 << 62))
+        for __ in range(config.attacker_pool_size)
+    ]
+    token_pool = tuple(
+        int(rng.integers(1, 1 << 62)) << 96 | int(rng.integers(1, 1 << 62))
+        for __ in range(config.token_pool_size)
+    )
+
+    if config.phishing_profile == "uniform":
+        profile = None
+    elif config.phishing_profile is None:
+        profile = PHISHING_MONTHLY_PROFILE
+    else:
+        profile = tuple(config.phishing_profile)
+    phishing_months = _month_distribution(profile, rng)
+    benign_months = (
+        phishing_months
+        if config.benign_temporal_match
+        else _month_distribution(None, rng)
+    )
+
+    def deploy_one(label: int, month_weights: np.ndarray) -> int:
+        """Generate one base (plus clones); return unique bytecodes added."""
+        month = int(rng.choice(N_MONTHS, p=month_weights))
+        spec = _pick_family(rng, label, month)
+        timestamp = month_to_timestamp(month, float(rng.random() * 0.999))
+        env = Environment(
+            rng=rng,
+            attacker=attacker_pool[int(rng.integers(0, len(attacker_pool)))],
+            tokens=token_pool,
+            deploy_timestamp=timestamp,
+        )
+        bytecode, calldata = generate_contract(spec, env, month)
+        address = chain.deploy(bytecode, timestamp=timestamp)
+        base = ContractRecord(
+            address=address,
+            bytecode=bytecode,
+            label=label,
+            family=spec.name,
+            month=month,
+            timestamp=timestamp,
+            kind="base",
+            example_calldata=calldata,
+        )
+        if label == PHISHING:
+            explorer.flag_phishing(address)
+        if config.validate:
+            _validate(base)
+        records.append(base)
+        added = 1
+
+        if rng.random() < spec.proxy_probability:
+            clone_count = 1 + int(rng.poisson(config.clone_factor))
+            proxy_code = minimal_proxy(int(address, 16))
+            for __ in range(clone_count):
+                clone_timestamp = month_to_timestamp(
+                    month, float(rng.random() * 0.999)
+                )
+                clone_address = chain.deploy(proxy_code, timestamp=clone_timestamp)
+                clone = ContractRecord(
+                    address=clone_address,
+                    bytecode=proxy_code,
+                    label=label,
+                    family=spec.name,
+                    month=month,
+                    timestamp=clone_timestamp,
+                    kind="proxy",
+                    base_address=address,
+                )
+                if label == PHISHING:
+                    explorer.flag_phishing(clone_address)
+                records.append(clone)
+            if config.validate:
+                _validate(records[-1])
+            added += 1
+        return added
+
+    unique_phishing = 0
+    while unique_phishing < config.n_phishing:
+        unique_phishing += deploy_one(PHISHING, phishing_months)
+    unique_benign = 0
+    while unique_benign < config.n_benign:
+        unique_benign += deploy_one(BENIGN, benign_months)
+
+    for __ in range(config.background_contracts):
+        deploy_one(BENIGN, benign_months)
+
+    records.sort(key=lambda r: (r.timestamp, r.address))
+    return Corpus(chain=chain, explorer=explorer, records=records, config=config)

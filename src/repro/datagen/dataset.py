@@ -1,0 +1,189 @@
+"""Dataset container and the splits every experiment consumes.
+
+* :meth:`Dataset.from_corpus` — dedup + class balancing, yielding the
+  paper's 50/50 phishing/benign dataset,
+* :meth:`Dataset.stratified_kfold` — the 10-fold cross-validation splits
+  of §IV-D,
+* :meth:`Dataset.split_fraction` — the 1/3, 2/3, 1 data splits of the
+  scalability study (§IV-F),
+* :meth:`Dataset.temporal_split` — train on Oct 2023 – Jan 2024, test on
+  nine monthly windows (the §IV-G time-resistance design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """A labeled set of contract bytecodes.
+
+    Attributes:
+        bytecodes: Raw deployed bytecode per sample.
+        labels: 0 = benign, 1 = phishing.
+        months: Study-month index of each deployment (0 = 2023-10).
+        families: Ground-truth generator family (diagnostics only — never a
+            model input).
+        addresses: Contract addresses.
+    """
+
+    bytecodes: list[bytes]
+    labels: np.ndarray
+    months: np.ndarray
+    families: list[str] = field(default_factory=list)
+    addresses: list[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        self.months = np.asarray(self.months, dtype=np.int64)
+        n = len(self.bytecodes)
+        if not (len(self.labels) == len(self.months) == n):
+            raise ValueError("bytecodes/labels/months length mismatch")
+        if not self.families:
+            self.families = ["unknown"] * n
+        if not self.addresses:
+            self.addresses = [""] * n
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_corpus(
+        cls,
+        corpus,
+        balance: bool = True,
+        seed: int = 0,
+    ) -> "Dataset":
+        """Dedup a corpus and (optionally) balance the two classes."""
+        rng = np.random.default_rng(seed)
+        unique = corpus.unique_records()
+        phishing = [r for r in unique if r.label == 1]
+        benign = [r for r in unique if r.label == 0]
+        if balance:
+            count = min(len(phishing), len(benign))
+            phishing = list(rng.permutation(np.array(phishing, dtype=object)))[:count]
+            benign = list(rng.permutation(np.array(benign, dtype=object)))[:count]
+        chosen = phishing + benign
+        order = rng.permutation(len(chosen))
+        chosen = [chosen[i] for i in order]
+        return cls(
+            bytecodes=[r.bytecode for r in chosen],
+            labels=np.array([r.label for r in chosen]),
+            months=np.array([r.month for r in chosen]),
+            families=[r.family for r in chosen],
+            addresses=[r.address for r in chosen],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.bytecodes)
+
+    @property
+    def class_counts(self) -> tuple[int, int]:
+        """(benign, phishing) sample counts."""
+        return int(np.sum(self.labels == 0)), int(np.sum(self.labels == 1))
+
+    def subset(self, indices) -> "Dataset":
+        indices = np.asarray(indices, dtype=int)
+        return Dataset(
+            bytecodes=[self.bytecodes[i] for i in indices],
+            labels=self.labels[indices],
+            months=self.months[indices],
+            families=[self.families[i] for i in indices],
+            addresses=[self.addresses[i] for i in indices],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Splits
+    # ------------------------------------------------------------------ #
+
+    def stratified_kfold(
+        self, n_splits: int, seed: int = 0
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Stratified k-fold: each fold preserves the class balance.
+
+        Returns a list of ``(train_indices, test_indices)`` pairs.
+        """
+        if n_splits < 2:
+            raise ValueError(f"need at least 2 folds, got {n_splits}")
+        smallest = min(self.class_counts)
+        if smallest < n_splits:
+            raise ValueError(
+                f"cannot make {n_splits} folds with only {smallest} samples "
+                "in the minority class"
+            )
+        rng = np.random.default_rng(seed)
+        fold_of = np.empty(len(self), dtype=int)
+        for cls in (0, 1):
+            indices = np.flatnonzero(self.labels == cls)
+            rng.shuffle(indices)
+            fold_of[indices] = np.arange(len(indices)) % n_splits
+        folds = []
+        for fold in range(n_splits):
+            test = np.flatnonzero(fold_of == fold)
+            train = np.flatnonzero(fold_of != fold)
+            folds.append((train, test))
+        return folds
+
+    def train_test_split(
+        self, test_fraction: float = 0.2, seed: int = 0
+    ) -> tuple["Dataset", "Dataset"]:
+        """One stratified train/test split."""
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        test_indices: list[int] = []
+        for cls in (0, 1):
+            indices = np.flatnonzero(self.labels == cls)
+            rng.shuffle(indices)
+            take = max(1, int(round(test_fraction * len(indices))))
+            test_indices.extend(indices[:take].tolist())
+        test_mask = np.zeros(len(self), dtype=bool)
+        test_mask[test_indices] = True
+        return self.subset(np.flatnonzero(~test_mask)), self.subset(
+            np.flatnonzero(test_mask)
+        )
+
+    def split_fraction(self, fraction: float, seed: int = 0) -> "Dataset":
+        """Stratified subsample with ``fraction`` of each class (§IV-F)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if fraction == 1.0:
+            return self
+        rng = np.random.default_rng(seed)
+        keep: list[int] = []
+        for cls in (0, 1):
+            indices = np.flatnonzero(self.labels == cls)
+            rng.shuffle(indices)
+            take = max(1, int(round(fraction * len(indices))))
+            keep.extend(indices[:take].tolist())
+        return self.subset(np.sort(np.array(keep)))
+
+    def temporal_split(
+        self, train_months: tuple[int, ...] = (0, 1, 2, 3)
+    ) -> tuple["Dataset", list[tuple[int, "Dataset"]]]:
+        """Train window + one test set per later month (§IV-G).
+
+        Returns ``(train, [(month, test), ...])`` where test months are all
+        study months after the training window that contain samples.
+        """
+        train_set = set(train_months)
+        train_indices = np.flatnonzero(np.isin(self.months, list(train_set)))
+        if len(train_indices) == 0:
+            raise ValueError("no samples in the training window")
+        last_train = max(train_set)
+        monthly: list[tuple[int, Dataset]] = []
+        for month in range(last_train + 1, int(self.months.max()) + 1):
+            indices = np.flatnonzero(self.months == month)
+            if len(indices):
+                monthly.append((month, self.subset(indices)))
+        return self.subset(train_indices), monthly

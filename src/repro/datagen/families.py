@@ -1,0 +1,167 @@
+"""Contract family framework.
+
+A *family* is a parameterized generator of contracts sharing a purpose
+(e.g. "ERC-20 token", "approval drainer"). Families are defined as
+:class:`FamilySpec` instances: a label, a pool of function selectors and a
+weight distribution over the shared statement library of
+:mod:`repro.datagen.solidity_like`. Benign and phishing specs draw from the
+same statement library, so their opcode distributions overlap — the
+difficulty profile Fig. 3 of the paper documents for real contracts.
+
+Temporal drift (exercised by the Fig. 8 time-resistance experiment) enters
+in two ways: statement weights can shift smoothly with the deploy month
+(``drift``), and a family can be inactive before a phase-in month
+(``phase_in_month``) so that genuinely new attack patterns appear mid-study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.datagen.solidity_like import (
+    SELECTORS,
+    STATEMENTS,
+    ContractBuilder,
+    Environment,
+    FunctionSpec,
+    metadata_trailer,
+)
+
+__all__ = ["FamilySpec", "FAMILIES", "register_family", "generate_contract"]
+
+BENIGN, PHISHING = 0, 1
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """Generator parameters for one contract family.
+
+    Attributes:
+        name: Unique family identifier.
+        label: 0 benign, 1 phishing.
+        selectors: Function-selector pool (keys of ``SELECTORS`` or ints).
+        weights: Statement-name → sampling weight.
+        n_functions: Inclusive (low, high) range of external functions.
+        n_statements: Inclusive (low, high) statements per function body.
+        payable_probability: Chance the contract accepts ether.
+        fallback_reverts_probability: Chance the fallback reverts (vs STOP).
+        returns_word_probability: Chance a function returns a word.
+        dead_code_probability: Chance of an unreachable data section.
+        proxy_probability: Chance this contract is cloned via EIP-1167
+            minimal proxies when the corpus is built.
+        phase_in_month: First study month in which the family occurs.
+        drift: Statement-name → per-month multiplicative weight drift
+            (1.0 means none; 1.05 grows 5% per month).
+        popularity: Relative share of its class this family contributes.
+    """
+
+    name: str
+    label: int
+    selectors: tuple = ()
+    weights: dict = field(default_factory=dict)
+    n_functions: tuple[int, int] = (2, 5)
+    n_statements: tuple[int, int] = (3, 8)
+    payable_probability: float = 0.3
+    fallback_reverts_probability: float = 0.8
+    returns_word_probability: float = 0.5
+    dead_code_probability: float = 0.3
+    proxy_probability: float = 0.12
+    phase_in_month: int = 0
+    drift: dict = field(default_factory=dict)
+    popularity: float = 1.0
+
+    def __post_init__(self):
+        unknown = set(self.weights) - set(STATEMENTS)
+        if unknown:
+            raise ValueError(f"{self.name}: unknown statements {sorted(unknown)}")
+        unknown = set(self.drift) - set(self.weights)
+        if unknown:
+            raise ValueError(f"{self.name}: drift for unweighted {sorted(unknown)}")
+
+    def weights_at(self, month: int) -> dict:
+        """Statement weights after applying ``month`` months of drift."""
+        adjusted = dict(self.weights)
+        for name, rate in self.drift.items():
+            adjusted[name] = adjusted[name] * rate**month
+        return adjusted
+
+    def active(self, month: int) -> bool:
+        return month >= self.phase_in_month
+
+
+#: Registry of every family, keyed by name (populated by benign/phishing).
+FAMILIES: dict[str, FamilySpec] = {}
+
+
+def register_family(spec: FamilySpec) -> FamilySpec:
+    if spec.name in FAMILIES:
+        raise ValueError(f"duplicate family {spec.name!r}")
+    FAMILIES[spec.name] = spec
+    return spec
+
+
+def _resolve_selector(item, rng: np.random.Generator) -> int:
+    if isinstance(item, int):
+        return item
+    return SELECTORS[item]
+
+
+def generate_contract(
+    spec: FamilySpec,
+    env: Environment,
+    month: int = 0,
+) -> tuple[bytes, bytes]:
+    """Generate one contract of ``spec`` deployed in ``month``.
+
+    Returns:
+        ``(bytecode, example_calldata)`` — the runtime bytecode and ABI
+        calldata that exercises one of its functions.
+    """
+    rng = env.rng
+    weights = spec.weights_at(month)
+    names = sorted(weights)
+    probabilities = np.array([weights[n] for n in names], dtype=float)
+    if probabilities.sum() <= 0:
+        raise ValueError(f"{spec.name}: statement weights sum to zero")
+    probabilities /= probabilities.sum()
+
+    low, high = spec.n_functions
+    n_functions = int(rng.integers(low, high + 1))
+    pool = list(spec.selectors)
+    rng.shuffle(pool)
+    chosen = pool[:n_functions]
+    while len(chosen) < n_functions:  # pad with random selectors
+        chosen.append(int(rng.integers(0x01000000, 0xFFFFFFFF)))
+
+    functions = []
+    for selector in chosen:
+        s_low, s_high = spec.n_statements
+        n_statements = int(rng.integers(s_low, s_high + 1))
+        body: list = []
+        for name in rng.choice(names, size=n_statements, p=probabilities):
+            body.extend(STATEMENTS[str(name)](env))
+        functions.append(
+            FunctionSpec(
+                selector=_resolve_selector(selector, rng),
+                body=body,
+                returns_word=bool(rng.random() < spec.returns_word_probability),
+            )
+        )
+
+    dead_code = b""
+    if rng.random() < spec.dead_code_probability:
+        dead_code = bytes(
+            rng.integers(0, 256, size=int(rng.integers(8, 64)), dtype=np.uint8)
+        )
+    builder = ContractBuilder(
+        functions=functions,
+        payable=bool(rng.random() < spec.payable_probability),
+        fallback_reverts=bool(
+            rng.random() < spec.fallback_reverts_probability
+        ),
+        dead_code=dead_code,
+        metadata=metadata_trailer(rng),
+    )
+    return builder.assemble(), builder.example_calldata(rng)

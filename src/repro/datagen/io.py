@@ -1,0 +1,119 @@
+"""Dataset release I/O.
+
+The paper "releases this novel dataset via our public repository"; this
+module provides the corresponding serialization: a dataset (or corpus
+snapshot) exports to a JSONL file — one record per line with address,
+hex bytecode, label, month and family — and loads back into a
+:class:`~repro.datagen.dataset.Dataset`. JSONL keeps diffs reviewable and
+streams at any scale.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.datagen.dataset import Dataset
+
+__all__ = ["save_dataset", "load_dataset", "export_corpus"]
+
+_REQUIRED_KEYS = ("address", "bytecode", "label", "month")
+
+
+def save_dataset(dataset: Dataset, path: str | pathlib.Path) -> pathlib.Path:
+    """Write one JSON record per sample; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for index in range(len(dataset)):
+            record = {
+                "address": dataset.addresses[index],
+                "bytecode": "0x" + dataset.bytecodes[index].hex(),
+                "label": int(dataset.labels[index]),
+                "month": int(dataset.months[index]),
+                "family": dataset.families[index],
+            }
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def load_dataset(path: str | pathlib.Path) -> Dataset:
+    """Read a JSONL release back into a Dataset.
+
+    Raises:
+        ValueError: On missing keys, bad hex, or out-of-range labels.
+    """
+    path = pathlib.Path(path)
+    bytecodes: list[bytes] = []
+    labels: list[int] = []
+    months: list[int] = []
+    families: list[str] = []
+    addresses: list[str] = []
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: bad JSON: {exc}")
+            missing = [key for key in _REQUIRED_KEYS if key not in record]
+            if missing:
+                raise ValueError(
+                    f"{path}:{line_number}: missing keys {missing}"
+                )
+            text = record["bytecode"]
+            if text.startswith(("0x", "0X")):
+                text = text[2:]
+            try:
+                code = bytes.fromhex(text)
+            except ValueError:
+                raise ValueError(f"{path}:{line_number}: bad hex bytecode")
+            label = int(record["label"])
+            if label not in (0, 1):
+                raise ValueError(
+                    f"{path}:{line_number}: label must be 0/1, got {label}"
+                )
+            bytecodes.append(code)
+            labels.append(label)
+            months.append(int(record["month"]))
+            families.append(record.get("family", "unknown"))
+            addresses.append(record["address"])
+    if not bytecodes:
+        raise ValueError(f"{path}: empty dataset file")
+    return Dataset(
+        bytecodes=bytecodes,
+        labels=np.array(labels),
+        months=np.array(months),
+        families=families,
+        addresses=addresses,
+    )
+
+
+def export_corpus(
+    corpus, path: str | pathlib.Path, unique_only: bool = True
+) -> pathlib.Path:
+    """Export a corpus snapshot (optionally deduplicated) as JSONL."""
+    records = corpus.unique_records() if unique_only else corpus.records
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(
+                json.dumps(
+                    {
+                        "address": record.address,
+                        "bytecode": "0x" + record.bytecode.hex(),
+                        "label": record.label,
+                        "month": record.month,
+                        "family": record.family,
+                        "kind": record.kind,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+    return path

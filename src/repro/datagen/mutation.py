@@ -1,0 +1,60 @@
+"""Bytecode-level mutations: minimal proxies and code-shape variation.
+
+The paper's dataset contains "a significant amount of minimal proxy
+contracts [EIP-1167], lightweight and cost-efficient clones of a main
+contract, with which they share the same bytecode" — the source of the
+17,455 → 3,458 duplication it de-duplicates. :func:`minimal_proxy` emits
+the canonical EIP-1167 runtime. Clones of the *same* implementation are
+bit-identical; proxies of *different* implementations differ only in the
+embedded 20-byte address — and therefore have identical opcode sequences,
+which is precisely what caps opcode-based classifiers below 100%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["minimal_proxy", "is_minimal_proxy", "proxy_implementation", "random_data_section"]
+
+_PROXY_PREFIX = bytes.fromhex("363d3d373d3d3d363d73")
+_PROXY_SUFFIX = bytes.fromhex("5af43d82803e903d91602b57fd5bf3")
+_PROXY_LENGTH = len(_PROXY_PREFIX) + 20 + len(_PROXY_SUFFIX)
+
+
+def _address_bytes(address: int | str) -> bytes:
+    if isinstance(address, str):
+        text = address[2:] if address.startswith(("0x", "0X")) else address
+        raw = bytes.fromhex(text)
+    else:
+        raw = int(address).to_bytes(20, "big")
+    if len(raw) != 20:
+        raise ValueError(f"implementation address must be 20 bytes, got {len(raw)}")
+    return raw
+
+
+def minimal_proxy(implementation: int | str) -> bytes:
+    """The canonical EIP-1167 runtime delegating to ``implementation``."""
+    return _PROXY_PREFIX + _address_bytes(implementation) + _PROXY_SUFFIX
+
+
+def is_minimal_proxy(bytecode: bytes) -> bool:
+    """True when ``bytecode`` is exactly an EIP-1167 minimal proxy."""
+    return (
+        len(bytecode) == _PROXY_LENGTH
+        and bytecode.startswith(_PROXY_PREFIX)
+        and bytecode.endswith(_PROXY_SUFFIX)
+    )
+
+
+def proxy_implementation(bytecode: bytes) -> str:
+    """Extract the implementation address from an EIP-1167 proxy."""
+    if not is_minimal_proxy(bytecode):
+        raise ValueError("not an EIP-1167 minimal proxy")
+    raw = bytecode[len(_PROXY_PREFIX) : len(_PROXY_PREFIX) + 20]
+    return "0x" + raw.hex()
+
+
+def random_data_section(rng: np.random.Generator, max_size: int = 64) -> bytes:
+    """Unreachable data bytes appended after the terminating block."""
+    size = int(rng.integers(4, max_size + 1))
+    return bytes(rng.integers(0, 256, size=size, dtype=np.uint8))

@@ -1,0 +1,205 @@
+"""Phishing contract families.
+
+Six attack patterns modeled on the phishing taxonomies the paper cites
+(fake airdrop claims, wallet drainers, sweepers, honeypots). Tell-tale
+traits follow §IV-H of the paper: drainers skip gas checks, hardcode the
+attacker's hot wallet, emit decoy ``Transfer`` events and concentrate on
+``transferFrom`` calls. Two drift mechanisms feed the Fig. 8 time-resistance
+experiment: per-month weight drift (attackers slowly adopt benign-looking
+guards and heavier obfuscation) and the ``rug_pull_token`` family phasing
+in mid-study as a genuinely new pattern.
+"""
+
+from repro.datagen.families import PHISHING, FamilySpec, register_family
+
+__all__ = ["PHISHING_FAMILIES"]
+
+APPROVAL_DRAINER = register_family(
+    FamilySpec(
+        name="approval_drainer",
+        label=PHISHING,
+        selectors=(
+            "claim()",
+            "connectWallet()",
+            "verifyWallet()",
+            "securityUpdate()",
+            "transfer(address,uint256)",
+        ),
+        weights={
+            "transfer_from_call": 3.0,
+            "external_call": 1.5,
+            "calldata_arg": 1.0,
+            "emit_transfer": 1.0,   # decoy events
+            "mapping_read": 0.5,
+            "junk_pushpop": 1.0,
+            "require_caller": 0.3,  # few safety checks
+            "gas_guard": 0.2,       # the low-GAS tell from §IV-H
+            "store_const": 0.5,
+            "sweep_balance": 0.6,
+        },
+        n_functions=(2, 4),
+        n_statements=(3, 7),
+        payable_probability=0.5,
+        fallback_reverts_probability=0.5,
+        proxy_probability=0.16,
+        drift={"gas_guard": 1.12, "junk_pushpop": 1.06},
+        popularity=2.0,
+    )
+)
+
+FAKE_AIRDROP = register_family(
+    FamilySpec(
+        name="fake_airdrop",
+        label=PHISHING,
+        selectors=(
+            "claim()",
+            "claimRewards()",
+            "airdrop(address[],uint256)",
+            "getReward()",
+        ),
+        weights={
+            "emit_transfer": 2.5,   # a storm of decoy Transfer events
+            "transfer_from_call": 1.5,
+            "sweep_balance": 1.0,
+            "counter_increment": 1.0,
+            "mapping_update": 0.7,
+            "junk_pushpop": 1.0,
+            "gas_guard": 0.3,
+            "calldata_arg": 0.8,
+            "store_const": 0.5,
+        },
+        n_functions=(2, 4),
+        n_statements=(3, 8),
+        payable_probability=0.4,
+        proxy_probability=0.18,
+        drift={"emit_transfer": 0.97, "gas_guard": 1.10},
+        popularity=1.8,
+    )
+)
+
+ETHER_SWEEPER = register_family(
+    FamilySpec(
+        name="ether_sweeper",
+        label=PHISHING,
+        selectors=("withdraw()", "deposit()", "claim()"),
+        weights={
+            "sweep_balance": 3.0,
+            "selfbalance_probe": 2.0,
+            "external_call": 1.0,
+            "junk_pushpop": 1.5,
+            "store_const": 0.5,
+            "gas_guard": 0.2,
+            "origin_check": 0.8,
+            "junk_dupswap": 1.0,
+        },
+        n_functions=(1, 3),
+        n_statements=(2, 6),
+        payable_probability=0.95,
+        fallback_reverts_probability=0.1,  # must accept ether
+        proxy_probability=0.12,
+        drift={"junk_pushpop": 1.08},
+        popularity=1.2,
+    )
+)
+
+HIDDEN_OWNER_HONEYPOT = register_family(
+    FamilySpec(
+        name="hidden_owner_honeypot",
+        label=PHISHING,
+        selectors=(
+            # Gray family: mimics an ERC-20 token closely.
+            "transfer(address,uint256)",
+            "approve(address,uint256)",
+            "balanceOf(address)",
+            "deposit()",
+            "totalSupply()",
+        ),
+        weights={
+            "owner_check": 2.0,     # hidden privileged branches
+            "mapping_update": 1.5,
+            "emit_transfer": 1.5,
+            "bit_pack": 1.5,
+            "sweep_balance": 0.8,
+            "transfer_from_call": 0.8,
+            "junk_pushpop": 1.0,
+            "timestamp_guard": 0.5,
+            "safe_math": 0.5,
+            "require_caller": 0.5,
+        },
+        n_functions=(3, 6),
+        n_statements=(4, 8),
+        payable_probability=0.5,
+        proxy_probability=0.14,
+        drift={"owner_check": 1.04},
+        popularity=1.0,
+    )
+)
+
+WALLET_DRAINER_MULTICALL = register_family(
+    FamilySpec(
+        name="wallet_drainer_multicall",
+        label=PHISHING,
+        selectors=(
+            "multicall(bytes[])",
+            "execute(address,uint256,bytes)",
+            "claim()",
+            "connectWallet()",
+        ),
+        weights={
+            "transfer_from_call": 2.5,
+            "delegate_forward": 1.5,
+            "calldata_arg": 2.0,
+            "external_call": 1.5,
+            "junk_pushpop": 1.0,
+            "gas_guard": 0.3,
+            "origin_check": 1.0,
+            "sweep_balance": 0.8,
+            "store_const": 0.4,
+        },
+        n_functions=(2, 4),
+        n_statements=(4, 8),
+        payable_probability=0.6,
+        proxy_probability=0.16,
+        drift={"gas_guard": 1.15, "junk_pushpop": 1.05},
+        popularity=1.2,
+    )
+)
+
+RUG_PULL_TOKEN = register_family(
+    FamilySpec(
+        name="rug_pull_token",
+        label=PHISHING,
+        selectors=(
+            "transfer(address,uint256)",
+            "approve(address,uint256)",
+            "mint(address,uint256)",
+            "swap(uint256,uint256,address)",
+        ),
+        weights={
+            "mapping_update": 2.0,
+            "emit_transfer": 1.5,
+            "sweep_balance": 1.2,
+            "arith_mix": 1.5,
+            "bit_pack": 1.0,
+            "owner_check": 1.5,
+            "junk_dupswap": 0.8,
+            "safe_math": 0.8,
+            "gas_guard": 0.5,
+        },
+        n_functions=(3, 6),
+        n_statements=(4, 9),
+        payable_probability=0.6,
+        proxy_probability=0.12,
+        phase_in_month=6,  # new attack pattern appearing mid-study
+        popularity=1.0,
+    )
+)
+
+PHISHING_FAMILIES = (
+    APPROVAL_DRAINER,
+    FAKE_AIRDROP,
+    ETHER_SWEEPER,
+    HIDDEN_OWNER_HONEYPOT,
+    WALLET_DRAINER_MULTICALL,
+    RUG_PULL_TOKEN,
+)

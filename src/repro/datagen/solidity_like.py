@@ -1,0 +1,495 @@
+"""Solidity-compiler-style building blocks for synthetic contracts.
+
+Real deployed bytecode is dominated by a handful of solc idioms: the free
+memory pointer prologue (``PUSH1 0x80 PUSH1 0x40 MSTORE``), a four-byte
+selector dispatcher, require/revert guard chains, keccak-derived mapping
+slots and a CBOR metadata trailer. Both benign and phishing generators
+compose contracts from the *same* statement library defined here — only the
+sampling weights differ — so class-conditional opcode distributions overlap
+heavily, as Fig. 3 of the paper shows for real contracts.
+
+Every statement is stack-neutral (consumes and produces nothing), so any
+sequence of statements forms a valid function body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.evm.assembler import Assembler, Label, PushLabel
+
+__all__ = [
+    "Environment",
+    "FunctionSpec",
+    "ContractBuilder",
+    "STATEMENTS",
+    "statement",
+    "SELECTORS",
+    "TRANSFER_TOPIC",
+    "APPROVAL_TOPIC",
+]
+
+#: keccak("Transfer(address,address,uint256)") — the canonical ERC-20 topic.
+TRANSFER_TOPIC = 0xDDF252AD1BE2C89B69C2B068FC378DAA952BA7F163C4A11628F55A4DF523B3EF
+
+#: keccak("Approval(address,address,uint256)").
+APPROVAL_TOPIC = 0x8C5BE1E5EBEC7D5BD14F71427D1E84F3DD0314C0F7B2291E5B200AC8C7C3B925
+
+#: Well-known four-byte selectors (real-world values).
+SELECTORS = {
+    "transfer(address,uint256)": 0xA9059CBB,
+    "transferFrom(address,address,uint256)": 0x23B872DD,
+    "approve(address,uint256)": 0x095EA7B3,
+    "balanceOf(address)": 0x70A08231,
+    "allowance(address,address)": 0xDD62ED3E,
+    "totalSupply()": 0x18160DDD,
+    "ownerOf(uint256)": 0x6352211E,
+    "safeTransferFrom(address,address,uint256)": 0x42842E0E,
+    "mint(address,uint256)": 0x40C10F19,
+    "claim()": 0x4E71D92D,
+    "claimRewards()": 0x372500AB,
+    "airdrop(address[],uint256)": 0x67243482,
+    "multicall(bytes[])": 0xAC9650D8,
+    "withdraw()": 0x3CCFD60B,
+    "deposit()": 0xD0E30DB0,
+    "stake(uint256)": 0xA694FC3A,
+    "unstake(uint256)": 0x2E17DE78,
+    "release()": 0x86D1A69F,
+    "execute(address,uint256,bytes)": 0xB61D27F6,
+    "confirmTransaction(uint256)": 0xC01A8C84,
+    "submitTransaction(address,uint256,bytes)": 0xC6427474,
+    "swap(uint256,uint256,address)": 0x022C0D9F,
+    "getReward()": 0x3D18B912,
+    "connectWallet()": 0x6A627842,
+    "verifyWallet()": 0xB9E95382,
+    "securityUpdate()": 0x5FBA79F5,
+}
+
+
+@dataclass
+class Environment:
+    """Per-contract generation context shared by statement factories.
+
+    Attributes:
+        rng: Source of randomness (drives constants, addresses, slots).
+        attacker: Hot-wallet address phishing statements forward funds to.
+        tokens: Addresses of token contracts external calls may target.
+        deploy_timestamp: Used so time guards pass at deployment time.
+    """
+
+    rng: np.random.Generator
+    attacker: int = 0
+    tokens: tuple[int, ...] = ()
+    deploy_timestamp: int = 1_700_000_000
+
+    def address(self) -> int:
+        """A fresh pseudo-random 20-byte address."""
+        return int(self.rng.integers(1, 1 << 62)) << 96 | int(
+            self.rng.integers(1, 1 << 62)
+        )
+
+    def token(self) -> int:
+        if self.tokens:
+            return int(self.tokens[int(self.rng.integers(0, len(self.tokens)))])
+        return self.address()
+
+
+# --------------------------------------------------------------------- #
+# Statement library
+# --------------------------------------------------------------------- #
+
+STATEMENTS: dict[str, object] = {}
+
+
+def statement(name: str):
+    """Register a statement factory: ``factory(env) -> list`` of asm items."""
+
+    def register(factory):
+        STATEMENTS[name] = factory
+        return factory
+
+    return register
+
+
+def _call_args(value_items: list, address: int) -> list:
+    """Shared tail for CALL: push args in reverse order, then the call."""
+    return (
+        [("PUSH1", 0), ("PUSH1", 0), ("PUSH1", 0), ("PUSH1", 0)]
+        + value_items
+        + [("PUSH20", address), "GAS", "CALL"]
+    )
+
+
+@statement("store_const")
+def stmt_store_const(env: Environment) -> list:
+    """``slot = constant`` — plain storage write."""
+    slot = int(env.rng.integers(0, 12))
+    value = int(env.rng.integers(1, 1 << 31))
+    return [("PUSH4", value), ("PUSH1", slot), "SSTORE"]
+
+
+@statement("counter_increment")
+def stmt_counter_increment(env: Environment) -> list:
+    """``slot += k`` — read-modify-write."""
+    slot = int(env.rng.integers(0, 12))
+    delta = int(env.rng.integers(1, 255))
+    return [
+        ("PUSH1", slot), "SLOAD", ("PUSH1", delta), "ADD",
+        ("PUSH1", slot), "SSTORE",
+    ]
+
+
+@statement("mapping_update")
+def stmt_mapping_update(env: Environment) -> list:
+    """``mapping[msg.sender] += k`` via the solc keccak slot scheme."""
+    slot = int(env.rng.integers(0, 8))
+    delta = int(env.rng.integers(1, 1 << 24))
+    return [
+        "CALLER", ("PUSH1", 0x00), "MSTORE",
+        ("PUSH1", slot), ("PUSH1", 0x20), "MSTORE",
+        ("PUSH1", 0x40), ("PUSH1", 0x00), "SHA3",      # key hash
+        "DUP1", "SLOAD",                               # [hash, value]
+        ("PUSH4", delta), "ADD",                       # [hash, value+k]
+        "SWAP1", "SSTORE",                             # store(key=hash)
+    ]
+
+
+@statement("mapping_read")
+def stmt_mapping_read(env: Environment) -> list:
+    """Read ``mapping[msg.sender]`` and discard (view-style access)."""
+    slot = int(env.rng.integers(0, 8))
+    return [
+        "CALLER", ("PUSH1", 0x00), "MSTORE",
+        ("PUSH1", slot), ("PUSH1", 0x20), "MSTORE",
+        ("PUSH1", 0x40), ("PUSH1", 0x00), "SHA3",
+        "SLOAD", "POP",
+    ]
+
+
+@statement("require_caller")
+def stmt_require_caller(env: Environment) -> list:
+    """``require(msg.sender != 0)`` — the ubiquitous zero-address check."""
+    return ["CALLER", "ISZERO", PushLabel("revert"), "JUMPI"]
+
+
+@statement("owner_check")
+def stmt_owner_check(env: Environment) -> list:
+    """``require(msg.sender == owner)`` against a stored owner slot.
+
+    The owner slot is uninitialised (0) in the simulated run, so the guard
+    compares against zero and passes for nonzero callers via the EQ/ISZERO
+    pair being inverted — i.e. this encodes the *shape* of the check while
+    staying executable: it reverts only when caller == stored owner == a
+    random constant, which never happens at validation time.
+    """
+    pseudo_owner = env.address()
+    return [
+        "CALLER", ("PUSH20", pseudo_owner), "EQ",
+        PushLabel("revert"), "JUMPI",
+    ]
+
+
+@statement("gas_guard")
+def stmt_gas_guard(env: Environment) -> list:
+    """``require(gasleft() > bound)`` — controlled-execution gas check.
+
+    §IV-H singles out low GAS usage as a phishing tell: well-structured
+    contracts check available gas before external calls.
+    """
+    bound = int(env.rng.integers(2_000, 12_000))
+    return ["GAS", ("PUSH2", bound), "GT", PushLabel("revert"), "JUMPI"]
+
+
+@statement("timestamp_guard")
+def stmt_timestamp_guard(env: Environment) -> list:
+    """``require(block.timestamp >= start)`` vesting/staking style."""
+    start = env.deploy_timestamp - int(env.rng.integers(0, 10_000_000))
+    return ["TIMESTAMP", ("PUSH4", max(start, 1)), "GT",
+            PushLabel("revert"), "JUMPI"]
+
+
+@statement("callvalue_guard")
+def stmt_callvalue_guard(env: Environment) -> list:
+    """``require(msg.value == 0)`` — non-payable function check."""
+    return ["CALLVALUE", PushLabel("revert"), "JUMPI"]
+
+
+@statement("emit_transfer")
+def stmt_emit_transfer(env: Environment) -> list:
+    """Emit an ERC-20 ``Transfer`` event (LOG3)."""
+    amount = int(env.rng.integers(1, 1 << 31))
+    return [
+        ("PUSH4", amount), ("PUSH1", 0x00), "MSTORE",
+        ("PUSH20", env.address()),       # topic3: to
+        "CALLER",                        # topic2: from
+        ("PUSH32", TRANSFER_TOPIC),      # topic1: event signature
+        ("PUSH1", 0x20), ("PUSH1", 0x00),
+        "LOG3",
+    ]
+
+
+@statement("emit_approval")
+def stmt_emit_approval(env: Environment) -> list:
+    """Emit an ERC-20 ``Approval`` event (LOG3)."""
+    amount = int(env.rng.integers(1, 1 << 31))
+    return [
+        ("PUSH4", amount), ("PUSH1", 0x00), "MSTORE",
+        ("PUSH20", env.address()),
+        "CALLER",
+        ("PUSH32", APPROVAL_TOPIC),
+        ("PUSH1", 0x20), ("PUSH1", 0x00),
+        "LOG3",
+    ]
+
+
+@statement("external_call")
+def stmt_external_call(env: Environment) -> list:
+    """Zero-value call to a token contract; result discarded."""
+    return _call_args([("PUSH1", 0)], env.token()) + ["POP"]
+
+
+@statement("checked_call")
+def stmt_checked_call(env: Environment) -> list:
+    """Zero-value call whose failure reverts (solc require(success))."""
+    return _call_args([("PUSH1", 0)], env.token()) + [
+        "ISZERO", PushLabel("revert"), "JUMPI",
+    ]
+
+
+@statement("transfer_from_call")
+def stmt_transfer_from_call(env: Environment) -> list:
+    """``token.transferFrom(victim, attacker, amount)`` — drainer core.
+
+    Writes the real ``transferFrom`` selector into memory and performs the
+    call; the destination defaults to the environment's attacker wallet.
+    """
+    destination = env.attacker or env.address()
+    return [
+        ("PUSH4", SELECTORS["transferFrom(address,address,uint256)"]),
+        ("PUSH1", 0xE0), "SHL", ("PUSH1", 0x00), "MSTORE",
+        "CALLER", ("PUSH1", 0x04), "MSTORE",
+        ("PUSH20", destination), ("PUSH1", 0x24), "MSTORE",
+        ("PUSH1", 0x00), ("PUSH1", 0x00),        # retLen, retOff
+        ("PUSH1", 0x44), ("PUSH1", 0x00),        # argsLen, argsOff
+        ("PUSH1", 0x00),                          # value
+        ("PUSH20", env.token()), "GAS", "CALL", "POP",
+    ]
+
+
+@statement("sweep_balance")
+def stmt_sweep_balance(env: Environment) -> list:
+    """Forward the whole contract balance to a hardcoded wallet."""
+    destination = env.attacker or env.address()
+    return _call_args(["SELFBALANCE"], destination) + ["POP"]
+
+
+@statement("staticcall_view")
+def stmt_staticcall_view(env: Environment) -> list:
+    """``token.balanceOf(this)`` style STATICCALL + result load."""
+    return [
+        ("PUSH4", SELECTORS["balanceOf(address)"]),
+        ("PUSH1", 0xE0), "SHL", ("PUSH1", 0x00), "MSTORE",
+        "ADDRESS", ("PUSH1", 0x04), "MSTORE",
+        ("PUSH1", 0x20), ("PUSH1", 0x00),        # retLen, retOff
+        ("PUSH1", 0x24), ("PUSH1", 0x00),        # argsLen, argsOff
+        ("PUSH20", env.token()), "GAS", "STATICCALL", "POP",
+        "RETURNDATASIZE", "ISZERO", "POP",
+        ("PUSH1", 0x00), "MLOAD", "POP",
+    ]
+
+
+@statement("delegate_forward")
+def stmt_delegate_forward(env: Environment) -> list:
+    """DELEGATECALL into an implementation address (proxy idiom)."""
+    return [
+        ("PUSH1", 0x00), ("PUSH1", 0x00),        # retLen, retOff
+        ("PUSH1", 0x00), ("PUSH1", 0x00),        # argsLen, argsOff
+        ("PUSH20", env.address()), "GAS", "DELEGATECALL", "POP",
+    ]
+
+
+@statement("calldata_arg")
+def stmt_calldata_arg(env: Environment) -> list:
+    """Load an ABI argument word and mask it to an address."""
+    offset = 4 + 32 * int(env.rng.integers(0, 2))
+    return [
+        ("PUSH1", offset), "CALLDATALOAD",
+        ("PUSH20", (1 << 160) - 1), "AND", "POP",
+    ]
+
+
+@statement("safe_math")
+def stmt_safe_math(env: Environment) -> list:
+    """Overflow-checked multiply (pre-0.8 SafeMath shape)."""
+    a = int(env.rng.integers(2, 1 << 16))
+    b = int(env.rng.integers(2, 1 << 16))
+    return [
+        ("PUSH2", a), ("PUSH2", b), "MUL",
+        "DUP1", ("PUSH2", a), "SWAP1", "DIV",
+        ("PUSH2", b), "EQ", "ISZERO",
+        PushLabel("revert"), "JUMPI",
+        "POP",
+    ]
+
+
+@statement("arith_mix")
+def stmt_arith_mix(env: Environment) -> list:
+    """Fee/share arithmetic: mul-div-mod chains, result discarded."""
+    a = int(env.rng.integers(1, 1 << 30))
+    b = int(env.rng.integers(1, 1 << 12))
+    c = int(env.rng.integers(1, 10_000))
+    return [
+        ("PUSH4", a), ("PUSH2", b), "MUL",
+        ("PUSH2", c), "SWAP1", "DIV",
+        ("PUSH2", max(c // 2, 1)), "SWAP1", "MOD",
+        "POP",
+    ]
+
+
+@statement("bit_pack")
+def stmt_bit_pack(env: Environment) -> list:
+    """Struct packing: shifts and masks over a storage word."""
+    slot = int(env.rng.integers(0, 12))
+    shift = int(env.rng.integers(1, 128))
+    return [
+        ("PUSH1", slot), "SLOAD",
+        ("PUSH1", shift), "SHR",
+        ("PUSH2", 0xFFFF), "AND",
+        ("PUSH1", 1), "OR",
+        ("PUSH1", shift), "SHL",
+        ("PUSH1", slot), "SSTORE",
+    ]
+
+
+@statement("junk_pushpop")
+def stmt_junk_pushpop(env: Environment) -> list:
+    """Compiler noise: stack shuffles that compute nothing."""
+    a = int(env.rng.integers(0, 1 << 16))
+    b = int(env.rng.integers(0, 1 << 16))
+    return [("PUSH2", a), ("PUSH2", b), "XOR", "ISZERO", "POP"]
+
+
+@statement("junk_dupswap")
+def stmt_junk_dupswap(env: Environment) -> list:
+    a = int(env.rng.integers(0, 256))
+    return [("PUSH1", a), "DUP1", "SWAP1", "POP", "POP"]
+
+
+@statement("selfbalance_probe")
+def stmt_selfbalance_probe(env: Environment) -> list:
+    """Check the contract's own balance (sweeper/staking idiom)."""
+    return ["SELFBALANCE", "ISZERO", "POP"]
+
+
+@statement("origin_check")
+def stmt_origin_check(env: Environment) -> list:
+    """``require(tx.origin == msg.sender)`` — anti-contract guard."""
+    return ["ORIGIN", "CALLER", "EQ", "ISZERO", "ISZERO",
+            "POP"]
+
+
+# --------------------------------------------------------------------- #
+# Contract scaffold
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class FunctionSpec:
+    """One externally callable function.
+
+    Attributes:
+        selector: Four-byte function selector.
+        body: Stack-neutral statement items (the scaffold adds entry/exit).
+        returns_word: When True the function RETURNs one 32-byte word;
+            otherwise it STOPs.
+    """
+
+    selector: int
+    body: list = field(default_factory=list)
+    returns_word: bool = False
+
+
+class ContractBuilder:
+    """Assemble a solc-shaped runtime from function specs.
+
+    Layout: free-memory-pointer prologue, optional non-payable guard,
+    selector dispatcher, function bodies, shared revert block, optional
+    unreachable dead code, CBOR-style metadata trailer.
+    """
+
+    def __init__(
+        self,
+        functions: list[FunctionSpec],
+        payable: bool = True,
+        fallback_reverts: bool = True,
+        dead_code: bytes = b"",
+        metadata: bytes = b"",
+    ):
+        if not functions:
+            raise ValueError("a contract needs at least one function")
+        self.functions = functions
+        self.payable = payable
+        self.fallback_reverts = fallback_reverts
+        self.dead_code = dead_code
+        self.metadata = metadata
+
+    def program(self) -> list:
+        items: list = [("PUSH1", 0x80), ("PUSH1", 0x40), "MSTORE"]
+        if not self.payable:
+            items += ["CALLVALUE", PushLabel("revert"), "JUMPI"]
+        # Dispatcher: calldatasize < 4 → fallback.
+        items += [
+            ("PUSH1", 0x04), "CALLDATASIZE", "LT",
+            PushLabel("fallback"), "JUMPI",
+            ("PUSH1", 0x00), "CALLDATALOAD", ("PUSH1", 0xE0), "SHR",
+        ]
+        for index, function in enumerate(self.functions):
+            items += [
+                "DUP1", ("PUSH4", function.selector), "EQ",
+                PushLabel(f"fn{index}"), "JUMPI",
+            ]
+        items += ["POP"]
+        items += [Label("fallback")]
+        if self.fallback_reverts:
+            items += [("PUSH1", 0x00), "DUP1", "REVERT"]
+        else:
+            items += ["STOP"]
+        for index, function in enumerate(self.functions):
+            items += [Label(f"fn{index}"), "POP"]
+            items += list(function.body)
+            if function.returns_word:
+                items += [
+                    ("PUSH1", 0x01), ("PUSH1", 0x00), "MSTORE",
+                    ("PUSH1", 0x20), ("PUSH1", 0x00), "RETURN",
+                ]
+            else:
+                items += ["STOP"]
+        items += [Label("revert"), ("PUSH1", 0x00), "DUP1", "REVERT"]
+        if self.dead_code:
+            items += [bytes(self.dead_code)]
+        if self.metadata:
+            items += [bytes(self.metadata)]
+        return items
+
+    def assemble(self) -> bytes:
+        asm = Assembler().extend(self.program())
+        return asm.assemble()
+
+    def example_calldata(self, rng: np.random.Generator | None = None) -> bytes:
+        """ABI calldata hitting one of the contract's functions."""
+        index = 0 if rng is None else int(rng.integers(0, len(self.functions)))
+        selector = self.functions[index].selector
+        args = b"\x00" * 64
+        return selector.to_bytes(4, "big") + args
+
+
+def metadata_trailer(rng: np.random.Generator) -> bytes:
+    """A solc-style CBOR metadata trailer (ipfs hash + solc version)."""
+    payload = bytes(rng.integers(0, 256, size=int(rng.integers(16, 40)), dtype=np.uint8))
+    header = bytes.fromhex("a264697066735822")  # {"ipfs": <34 bytes> ...
+    version = bytes([0x64, 0x73, 0x6F, 0x6C, 0x63, 0x43, 0x00,
+                     int(rng.integers(4, 9)), int(rng.integers(0, 30))])
+    body = header + payload + version
+    return body + len(body).to_bytes(2, "big")

@@ -1,0 +1,66 @@
+"""EVM substrate: opcode registry, disassembler, assembler and interpreter.
+
+This subpackage reimplements everything PhishingHook needs from the
+Ethereum Virtual Machine as of the *Shanghai* fork:
+
+* :mod:`repro.evm.opcodes` — the full 144-opcode registry (including the
+  Shanghai additions ``PUSH0`` and the designated ``INVALID`` instruction
+  that the paper added to ``evmdasm``),
+* :mod:`repro.evm.disassembler` — a bytecode disassembler equivalent to the
+  paper's enhanced ``evmdasm``,
+* :mod:`repro.evm.assembler` — the inverse mapping used by the synthetic
+  contract generators,
+* :mod:`repro.evm.machine` — a minimal stack-machine interpreter used to
+  validate that synthesized contracts actually execute.
+"""
+
+from repro.evm.assembler import Assembler, assemble
+from repro.evm.cfg import ControlFlowGraph, build_cfg
+from repro.evm.disassembler import Disassembler, disassemble
+from repro.evm.errors import (
+    AssemblerError,
+    DisassemblyError,
+    EVMError,
+    InvalidJump,
+    InvalidOpcode,
+    OutOfGas,
+    StackOverflow,
+    StackUnderflow,
+)
+from repro.evm.instruction import Instruction
+from repro.evm.machine import EVM, ExecutionResult, Halt
+from repro.evm.opcodes import (
+    OPCODES,
+    OPCODES_BY_NAME,
+    SHANGHAI_OPCODE_COUNT,
+    Opcode,
+    opcode_by_name,
+    opcode_by_value,
+)
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "ControlFlowGraph",
+    "build_cfg",
+    "Disassembler",
+    "disassemble",
+    "AssemblerError",
+    "DisassemblyError",
+    "EVMError",
+    "InvalidJump",
+    "InvalidOpcode",
+    "OutOfGas",
+    "StackOverflow",
+    "StackUnderflow",
+    "Instruction",
+    "EVM",
+    "ExecutionResult",
+    "Halt",
+    "OPCODES",
+    "OPCODES_BY_NAME",
+    "SHANGHAI_OPCODE_COUNT",
+    "Opcode",
+    "opcode_by_name",
+    "opcode_by_value",
+]

@@ -1,0 +1,211 @@
+"""Assembler: mnemonic programs → EVM bytecode.
+
+The synthetic contract generators (:mod:`repro.datagen`) author contracts
+as readable assembly and rely on this module to emit deployable bytecode.
+The assembler supports:
+
+* plain mnemonics (``"CALLER"``, ``"SSTORE"`` …),
+* PUSH with integer, hex-string or bytes immediates (width inferred from
+  the mnemonic, e.g. ``("PUSH4", 0x23B872DD)``),
+* symbolic labels for jump targets: ``label("loop")`` defines a JUMPDEST
+  and ``push_label("loop")`` pushes its resolved byte offset (two-pass
+  assembly with fixed-width PUSH2 offsets, plenty for synthetic contracts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evm.errors import AssemblerError
+from repro.evm.opcodes import Opcode, opcode_by_name, push_opcode
+
+__all__ = ["Assembler", "assemble", "Label", "PushLabel"]
+
+#: Width, in bytes, of label-resolved PUSH immediates.
+_LABEL_PUSH_WIDTH = 2
+
+
+@dataclass(frozen=True)
+class Label:
+    """Defines a jump destination named ``name`` (emits JUMPDEST)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PushLabel:
+    """Pushes the byte offset of :class:`Label` ``name`` (emits PUSH2)."""
+
+    name: str
+
+
+def _coerce_operand(opcode: Opcode, operand: object) -> bytes:
+    """Convert a user-supplied PUSH operand to exactly-sized bytes."""
+    width = opcode.immediate_size
+    if isinstance(operand, bytes):
+        raw = operand
+    elif isinstance(operand, str):
+        text = operand[2:] if operand.startswith(("0x", "0X")) else operand
+        if len(text) % 2:
+            text = "0" + text
+        try:
+            raw = bytes.fromhex(text)
+        except ValueError as exc:
+            raise AssemblerError(
+                f"bad hex operand {operand!r} for {opcode.mnemonic}"
+            ) from exc
+    elif isinstance(operand, int):
+        if operand < 0:
+            raise AssemblerError(f"negative operand {operand} for {opcode.mnemonic}")
+        raw = operand.to_bytes(max(1, (operand.bit_length() + 7) // 8), "big")
+    else:
+        raise AssemblerError(
+            f"unsupported operand type {type(operand).__name__} "
+            f"for {opcode.mnemonic}"
+        )
+    if len(raw) > width:
+        raise AssemblerError(
+            f"operand {raw.hex()} is {len(raw)} bytes, "
+            f"but {opcode.mnemonic} takes {width}"
+        )
+    return raw.rjust(width, b"\x00")
+
+
+class Assembler:
+    """Two-pass assembler building one bytecode blob.
+
+    Example:
+        >>> asm = Assembler()
+        >>> asm.push(0x80).push(0x40).emit("MSTORE")  # doctest: +ELLIPSIS
+        <repro.evm.assembler.Assembler object at ...>
+        >>> asm.assemble().hex()
+        '6080604052'
+    """
+
+    def __init__(self) -> None:
+        self._items: list[object] = []
+
+    # ------------------------------------------------------------------ #
+    # Program construction
+    # ------------------------------------------------------------------ #
+
+    def emit(self, mnemonic: str, operand: object = None) -> "Assembler":
+        """Append one instruction; ``operand`` only for the PUSH family."""
+        try:
+            opcode = opcode_by_name(mnemonic)
+        except KeyError as exc:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}") from exc
+        if opcode.immediate_size == 0:
+            if operand is not None:
+                raise AssemblerError(f"{opcode.mnemonic} takes no operand")
+            self._items.append(bytes([opcode.value]))
+            return self
+        if operand is None:
+            raise AssemblerError(f"{opcode.mnemonic} requires an operand")
+        raw = _coerce_operand(opcode, operand)
+        self._items.append(bytes([opcode.value]) + raw)
+        return self
+
+    def push(self, value: int | bytes | str, width: int | None = None) -> "Assembler":
+        """Append the narrowest PUSH that fits ``value`` (or a fixed width).
+
+        ``push(0)`` emits ``PUSH0`` (Shanghai) when no width is forced.
+        """
+        if isinstance(value, int):
+            if value < 0:
+                raise AssemblerError(f"cannot PUSH negative value {value}")
+            natural = (value.bit_length() + 7) // 8
+        elif isinstance(value, bytes):
+            natural = len(value)
+        else:
+            text = value[2:] if value.startswith(("0x", "0X")) else value
+            natural = (len(text) + 1) // 2
+        chosen = natural if width is None else width
+        if chosen == 0 and width is None and isinstance(value, int) and value == 0:
+            self._items.append(bytes([push_opcode(0).value]))
+            return self
+        chosen = max(1, chosen)
+        opcode = push_opcode(chosen)
+        return self.emit(opcode.mnemonic, value)
+
+    def label(self, name: str) -> "Assembler":
+        """Define jump destination ``name`` here (emits JUMPDEST)."""
+        self._items.append(Label(name))
+        return self
+
+    def push_label(self, name: str) -> "Assembler":
+        """Push the byte offset of label ``name`` (resolved at assembly)."""
+        self._items.append(PushLabel(name))
+        return self
+
+    def raw(self, data: bytes) -> "Assembler":
+        """Append raw bytes verbatim (data sections, metadata trailers)."""
+        self._items.append(bytes(data))
+        return self
+
+    def extend(self, program: list) -> "Assembler":
+        """Append a program given as a list of items.
+
+        Each item may be a mnemonic string, a ``(mnemonic, operand)`` tuple,
+        a :class:`Label`, a :class:`PushLabel`, or raw ``bytes``.
+        """
+        for item in program:
+            if isinstance(item, (Label, PushLabel)):
+                self._items.append(item)
+            elif isinstance(item, bytes):
+                self.raw(item)
+            elif isinstance(item, str):
+                self.emit(item)
+            elif isinstance(item, tuple) and len(item) == 2:
+                self.emit(item[0], item[1])
+            else:
+                raise AssemblerError(f"unsupported program item {item!r}")
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Assembly
+    # ------------------------------------------------------------------ #
+
+    def assemble(self) -> bytes:
+        """Resolve labels and emit the final bytecode."""
+        jumpdest = bytes([opcode_by_name("JUMPDEST").value])
+        push_op = bytes([push_opcode(_LABEL_PUSH_WIDTH).value])
+
+        offsets: dict[str, int] = {}
+        cursor = 0
+        for item in self._items:
+            if isinstance(item, Label):
+                if item.name in offsets:
+                    raise AssemblerError(f"duplicate label {item.name!r}")
+                offsets[item.name] = cursor
+                cursor += 1
+            elif isinstance(item, PushLabel):
+                cursor += 1 + _LABEL_PUSH_WIDTH
+            else:
+                cursor += len(item)  # type: ignore[arg-type]
+
+        parts: list[bytes] = []
+        for item in self._items:
+            if isinstance(item, Label):
+                parts.append(jumpdest)
+            elif isinstance(item, PushLabel):
+                if item.name not in offsets:
+                    raise AssemblerError(f"undefined label {item.name!r}")
+                target = offsets[item.name]
+                if target >= 1 << (8 * _LABEL_PUSH_WIDTH):
+                    raise AssemblerError(
+                        f"label {item.name!r} offset {target} exceeds PUSH2"
+                    )
+                parts.append(push_op + target.to_bytes(_LABEL_PUSH_WIDTH, "big"))
+            else:
+                parts.append(item)  # type: ignore[arg-type]
+        return b"".join(parts)
+
+    def __len__(self) -> int:
+        """Current number of program items (not bytes)."""
+        return len(self._items)
+
+
+def assemble(program: list) -> bytes:
+    """One-shot assembly of a program list (see :meth:`Assembler.extend`)."""
+    return Assembler().extend(program).assemble()

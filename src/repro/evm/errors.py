@@ -1,0 +1,37 @@
+"""Exception hierarchy for the EVM substrate."""
+
+
+class EVMError(Exception):
+    """Base class for every error raised by :mod:`repro.evm`."""
+
+
+class DisassemblyError(EVMError):
+    """Raised when bytecode cannot be decoded at all (e.g. bad hex input)."""
+
+
+class AssemblerError(EVMError):
+    """Raised for malformed assembly programs (unknown mnemonics, bad operands)."""
+
+
+class ExecutionError(EVMError):
+    """Base class for runtime failures inside the interpreter."""
+
+
+class StackUnderflow(ExecutionError):
+    """An opcode popped more items than the stack holds."""
+
+
+class StackOverflow(ExecutionError):
+    """The stack exceeded the 1024-item EVM limit."""
+
+
+class OutOfGas(ExecutionError):
+    """Gas was exhausted before execution halted normally."""
+
+
+class InvalidOpcode(ExecutionError):
+    """An undefined byte (or the designated INVALID opcode) was executed."""
+
+
+class InvalidJump(ExecutionError):
+    """A JUMP/JUMPI landed on a byte that is not a JUMPDEST."""

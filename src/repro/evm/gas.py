@@ -1,0 +1,58 @@
+"""Gas accounting helpers for the mini EVM interpreter.
+
+Static per-opcode costs live on the :class:`~repro.evm.opcodes.Opcode`
+definitions; this module adds the dynamic components the interpreter needs
+(memory expansion, word-copy surcharges), following the yellow-paper
+formulas at the fidelity required to bound synthetic-contract execution.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "memory_expansion_cost",
+    "copy_cost",
+    "keccak_cost",
+    "words",
+    "GAS_MEMORY_WORD",
+    "GAS_COPY_WORD",
+    "GAS_KECCAK_WORD",
+]
+
+#: Linear coefficient of the memory expansion cost.
+GAS_MEMORY_WORD = 3
+
+#: Per-word surcharge for *COPY opcodes.
+GAS_COPY_WORD = 3
+
+#: Per-word surcharge for SHA3.
+GAS_KECCAK_WORD = 6
+
+
+def words(size_bytes: int) -> int:
+    """Number of 32-byte words needed to hold ``size_bytes`` bytes."""
+    return (size_bytes + 31) // 32
+
+
+def memory_cost(size_bytes: int) -> int:
+    """Total cost of an active memory of ``size_bytes`` bytes.
+
+    C_mem(a) = 3a + floor(a^2 / 512), with a in words (yellow paper, App. H).
+    """
+    a = words(size_bytes)
+    return GAS_MEMORY_WORD * a + a * a // 512
+
+def memory_expansion_cost(current_size: int, new_size: int) -> int:
+    """Marginal gas to grow active memory from ``current_size`` bytes."""
+    if new_size <= current_size:
+        return 0
+    return memory_cost(new_size) - memory_cost(current_size)
+
+
+def copy_cost(size_bytes: int) -> int:
+    """Dynamic cost of copying ``size_bytes`` (CALLDATACOPY, CODECOPY, …)."""
+    return GAS_COPY_WORD * words(size_bytes)
+
+
+def keccak_cost(size_bytes: int) -> int:
+    """Dynamic cost of hashing ``size_bytes`` with SHA3."""
+    return GAS_KECCAK_WORD * words(size_bytes)

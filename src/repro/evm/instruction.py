@@ -1,0 +1,89 @@
+"""A single disassembled EVM instruction.
+
+The paper's BDM stores disassembled opcodes as a triple of *mnemonic*,
+*operand* and *gas* — e.g. ``0x6080604052`` becomes ``(PUSH1, 0x80, 3),
+(PUSH1, 0x40, 3), (MSTORE, NaN, 3)``. :class:`Instruction` carries that
+triple plus the byte offset and enough structure for downstream feature
+extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evm.opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction within a bytecode sequence.
+
+    Attributes:
+        offset: Byte offset of the opcode within the bytecode.
+        opcode: The :class:`~repro.evm.opcodes.Opcode` definition. For bytes
+            not defined in the Shanghai fork this is the ``INVALID`` opcode
+            definition with :attr:`is_undefined_byte` set.
+        operand: Raw immediate bytes (empty for non-PUSH instructions).
+        is_undefined_byte: True when the raw byte had no Shanghai definition
+            and was mapped to ``INVALID`` (the evmdasm enhancement described
+            in §III of the paper).
+        is_truncated: True when the bytecode ended in the middle of a PUSH
+            immediate; ``operand`` then holds the bytes that were present.
+        raw_byte: The original byte value (differs from ``opcode.value``
+            only for undefined bytes).
+    """
+
+    offset: int
+    opcode: Opcode
+    operand: bytes = b""
+    is_undefined_byte: bool = False
+    is_truncated: bool = False
+    raw_byte: int | None = None
+
+    @property
+    def mnemonic(self) -> str:
+        """Human-readable alias, e.g. ``"PUSH1"``."""
+        return self.opcode.mnemonic
+
+    @property
+    def size(self) -> int:
+        """Total encoded size in bytes (opcode + any immediate present)."""
+        return 1 + len(self.operand)
+
+    @property
+    def next_offset(self) -> int:
+        """Offset of the instruction that follows this one."""
+        return self.offset + self.size
+
+    @property
+    def operand_int(self) -> int | None:
+        """The immediate operand as an unsigned integer, ``None`` if absent."""
+        if not self.operand:
+            return None
+        return int.from_bytes(self.operand, "big")
+
+    @property
+    def operand_hex(self) -> str | None:
+        """The immediate operand as ``0x``-prefixed hex, ``None`` if absent."""
+        if not self.operand:
+            return None
+        return "0x" + self.operand.hex()
+
+    @property
+    def gas(self) -> float:
+        """Static gas cost (NaN for INVALID / undefined bytes)."""
+        return self.opcode.gas_or_nan
+
+    def as_triple(self) -> tuple[str, str, float]:
+        """The (mnemonic, operand, gas) triple from the paper's BDM.
+
+        The operand slot is the string ``"NaN"`` for instructions without an
+        immediate, matching the CSV layout the paper describes.
+        """
+        operand = self.operand_hex if self.operand else "NaN"
+        return (self.mnemonic, operand, self.gas)
+
+    def __str__(self) -> str:
+        if self.operand:
+            return f"{self.mnemonic} {self.operand_hex}"
+        return self.mnemonic

@@ -1,0 +1,355 @@
+"""The EVM opcode registry for the *Shanghai* fork.
+
+The registry mirrors the reference table the paper cites (evm.codes,
+``?fork=shanghai``): 144 defined opcodes, including the two instructions the
+authors added to ``evmdasm`` — ``PUSH0`` (0x5F, introduced by EIP-3855 in
+Shanghai) and the designated ``INVALID`` instruction (0xFE, whose static gas
+cost is *NaN* in the reference table).
+
+Each :class:`Opcode` records the byte value, mnemonic, static gas cost,
+stack effect (``pops``/``pushes``), the size of the inline immediate operand
+(non-zero only for the PUSH family) and a human-readable description, so the
+same table serves the disassembler, the assembler, the interpreter and the
+feature extractors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Opcode",
+    "OPCODES",
+    "OPCODES_BY_NAME",
+    "SHANGHAI_OPCODE_COUNT",
+    "opcode_by_value",
+    "opcode_by_name",
+    "push_opcode",
+    "dup_opcode",
+    "swap_opcode",
+    "log_opcode",
+    "is_push",
+    "is_terminator",
+    "CATEGORIES",
+]
+
+#: Number of opcodes defined as of the Shanghai update (see §II of the paper).
+SHANGHAI_OPCODE_COUNT = 144
+
+#: The EVM stack may hold at most this many 256-bit words.
+MAX_STACK_DEPTH = 1024
+
+
+@dataclass(frozen=True)
+class Opcode:
+    """A single EVM instruction definition.
+
+    Attributes:
+        value: The byte value (0x00–0xFF).
+        mnemonic: Human-readable alias (e.g. ``"PUSH1"``).
+        gas: Static gas cost. ``None`` for ``INVALID`` whose cost is NaN in
+            the reference table; use :attr:`gas_or_nan` when a numeric value
+            is required.
+        pops: Number of stack items consumed.
+        pushes: Number of stack items produced.
+        immediate_size: Bytes of inline operand following the opcode
+            (1–32 for PUSH1–PUSH32, otherwise 0).
+        description: Short description from the reference table.
+        category: Coarse functional group (``"arithmetic"``, ``"system"``, …).
+    """
+
+    value: int
+    mnemonic: str
+    gas: int | None
+    pops: int
+    pushes: int
+    immediate_size: int = 0
+    description: str = ""
+    category: str = field(default="misc")
+
+    @property
+    def gas_or_nan(self) -> float:
+        """The static gas cost as a float, NaN when undefined (INVALID)."""
+        return float("nan") if self.gas is None else float(self.gas)
+
+    @property
+    def is_push(self) -> bool:
+        """True for PUSH0–PUSH32."""
+        return 0x5F <= self.value <= 0x7F
+
+    @property
+    def is_terminator(self) -> bool:
+        """True when the instruction unconditionally ends execution."""
+        return self.mnemonic in _TERMINATORS
+
+    def __str__(self) -> str:
+        return self.mnemonic
+
+    def __int__(self) -> int:
+        return self.value
+
+
+_TERMINATORS = frozenset(
+    {"STOP", "RETURN", "REVERT", "INVALID", "SELFDESTRUCT", "JUMP"}
+)
+
+#: Functional categories used by feature extractors and the data generators.
+CATEGORIES = (
+    "arithmetic",
+    "comparison",
+    "bitwise",
+    "sha3",
+    "environment",
+    "block",
+    "stack",
+    "memory",
+    "storage",
+    "flow",
+    "push",
+    "dup",
+    "swap",
+    "log",
+    "system",
+)
+
+
+def _base_table() -> list[Opcode]:
+    """Build the non-parameterised portion of the Shanghai opcode table."""
+    spec: list[tuple[int, str, int | None, int, int, str, str]] = [
+        # value, mnemonic, gas, pops, pushes, category, description
+        (0x00, "STOP", 0, 0, 0, "flow", "Halts execution"),
+        (0x01, "ADD", 3, 2, 1, "arithmetic", "Addition operation"),
+        (0x02, "MUL", 5, 2, 1, "arithmetic", "Multiplication operation"),
+        (0x03, "SUB", 3, 2, 1, "arithmetic", "Subtraction operation"),
+        (0x04, "DIV", 5, 2, 1, "arithmetic", "Integer division operation"),
+        (0x05, "SDIV", 5, 2, 1, "arithmetic", "Signed integer division"),
+        (0x06, "MOD", 5, 2, 1, "arithmetic", "Modulo remainder operation"),
+        (0x07, "SMOD", 5, 2, 1, "arithmetic", "Signed modulo remainder"),
+        (0x08, "ADDMOD", 8, 3, 1, "arithmetic", "Modulo addition operation"),
+        (0x09, "MULMOD", 8, 3, 1, "arithmetic", "Modulo multiplication"),
+        (0x0A, "EXP", 10, 2, 1, "arithmetic", "Exponential operation"),
+        (0x0B, "SIGNEXTEND", 5, 2, 1, "arithmetic", "Extend length of signed integer"),
+        (0x10, "LT", 3, 2, 1, "comparison", "Less-than comparison"),
+        (0x11, "GT", 3, 2, 1, "comparison", "Greater-than comparison"),
+        (0x12, "SLT", 3, 2, 1, "comparison", "Signed less-than comparison"),
+        (0x13, "SGT", 3, 2, 1, "comparison", "Signed greater-than comparison"),
+        (0x14, "EQ", 3, 2, 1, "comparison", "Equality comparison"),
+        (0x15, "ISZERO", 3, 1, 1, "comparison", "Is-zero comparison"),
+        (0x16, "AND", 3, 2, 1, "bitwise", "Bitwise AND operation"),
+        (0x17, "OR", 3, 2, 1, "bitwise", "Bitwise OR operation"),
+        (0x18, "XOR", 3, 2, 1, "bitwise", "Bitwise XOR operation"),
+        (0x19, "NOT", 3, 1, 1, "bitwise", "Bitwise NOT operation"),
+        (0x1A, "BYTE", 3, 2, 1, "bitwise", "Retrieve single byte from word"),
+        (0x1B, "SHL", 3, 2, 1, "bitwise", "Left shift operation"),
+        (0x1C, "SHR", 3, 2, 1, "bitwise", "Logical right shift operation"),
+        (0x1D, "SAR", 3, 2, 1, "bitwise", "Arithmetic right shift operation"),
+        (0x20, "SHA3", 30, 2, 1, "sha3", "Compute Keccak-256 hash"),
+        (0x30, "ADDRESS", 2, 0, 1, "environment", "Get address of executing account"),
+        (0x31, "BALANCE", 100, 1, 1, "environment", "Get balance of given account"),
+        (0x32, "ORIGIN", 2, 0, 1, "environment", "Get execution origination address"),
+        (0x33, "CALLER", 2, 0, 1, "environment", "Get caller address"),
+        (0x34, "CALLVALUE", 2, 0, 1, "environment", "Get deposited value"),
+        (0x35, "CALLDATALOAD", 3, 1, 1, "environment", "Get input data of environment"),
+        (0x36, "CALLDATASIZE", 2, 0, 1, "environment", "Get size of input data"),
+        (0x37, "CALLDATACOPY", 3, 3, 0, "environment", "Copy input data to memory"),
+        (0x38, "CODESIZE", 2, 0, 1, "environment", "Get size of running code"),
+        (0x39, "CODECOPY", 3, 3, 0, "environment", "Copy running code to memory"),
+        (0x3A, "GASPRICE", 2, 0, 1, "environment", "Get price of gas"),
+        (0x3B, "EXTCODESIZE", 100, 1, 1, "environment", "Get size of account code"),
+        (0x3C, "EXTCODECOPY", 100, 4, 0, "environment", "Copy account code to memory"),
+        (0x3D, "RETURNDATASIZE", 2, 0, 1, "environment", "Get size of last return data"),
+        (0x3E, "RETURNDATACOPY", 3, 3, 0, "environment", "Copy return data to memory"),
+        (0x3F, "EXTCODEHASH", 100, 1, 1, "environment", "Get hash of account code"),
+        (0x40, "BLOCKHASH", 20, 1, 1, "block", "Get hash of recent block"),
+        (0x41, "COINBASE", 2, 0, 1, "block", "Get block beneficiary address"),
+        (0x42, "TIMESTAMP", 2, 0, 1, "block", "Get block timestamp"),
+        (0x43, "NUMBER", 2, 0, 1, "block", "Get block number"),
+        (0x44, "PREVRANDAO", 2, 0, 1, "block", "Get previous RANDAO mix"),
+        (0x45, "GASLIMIT", 2, 0, 1, "block", "Get block gas limit"),
+        (0x46, "CHAINID", 2, 0, 1, "block", "Get chain identifier"),
+        (0x47, "SELFBALANCE", 5, 0, 1, "block", "Get own balance"),
+        (0x48, "BASEFEE", 2, 0, 1, "block", "Get block base fee"),
+        (0x50, "POP", 2, 1, 0, "stack", "Remove item from stack"),
+        (0x51, "MLOAD", 3, 1, 1, "memory", "Load word from memory"),
+        (0x52, "MSTORE", 3, 2, 0, "memory", "Save word to memory"),
+        (0x53, "MSTORE8", 3, 2, 0, "memory", "Save byte to memory"),
+        (0x54, "SLOAD", 100, 1, 1, "storage", "Load word from storage"),
+        (0x55, "SSTORE", 100, 2, 0, "storage", "Save word to storage"),
+        (0x56, "JUMP", 8, 1, 0, "flow", "Alter the program counter"),
+        (0x57, "JUMPI", 10, 2, 0, "flow", "Conditionally alter program counter"),
+        (0x58, "PC", 2, 0, 1, "flow", "Get program counter value"),
+        (0x59, "MSIZE", 2, 0, 1, "memory", "Get size of active memory"),
+        (0x5A, "GAS", 2, 0, 1, "flow", "Get amount of available gas"),
+        (0x5B, "JUMPDEST", 1, 0, 0, "flow", "Mark a valid jump destination"),
+        (0xF0, "CREATE", 32000, 3, 1, "system", "Create a new account with code"),
+        (0xF1, "CALL", 100, 7, 1, "system", "Message-call into an account"),
+        (0xF2, "CALLCODE", 100, 7, 1, "system", "Message-call with own storage"),
+        (0xF3, "RETURN", 0, 2, 0, "system", "Halt execution returning output"),
+        (0xF4, "DELEGATECALL", 100, 6, 1, "system", "Call keeping caller context"),
+        (0xF5, "CREATE2", 32000, 4, 1, "system", "Create account, salted address"),
+        (0xFA, "STATICCALL", 100, 6, 1, "system", "Static message-call"),
+        (0xFD, "REVERT", 0, 2, 0, "system", "Halt execution reverting state changes"),
+        (0xFE, "INVALID", None, 0, 0, "system", "Designated invalid instruction"),
+        (0xFF, "SELFDESTRUCT", 5000, 1, 0, "system",
+         "Halt execution and register account for later deletion"),
+    ]
+    return [
+        Opcode(value, name, gas, pops, pushes, 0, description, category)
+        for value, name, gas, pops, pushes, category, description in spec
+    ]
+
+
+def _push_family() -> list[Opcode]:
+    """PUSH0 (Shanghai, EIP-3855) through PUSH32."""
+    ops = [
+        Opcode(0x5F, "PUSH0", 2, 0, 1, 0, "Place 0 byte item on stack", "push")
+    ]
+    for n in range(1, 33):
+        ops.append(
+            Opcode(
+                0x5F + n,
+                f"PUSH{n}",
+                3,
+                0,
+                1,
+                n,
+                f"Place {n}-byte item on stack",
+                "push",
+            )
+        )
+    return ops
+
+
+def _dup_family() -> list[Opcode]:
+    return [
+        Opcode(0x7F + n, f"DUP{n}", 3, n, n + 1, 0,
+               f"Duplicate {n}th stack item", "dup")
+        for n in range(1, 17)
+    ]
+
+
+def _swap_family() -> list[Opcode]:
+    return [
+        Opcode(0x8F + n, f"SWAP{n}", 3, n + 1, n + 1, 0,
+               f"Exchange 1st and {n + 1}th stack items", "swap")
+        for n in range(1, 17)
+    ]
+
+
+def _log_family() -> list[Opcode]:
+    return [
+        Opcode(0xA0 + n, f"LOG{n}", 375 * (n + 1), n + 2, 0, 0,
+               f"Append log record with {n} topics", "log")
+        for n in range(5)
+    ]
+
+
+def _build_registry() -> dict[int, Opcode]:
+    table: dict[int, Opcode] = {}
+    for opcode in (
+        _base_table() + _push_family() + _dup_family()
+        + _swap_family() + _log_family()
+    ):
+        if opcode.value in table:
+            raise ValueError(f"duplicate opcode value 0x{opcode.value:02X}")
+        table[opcode.value] = opcode
+    if len(table) != SHANGHAI_OPCODE_COUNT:
+        raise ValueError(
+            f"expected {SHANGHAI_OPCODE_COUNT} opcodes, built {len(table)}"
+        )
+    return table
+
+
+#: Opcode registry keyed by byte value.
+OPCODES: dict[int, Opcode] = _build_registry()
+
+#: Opcode registry keyed by mnemonic (also accepts the legacy aliases below).
+OPCODES_BY_NAME: dict[str, Opcode] = {op.mnemonic: op for op in OPCODES.values()}
+
+#: Legacy mnemonic aliases accepted by :func:`opcode_by_name`.
+_ALIASES = {
+    "KECCAK256": "SHA3",
+    "DIFFICULTY": "PREVRANDAO",
+    "SUICIDE": "SELFDESTRUCT",
+}
+for _alias, _canonical in _ALIASES.items():
+    OPCODES_BY_NAME[_alias] = OPCODES_BY_NAME[_canonical]
+
+
+def opcode_by_value(value: int) -> Opcode | None:
+    """Look up an opcode by byte value, ``None`` for undefined bytes."""
+    return OPCODES.get(value)
+
+
+def opcode_by_name(mnemonic: str) -> Opcode:
+    """Look up an opcode by mnemonic (case-insensitive, aliases accepted).
+
+    Raises:
+        KeyError: If the mnemonic is not defined in the Shanghai fork.
+    """
+    return OPCODES_BY_NAME[mnemonic.upper()]
+
+
+def push_opcode(width: int) -> Opcode:
+    """The PUSH opcode placing a ``width``-byte immediate (0–32)."""
+    if not 0 <= width <= 32:
+        raise ValueError(f"PUSH width must be in [0, 32], got {width}")
+    return OPCODES[0x5F + width]
+
+
+def dup_opcode(depth: int) -> Opcode:
+    """DUP1–DUP16."""
+    if not 1 <= depth <= 16:
+        raise ValueError(f"DUP depth must be in [1, 16], got {depth}")
+    return OPCODES[0x7F + depth]
+
+
+def swap_opcode(depth: int) -> Opcode:
+    """SWAP1–SWAP16."""
+    if not 1 <= depth <= 16:
+        raise ValueError(f"SWAP depth must be in [1, 16], got {depth}")
+    return OPCODES[0x8F + depth]
+
+
+def log_opcode(topics: int) -> Opcode:
+    """LOG0–LOG4."""
+    if not 0 <= topics <= 4:
+        raise ValueError(f"LOG topic count must be in [0, 4], got {topics}")
+    return OPCODES[0xA0 + topics]
+
+
+def is_push(value: int) -> bool:
+    """True when the byte value is PUSH0–PUSH32."""
+    return 0x5F <= value <= 0x7F
+
+
+def is_terminator(value: int) -> bool:
+    """True when the byte value unconditionally ends a basic block."""
+    opcode = OPCODES.get(value)
+    return opcode is not None and opcode.is_terminator
+
+
+def total_static_gas(values: list[int]) -> float:
+    """Sum the static gas of a sequence of opcode byte values.
+
+    Undefined bytes and INVALID contribute NaN, mirroring the reference
+    table; the sum is then NaN as well (callers typically filter first).
+    """
+    total = 0.0
+    for value in values:
+        opcode = OPCODES.get(value)
+        total += float("nan") if opcode is None else opcode.gas_or_nan
+    return total
+
+
+def _self_check() -> None:
+    """Internal consistency checks, executed at import time."""
+    assert OPCODES[0x00].mnemonic == "STOP"
+    assert OPCODES[0x5F].mnemonic == "PUSH0"
+    assert OPCODES[0xFE].gas is None
+    assert math.isnan(OPCODES[0xFE].gas_or_nan)
+    assert OPCODES[0xFF].gas == 5000
+
+
+_self_check()

@@ -1,0 +1,28 @@
+"""Feature extraction pipelines for the four model categories.
+
+* :mod:`repro.features.histogram` — opcode-occurrence histograms (HSCs),
+* :mod:`repro.features.image` — RGB encodings: raw-byte R2D2 images
+  (ViT+R2D2, ECA+EfficientNet) and frequency-encoded images (ViT+Freq),
+* :mod:`repro.features.ngrams` — SCSGuard's hex n-gram sequences,
+* :mod:`repro.features.tokenizer` — opcode-text tokenizers with the α
+  (truncation) and β (sliding-window) policies of GPT-2/T5.
+
+Extractors follow a fit/transform protocol: anything learned (vocabularies,
+frequency tables) is learned on the *training* set only, exactly as the
+paper stipulates for the ViT+Freq lookup table.
+"""
+
+from repro.features.histogram import OpcodeHistogramExtractor
+from repro.features.image import FrequencyImageEncoder, rgb_image
+from repro.features.ngrams import HexNgramEncoder
+from repro.features.structural import StructuralFeatureExtractor
+from repro.features.tokenizer import OpcodeTokenizer
+
+__all__ = [
+    "OpcodeHistogramExtractor",
+    "FrequencyImageEncoder",
+    "rgb_image",
+    "HexNgramEncoder",
+    "StructuralFeatureExtractor",
+    "OpcodeTokenizer",
+]

@@ -1,0 +1,63 @@
+"""Opcode histograms — the HSC feature pipeline (§IV-B).
+
+"For each contract bytecode, a histogram of the occurrences of opcodes is
+created. It builds a vector of length equal to the number of unique opcodes
+inside the training set. The vector is directly served as input (i.e.,
+without normalized nor standardized steps)."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evm.disassembler import disassemble_mnemonics
+
+__all__ = ["OpcodeHistogramExtractor"]
+
+
+class OpcodeHistogramExtractor:
+    """Count opcode mnemonics against a training-set vocabulary.
+
+    Opcodes never seen during :meth:`fit` are ignored at transform time
+    (their column does not exist), mirroring the paper's construction.
+    """
+
+    def __init__(self):
+        self.vocabulary_: dict[str, int] | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.vocabulary_ is not None
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Vocabulary mnemonics in column order."""
+        self._check_fitted()
+        ordered = sorted(self.vocabulary_, key=self.vocabulary_.get)
+        return ordered
+
+    def fit(self, bytecodes: list[bytes]) -> "OpcodeHistogramExtractor":
+        """Learn the vocabulary: unique opcodes in the training set."""
+        seen: set[str] = set()
+        for bytecode in bytecodes:
+            seen.update(disassemble_mnemonics(bytecode))
+        self.vocabulary_ = {name: i for i, name in enumerate(sorted(seen))}
+        return self
+
+    def transform(self, bytecodes: list[bytes]) -> np.ndarray:
+        """Histogram matrix of shape ``(n_samples, vocabulary size)``."""
+        self._check_fitted()
+        matrix = np.zeros((len(bytecodes), len(self.vocabulary_)), dtype=np.float64)
+        for row, bytecode in enumerate(bytecodes):
+            for mnemonic in disassemble_mnemonics(bytecode):
+                column = self.vocabulary_.get(mnemonic)
+                if column is not None:
+                    matrix[row, column] += 1.0
+        return matrix
+
+    def fit_transform(self, bytecodes: list[bytes]) -> np.ndarray:
+        return self.fit(bytecodes).transform(bytecodes)
+
+    def _check_fitted(self) -> None:
+        if self.vocabulary_ is None:
+            raise RuntimeError("extractor is not fitted; call fit() first")

@@ -1,0 +1,132 @@
+"""RGB image encodings of contract bytecode (§IV-B, Vision Models).
+
+Two encoders:
+
+* :func:`rgb_image` — the R2D2 scheme (ViT+R2D2, ECA+EfficientNet): the raw
+  byte stream is interpreted as a sequence of (R, G, B) triplets, arranged
+  row-major into a square image and zero-padded (or truncated) to fit.
+* :class:`FrequencyImageEncoder` — the ViT+Freq scheme: a lookup table,
+  built exactly once on the training set, maps each *disassembled*
+  instruction to pixel intensities. The most frequent mnemonics, operands
+  and gas values receive the highest intensities in the R, G and B channels
+  respectively (frequency encoding as a categorical encoding technique).
+
+The paper uses 224×224 inputs for the pretrained ViT-B/16; the size here is
+a parameter (default 224, benchmarks use smaller CPU-friendly sizes —
+substitution S5 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+
+from repro.evm.disassembler import disassemble
+
+__all__ = ["rgb_image", "rgb_images", "FrequencyImageEncoder"]
+
+
+def rgb_image(bytecode: bytes, size: int = 224) -> np.ndarray:
+    """Encode raw bytes as a ``(size, size, 3)`` float image in [0, 1].
+
+    Bytes are consumed three at a time as (R, G, B); the tail is
+    zero-padded and anything beyond ``size*size`` pixels is truncated.
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    capacity = size * size * 3
+    buffer = np.frombuffer(bytecode[:capacity], dtype=np.uint8)
+    padded = np.zeros(capacity, dtype=np.uint8)
+    padded[: len(buffer)] = buffer
+    return padded.reshape(size, size, 3).astype(np.float64) / 255.0
+
+
+def rgb_images(bytecodes: list[bytes], size: int = 224) -> np.ndarray:
+    """Stack :func:`rgb_image` over samples: ``(n, size, size, 3)``."""
+    return np.stack([rgb_image(code, size) for code in bytecodes])
+
+
+class FrequencyImageEncoder:
+    """Frequency-encoded instruction images (ViT+Freq).
+
+    One pixel per disassembled instruction:
+
+    * R — normalized training-set frequency of the mnemonic,
+    * G — normalized training-set frequency of the operand value,
+    * B — normalized training-set frequency of the gas cost.
+
+    Unseen categories map to intensity 0. The lookup table is constructed
+    exactly once, on the entire training set.
+    """
+
+    def __init__(self, size: int = 224):
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self.size = size
+        self._tables: list[dict[object, float]] | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._tables is not None
+
+    @staticmethod
+    def _triple(instruction) -> tuple[str, str, object]:
+        mnemonic, operand, gas = instruction.as_triple()
+        gas_key = "NaN" if gas != gas else int(gas)
+        return mnemonic, operand, gas_key
+
+    def fit(self, bytecodes: list[bytes]) -> "FrequencyImageEncoder":
+        counters = [Counter(), Counter(), Counter()]
+        for bytecode in bytecodes:
+            for instruction in disassemble(bytecode):
+                for channel, key in enumerate(self._triple(instruction)):
+                    counters[channel][key] += 1
+        self._tables = []
+        for counter in counters:
+            top = max(counter.values()) if counter else 1
+            self._tables.append(
+                {key: count / top for key, count in counter.items()}
+            )
+        return self
+
+    def transform_one(self, bytecode: bytes) -> np.ndarray:
+        if self._tables is None:
+            raise RuntimeError("encoder is not fitted; call fit() first")
+        capacity = self.size * self.size
+        pixels = np.zeros((capacity, 3), dtype=np.float64)
+        for index, instruction in enumerate(disassemble(bytecode)):
+            if index >= capacity:
+                break
+            for channel, key in enumerate(self._triple(instruction)):
+                pixels[index, channel] = self._tables[channel].get(key, 0.0)
+        return pixels.reshape(self.size, self.size, 3)
+
+    def transform(self, bytecodes: list[bytes]) -> np.ndarray:
+        return np.stack([self.transform_one(code) for code in bytecodes])
+
+    def fit_transform(self, bytecodes: list[bytes]) -> np.ndarray:
+        return self.fit(bytecodes).transform(bytecodes)
+
+
+def quantize_planes(images: np.ndarray, bins: int) -> np.ndarray:
+    """One-hot intensity quantization: ``(…, 3)`` → ``(…, 3 · bins)``.
+
+    Each channel intensity in [0, 1] is bucketed into ``bins`` levels and
+    one-hot encoded. This fixed stem stands in for the value-selective
+    low-level filters an ImageNet-pretrained backbone provides (DESIGN.md
+    S5): a linear patch embedding over the quantized planes can compute
+    per-patch byte-bucket histograms, which raw intensities do not admit.
+    """
+    if bins < 2:
+        raise ValueError(f"bins must be ≥ 2, got {bins}")
+    levels = np.minimum((images * bins).astype(np.int64), bins - 1)
+    planes = np.zeros(images.shape + (bins,))
+    np.put_along_axis(planes, levels[..., None], 1.0, axis=-1)
+    return planes.reshape(images.shape[:-1] + (images.shape[-1] * bins,))
+
+
+def pixels_needed(bytecode: bytes) -> int:
+    """Smallest square image side that fits ``bytecode`` as RGB triplets."""
+    return max(1, math.ceil(math.sqrt(math.ceil(len(bytecode) / 3))))

@@ -1,0 +1,100 @@
+"""Hex n-gram sequences — SCSGuard's input pipeline (§IV-B).
+
+"Each hexadecimal string within the bytecode is read as a bigram (sequences
+of 6 characters). These bigrams are numerically encoded to create a
+vocabulary (i.e., a list of integers), and the sequences are padded to
+uniform lengths to enable processing by the model."
+
+Tokens are therefore 6-hex-character windows (3 bytes). The vocabulary is
+learned on the training set, capped to the most frequent entries; rare or
+unseen tokens map to ``UNK`` and sequences are padded/truncated to
+``max_length`` with ``PAD``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+__all__ = ["HexNgramEncoder"]
+
+PAD_ID = 0
+UNK_ID = 1
+_RESERVED = 2
+
+
+class HexNgramEncoder:
+    """Fixed-length integer sequences of 6-hex-char tokens.
+
+    Args:
+        max_length: Output sequence length (pad/truncate).
+        vocab_size: Maximum vocabulary size including PAD/UNK.
+        chars_per_token: Hex characters per token (paper: 6).
+        stride: Hop between token starts, in hex characters; equal to
+            ``chars_per_token`` for non-overlapping windows.
+    """
+
+    def __init__(
+        self,
+        max_length: int = 512,
+        vocab_size: int = 4096,
+        chars_per_token: int = 6,
+        stride: int | None = None,
+    ):
+        if chars_per_token <= 0 or chars_per_token % 2:
+            raise ValueError("chars_per_token must be a positive even number")
+        if vocab_size <= _RESERVED:
+            raise ValueError("vocab_size must exceed the 2 reserved ids")
+        self.max_length = max_length
+        self.vocab_size = vocab_size
+        self.chars_per_token = chars_per_token
+        self.stride = stride or chars_per_token
+        self.vocabulary_: dict[str, int] | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.vocabulary_ is not None
+
+    def tokens(self, bytecode: bytes) -> list[str]:
+        """Split a bytecode's hex string into n-gram tokens."""
+        text = bytecode.hex()
+        width = self.chars_per_token
+        return [
+            text[i : i + width]
+            for i in range(0, max(len(text) - width + 1, 0), self.stride)
+        ]
+
+    def fit(self, bytecodes: list[bytes]) -> "HexNgramEncoder":
+        counts: Counter = Counter()
+        for bytecode in bytecodes:
+            counts.update(self.tokens(bytecode))
+        most_common = counts.most_common(self.vocab_size - _RESERVED)
+        self.vocabulary_ = {
+            token: index + _RESERVED
+            for index, (token, __) in enumerate(most_common)
+        }
+        return self
+
+    def transform(self, bytecodes: list[bytes]) -> np.ndarray:
+        """Integer id matrix of shape ``(n_samples, max_length)``."""
+        if self.vocabulary_ is None:
+            raise RuntimeError("encoder is not fitted; call fit() first")
+        matrix = np.full((len(bytecodes), self.max_length), PAD_ID, dtype=np.int64)
+        for row, bytecode in enumerate(bytecodes):
+            ids = [
+                self.vocabulary_.get(token, UNK_ID)
+                for token in self.tokens(bytecode)[: self.max_length]
+            ]
+            matrix[row, : len(ids)] = ids
+        return matrix
+
+    def fit_transform(self, bytecodes: list[bytes]) -> np.ndarray:
+        return self.fit(bytecodes).transform(bytecodes)
+
+    @property
+    def effective_vocab_size(self) -> int:
+        """Actual number of ids in use (reserved + learned)."""
+        if self.vocabulary_ is None:
+            raise RuntimeError("encoder is not fitted; call fit() first")
+        return _RESERVED + len(self.vocabulary_)

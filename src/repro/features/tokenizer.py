@@ -1,0 +1,128 @@
+"""Opcode-text tokenizers with the GPT-2/T5 α and β policies (§IV-D).
+
+The language models consume the disassembled opcode sequence as text. Two
+data-handling policies from the paper:
+
+* **α** — "opcode sequences are truncated to fit model token limits";
+* **β** — "full bytecodes are processed in chunks using a sliding window".
+
+The tokenizer's vocabulary is the set of opcode mnemonics (≤144) plus the
+special tokens ``PAD``/``UNK``/``BOS``/``EOS``, learned from the training
+set like the HSC vocabulary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evm.disassembler import disassemble_mnemonics
+
+__all__ = ["OpcodeTokenizer"]
+
+PAD_ID = 0
+UNK_ID = 1
+BOS_ID = 2
+EOS_ID = 3
+_RESERVED = 4
+
+
+class OpcodeTokenizer:
+    """Map opcode mnemonic sequences to fixed-length id sequences.
+
+    Args:
+        max_length: Token limit per sequence (α truncates to this).
+        window_stride: Hop of the β sliding window, in tokens; defaults to
+            half a window (50% overlap).
+    """
+
+    def __init__(self, max_length: int = 256, window_stride: int | None = None):
+        if max_length < 4:
+            raise ValueError("max_length must be at least 4")
+        self.max_length = max_length
+        self.window_stride = window_stride or max(1, max_length // 2)
+        self.vocabulary_: dict[str, int] | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.vocabulary_ is not None
+
+    @property
+    def vocab_size(self) -> int:
+        if self.vocabulary_ is None:
+            raise RuntimeError("tokenizer is not fitted; call fit() first")
+        return _RESERVED + len(self.vocabulary_)
+
+    def fit(self, bytecodes: list[bytes]) -> "OpcodeTokenizer":
+        seen: set[str] = set()
+        for bytecode in bytecodes:
+            seen.update(disassemble_mnemonics(bytecode))
+        self.vocabulary_ = {
+            mnemonic: index + _RESERVED
+            for index, mnemonic in enumerate(sorted(seen))
+        }
+        return self
+
+    def ids(self, bytecode: bytes) -> list[int]:
+        """Full id sequence (BOS ... EOS), unbounded length."""
+        if self.vocabulary_ is None:
+            raise RuntimeError("tokenizer is not fitted; call fit() first")
+        body = [
+            self.vocabulary_.get(mnemonic, UNK_ID)
+            for mnemonic in disassemble_mnemonics(bytecode)
+        ]
+        return [BOS_ID] + body + [EOS_ID]
+
+    # ------------------------------------------------------------------ #
+    # α: truncation
+    # ------------------------------------------------------------------ #
+
+    def encode_alpha(self, bytecodes: list[bytes]) -> np.ndarray:
+        """Truncate-to-limit matrix of shape ``(n, max_length)``."""
+        matrix = np.full((len(bytecodes), self.max_length), PAD_ID, dtype=np.int64)
+        for row, bytecode in enumerate(bytecodes):
+            ids = self.ids(bytecode)[: self.max_length]
+            matrix[row, : len(ids)] = ids
+        return matrix
+
+    # ------------------------------------------------------------------ #
+    # β: sliding window
+    # ------------------------------------------------------------------ #
+
+    def encode_beta(self, bytecode: bytes) -> np.ndarray:
+        """All windows of one bytecode: shape ``(n_windows, max_length)``.
+
+        Windows cover the full sequence with ``window_stride`` overlap; the
+        last window is padded. A sequence shorter than one window yields a
+        single padded window.
+        """
+        ids = self.ids(bytecode)
+        windows: list[list[int]] = []
+        start = 0
+        while True:
+            chunk = ids[start : start + self.max_length]
+            if not chunk:
+                break
+            windows.append(chunk)
+            if start + self.max_length >= len(ids):
+                break
+            start += self.window_stride
+        matrix = np.full((len(windows), self.max_length), PAD_ID, dtype=np.int64)
+        for row, chunk in enumerate(windows):
+            matrix[row, : len(chunk)] = chunk
+        return matrix
+
+    def encode_beta_batch(
+        self, bytecodes: list[bytes]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Windows for a batch, with a sample-index per window.
+
+        Returns ``(windows, sample_index)`` where predictions over windows
+        are aggregated per sample by the β model heads.
+        """
+        all_windows = []
+        owners = []
+        for sample, bytecode in enumerate(bytecodes):
+            windows = self.encode_beta(bytecode)
+            all_windows.append(windows)
+            owners.extend([sample] * len(windows))
+        return np.concatenate(all_windows, axis=0), np.asarray(owners, dtype=np.int64)

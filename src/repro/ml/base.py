@@ -1,0 +1,94 @@
+"""Estimator protocol: parameter introspection, cloning, validation."""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+
+__all__ = ["Estimator", "Classifier", "clone", "check_X_y", "check_array"]
+
+
+class Estimator:
+    """Base class providing sklearn-style parameter handling.
+
+    Subclasses must accept all hyperparameters as keyword arguments of
+    ``__init__`` and store them under the same attribute names; learned
+    state uses a trailing underscore (``classes_`` …) by convention.
+    """
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        signature = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, parameter in signature.parameters.items()
+            if name != "self"
+            and parameter.kind
+            in (parameter.POSITIONAL_OR_KEYWORD, parameter.KEYWORD_ONLY)
+        ]
+
+    def get_params(self) -> dict:
+        """Current hyperparameter values, keyed by name."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params) -> "Estimator":
+        """Update hyperparameters; unknown names raise ``ValueError``."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"{type(self).__name__} has no parameter {name!r}"
+                )
+            setattr(self, name, value)
+        return self
+
+
+def clone(estimator: Estimator) -> Estimator:
+    """A fresh, unfitted copy with identical hyperparameters."""
+    return type(estimator)(**estimator.get_params())
+
+
+class Classifier(Estimator):
+    """Binary classifier protocol used across PhishingHook."""
+
+    def fit(self, X, y) -> "Classifier":  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def predict_proba(self, X) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def predict(self, X) -> np.ndarray:
+        """Class labels from probabilities (argmax)."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    def score(self, X, y) -> float:
+        """Plain accuracy."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))
+
+
+def check_array(X) -> np.ndarray:
+    """Coerce to a 2-D float array."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X.reshape(1, -1)
+    if X.ndim != 2:
+        raise ValueError(f"expected 2-D feature matrix, got shape {X.shape}")
+    if not np.all(np.isfinite(X)):
+        raise ValueError("feature matrix contains NaN or inf")
+    return X
+
+
+def check_X_y(X, y) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a training pair: 2-D X, integer {0,1} y of matching length."""
+    X = check_array(X)
+    y = np.asarray(y)
+    if y.ndim != 1 or len(y) != len(X):
+        raise ValueError(
+            f"labels must be 1-D of length {len(X)}, got shape {y.shape}"
+        )
+    classes = np.unique(y)
+    if not np.all(np.isin(classes, (0, 1))):
+        raise ValueError(f"binary labels in {{0,1}} required, got {classes}")
+    return X, y.astype(np.int64)

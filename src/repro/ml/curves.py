@@ -1,0 +1,251 @@
+"""Threshold-free evaluation curves: ROC, precision–recall, AUC.
+
+The paper reports threshold-at-0.5 metrics (Table II). For the deployment
+scenario it motivates — wallets warning users *before* they sign — the
+operating threshold is a product decision, so this module adds the
+standard threshold-free view: ROC and precision–recall curves, the areas
+under them, and utilities to pick an operating point under a constraint
+(e.g. "highest recall at ≥99% precision"). Phishing is the positive class
+(label 1) throughout, matching :mod:`repro.ml.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "roc_curve",
+    "precision_recall_curve",
+    "auc",
+    "roc_auc_score",
+    "average_precision_score",
+    "OperatingPoint",
+    "operating_point_at_precision",
+    "operating_point_at_fpr",
+    "detection_error_tradeoff",
+]
+
+
+def _validate_scores(y_true, scores) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=float)
+    if y_true.shape != scores.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs scores {scores.shape}"
+        )
+    if y_true.ndim != 1 or y_true.size == 0:
+        raise ValueError("y_true must be a non-empty 1-D array")
+    if not np.isin(y_true, (0, 1)).all():
+        raise ValueError("y_true must contain only 0/1 labels")
+    if not np.isfinite(scores).all():
+        raise ValueError("scores must be finite")
+    return y_true, scores
+
+
+def _cumulative_counts(y_true: np.ndarray, scores: np.ndarray):
+    """True/false positive counts at every distinct score threshold.
+
+    Thresholds are returned in decreasing order; position ``i`` counts
+    samples with ``score >= thresholds[i]`` predicted positive.
+    """
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_true = y_true[order]
+    # Collapse runs of equal scores: only the last index of each run is a
+    # realisable threshold (a classifier cannot split ties).
+    distinct = np.nonzero(np.diff(sorted_scores))[0]
+    cut = np.concatenate([distinct, [y_true.size - 1]])
+    tps = np.cumsum(sorted_true)[cut]
+    fps = 1 + cut - tps
+    return sorted_scores[cut], tps.astype(float), fps.astype(float)
+
+
+def roc_curve(y_true, scores) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """False-positive rate, true-positive rate and decreasing thresholds.
+
+    The curve starts at (0, 0) — nothing flagged — and ends at (1, 1).
+    Requires both classes to be present.
+
+    Returns:
+        ``(fpr, tpr, thresholds)``; ``thresholds[0]`` is ``+inf`` for the
+        (0, 0) point, mirroring the scikit-learn convention.
+    """
+    y_true, scores = _validate_scores(y_true, scores)
+    n_positive = int(y_true.sum())
+    n_negative = y_true.size - n_positive
+    if n_positive == 0 or n_negative == 0:
+        raise ValueError("roc_curve needs both classes present in y_true")
+    thresholds, tps, fps = _cumulative_counts(y_true, scores)
+    fpr = np.concatenate([[0.0], fps / n_negative])
+    tpr = np.concatenate([[0.0], tps / n_positive])
+    thresholds = np.concatenate([[np.inf], thresholds])
+    return fpr, tpr, thresholds
+
+
+def precision_recall_curve(y_true, scores):
+    """Precision and recall at increasing thresholds.
+
+    Follows the scikit-learn convention: entries run from the loosest
+    realisable threshold (everything flagged, recall 1) to the strictest,
+    so ``recall`` is decreasing, and a final ``(precision=1, recall=0)``
+    anchor represents the threshold above every score.
+
+    Returns:
+        ``(precision, recall, thresholds)``; ``precision``/``recall`` have
+        one more entry than ``thresholds`` because of the anchor point.
+    """
+    y_true, scores = _validate_scores(y_true, scores)
+    n_positive = int(y_true.sum())
+    if n_positive == 0:
+        raise ValueError("precision_recall_curve needs positive samples")
+    thresholds, tps, fps = _cumulative_counts(y_true, scores)
+    precision = tps / (tps + fps)
+    recall = tps / n_positive
+    # Reverse to increasing thresholds and append the (1, 0) anchor.
+    precision = np.concatenate([precision[::-1], [1.0]])
+    recall = np.concatenate([recall[::-1], [0.0]])
+    return precision, recall, thresholds[::-1]
+
+
+def auc(x, y) -> float:
+    """Trapezoidal area under a curve given by monotone ``x`` and ``y``."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1 or x.size < 2:
+        raise ValueError("auc expects two equal-length 1-D arrays, n >= 2")
+    dx = np.diff(x)
+    if np.any(dx < 0) and np.any(dx > 0):
+        raise ValueError("x must be monotone (all increasing or decreasing)")
+    return float(abs(np.trapezoid(y, x)))
+
+
+def roc_auc_score(y_true, scores) -> float:
+    """Area under the ROC curve.
+
+    Computed via the Mann–Whitney U statistic (probability that a random
+    phishing contract outscores a random benign one, ties counting half),
+    which is exact and threshold-free.
+    """
+    y_true, scores = _validate_scores(y_true, scores)
+    positives = scores[y_true == 1]
+    negatives = scores[y_true == 0]
+    if positives.size == 0 or negatives.size == 0:
+        raise ValueError("roc_auc_score needs both classes present")
+    # Rank-based computation: O((n+m) log(n+m)) and tie-correct.
+    combined = np.concatenate([positives, negatives])
+    order = np.argsort(combined, kind="stable")
+    ranks = np.empty(combined.size, dtype=float)
+    ranks[order] = np.arange(1, combined.size + 1)
+    # Average ranks over ties.
+    sorted_vals = combined[order]
+    start = 0
+    for end in range(1, sorted_vals.size + 1):
+        if end == sorted_vals.size or sorted_vals[end] != sorted_vals[start]:
+            if end - start > 1:
+                tie_indices = order[start:end]
+                ranks[tie_indices] = ranks[tie_indices].mean()
+            start = end
+    rank_sum = ranks[: positives.size].sum()
+    u_statistic = rank_sum - positives.size * (positives.size + 1) / 2.0
+    return float(u_statistic / (positives.size * negatives.size))
+
+
+def average_precision_score(y_true, scores) -> float:
+    """Area under the precision–recall curve (step-function AP).
+
+    Uses the standard ``sum (R_i - R_{i-1}) * P_i`` estimator rather than
+    the trapezoid, which is optimistic for PR curves.
+    """
+    precision, recall, _ = precision_recall_curve(y_true, scores)
+    # recall decreases towards the trailing (1, 0) anchor, so the recall
+    # increments are -diff(recall).
+    return float(-np.sum(np.diff(recall) * precision[:-1]))
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One realisable threshold on a score distribution."""
+
+    threshold: float
+    precision: float
+    recall: float
+    fpr: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "threshold": self.threshold,
+            "precision": self.precision,
+            "recall": self.recall,
+            "fpr": self.fpr,
+        }
+
+
+def _all_operating_points(y_true, scores) -> list[OperatingPoint]:
+    y_true, scores = _validate_scores(y_true, scores)
+    n_positive = int(y_true.sum())
+    n_negative = y_true.size - n_positive
+    if n_positive == 0 or n_negative == 0:
+        raise ValueError("operating points need both classes present")
+    thresholds, tps, fps = _cumulative_counts(y_true, scores)
+    points = []
+    for threshold, tp, fp in zip(thresholds, tps, fps):
+        points.append(
+            OperatingPoint(
+                threshold=float(threshold),
+                precision=float(tp / (tp + fp)),
+                recall=float(tp / n_positive),
+                fpr=float(fp / n_negative),
+            )
+        )
+    return points
+
+
+def operating_point_at_precision(
+    y_true, scores, min_precision: float
+) -> OperatingPoint | None:
+    """Highest-recall realisable threshold with precision >= the floor.
+
+    Returns ``None`` when no threshold reaches ``min_precision`` — e.g. a
+    wallet integration demanding 99% precision from a weak model.
+    """
+    feasible = [
+        point
+        for point in _all_operating_points(y_true, scores)
+        if point.precision >= min_precision
+    ]
+    if not feasible:
+        return None
+    return max(feasible, key=lambda point: (point.recall, point.precision))
+
+
+def operating_point_at_fpr(y_true, scores, max_fpr: float) -> OperatingPoint:
+    """Highest-recall realisable threshold with FPR <= the ceiling.
+
+    Always feasible: the threshold above every score has FPR 0.
+    """
+    points = _all_operating_points(y_true, scores)
+    feasible = [point for point in points if point.fpr <= max_fpr]
+    if not feasible:
+        top = max(point.threshold for point in points)
+        return OperatingPoint(
+            threshold=float(np.nextafter(top, np.inf)),
+            precision=0.0,
+            recall=0.0,
+            fpr=0.0,
+        )
+    return max(feasible, key=lambda point: (point.recall, -point.fpr))
+
+
+def detection_error_tradeoff(y_true, scores):
+    """False-positive vs false-negative rates at decreasing thresholds.
+
+    The DET curve is the malware-detection community's preferred view of
+    the same trade-off as ROC; returned here on linear axes.
+
+    Returns:
+        ``(fpr, fnr, thresholds)``.
+    """
+    fpr, tpr, thresholds = roc_curve(y_true, scores)
+    return fpr, 1.0 - tpr, thresholds

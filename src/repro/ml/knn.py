@@ -1,0 +1,54 @@
+"""k-nearest neighbours (brute-force Euclidean)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_array, check_X_y
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier(Classifier):
+    """Majority vote over the k nearest training samples.
+
+    Args:
+        n_neighbors: Vote size; clamped to the training-set size at fit.
+        weights: "uniform" or "distance" (inverse-distance weighting).
+    """
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform"):
+        if weights not in ("uniform", "distance"):
+            raise ValueError(f"unknown weighting {weights!r}")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        self.X_, self.y_ = check_X_y(X, y)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        X = check_array(X)
+        if not hasattr(self, "X_"):
+            raise RuntimeError("classifier is not fitted; call fit() first")
+        k = min(self.n_neighbors, len(self.X_))
+        # Pairwise squared distances via the expansion ||a-b||² = a² - 2ab + b².
+        squared = (
+            np.sum(X**2, axis=1, keepdims=True)
+            - 2.0 * X @ self.X_.T
+            + np.sum(self.X_**2, axis=1)
+        )
+        squared = np.maximum(squared, 0.0)
+        neighbors = np.argpartition(squared, k - 1, axis=1)[:, :k]
+        probabilities = np.empty((len(X), 2))
+        for row in range(len(X)):
+            votes = self.y_[neighbors[row]]
+            if self.weights == "distance":
+                distances = np.sqrt(squared[row, neighbors[row]])
+                vote_weights = 1.0 / (distances + 1e-9)
+            else:
+                vote_weights = np.ones(k)
+            positive = vote_weights[votes == 1].sum()
+            total = vote_weights.sum()
+            probabilities[row] = [1 - positive / total, positive / total]
+        return probabilities

@@ -1,0 +1,111 @@
+"""Binary classification metrics (Accuracy, F1, Precision, Recall).
+
+These four metrics are the paper's evaluation currency (Table II and every
+figure); phishing is the positive class (label 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_matrix",
+    "classification_metrics",
+    "Metrics",
+]
+
+
+def _validate(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return y_true, y_pred
+
+
+def confusion_matrix(y_true, y_pred) -> np.ndarray:
+    """2×2 matrix ``[[TN, FP], [FN, TP]]``."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    matrix = np.zeros((2, 2), dtype=np.int64)
+    for true_label in (0, 1):
+        for predicted in (0, 1):
+            matrix[true_label, predicted] = int(
+                np.sum((y_true == true_label) & (y_pred == predicted))
+            )
+    return matrix
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_score(y_true, y_pred, positive: int = 1) -> float:
+    """TP / (TP + FP); 0 when nothing is predicted positive."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    predicted_positive = y_pred == positive
+    if not predicted_positive.any():
+        return 0.0
+    return float(np.mean(y_true[predicted_positive] == positive))
+
+
+def recall_score(y_true, y_pred, positive: int = 1) -> float:
+    """TP / (TP + FN); 0 when the class is absent from y_true."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    actual_positive = y_true == positive
+    if not actual_positive.any():
+        return 0.0
+    return float(np.mean(y_pred[actual_positive] == positive))
+
+
+def f1_score(y_true, y_pred, positive: int = 1) -> float:
+    """Harmonic mean of precision and recall."""
+    precision = precision_score(y_true, y_pred, positive)
+    recall = recall_score(y_true, y_pred, positive)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """The paper's four headline metrics for one evaluation."""
+
+    accuracy: float
+    f1: float
+    precision: float
+    recall: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "accuracy": self.accuracy,
+            "f1": self.f1,
+            "precision": self.precision,
+            "recall": self.recall,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"acc={self.accuracy:.4f} f1={self.f1:.4f} "
+            f"prec={self.precision:.4f} rec={self.recall:.4f}"
+        )
+
+
+def classification_metrics(y_true, y_pred, positive: int = 1) -> Metrics:
+    """Compute all four paper metrics at once."""
+    return Metrics(
+        accuracy=accuracy_score(y_true, y_pred),
+        f1=f1_score(y_true, y_pred, positive),
+        precision=precision_score(y_true, y_pred, positive),
+        recall=recall_score(y_true, y_pred, positive),
+    )

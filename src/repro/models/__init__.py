@@ -1,0 +1,44 @@
+"""The 16 detection models PhishingHook compares (§IV-B, Table II).
+
+Four categories:
+
+* **HSC** (Histogram Similarity Classifiers): Random Forest, k-NN, SVM,
+  Logistic Regression, XGBoost, LightGBM, CatBoost — opcode histograms into
+  classical classifiers (:mod:`repro.models.hsc`),
+* **VM** (Vision Models): ViT+R2D2, ViT+Freq, ECA+EfficientNet —
+  bytecode-as-image classifiers (:mod:`repro.models.vision`),
+* **LM** (Language Models): SCSGuard, GPT-2 α/β, T5 α/β — sequence models
+  over n-grams / opcode tokens (:mod:`repro.models.scsguard`,
+  :mod:`repro.models.lm`),
+* **VDM** (Vulnerability Detection Models): ESCORT — a vulnerability
+  detector transferred to fraud detection (:mod:`repro.models.escort`).
+
+All models implement the :class:`~repro.models.detector.PhishingDetector`
+protocol: ``fit(bytecodes, labels)`` / ``predict(bytecodes)``, with the
+feature pipeline encapsulated inside the model.
+
+Beyond the paper's 16, :mod:`repro.models.ensemble` adds voting and
+stacking combiners across categories (extension motivated by Take-away 2).
+"""
+
+from repro.models.detector import PhishingDetector
+from repro.models.ensemble import StackingDetector, VotingDetector
+from repro.models.escort import ESCORTClassifier
+from repro.models.hsc import HSC_VARIANTS, HSCDetector
+from repro.models.lm import GPT2Classifier, T5Classifier
+from repro.models.scsguard import SCSGuardClassifier
+from repro.models.vision import EcaEfficientNetClassifier, ViTClassifier
+
+__all__ = [
+    "PhishingDetector",
+    "HSCDetector",
+    "HSC_VARIANTS",
+    "ViTClassifier",
+    "EcaEfficientNetClassifier",
+    "SCSGuardClassifier",
+    "GPT2Classifier",
+    "T5Classifier",
+    "ESCORTClassifier",
+    "VotingDetector",
+    "StackingDetector",
+]

@@ -1,0 +1,42 @@
+"""The uniform detector protocol every PhishingHook model implements."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PhishingDetector"]
+
+
+class PhishingDetector:
+    """Binary phishing detector over raw contract bytecodes.
+
+    Attributes:
+        name: Display name as it appears in Table II.
+        category: One of "HSC", "VM", "LM", "VDM".
+    """
+
+    name: str = "detector"
+    category: str = "?"
+
+    def fit(self, bytecodes: list[bytes], labels) -> "PhishingDetector":
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def predict_proba(self, bytecodes: list[bytes]) -> np.ndarray:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def predict(self, bytecodes: list[bytes]) -> np.ndarray:
+        return np.argmax(self.predict_proba(bytecodes), axis=1)
+
+    def get_params(self) -> dict:
+        """Hyperparameters; overridden where tuning applies."""
+        return {}
+
+    def set_params(self, **params) -> "PhishingDetector":
+        for name, value in params.items():
+            if not hasattr(self, name):
+                raise ValueError(f"{type(self).__name__} has no parameter {name!r}")
+            setattr(self, name, value)
+        return self
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,168 @@
+"""Ensemble detectors: voting and stacking over Table II base models.
+
+Take-away 2 of the paper observes that the four model categories make
+*different* mistakes (cross-category Dunn pairs diverge far more often
+than within-category ones) — exactly the situation where combining
+categories pays. These ensembles are the natural extension experiment:
+
+* :class:`VotingDetector` — soft (probability-averaging) or hard
+  (majority) vote over any set of fitted-together base detectors,
+* :class:`StackingDetector` — a logistic meta-learner trained on
+  out-of-fold base probabilities, the standard leak-free construction.
+
+Both implement the :class:`~repro.models.detector.PhishingDetector`
+protocol, so they drop into MEM evaluation, post-hoc analysis and the
+benches unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.linear import LogisticRegression
+from repro.models.detector import PhishingDetector
+
+__all__ = ["VotingDetector", "StackingDetector"]
+
+
+def _check_base_detectors(detectors) -> list[PhishingDetector]:
+    detectors = list(detectors)
+    if len(detectors) < 2:
+        raise ValueError("an ensemble needs at least two base detectors")
+    for detector in detectors:
+        if not isinstance(detector, PhishingDetector):
+            raise TypeError(
+                f"base detectors must be PhishingDetector, got {type(detector)!r}"
+            )
+    return detectors
+
+
+def _stratified_fold_indices(
+    labels: np.ndarray, n_folds: int, seed: int
+) -> list[np.ndarray]:
+    """Shuffled per-class round-robin assignment to ``n_folds`` folds."""
+    rng = np.random.default_rng(seed)
+    assignment = np.empty(labels.size, dtype=int)
+    for label in np.unique(labels):
+        members = np.flatnonzero(labels == label)
+        rng.shuffle(members)
+        assignment[members] = np.arange(members.size) % n_folds
+    return [np.flatnonzero(assignment == fold) for fold in range(n_folds)]
+
+
+class VotingDetector(PhishingDetector):
+    """Soft or hard vote over independently fitted base detectors.
+
+    Args:
+        detectors: At least two base detectors (unfitted; ``fit`` fits
+            every one of them on the same data).
+        voting: ``"soft"`` averages ``predict_proba`` outputs (optionally
+            weighted); ``"hard"`` majority-votes the thresholded labels.
+        weights: Optional per-detector weights (soft voting only).
+    """
+
+    category = "ENS"
+
+    def __init__(self, detectors, voting: str = "soft", weights=None):
+        self.detectors = _check_base_detectors(detectors)
+        if voting not in ("soft", "hard"):
+            raise ValueError(f"voting must be 'soft' or 'hard', got {voting!r}")
+        if weights is not None:
+            weights = np.asarray(weights, dtype=float)
+            if voting == "hard":
+                raise ValueError("weights only apply to soft voting")
+            if weights.shape != (len(self.detectors),):
+                raise ValueError(
+                    f"need one weight per detector, got {weights.shape}"
+                )
+            if np.any(weights < 0) or weights.sum() <= 0:
+                raise ValueError("weights must be non-negative, sum > 0")
+        self.voting = voting
+        self.weights = weights
+        self.name = f"Voting[{voting}:{len(self.detectors)}]"
+
+    def fit(self, bytecodes, labels) -> "VotingDetector":
+        for detector in self.detectors:
+            detector.fit(bytecodes, labels)
+        return self
+
+    def predict_proba(self, bytecodes) -> np.ndarray:
+        stacked = np.stack(
+            [detector.predict_proba(bytecodes) for detector in self.detectors]
+        )
+        if self.voting == "soft":
+            weights = self.weights
+            if weights is None:
+                weights = np.ones(len(self.detectors))
+            weights = weights / weights.sum()
+            return np.einsum("d,dnc->nc", weights, stacked)
+        # Hard voting: the positive probability is the fraction of base
+        # detectors voting phishing, which also yields a usable score.
+        votes = (stacked[:, :, 1] >= 0.5).mean(axis=0)
+        return np.column_stack([1.0 - votes, votes])
+
+
+class StackingDetector(PhishingDetector):
+    """Logistic meta-learner over out-of-fold base probabilities.
+
+    ``fit`` runs an internal stratified k-fold: every base detector is
+    refitted per fold so the meta-features for each training sample come
+    from a model that never saw it. The base detectors are then refitted
+    once on the full data for inference. Base detectors must therefore be
+    re-fittable (calling ``fit`` twice resets them), which every model in
+    the registry satisfies.
+
+    Args:
+        detectors: At least two base detectors.
+        n_folds: Internal folds for the out-of-fold meta-features.
+        seed: Fold-assignment seed.
+    """
+
+    category = "ENS"
+
+    def __init__(self, detectors, n_folds: int = 3, seed: int = 0):
+        self.detectors = _check_base_detectors(detectors)
+        if n_folds < 2:
+            raise ValueError("stacking needs n_folds >= 2")
+        self.n_folds = n_folds
+        self.seed = seed
+        self.meta_ = LogisticRegression(C=1.0)
+        self.name = f"Stacking[{len(self.detectors)}]"
+
+    def _meta_features(self, probabilities: np.ndarray) -> np.ndarray:
+        """Meta input: each base detector's phishing probability."""
+        return probabilities
+
+    def fit(self, bytecodes, labels) -> "StackingDetector":
+        labels = np.asarray(labels)
+        if labels.size != len(bytecodes):
+            raise ValueError("labels must match bytecodes length")
+        folds = _stratified_fold_indices(labels, self.n_folds, self.seed)
+        out_of_fold = np.zeros((labels.size, len(self.detectors)))
+        for held_out in folds:
+            if held_out.size == 0:
+                continue
+            train_mask = np.ones(labels.size, dtype=bool)
+            train_mask[held_out] = False
+            train_indices = np.flatnonzero(train_mask)
+            train_codes = [bytecodes[i] for i in train_indices]
+            held_codes = [bytecodes[i] for i in held_out]
+            for column, detector in enumerate(self.detectors):
+                detector.fit(train_codes, labels[train_indices])
+                out_of_fold[held_out, column] = detector.predict_proba(
+                    held_codes
+                )[:, 1]
+        self.meta_.fit(self._meta_features(out_of_fold), labels)
+        # Final refit of every base detector on all the data.
+        for detector in self.detectors:
+            detector.fit(bytecodes, labels)
+        return self
+
+    def predict_proba(self, bytecodes) -> np.ndarray:
+        base = np.column_stack(
+            [
+                detector.predict_proba(bytecodes)[:, 1]
+                for detector in self.detectors
+            ]
+        )
+        return self.meta_.predict_proba(self._meta_features(base))

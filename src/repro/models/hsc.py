@@ -1,0 +1,94 @@
+"""Histogram Similarity Classifiers — the seven HSC rows of Table II.
+
+Opcode-occurrence histograms (vocabulary learned on the training set, raw
+counts, no normalization) fed to a classical classifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.histogram import OpcodeHistogramExtractor
+from repro.ml import (
+    CatBoostClassifier,
+    KNeighborsClassifier,
+    LightGBMClassifier,
+    LogisticRegression,
+    RandomForestClassifier,
+    SVC,
+    XGBoostClassifier,
+)
+from repro.models.detector import PhishingDetector
+
+__all__ = ["HSCDetector", "HSC_VARIANTS", "make_hsc"]
+
+#: Factory per Table II HSC row. Hyperparameters are the defaults selected
+#: by the tuning study (see core.tuning and EXPERIMENTS.md).
+HSC_VARIANTS: dict[str, callable] = {
+    "Random Forest": lambda seed: RandomForestClassifier(
+        n_estimators=120, max_features="sqrt", random_state=seed
+    ),
+    "k-NN": lambda seed: KNeighborsClassifier(n_neighbors=5),
+    "SVM": lambda seed: SVC(
+        C=10.0, gamma="scale", n_components=384, random_state=seed
+    ),
+    "Logistic Regression": lambda seed: LogisticRegression(C=1.0),
+    "XGBoost": lambda seed: XGBoostClassifier(
+        n_estimators=80, learning_rate=0.3, max_depth=4
+    ),
+    "LightGBM": lambda seed: LightGBMClassifier(
+        n_estimators=80, learning_rate=0.15, num_leaves=15
+    ),
+    "CatBoost": lambda seed: CatBoostClassifier(
+        n_estimators=80, learning_rate=0.15, depth=4
+    ),
+}
+
+
+class HSCDetector(PhishingDetector):
+    """One opcode-histogram classifier.
+
+    Args:
+        variant: A key of :data:`HSC_VARIANTS`.
+        seed: Seed forwarded to stochastic classifiers.
+    """
+
+    category = "HSC"
+
+    def __init__(self, variant: str = "Random Forest", seed: int = 0):
+        if variant not in HSC_VARIANTS:
+            raise ValueError(
+                f"unknown HSC variant {variant!r}; "
+                f"choose from {sorted(HSC_VARIANTS)}"
+            )
+        self.variant = variant
+        self.seed = seed
+        self.name = variant
+        self.extractor_ = OpcodeHistogramExtractor()
+        self.classifier_ = HSC_VARIANTS[variant](seed)
+
+    def get_params(self) -> dict:
+        return {"variant": self.variant, "seed": self.seed,
+                **{f"clf__{k}": v for k, v in self.classifier_.get_params().items()}}
+
+    def set_params(self, **params) -> "HSCDetector":
+        for name, value in params.items():
+            if name.startswith("clf__"):
+                self.classifier_.set_params(**{name[5:]: value})
+            else:
+                super().set_params(**{name: value})
+        return self
+
+    def fit(self, bytecodes, labels) -> "HSCDetector":
+        features = self.extractor_.fit_transform(bytecodes)
+        self.classifier_.fit(features, np.asarray(labels))
+        return self
+
+    def predict_proba(self, bytecodes) -> np.ndarray:
+        features = self.extractor_.transform(bytecodes)
+        return self.classifier_.predict_proba(features)
+
+
+def make_hsc(variant: str, seed: int = 0) -> HSCDetector:
+    """Convenience factory mirroring the registry naming."""
+    return HSCDetector(variant=variant, seed=seed)

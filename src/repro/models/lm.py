@@ -1,0 +1,211 @@
+"""Language models: GPT-2 and T5 over opcode-token sequences (§IV-B/D).
+
+Architecture shapes follow the originals — GPT-2 is a causal decoder with
+learned absolute positions; T5 is a bidirectional encoder with bucketed
+relative position bias (the classification setup uses the encoder, the
+standard recipe for sequence classification with T5). Both come in the two
+data-handling variants of §IV-D:
+
+* **α** — sequences truncated to the token limit,
+* **β** — full sequences split into overlapping sliding windows; window
+  probabilities are averaged per contract at inference.
+
+Offline there are no pretrained checkpoints, so models train from random
+initialization at reduced width/depth (substitution S5 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.tokenizer import PAD_ID, OpcodeTokenizer
+from repro.models.detector import PhishingDetector
+from repro.nn import functional as F
+from repro.nn.attention import RelativePositionBias
+from repro.nn.layers import Embedding, LayerNorm, Linear, Module, Parameter
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.trainer import Trainer, TrainingConfig
+from repro.nn.transformer import TransformerBlock
+
+__all__ = ["GPT2Classifier", "T5Classifier"]
+
+
+class _GPT2Network(Module):
+    """Causal decoder; classification from the last non-PAD hidden state."""
+
+    def __init__(self, vocab_size, max_length, dim, depth, n_heads, seed):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.token_embed = Embedding(vocab_size, dim, rng=rng)
+        self.pos_embed = Parameter(
+            rng.normal(scale=0.02, size=(1, max_length, dim))
+        )
+        self.blocks = [
+            TransformerBlock(dim, n_heads, causal=True, seed=seed + i)
+            for i in range(depth)
+        ]
+        self.norm = LayerNorm(dim)
+        self.head = Linear(dim, 2, rng=rng)
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        padding = ids == PAD_ID
+        hidden = self.token_embed(ids) + self.pos_embed[:, : ids.shape[1], :]
+        for block in self.blocks:
+            hidden = block(hidden, key_padding_mask=padding)
+        hidden = self.norm(hidden)
+        last = np.maximum((~padding).sum(axis=1) - 1, 0)
+        pooled = hidden[np.arange(len(ids)), last, :]
+        return self.head(pooled)
+
+    def loss(self, ids, labels) -> Tensor:
+        return F.cross_entropy(self.forward(ids), labels)
+
+
+class _T5Network(Module):
+    """Bidirectional encoder with shared relative position bias."""
+
+    def __init__(self, vocab_size, dim, depth, n_heads, seed):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.token_embed = Embedding(vocab_size, dim, rng=rng)
+        self.position_bias = RelativePositionBias(n_heads, rng=rng)
+        self.blocks = [
+            TransformerBlock(dim, n_heads, causal=False, seed=seed + i)
+            for i in range(depth)
+        ]
+        self.norm = LayerNorm(dim)
+        self.head = Linear(dim, 2, rng=rng)
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        padding = ids == PAD_ID
+        hidden = self.token_embed(ids)
+        bias = self.position_bias(ids.shape[1])
+        for block in self.blocks:
+            hidden = block(hidden, key_padding_mask=padding, position_bias=bias)
+        hidden = self.norm(hidden)
+        # Mean over non-PAD positions.
+        keep = Tensor((~padding).astype(np.float64)[:, :, None])
+        denominator = Tensor(
+            np.maximum((~padding).sum(axis=1, keepdims=True), 1).astype(float)
+        )
+        pooled = (hidden * keep).sum(axis=1) / denominator
+        return self.head(pooled)
+
+    def loss(self, ids, labels) -> Tensor:
+        return F.cross_entropy(self.forward(ids), labels)
+
+
+class _SequenceLMBase(PhishingDetector):
+    """Shared α/β handling for both language models."""
+
+    category = "LM"
+    base_name = "LM"
+
+    def __init__(
+        self,
+        variant: str = "alpha",
+        max_length: int = 96,
+        dim: int = 32,
+        depth: int = 2,
+        n_heads: int = 2,
+        epochs: int = 8,
+        batch_size: int = 32,
+        lr: float = 1e-3,
+        max_windows_per_sample: int = 4,
+        seed: int = 0,
+    ):
+        if variant not in ("alpha", "beta"):
+            raise ValueError(f"variant must be 'alpha' or 'beta', got {variant!r}")
+        self.variant = variant
+        self.max_length = max_length
+        self.dim = dim
+        self.depth = depth
+        self.n_heads = n_heads
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.max_windows_per_sample = max_windows_per_sample
+        self.seed = seed
+        greek = "α" if variant == "alpha" else "β"
+        self.name = f"{self.base_name}{greek}"
+
+    def _build_network(self, vocab_size) -> Module:  # pragma: no cover
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+
+    def _train_encodings(self, bytecodes, labels):
+        if self.variant == "alpha":
+            return self.tokenizer_.encode_alpha(bytecodes), np.asarray(labels)
+        windows, owners = self.tokenizer_.encode_beta_batch(bytecodes)
+        windows, owners = self._cap_windows(windows, owners)
+        return windows, np.asarray(labels)[owners]
+
+    def _cap_windows(self, windows, owners):
+        keep: list[int] = []
+        count: dict[int, int] = {}
+        for index, owner in enumerate(owners):
+            seen = count.get(int(owner), 0)
+            if seen < self.max_windows_per_sample:
+                keep.append(index)
+                count[int(owner)] = seen + 1
+        keep = np.asarray(keep, dtype=int)
+        return windows[keep], owners[keep]
+
+    def fit(self, bytecodes, labels) -> "_SequenceLMBase":
+        self.tokenizer_ = OpcodeTokenizer(max_length=self.max_length)
+        self.tokenizer_.fit(bytecodes)
+        self.network_ = self._build_network(self.tokenizer_.vocab_size)
+        ids, targets = self._train_encodings(bytecodes, labels)
+        self.trainer_ = Trainer(
+            self.network_,
+            TrainingConfig(
+                epochs=self.epochs, batch_size=self.batch_size, lr=self.lr,
+                seed=self.seed,
+            ),
+        ).fit(ids, targets)
+        return self
+
+    def predict_proba(self, bytecodes) -> np.ndarray:
+        if self.variant == "alpha":
+            ids = self.tokenizer_.encode_alpha(bytecodes)
+            with no_grad():
+                logits = self.network_.forward(ids)
+            return F.softmax(Tensor(logits.data)).data
+        windows, owners = self.tokenizer_.encode_beta_batch(bytecodes)
+        windows, owners = self._cap_windows(windows, owners)
+        with no_grad():
+            logits = self.network_.forward(windows)
+        window_probs = F.softmax(Tensor(logits.data)).data
+        probabilities = np.zeros((len(bytecodes), 2))
+        counts = np.zeros(len(bytecodes))
+        for window_index, owner in enumerate(owners):
+            probabilities[owner] += window_probs[window_index]
+            counts[owner] += 1
+        counts = np.maximum(counts, 1)
+        return probabilities / counts[:, None]
+
+
+class GPT2Classifier(_SequenceLMBase):
+    """GPT-2 (causal decoder) phishing classifier, α or β."""
+
+    base_name = "GPT-2"
+
+    def _build_network(self, vocab_size):
+        return _GPT2Network(
+            vocab_size, self.max_length, self.dim, self.depth, self.n_heads,
+            self.seed,
+        )
+
+
+class T5Classifier(_SequenceLMBase):
+    """T5 (relative-bias encoder) phishing classifier, α or β."""
+
+    base_name = "T5"
+
+    def _build_network(self, vocab_size):
+        return _T5Network(
+            vocab_size, self.dim, self.depth, self.n_heads, self.seed
+        )

@@ -1,0 +1,350 @@
+"""Vision models: ViT+R2D2, ViT+Freq and ECA+EfficientNet (§IV-B).
+
+The paper fine-tunes an ImageNet-pretrained ViT-B/16 on 224×224 images and
+uses an ECA-augmented EfficientNet-B0 with data enhancement. Offline there
+are no pretrained weights and 224×224 CPU training is infeasible, so the
+same architectures are instantiated at reduced scale (substitution S5 in
+DESIGN.md) with two stand-ins for what pretraining provides:
+
+* a fixed **intensity-quantization stem** (one-hot over ``bins`` intensity
+  levels per channel): pretrained backbones bring value-selective low-level
+  filters; without them, a linear patch embedding over raw intensities
+  cannot express byte-bucket statistics at all. The quantized planes make
+  those statistics linearly computable while leaving every learned weight
+  in the model.
+* **byte-roll augmentation** (the "data enhancement" of the
+  ECA+EfficientNet source paper): each training bytecode is additionally
+  encoded at random circular shifts, forcing translation-robust features.
+
+Architecture shape is preserved: patch embedding + transformer encoder for
+ViT (``pool="cls"`` or ``"mean"``); stem + depthwise MBConv blocks +
+efficient channel attention + global-average-pool head for the CNN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.image import (
+    FrequencyImageEncoder,
+    quantize_planes,
+    rgb_images,
+)
+from repro.models.detector import PhishingDetector
+from repro.nn import functional as F
+from repro.nn.conv import BatchNorm2d, Conv2d, GlobalAvgPool2d
+from repro.nn.layers import LayerNorm, Linear, Module, Parameter
+from repro.nn.tensor import Tensor, concat, no_grad
+from repro.nn.trainer import Trainer, TrainingConfig
+from repro.nn.transformer import TransformerBlock
+
+__all__ = ["ViTClassifier", "EcaEfficientNetClassifier"]
+
+
+def _augment_roll(bytecodes, labels, replicas: int, rng: np.random.Generator):
+    """Each bytecode plus ``replicas−1`` random circular byte shifts."""
+    rolled: list[bytes] = []
+    targets: list[int] = []
+    for code, label in zip(bytecodes, labels):
+        for replica in range(replicas):
+            if replica == 0 or len(code) < 2:
+                rolled.append(code)
+            else:
+                shift = int(rng.integers(1, len(code)))
+                rolled.append(code[shift:] + code[:shift])
+            targets.append(int(label))
+    return rolled, np.asarray(targets)
+
+
+class _ViTNetwork(Module):
+    """Vision Transformer over quantized-intensity patch planes."""
+
+    def __init__(self, image_size, patch_size, dim, depth, n_heads, bins,
+                 pool, seed):
+        super().__init__()
+        if image_size % patch_size:
+            raise ValueError("image_size must be divisible by patch_size")
+        if pool not in ("cls", "mean"):
+            raise ValueError(f"pool must be 'cls' or 'mean', got {pool!r}")
+        rng = np.random.default_rng(seed)
+        self.patch_size = patch_size
+        self.bins = bins
+        self.pool = pool
+        self.n_patches = (image_size // patch_size) ** 2
+        patch_dim = patch_size * patch_size * 3 * bins
+        self.patch_embed = Linear(patch_dim, dim, rng=rng)
+        self.cls_token = Parameter(rng.normal(scale=0.02, size=(1, 1, dim)))
+        extra = 1 if pool == "cls" else 0
+        self.pos_embed = Parameter(
+            rng.normal(scale=0.02, size=(1, self.n_patches + extra, dim))
+        )
+        self.blocks = [
+            TransformerBlock(dim, n_heads, seed=seed + i) for i in range(depth)
+        ]
+        self.norm = LayerNorm(dim)
+        self.head = Linear(dim, 2, rng=rng)
+
+    def _patchify(self, images: np.ndarray) -> np.ndarray:
+        planes = quantize_planes(np.asarray(images), self.bins)
+        batch, side, __, channels = planes.shape
+        p = self.patch_size
+        grid = side // p
+        patches = planes.reshape(batch, grid, p, grid, p, channels)
+        patches = patches.transpose(0, 1, 3, 2, 4, 5)
+        return patches.reshape(batch, grid * grid, p * p * channels)
+
+    def forward(self, images: np.ndarray) -> Tensor:
+        tokens = self.patch_embed(Tensor(self._patchify(images)))
+        batch = tokens.shape[0]
+        if self.pool == "cls":
+            cls = self.cls_token + Tensor(np.zeros((batch, 1, tokens.shape[2])))
+            tokens = concat([cls, tokens], axis=1)
+        tokens = tokens + self.pos_embed
+        for block in self.blocks:
+            tokens = block(tokens)
+        if self.pool == "cls":
+            pooled = self.norm(tokens)[:, 0, :]
+        else:
+            pooled = self.norm(tokens.mean(axis=1))
+        return self.head(pooled)
+
+    def loss(self, images, labels) -> Tensor:
+        return F.cross_entropy(self.forward(images), labels)
+
+
+class ViTClassifier(PhishingDetector):
+    """ViT fine-tuned on bytecode images.
+
+    Args:
+        encoding: "r2d2" (raw bytes as RGB) or "freq" (frequency lookup).
+        image_size / patch_size / dim / depth / n_heads: Architecture.
+        bins: Intensity-quantization levels of the stem.
+        pool: "mean" (GAP over patch tokens) or "cls" (class token).
+        augment_replicas: Byte-roll copies per training sample (≥1).
+        epochs / batch_size / lr: Training schedule.
+    """
+
+    category = "VM"
+
+    def __init__(
+        self,
+        encoding: str = "r2d2",
+        image_size: int = 16,
+        patch_size: int = 4,
+        dim: int = 48,
+        depth: int = 1,
+        n_heads: int = 2,
+        bins: int = 16,
+        pool: str = "mean",
+        augment_replicas: int = 3,
+        epochs: int = 30,
+        batch_size: int = 32,
+        lr: float = 3e-3,
+        seed: int = 0,
+    ):
+        if encoding not in ("r2d2", "freq"):
+            raise ValueError(f"unknown encoding {encoding!r}")
+        self.encoding = encoding
+        self.image_size = image_size
+        self.patch_size = patch_size
+        self.dim = dim
+        self.depth = depth
+        self.n_heads = n_heads
+        self.bins = bins
+        self.pool = pool
+        self.augment_replicas = augment_replicas
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+        self.name = "ViT+R2D2" if encoding == "r2d2" else "ViT+Freq"
+
+    def _encode(self, bytecodes) -> np.ndarray:
+        if self.encoding == "r2d2":
+            return rgb_images(bytecodes, self.image_size)
+        return self._freq_encoder.transform(bytecodes)
+
+    def fit(self, bytecodes, labels) -> "ViTClassifier":
+        rng = np.random.default_rng(self.seed)
+        if self.encoding == "freq":
+            self._freq_encoder = FrequencyImageEncoder(self.image_size)
+            self._freq_encoder.fit(bytecodes)
+        augmented, targets = _augment_roll(
+            bytecodes, labels, max(self.augment_replicas, 1), rng
+        )
+        images = self._encode(augmented)
+        self.network_ = _ViTNetwork(
+            self.image_size, self.patch_size, self.dim, self.depth,
+            self.n_heads, self.bins, self.pool, self.seed,
+        )
+        self.trainer_ = Trainer(
+            self.network_,
+            TrainingConfig(
+                epochs=self.epochs, batch_size=self.batch_size, lr=self.lr,
+                seed=self.seed,
+            ),
+        ).fit(images, targets)
+        return self
+
+    def predict_proba(self, bytecodes) -> np.ndarray:
+        images = self._encode(bytecodes)
+        with no_grad():
+            logits = self.network_.forward(images)
+        return F.softmax(Tensor(logits.data)).data
+
+
+class _ECA(Module):
+    """Efficient Channel Attention: k-tap 1-D conv over channel stats."""
+
+    def __init__(self, kernel_size: int = 3):
+        super().__init__()
+        if kernel_size % 2 == 0:
+            raise ValueError("ECA kernel size must be odd")
+        self.kernel_size = kernel_size
+        self.taps = Parameter(np.full(kernel_size, 1.0 / kernel_size))
+
+    def forward(self, x: Tensor) -> Tensor:
+        descriptor = x.mean(axis=(2, 3))  # (B, C)
+        batch, channels = descriptor.shape
+        half = self.kernel_size // 2
+        padded = concat(
+            [
+                Tensor(np.zeros((batch, half))),
+                descriptor,
+                Tensor(np.zeros((batch, half))),
+            ],
+            axis=1,
+        )
+        attended = None
+        for offset in range(self.kernel_size):
+            term = padded[:, offset : offset + channels] * self.taps[offset]
+            attended = term if attended is None else attended + term
+        gate = attended.sigmoid().reshape(batch, channels, 1, 1)
+        return x * gate
+
+
+class _Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+def _make_norm(kind: str, channels: int) -> Module:
+    if kind == "batch":
+        return BatchNorm2d(channels)
+    if kind == "none":
+        return _Identity()
+    raise ValueError(f"unknown norm {kind!r}")
+
+
+class _MBConvBlock(Module):
+    """Depthwise conv + norm + ReLU + ECA + pointwise projection.
+
+    ``norm="none"`` is the CPU-scale default: this framework's BatchNorm
+    backward treats batch statistics as constants, which stalls very
+    narrow nets; the one-hot quantized inputs are already well-scaled.
+    """
+
+    def __init__(self, in_channels, out_channels, stride, seed, norm="none"):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.depthwise = Conv2d(
+            in_channels, in_channels, kernel_size=3, stride=stride,
+            padding=1, groups=in_channels, rng=rng,
+        )
+        self.norm1 = _make_norm(norm, in_channels)
+        self.eca = _ECA()
+        self.pointwise = Conv2d(
+            in_channels, out_channels, kernel_size=1, rng=rng
+        )
+        self.norm2 = _make_norm(norm, out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.norm1(self.depthwise(x)).relu()
+        x = self.eca(x)
+        return self.norm2(self.pointwise(x)).relu()
+
+
+class _EcaEfficientNet(Module):
+    """Scaled-down EfficientNet-B0 trunk over quantized planes."""
+
+    def __init__(self, widths, bins, seed, norm="none"):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.bins = bins
+        stem_width, *block_widths = widths
+        self.stem = Conv2d(3 * bins, stem_width, kernel_size=3, stride=2,
+                           padding=1, rng=rng)
+        self.stem_norm = _make_norm(norm, stem_width)
+        self.blocks = []
+        previous = stem_width
+        for index, width in enumerate(block_widths):
+            self.blocks.append(
+                _MBConvBlock(previous, width, stride=2, seed=seed + index + 1,
+                             norm=norm)
+            )
+            previous = width
+        self.pool = GlobalAvgPool2d()
+        self.head = Linear(previous, 2, rng=rng)
+
+    def forward(self, images: np.ndarray) -> Tensor:
+        planes = quantize_planes(np.asarray(images), self.bins)
+        x = Tensor(planes.transpose(0, 3, 1, 2))  # NHWC → NCHW
+        x = self.stem_norm(self.stem(x)).relu()
+        for block in self.blocks:
+            x = block(x)
+        return self.head(self.pool(x))
+
+    def loss(self, images, labels) -> Tensor:
+        return F.cross_entropy(self.forward(images), labels)
+
+
+class EcaEfficientNetClassifier(PhishingDetector):
+    """ECA+EfficientNet on R2D2-style bytecode images."""
+
+    category = "VM"
+    name = "ECA+EfficientNet"
+
+    def __init__(
+        self,
+        image_size: int = 16,
+        widths: tuple[int, ...] = (16, 24, 32),
+        bins: int = 16,
+        norm: str = "none",
+        augment_replicas: int = 3,
+        epochs: int = 25,
+        batch_size: int = 32,
+        lr: float = 5e-3,
+        seed: int = 0,
+    ):
+        self.image_size = image_size
+        self.widths = widths
+        self.bins = bins
+        self.norm = norm
+        self.augment_replicas = augment_replicas
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+
+    def fit(self, bytecodes, labels) -> "EcaEfficientNetClassifier":
+        rng = np.random.default_rng(self.seed)
+        augmented, targets = _augment_roll(
+            bytecodes, labels, max(self.augment_replicas, 1), rng
+        )
+        images = rgb_images(augmented, self.image_size)
+        self.network_ = _EcaEfficientNet(self.widths, self.bins, self.seed,
+                                         norm=self.norm)
+        self.trainer_ = Trainer(
+            self.network_,
+            TrainingConfig(
+                epochs=self.epochs, batch_size=self.batch_size, lr=self.lr,
+                seed=self.seed,
+            ),
+        ).fit(images, targets)
+        return self
+
+    def predict_proba(self, bytecodes) -> np.ndarray:
+        images = rgb_images(bytecodes, self.image_size)
+        with no_grad():
+            logits = self.network_.forward(images)
+        return F.softmax(Tensor(logits.data)).data

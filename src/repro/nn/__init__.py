@@ -1,0 +1,71 @@
+"""A reverse-mode autograd neural-network framework on numpy.
+
+Substitution S4/S5 in DESIGN.md: stands in for PyTorch 2.5. The framework
+provides exactly what the paper's deep models need:
+
+* :mod:`repro.nn.tensor` — the autograd ``Tensor`` (broadcasting ops,
+  matmul, reductions, indexing) with topological-order backprop,
+* :mod:`repro.nn.layers` — ``Module``, ``Linear``, ``Embedding``,
+  ``LayerNorm``, ``Dropout``, ``Sequential``,
+* :mod:`repro.nn.conv` — ``Conv2d`` (im2col, grouped/depthwise),
+  ``BatchNorm2d``, pooling,
+* :mod:`repro.nn.attention` — multi-head attention with causal masks and
+  T5-style relative position bias,
+* :mod:`repro.nn.transformer` — pre-LN transformer blocks,
+* :mod:`repro.nn.recurrent` — the GRU used by SCSGuard,
+* :mod:`repro.nn.optim` — SGD/Adam/AdamW + gradient clipping,
+* :mod:`repro.nn.trainer` — a mini training loop with early stopping.
+
+Gradients of every op are verified against central finite differences in
+``tests/nn/test_autograd.py``.
+"""
+
+from repro.nn.tensor import Tensor, concat, no_grad, where
+from repro.nn import functional
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.nn.conv import AvgPool2d, BatchNorm2d, Conv2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.attention import MultiHeadAttention, RelativePositionBias
+from repro.nn.transformer import TransformerBlock
+from repro.nn.recurrent import GRU
+from repro.nn.optim import SGD, Adam, AdamW, clip_grad_norm
+from repro.nn.trainer import Trainer, TrainingConfig
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "no_grad",
+    "where",
+    "functional",
+    "Module",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "ReLU",
+    "GELU",
+    "Conv2d",
+    "BatchNorm2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "MultiHeadAttention",
+    "RelativePositionBias",
+    "TransformerBlock",
+    "GRU",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "Trainer",
+    "TrainingConfig",
+]

@@ -1,0 +1,133 @@
+"""Multi-head attention with causal masking and relative position bias.
+
+Covers the three attention flavours the paper's models use: bidirectional
+(ViT, T5 encoder, SCSGuard), causal (GPT-2) and T5-style bucketed relative
+position bias in place of absolute position embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear, Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["MultiHeadAttention", "RelativePositionBias"]
+
+_NEG_INF = -1e9
+
+
+class RelativePositionBias(Module):
+    """T5's bucketed relative position bias, one scalar per (bucket, head)."""
+
+    def __init__(self, n_heads: int, n_buckets: int = 16, max_distance: int = 64,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.n_heads = n_heads
+        self.n_buckets = n_buckets
+        self.max_distance = max_distance
+        self.weight = Parameter(rng.normal(scale=0.02, size=(n_buckets, n_heads)))
+
+    def _bucket(self, relative: np.ndarray) -> np.ndarray:
+        """Symmetric log-spaced bucketing of relative distances."""
+        n = self.n_buckets // 2
+        buckets = np.where(relative < 0, 0, n)
+        magnitude = np.abs(relative)
+        exact = n // 2
+        is_small = magnitude < exact
+        log_ratio = np.log(np.maximum(magnitude, 1) / exact) / np.log(
+            self.max_distance / exact
+        )
+        large = exact + (log_ratio * (n - exact)).astype(np.int64)
+        large = np.minimum(large, n - 1)
+        return buckets + np.where(is_small, magnitude, large)
+
+    def forward(self, length: int) -> Tensor:
+        """Bias of shape ``(n_heads, length, length)``."""
+        positions = np.arange(length)
+        relative = positions[None, :] - positions[:, None]
+        buckets = self._bucket(relative)
+        bias = self.weight.take_rows(buckets.reshape(-1))
+        return bias.reshape(length, length, self.n_heads).transpose(2, 0, 1)
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product attention over (B, T, D) sequences.
+
+    Args:
+        dim: Model width (split across heads).
+        n_heads: Number of attention heads.
+        causal: Mask future positions (GPT-2 style).
+        dropout: Attention-weight dropout rate.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        causal: bool = False,
+        dropout: float = 0.0,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if dim % n_heads:
+            raise ValueError(f"dim {dim} not divisible by n_heads {n_heads}")
+        rng = np.random.default_rng(seed)
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.causal = causal
+        self.dropout_rate = dropout
+        self._rng = np.random.default_rng(seed + 1)
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
+        return x.reshape(batch, length, self.n_heads, self.head_dim).transpose(
+            0, 2, 1, 3
+        )
+
+    def forward(
+        self,
+        x: Tensor,
+        key_padding_mask: np.ndarray | None = None,
+        position_bias: Tensor | None = None,
+    ) -> Tensor:
+        """Self-attention.
+
+        Args:
+            x: Input of shape ``(batch, length, dim)``.
+            key_padding_mask: Bool array ``(batch, length)``; True marks PAD
+                positions that must not be attended to.
+            position_bias: Optional ``(n_heads, length, length)`` additive
+                bias (from :class:`RelativePositionBias`).
+        """
+        batch, length, __ = x.shape
+        q = self._split_heads(self.q_proj(x), batch, length)
+        k = self._split_heads(self.k_proj(x), batch, length)
+        v = self._split_heads(self.v_proj(x), batch, length)
+
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+        if position_bias is not None:
+            scores = scores + position_bias.reshape(
+                1, self.n_heads, length, length
+            )
+
+        mask = np.zeros((batch, 1, length, length), dtype=bool)
+        if self.causal:
+            mask |= np.triu(np.ones((length, length), dtype=bool), k=1)
+        if key_padding_mask is not None:
+            mask |= np.asarray(key_padding_mask, dtype=bool)[:, None, None, :]
+        if mask.any():
+            scores = F.masked_fill(scores, np.broadcast_to(mask, scores.shape),
+                                   _NEG_INF)
+
+        weights = F.softmax(scores, axis=-1)
+        weights = F.dropout(weights, self.dropout_rate, self._rng, self.training)
+        context = weights @ v
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, length, self.dim)
+        return self.out_proj(merged)

@@ -1,0 +1,266 @@
+"""Convolution, batch normalization and pooling (NCHW layout).
+
+``Conv2d`` uses im2col with a custom backward (col2im scatter), supports
+stride, symmetric padding and grouped convolution — ``groups ==
+in_channels`` gives the depthwise convolutions the ECA and EfficientNet
+blocks need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["Conv2d", "BatchNorm2d", "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d"]
+
+
+def _im2col(x: np.ndarray, kernel: int, stride: int):
+    """(B, C, H, W) → patches (B, C·k·k, OH·OW), plus output dims."""
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    # Strided sliding windows: (B, C, OH, OW, k, k)
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(batch, channels, out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0], strides[1],
+            strides[2] * stride, strides[3] * stride,
+            strides[2], strides[3],
+        ),
+        writeable=False,
+    )
+    # → (B, C·k·k, OH·OW)
+    columns = windows.transpose(0, 1, 4, 5, 2, 3).reshape(
+        batch, channels * kernel * kernel, out_h * out_w
+    )
+    return np.ascontiguousarray(columns), out_h, out_w
+
+
+def _col2im(columns: np.ndarray, x_shape, kernel: int, stride: int) -> np.ndarray:
+    """Adjoint of :func:`_im2col`: scatter-add patches back to image."""
+    batch, channels, height, width = x_shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    reshaped = columns.reshape(batch, channels, kernel, kernel, out_h, out_w)
+    image = np.zeros(x_shape)
+    for ky in range(kernel):
+        for kx in range(kernel):
+            image[
+                :, :,
+                ky : ky + out_h * stride : stride,
+                kx : kx + out_w * stride : stride,
+            ] += reshaped[:, :, ky, kx]
+    return image
+
+
+class Conv2d(Module):
+    """2-D convolution.
+
+    Args:
+        in_channels / out_channels: Channel counts.
+        kernel_size: Square kernel side.
+        stride: Spatial stride.
+        padding: Symmetric zero padding.
+        groups: Channel groups; ``groups == in_channels`` is depthwise.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("channel counts must be divisible by groups")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        fan_in = (in_channels // groups) * kernel_size * kernel_size
+        self.weight = Parameter(
+            rng.normal(
+                scale=np.sqrt(2.0 / fan_in),
+                size=(out_channels, in_channels // groups, kernel_size, kernel_size),
+            )
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"expected NCHW input, got shape {x.shape}")
+        if self.padding:
+            x = x.pad2d(self.padding)
+        x_data = x.data
+        batch = x_data.shape[0]
+        k, stride, groups = self.kernel_size, self.stride, self.groups
+        c_in_group = self.in_channels // groups
+        c_out_group = self.out_channels // groups
+
+        group_columns = []
+        out_h = out_w = None
+        for g in range(groups):
+            part = x_data[:, g * c_in_group : (g + 1) * c_in_group]
+            columns, out_h, out_w = _im2col(part, k, stride)
+            group_columns.append(columns)
+
+        weight = self.weight
+        w_data = weight.data.reshape(self.out_channels, -1)
+        outputs = np.empty((batch, self.out_channels, out_h * out_w))
+        for g in range(groups):
+            w_group = w_data[g * c_out_group : (g + 1) * c_out_group]
+            outputs[:, g * c_out_group : (g + 1) * c_out_group] = (
+                w_group @ group_columns[g]
+            )
+        out_data = outputs.reshape(batch, self.out_channels, out_h, out_w)
+        if self.bias is not None:
+            out_data = out_data + self.bias.data.reshape(1, -1, 1, 1)
+
+        parents = [x, weight] + ([self.bias] if self.bias is not None else [])
+        padded_shape = x_data.shape
+
+        def backward(grad):
+            grad_flat = grad.reshape(batch, self.out_channels, -1)
+            if weight.requires_grad:
+                grad_w = np.zeros_like(w_data)
+                for g in range(groups):
+                    grad_group = grad_flat[:, g * c_out_group : (g + 1) * c_out_group]
+                    grad_w[g * c_out_group : (g + 1) * c_out_group] = np.einsum(
+                        "bop,bip->oi", grad_group, group_columns[g]
+                    )
+                weight._accumulate(grad_w.reshape(weight.shape))
+            if self.bias is not None and self.bias.requires_grad:
+                self.bias._accumulate(grad.sum(axis=(0, 2, 3)))
+            if x.requires_grad:
+                grad_x = np.zeros(padded_shape)
+                for g in range(groups):
+                    w_group = w_data[g * c_out_group : (g + 1) * c_out_group]
+                    grad_cols = np.einsum(
+                        "oi,bop->bip",
+                        w_group,
+                        grad_flat[:, g * c_out_group : (g + 1) * c_out_group],
+                    )
+                    grad_x[:, g * c_in_group : (g + 1) * c_in_group] = _col2im(
+                        grad_cols,
+                        (batch, c_in_group) + padded_shape[2:],
+                        k,
+                        stride,
+                    )
+                x._accumulate(grad_x)
+
+        return Tensor._from_op(out_data, tuple(parents), backward)
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalization with running statistics."""
+
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(channels))
+        self.beta = Parameter(np.zeros(channels))
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.data.mean(axis=(0, 2, 3))
+            var = x.data.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        shape = (1, self.channels, 1, 1)
+        centered = x - mean.reshape(shape)
+        scaled = centered / np.sqrt(var + self.eps).reshape(shape)
+        return scaled * self.gamma.reshape(shape) + self.beta.reshape(shape)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        k, stride = self.kernel_size, self.stride
+        columns, out_h, out_w = _im2col(x.data, k, stride)
+        batch, __, positions = columns.shape
+        channels = x.shape[1]
+        windows = columns.reshape(batch, channels, k * k, positions)
+        arg = windows.argmax(axis=2)
+        out_data = np.take_along_axis(windows, arg[:, :, None, :], axis=2)[:, :, 0, :]
+        x_shape = x.data.shape
+
+        def backward(grad):
+            if not x.requires_grad:
+                return
+            grad_windows = np.zeros((batch, channels, k * k, positions))
+            np.put_along_axis(grad_windows, arg[:, :, None, :], grad.reshape(
+                batch, channels, 1, positions), axis=2)
+            x._accumulate(
+                _col2im(
+                    grad_windows.reshape(batch, channels * k * k, positions),
+                    x_shape, k, stride,
+                )
+            )
+
+        return Tensor._from_op(
+            out_data.reshape(batch, channels, out_h, out_w), (x,), backward
+        )
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        k, stride = self.kernel_size, self.stride
+        columns, out_h, out_w = _im2col(x.data, k, stride)
+        batch, __, positions = columns.shape
+        channels = x.shape[1]
+        windows = columns.reshape(batch, channels, k * k, positions)
+        out_data = windows.mean(axis=2).reshape(batch, channels, out_h, out_w)
+        x_shape = x.data.shape
+
+        def backward(grad):
+            if not x.requires_grad:
+                return
+            spread = np.repeat(
+                grad.reshape(batch, channels, 1, positions) / (k * k), k * k, axis=2
+            )
+            x._accumulate(
+                _col2im(
+                    spread.reshape(batch, channels * k * k, positions),
+                    x_shape, k, stride,
+                )
+            )
+
+        return Tensor._from_op(out_data, (x,), backward)
+
+
+class GlobalAvgPool2d(Module):
+    """(B, C, H, W) → (B, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))

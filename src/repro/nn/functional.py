@@ -1,0 +1,64 @@
+"""Stateless differentiable functions: softmax, losses, dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, where
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "dropout",
+    "masked_fill",
+]
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - np.max(logits.data, axis=axis, keepdims=True)
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    shifted = logits - np.max(logits.data, axis=axis, keepdims=True)
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy of ``(n, n_classes)`` logits vs int targets."""
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"expected (n, classes) logits, got {logits.shape}")
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(len(targets)), targets]
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean BCE of raw logits vs {0,1} targets (stable log1p form)."""
+    targets = np.asarray(targets, dtype=np.float64)
+    # log(1+exp(-|z|)) + max(z,0) - z*y
+    z = logits
+    abs_term = where(z.data >= 0, z, -z)
+    loss = (1.0 + (-abs_term).exp()).log() + where(z.data >= 0, z, z * 0.0) - z * targets
+    return loss.mean()
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout; identity when not training or rate == 0."""
+    if not training or rate <= 0.0:
+        return x
+    if rate >= 1.0:
+        raise ValueError("dropout rate must be < 1")
+    mask = (rng.random(x.shape) >= rate) / (1.0 - rate)
+    return x * Tensor(mask)
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Set positions where ``mask`` is True to ``value`` (e.g. -inf-ish)."""
+    filler = Tensor(np.full(x.shape, value))
+    return where(~np.asarray(mask, dtype=bool), x, filler)

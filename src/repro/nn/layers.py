@@ -1,0 +1,188 @@
+"""Core layers and the ``Module`` container protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "ReLU",
+    "GELU",
+]
+
+
+class Parameter(Tensor):
+    """A tensor registered as trainable state."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class: recursive parameter collection and train/eval mode."""
+
+    def __init__(self):
+        self.training = True
+
+    def parameters(self) -> list[Parameter]:
+        found: list[Parameter] = []
+        seen: set[int] = set()
+
+        def visit(obj):
+            if isinstance(obj, Parameter):
+                if id(obj) not in seen:
+                    seen.add(id(obj))
+                    found.append(obj)
+            elif isinstance(obj, Module):
+                for value in vars(obj).values():
+                    visit(value)
+            elif isinstance(obj, (list, tuple)):
+                for value in obj:
+                    visit(value)
+            elif isinstance(obj, dict):
+                for value in obj.values():
+                    visit(value)
+
+        visit(self)
+        return found
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    def n_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+def _kaiming(rng: np.random.Generator, fan_in: int, shape) -> np.ndarray:
+    return rng.normal(scale=np.sqrt(2.0 / max(fan_in, 1)), size=shape)
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` over the last axis."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(_kaiming(rng, in_features, (in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Integer-id → dense-vector lookup table."""
+
+    def __init__(self, num_embeddings: int, dim: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(rng.normal(scale=0.02, size=(num_embeddings, dim)))
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.min() < 0 or ids.max() >= self.num_embeddings:
+            raise ValueError(
+                f"ids out of range [0, {self.num_embeddings}): "
+                f"[{ids.min()}, {ids.max()}]"
+            )
+        return self.weight.take_rows(ids)
+
+
+class LayerNorm(Module):
+    """Normalize the last axis; learnable scale and shift."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (variance + self.eps).sqrt()
+        return normalized * self.gamma + self.beta
+
+
+class Dropout(Module):
+    def __init__(self, rate: float = 0.1, seed: int = 0):
+        super().__init__()
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.rate, self._rng, self.training)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.gelu()
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.modules = list(modules)
+
+    def forward(self, x):
+        for module in self.modules:
+            x = module(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.modules[index]

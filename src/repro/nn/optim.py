@@ -1,0 +1,104 @@
+"""Optimizers: SGD (momentum), Adam, AdamW; gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+__all__ = ["SGD", "Adam", "AdamW", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``."""
+    total = 0.0
+    for parameter in parameters:
+        if parameter.grad is not None:
+            total += float(np.sum(parameter.grad**2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for parameter in parameters:
+            if parameter.grad is not None:
+                parameter.grad *= scale
+    return norm
+
+
+class Optimizer:
+    def __init__(self, parameters: list[Parameter]):
+        self.parameters = list(parameters)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    def __init__(self, parameters, lr: float = 0.01, momentum: float = 0.0):
+        super().__init__(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            velocity *= self.momentum
+            velocity -= self.lr * parameter.grad
+            parameter.data += velocity
+
+
+class Adam(Optimizer):
+    def __init__(
+        self,
+        parameters,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad**2
+            parameter.data -= (
+                self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            )
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay."""
+
+    def step(self) -> None:
+        if self.weight_decay:
+            for parameter in self.parameters:
+                if parameter.grad is not None:
+                    parameter.data -= self.lr * self.weight_decay * parameter.data
+        decay, self.weight_decay = self.weight_decay, 0.0
+        try:
+            super().step()
+        finally:
+            self.weight_decay = decay

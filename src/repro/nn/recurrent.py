@@ -1,0 +1,63 @@
+"""Gated recurrent unit (GRU) — SCSGuard's sequence model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module
+from repro.nn.tensor import Tensor, concat
+
+__all__ = ["GRU"]
+
+
+class GRU(Module):
+    """Single-layer GRU over (batch, time, features).
+
+    Standard formulation:
+        z_t = σ(W_z x_t + U_z h_{t-1}),
+        r_t = σ(W_r x_t + U_r h_{t-1}),
+        ĥ_t = tanh(W_h x_t + U_h (r_t ⊙ h_{t-1})),
+        h_t = (1 − z_t) ⊙ h_{t-1} + z_t ⊙ ĥ_t.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.x_z = Linear(input_dim, hidden_dim, rng=rng)
+        self.h_z = Linear(hidden_dim, hidden_dim, bias=False, rng=rng)
+        self.x_r = Linear(input_dim, hidden_dim, rng=rng)
+        self.h_r = Linear(hidden_dim, hidden_dim, bias=False, rng=rng)
+        self.x_h = Linear(input_dim, hidden_dim, rng=rng)
+        self.h_h = Linear(hidden_dim, hidden_dim, bias=False, rng=rng)
+
+    def forward(
+        self, x: Tensor, mask: np.ndarray | None = None
+    ) -> tuple[Tensor, Tensor]:
+        """Run the recurrence.
+
+        Args:
+            x: Input of shape ``(batch, time, input_dim)``.
+            mask: Optional bool array ``(batch, time)``; True marks PAD
+                steps whose updates are skipped (state carried through).
+
+        Returns:
+            ``(outputs, last_hidden)`` with shapes ``(batch, time, hidden)``
+            and ``(batch, hidden)``.
+        """
+        batch, steps, __ = x.shape
+        hidden = Tensor(np.zeros((batch, self.hidden_dim)))
+        outputs = []
+        for t in range(steps):
+            x_t = x[:, t, :]
+            z = (self.x_z(x_t) + self.h_z(hidden)).sigmoid()
+            r = (self.x_r(x_t) + self.h_r(hidden)).sigmoid()
+            candidate = (self.x_h(x_t) + self.h_h(hidden * r)).tanh()
+            updated = hidden * (1.0 - z) + candidate * z
+            if mask is not None:
+                keep = Tensor(mask[:, t : t + 1].astype(np.float64))
+                updated = hidden * keep + updated * (1.0 - keep)
+            hidden = updated
+            outputs.append(hidden.reshape(batch, 1, self.hidden_dim))
+        return concat(outputs, axis=1), hidden

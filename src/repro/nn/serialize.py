@@ -1,0 +1,85 @@
+"""Weight persistence for NN modules.
+
+A production detector must be trainable offline and shippable to the
+scanning endpoint (see ``examples/wallet_guard.py`` — training happens
+ahead of monitoring). ``state_dict``/``load_state_dict`` follow the
+PyTorch convention: a flat name → array mapping over the module tree,
+saved as a compressed ``.npz``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.nn.layers import Module, Parameter
+
+__all__ = ["state_dict", "load_state_dict", "save_module", "load_module"]
+
+
+def _walk(module: Module, prefix: str = ""):
+    """Yield (name, parameter) pairs in deterministic traversal order."""
+    for attribute, value in sorted(vars(module).items()):
+        name = f"{prefix}{attribute}"
+        if isinstance(value, Parameter):
+            yield name, value
+        elif isinstance(value, Module):
+            yield from _walk(value, prefix=f"{name}.")
+        elif isinstance(value, (list, tuple)):
+            for index, item in enumerate(value):
+                if isinstance(item, Module):
+                    yield from _walk(item, prefix=f"{name}.{index}.")
+                elif isinstance(item, Parameter):
+                    yield f"{name}.{index}", item
+        elif isinstance(value, dict):
+            for key, item in sorted(value.items()):
+                if isinstance(item, Module):
+                    yield from _walk(item, prefix=f"{name}.{key}.")
+                elif isinstance(item, Parameter):
+                    yield f"{name}.{key}", item
+
+
+def state_dict(module: Module) -> dict[str, np.ndarray]:
+    """Flat name → weight-array mapping (copies, detached)."""
+    return {name: parameter.data.copy() for name, parameter in _walk(module)}
+
+
+def load_state_dict(module: Module, weights: dict[str, np.ndarray]) -> None:
+    """Load weights in place.
+
+    Raises:
+        KeyError: On missing or unexpected parameter names.
+        ValueError: On shape mismatches.
+    """
+    parameters = dict(_walk(module))
+    missing = set(parameters) - set(weights)
+    unexpected = set(weights) - set(parameters)
+    if missing or unexpected:
+        raise KeyError(
+            f"state dict mismatch: missing={sorted(missing)} "
+            f"unexpected={sorted(unexpected)}"
+        )
+    for name, parameter in parameters.items():
+        value = np.asarray(weights[name])
+        if value.shape != parameter.data.shape:
+            raise ValueError(
+                f"{name}: shape {value.shape} != expected "
+                f"{parameter.data.shape}"
+            )
+        parameter.data = value.astype(parameter.data.dtype, copy=True)
+
+
+def save_module(module: Module, path: str | pathlib.Path) -> pathlib.Path:
+    """Persist a module's weights as compressed ``.npz``."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **state_dict(module))
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_module(module: Module, path: str | pathlib.Path) -> Module:
+    """Load weights saved by :func:`save_module` into ``module``."""
+    with np.load(pathlib.Path(path)) as archive:
+        load_state_dict(module, dict(archive))
+    return module

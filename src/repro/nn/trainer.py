@@ -1,0 +1,96 @@
+"""A compact training loop for the deep models.
+
+Handles mini-batching, gradient clipping, early stopping on training loss
+plateaus and deterministic shuffling. Models expose
+``loss(batch_inputs, batch_targets) -> Tensor`` and the trainer drives
+optimization; this keeps each model class focused on its architecture.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.optim import Adam, clip_grad_norm
+
+__all__ = ["TrainingConfig", "Trainer"]
+
+
+@dataclass
+class TrainingConfig:
+    """Knobs for one training run."""
+
+    epochs: int = 10
+    batch_size: int = 32
+    lr: float = 1e-3
+    weight_decay: float = 0.0
+    clip_norm: float = 5.0
+    seed: int = 0
+    patience: int | None = None  # early stop after N epochs w/o improvement
+    min_improvement: float = 1e-4
+    verbose: bool = False
+
+
+class Trainer:
+    """Drive a model exposing ``parameters()`` and ``loss(X, y)``."""
+
+    def __init__(self, model, config: TrainingConfig | None = None):
+        self.model = model
+        self.config = config or TrainingConfig()
+        self.history: list[float] = []
+        self.train_seconds = 0.0
+
+    def fit(self, inputs, targets) -> "Trainer":
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        optimizer = Adam(
+            self.model.parameters(), lr=config.lr,
+            weight_decay=config.weight_decay,
+        )
+        n = len(targets)
+        indices = np.arange(n)
+        best_loss = np.inf
+        stale_epochs = 0
+        started = time.perf_counter()
+        self.model.train()
+
+        for epoch in range(config.epochs):
+            rng.shuffle(indices)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n, config.batch_size):
+                rows = indices[start : start + config.batch_size]
+                batch_inputs = self._take(inputs, rows)
+                batch_targets = targets[rows]
+                optimizer.zero_grad()
+                loss = self.model.loss(batch_inputs, batch_targets)
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), config.clip_norm)
+                optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            epoch_loss /= max(batches, 1)
+            self.history.append(epoch_loss)
+            if config.verbose:
+                print(f"epoch {epoch}: loss={epoch_loss:.4f}")
+            if config.patience is not None:
+                if epoch_loss < best_loss - config.min_improvement:
+                    best_loss = epoch_loss
+                    stale_epochs = 0
+                else:
+                    stale_epochs += 1
+                    if stale_epochs > config.patience:
+                        break
+        self.train_seconds = time.perf_counter() - started
+        self.model.eval()
+        return self
+
+    @staticmethod
+    def _take(inputs, rows):
+        if isinstance(inputs, np.ndarray):
+            return inputs[rows]
+        if isinstance(inputs, (list, tuple)):
+            return [inputs[i] for i in rows]
+        raise TypeError(f"unsupported input container {type(inputs).__name__}")

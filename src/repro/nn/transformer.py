@@ -1,0 +1,52 @@
+"""Pre-LN transformer blocks (shared by GPT-2, T5 and ViT heads)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layers import Dropout, GELU, LayerNorm, Linear, Module, Sequential
+from repro.nn.tensor import Tensor
+
+__all__ = ["TransformerBlock"]
+
+
+class TransformerBlock(Module):
+    """Pre-LayerNorm block: ``x + Attn(LN(x))`` then ``x + MLP(LN(x))``."""
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        mlp_ratio: float = 4.0,
+        causal: bool = False,
+        dropout: float = 0.0,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        hidden = int(dim * mlp_ratio)
+        self.ln1 = LayerNorm(dim)
+        self.attention = MultiHeadAttention(
+            dim, n_heads, causal=causal, dropout=dropout, seed=seed
+        )
+        self.ln2 = LayerNorm(dim)
+        self.mlp = Sequential(
+            Linear(dim, hidden, rng=rng),
+            GELU(),
+            Linear(hidden, dim, rng=rng),
+            Dropout(dropout, seed=seed + 7),
+        )
+
+    def forward(
+        self,
+        x: Tensor,
+        key_padding_mask: np.ndarray | None = None,
+        position_bias: Tensor | None = None,
+    ) -> Tensor:
+        x = x + self.attention(
+            self.ln1(x),
+            key_padding_mask=key_padding_mask,
+            position_bias=position_bias,
+        )
+        return x + self.mlp(self.ln2(x))

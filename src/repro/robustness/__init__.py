@@ -1,0 +1,52 @@
+"""Adversarial robustness of opcode-based phishing detectors.
+
+The paper's time-resistance study (§IV-G) measures *passive* drift —
+attackers evolving naturally month over month. This package studies the
+*active* attacker: one who knows the detector reads opcode statistics and
+rewrites their phishing bytecode to evade it without changing what the
+contract does.
+
+* :mod:`repro.robustness.attacks` — semantics-preserving bytecode
+  transformations (unreachable-junk appending, benign-mimicry padding,
+  jump-aware junk-block insertion, minimal-proxy wrapping), each
+  verifiable by differential execution on the EVM interpreter,
+* :mod:`repro.robustness.evaluate` — the evasion/hardening harness:
+  recall decay under increasing attack strength, and recovery through
+  adversarial retraining,
+* :mod:`repro.robustness.defenses` — structural defences, currently
+  EIP-1167 proxy resolution through the chain's ``eth_getCode``.
+"""
+
+from repro.robustness.attacks import (
+    AttackError,
+    append_unreachable_junk,
+    insert_junk_blocks,
+    mimicry_padding,
+    opcode_byte_distribution,
+    semantics_preserved,
+    substitute_push0,
+    wrap_in_minimal_proxy,
+)
+from repro.robustness.defenses import ProxyResolvingDetector
+from repro.robustness.evaluate import (
+    AttackSweepResult,
+    adversarial_retraining,
+    attack_corpus,
+    evaluate_under_attack,
+)
+
+__all__ = [
+    "AttackError",
+    "append_unreachable_junk",
+    "mimicry_padding",
+    "insert_junk_blocks",
+    "substitute_push0",
+    "wrap_in_minimal_proxy",
+    "opcode_byte_distribution",
+    "semantics_preserved",
+    "ProxyResolvingDetector",
+    "AttackSweepResult",
+    "attack_corpus",
+    "evaluate_under_attack",
+    "adversarial_retraining",
+]

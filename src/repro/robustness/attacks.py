@@ -1,0 +1,346 @@
+"""Semantics-preserving bytecode transformations for evasion studies.
+
+Every attack takes a deployed runtime bytecode and returns a rewritten one
+that behaves identically on-chain but presents different opcode statistics
+to a static detector. Three escalating capabilities are modelled:
+
+1. *Appending* — the attacker pads unreachable bytes after the terminating
+   instruction (trivial; no control-flow understanding needed). The
+   mimicry variant draws the padding from a benign opcode distribution.
+2. *Inserting* — the attacker splices junk blocks into reachable code and
+   relocates jump targets (requires a rewriter; implemented here with the
+   PUSH-before-JUMPDEST heuristic our assembler guarantees).
+3. *Hiding* — the attacker deploys an EIP-1167 minimal proxy whose
+   deployed bytecode is indistinguishable from the thousands of benign
+   proxies in the wild, and keeps the phishing logic behind it.
+
+:func:`semantics_preserved` checks any rewrite by differential execution
+on :class:`repro.evm.machine.EVM` — same halt reason, storage, return
+data and logs across a battery of calldata.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.mutation import minimal_proxy
+from repro.evm.disassembler import Disassembler, normalize_bytecode
+from repro.evm.machine import EVM, ExecutionContext
+from repro.evm.opcodes import OPCODES_BY_NAME
+
+__all__ = [
+    "AttackError",
+    "append_unreachable_junk",
+    "mimicry_padding",
+    "insert_junk_blocks",
+    "substitute_push0",
+    "wrap_in_minimal_proxy",
+    "opcode_byte_distribution",
+    "semantics_preserved",
+]
+
+
+class AttackError(ValueError):
+    """The bytecode cannot be rewritten by the requested attack."""
+
+
+#: Junk couplets that are stack-neutral at any program point: each pushes
+#: exactly one word reading only environment state, then pops it.
+_NEUTRAL_SOURCES = (
+    "ADDRESS", "CALLER", "CALLVALUE", "CALLDATASIZE", "CODESIZE",
+    "GASPRICE", "RETURNDATASIZE", "PC", "MSIZE", "GAS", "CHAINID",
+    "SELFBALANCE", "BASEFEE", "PUSH0",
+)
+
+_POP = OPCODES_BY_NAME["POP"].value
+_JUMPDEST = OPCODES_BY_NAME["JUMPDEST"].value
+_PUSH2 = OPCODES_BY_NAME["PUSH2"].value
+
+
+def _check_appendable(bytecode: bytes) -> None:
+    """Reject bytecodes where appended bytes could become reachable.
+
+    A contract with no terminator at all relies on the implicit STOP at
+    end-of-code; appending junk there changes behaviour. Contracts with a
+    terminator may still carry unreachable data/metadata trailers past it
+    (ours do), which linear disassembly decodes as arbitrary instructions
+    — that is fine statically, and :func:`semantics_preserved` is the
+    authoritative confirmation for any individual rewrite.
+    """
+    instructions = Disassembler(bytecode).disassemble()
+    if not instructions:
+        raise AttackError("empty bytecode")
+    if not any(
+        instruction.opcode.is_terminator for instruction in instructions
+    ):
+        raise AttackError(
+            "bytecode has no terminator and falls through to end-of-code; "
+            "appending junk would change the fallthrough behaviour"
+        )
+
+
+def append_unreachable_junk(
+    bytecode: bytes | str,
+    rng: np.random.Generator,
+    n_bytes: int,
+) -> bytes:
+    """Append ``n_bytes`` of uniformly random unreachable bytes.
+
+    Execution cannot reach past the terminating instruction, so behaviour
+    is unchanged, but the linear disassembly the BDM produces — and hence
+    every opcode histogram, image and token sequence — now contains the
+    junk.
+    """
+    code = normalize_bytecode(bytecode)
+    if n_bytes < 0:
+        raise AttackError("n_bytes must be non-negative")
+    _check_appendable(code)
+    junk = bytes(rng.integers(0, 256, size=n_bytes, dtype=np.uint8))
+    return code + junk
+
+
+def opcode_byte_distribution(bytecodes) -> np.ndarray:
+    """Empirical distribution over the 256 byte values in a code corpus.
+
+    Fed to :func:`mimicry_padding` so the attacker's padding mimics, e.g.,
+    the benign class. Laplace-smoothed so every byte has non-zero mass.
+    """
+    counts = np.ones(256, dtype=np.float64)  # +1 smoothing
+    for bytecode in bytecodes:
+        code = normalize_bytecode(bytecode)
+        values, value_counts = np.unique(
+            np.frombuffer(code, dtype=np.uint8), return_counts=True
+        )
+        counts[values] += value_counts
+    return counts / counts.sum()
+
+
+def mimicry_padding(
+    bytecode: bytes | str,
+    rng: np.random.Generator,
+    n_bytes: int,
+    distribution: np.ndarray,
+) -> bytes:
+    """Append unreachable bytes drawn from a target byte distribution.
+
+    The classic mimicry attack: padding sampled from the *benign* byte
+    distribution drags the contract's opcode histogram towards the benign
+    centroid, which is strictly stronger against HSCs than uniform junk.
+    """
+    code = normalize_bytecode(bytecode)
+    distribution = np.asarray(distribution, dtype=float)
+    if distribution.shape != (256,) or np.any(distribution < 0):
+        raise AttackError("distribution must be a non-negative vector of 256")
+    total = distribution.sum()
+    if total <= 0:
+        raise AttackError("distribution must have positive mass")
+    _check_appendable(code)
+    junk = rng.choice(256, size=n_bytes, p=distribution / total)
+    return code + bytes(junk.astype(np.uint8).tolist())
+
+
+def _junk_block(rng: np.random.Generator, length: int) -> bytes:
+    """A reachable, stack-neutral junk block of exactly ``length`` bytes.
+
+    Built from source/POP couplets with a PUSH1 imm/POP filler for odd
+    remainders; never alters stack depth by more than one transiently.
+    """
+    if length < 2:
+        raise AttackError("junk blocks need at least 2 bytes")
+    out = bytearray()
+    while len(out) < length:
+        remaining = length - len(out)
+        if remaining == 3:
+            push1 = OPCODES_BY_NAME["PUSH1"].value
+            out += bytes([push1, int(rng.integers(0, 256)), _POP])
+        else:
+            source = _NEUTRAL_SOURCES[int(rng.integers(0, len(_NEUTRAL_SOURCES)))]
+            out += bytes([OPCODES_BY_NAME[source].value, _POP])
+    return bytes(out)
+
+
+def insert_junk_blocks(
+    bytecode: bytes | str,
+    rng: np.random.Generator,
+    n_blocks: int = 4,
+    block_length: int = 8,
+) -> bytes:
+    """Splice stack-neutral junk into reachable code, relocating jumps.
+
+    Junk blocks are inserted at instruction boundaries. Two kinds of jump
+    references are relocated, keeping their PUSH width:
+
+    * any PUSH2 whose operand equals a JUMPDEST offset (our assembler's
+      label convention — labels are always PUSH2),
+    * any PUSH1–PUSH4 *immediately before* a JUMP/JUMPI whose operand
+      equals a JUMPDEST offset (direct jumps in hand-rolled runtimes such
+      as the EIP-1167 proxy, whose ``PUSH1 0x2b JUMPI`` would otherwise
+      go stale).
+
+    A PUSH constant that merely *collides* with a JUMPDEST offset would
+    be mis-relocated, so callers should confirm each rewrite with
+    :func:`semantics_preserved`.
+
+    Raises:
+        AttackError: When a relocated target no longer fits its original
+            PUSH width.
+    """
+    code = normalize_bytecode(bytecode)
+    instructions = Disassembler(code).disassemble()
+    if not instructions:
+        raise AttackError("empty bytecode")
+    jumpdests = {
+        instruction.offset
+        for instruction in instructions
+        if instruction.opcode.value == _JUMPDEST
+    }
+    jump_values = {OPCODES_BY_NAME["JUMP"].value, OPCODES_BY_NAME["JUMPI"].value}
+
+    def is_jump_reference(index: int) -> bool:
+        instruction = instructions[index]
+        if (
+            not instruction.opcode.is_push
+            or instruction.is_truncated
+            or not instruction.operand
+            or int.from_bytes(instruction.operand, "big") not in jumpdests
+        ):
+            return False
+        if instruction.opcode.value == _PUSH2:
+            return True
+        followed_by_jump = (
+            index + 1 < len(instructions)
+            and instructions[index + 1].opcode.value in jump_values
+        )
+        return len(instruction.operand) <= 4 and followed_by_jump
+
+    # Choose insertion points: before randomly chosen instructions
+    # (never before offset 0 — entry must stay at the original pc 0
+    # semantics anyway, but inserting at 0 is also legal; keep it simple
+    # and allow any boundary).
+    boundaries = [instruction.offset for instruction in instructions]
+    chosen = sorted(
+        rng.choice(len(boundaries), size=min(n_blocks, len(boundaries)),
+                   replace=False).tolist()
+    )
+    insert_at = [boundaries[i] for i in chosen]
+
+    # Old offset -> inserted-bytes-before-it, to build the relocation map.
+    blocks = {offset: _junk_block(rng, block_length) for offset in insert_at}
+
+    def relocate(offset: int) -> int:
+        shift = sum(
+            len(block) for at, block in blocks.items() if at <= offset
+        )
+        return offset + shift
+
+    out = bytearray()
+    for index, instruction in enumerate(instructions):
+        if instruction.offset in blocks:
+            out += blocks[instruction.offset]
+        raw = code[
+            instruction.offset:
+            instruction.offset + 1 + len(instruction.operand)
+        ]
+        if is_jump_reference(index):
+            width = len(instruction.operand)
+            target = relocate(int.from_bytes(instruction.operand, "big"))
+            if target >= 1 << (8 * width):
+                raise AttackError(
+                    f"relocated jump target {target} exceeds PUSH{width}"
+                )
+            out += bytes([raw[0]]) + target.to_bytes(width, "big")
+        else:
+            out += raw
+    return bytes(out)
+
+
+def substitute_push0(
+    bytecode: bytes | str,
+    rng: np.random.Generator,
+    fraction: float = 1.0,
+) -> bytes:
+    """Rewrite ``PUSH1 0x00`` as ``PUSH0 JUMPDEST`` — a length-preserving
+    equivalent-instruction substitution.
+
+    Both forms occupy two bytes and leave a zero on the stack; the
+    trailing JUMPDEST is a no-op (it adds a *valid jump destination*, but
+    nothing jumps there — confirm with :func:`semantics_preserved`).
+    Because lengths match, no jump relocation is needed, making this the
+    cheapest reachable-code rewrite available to an attacker. It shifts
+    opcode histograms (PUSH1 down, PUSH0/JUMPDEST up) without adding a
+    single byte.
+
+    Args:
+        fraction: Probability of rewriting each eligible site, so partial
+            substitution sweeps are possible.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise AttackError("fraction must lie in [0, 1]")
+    code = bytearray(normalize_bytecode(bytecode))
+    push0 = OPCODES_BY_NAME["PUSH0"].value
+    push1 = OPCODES_BY_NAME["PUSH1"].value
+    for instruction in Disassembler(bytes(code)).disassemble():
+        eligible = (
+            instruction.opcode.value == push1
+            and instruction.operand == b"\x00"
+            and not instruction.is_truncated
+        )
+        if eligible and rng.random() < fraction:
+            code[instruction.offset] = push0
+            code[instruction.offset + 1] = _JUMPDEST
+    return bytes(code)
+
+
+def wrap_in_minimal_proxy(implementation_address: int | str) -> bytes:
+    """The proxy-hiding attack: deploy an EIP-1167 clone of the phishing
+    implementation.
+
+    The deployed bytecode the detector sees is the 45-byte canonical proxy
+    — byte-identical (up to the embedded address) to the benign proxies
+    that dominate the chain. A purely bytecode-based detector cannot
+    distinguish them; this is the structural blind spot the paper's dedup
+    discussion (§III) implies.
+    """
+    return minimal_proxy(implementation_address)
+
+
+_PROBE_VALUES = (0, 1, 10**18)
+
+
+def _probe_calldata(rng: np.random.Generator, n_random: int) -> list[bytes]:
+    probes = [b"", bytes(4), bytes.fromhex("a9059cbb") + bytes(64)]
+    for _ in range(n_random):
+        size = int(rng.integers(4, 68))
+        probes.append(bytes(rng.integers(0, 256, size=size, dtype=np.uint8)))
+    return probes
+
+
+def semantics_preserved(
+    original: bytes | str,
+    rewritten: bytes | str,
+    rng: np.random.Generator | None = None,
+    n_random_calldata: int = 3,
+    gas_limit: int = 1_000_000,
+) -> bool:
+    """Differentially execute both bytecodes over a calldata battery.
+
+    Returns True when halt reason, storage, return data and logs agree for
+    every probe (empty calldata, a zeroed selector, an ERC-20 ``transfer``
+    selector, and random calldata) at several call values.
+    """
+    rng = rng or np.random.default_rng(0)
+    evm = EVM(gas_limit=gas_limit)
+    for calldata in _probe_calldata(rng, n_random_calldata):
+        for value in _PROBE_VALUES:
+            context = ExecutionContext(calldata=calldata, callvalue=value)
+            before = evm.execute(original, context=context)
+            after = evm.execute(rewritten, context=context)
+            same = (
+                before.halt == after.halt
+                and before.return_data == after.return_data
+                and before.storage == after.storage
+                and before.logs == after.logs
+            )
+            if not same:
+                return False
+    return True

@@ -1,0 +1,76 @@
+"""Defences against the evasion attacks of :mod:`repro.robustness.attacks`.
+
+The proxy-hiding attack (:func:`~repro.robustness.attacks.wrap_in_minimal_proxy`)
+is structural: the deployed bytecode the detector sees is the 45-byte
+EIP-1167 stub, indistinguishable from benign proxies. No amount of
+training on proxy bytes fixes that — the signal simply is not there. The
+defence is a *systems* one: recognise the stub, fetch the implementation
+bytecode through the chain (one ``eth_getCode`` round-trip, exactly what
+the BEM already speaks), and classify that instead.
+
+:class:`ProxyResolvingDetector` wraps any
+:class:`~repro.models.detector.PhishingDetector` with that resolution
+step, falling back to the raw bytes when the implementation cannot be
+fetched (self-destructed target, unreachable endpoint).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.mutation import is_minimal_proxy, proxy_implementation
+from repro.models.detector import PhishingDetector
+
+__all__ = ["ProxyResolvingDetector"]
+
+
+class ProxyResolvingDetector(PhishingDetector):
+    """Classify EIP-1167 proxies by their implementation's bytecode.
+
+    Args:
+        base: The wrapped detector; ``fit``/``predict_proba`` are
+            delegated after proxy resolution.
+        code_lookup: ``code_lookup(address) -> bytes`` — typically
+            :meth:`repro.chain.rpc.JsonRpcClient.get_code`. Exceptions
+            and empty results fall back to the unresolved proxy bytes.
+        max_hops: Proxies may point at proxies; resolution follows at
+            most this many hops before giving up (cycle guard).
+    """
+
+    category = "DEF"
+
+    def __init__(self, base: PhishingDetector, code_lookup, max_hops: int = 4):
+        if not isinstance(base, PhishingDetector):
+            raise TypeError("base must be a PhishingDetector")
+        if max_hops < 1:
+            raise ValueError("max_hops must be >= 1")
+        self.base = base
+        self.code_lookup = code_lookup
+        self.max_hops = max_hops
+        self.name = f"ProxyResolving[{base.name}]"
+
+    def resolve(self, bytecode: bytes) -> bytes:
+        """Follow minimal-proxy indirection to the implementation bytes."""
+        current = bytecode
+        for _ in range(self.max_hops):
+            if not is_minimal_proxy(current):
+                return current
+            address = proxy_implementation(current)
+            try:
+                implementation = self.code_lookup(address)
+            except Exception:
+                return current
+            if not implementation:
+                return current
+            current = implementation
+        return current
+
+    def _resolve_all(self, bytecodes) -> list[bytes]:
+        return [self.resolve(code) for code in bytecodes]
+
+    def fit(self, bytecodes, labels) -> "ProxyResolvingDetector":
+        self.base.fit(self._resolve_all(bytecodes), np.asarray(labels))
+        return self
+
+    def predict_proba(self, bytecodes) -> np.ndarray:
+        return self.base.predict_proba(self._resolve_all(bytecodes))

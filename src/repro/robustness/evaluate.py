@@ -1,0 +1,188 @@
+"""Evasion and hardening harness for opcode-based detectors.
+
+The threat model: the attacker controls only their own (phishing)
+contracts, so attacks are applied to phishing samples exclusively; benign
+traffic is untouched. The security metric that matters is therefore
+*recall on attacked phishing* — precision on benign traffic cannot be
+degraded by this attacker.
+
+Two experiments:
+
+* :func:`evaluate_under_attack` — train on clean data, sweep the attack
+  strength over the phishing half of the test set, record the recall
+  decay curve (the adversarial analogue of the paper's Fig. 8 decay).
+* :func:`adversarial_retraining` — augment the training set with attacked
+  copies of its phishing samples and measure how much of the lost recall
+  a defender recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.metrics import Metrics, classification_metrics
+
+__all__ = [
+    "AttackSweepResult",
+    "attack_corpus",
+    "evaluate_under_attack",
+    "adversarial_retraining",
+]
+
+
+def attack_corpus(
+    bytecodes,
+    labels,
+    attack,
+    rng: np.random.Generator,
+    strength: float,
+) -> list[bytes]:
+    """Apply ``attack(bytecode, rng, strength)`` to every phishing sample.
+
+    ``strength`` is attack-specific (the harness sweeps it); benign
+    samples (label 0) pass through untouched, matching the threat model.
+    """
+    labels = np.asarray(labels)
+    if labels.size != len(bytecodes):
+        raise ValueError("labels must match bytecodes length")
+    attacked = []
+    for bytecode, label in zip(bytecodes, labels):
+        if label == 1:
+            attacked.append(attack(bytecode, rng, strength))
+        else:
+            attacked.append(bytecode)
+    return attacked
+
+
+@dataclass
+class AttackSweepResult:
+    """Recall/metrics of one detector across attack strengths."""
+
+    detector_name: str
+    attack_name: str
+    strengths: list[float] = field(default_factory=list)
+    metrics: list[Metrics] = field(default_factory=list)
+
+    @property
+    def recalls(self) -> list[float]:
+        return [m.recall for m in self.metrics]
+
+    @property
+    def clean_recall(self) -> float:
+        """Recall at the weakest (first) strength, conventionally 0."""
+        return self.metrics[0].recall
+
+    def recall_drop(self) -> float:
+        """Recall lost between the clean and the strongest attack point."""
+        return self.clean_recall - self.metrics[-1].recall
+
+    def table(self) -> str:
+        """Bench-style text table: one row per strength."""
+        lines = [
+            f"{self.detector_name} under {self.attack_name}",
+            f"{'strength':>9s} {'accuracy':>9s} {'f1':>7s} "
+            f"{'precision':>10s} {'recall':>7s}",
+        ]
+        for strength, metric in zip(self.strengths, self.metrics):
+            lines.append(
+                f"{strength:9.2f} {metric.accuracy:9.4f} {metric.f1:7.4f} "
+                f"{metric.precision:10.4f} {metric.recall:7.4f}"
+            )
+        return "\n".join(lines)
+
+
+def evaluate_under_attack(
+    detector,
+    train_bytecodes,
+    train_labels,
+    test_bytecodes,
+    test_labels,
+    attack,
+    strengths,
+    attack_name: str = "attack",
+    seed: int = 0,
+) -> AttackSweepResult:
+    """Train once on clean data, evaluate across attack strengths.
+
+    Args:
+        detector: An unfitted :class:`~repro.models.detector.PhishingDetector`.
+        attack: ``attack(bytecode, rng, strength) -> bytes`` applied to
+            phishing test samples only.
+        strengths: Sweep values; include 0 (or the attack's identity
+            strength) first to record the clean baseline.
+
+    Returns:
+        An :class:`AttackSweepResult` with one metric bundle per strength.
+    """
+    detector.fit(train_bytecodes, np.asarray(train_labels))
+    result = AttackSweepResult(
+        detector_name=detector.name, attack_name=attack_name
+    )
+    for strength in strengths:
+        rng = np.random.default_rng(seed)  # same randomness per strength
+        attacked = attack_corpus(
+            test_bytecodes, test_labels, attack, rng, strength
+        )
+        predictions = detector.predict(attacked)
+        result.strengths.append(float(strength))
+        result.metrics.append(
+            classification_metrics(np.asarray(test_labels), predictions)
+        )
+    return result
+
+
+def adversarial_retraining(
+    detector_factory,
+    train_bytecodes,
+    train_labels,
+    test_bytecodes,
+    test_labels,
+    attack,
+    strength: float,
+    attack_name: str = "attack",
+    seed: int = 0,
+) -> dict[str, Metrics]:
+    """Compare a clean-trained and an adversarially-trained detector.
+
+    The hardened detector's training set is the clean set plus an attacked
+    copy of every phishing training sample (the standard augmentation
+    defence). Both are evaluated on the *attacked* test set.
+
+    Args:
+        detector_factory: Zero-argument callable producing a fresh
+            unfitted detector (two independent models are trained).
+
+    Returns:
+        ``{"clean_model": Metrics, "hardened_model": Metrics}`` measured
+        on the attacked test set.
+    """
+    train_labels = np.asarray(train_labels)
+    test_labels = np.asarray(test_labels)
+    rng = np.random.default_rng(seed)
+    attacked_test = attack_corpus(
+        test_bytecodes, test_labels, attack, rng, strength
+    )
+
+    clean_model = detector_factory()
+    clean_model.fit(train_bytecodes, train_labels)
+    clean_metrics = classification_metrics(
+        test_labels, clean_model.predict(attacked_test)
+    )
+
+    augment_rng = np.random.default_rng(seed + 1)
+    phishing_indices = np.flatnonzero(train_labels == 1)
+    augmented_codes = list(train_bytecodes) + [
+        attack(train_bytecodes[i], augment_rng, strength)
+        for i in phishing_indices
+    ]
+    augmented_labels = np.concatenate(
+        [train_labels, np.ones(phishing_indices.size, dtype=train_labels.dtype)]
+    )
+    hardened_model = detector_factory()
+    hardened_model.fit(augmented_codes, augmented_labels)
+    hardened_metrics = classification_metrics(
+        test_labels, hardened_model.predict(attacked_test)
+    )
+    return {"clean_model": clean_metrics, "hardened_model": hardened_metrics}

@@ -1,0 +1,146 @@
+"""Tests for bootstrap confidence intervals and paired model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.analysis.bootstrap import (
+    BootstrapInterval,
+    bootstrap_ci,
+    paired_bootstrap_test,
+)
+
+
+def finite_samples(min_size=5, max_size=40):
+    return st.lists(
+        st.floats(-100, 100, allow_nan=False),
+        min_size=min_size,
+        max_size=max_size,
+    ).map(np.array)
+
+
+class TestInterval:
+    def test_contains_and_width(self):
+        interval = BootstrapInterval(0.5, 0.4, 0.7, 0.95, "bca")
+        assert 0.5 in interval
+        assert 0.39 not in interval
+        assert interval.width == pytest.approx(0.3)
+
+    def test_str_format(self):
+        text = str(BootstrapInterval(0.5, 0.4, 0.7, 0.95, "bca"))
+        assert "95%" in text and "bca" in text
+
+
+class TestBootstrapCi:
+    def test_point_estimate_is_plugin_value(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        interval = bootstrap_ci(values)
+        assert interval.estimate == pytest.approx(2.5)
+
+    def test_interval_covers_mean_of_well_behaved_sample(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(10.0, 2.0, size=200)
+        interval = bootstrap_ci(values, seed=1)
+        assert 10.0 in interval
+
+    def test_matches_scipy_percentile_roughly(self):
+        rng = np.random.default_rng(1)
+        values = rng.exponential(2.0, size=80)
+        ours = bootstrap_ci(values, method="percentile",
+                            n_resamples=4000, seed=0)
+        theirs = scipy_stats.bootstrap(
+            (values,), np.mean, n_resamples=4000,
+            confidence_level=0.95, method="percentile",
+            random_state=np.random.default_rng(0),
+        ).confidence_interval
+        assert ours.lower == pytest.approx(theirs.low, abs=0.15)
+        assert ours.upper == pytest.approx(theirs.high, abs=0.15)
+
+    def test_bca_shifts_interval_for_skewed_sample(self):
+        rng = np.random.default_rng(2)
+        values = rng.exponential(1.0, size=30)
+        percentile = bootstrap_ci(values, method="percentile", seed=0)
+        bca = bootstrap_ci(values, method="bca", seed=0)
+        # For a right-skewed statistic BCa moves the interval; it must
+        # still contain the plug-in estimate and differ from percentile.
+        assert bca.estimate in bca
+        assert (bca.lower, bca.upper) != (percentile.lower, percentile.upper)
+
+    def test_degenerate_sample_falls_back(self):
+        interval = bootstrap_ci(np.array([3.0, 3.0, 3.0, 3.0]))
+        assert interval.lower == interval.upper == 3.0
+        assert interval.method == "percentile"  # BCa fallback
+
+    def test_custom_statistic(self):
+        values = np.array([1.0, 2.0, 100.0, 3.0, 2.0])
+        interval = bootstrap_ci(values, statistic=np.median, seed=0)
+        assert interval.estimate == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, np.nan])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], method="studentized")
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], n_resamples=10)
+
+    @given(finite_samples())
+    @settings(max_examples=30, deadline=None)
+    def test_interval_ordered_and_contains_estimate(self, values):
+        interval = bootstrap_ci(values, n_resamples=300, seed=0)
+        assert interval.lower <= interval.upper
+        # Mean of resampled means concentrates near the estimate; the
+        # interval must bracket the plug-in value for the mean statistic.
+        assert interval.lower - 1e-9 <= interval.estimate <= interval.upper + 1e-9
+
+    @given(finite_samples(), st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_per_seed(self, values, seed):
+        first = bootstrap_ci(values, n_resamples=200, seed=seed)
+        second = bootstrap_ci(values, n_resamples=200, seed=seed)
+        assert first == second
+
+
+class TestPairedBootstrapTest:
+    def test_clear_difference_is_significant(self):
+        rng = np.random.default_rng(3)
+        strong = rng.normal(0.93, 0.01, size=30)
+        weak = rng.normal(0.80, 0.01, size=30)
+        p_value, interval = paired_bootstrap_test(strong, weak, seed=0)
+        assert p_value < 0.01
+        assert interval.lower > 0.0
+
+    def test_identical_models_not_significant(self):
+        rng = np.random.default_rng(4)
+        base = rng.normal(0.9, 0.02, size=30)
+        noise = base + rng.normal(0.0, 0.001, size=30)
+        p_value, interval = paired_bootstrap_test(base, noise, seed=0)
+        assert p_value > 0.05
+        assert 0.0 in interval
+
+    def test_sign_symmetry(self):
+        rng = np.random.default_rng(5)
+        first = rng.normal(0.9, 0.02, size=25)
+        second = rng.normal(0.85, 0.02, size=25)
+        p_forward, ci_forward = paired_bootstrap_test(first, second, seed=0)
+        p_backward, ci_backward = paired_bootstrap_test(second, first, seed=0)
+        assert p_forward == pytest.approx(p_backward, abs=0.02)
+        assert ci_forward.estimate == pytest.approx(-ci_backward.estimate)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_test([0.1, 0.2], [0.1, 0.2, 0.3])
+
+    @given(finite_samples(min_size=6, max_size=25))
+    @settings(max_examples=20, deadline=None)
+    def test_p_value_in_unit_interval(self, values):
+        shifted = values + 0.5
+        p_value, _ = paired_bootstrap_test(values, shifted,
+                                           n_resamples=200, seed=0)
+        assert 0.0 <= p_value <= 1.0

@@ -1,0 +1,207 @@
+"""Tests for reliability diagrams, calibration errors and scalers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.calibration import (
+    IsotonicCalibrator,
+    PlattScaler,
+    TemperatureScaler,
+    brier_score,
+    expected_calibration_error,
+    maximum_calibration_error,
+    reliability_bins,
+)
+
+
+def _calibrated_sample(n=4000, seed=0):
+    """Labels drawn with P(y=1) = p: perfectly calibrated by design."""
+    rng = np.random.default_rng(seed)
+    probs = rng.random(n)
+    labels = (rng.random(n) < probs).astype(int)
+    return labels, probs
+
+
+def _overconfident_sample(n=4000, seed=1):
+    """Probabilities pushed towards the extremes relative to the truth."""
+    labels, probs = _calibrated_sample(n, seed)
+    logits = np.log(np.clip(probs, 1e-9, 1 - 1e-9) / (1 - probs))
+    sharpened = 1.0 / (1.0 + np.exp(-3.0 * logits))
+    return labels, sharpened
+
+
+def prob_label_arrays():
+    return st.integers(4, 40).flatmap(
+        lambda n: st.tuples(
+            st.lists(st.integers(0, 1), min_size=n, max_size=n).map(np.array),
+            st.lists(
+                st.floats(0.0, 1.0, allow_nan=False),
+                min_size=n, max_size=n,
+            ).map(np.array),
+        )
+    )
+
+
+class TestReliabilityBins:
+    def test_partition_is_exhaustive(self):
+        labels, probs = _calibrated_sample(500)
+        bins = reliability_bins(labels, probs, n_bins=10)
+        assert sum(b.count for b in bins) == 500
+        assert bins[0].lower == 0.0
+        assert bins[-1].upper == 1.0
+
+    def test_boundary_probabilities(self):
+        bins = reliability_bins([0, 1, 1], [0.0, 0.5, 1.0], n_bins=2)
+        # 0.0 and 0.5 fall in the first right-closed bin, 1.0 in the last.
+        assert bins[0].count == 2
+        assert bins[1].count == 1
+
+    def test_empty_bin_gap_zero(self):
+        bins = reliability_bins([0, 1], [0.05, 0.95], n_bins=10)
+        empty = [b for b in bins if b.count == 0]
+        assert empty and all(b.gap == 0.0 for b in empty)
+
+    def test_bad_nbins(self):
+        with pytest.raises(ValueError):
+            reliability_bins([0, 1], [0.2, 0.8], n_bins=0)
+
+    def test_bad_probs(self):
+        with pytest.raises(ValueError):
+            reliability_bins([0, 1], [-0.1, 0.5])
+        with pytest.raises(ValueError):
+            reliability_bins([0, 2], [0.1, 0.5])
+
+
+class TestCalibrationErrors:
+    def test_calibrated_sample_has_small_ece(self):
+        labels, probs = _calibrated_sample()
+        assert expected_calibration_error(labels, probs) < 0.05
+
+    def test_overconfident_sample_has_larger_ece(self):
+        calibrated_labels, calibrated = _calibrated_sample()
+        sharp_labels, sharpened = _overconfident_sample()
+        assert expected_calibration_error(
+            sharp_labels, sharpened
+        ) > expected_calibration_error(calibrated_labels, calibrated)
+
+    def test_mce_bounds_ece(self):
+        labels, probs = _overconfident_sample()
+        ece = expected_calibration_error(labels, probs)
+        mce = maximum_calibration_error(labels, probs)
+        assert 0.0 <= ece <= mce <= 1.0
+
+    def test_brier_perfect_and_worst(self):
+        assert brier_score([1, 0], [1.0, 0.0]) == 0.0
+        assert brier_score([1, 0], [0.0, 1.0]) == 1.0
+
+    def test_brier_constant_half(self):
+        assert brier_score([1, 0, 1, 0], [0.5] * 4) == pytest.approx(0.25)
+
+    @given(prob_label_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_error_metrics_in_unit_interval(self, data):
+        labels, probs = data
+        assert 0.0 <= expected_calibration_error(labels, probs) <= 1.0
+        assert 0.0 <= maximum_calibration_error(labels, probs) <= 1.0
+        assert 0.0 <= brier_score(labels, probs) <= 1.0
+
+
+class TestPlattScaler:
+    def test_repairs_overconfidence(self):
+        labels, sharpened = _overconfident_sample()
+        scaler = PlattScaler().fit(sharpened, labels)
+        repaired = scaler.transform(sharpened)
+        assert expected_calibration_error(
+            labels, repaired
+        ) < expected_calibration_error(labels, sharpened)
+
+    def test_learns_inverse_slope(self):
+        labels, sharpened = _overconfident_sample()
+        scaler = PlattScaler().fit(sharpened, labels)
+        # Overconfident logits were scaled by 3; Platt should undo it.
+        assert 0.2 < scaler.slope_ < 0.6
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            PlattScaler().transform([0.5])
+
+    def test_output_is_probability(self):
+        labels, probs = _calibrated_sample(200)
+        scaler = PlattScaler().fit(probs, labels)
+        out = scaler.transform(probs)
+        assert np.all((out >= 0) & (out <= 1))
+
+
+class TestTemperatureScaler:
+    def test_repairs_overconfidence_with_t_above_one(self):
+        labels, sharpened = _overconfident_sample()
+        scaler = TemperatureScaler().fit(sharpened, labels)
+        assert scaler.temperature_ > 1.5
+        repaired = scaler.transform(sharpened)
+        assert expected_calibration_error(
+            labels, repaired
+        ) < expected_calibration_error(labels, sharpened)
+
+    def test_preserves_ranking(self):
+        labels, sharpened = _overconfident_sample(500)
+        scaler = TemperatureScaler().fit(sharpened, labels)
+        out = scaler.transform(sharpened)
+        order_before = np.argsort(sharpened, kind="stable")
+        order_after = np.argsort(out, kind="stable")
+        assert np.array_equal(order_before, order_after)
+
+    def test_calibrated_input_keeps_t_near_one(self):
+        labels, probs = _calibrated_sample()
+        scaler = TemperatureScaler().fit(probs, labels)
+        assert 0.8 < scaler.temperature_ < 1.3
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            TemperatureScaler(bounds=(2.0, 1.0))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TemperatureScaler().transform([0.5])
+
+
+class TestIsotonicCalibrator:
+    def test_output_monotone_in_input(self):
+        labels, probs = _overconfident_sample(1000)
+        calibrator = IsotonicCalibrator().fit(probs, labels)
+        grid = np.linspace(0, 1, 101)
+        out = calibrator.transform(grid)
+        assert np.all(np.diff(out) >= -1e-12)
+
+    def test_repairs_overconfidence(self):
+        labels, sharpened = _overconfident_sample()
+        calibrator = IsotonicCalibrator().fit(sharpened, labels)
+        repaired = calibrator.transform(sharpened)
+        assert expected_calibration_error(
+            labels, repaired
+        ) < expected_calibration_error(labels, sharpened)
+
+    def test_pav_known_small_case(self):
+        # Scores ordered, labels [0, 1, 0, 1]: the middle violation pools.
+        calibrator = IsotonicCalibrator().fit(
+            [0.1, 0.4, 0.6, 0.9], [0, 1, 0, 1]
+        )
+        out = calibrator.transform([0.1, 0.4, 0.6, 0.9])
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(0.5)
+        assert out[2] == pytest.approx(0.5)
+        assert out[3] == 1.0
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            IsotonicCalibrator().transform([0.5])
+
+    @given(prob_label_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_fitted_values_are_probabilities(self, data):
+        labels, probs = data
+        calibrator = IsotonicCalibrator().fit(probs, labels)
+        out = calibrator.transform(probs)
+        assert np.all((out >= 0.0) & (out <= 1.0))
+        assert np.all(np.diff(calibrator.values_) >= -1e-12)

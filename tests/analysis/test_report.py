@@ -1,0 +1,75 @@
+"""Tests for the markdown report generator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import render_report
+from repro.core.mem import EvaluationResult, TrialRecord
+from repro.core.pam import PostHocAnalysisModule
+from repro.ml.metrics import Metrics
+
+
+def synthetic_evaluation():
+    rng = np.random.default_rng(0)
+    result = EvaluationResult()
+    for model, mean in (
+        ("Random Forest", 0.93), ("k-NN", 0.89), ("ViT+R2D2", 0.80)
+    ):
+        for index in range(12):
+            value = float(np.clip(rng.normal(mean, 0.01), 0, 1))
+            result.trials.append(
+                TrialRecord(
+                    model=model, run=0, fold=index,
+                    metrics=Metrics(value, value, value, value),
+                    train_seconds=0.5 if model == "ViT+R2D2" else 0.05,
+                    inference_seconds=0.01,
+                )
+            )
+    return result
+
+
+class TestRenderReport:
+    def test_contains_all_models_ranked(self):
+        report = render_report(synthetic_evaluation())
+        assert report.index("Random Forest") < report.index("k-NN")
+        assert "ViT+R2D2" in report
+
+    def test_best_model_called_out(self):
+        report = render_report(synthetic_evaluation())
+        assert "**Best model:** Random Forest" in report
+
+    def test_cost_table_present(self):
+        report = render_report(synthetic_evaluation())
+        assert "## Cost" in report
+        assert "Train (s)" in report
+
+    def test_posthoc_section(self):
+        evaluation = synthetic_evaluation()
+        post_hoc = PostHocAnalysisModule(exclude=()).analyze(evaluation)
+        report = render_report(evaluation, post_hoc=post_hoc)
+        assert "## Statistical validation" in report
+        assert "Kruskal–Wallis" in report
+        assert "Dunn pairs" in report
+
+    def test_category_means_section(self):
+        report = render_report(synthetic_evaluation())
+        assert "## Category means" in report
+        assert "HSC:" in report and "VM:" in report
+
+    def test_dataset_size_in_preamble(self):
+        report = render_report(synthetic_evaluation(), dataset_size=240)
+        assert "240 contracts" in report
+
+    def test_custom_title(self):
+        report = render_report(synthetic_evaluation(), title="Weekly scan")
+        assert report.startswith("# Weekly scan")
+
+    def test_empty_evaluation_rejected(self):
+        with pytest.raises(ValueError):
+            render_report(EvaluationResult())
+
+    def test_is_valid_markdown_table(self):
+        report = render_report(synthetic_evaluation())
+        table_lines = [l for l in report.splitlines() if l.startswith("|")]
+        widths = {line.count("|") for line in table_lines[:2]}
+        assert len(widths) == 1  # header and separator align

@@ -1,0 +1,111 @@
+"""Tests for TreeSHAP: local accuracy, symmetry, cross-checks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.shap_values import (
+    permutation_shap_values,
+    top_influential_features,
+    tree_shap_values,
+)
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+@pytest.fixture(scope="module")
+def fitted_tree():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(300, 5))
+    y = ((X[:, 0] > 0) & (X[:, 2] > 0.3)).astype(int)
+    tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+    return tree, X, y
+
+
+@pytest.fixture(scope="module")
+def fitted_forest():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(300, 4))
+    y = (X[:, 1] + 0.5 * X[:, 3] > 0).astype(int)
+    forest = RandomForestClassifier(
+        n_estimators=10, max_depth=4, random_state=0
+    ).fit(X, y)
+    return forest, X, y
+
+
+class TestLocalAccuracy:
+    def test_single_tree(self, fitted_tree):
+        tree, X, __ = fitted_tree
+        sample = X[:20]
+        values, base = tree_shap_values(tree, sample)
+        reconstruction = base + values.sum(axis=1)
+        np.testing.assert_allclose(
+            reconstruction, tree.predict_proba(sample)[:, 1], atol=1e-9
+        )
+
+    def test_forest(self, fitted_forest):
+        forest, X, __ = fitted_forest
+        sample = X[:10]
+        values, base = tree_shap_values(forest, sample)
+        reconstruction = base + values.sum(axis=1)
+        np.testing.assert_allclose(
+            reconstruction, forest.predict_proba(sample)[:, 1], atol=1e-9
+        )
+
+
+class TestAttributionSemantics:
+    def test_unused_features_get_zero(self, fitted_tree):
+        tree, X, __ = fitted_tree
+        values, __ = tree_shap_values(tree, X[:20])
+        used = {int(f) for f in tree.feature_ if f != -1}
+        for feature in range(X.shape[1]):
+            if feature not in used:
+                np.testing.assert_allclose(values[:, feature], 0.0)
+
+    def test_signal_features_dominate(self, fitted_tree):
+        tree, X, __ = fitted_tree
+        values, __ = tree_shap_values(tree, X[:50])
+        importance = np.abs(values).mean(axis=0)
+        assert set(np.argsort(importance)[-2:]) == {0, 2}
+
+    def test_stump_matches_closed_form(self):
+        """Depth-1 tree: φ of the split feature is p_leaf − p_root."""
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        stump = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        values, base = tree_shap_values(stump, np.array([[0.0], [3.0]]))
+        assert base == pytest.approx(0.5)
+        assert values[0, 0] == pytest.approx(-0.5)
+        assert values[1, 0] == pytest.approx(0.5)
+
+    def test_matches_permutation_shap_direction(self, fitted_forest):
+        """Exact and Monte-Carlo attributions agree on sign for the
+        dominant feature."""
+        forest, X, __ = fitted_forest
+        sample = X[:5]
+        exact, __ = tree_shap_values(forest, sample)
+        estimated, __ = permutation_shap_values(
+            forest.predict_proba, sample, X[:100], n_permutations=24, seed=0
+        )
+        dominant = int(np.abs(exact).mean(axis=0).argmax())
+        agreeing = np.sign(exact[:, dominant]) == np.sign(estimated[:, dominant])
+        assert agreeing.mean() >= 0.8
+
+
+class TestPermutationShap:
+    def test_local_accuracy_in_expectation(self, fitted_forest):
+        forest, X, __ = fitted_forest
+        sample = X[:3]
+        values, base = permutation_shap_values(
+            forest.predict_proba, sample, X[:80], n_permutations=48, seed=1
+        )
+        reconstruction = base + values.sum(axis=1)
+        prediction = forest.predict_proba(sample)[:, 1]
+        # Monte-Carlo: looser tolerance.
+        np.testing.assert_allclose(reconstruction, prediction, atol=0.15)
+
+
+class TestTopFeatures:
+    def test_ranking(self):
+        values = np.array([[0.5, -0.1, 0.0], [0.4, 0.2, 0.0]])
+        names = ["A", "B", "C"]
+        assert top_influential_features(values, names, k=2) == ["A", "B"]

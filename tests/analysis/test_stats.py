@@ -1,0 +1,231 @@
+"""Tests for the statistical battery, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as sps
+
+from repro.analysis.stats import (
+    cliffs_delta,
+    dunn_test,
+    friedman_test,
+    holm_bonferroni,
+    kruskal_wallis,
+    rankdata,
+    shapiro_wilk,
+    wilcoxon_signed_rank,
+)
+
+
+class TestRankdata:
+    def test_simple(self):
+        np.testing.assert_allclose(rankdata([3, 1, 2]), [3, 1, 2])
+
+    def test_ties_share_mean_rank(self):
+        np.testing.assert_allclose(rankdata([1, 2, 2, 3]), [1, 2.5, 2.5, 4])
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=100))
+    def test_matches_scipy(self, values):
+        np.testing.assert_allclose(rankdata(values), sps.rankdata(values))
+
+
+class TestShapiroWilk:
+    def test_normal_data_not_rejected(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=100)
+        result = shapiro_wilk(x)
+        assert result.p_value > 0.05
+        assert 0.9 < result.statistic <= 1.0
+
+    def test_uniform_bimodal_rejected(self):
+        x = np.concatenate([np.zeros(50), np.ones(50)]) + np.linspace(0, 0.01, 100)
+        result = shapiro_wilk(x)
+        assert result.p_value < 0.01
+
+    @pytest.mark.parametrize("n", [10, 30, 80])
+    def test_close_to_scipy(self, n):
+        rng = np.random.default_rng(3)
+        x = rng.exponential(size=n)
+        ours = shapiro_wilk(x)
+        reference = sps.shapiro(x)
+        assert ours.statistic == pytest.approx(reference.statistic, abs=5e-3)
+        # p-values agree in order of magnitude / decision.
+        assert (ours.p_value < 0.05) == (reference.pvalue < 0.05)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            shapiro_wilk([1.0, 2.0])
+
+    def test_constant_rejected(self):
+        with pytest.raises(ValueError):
+            shapiro_wilk([1.0] * 10)
+
+
+class TestKruskalWallis:
+    def test_identical_groups_high_p(self):
+        rng = np.random.default_rng(0)
+        groups = [rng.normal(size=30) for __ in range(3)]
+        result = kruskal_wallis(groups)
+        assert result.p_value > 0.01
+
+    def test_shifted_groups_rejected(self):
+        rng = np.random.default_rng(1)
+        groups = [rng.normal(loc=i * 2.0, size=30) for i in range(3)]
+        result = kruskal_wallis(groups)
+        assert result.p_value < 1e-6
+
+    @given(
+        st.lists(
+            st.lists(st.floats(-100, 100), min_size=3, max_size=20),
+            min_size=2, max_size=5,
+        )
+    )
+    @settings(max_examples=30)
+    def test_matches_scipy(self, groups):
+        arrays = [np.array(g) for g in groups]
+        if len(np.unique(np.concatenate(arrays))) < 2:
+            return  # degenerate: all values tied
+        ours = kruskal_wallis(arrays)
+        reference = sps.kruskal(*arrays)
+        assert ours.statistic == pytest.approx(reference.statistic, rel=1e-9)
+        assert ours.p_value == pytest.approx(reference.pvalue, rel=1e-9)
+
+    def test_needs_two_groups(self):
+        with pytest.raises(ValueError):
+            kruskal_wallis([np.array([1.0])])
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ValueError):
+            kruskal_wallis([np.array([1.0]), np.array([])])
+
+
+class TestHolmBonferroni:
+    def test_known_example(self):
+        adjusted = holm_bonferroni([0.01, 0.04, 0.03, 0.005])
+        np.testing.assert_allclose(adjusted, [0.03, 0.06, 0.06, 0.02])
+
+    def test_monotone_and_clipped(self):
+        adjusted = holm_bonferroni([0.5, 0.6, 0.7])
+        assert all(0 <= p <= 1 for p in adjusted)
+        order = np.argsort([0.5, 0.6, 0.7])
+        values = np.array(adjusted)[order]
+        assert np.all(np.diff(values) >= 0)
+
+    def test_single_p_untouched(self):
+        assert holm_bonferroni([0.03]) == [0.03]
+
+    def test_never_smaller_than_raw(self):
+        raw = [0.001, 0.02, 0.3, 0.04]
+        adjusted = holm_bonferroni(raw)
+        assert all(a >= r for a, r in zip(adjusted, raw))
+
+
+class TestDunn:
+    def _groups(self):
+        rng = np.random.default_rng(2)
+        return {
+            "a": rng.normal(0.90, 0.01, size=30),
+            "b": rng.normal(0.90, 0.01, size=30),
+            "c": rng.normal(0.70, 0.01, size=30),
+        }
+
+    def test_detects_the_different_group(self):
+        results = dunn_test(self._groups())
+        by_pair = {frozenset((r.group_a, r.group_b)): r for r in results}
+        assert not by_pair[frozenset(("a", "b"))].significant()
+        assert by_pair[frozenset(("a", "c"))].significant()
+        assert by_pair[frozenset(("b", "c"))].significant()
+
+    def test_pair_count(self):
+        results = dunn_test(self._groups())
+        assert len(results) == 3  # C(3,2)
+
+    def test_adjusted_ge_raw(self):
+        for result in dunn_test(self._groups()):
+            assert result.p_adjusted >= result.p_value - 1e-15
+
+    def test_z_is_signed(self):
+        results = dunn_test(self._groups(), adjust=False)
+        by_pair = {(r.group_a, r.group_b): r for r in results}
+        assert by_pair[("a", "c")].statistic > 0  # a ranks above c
+
+    def test_needs_two_groups(self):
+        with pytest.raises(ValueError):
+            dunn_test({"a": np.array([1.0])})
+
+
+class TestFriedman:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(4)
+        matrix = rng.normal(size=(12, 4))
+        ours = friedman_test(matrix)
+        reference = sps.friedmanchisquare(*[matrix[:, j] for j in range(4)])
+        assert ours.statistic == pytest.approx(reference.statistic, rel=1e-9)
+        assert ours.p_value == pytest.approx(reference.pvalue, rel=1e-9)
+
+    def test_consistent_ordering_detected(self):
+        base = np.arange(10, dtype=float)
+        matrix = np.column_stack([base, base + 1, base + 2])
+        result = friedman_test(matrix)
+        assert result.p_value < 1e-3
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            friedman_test(np.zeros(5))
+
+
+class TestWilcoxon:
+    def test_no_difference(self):
+        a = np.arange(10, dtype=float)
+        result = wilcoxon_signed_rank(a, a)
+        assert result.p_value == 1.0
+
+    def test_consistent_shift_detected(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=14)
+        result = wilcoxon_signed_rank(a, a - 1.0)
+        assert result.p_value < 0.01
+
+    def test_exact_matches_scipy_small_n(self):
+        rng = np.random.default_rng(6)
+        a = rng.normal(size=10)
+        b = a + rng.normal(scale=0.5, size=10)
+        ours = wilcoxon_signed_rank(a, b)
+        reference = sps.wilcoxon(a, b, mode="exact")
+        assert ours.statistic == pytest.approx(reference.statistic)
+        assert ours.p_value == pytest.approx(reference.pvalue, rel=1e-6)
+
+    def test_normal_approximation_large_n(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(size=40)
+        b = a + rng.normal(scale=1.0, size=40)
+        ours = wilcoxon_signed_rank(a, b)
+        reference = sps.wilcoxon(a, b, mode="approx", correction=False)
+        assert ours.p_value == pytest.approx(reference.pvalue, abs=0.02)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1.0], [1.0, 2.0])
+
+
+class TestCliffsDelta:
+    def test_complete_dominance(self):
+        assert cliffs_delta([2, 3, 4], [0, 1]) == 1.0
+        assert cliffs_delta([0, 1], [2, 3, 4]) == -1.0
+
+    def test_identical_distributions(self):
+        assert cliffs_delta([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_known_value(self):
+        # a={1,2}, b={1,3}: pairs (1,1)t,(1,3)<,(2,1)>,(2,3)< → (1-2)/4
+        assert cliffs_delta([1, 2], [1, 3]) == pytest.approx(-0.25)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(8)
+        delta = cliffs_delta(rng.normal(size=20), rng.normal(size=25))
+        assert -1.0 <= delta <= 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cliffs_delta([], [1])

@@ -1,0 +1,121 @@
+"""Tests for AUT / time-decay evaluation and the critical difference diagram."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdd import critical_difference
+from repro.analysis.timeeval import (
+    TimeDecayResult,
+    area_under_time,
+    time_decay_evaluation,
+)
+from repro.datagen.corpus import CorpusConfig, build_corpus
+from repro.datagen.dataset import Dataset
+from repro.ml.metrics import Metrics
+from repro.models.hsc import HSCDetector
+
+
+class TestAUT:
+    def test_constant_curve(self):
+        assert area_under_time([0.8, 0.8, 0.8]) == pytest.approx(0.8)
+
+    def test_linear_decay(self):
+        assert area_under_time([1.0, 0.0]) == pytest.approx(0.5)
+
+    def test_single_period(self):
+        assert area_under_time([0.7]) == 0.7
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            area_under_time([1.2])
+        with pytest.raises(ValueError):
+            area_under_time([])
+
+    def test_higher_curve_higher_aut(self):
+        low = area_under_time([0.6, 0.5, 0.6])
+        high = area_under_time([0.9, 0.85, 0.9])
+        assert high > low
+
+
+class TestTimeDecayResult:
+    def test_series_and_aut(self):
+        result = TimeDecayResult(model="RF")
+        for f1 in (0.9, 0.8, 0.85):
+            result.months.append(len(result.months) + 4)
+            result.metrics.append(
+                Metrics(accuracy=f1, f1=f1, precision=f1, recall=f1)
+            )
+        assert result.series("f1") == [0.9, 0.8, 0.85]
+        assert result.aut_f1 == pytest.approx(area_under_time([0.9, 0.8, 0.85]))
+
+
+class TestTimeDecayEvaluation:
+    def test_end_to_end_with_hsc(self):
+        corpus = build_corpus(
+            CorpusConfig(
+                n_phishing=80, n_benign=80, seed=17,
+                benign_temporal_match=True, clone_factor=4.0,
+            )
+        )
+        dataset = Dataset.from_corpus(corpus, seed=0)
+
+        def factory(name, seed=0):
+            detector = HSCDetector(variant=name, seed=seed)
+            detector.set_params(clf__n_estimators=30)
+            return detector
+
+        results = time_decay_evaluation(
+            dataset, factory, ["Random Forest"], train_months=(0, 1, 2, 3)
+        )
+        assert len(results) == 1
+        result = results[0]
+        assert result.model == "Random Forest"
+        assert all(m >= 4 for m in result.months)
+        assert len(result.metrics) == len(result.months) >= 3
+        assert 0.0 <= result.aut_f1 <= 1.0
+        assert result.train_seconds > 0
+
+
+class TestCriticalDifference:
+    def _scores(self):
+        rng = np.random.default_rng(0)
+        return {
+            "best": list(0.95 + rng.normal(0, 0.003, size=12)),
+            "middle": list(0.85 + rng.normal(0, 0.003, size=12)),
+            "worst": list(0.70 + rng.normal(0, 0.003, size=12)),
+        }
+
+    def test_rank_ordering(self):
+        diagram = critical_difference(self._scores())
+        assert diagram.ordered() == ["best", "middle", "worst"]
+        assert diagram.mean_ranks["best"] > diagram.mean_ranks["worst"]
+
+    def test_friedman_rejects_on_clear_separation(self):
+        diagram = critical_difference(self._scores())
+        assert diagram.friedman.p_value < 0.01
+
+    def test_pairwise_and_effect_sizes(self):
+        diagram = critical_difference(self._scores())
+        assert len(diagram.pairwise) == 3
+        assert diagram.effect_sizes[("best", "worst")] == pytest.approx(1.0)
+
+    def test_indistinguishable_pair_forms_clique(self):
+        rng = np.random.default_rng(1)
+        noise = rng.normal(0, 0.05, size=6)
+        scores = {
+            "a": list(0.9 + noise),
+            "b": list(0.9 + rng.normal(0, 0.05, size=6)),
+            "c": list(0.2 + rng.normal(0, 0.01, size=6)),
+        }
+        diagram = critical_difference(scores)
+        assert any({"a", "b"} <= set(clique) for clique in diagram.cliques)
+
+    def test_render_contains_treatments(self):
+        text = critical_difference(self._scores()).render()
+        assert "best" in text and "Friedman" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            critical_difference({"only": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            critical_difference({"a": [1.0], "b": [1.0, 2.0]})

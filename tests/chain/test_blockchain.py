@@ -1,0 +1,107 @@
+"""Tests for the simulated ledger."""
+
+import pytest
+
+from repro.chain.blockchain import Blockchain, ChainError, derive_address
+from repro.chain.timeline import month_to_timestamp
+
+T0 = month_to_timestamp(0)
+
+
+class TestDeployment:
+    def test_deploy_returns_address_with_code(self):
+        chain = Blockchain()
+        address = chain.deploy(b"\x60\x01", timestamp=T0)
+        assert address.startswith("0x") and len(address) == 42
+        assert chain.get_code(address) == b"\x60\x01"
+
+    def test_hex_string_code_accepted(self):
+        chain = Blockchain()
+        address = chain.deploy("0x6001", timestamp=T0)
+        assert chain.get_code(address) == b"\x60\x01"
+
+    def test_identical_code_gets_distinct_addresses(self):
+        chain = Blockchain()
+        a = chain.deploy(b"\x00", timestamp=T0)
+        b = chain.deploy(b"\x00", timestamp=T0)
+        assert a != b
+        assert chain.get_code(a) == chain.get_code(b)
+
+    def test_explicit_address(self):
+        chain = Blockchain()
+        address = "0x" + "ab" * 20
+        assert chain.deploy(b"\x00", timestamp=T0, address=address) == address
+
+    def test_duplicate_address_rejected(self):
+        chain = Blockchain()
+        address = chain.deploy(b"\x00", timestamp=T0)
+        with pytest.raises(ChainError):
+            chain.deploy(b"\x01", timestamp=T0, address=address)
+
+    def test_malformed_address_rejected(self):
+        chain = Blockchain()
+        with pytest.raises(ChainError):
+            chain.deploy(b"\x00", timestamp=T0, address="0x1234")
+        with pytest.raises(ChainError):
+            chain.deploy(b"\x00", timestamp=T0, address="0x" + "zz" * 20)
+
+    def test_addresses_normalized_to_lowercase(self):
+        chain = Blockchain()
+        upper = "0x" + "AB" * 20
+        address = chain.deploy(b"\x00", timestamp=T0, address=upper)
+        assert address == upper.lower()
+        assert chain.get_code(upper) == b"\x00"
+        assert upper in chain
+
+
+class TestQueries:
+    def test_eoa_code_is_empty(self):
+        chain = Blockchain()
+        assert chain.get_code("0x" + "00" * 20) == b""
+        assert chain.get_account("0x" + "00" * 20) is None
+
+    def test_transaction_recorded(self):
+        chain = Blockchain()
+        address = chain.deploy(b"\x00", timestamp=T0)
+        transactions = chain.transactions()
+        assert len(transactions) == 1
+        assert transactions[0].contract_address == address
+        assert chain.get_transaction(transactions[0].tx_hash) is transactions[0]
+
+    def test_unknown_transaction_raises(self):
+        with pytest.raises(ChainError):
+            Blockchain().get_transaction("0xdead")
+
+    def test_block_metadata(self):
+        chain = Blockchain()
+        chain.deploy(b"\x00", timestamp=T0)
+        block = chain.get_block(chain.head_block)
+        assert block is not None
+        assert block.timestamp == T0
+        assert len(block.transactions) == 1
+
+    def test_accounts_sorted_by_time(self):
+        chain = Blockchain()
+        late = chain.deploy(b"\x01", timestamp=T0 + 1000)
+        early = chain.deploy(b"\x02", timestamp=T0)
+        ordered = [account.address for account in chain.accounts()]
+        assert ordered == [early, late]
+
+    def test_len_and_count(self):
+        chain = Blockchain()
+        assert len(chain) == 0
+        chain.deploy(b"\x00", timestamp=T0)
+        assert len(chain) == chain.contract_count == 1
+
+    def test_contains_rejects_garbage_silently(self):
+        assert "not-an-address" not in Blockchain()
+
+
+class TestDeriveAddress:
+    def test_deterministic(self):
+        assert derive_address("seed") == derive_address("seed")
+        assert derive_address("a") != derive_address("b")
+
+    def test_shape(self):
+        address = derive_address(b"\x01\x02")
+        assert address.startswith("0x") and len(address) == 42

@@ -1,0 +1,208 @@
+"""Tests for the BigQuery stand-in, the explorer and the JSON-RPC plane."""
+
+import json
+
+import pytest
+
+from repro.chain.bigquery import BigQueryClient
+from repro.chain.blockchain import Blockchain
+from repro.chain.explorer import PHISH_HACK_LABEL, Explorer
+from repro.chain.rpc import JsonRpcClient, JsonRpcError, JsonRpcServer
+from repro.chain.timeline import month_to_timestamp
+
+
+@pytest.fixture
+def populated_chain():
+    chain = Blockchain()
+    addresses = []
+    for month in range(4):
+        for k in range(3):
+            addresses.append(
+                chain.deploy(
+                    bytes([month, k]),
+                    timestamp=month_to_timestamp(month, fraction=0.1 * (k + 1)),
+                )
+            )
+    return chain, addresses
+
+
+class TestBigQuery:
+    def test_total_count(self, populated_chain):
+        chain, addresses = populated_chain
+        assert BigQueryClient(chain).total_contract_count() == len(addresses)
+
+    def test_window_filter(self, populated_chain):
+        chain, __ = populated_chain
+        client = BigQueryClient(chain)
+        job = client.list_contracts(
+            start_timestamp=month_to_timestamp(1),
+            end_timestamp=month_to_timestamp(3),
+        )
+        assert job.total_rows == 6  # months 1 and 2
+        assert all(
+            month_to_timestamp(1) <= row.block_timestamp < month_to_timestamp(3)
+            for row in job
+        )
+
+    def test_pagination_is_stable(self, populated_chain):
+        chain, __ = populated_chain
+        client = BigQueryClient(chain)
+        all_rows = client.list_contracts().rows
+        paged = (
+            client.list_contracts(limit=5).rows
+            + client.list_contracts(limit=5, offset=5).rows
+            + client.list_contracts(limit=5, offset=10).rows
+        )
+        assert [r.address for r in paged] == [r.address for r in all_rows]
+
+    def test_negative_offset_rejected(self, populated_chain):
+        chain, __ = populated_chain
+        with pytest.raises(ValueError):
+            BigQueryClient(chain).list_contracts(offset=-1)
+
+    def test_dry_run_estimates_bytes(self, populated_chain):
+        chain, __ = populated_chain
+        client = BigQueryClient(chain)
+        assert client.dry_run() == client.total_contract_count() * 128
+
+
+class TestExplorer:
+    def test_flag_and_lookup(self, populated_chain):
+        chain, addresses = populated_chain
+        explorer = Explorer(chain)
+        explorer.flag_phishing(addresses[0])
+        assert explorer.is_phishing(addresses[0])
+        assert explorer.get_label(addresses[0]) == PHISH_HACK_LABEL
+        assert not explorer.is_phishing(addresses[1])
+        assert explorer.get_label(addresses[1]) is None
+
+    def test_scrape_batch(self, populated_chain):
+        chain, addresses = populated_chain
+        explorer = Explorer(chain)
+        explorer.flag_phishing(addresses[2])
+        flags = explorer.scrape(addresses[:4])
+        assert flags[addresses[2]] is True
+        assert sum(flags.values()) == 1
+
+    def test_flagged_addresses_ground_truth(self, populated_chain):
+        chain, addresses = populated_chain
+        explorer = Explorer(chain)
+        for address in addresses[:3]:
+            explorer.flag_phishing(address)
+        explorer.set_label(addresses[3], "Token Contract")
+        assert sorted(addresses[:3]) == explorer.flagged_addresses()
+
+    def test_label_lag_hides_recent_flags(self, populated_chain):
+        chain, addresses = populated_chain
+        explorer = Explorer(chain, label_lag_seconds=86400)
+        explorer.flag_phishing(addresses[0])
+        deployed = chain.get_account(addresses[0]).deployed_at
+        assert not explorer.is_phishing(addresses[0], at_timestamp=deployed + 10)
+        assert explorer.is_phishing(addresses[0], at_timestamp=deployed + 90000)
+        # Without a timestamp the flag is visible (offline snapshot).
+        assert explorer.is_phishing(addresses[0])
+
+    def test_false_negatives_hide_a_fraction(self, populated_chain):
+        chain, addresses = populated_chain
+        explorer = Explorer(chain, false_negative_rate=1.0)
+        explorer.flag_phishing(addresses[0])
+        assert not explorer.is_phishing(addresses[0])
+
+    def test_false_positives_add_flags(self, populated_chain):
+        chain, addresses = populated_chain
+        explorer = Explorer(chain, false_positive_rate=1.0)
+        assert explorer.is_phishing(addresses[1])
+
+    def test_noise_is_deterministic(self, populated_chain):
+        chain, addresses = populated_chain
+        explorer = Explorer(chain, false_negative_rate=0.5)
+        for address in addresses:
+            explorer.flag_phishing(address)
+        first = [explorer.is_phishing(a) for a in addresses]
+        second = [explorer.is_phishing(a) for a in addresses]
+        assert first == second
+
+    def test_bad_rates_rejected(self, populated_chain):
+        chain, __ = populated_chain
+        with pytest.raises(ValueError):
+            Explorer(chain, false_negative_rate=1.5)
+
+
+class TestJsonRpc:
+    def test_get_code_roundtrip(self, populated_chain):
+        chain, addresses = populated_chain
+        client = JsonRpcClient(JsonRpcServer(chain))
+        assert client.get_code(addresses[0]) == chain.get_code(addresses[0])
+
+    def test_get_code_for_eoa_is_empty(self, populated_chain):
+        chain, __ = populated_chain
+        client = JsonRpcClient(JsonRpcServer(chain))
+        assert client.get_code("0x" + "00" * 20) == b""
+
+    def test_block_number_and_chain_id(self, populated_chain):
+        chain, __ = populated_chain
+        client = JsonRpcClient(JsonRpcServer(chain, chain_id=1))
+        assert client.block_number() == chain.head_block
+        assert client.chain_id() == 1
+
+    def test_client_version(self, populated_chain):
+        chain, __ = populated_chain
+        client = JsonRpcClient(JsonRpcServer(chain))
+        assert "PhishingHookSim" in client.client_version()
+
+    def test_get_transaction(self, populated_chain):
+        chain, addresses = populated_chain
+        client = JsonRpcClient(JsonRpcServer(chain))
+        tx = chain.transactions()[0]
+        body = client.get_transaction(tx.tx_hash)
+        assert body["creates"] == tx.contract_address
+        assert int(body["blockNumber"], 16) == tx.block_number
+        assert client.get_transaction("0xmissing") is None
+
+    def test_unknown_method_raises(self, populated_chain):
+        chain, __ = populated_chain
+        client = JsonRpcClient(JsonRpcServer(chain))
+        with pytest.raises(JsonRpcError) as excinfo:
+            client.call("eth_sendRawTransaction", ["0x00"])
+        assert excinfo.value.code == -32601
+
+    def test_missing_params_raise(self, populated_chain):
+        chain, __ = populated_chain
+        client = JsonRpcClient(JsonRpcServer(chain))
+        with pytest.raises(JsonRpcError) as excinfo:
+            client.call("eth_getCode")
+        assert excinfo.value.code == -32602
+
+    def test_server_rejects_malformed_json(self, populated_chain):
+        chain, __ = populated_chain
+        server = JsonRpcServer(chain)
+        response = json.loads(server.handle("{not json"))
+        assert response["error"]["code"] == -32700
+
+    def test_server_rejects_wrong_envelope(self, populated_chain):
+        chain, __ = populated_chain
+        server = JsonRpcServer(chain)
+        response = json.loads(server.handle(json.dumps({"jsonrpc": "1.0"})))
+        assert response["error"]["code"] == -32600
+
+    def test_client_requires_exactly_one_backend(self, populated_chain):
+        chain, __ = populated_chain
+        server = JsonRpcServer(chain)
+        with pytest.raises(ValueError):
+            JsonRpcClient(server, transport=server.handle)
+        with pytest.raises(ValueError):
+            JsonRpcClient()
+
+    def test_custom_transport_fault_injection(self, populated_chain):
+        chain, __ = populated_chain
+        server = JsonRpcServer(chain)
+
+        def flaky(request):
+            return json.dumps(
+                {"jsonrpc": "2.0", "id": 1,
+                 "error": {"code": -32000, "message": "boom"}}
+            )
+
+        client = JsonRpcClient(transport=flaky)
+        with pytest.raises(JsonRpcError):
+            client.block_number()

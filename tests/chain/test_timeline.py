@@ -1,0 +1,84 @@
+"""Tests for the study-window timeline helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chain.timeline import (
+    MONTHS,
+    N_MONTHS,
+    block_number_at,
+    month_index,
+    month_label,
+    month_to_timestamp,
+    timestamp_in_month,
+    timestamp_to_month,
+)
+
+
+class TestWindowShape:
+    def test_thirteen_months(self):
+        assert N_MONTHS == 13
+        assert len(MONTHS) == 13
+
+    def test_boundary_labels(self):
+        assert MONTHS[0] == "2023-10"
+        assert MONTHS[-1] == "2024-10"
+
+    def test_labels_are_month_sequence(self):
+        assert MONTHS[3] == "2024-01"  # year rollover
+        assert MONTHS[12] == "2024-10"
+
+    def test_month_index_roundtrip(self):
+        for index, label in enumerate(MONTHS):
+            assert month_index(label) == index
+
+    def test_month_index_rejects_outside(self):
+        with pytest.raises(ValueError):
+            month_index("2023-09")
+        with pytest.raises(ValueError):
+            month_index("2024-11")
+
+    def test_month_label_rejects_outside(self):
+        with pytest.raises(ValueError):
+            month_label(13)
+        with pytest.raises(ValueError):
+            month_label(-1)
+
+
+class TestTimestamps:
+    @given(st.integers(min_value=0, max_value=12),
+           st.floats(min_value=0.0, max_value=0.999))
+    def test_timestamp_roundtrips_to_month(self, index, fraction):
+        timestamp = month_to_timestamp(index, fraction)
+        assert timestamp_to_month(timestamp) == index
+
+    def test_month_starts_are_increasing(self):
+        starts = [month_to_timestamp(i) for i in range(N_MONTHS)]
+        assert starts == sorted(starts)
+        assert all(later - earlier > 27 * 86400
+                   for earlier, later in zip(starts, starts[1:]))
+
+    def test_outside_window_rejected(self):
+        before = month_to_timestamp(0) - 1
+        with pytest.raises(ValueError):
+            timestamp_to_month(before)
+        assert not timestamp_in_month(before)
+        assert timestamp_in_month(month_to_timestamp(5))
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            month_to_timestamp(0, fraction=1.5)
+
+
+class TestBlockNumbers:
+    def test_window_is_after_shanghai(self):
+        assert block_number_at(month_to_timestamp(0)) > 17_034_870
+
+    def test_monotone_in_time(self):
+        t0 = month_to_timestamp(0)
+        assert block_number_at(t0 + 120) == block_number_at(t0) + 10
+
+    def test_pre_shanghai_rejected(self):
+        with pytest.raises(ValueError):
+            block_number_at(1_600_000_000)

@@ -1,0 +1,28 @@
+"""Shared fixtures for core-framework tests."""
+
+import pytest
+
+from repro.datagen.corpus import CorpusConfig, build_corpus
+from repro.datagen.dataset import Dataset
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    return build_corpus(
+        CorpusConfig(n_phishing=60, n_benign=60, seed=21, clone_factor=4.0)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_corpus):
+    return Dataset.from_corpus(small_corpus, seed=0)
+
+
+def fast_hsc_factory(name, seed=0):
+    """Model factory restricted to quick HSC variants."""
+    from repro.models.hsc import HSCDetector
+
+    detector = HSCDetector(variant=name, seed=seed)
+    if name in ("Random Forest", "XGBoost", "LightGBM", "CatBoost"):
+        detector.set_params(clf__n_estimators=20)
+    return detector

@@ -1,0 +1,96 @@
+"""Tests for the extraction and disassembler modules."""
+
+import numpy as np
+import pytest
+
+from repro.chain.bigquery import BigQueryClient
+from repro.chain.rpc import JsonRpcClient, JsonRpcServer
+from repro.chain.timeline import month_to_timestamp
+from repro.core.bdm import BytecodeDisassemblerModule
+from repro.core.bem import BytecodeExtractionModule
+
+
+@pytest.fixture
+def bem(small_corpus):
+    return BytecodeExtractionModule(
+        bigquery=BigQueryClient(small_corpus.chain),
+        explorer=small_corpus.explorer,
+        rpc=JsonRpcClient(JsonRpcServer(small_corpus.chain)),
+        batch_size=64,
+    )
+
+
+class TestBEM:
+    def test_crawl_extracts_everything(self, bem, small_corpus):
+        contracts = bem.crawl()
+        assert len(contracts) == len(small_corpus.records)
+        assert bem.stats.candidates == len(small_corpus.records)
+        assert bem.stats.extracted == len(contracts)
+        assert bem.stats.rpc_calls == len(contracts)
+
+    def test_labels_match_ground_truth(self, bem, small_corpus):
+        contracts = bem.crawl()
+        truth = {r.address: bool(r.label) for r in small_corpus.records}
+        assert all(c.is_phishing == truth[c.address] for c in contracts)
+        assert bem.stats.flagged == sum(
+            1 for r in small_corpus.records if r.label == 1
+        )
+
+    def test_bytecode_matches_chain(self, bem, small_corpus):
+        contracts = bem.crawl(limit=10)
+        for contract in contracts:
+            assert contract.bytecode == small_corpus.chain.get_code(
+                contract.address
+            )
+
+    def test_window_filter(self, bem):
+        start = month_to_timestamp(4)
+        end = month_to_timestamp(8)
+        contracts = bem.crawl(start_timestamp=start, end_timestamp=end)
+        assert all(start <= c.block_timestamp < end for c in contracts)
+
+    def test_limit(self, bem):
+        assert len(bem.crawl(limit=5)) == 5
+
+    def test_dedup_keeps_first_per_bytecode(self, bem):
+        contracts = bem.crawl()
+        unique = bem.deduplicate(contracts)
+        assert len({c.bytecode for c in unique}) == len(unique)
+        assert len(unique) < len(contracts)  # clones removed
+
+    def test_month_property(self, bem):
+        contract = bem.crawl(limit=1)[0]
+        assert 0 <= contract.month <= 12
+
+
+class TestBDM:
+    def test_triples_match_paper_example(self):
+        bdm = BytecodeDisassemblerModule()
+        triples = bdm.triples(bytes.fromhex("6080604052"))
+        assert triples[0] == ("PUSH1", "0x80", 3.0)
+        assert triples[2][0] == "MSTORE"
+
+    def test_batch(self, small_corpus):
+        bdm = BytecodeDisassemblerModule()
+        codes = [r.bytecode for r in small_corpus.records[:5]]
+        results = bdm.disassemble_batch(codes)
+        assert len(results) == 5
+        assert all(len(instructions) > 0 for instructions in results)
+
+    def test_csv_persistence(self, tmp_path):
+        bdm = BytecodeDisassemblerModule(output_dir=tmp_path)
+        path = bdm.disassemble_to_csv("0xAB", bytes.fromhex("6001"))
+        assert path.exists()
+        assert path.read_text().startswith("offset,mnemonic,operand,gas")
+
+    def test_csv_requires_output_dir(self):
+        with pytest.raises(RuntimeError):
+            BytecodeDisassemblerModule().disassemble_to_csv("0xAB", b"\x00")
+
+    def test_opcode_usage_counts(self):
+        bdm = BytecodeDisassemblerModule()
+        usage = bdm.opcode_usage(
+            [bytes.fromhex("6080604052"), bytes.fromhex("6001")]
+        )
+        assert usage["PUSH1"] == [2, 1]
+        assert usage["MSTORE"] == [1, 0]

@@ -1,0 +1,120 @@
+"""Tests for the live-detection monitor."""
+
+import numpy as np
+import pytest
+
+from repro.chain.timeline import month_to_timestamp
+from repro.core.live import LiveDetector
+from repro.datagen.corpus import CorpusConfig, build_corpus
+from repro.datagen.dataset import Dataset
+from repro.datagen.families import FAMILIES, generate_contract
+from repro.datagen.solidity_like import Environment
+from repro.models.hsc import HSCDetector
+
+
+@pytest.fixture(scope="module")
+def live_corpus():
+    """A private corpus: live tests deploy fresh contracts onto its chain,
+    which must not pollute the session-scoped fixture."""
+    return build_corpus(
+        CorpusConfig(n_phishing=60, n_benign=60, seed=21, clone_factor=4.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def trained_model(live_corpus):
+    dataset = Dataset.from_corpus(live_corpus, seed=0)
+    detector = HSCDetector(variant="Random Forest", seed=0)
+    detector.set_params(clf__n_estimators=40)
+    detector.fit(dataset.bytecodes, dataset.labels)
+    return detector
+
+
+def deploy_fresh(chain, label: int, seed: int, month: int = 8) -> str:
+    family = "approval_drainer" if label else "erc20_token"
+    timestamp = month_to_timestamp(month, 0.5)
+    env = Environment(
+        rng=np.random.default_rng(seed),
+        attacker=0xFEFE << 96,
+        tokens=(0xABAB << 96,),
+        deploy_timestamp=timestamp,
+    )
+    bytecode, __ = generate_contract(FAMILIES[family], env, month)
+    return chain.deploy(bytecode, timestamp=timestamp)
+
+
+class TestLiveDetector:
+    def test_threshold_validation(self, live_corpus, trained_model):
+        with pytest.raises(ValueError):
+            LiveDetector(live_corpus.chain, trained_model, threshold=0.0)
+
+    def test_existing_contracts_skipped(self, live_corpus, trained_model):
+        monitor = LiveDetector(live_corpus.chain, trained_model)
+        seen = monitor.mark_existing_as_seen()
+        assert seen == len(live_corpus.chain)
+        assert monitor.poll() == []
+        assert monitor.stats.scanned == 0
+
+    def test_new_phishing_deployment_alerts(self, live_corpus, trained_model):
+        monitor = LiveDetector(
+            live_corpus.chain, trained_model, threshold=0.5
+        )
+        monitor.mark_existing_as_seen()
+        address = deploy_fresh(live_corpus.chain, label=1, seed=123)
+        alerts = monitor.poll()
+        assert monitor.stats.scanned == 1
+        flagged = {alert.address for alert in alerts}
+        assert address in flagged
+        alert = alerts[0]
+        assert alert.probability >= 0.5
+        assert alert.latency_seconds < 2.0
+        assert alert.block_number > 0
+
+    def test_benign_deployment_usually_passes(self, live_corpus, trained_model):
+        monitor = LiveDetector(
+            live_corpus.chain, trained_model, threshold=0.9
+        )
+        monitor.mark_existing_as_seen()
+        deploy_fresh(live_corpus.chain, label=0, seed=321)
+        alerts = monitor.poll()
+        assert monitor.stats.scanned == 1
+        assert len(alerts) <= 1  # high threshold: benign rarely crosses
+
+    def test_callback_invoked(self, live_corpus, trained_model):
+        received = []
+        monitor = LiveDetector(
+            live_corpus.chain, trained_model, threshold=0.4,
+            on_alert=received.append,
+        )
+        monitor.mark_existing_as_seen()
+        deploy_fresh(live_corpus.chain, label=1, seed=55)
+        alerts = monitor.poll()
+        assert received == alerts
+
+    def test_poll_is_incremental(self, live_corpus, trained_model):
+        monitor = LiveDetector(live_corpus.chain, trained_model)
+        monitor.mark_existing_as_seen()
+        deploy_fresh(live_corpus.chain, label=1, seed=77)
+        first = monitor.poll()
+        second = monitor.poll()
+        assert second == []  # nothing new
+        assert monitor.stats.scanned == 1
+        assert len(monitor.alerts) == len(first)
+
+    def test_precision_recall_accounting(self, trained_model):
+        corpus = build_corpus(
+            CorpusConfig(n_phishing=10, n_benign=10, seed=5, clone_factor=2.0)
+        )
+        monitor = LiveDetector(corpus.chain, trained_model, threshold=0.5)
+        monitor.poll()  # scan everything
+        truth = set(corpus.explorer.flagged_addresses())
+        precision = monitor.precision_against(truth)
+        recall = monitor.recall_against(truth)
+        assert 0.0 <= precision <= 1.0
+        assert 0.0 <= recall <= 1.0
+        assert recall > 0.3  # the detector catches a useful share
+
+    def test_mean_latency(self, live_corpus, trained_model):
+        monitor = LiveDetector(live_corpus.chain, trained_model)
+        monitor.poll()
+        assert monitor.stats.mean_latency_seconds > 0

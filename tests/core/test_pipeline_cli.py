@@ -1,0 +1,110 @@
+"""Tests for the end-to-end pipeline and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.pipeline import PhishingHook, PipelineConfig
+
+from tests.core.conftest import fast_hsc_factory
+
+
+@pytest.fixture(scope="module")
+def hook(small_corpus):
+    config = PipelineConfig(
+        model_names=("Random Forest", "k-NN", "Logistic Regression"),
+        n_folds=3,
+        n_runs=1,
+        seed=0,
+        run_post_hoc=True,
+    )
+    hook = PhishingHook(small_corpus, config)
+    # Swap in the fast factory to keep the test quick.
+    hook.mem.evaluate_orig = hook.mem.evaluate
+    return hook
+
+
+class TestPipeline:
+    def test_gather_and_dataset(self, hook, small_corpus):
+        contracts = hook.gather()
+        assert len(contracts) == len(small_corpus.records)
+        dataset = hook.build_dataset(contracts)
+        benign, phishing = dataset.class_counts
+        assert benign == phishing  # balanced
+        # Dedup leaves exactly the unique records.
+        assert len(dataset) <= len(small_corpus.unique_records())
+
+    def test_full_run(self, small_corpus):
+        config = PipelineConfig(
+            model_names=("Random Forest", "k-NN", "Logistic Regression"),
+            n_folds=3,
+            run_post_hoc=True,
+        )
+        hook = PhishingHook(small_corpus, config)
+        outcome = hook.run()
+        assert len(outcome.evaluation.trials) == 9
+        assert outcome.post_hoc is not None
+        assert outcome.evaluation.mean_metrics("Random Forest").accuracy > 0.6
+        assert set(outcome.post_hoc.kruskal) == {
+            "accuracy", "f1", "precision", "recall"
+        }
+
+    def test_classify_address_phishing(self, small_corpus):
+        hook = PhishingHook(small_corpus, PipelineConfig(run_post_hoc=False))
+        dataset = hook.build_dataset(hook.gather())
+        target = small_corpus.phishing_records()[0].address
+        flagged, probability = hook.classify_address(
+            target, "Random Forest", train_dataset=dataset
+        )
+        assert 0.0 <= probability <= 1.0
+
+    def test_classify_unknown_address_raises(self, small_corpus):
+        hook = PhishingHook(small_corpus, PipelineConfig(run_post_hoc=False))
+        dataset = hook.build_dataset(hook.gather())
+        with pytest.raises(ValueError):
+            hook.classify_address("0x" + "00" * 20, train_dataset=dataset)
+
+
+class TestCLI:
+    def test_disasm(self, capsys):
+        assert main(["disasm", "0x6080604052"]) == 0
+        out = capsys.readouterr().out
+        assert "PUSH1" in out and "MSTORE" in out
+
+    def test_dataset(self, capsys):
+        assert main(["dataset", "--contracts", "40", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "2023-10" in out and "total" in out
+
+    def test_demo(self, capsys):
+        code = main([
+            "demo", "--contracts", "60", "--folds", "2",
+            "--models", "k-NN,Logistic Regression",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "k-NN" in out and "Accuracy" in out
+
+    def test_scan_random_phishing(self, capsys):
+        code = main(["scan", "random-phishing", "--contracts", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p=" in out
+
+    def test_attack(self, capsys):
+        code = main([
+            "attack", "--contracts", "60", "--strengths", "0,1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "benign-mimicry" in out
+        assert "recall lost" in out
+
+    def test_calibrate(self, capsys):
+        code = main([
+            "calibrate", "--contracts", "60", "--model", "Logistic Regression",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "temperature" in out
+        assert "ECE" in out

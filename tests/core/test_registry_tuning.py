@@ -1,0 +1,124 @@
+"""Tests for the model registry and the hyperparameter search."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import (
+    MODEL_CATEGORIES,
+    MODEL_NAMES,
+    category_of,
+    create_model,
+)
+from repro.core.tuning import (
+    GridSearch,
+    RandomSearch,
+    SearchSpace,
+    Trial,
+    cross_validated_objective,
+)
+from repro.models.detector import PhishingDetector
+
+
+class TestRegistry:
+    def test_sixteen_models(self):
+        assert len(MODEL_NAMES) == 16
+        assert len(MODEL_CATEGORIES) == 16
+
+    def test_category_split_matches_paper(self):
+        counts = {}
+        for name in MODEL_NAMES:
+            counts[category_of(name)] = counts.get(category_of(name), 0) + 1
+        assert counts == {"HSC": 7, "VM": 3, "LM": 5, "VDM": 1}
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_every_model_instantiates(self, name):
+        model = create_model(name, seed=1)
+        assert isinstance(model, PhishingDetector)
+        assert model.name == name
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            create_model("BERT")
+
+    def test_env_knobs_respected(self, monkeypatch):
+        monkeypatch.setenv("PHOOK_IMAGE_SIZE", "8")
+        monkeypatch.setenv("PHOOK_EPOCHS", "2")
+        monkeypatch.setenv("PHOOK_SEQ_LEN", "32")
+        vit = create_model("ViT+R2D2")
+        assert vit.image_size == 8
+        assert vit.epochs == 2
+        gpt = create_model("GPT-2α")
+        assert gpt.max_length == 32
+
+
+class TestSearchSpaces:
+    def test_trial_accessors(self):
+        trial = Trial({"kind": "a", "lr": 0.1, "depth": 3})
+        assert trial.suggest_categorical("kind", ("a", "b")) == "a"
+        assert trial.suggest_float("lr", 0.0, 1.0) == 0.1
+        assert trial.suggest_int("depth", 1, 5) == 3
+        with pytest.raises(ValueError):
+            trial.suggest_categorical("kind", ("x", "y"))
+
+    def test_grid_enumerates_categorical_x_integer(self):
+        space = SearchSpace(
+            categorical={"kind": ("a", "b")}, integer={"k": (1, 3)}
+        )
+        search = GridSearch(space, resolution=3)
+        seen = []
+
+        def objective(trial):
+            seen.append((trial.params["kind"], trial.params["k"]))
+            return 1.0 if trial.params == {"kind": "b", "k": 2} else 0.0
+
+        result = search.optimize(objective)
+        assert len(seen) == 6
+        assert result.best_params == {"kind": "b", "k": 2}
+        assert result.best_value == 1.0
+
+    def test_grid_log_uniform_axis(self):
+        space = SearchSpace(log_uniform={"C": (0.01, 100.0)})
+        search = GridSearch(space, resolution=3)
+        result = search.optimize(lambda t: -abs(np.log10(t.params["C"])))
+        assert result.best_params["C"] == pytest.approx(1.0, rel=1e-6)
+
+    def test_random_search_finds_good_region(self):
+        space = SearchSpace(uniform={"x": (-1.0, 1.0)})
+        search = RandomSearch(space, n_trials=60, seed=0)
+        result = search.optimize(lambda t: -(t.params["x"] - 0.3) ** 2)
+        assert abs(result.best_params["x"] - 0.3) < 0.15
+
+    def test_random_search_deterministic(self):
+        space = SearchSpace(uniform={"x": (0.0, 1.0)})
+        a = RandomSearch(space, n_trials=5, seed=3).optimize(
+            lambda t: t.params["x"]
+        )
+        b = RandomSearch(space, n_trials=5, seed=3).optimize(
+            lambda t: t.params["x"]
+        )
+        assert a.best_params == b.best_params
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            GridSearch(SearchSpace()).optimize(lambda t: 0.0)
+        with pytest.raises(ValueError):
+            RandomSearch(SearchSpace()).optimize(lambda t: 0.0)
+
+
+class TestCrossValidatedObjective:
+    def test_objective_evaluates_model(self, small_corpus):
+        from repro.datagen.dataset import Dataset
+        from repro.models.hsc import HSCDetector
+
+        dataset = Dataset.from_corpus(small_corpus, seed=0)
+
+        def build(trial):
+            detector = HSCDetector(variant="Random Forest", seed=0)
+            detector.set_params(
+                clf__n_estimators=trial.suggest_int("trees", 5, 40)
+            )
+            return detector
+
+        objective = cross_validated_objective(dataset, build, n_folds=3)
+        score = objective(Trial({"trees": 20}))
+        assert 0.6 < score <= 1.0

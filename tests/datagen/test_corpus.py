@@ -1,0 +1,156 @@
+"""Tests for corpus construction and the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.chain.timeline import N_MONTHS
+from repro.datagen.corpus import (
+    PHISHING_MONTHLY_PROFILE,
+    Corpus,
+    CorpusConfig,
+    build_corpus,
+)
+from repro.datagen.dataset import Dataset
+from repro.datagen.mutation import is_minimal_proxy
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(
+        CorpusConfig(n_phishing=40, n_benign=40, seed=123, clone_factor=6.0)
+    )
+
+
+class TestProfile:
+    def test_matches_paper_totals(self):
+        assert sum(PHISHING_MONTHLY_PROFILE) == 17_455
+        assert len(PHISHING_MONTHLY_PROFILE) == N_MONTHS
+
+
+class TestBuild:
+    def test_unique_targets_hit(self, corpus):
+        assert len(corpus.phishing_records(unique=True)) == 40
+        assert len(corpus.benign_records(unique=True)) == 40
+
+    def test_obtained_exceeds_unique_via_clones(self, corpus):
+        obtained = len(corpus.phishing_records(unique=False))
+        unique = len(corpus.phishing_records(unique=True))
+        assert obtained > unique
+
+    def test_clones_are_minimal_proxies_of_their_base(self, corpus):
+        proxies = [r for r in corpus.records if r.kind == "proxy"]
+        assert proxies, "expected some proxy clones"
+        for proxy in proxies[:20]:
+            assert is_minimal_proxy(proxy.bytecode)
+            assert proxy.base_address is not None
+            base = corpus.chain.get_code(proxy.base_address)
+            assert len(base) > 45  # base is a real contract
+
+    def test_explorer_flags_exactly_phishing(self, corpus):
+        flagged = set(corpus.explorer.flagged_addresses())
+        phishing = {r.address for r in corpus.records if r.label == 1}
+        assert flagged == phishing
+
+    def test_chain_holds_every_record(self, corpus):
+        for record in corpus.records[:50]:
+            assert corpus.chain.get_code(record.address) == record.bytecode
+
+    def test_deterministic_given_seed(self):
+        a = build_corpus(CorpusConfig(n_phishing=10, n_benign=10, seed=9))
+        b = build_corpus(CorpusConfig(n_phishing=10, n_benign=10, seed=9))
+        assert [r.bytecode for r in a.records] == [r.bytecode for r in b.records]
+
+    def test_different_seed_differs(self):
+        a = build_corpus(CorpusConfig(n_phishing=10, n_benign=10, seed=1))
+        b = build_corpus(CorpusConfig(n_phishing=10, n_benign=10, seed=2))
+        assert [r.bytecode for r in a.records] != [r.bytecode for r in b.records]
+
+    def test_monthly_counts_shape(self, corpus):
+        counts = corpus.monthly_counts(label=1)
+        assert counts.shape == (N_MONTHS,)
+        assert counts.sum() == len(corpus.phishing_records(unique=False))
+
+    def test_benign_temporal_match(self):
+        matched = build_corpus(
+            CorpusConfig(
+                n_phishing=30, n_benign=30, seed=5, benign_temporal_match=True
+            )
+        )
+        benign = matched.monthly_counts(label=0, unique=True).astype(float)
+        # The profile is heavily weighted to mid-study months; matched
+        # benign samples should be too (early months nearly empty).
+        assert benign[:2].sum() < benign[4:9].sum()
+
+    def test_background_contracts_inflate_chain_only(self):
+        with_background = build_corpus(
+            CorpusConfig(
+                n_phishing=10, n_benign=10, seed=5, background_contracts=15
+            )
+        )
+        assert len(with_background.benign_records(unique=True)) >= 25
+
+
+class TestDataset:
+    def test_from_corpus_balances(self, corpus):
+        dataset = Dataset.from_corpus(corpus, seed=1)
+        benign, phishing = dataset.class_counts
+        assert benign == phishing == 40
+
+    def test_subset_preserves_alignment(self, corpus):
+        dataset = Dataset.from_corpus(corpus, seed=1)
+        sub = dataset.subset([0, 2, 4])
+        assert len(sub) == 3
+        assert sub.bytecodes[1] == dataset.bytecodes[2]
+        assert sub.labels[1] == dataset.labels[2]
+        assert sub.families[1] == dataset.families[2]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(bytecodes=[b"\x00"], labels=np.array([0, 1]),
+                    months=np.array([0]))
+
+    def test_stratified_kfold_partitions(self, corpus):
+        dataset = Dataset.from_corpus(corpus, seed=1)
+        folds = dataset.stratified_kfold(4, seed=0)
+        assert len(folds) == 4
+        all_test = np.concatenate([test for __, test in folds])
+        assert sorted(all_test.tolist()) == list(range(len(dataset)))
+        for train, test in folds:
+            assert len(np.intersect1d(train, test)) == 0
+            test_labels = dataset.labels[test]
+            assert abs(int((test_labels == 0).sum()) - int((test_labels == 1).sum())) <= 1
+
+    def test_kfold_needs_enough_samples(self, corpus):
+        dataset = Dataset.from_corpus(corpus, seed=1)
+        with pytest.raises(ValueError):
+            dataset.stratified_kfold(1)
+        small = dataset.subset(range(3))
+        with pytest.raises(ValueError):
+            small.stratified_kfold(10)
+
+    def test_train_test_split_stratified(self, corpus):
+        dataset = Dataset.from_corpus(corpus, seed=1)
+        train, test = dataset.train_test_split(0.25, seed=0)
+        assert len(train) + len(test) == len(dataset)
+        benign, phishing = test.class_counts
+        assert benign == phishing == 10
+
+    def test_split_fraction(self, corpus):
+        dataset = Dataset.from_corpus(corpus, seed=1)
+        third = dataset.split_fraction(1 / 3, seed=0)
+        assert abs(len(third) - len(dataset) / 3) <= 2
+        assert dataset.split_fraction(1.0) is dataset
+        with pytest.raises(ValueError):
+            dataset.split_fraction(0.0)
+
+    def test_temporal_split(self):
+        matched = build_corpus(
+            CorpusConfig(
+                n_phishing=60, n_benign=60, seed=11, benign_temporal_match=True
+            )
+        )
+        dataset = Dataset.from_corpus(matched, seed=0)
+        train, monthly = dataset.temporal_split(train_months=(0, 1, 2, 3))
+        assert all(m >= 4 for m, __ in monthly)
+        assert len(train) + sum(len(d) for __, d in monthly) == len(dataset)
+        assert all(np.all(d.months == m) for m, d in monthly)

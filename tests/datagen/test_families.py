@@ -1,0 +1,118 @@
+"""Tests for family specs and the contract generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.families import FAMILIES, FamilySpec, generate_contract
+from repro.datagen.benign import BENIGN_FAMILIES
+from repro.datagen.phishing import PHISHING_FAMILIES
+from repro.datagen.solidity_like import Environment
+from repro.evm.disassembler import disassemble_mnemonics
+from repro.evm.machine import EVM, ExecutionContext, Halt
+
+
+def make_env(seed=0, timestamp=1_700_000_000):
+    return Environment(
+        rng=np.random.default_rng(seed),
+        attacker=0xFEED << 96,
+        tokens=(0xAAAA << 96,),
+        deploy_timestamp=timestamp,
+    )
+
+
+class TestRegistry:
+    def test_all_families_registered(self):
+        assert len(FAMILIES) == len(BENIGN_FAMILIES) + len(PHISHING_FAMILIES)
+        assert len(BENIGN_FAMILIES) == 8
+        assert len(PHISHING_FAMILIES) == 6
+
+    def test_labels(self):
+        assert all(spec.label == 0 for spec in BENIGN_FAMILIES)
+        assert all(spec.label == 1 for spec in PHISHING_FAMILIES)
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(ValueError):
+            FamilySpec(name="bad", label=0, weights={"not_a_statement": 1.0})
+
+    def test_drift_must_reference_weighted_statement(self):
+        with pytest.raises(ValueError):
+            FamilySpec(
+                name="bad2", label=0,
+                weights={"store_const": 1.0},
+                drift={"gas_guard": 1.1},
+            )
+
+    def test_phase_in(self):
+        rug = FAMILIES["rug_pull_token"]
+        assert not rug.active(0)
+        assert rug.active(6)
+        assert FAMILIES["erc20_token"].active(0)
+
+
+class TestDrift:
+    def test_weights_at_applies_drift(self):
+        spec = FAMILIES["approval_drainer"]
+        early = spec.weights_at(0)
+        late = spec.weights_at(10)
+        assert late["gas_guard"] > early["gas_guard"]
+        assert early["transfer_from_call"] == late["transfer_from_call"]
+
+    def test_no_drift_is_identity(self):
+        spec = FAMILIES["erc20_token"]
+        assert spec.weights_at(0) == spec.weights_at(12)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("spec", list(FAMILIES.values()), ids=lambda s: s.name)
+    def test_every_family_generates_clean_bytecode(self, spec):
+        env = make_env(seed=11)
+        month = max(spec.phase_in_month, 0)
+        bytecode, calldata = generate_contract(spec, env, month)
+        assert len(bytecode) > 20
+        context = ExecutionContext(calldata=calldata, timestamp=env.deploy_timestamp)
+        result = EVM().execute(bytecode, context)
+        assert result.halt in (Halt.STOP, Halt.RETURN), (spec.name, result.error)
+
+    def test_generation_is_deterministic_per_seed(self):
+        spec = FAMILIES["erc20_token"]
+        a, __ = generate_contract(spec, make_env(seed=5), 0)
+        b, __ = generate_contract(spec, make_env(seed=5), 0)
+        c, __ = generate_contract(spec, make_env(seed=6), 0)
+        assert a == b
+        assert a != c
+
+    def test_contracts_have_dispatcher_shape(self):
+        spec = FAMILIES["erc20_token"]
+        bytecode, __ = generate_contract(spec, make_env(seed=1), 0)
+        mnemonics = disassemble_mnemonics(bytecode)
+        # solc prologue + dispatcher artifacts
+        assert mnemonics[:3] == ["PUSH1", "PUSH1", "MSTORE"]
+        assert "CALLDATASIZE" in mnemonics
+        assert "JUMPDEST" in mnemonics
+        assert "REVERT" in mnemonics
+
+    def test_phishing_families_call_heavier_benign_guard_heavier(self):
+        """Aggregate opcode usage separates classes in distribution."""
+        rng_seed = 0
+        counts = {0: {"CALL": 0, "JUMPI": 0, "total": 0},
+                  1: {"CALL": 0, "JUMPI": 0, "total": 0}}
+        for spec in FAMILIES.values():
+            for k in range(6):
+                env = make_env(seed=rng_seed)
+                rng_seed += 1
+                bytecode, __ = generate_contract(spec, env, spec.phase_in_month)
+                mnemonics = disassemble_mnemonics(bytecode)
+                counts[spec.label]["CALL"] += mnemonics.count("CALL")
+                counts[spec.label]["JUMPI"] += mnemonics.count("JUMPI")
+                counts[spec.label]["total"] += len(mnemonics)
+        phishing_call_rate = counts[1]["CALL"] / counts[1]["total"]
+        benign_call_rate = counts[0]["CALL"] / counts[0]["total"]
+        assert phishing_call_rate > benign_call_rate
+
+    def test_weights_sum_zero_rejected(self):
+        spec = FamilySpec(
+            name="zero", label=0, selectors=("claim()",),
+            weights={"store_const": 0.0},
+        )
+        with pytest.raises(ValueError):
+            generate_contract(spec, make_env(), 0)

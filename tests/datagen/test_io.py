@@ -1,0 +1,116 @@
+"""Tests for dataset release serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datagen.corpus import CorpusConfig, build_corpus
+from repro.datagen.dataset import Dataset
+from repro.datagen.io import export_corpus, load_dataset, save_dataset
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(
+        CorpusConfig(n_phishing=15, n_benign=15, seed=33, clone_factor=2.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset(corpus):
+    return Dataset.from_corpus(corpus, seed=0)
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_everything(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "release.jsonl")
+        loaded = load_dataset(path)
+        assert loaded.bytecodes == dataset.bytecodes
+        assert np.array_equal(loaded.labels, dataset.labels)
+        assert np.array_equal(loaded.months, dataset.months)
+        assert loaded.families == dataset.families
+        assert loaded.addresses == dataset.addresses
+
+    def test_file_is_valid_jsonl(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "release.jsonl")
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == len(dataset)
+        record = json.loads(lines[0])
+        assert set(record) == {
+            "address", "bytecode", "label", "month", "family"
+        }
+        assert record["bytecode"].startswith("0x")
+
+    def test_nested_directory_created(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "deep" / "dir" / "d.jsonl")
+        assert path.exists()
+
+
+class TestValidation:
+    def test_missing_key_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"address": "0xab", "bytecode": "0x00"}\n')
+        with pytest.raises(ValueError, match="missing keys"):
+            load_dataset(path)
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ValueError, match="bad JSON"):
+            load_dataset(path)
+
+    def test_bad_hex_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps(
+                {"address": "0xab", "bytecode": "0xzz", "label": 0, "month": 0}
+            )
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="bad hex"):
+            load_dataset(path)
+
+    def test_bad_label_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps(
+                {"address": "0xab", "bytecode": "0x00", "label": 2, "month": 0}
+            )
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="label"):
+            load_dataset(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n\n")
+        with pytest.raises(ValueError, match="empty"):
+            load_dataset(path)
+
+    def test_blank_lines_skipped(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "padded.jsonl")
+        padded = tmp_path / "padded2.jsonl"
+        padded.write_text("\n" + path.read_text() + "\n\n")
+        assert len(load_dataset(padded)) == len(dataset)
+
+
+class TestCorpusExport:
+    def test_unique_export_matches_dedup(self, corpus, tmp_path):
+        path = export_corpus(corpus, tmp_path / "corpus.jsonl")
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == len(corpus.unique_records())
+
+    def test_full_export_includes_clones(self, corpus, tmp_path):
+        path = export_corpus(
+            corpus, tmp_path / "full.jsonl", unique_only=False
+        )
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == len(corpus.records)
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "proxy" in kinds
+
+    def test_export_loads_as_dataset(self, corpus, tmp_path):
+        path = export_corpus(corpus, tmp_path / "corpus.jsonl")
+        dataset = load_dataset(path)
+        assert len(dataset) == len(corpus.unique_records())

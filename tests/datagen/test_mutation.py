@@ -1,0 +1,79 @@
+"""Tests for minimal proxies and data-section mutation."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.mutation import (
+    is_minimal_proxy,
+    minimal_proxy,
+    proxy_implementation,
+    random_data_section,
+)
+from repro.evm.disassembler import disassemble_mnemonics
+from repro.evm.machine import EVM, ExecutionContext, Halt
+
+
+class TestMinimalProxy:
+    def test_canonical_length(self):
+        assert len(minimal_proxy(0x1234)) == 45  # EIP-1167 runtime size
+
+    def test_same_implementation_is_bit_identical(self):
+        assert minimal_proxy(0xABC) == minimal_proxy(0xABC)
+
+    def test_different_implementations_differ_in_bytes(self):
+        assert minimal_proxy(0xABC) != minimal_proxy(0xDEF)
+
+    def test_different_implementations_share_opcode_sequence(self):
+        """The property that caps opcode-only classifiers (DESIGN.md S3)."""
+        a = disassemble_mnemonics(minimal_proxy(0xAAA))
+        b = disassemble_mnemonics(minimal_proxy(0xBBB))
+        assert a == b
+
+    def test_accepts_hex_string_address(self):
+        address = "0x" + "ab" * 20
+        code = minimal_proxy(address)
+        assert proxy_implementation(code) == address
+
+    def test_rejects_wrong_width_address(self):
+        with pytest.raises(ValueError):
+            minimal_proxy("0x" + "ab" * 19)
+
+    def test_detection_and_extraction(self):
+        code = minimal_proxy(0x1234)
+        assert is_minimal_proxy(code)
+        assert int(proxy_implementation(code), 16) == 0x1234
+        assert not is_minimal_proxy(code + b"\x00")
+        assert not is_minimal_proxy(b"\x60\x80")
+        with pytest.raises(ValueError):
+            proxy_implementation(b"\x00")
+
+    def test_proxy_executes_cleanly(self):
+        """Empty-calldata delegatecall path returns via the 0x2b JUMPDEST."""
+        result = EVM().execute(minimal_proxy(0x1234), ExecutionContext())
+        assert result.halt == Halt.RETURN
+
+    def test_proxy_forwards_calldata(self):
+        seen = []
+
+        def host(mnemonic, args):
+            seen.append((mnemonic, args))
+            from repro.evm.machine import CallOutcome
+            return CallOutcome(success=True, return_data=b"\x01")
+
+        context = ExecutionContext(calldata=b"\x11" * 36)
+        result = EVM(host=host).execute(minimal_proxy(0xABC), context)
+        assert result.halt == Halt.RETURN
+        assert seen and seen[0][0] == "DELEGATECALL"
+
+
+class TestDataSection:
+    def test_size_bounds(self):
+        rng = np.random.default_rng(0)
+        for __ in range(20):
+            section = random_data_section(rng, max_size=32)
+            assert 4 <= len(section) <= 32
+
+    def test_deterministic_given_rng_state(self):
+        assert random_data_section(np.random.default_rng(3)) == random_data_section(
+            np.random.default_rng(3)
+        )

@@ -1,0 +1,166 @@
+"""Tests for the statement library and contract scaffold."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.solidity_like import (
+    STATEMENTS,
+    ContractBuilder,
+    Environment,
+    FunctionSpec,
+    metadata_trailer,
+)
+from repro.evm.assembler import Assembler
+from repro.evm.machine import EVM, ExecutionContext, Halt
+
+
+def make_env(seed=0):
+    return Environment(
+        rng=np.random.default_rng(seed),
+        attacker=0xABCDEF << 96,
+        tokens=(0x1111 << 96, 0x2222 << 96),
+        deploy_timestamp=1_700_000_000,
+    )
+
+
+def execute_body(body, calldata=b"\x00" * 68, timestamp=1_700_000_000):
+    """Run a single-function contract containing ``body``."""
+    selector = 0x11223344
+    builder = ContractBuilder(
+        functions=[FunctionSpec(selector=selector, body=body)]
+    )
+    code = builder.assemble()
+    context = ExecutionContext(
+        calldata=selector.to_bytes(4, "big") + calldata[4:],
+        timestamp=timestamp,
+    )
+    return EVM().execute(code, context)
+
+
+class TestEveryStatement:
+    @pytest.mark.parametrize("name", sorted(STATEMENTS))
+    def test_statement_is_stack_neutral_and_executes(self, name):
+        env = make_env()
+        # Repeat the statement three times: any stack leak accumulates
+        # and trips the final STOP/underflow check.
+        body = []
+        for __ in range(3):
+            body.extend(STATEMENTS[name](env))
+        result = execute_body(body)
+        assert result.halt == Halt.STOP, (name, result.error)
+
+    @pytest.mark.parametrize("name", sorted(STATEMENTS))
+    def test_statement_randomization_varies_output(self, name):
+        env_a = make_env(seed=1)
+        env_b = make_env(seed=2)
+        a = STATEMENTS[name](env_a)
+        b = STATEMENTS[name](env_b)
+        assert isinstance(a, list) and isinstance(b, list)
+        # Same seed must reproduce exactly.
+        assert STATEMENTS[name](make_env(seed=1)) == a
+
+
+class TestContractBuilder:
+    def test_requires_at_least_one_function(self):
+        with pytest.raises(ValueError):
+            ContractBuilder(functions=[])
+
+    def test_dispatch_routes_by_selector(self):
+        env = make_env()
+        f1 = FunctionSpec(0xAAAAAAAA, STATEMENTS["store_const"](env))
+        f2 = FunctionSpec(0xBBBBBBBB, STATEMENTS["counter_increment"](env),
+                          returns_word=True)
+        code = ContractBuilder(functions=[f1, f2]).assemble()
+
+        result = EVM().execute(
+            code, ExecutionContext(calldata=bytes.fromhex("aaaaaaaa") + b"\x00" * 64)
+        )
+        assert result.halt == Halt.STOP
+        result = EVM().execute(
+            code, ExecutionContext(calldata=bytes.fromhex("bbbbbbbb") + b"\x00" * 64)
+        )
+        assert result.halt == Halt.RETURN
+        assert int.from_bytes(result.return_data, "big") == 1
+
+    def test_unknown_selector_hits_fallback_revert(self):
+        env = make_env()
+        code = ContractBuilder(
+            functions=[FunctionSpec(0xAAAAAAAA, STATEMENTS["store_const"](env))],
+            fallback_reverts=True,
+        ).assemble()
+        result = EVM().execute(
+            code, ExecutionContext(calldata=bytes.fromhex("cccccccc"))
+        )
+        assert result.halt == Halt.REVERT
+
+    def test_stop_fallback(self):
+        env = make_env()
+        code = ContractBuilder(
+            functions=[FunctionSpec(0xAAAAAAAA, STATEMENTS["store_const"](env))],
+            fallback_reverts=False,
+        ).assemble()
+        result = EVM().execute(code, ExecutionContext(calldata=b""))
+        assert result.halt == Halt.STOP
+
+    def test_short_calldata_goes_to_fallback(self):
+        env = make_env()
+        code = ContractBuilder(
+            functions=[FunctionSpec(0xAAAAAAAA, STATEMENTS["store_const"](env))],
+            fallback_reverts=False,
+        ).assemble()
+        result = EVM().execute(code, ExecutionContext(calldata=b"\x01\x02"))
+        assert result.halt == Halt.STOP
+
+    def test_non_payable_rejects_value(self):
+        env = make_env()
+        code = ContractBuilder(
+            functions=[FunctionSpec(0xAAAAAAAA, STATEMENTS["store_const"](env))],
+            payable=False,
+        ).assemble()
+        calldata = bytes.fromhex("aaaaaaaa") + b"\x00" * 64
+        ok = EVM().execute(code, ExecutionContext(calldata=calldata, callvalue=0))
+        assert ok.halt == Halt.STOP
+        rejected = EVM().execute(
+            code, ExecutionContext(calldata=calldata, callvalue=10)
+        )
+        assert rejected.halt == Halt.REVERT
+
+    def test_dead_code_and_metadata_are_appended(self):
+        env = make_env()
+        dead, meta = b"\xde\xad\xbe\xef", b"\xa2\x64\x69\x70"
+        code = ContractBuilder(
+            functions=[FunctionSpec(0xAAAAAAAA, STATEMENTS["store_const"](env))],
+            dead_code=dead,
+            metadata=meta,
+        ).assemble()
+        assert code.endswith(dead + meta)
+        # Still executes despite the trailing garbage.
+        result = EVM().execute(
+            code, ExecutionContext(calldata=bytes.fromhex("aaaaaaaa") + b"\x00" * 64)
+        )
+        assert result.halt == Halt.STOP
+
+    def test_example_calldata_hits_a_function(self):
+        env = make_env()
+        functions = [
+            FunctionSpec(0xAAAAAAAA, STATEMENTS["store_const"](env)),
+            FunctionSpec(0xBBBBBBBB, STATEMENTS["mapping_update"](env)),
+        ]
+        builder = ContractBuilder(functions=functions)
+        code = builder.assemble()
+        for __ in range(5):
+            calldata = builder.example_calldata(env.rng)
+            result = EVM().execute(code, ExecutionContext(calldata=calldata))
+            assert result.halt == Halt.STOP
+
+
+class TestMetadataTrailer:
+    def test_has_cbor_prefix_and_length_suffix(self):
+        trailer = metadata_trailer(np.random.default_rng(0))
+        assert trailer.startswith(bytes.fromhex("a264697066735822"))
+        body_len = int.from_bytes(trailer[-2:], "big")
+        assert body_len == len(trailer) - 2
+
+    def test_trailers_vary(self):
+        rng = np.random.default_rng(0)
+        assert metadata_trailer(rng) != metadata_trailer(rng)

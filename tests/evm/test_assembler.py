@@ -1,0 +1,149 @@
+"""Tests for the assembler, including round-trips through the disassembler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evm.assembler import Assembler, assemble
+from repro.evm.disassembler import disassemble
+from repro.evm.errors import AssemblerError
+
+
+class TestBasicEmission:
+    def test_paper_prologue(self):
+        code = assemble([("PUSH1", 0x80), ("PUSH1", 0x40), "MSTORE"])
+        assert code.hex() == "6080604052"
+
+    def test_push_widths_inferred(self):
+        asm = Assembler()
+        asm.push(0x1234)
+        assert asm.assemble().hex() == "611234"
+
+    def test_push_zero_uses_push0(self):
+        assert Assembler().push(0).assemble() == b"\x5f"
+
+    def test_push_zero_with_forced_width(self):
+        assert Assembler().push(0, width=1).assemble() == b"\x60\x00"
+
+    def test_push_hex_string_operand(self):
+        code = assemble([("PUSH4", "0x23b872dd")])
+        assert code.hex() == "6323b872dd"
+
+    def test_push_bytes_operand(self):
+        code = assemble([("PUSH2", b"\xab\xcd")])
+        assert code.hex() == "61abcd"
+
+    def test_operand_left_padded(self):
+        code = assemble([("PUSH4", 0x01)])
+        assert code.hex() == "6300000001"
+
+    def test_raw_bytes(self):
+        code = Assembler().raw(b"\xde\xad").assemble()
+        assert code == b"\xde\xad"
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble(["NOTREAL"])
+
+    def test_operand_on_non_push(self):
+        with pytest.raises(AssemblerError):
+            assemble([("ADD", 1)])
+
+    def test_push_missing_operand(self):
+        with pytest.raises(AssemblerError):
+            assemble([("PUSH1", None)])
+
+    def test_operand_too_wide(self):
+        with pytest.raises(AssemblerError):
+            assemble([("PUSH1", 0x1234)])
+
+    def test_negative_operand(self):
+        with pytest.raises(AssemblerError):
+            Assembler().push(-1)
+
+    def test_duplicate_label(self):
+        asm = Assembler().label("a").label("a")
+        with pytest.raises(AssemblerError):
+            asm.assemble()
+
+    def test_undefined_label(self):
+        asm = Assembler().push_label("missing")
+        with pytest.raises(AssemblerError):
+            asm.assemble()
+
+    def test_bad_program_item(self):
+        with pytest.raises(AssemblerError):
+            assemble([42])
+
+
+class TestLabels:
+    def test_forward_jump(self):
+        asm = (
+            Assembler()
+            .push_label("end")
+            .emit("JUMP")
+            .emit("INVALID")
+            .label("end")
+            .emit("STOP")
+        )
+        code = asm.assemble()
+        # PUSH2 0x0005 JUMP INVALID JUMPDEST STOP
+        assert code.hex() == "61000556fe5b00"
+
+    def test_backward_jump(self):
+        asm = (
+            Assembler()
+            .label("loop")
+            .push_label("loop")
+            .emit("JUMP")
+        )
+        code = asm.assemble()
+        assert code.hex() == "5b61000056"
+
+    def test_label_offsets_match_jumpdests(self):
+        from repro.evm.disassembler import Disassembler
+
+        asm = (
+            Assembler()
+            .push(1)
+            .label("a")
+            .push(2)
+            .label("b")
+            .emit("STOP")
+        )
+        code = asm.assemble()
+        dests = Disassembler(code).jump_destinations()
+        assert len(dests) == 2
+
+
+class TestRoundTrip:
+    def test_assemble_disassemble_roundtrip(self):
+        program = [
+            ("PUSH1", 0x80),
+            ("PUSH1", 0x40),
+            "MSTORE",
+            "CALLVALUE",
+            "ISZERO",
+            ("PUSH2", 0x0010),
+            "JUMPI",
+            ("PUSH1", 0),
+            "DUP1",
+            "REVERT",
+        ]
+        code = assemble(program)
+        mnemonics = [i.mnemonic for i in disassemble(code)]
+        assert mnemonics == [
+            "PUSH1", "PUSH1", "MSTORE", "CALLVALUE", "ISZERO",
+            "PUSH2", "JUMPI", "PUSH1", "DUP1", "REVERT",
+        ]
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=24))
+    def test_pushed_values_survive_roundtrip(self, values):
+        asm = Assembler()
+        for value in values:
+            asm.push(value)
+        instructions = disassemble(asm.assemble())
+        decoded = [i.operand_int if i.operand else 0 for i in instructions]
+        assert decoded == values

@@ -1,0 +1,139 @@
+"""Tests for control-flow-graph recovery."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evm.assembler import Assembler, assemble
+from repro.evm.cfg import build_cfg
+
+
+def simple_branch() -> bytes:
+    """CALLVALUE ? revert : stop — two-way branch."""
+    asm = (
+        Assembler()
+        .emit("CALLVALUE")
+        .push_label("fail")
+        .emit("JUMPI")
+        .emit("STOP")
+        .label("fail")
+        .push(0)
+        .emit("DUP1")
+        .emit("REVERT")
+    )
+    return asm.assemble()
+
+
+class TestBlocks:
+    def test_straight_line_is_one_block(self):
+        cfg = build_cfg(assemble([("PUSH1", 1), ("PUSH1", 2), "ADD", "STOP"]))
+        assert cfg.block_count() == 1
+        assert cfg.blocks[0].terminator == "STOP"
+
+    def test_branch_splits_blocks(self):
+        cfg = build_cfg(simple_branch())
+        assert cfg.block_count() == 3  # entry, stop, revert
+        assert cfg.edge_count() == 2   # jump + fallthrough
+
+    def test_jumpdest_starts_block(self):
+        cfg = build_cfg(simple_branch())
+        jumpdest_blocks = [
+            b for b in cfg.blocks.values()
+            if b.instructions[0].mnemonic == "JUMPDEST"
+        ]
+        assert len(jumpdest_blocks) == 1
+
+    def test_block_bounds(self):
+        code = assemble([("PUSH1", 1), "STOP"])
+        cfg = build_cfg(code)
+        block = cfg.blocks[0]
+        assert block.start == 0
+        assert block.end == len(code)
+        assert len(block) == 2
+
+    def test_empty_bytecode(self):
+        cfg = build_cfg(b"")
+        assert cfg.block_count() == 0
+        assert cfg.reachable_blocks() == set()
+
+
+class TestEdges:
+    def test_direct_jump_edge(self):
+        asm = (
+            Assembler()
+            .push_label("end")
+            .emit("JUMP")
+            .emit("INVALID")
+            .label("end")
+            .emit("STOP")
+        )
+        cfg = build_cfg(asm.assemble())
+        kinds = {d["kind"] for __, __, d in cfg.graph.edges(data=True)}
+        assert kinds == {"jump"}
+        # INVALID block is unreachable.
+        assert len(cfg.dead_blocks()) == 1
+
+    def test_jumpi_has_two_successors(self):
+        cfg = build_cfg(simple_branch())
+        assert cfg.graph.out_degree(0) == 2
+
+    def test_indirect_jump_flagged(self):
+        # MLOAD result as jump target: not statically resolvable.
+        code = assemble([("PUSH1", 0), "MLOAD", "JUMP"])
+        cfg = build_cfg(code)
+        assert cfg.blocks[0].has_indirect_jump
+
+    def test_terminal_blocks_have_no_successors(self):
+        cfg = build_cfg(simple_branch())
+        for block in cfg.blocks.values():
+            if block.terminator in ("STOP", "REVERT"):
+                assert cfg.graph.out_degree(block.start) == 0
+
+
+class TestAnalyses:
+    def test_reachability(self):
+        cfg = build_cfg(simple_branch())
+        assert cfg.reachable_blocks() == set(cfg.blocks)
+
+    def test_dead_metadata_section(self):
+        code = assemble(["STOP"]) + bytes.fromhex("a264697066735822aabb")
+        cfg = build_cfg(code)
+        assert cfg.dead_blocks()  # the trailer decodes to unreachable code
+
+    def test_loop_detected(self):
+        asm = (
+            Assembler()
+            .label("loop")
+            .push(1)
+            .push_label("loop")
+            .emit("JUMPI")
+            .emit("STOP")
+        )
+        cfg = build_cfg(asm.assemble())
+        assert len(cfg.loops()) == 1
+
+    def test_cyclomatic_complexity_grows_with_branches(self):
+        straight = build_cfg(assemble(["STOP"]))
+        branched = build_cfg(simple_branch())
+        assert branched.cyclomatic_complexity() > straight.cyclomatic_complexity()
+
+    def test_dispatcher_fanout_counts_functions(self):
+        from repro.datagen.families import FAMILIES, generate_contract
+        from repro.datagen.solidity_like import Environment
+        import numpy as np
+
+        env = Environment(rng=np.random.default_rng(0), tokens=(0xAA << 96,))
+        bytecode, __ = generate_contract(FAMILIES["erc20_token"], env, 0)
+        cfg = build_cfg(bytecode)
+        # The ERC-20 family generates 4-7 functions; the dispatcher chain
+        # contributes at least that many JUMPI decisions (plus guards).
+        assert cfg.dispatcher_fanout() >= 4
+
+    @given(st.binary(max_size=256))
+    def test_cfg_is_total(self, code):
+        cfg = build_cfg(code)
+        # Every instruction belongs to exactly one block.
+        total = sum(len(b) for b in cfg.blocks.values())
+        from repro.evm.disassembler import disassemble
+
+        assert total == len(disassemble(code))

@@ -1,0 +1,159 @@
+"""Tests for the bytecode disassembler (the BDM's core)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evm.disassembler import (
+    Disassembler,
+    disassemble,
+    disassemble_mnemonics,
+    normalize_bytecode,
+)
+from repro.evm.errors import DisassemblyError
+
+
+class TestNormalize:
+    def test_bytes_pass_through(self):
+        assert normalize_bytecode(b"\x60\x80") == b"\x60\x80"
+
+    def test_hex_with_prefix(self):
+        assert normalize_bytecode("0x6080") == b"\x60\x80"
+
+    def test_hex_without_prefix(self):
+        assert normalize_bytecode("6080") == b"\x60\x80"
+
+    def test_whitespace_tolerated(self):
+        assert normalize_bytecode("  0x6080\n") == b"\x60\x80"
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(DisassemblyError):
+            normalize_bytecode("0x608")
+
+    def test_non_hex_rejected(self):
+        with pytest.raises(DisassemblyError):
+            normalize_bytecode("0xzz")
+
+    def test_empty_ok(self):
+        assert normalize_bytecode("0x") == b""
+        assert disassemble("0x") == []
+
+
+class TestPaperExample:
+    """§III: 0x6080604052 → (PUSH1,0x80,3), (PUSH1,0x40,3), (MSTORE,NaN,3)."""
+
+    def test_instruction_sequence(self):
+        instructions = disassemble("0x6080604052")
+        assert [str(i) for i in instructions] == [
+            "PUSH1 0x80",
+            "PUSH1 0x40",
+            "MSTORE",
+        ]
+
+    def test_triples(self):
+        triples = [i.as_triple() for i in disassemble("0x6080604052")]
+        assert triples[0] == ("PUSH1", "0x80", 3.0)
+        assert triples[1] == ("PUSH1", "0x40", 3.0)
+        assert triples[2][0] == "MSTORE"
+        assert triples[2][1] == "NaN"
+        assert triples[2][2] == 3.0
+
+    def test_offsets(self):
+        offsets = [i.offset for i in disassemble("0x6080604052")]
+        assert offsets == [0, 2, 4]
+
+
+class TestImmediates:
+    def test_push32_consumes_32_bytes(self):
+        code = bytes([0x7F]) + bytes(range(32)) + b"\x00"
+        instructions = disassemble(code)
+        assert instructions[0].mnemonic == "PUSH32"
+        assert instructions[0].operand == bytes(range(32))
+        assert instructions[1].mnemonic == "STOP"
+
+    def test_push0_has_no_immediate(self):
+        instructions = disassemble(b"\x5f\x00")
+        assert instructions[0].mnemonic == "PUSH0"
+        assert instructions[0].operand == b""
+        assert instructions[1].mnemonic == "STOP"
+
+    def test_truncated_push_is_flagged(self):
+        instructions = disassemble(b"\x61\xab")  # PUSH2 with 1 byte left
+        assert len(instructions) == 1
+        assert instructions[0].is_truncated
+        assert instructions[0].operand == b"\xab"
+
+    def test_operand_int_and_hex(self):
+        instruction = disassemble(b"\x61\x01\x02")[0]
+        assert instruction.operand_int == 0x0102
+        assert instruction.operand_hex == "0x0102"
+
+    def test_jumpdest_inside_push_immediate_is_not_a_destination(self):
+        # PUSH2 0x5B5B STOP — the 0x5B bytes are data, not JUMPDESTs.
+        dests = Disassembler(b"\x61\x5b\x5b\x00").jump_destinations()
+        assert dests == frozenset()
+
+    def test_real_jumpdest_found(self):
+        dests = Disassembler(b"\x00\x5b\x00").jump_destinations()
+        assert dests == frozenset({1})
+
+
+class TestUndefinedBytes:
+    def test_undefined_maps_to_invalid(self):
+        instructions = disassemble(b"\x0c")
+        assert instructions[0].mnemonic == "INVALID"
+        assert instructions[0].is_undefined_byte
+        assert instructions[0].raw_byte == 0x0C
+
+    def test_designated_invalid_is_not_flagged_undefined(self):
+        instructions = disassemble(b"\xfe")
+        assert instructions[0].mnemonic == "INVALID"
+        assert not instructions[0].is_undefined_byte
+
+    def test_metadata_trailer_disassembles(self):
+        # Typical solc CBOR metadata bytes decode without raising.
+        trailer = bytes.fromhex("a264697066735822")
+        assert len(disassemble(trailer)) > 0
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        csv = Disassembler("0x6080604052").to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0] == "offset,mnemonic,operand,gas"
+        assert lines[1] == "0,PUSH1,0x80,3"
+        assert lines[3] == "4,MSTORE,NaN,3"
+
+    def test_invalid_gas_serializes_as_nan(self):
+        csv = Disassembler(b"\xfe").to_csv()
+        assert csv.strip().split("\n")[1] == "0,INVALID,NaN,NaN"
+
+
+class TestProperties:
+    @given(st.binary(max_size=512))
+    def test_decoding_is_total_and_covers_every_byte(self, code):
+        instructions = disassemble(code)
+        consumed = sum(i.size for i in instructions)
+        assert consumed == len(code)
+
+    @given(st.binary(max_size=512))
+    def test_offsets_are_strictly_increasing_and_consistent(self, code):
+        instructions = disassemble(code)
+        cursor = 0
+        for instruction in instructions:
+            assert instruction.offset == cursor
+            cursor = instruction.next_offset
+
+    @given(st.binary(max_size=256))
+    def test_mnemonics_match_instructions(self, code):
+        assert disassemble_mnemonics(code) == [
+            i.mnemonic for i in disassemble(code)
+        ]
+
+    @given(st.binary(max_size=256))
+    def test_gas_is_number_or_nan(self, code):
+        for instruction in disassemble(code):
+            gas = instruction.gas
+            assert math.isnan(gas) or gas >= 0

@@ -1,0 +1,432 @@
+"""Tests for the mini EVM interpreter."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evm.assembler import Assembler, assemble
+from repro.evm.machine import EVM, CallOutcome, ExecutionContext, Halt
+
+WORD = 1 << 256
+
+
+def run(program, **kwargs):
+    return EVM().execute(assemble(program), **kwargs)
+
+
+def returned_word(result):
+    assert result.halt == Halt.RETURN, result.error
+    return int.from_bytes(result.return_data, "big")
+
+
+def return_top(program):
+    """Wrap a program so the top of stack is returned as one word."""
+    return program + [
+        ("PUSH1", 0),
+        "MSTORE",
+        ("PUSH1", 32),
+        ("PUSH1", 0),
+        "RETURN",
+    ]
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "op, a, b, expected",
+        [
+            ("ADD", 2, 3, 5),
+            ("ADD", WORD - 1, 1, 0),  # wraps mod 2^256
+            ("MUL", 7, 6, 42),
+            ("SUB", 10, 4, 6),
+            ("SUB", 0, 1, WORD - 1),  # two's complement wrap
+            ("DIV", 7, 2, 3),
+            ("DIV", 7, 0, 0),  # EVM defines x/0 = 0
+            ("MOD", 7, 3, 1),
+            ("MOD", 7, 0, 0),
+            ("EXP", 2, 10, 1024),
+        ],
+    )
+    def test_binary_ops(self, op, a, b, expected):
+        # Stack order: second operand pushed first.
+        program = return_top([("PUSH32", b), ("PUSH32", a), op])
+        assert returned_word(run(program)) == expected
+
+    def test_sdiv_negative(self):
+        minus_ten = WORD - 10
+        program = return_top([("PUSH32", 3), ("PUSH32", minus_ten), "SDIV"])
+        assert returned_word(run(program)) == WORD - 3  # -10 // 3 → -3 (trunc)
+
+    def test_smod_negative(self):
+        minus_ten = WORD - 10
+        program = return_top([("PUSH32", 3), ("PUSH32", minus_ten), "SMOD"])
+        assert returned_word(run(program)) == WORD - 1  # sign follows dividend
+
+    def test_addmod_mulmod(self):
+        program = return_top(
+            [("PUSH1", 8), ("PUSH1", 10), ("PUSH1", 10), "ADDMOD"]
+        )
+        assert returned_word(run(program)) == 4
+        program = return_top(
+            [("PUSH1", 8), ("PUSH1", 10), ("PUSH1", 10), "MULMOD"]
+        )
+        assert returned_word(run(program)) == 4
+
+    def test_signextend(self):
+        program = return_top([("PUSH1", 0xFF), ("PUSH1", 0), "SIGNEXTEND"])
+        assert returned_word(run(program)) == WORD - 1
+
+
+class TestComparisonBitwise:
+    @pytest.mark.parametrize(
+        "op, a, b, expected",
+        [
+            ("LT", 1, 2, 1),
+            ("LT", 2, 1, 0),
+            ("GT", 2, 1, 1),
+            ("EQ", 5, 5, 1),
+            ("AND", 0b1100, 0b1010, 0b1000),
+            ("OR", 0b1100, 0b1010, 0b1110),
+            ("XOR", 0b1100, 0b1010, 0b0110),
+            ("SHL", 1, 4, 1 << 4),  # a=shift? careful below
+        ],
+    )
+    def test_binary(self, op, a, b, expected):
+        if op == "SHL":
+            # SHL pops shift then value.
+            program = return_top([("PUSH1", 1), ("PUSH1", 4), op])
+            assert returned_word(run(program)) == 16
+            return
+        program = return_top([("PUSH32", b), ("PUSH32", a), op])
+        assert returned_word(run(program)) == expected
+
+    def test_iszero_and_not(self):
+        assert returned_word(run(return_top([("PUSH1", 0), "ISZERO"]))) == 1
+        assert returned_word(run(return_top([("PUSH1", 7), "ISZERO"]))) == 0
+        assert returned_word(run(return_top([("PUSH1", 0), "NOT"]))) == WORD - 1
+
+    def test_byte(self):
+        # BYTE(31, x) is the least significant byte.
+        program = return_top([("PUSH2", 0xABCD), ("PUSH1", 31), "BYTE"])
+        assert returned_word(run(program)) == 0xCD
+
+    def test_sar_preserves_sign(self):
+        minus_four = WORD - 4
+        program = return_top([("PUSH32", minus_four), ("PUSH1", 1), "SAR"])
+        assert returned_word(run(program)) == WORD - 2
+
+    def test_slt_sgt(self):
+        minus_one = WORD - 1
+        program = return_top([("PUSH1", 1), ("PUSH32", minus_one), "SLT"])
+        assert returned_word(run(program)) == 1  # -1 < 1
+
+
+class TestStackOps:
+    def test_dup_swap(self):
+        program = return_top(
+            [("PUSH1", 1), ("PUSH1", 2), "DUP2", "ADD", "SWAP1", "POP"]
+        )
+        assert returned_word(run(program)) == 3  # (2 + dup of 1), swap, pop 1
+
+    def test_push0(self):
+        program = return_top([("PUSH0", None)])
+        # PUSH0 has no operand; emit via mnemonic string.
+        assert returned_word(run(return_top(["PUSH0"]))) == 0
+
+    def test_stack_underflow_halts(self):
+        result = run(["POP"])
+        assert result.halt == Halt.STACK_UNDERFLOW
+        assert not result.success
+
+    def test_stack_overflow_halts(self):
+        asm = Assembler().push(1)
+        for __ in range(1100):
+            asm.emit("DUP1")
+        result = EVM(gas_limit=10**9).execute(asm.assemble())
+        assert result.halt == Halt.STACK_OVERFLOW
+
+
+class TestMemoryStorage:
+    def test_mstore_mload_roundtrip(self):
+        program = return_top(
+            [("PUSH2", 0xBEEF), ("PUSH1", 0x20), "MSTORE", ("PUSH1", 0x20), "MLOAD"]
+        )
+        assert returned_word(run(program)) == 0xBEEF
+
+    def test_mstore8(self):
+        program = return_top(
+            [("PUSH2", 0x1234), ("PUSH1", 31), "MSTORE8", ("PUSH1", 0), "MLOAD"]
+        )
+        assert returned_word(run(program)) == 0x34  # low byte only
+
+    def test_msize_grows_in_words(self):
+        program = return_top(
+            [("PUSH1", 1), ("PUSH1", 33), "MSTORE", "MSIZE"]
+        )
+        assert returned_word(run(program)) == 96  # 33+32 → 3 words
+
+    def test_sstore_sload(self):
+        result = run(
+            [("PUSH1", 42), ("PUSH1", 7), "SSTORE", "STOP"]
+        )
+        assert result.halt == Halt.STOP
+        assert result.storage == {7: 42}
+
+    def test_sload_of_unset_key_is_zero(self):
+        program = return_top([("PUSH1", 99), "SLOAD"])
+        assert returned_word(run(program)) == 0
+
+    def test_initial_storage_visible(self):
+        program = return_top([("PUSH1", 5), "SLOAD"])
+        result = EVM().execute(assemble(program), storage={5: 123})
+        assert returned_word(result) == 123
+
+
+class TestControlFlow:
+    def test_jump_over_invalid(self):
+        program = [
+            "PUSH0",  # placeholder so offsets are stable
+            ("PUSH1", 5),
+            "JUMP",
+            "INVALID",
+            None,  # replaced below
+        ]
+        asm = (
+            Assembler()
+            .push_label("end")
+            .emit("JUMP")
+            .emit("INVALID")
+            .label("end")
+            .emit("STOP")
+        )
+        result = EVM().execute(asm.assemble())
+        assert result.halt == Halt.STOP
+
+    def test_jumpi_taken_and_not_taken(self):
+        def branch(condition):
+            # JUMPI pops the target first, then the condition.
+            asm = (
+                Assembler()
+                .push(condition)
+                .push_label("yes")
+                .emit("JUMPI")
+                .push(0)
+                .push(0)
+                .emit("RETURN")
+                .label("yes")
+                .push(1)
+            )
+            asm.extend(
+                [("PUSH1", 0), "MSTORE", ("PUSH1", 32), ("PUSH1", 0), "RETURN"]
+            )
+            return EVM().execute(asm.assemble())
+
+        taken = branch(1)
+        assert int.from_bytes(taken.return_data, "big") == 1
+        not_taken = branch(0)
+        assert not_taken.return_data == b""
+
+    def test_jump_to_non_jumpdest_fails(self):
+        result = run([("PUSH1", 0), "JUMP"])
+        assert result.halt == Halt.BAD_JUMP
+
+    def test_jump_into_push_immediate_fails(self):
+        # Offset 1 is inside the PUSH2 immediate even though byte is 0x5B.
+        code = bytes.fromhex("615b5b600156")  # PUSH2 0x5b5b PUSH1 0x01 JUMP
+        result = EVM().execute(code + b"\x00")
+        assert result.halt == Halt.BAD_JUMP
+
+    def test_loop_terminates_with_counter(self):
+        # for i in range(3): ... then return 3
+        asm = (
+            Assembler()
+            .push(0)                      # counter
+            .label("loop")
+            .push(1).emit("ADD")
+            .emit("DUP1").push(3).emit("GT")  # condition: 3 > counter
+            .push_label("loop")
+            .emit("JUMPI")
+        )
+        asm.extend([("PUSH1", 0), "MSTORE", ("PUSH1", 32), ("PUSH1", 0), "RETURN"])
+        result = EVM().execute(asm.assemble())
+        assert returned_word(result) == 3
+
+    def test_infinite_loop_hits_step_limit(self):
+        asm = Assembler().label("loop").push_label("loop").emit("JUMP")
+        result = EVM(gas_limit=10**12, max_steps=1000).execute(asm.assemble())
+        assert result.halt == Halt.OUT_OF_GAS
+
+    def test_gas_exhaustion(self):
+        result = EVM(gas_limit=4).execute(assemble([("PUSH1", 1), ("PUSH1", 2), "ADD", "STOP"]))
+        assert result.halt == Halt.OUT_OF_GAS
+
+
+class TestHalts:
+    def test_stop(self):
+        assert run(["STOP"]).halt == Halt.STOP
+
+    def test_end_of_code(self):
+        assert run([("PUSH1", 1)]).halt == Halt.END_OF_CODE
+
+    def test_revert_carries_data(self):
+        program = [
+            ("PUSH1", 0xAA),
+            ("PUSH1", 0),
+            "MSTORE",
+            ("PUSH1", 32),
+            ("PUSH1", 0),
+            "REVERT",
+        ]
+        result = run(program)
+        assert result.halt == Halt.REVERT
+        assert not result.success
+        assert int.from_bytes(result.return_data, "big") == 0xAA
+
+    def test_invalid_opcode(self):
+        assert run(["INVALID"]).halt == Halt.INVALID
+
+    def test_undefined_byte(self):
+        result = EVM().execute(b"\x0c")
+        assert result.halt == Halt.INVALID
+
+    def test_selfdestruct(self):
+        result = run([("PUSH1", 0), "SELFDESTRUCT"])
+        assert result.halt == Halt.SELFDESTRUCT
+        assert result.success
+
+
+class TestEnvironment:
+    def test_caller_callvalue_calldata(self):
+        context = ExecutionContext(
+            caller=0xABC, callvalue=7, calldata=bytes.fromhex("23b872dd") + b"\x00" * 32
+        )
+        program = return_top(["CALLER"])
+        assert returned_word(run(program, context=context)) == 0xABC
+        program = return_top(["CALLVALUE"])
+        assert returned_word(run(program, context=context)) == 7
+        program = return_top([("PUSH1", 0), "CALLDATALOAD"])
+        selector = returned_word(run(program, context=context)) >> (8 * 28)
+        assert selector == 0x23B872DD
+        program = return_top(["CALLDATASIZE"])
+        assert returned_word(run(program, context=context)) == 36
+
+    def test_block_context(self):
+        context = ExecutionContext(block_number=123, timestamp=456, chainid=5)
+        assert returned_word(run(return_top(["NUMBER"]), context=context)) == 123
+        assert returned_word(run(return_top(["TIMESTAMP"]), context=context)) == 456
+        assert returned_word(run(return_top(["CHAINID"]), context=context)) == 5
+
+    def test_calldatacopy(self):
+        context = ExecutionContext(calldata=b"\x11" * 8)
+        program = [
+            ("PUSH1", 8), ("PUSH1", 0), ("PUSH1", 0), "CALLDATACOPY",
+            ("PUSH1", 0), "MLOAD",
+        ] + [("PUSH1", 0), "MSTORE", ("PUSH1", 32), ("PUSH1", 0), "RETURN"]
+        value = returned_word(run(program, context=context))
+        assert value >> (8 * 24) == int.from_bytes(b"\x11" * 8, "big")
+
+    def test_codecopy_codesize(self):
+        code = assemble(return_top(["CODESIZE"]))
+        result = EVM().execute(code)
+        assert returned_word(result) == len(code)
+
+
+class TestCallsAndLogs:
+    def test_host_answers_call(self):
+        calls = []
+
+        def host(mnemonic, args):
+            calls.append(mnemonic)
+            return CallOutcome(success=True, return_data=b"\x01" * 32)
+
+        program = return_top(
+            [
+                ("PUSH1", 32),  # retLength
+                ("PUSH1", 0),   # retOffset
+                ("PUSH1", 0),   # argsLength
+                ("PUSH1", 0),   # argsOffset
+                ("PUSH1", 0),   # value
+                ("PUSH20", 0xDEAD),  # address
+                ("PUSH2", 0xFFFF),   # gas
+                "CALL",
+            ]
+        )
+        result = EVM(host=host).execute(assemble(program))
+        assert returned_word(result) == 1
+        assert calls == ["CALL"]
+
+    def test_failed_call_pushes_zero(self):
+        host = lambda m, a: CallOutcome(success=False)
+        program = return_top(
+            [("PUSH1", 0)] * 5 + [("PUSH20", 1), ("PUSH1", 0), "CALL"]
+        )
+        result = EVM(host=host).execute(assemble(program))
+        assert returned_word(result) == 0
+
+    def test_returndatasize_after_call(self):
+        host = lambda m, a: CallOutcome(success=True, return_data=b"\xaa" * 7)
+        program = return_top(
+            [("PUSH1", 0)] * 4 + [("PUSH20", 1), ("PUSH1", 0), "STATICCALL",
+             "POP", "RETURNDATASIZE"]
+        )
+        result = EVM(host=host).execute(assemble(program))
+        assert returned_word(result) == 7
+
+    def test_log_records_topics_and_data(self):
+        program = [
+            ("PUSH1", 0xAB), ("PUSH1", 0), "MSTORE",
+            ("PUSH4", 0xDDF252AD),  # topic
+            ("PUSH1", 32), ("PUSH1", 0),  # length, offset
+            "SWAP2", "SWAP1",
+        ]
+        # Simpler: topics pushed after offset/length per LOG stack order:
+        program = [
+            ("PUSH1", 0xAB), ("PUSH1", 0), "MSTORE",
+            ("PUSH4", 0xDDF252AD),
+            ("PUSH1", 32),
+            ("PUSH1", 0),
+            "LOG1",
+            "STOP",
+        ]
+        result = run(program)
+        assert result.halt == Halt.STOP
+        assert len(result.logs) == 1
+        topics, data = result.logs[0]
+        assert topics == [0xDDF252AD]
+        assert int.from_bytes(data, "big") == 0xAB
+
+    def test_create_pushes_address(self):
+        program = return_top(
+            [("PUSH1", 0), ("PUSH1", 0), ("PUSH1", 0), "CREATE"]
+        )
+        result = EVM().execute(assemble(program))
+        assert result.halt == Halt.RETURN
+        assert returned_word(result) > 0
+
+
+class TestGasAccounting:
+    def test_gas_used_is_positive_and_bounded(self):
+        result = run(return_top([("PUSH1", 1), ("PUSH1", 2), "ADD"]))
+        assert 0 < result.gas_used < 100
+
+    def test_memory_expansion_costs_gas(self):
+        small = run(return_top([("PUSH1", 1), ("PUSH1", 0), "MSTORE", ("PUSH1", 0), "MLOAD"]))
+        big = run(return_top([("PUSH1", 1), ("PUSH2", 0x2000), "MSTORE", ("PUSH1", 0), "MLOAD"]))
+        assert big.gas_used > small.gas_used
+
+    def test_gas_opcode_reports_remaining(self):
+        value = returned_word(run(return_top(["GAS"])))
+        assert 0 < value <= 10_000_000
+
+
+class TestProperties:
+    @given(st.binary(max_size=128))
+    def test_interpreter_is_total(self, code):
+        """Any byte soup halts with a well-defined reason (never raises)."""
+        result = EVM(gas_limit=50_000, max_steps=5_000).execute(code)
+        assert isinstance(result.halt, Halt)
+
+    @given(st.integers(min_value=0, max_value=WORD - 1),
+           st.integers(min_value=0, max_value=WORD - 1))
+    def test_add_matches_python_mod_2_256(self, a, b):
+        program = return_top([("PUSH32", b), ("PUSH32", a), "ADD"])
+        assert returned_word(run(program)) == (a + b) % WORD

@@ -1,0 +1,153 @@
+"""Tests for the Shanghai opcode registry."""
+
+import math
+
+import pytest
+
+from repro.evm.opcodes import (
+    OPCODES,
+    OPCODES_BY_NAME,
+    SHANGHAI_OPCODE_COUNT,
+    dup_opcode,
+    is_push,
+    is_terminator,
+    log_opcode,
+    opcode_by_name,
+    opcode_by_value,
+    push_opcode,
+    swap_opcode,
+    total_static_gas,
+)
+
+
+class TestRegistryShape:
+    def test_shanghai_opcode_count(self):
+        assert len(OPCODES) == SHANGHAI_OPCODE_COUNT == 144
+
+    def test_values_are_unique_and_in_byte_range(self):
+        assert all(0 <= value <= 0xFF for value in OPCODES)
+        assert len({op.mnemonic for op in OPCODES.values()}) == 144
+
+    def test_push_family_is_33_wide(self):
+        pushes = [op for op in OPCODES.values() if op.is_push]
+        assert len(pushes) == 33
+        assert {op.immediate_size for op in pushes} == set(range(33))
+
+    def test_dup_swap_log_families(self):
+        assert sum(op.category == "dup" for op in OPCODES.values()) == 16
+        assert sum(op.category == "swap" for op in OPCODES.values()) == 16
+        assert sum(op.category == "log" for op in OPCODES.values()) == 5
+
+    def test_undefined_gaps_stay_undefined(self):
+        # 0x0C-0x0F, 0x1E-0x1F, 0x21-0x2F, 0x49-0x4F, 0xA5-0xEF, 0xF6-0xF9, 0xFB-0xFC
+        for value in (0x0C, 0x1E, 0x21, 0x49, 0xA5, 0xF6, 0xFB):
+            assert opcode_by_value(value) is None
+
+
+class TestPaperTableI:
+    """Spot-check the rows printed in Table I of the paper."""
+
+    @pytest.mark.parametrize(
+        "value, name, gas",
+        [
+            (0x00, "STOP", 0),
+            (0x01, "ADD", 3),
+            (0x02, "MUL", 5),
+            (0xFD, "REVERT", 0),
+            (0xFF, "SELFDESTRUCT", 5000),
+        ],
+    )
+    def test_static_rows(self, value, name, gas):
+        opcode = OPCODES[value]
+        assert opcode.mnemonic == name
+        assert opcode.gas == gas
+
+    def test_invalid_gas_is_nan(self):
+        invalid = OPCODES[0xFE]
+        assert invalid.mnemonic == "INVALID"
+        assert invalid.gas is None
+        assert math.isnan(invalid.gas_or_nan)
+
+    def test_push0_is_shanghai_addition(self):
+        push0 = OPCODES[0x5F]
+        assert push0.mnemonic == "PUSH0"
+        assert push0.immediate_size == 0
+        assert push0.pushes == 1
+
+
+class TestLookups:
+    def test_by_name_roundtrip(self):
+        for opcode in OPCODES.values():
+            assert opcode_by_name(opcode.mnemonic) is opcode
+
+    def test_by_name_is_case_insensitive(self):
+        assert opcode_by_name("mstore").mnemonic == "MSTORE"
+
+    def test_legacy_aliases(self):
+        assert opcode_by_name("KECCAK256").mnemonic == "SHA3"
+        assert opcode_by_name("DIFFICULTY").mnemonic == "PREVRANDAO"
+        assert opcode_by_name("SUICIDE").mnemonic == "SELFDESTRUCT"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            opcode_by_name("NOTANOPCODE")
+
+    @pytest.mark.parametrize("width", [0, 1, 16, 32])
+    def test_push_opcode_widths(self, width):
+        opcode = push_opcode(width)
+        assert opcode.immediate_size == width
+        assert opcode.value == 0x5F + width
+
+    @pytest.mark.parametrize("bad", [-1, 33])
+    def test_push_opcode_rejects_bad_width(self, bad):
+        with pytest.raises(ValueError):
+            push_opcode(bad)
+
+    def test_dup_swap_log_helpers(self):
+        assert dup_opcode(1).mnemonic == "DUP1"
+        assert dup_opcode(16).mnemonic == "DUP16"
+        assert swap_opcode(3).mnemonic == "SWAP3"
+        assert log_opcode(3).mnemonic == "LOG3"
+        assert log_opcode(3).gas == 1500
+        with pytest.raises(ValueError):
+            dup_opcode(17)
+        with pytest.raises(ValueError):
+            swap_opcode(0)
+        with pytest.raises(ValueError):
+            log_opcode(5)
+
+
+class TestStackEffects:
+    def test_dup_grows_stack_by_one(self):
+        for n in range(1, 17):
+            opcode = dup_opcode(n)
+            assert opcode.pushes - opcode.pops == 1
+
+    def test_swap_is_stack_neutral(self):
+        for n in range(1, 17):
+            opcode = swap_opcode(n)
+            assert opcode.pushes == opcode.pops
+
+    def test_call_pops_seven(self):
+        assert opcode_by_name("CALL").pops == 7
+        assert opcode_by_name("DELEGATECALL").pops == 6
+        assert opcode_by_name("STATICCALL").pops == 6
+
+
+class TestPredicates:
+    def test_is_push_range(self):
+        assert is_push(0x5F) and is_push(0x7F)
+        assert not is_push(0x5E) and not is_push(0x80)
+
+    def test_terminators(self):
+        for name in ("STOP", "RETURN", "REVERT", "INVALID", "SELFDESTRUCT", "JUMP"):
+            assert is_terminator(opcode_by_name(name).value)
+        assert not is_terminator(opcode_by_name("JUMPI").value)
+
+    def test_total_static_gas(self):
+        # PUSH1 PUSH1 MSTORE = 3 + 3 + 3
+        assert total_static_gas([0x60, 0x60, 0x52]) == 9
+
+    def test_total_static_gas_nan_propagates(self):
+        assert math.isnan(total_static_gas([0x60, 0xFE]))
+        assert math.isnan(total_static_gas([0x0C]))  # undefined byte

@@ -1,0 +1,73 @@
+"""Tests for the HSC opcode-histogram extractor."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.features.histogram import OpcodeHistogramExtractor
+
+PROLOGUE = bytes.fromhex("6080604052")  # PUSH1 PUSH1 MSTORE
+STOP_ONLY = b"\x00"
+
+
+class TestFitTransform:
+    def test_vocabulary_from_training_set(self):
+        extractor = OpcodeHistogramExtractor().fit([PROLOGUE])
+        assert set(extractor.vocabulary_) == {"PUSH1", "MSTORE"}
+        assert extractor.feature_names == sorted(["PUSH1", "MSTORE"])
+
+    def test_counts(self):
+        extractor = OpcodeHistogramExtractor().fit([PROLOGUE])
+        matrix = extractor.transform([PROLOGUE])
+        row = dict(zip(extractor.feature_names, matrix[0]))
+        assert row["PUSH1"] == 2.0
+        assert row["MSTORE"] == 1.0
+
+    def test_unseen_opcodes_ignored(self):
+        extractor = OpcodeHistogramExtractor().fit([PROLOGUE])
+        matrix = extractor.transform([STOP_ONLY])  # STOP not in vocabulary
+        assert matrix.shape == (1, 2)
+        assert np.all(matrix == 0.0)
+
+    def test_counts_are_raw_not_normalized(self):
+        extractor = OpcodeHistogramExtractor().fit([PROLOGUE * 3])
+        matrix = extractor.transform([PROLOGUE * 3])
+        assert matrix.max() == 6.0  # raw occurrence counts
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            OpcodeHistogramExtractor().transform([PROLOGUE])
+        with pytest.raises(RuntimeError):
+            __ = OpcodeHistogramExtractor().feature_names
+
+    def test_fit_transform_equals_fit_then_transform(self):
+        codes = [PROLOGUE, STOP_ONLY, PROLOGUE + STOP_ONLY]
+        a = OpcodeHistogramExtractor().fit_transform(codes)
+        extractor = OpcodeHistogramExtractor().fit(codes)
+        b = extractor.transform(codes)
+        assert np.array_equal(a, b)
+
+    def test_is_fitted_flag(self):
+        extractor = OpcodeHistogramExtractor()
+        assert not extractor.is_fitted
+        extractor.fit([PROLOGUE])
+        assert extractor.is_fitted
+
+
+class TestProperties:
+    @given(st.lists(st.binary(min_size=1, max_size=64), min_size=1, max_size=8))
+    def test_row_sums_bounded_by_instruction_count(self, codes):
+        extractor = OpcodeHistogramExtractor().fit(codes)
+        matrix = extractor.transform(codes)
+        assert matrix.shape[0] == len(codes)
+        assert np.all(matrix >= 0)
+        # Each instruction contributes at most one count.
+        for row, code in zip(matrix, codes):
+            assert row.sum() <= len(code)
+
+    @given(st.lists(st.binary(min_size=1, max_size=64), min_size=1, max_size=8))
+    def test_self_transform_never_all_zero(self, codes):
+        extractor = OpcodeHistogramExtractor().fit(codes)
+        matrix = extractor.transform(codes)
+        assert np.all(matrix.sum(axis=1) > 0)

@@ -1,0 +1,109 @@
+"""Tests for the R2D2 and frequency image encoders."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.features.image import (
+    FrequencyImageEncoder,
+    pixels_needed,
+    rgb_image,
+    rgb_images,
+)
+
+
+class TestRgbImage:
+    def test_shape_and_range(self):
+        image = rgb_image(bytes(range(256)), size=16)
+        assert image.shape == (16, 16, 3)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_byte_to_pixel_mapping(self):
+        image = rgb_image(b"\xff\x00\x80", size=4)
+        assert image[0, 0, 0] == pytest.approx(1.0)
+        assert image[0, 0, 1] == pytest.approx(0.0)
+        assert image[0, 0, 2] == pytest.approx(128 / 255)
+
+    def test_zero_padding(self):
+        image = rgb_image(b"\xff", size=4)
+        assert image[0, 0, 0] == pytest.approx(1.0)
+        assert image.sum() == pytest.approx(1.0)  # everything else zero
+
+    def test_truncation_beyond_capacity(self):
+        long_code = b"\x01" * 10_000
+        image = rgb_image(long_code, size=4)
+        assert image.shape == (4, 4, 3)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            rgb_image(b"\x00", size=0)
+
+    def test_batch_stacking(self):
+        batch = rgb_images([b"\x01", b"\x02\x03"], size=8)
+        assert batch.shape == (2, 8, 8, 3)
+
+    @given(st.binary(max_size=512), st.integers(min_value=1, max_value=16))
+    def test_deterministic(self, code, size):
+        assert np.array_equal(rgb_image(code, size), rgb_image(code, size))
+
+    def test_pixels_needed(self):
+        assert pixels_needed(b"") == 1
+        assert pixels_needed(b"\x00" * 3) == 1
+        assert pixels_needed(b"\x00" * 48) == 4
+
+
+class TestFrequencyEncoder:
+    PROLOGUE = bytes.fromhex("6080604052")
+
+    def test_fit_then_transform_shape(self):
+        encoder = FrequencyImageEncoder(size=8).fit([self.PROLOGUE])
+        image = encoder.transform_one(self.PROLOGUE)
+        assert image.shape == (8, 8, 3)
+
+    def test_most_frequent_gets_max_intensity(self):
+        # PUSH1 occurs twice, MSTORE once → PUSH1 pixels R == 1.0.
+        encoder = FrequencyImageEncoder(size=4).fit([self.PROLOGUE])
+        image = encoder.transform_one(self.PROLOGUE)
+        flat = image.reshape(-1, 3)
+        assert flat[0, 0] == pytest.approx(1.0)   # PUSH1 mnemonic channel
+        assert flat[2, 0] == pytest.approx(0.5)   # MSTORE is half as frequent
+
+    def test_operand_channel(self):
+        encoder = FrequencyImageEncoder(size=4).fit([self.PROLOGUE])
+        image = encoder.transform_one(self.PROLOGUE)
+        flat = image.reshape(-1, 3)
+        # Operands 0x80 and 0x40 appear once each; "NaN" (MSTORE) once too.
+        assert flat[0, 1] == pytest.approx(1.0)
+        assert flat[1, 1] == pytest.approx(1.0)
+
+    def test_unseen_category_is_zero(self):
+        encoder = FrequencyImageEncoder(size=4).fit([self.PROLOGUE])
+        image = encoder.transform_one(b"\x01")  # ADD never seen in training
+        assert image.reshape(-1, 3)[0, 0] == 0.0
+
+    def test_lookup_table_frozen_after_fit(self):
+        encoder = FrequencyImageEncoder(size=4).fit([self.PROLOGUE])
+        before = encoder.transform_one(self.PROLOGUE).copy()
+        encoder.transform([b"\x01\x02", b"\x03"])
+        after = encoder.transform_one(self.PROLOGUE)
+        assert np.array_equal(before, after)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            FrequencyImageEncoder(size=4).transform_one(b"\x00")
+
+    def test_truncation_at_capacity(self):
+        encoder = FrequencyImageEncoder(size=2).fit([b"\x01" * 100])
+        image = encoder.transform_one(b"\x01" * 100)
+        assert image.shape == (2, 2, 3)
+        assert np.all(image[:, :, 0] == 1.0)  # all four pixels filled
+
+    def test_batch(self):
+        encoder = FrequencyImageEncoder(size=4).fit([self.PROLOGUE])
+        batch = encoder.transform([self.PROLOGUE, b"\x00"])
+        assert batch.shape == (2, 4, 4, 3)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyImageEncoder(size=0)

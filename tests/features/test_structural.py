@@ -1,0 +1,95 @@
+"""Tests for the CFG-derived structural features."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evm.assembler import Assembler, assemble
+from repro.features.structural import (
+    STRUCTURAL_FEATURE_NAMES,
+    StructuralFeatureExtractor,
+)
+
+
+@pytest.fixture
+def extractor():
+    return StructuralFeatureExtractor()
+
+
+def feature(vector, name):
+    return vector[STRUCTURAL_FEATURE_NAMES.index(name)]
+
+
+class TestVectors:
+    def test_width_and_names(self, extractor):
+        vector = extractor.transform_one(assemble(["STOP"]))
+        assert vector.shape == (len(STRUCTURAL_FEATURE_NAMES),)
+        assert extractor.feature_names == list(STRUCTURAL_FEATURE_NAMES)
+
+    def test_empty_bytecode_is_zero(self, extractor):
+        assert np.all(extractor.transform_one(b"") == 0)
+
+    def test_straight_line(self, extractor):
+        vector = extractor.transform_one(
+            assemble([("PUSH1", 1), ("PUSH1", 2), "ADD", "STOP"])
+        )
+        assert feature(vector, "block_count") == 1
+        assert feature(vector, "mean_block_length") == 4
+        assert feature(vector, "stop_block_share") == 1.0
+
+    def test_branching_increases_structure(self, extractor):
+        asm = (
+            Assembler()
+            .emit("CALLVALUE")
+            .push_label("fail")
+            .emit("JUMPI")
+            .emit("STOP")
+            .label("fail")
+            .push(0).emit("DUP1").emit("REVERT")
+        )
+        vector = extractor.transform_one(asm.assemble())
+        assert feature(vector, "block_count") == 3
+        assert feature(vector, "cyclomatic_complexity") >= 2
+        assert feature(vector, "revert_block_share") > 0
+
+    def test_loop_counted(self, extractor):
+        asm = (
+            Assembler()
+            .label("loop").push(1).push_label("loop").emit("JUMPI")
+            .emit("STOP")
+        )
+        vector = extractor.transform_one(asm.assemble())
+        assert feature(vector, "loop_count") == 1
+
+    def test_dead_code_share(self, extractor):
+        code = assemble(["STOP"]) + bytes.fromhex("60016002")
+        vector = extractor.transform_one(code)
+        assert feature(vector, "dead_block_share") > 0
+
+    def test_indirect_jump_share(self, extractor):
+        code = assemble([("PUSH1", 0), "MLOAD", "JUMP"])
+        vector = extractor.transform_one(code)
+        assert feature(vector, "indirect_jump_share") > 0
+
+    def test_dispatcher_fanout_tracks_functions(self, extractor):
+        from repro.datagen.families import FAMILIES, generate_contract
+        from repro.datagen.solidity_like import Environment
+
+        env = Environment(rng=np.random.default_rng(4), tokens=(0xCC << 96,))
+        bytecode, __ = generate_contract(FAMILIES["erc20_token"], env, 0)
+        vector = extractor.transform_one(bytecode)
+        assert feature(vector, "dispatcher_fanout") >= 4
+
+    def test_batch_shape(self, extractor):
+        matrix = extractor.transform([assemble(["STOP"]), b"\x00\x00"])
+        assert matrix.shape == (2, len(STRUCTURAL_FEATURE_NAMES))
+
+    def test_fit_is_noop(self, extractor):
+        assert extractor.fit([b"\x00"]) is extractor
+
+    @given(st.binary(max_size=200))
+    def test_total_and_finite(self, code):
+        vector = StructuralFeatureExtractor().transform_one(code)
+        assert np.all(np.isfinite(vector))
+        assert np.all(vector >= 0)

@@ -1,0 +1,33 @@
+"""Shared fixtures: small synthetic classification problems."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def blobs():
+    """Two well-separated Gaussian blobs (easy problem)."""
+    rng = np.random.default_rng(0)
+    n = 120
+    X0 = rng.normal(loc=-2.0, scale=1.0, size=(n, 5))
+    X1 = rng.normal(loc=2.0, scale=1.0, size=(n, 5))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * n + [1] * n)
+    order = rng.permutation(len(y))
+    return X[order], y[order]
+
+
+@pytest.fixture(scope="session")
+def xor_problem():
+    """2-D XOR — linearly inseparable, solvable by trees/kernels."""
+    rng = np.random.default_rng(1)
+    n = 400
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    X = X + rng.normal(scale=0.05, size=X.shape)
+    return X, y
+
+
+def split(X, y, fraction=0.75):
+    cut = int(len(y) * fraction)
+    return X[:cut], y[:cut], X[cut:], y[cut:]

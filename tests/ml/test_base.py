@@ -1,0 +1,57 @@
+"""Tests for the estimator protocol."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import check_array, check_X_y, clone
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.knn import KNeighborsClassifier
+
+
+class TestParams:
+    def test_get_params(self):
+        model = KNeighborsClassifier(n_neighbors=3)
+        assert model.get_params() == {"n_neighbors": 3, "weights": "uniform"}
+
+    def test_set_params(self):
+        model = KNeighborsClassifier()
+        model.set_params(n_neighbors=9)
+        assert model.n_neighbors == 9
+
+    def test_set_unknown_param_raises(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier().set_params(bogus=1)
+
+    def test_clone_copies_params_not_state(self):
+        model = RandomForestClassifier(n_estimators=3, random_state=1)
+        model.fit(np.eye(4), [0, 0, 1, 1])
+        copy = clone(model)
+        assert copy.get_params() == model.get_params()
+        assert not hasattr(copy, "trees_")
+
+
+class TestValidation:
+    def test_check_array_promotes_1d(self):
+        assert check_array([1.0, 2.0]).shape == (1, 2)
+
+    def test_check_array_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_array([[np.nan, 1.0]])
+
+    def test_check_array_rejects_3d(self):
+        with pytest.raises(ValueError):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_check_X_y_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.eye(3), [0, 1])
+
+    def test_check_X_y_rejects_nonbinary(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.eye(3), [0, 1, 2])
+
+    def test_score_is_accuracy(self):
+        model = KNeighborsClassifier(n_neighbors=1)
+        X = np.array([[0.0], [1.0]])
+        model.fit(X, [0, 1])
+        assert model.score(X, [0, 1]) == 1.0

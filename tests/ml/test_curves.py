@@ -1,0 +1,230 @@
+"""Tests for ROC / precision–recall curves and operating points."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.curves import (
+    OperatingPoint,
+    auc,
+    average_precision_score,
+    detection_error_tradeoff,
+    operating_point_at_fpr,
+    operating_point_at_precision,
+    precision_recall_curve,
+    roc_auc_score,
+    roc_curve,
+)
+
+# Perfectly separable: every positive outscores every negative.
+SEPARABLE_TRUE = np.array([0, 0, 0, 1, 1, 1])
+SEPARABLE_SCORE = np.array([0.1, 0.2, 0.3, 0.7, 0.8, 0.9])
+
+
+def labeled_scores(min_size=4):
+    """Strategy producing (y_true, scores) with both classes present."""
+    return st.integers(2, 24).flatmap(
+        lambda half: st.tuples(
+            st.just(np.array([0] * half + [1] * half)),
+            st.lists(
+                st.floats(-5, 5, allow_nan=False),
+                min_size=2 * half,
+                max_size=2 * half,
+            ).map(np.array),
+        )
+    )
+
+
+class TestRocCurve:
+    def test_separable_is_perfect(self):
+        fpr, tpr, thresholds = roc_curve(SEPARABLE_TRUE, SEPARABLE_SCORE)
+        assert roc_auc_score(SEPARABLE_TRUE, SEPARABLE_SCORE) == 1.0
+        assert auc(fpr, tpr) == pytest.approx(1.0)
+        assert thresholds[0] == np.inf
+
+    def test_anti_separable_is_zero(self):
+        assert roc_auc_score(SEPARABLE_TRUE, -SEPARABLE_SCORE) == 0.0
+
+    def test_starts_at_origin_ends_at_one_one(self):
+        fpr, tpr, _ = roc_curve(SEPARABLE_TRUE, SEPARABLE_SCORE)
+        assert (fpr[0], tpr[0]) == (0.0, 0.0)
+        assert (fpr[-1], tpr[-1]) == (1.0, 1.0)
+
+    def test_constant_scores_give_single_jump(self):
+        fpr, tpr, _ = roc_curve([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5])
+        # Only two points: flag nothing / flag everything.
+        assert fpr.tolist() == [0.0, 1.0]
+        assert tpr.tolist() == [0.0, 1.0]
+
+    def test_ties_counted_half_in_auc(self):
+        # One positive tied with one negative: AUC = 0.5.
+        assert roc_auc_score([0, 1], [0.4, 0.4]) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_curve([1, 1], [0.1, 0.2])
+        with pytest.raises(ValueError):
+            roc_auc_score([0, 0], [0.1, 0.2])
+
+    def test_known_hand_computed_value(self):
+        y = [0, 0, 1, 1]
+        s = [0.1, 0.4, 0.35, 0.8]
+        # Pairs: (0.35 vs 0.1)=win, (0.35 vs 0.4)=loss,
+        #        (0.8 vs 0.1)=win,  (0.8 vs 0.4)=win  -> 3/4.
+        assert roc_auc_score(y, s) == pytest.approx(0.75)
+
+    def test_nan_scores_rejected(self):
+        with pytest.raises(ValueError):
+            roc_curve([0, 1], [np.nan, 0.2])
+
+
+class TestRocProperties:
+    @given(labeled_scores())
+    @settings(max_examples=60, deadline=None)
+    def test_auc_in_unit_interval(self, data):
+        y_true, scores = data
+        assert 0.0 <= roc_auc_score(y_true, scores) <= 1.0
+
+    @given(labeled_scores())
+    @settings(max_examples=60, deadline=None)
+    def test_auc_invariant_under_monotone_transform(self, data):
+        y_true, scores = data
+        base = roc_auc_score(y_true, scores)
+        # Scale by a power of two: exact in floating point, so the tie
+        # structure of the scores is preserved.
+        transformed = roc_auc_score(y_true, 4.0 * scores)
+        assert transformed == pytest.approx(base)
+
+    @given(labeled_scores())
+    @settings(max_examples=60, deadline=None)
+    def test_auc_complement_under_score_negation(self, data):
+        y_true, scores = data
+        direct = roc_auc_score(y_true, scores)
+        flipped = roc_auc_score(y_true, -scores)
+        assert direct + flipped == pytest.approx(1.0)
+
+    @given(labeled_scores())
+    @settings(max_examples=60, deadline=None)
+    def test_rank_auc_matches_trapezoid_auc(self, data):
+        y_true, scores = data
+        fpr, tpr, _ = roc_curve(y_true, scores)
+        assert roc_auc_score(y_true, scores) == pytest.approx(auc(fpr, tpr))
+
+    @given(labeled_scores())
+    @settings(max_examples=60, deadline=None)
+    def test_curves_are_monotone(self, data):
+        y_true, scores = data
+        fpr, tpr, thresholds = roc_curve(y_true, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+        assert np.all(np.diff(thresholds) < 0)
+
+
+class TestPrecisionRecallCurve:
+    def test_separable(self):
+        precision, recall, _ = precision_recall_curve(
+            SEPARABLE_TRUE, SEPARABLE_SCORE
+        )
+        # Loosest threshold flags everything: precision = prevalence.
+        assert precision[0] == pytest.approx(0.5)
+        assert recall[0] == 1.0
+        assert (precision[-1], recall[-1]) == (1.0, 0.0)
+        assert average_precision_score(SEPARABLE_TRUE, SEPARABLE_SCORE) == 1.0
+
+    def test_random_scores_ap_near_prevalence(self):
+        rng = np.random.default_rng(0)
+        y = np.array([0] * 500 + [1] * 500)
+        s = rng.random(1000)
+        ap = average_precision_score(y, s)
+        assert 0.4 < ap < 0.6  # prevalence is 0.5
+
+    def test_requires_positives(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve([0, 0], [0.2, 0.4])
+
+    @given(labeled_scores())
+    @settings(max_examples=60, deadline=None)
+    def test_ap_in_unit_interval_and_recall_monotone(self, data):
+        y_true, scores = data
+        precision, recall, _ = precision_recall_curve(y_true, scores)
+        assert np.all(np.diff(recall) <= 0)
+        assert np.all((precision >= 0) & (precision <= 1))
+        assert 0.0 <= average_precision_score(y_true, scores) <= 1.0
+
+
+class TestAucHelper:
+    def test_rejects_non_monotone_x(self):
+        with pytest.raises(ValueError):
+            auc([0.0, 1.0, 0.5], [0.0, 0.5, 1.0])
+
+    def test_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            auc([0.0], [1.0])
+
+    def test_unit_square(self):
+        assert auc([0.0, 1.0], [1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_decreasing_x_allowed(self):
+        assert auc([1.0, 0.0], [1.0, 1.0]) == pytest.approx(1.0)
+
+
+class TestOperatingPoints:
+    def test_precision_floor_met(self):
+        point = operating_point_at_precision(
+            SEPARABLE_TRUE, SEPARABLE_SCORE, min_precision=1.0
+        )
+        assert isinstance(point, OperatingPoint)
+        assert point.precision == 1.0
+        assert point.recall == 1.0
+
+    def test_precision_floor_infeasible(self):
+        # Scores anti-correlated with labels: precision 1.0 unreachable
+        # at any threshold that flags something.
+        y = np.array([1, 1, 0, 0])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        assert operating_point_at_precision(y, s, min_precision=0.9) is None
+
+    def test_fpr_ceiling(self):
+        point = operating_point_at_fpr(
+            SEPARABLE_TRUE, SEPARABLE_SCORE, max_fpr=0.0
+        )
+        assert point.fpr == 0.0
+        assert point.recall == 1.0
+
+    def test_fpr_ceiling_degenerate(self):
+        # Every realisable threshold flags the top-scoring benign sample.
+        y = np.array([1, 0])
+        s = np.array([0.2, 0.9])
+        point = operating_point_at_fpr(y, s, max_fpr=0.4)
+        assert point.recall == 0.0
+        assert point.fpr == 0.0
+
+    def test_as_dict_keys(self):
+        point = operating_point_at_fpr(SEPARABLE_TRUE, SEPARABLE_SCORE, 1.0)
+        assert set(point.as_dict()) == {
+            "threshold", "precision", "recall", "fpr",
+        }
+
+    @given(labeled_scores(), st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_fpr_constraint_respected(self, data, ceiling):
+        y_true, scores = data
+        point = operating_point_at_fpr(y_true, scores, ceiling)
+        assert point.fpr <= ceiling + 1e-12
+
+    @given(labeled_scores(), st.floats(0.05, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_precision_constraint_respected(self, data, floor):
+        y_true, scores = data
+        point = operating_point_at_precision(y_true, scores, floor)
+        if point is not None:
+            assert point.precision >= floor - 1e-12
+
+
+class TestDet:
+    def test_fnr_complements_tpr(self):
+        fpr, fnr, _ = detection_error_tradeoff(SEPARABLE_TRUE, SEPARABLE_SCORE)
+        _, tpr, _ = roc_curve(SEPARABLE_TRUE, SEPARABLE_SCORE)
+        assert np.allclose(fnr, 1.0 - tpr)
+        assert np.all(np.diff(fnr) <= 0)

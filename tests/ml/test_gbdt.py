@@ -1,0 +1,112 @@
+"""Tests for the three gradient-boosting variants."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gbdt import (
+    CatBoostClassifier,
+    LightGBMClassifier,
+    XGBoostClassifier,
+    _Binner,
+)
+from repro.ml.metrics import accuracy_score
+
+from tests.ml.conftest import split
+
+ALL_BOOSTERS = [
+    lambda: XGBoostClassifier(n_estimators=30, max_depth=3),
+    lambda: LightGBMClassifier(n_estimators=30, num_leaves=7),
+    lambda: CatBoostClassifier(n_estimators=30, depth=3),
+]
+BOOSTER_IDS = ["xgboost", "lightgbm", "catboost"]
+
+
+class TestBinner:
+    def test_bins_are_monotone(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 2))
+        binner = _Binner(16).fit(X)
+        binned = binner.transform(X)
+        order = np.argsort(X[:, 0])
+        assert np.all(np.diff(binned[order, 0]) >= 0)
+
+    def test_constant_feature_single_bin(self):
+        X = np.ones((50, 1))
+        binned = _Binner(16).fit(X).transform(X)
+        assert len(np.unique(binned)) == 1
+
+    def test_bin_range(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 1))
+        binned = _Binner(8).fit(X).transform(X)
+        assert binned.min() >= 0
+        assert binned.max() < 8
+
+
+@pytest.mark.parametrize("make", ALL_BOOSTERS, ids=BOOSTER_IDS)
+class TestAllBoosters:
+    def test_fits_blobs(self, make, blobs):
+        X, y = blobs
+        Xtr, ytr, Xte, yte = split(X, y)
+        model = make().fit(Xtr, ytr)
+        assert accuracy_score(yte, model.predict(Xte)) > 0.95
+
+    def test_solves_xor(self, make, xor_problem):
+        X, y = xor_problem
+        Xtr, ytr, Xte, yte = split(X, y)
+        model = make().fit(Xtr, ytr)
+        assert accuracy_score(yte, model.predict(Xte)) > 0.85
+
+    def test_probabilities_valid(self, make, blobs):
+        X, y = blobs
+        proba = make().fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0) and np.all(proba <= 1)
+
+    def test_more_rounds_reduce_training_error(self, make, xor_problem):
+        X, y = xor_problem
+        few = make().set_params(n_estimators=3).fit(X, y)
+        many = make().set_params(n_estimators=40).fit(X, y)
+        assert many.score(X, y) >= few.score(X, y)
+
+    def test_base_score_matches_prior(self, make):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = np.array([0] * 8 + [1] * 2)
+        model = make().set_params(n_estimators=1).fit(X, y)
+        expected = np.log(0.2 / 0.8)
+        assert model.base_score_ == pytest.approx(expected, abs=1e-6)
+
+    def test_single_class_edges_handled(self, make):
+        X = np.arange(8, dtype=float).reshape(-1, 1)
+        model = make().set_params(n_estimators=2).fit(X, np.zeros(8, dtype=int))
+        assert np.all(model.predict(X) == 0)
+
+
+class TestVariantSpecifics:
+    def test_xgboost_respects_max_depth(self, blobs):
+        X, y = blobs
+        model = XGBoostClassifier(n_estimators=2, max_depth=1).fit(X, y)
+        # depth-1 tree has at most 3 nodes
+        assert all(len(tree.features) <= 3 for tree in model.trees_)
+
+    def test_lightgbm_respects_num_leaves(self, xor_problem):
+        X, y = xor_problem
+        model = LightGBMClassifier(n_estimators=2, num_leaves=4).fit(X, y)
+        for tree in model.trees_:
+            leaves = sum(1 for f in tree.features if f == -1)
+            assert leaves <= 4
+
+    def test_catboost_trees_are_oblivious(self, xor_problem):
+        X, y = xor_problem
+        model = CatBoostClassifier(n_estimators=2, depth=3).fit(X, y)
+        for tree in model.trees_:
+            assert len(tree.conditions) <= 3
+            assert len(tree.leaf_weights) == 2 ** len(tree.conditions)
+
+    def test_learning_rate_scales_updates(self, blobs):
+        X, y = blobs
+        slow = XGBoostClassifier(n_estimators=1, learning_rate=0.01).fit(X, y)
+        fast = XGBoostClassifier(n_estimators=1, learning_rate=1.0).fit(X, y)
+        spread_slow = np.ptp(slow.decision_function(X))
+        spread_fast = np.ptp(fast.decision_function(X))
+        assert spread_fast > spread_slow

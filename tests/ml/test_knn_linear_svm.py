@@ -1,0 +1,127 @@
+"""Tests for kNN, logistic regression and the SVM."""
+
+import numpy as np
+import pytest
+
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.linear import LogisticRegression
+from repro.ml.metrics import accuracy_score
+from repro.ml.svm import SVC
+
+from tests.ml.conftest import split
+
+
+class TestKNN:
+    def test_one_neighbor_memorizes(self, blobs):
+        X, y = blobs
+        model = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_fits_blobs(self, blobs):
+        X, y = blobs
+        Xtr, ytr, Xte, yte = split(X, y)
+        model = KNeighborsClassifier(n_neighbors=5).fit(Xtr, ytr)
+        assert accuracy_score(yte, model.predict(Xte)) > 0.95
+
+    def test_k_clamped_to_train_size(self):
+        X = np.array([[0.0], [1.0]])
+        model = KNeighborsClassifier(n_neighbors=50).fit(X, [0, 1])
+        proba = model.predict_proba([[0.0]])
+        assert proba[0, 1] == pytest.approx(0.5)
+
+    def test_distance_weighting_prefers_closest(self):
+        X = np.array([[0.0], [0.1], [10.0], [10.1], [10.2]])
+        y = np.array([1, 1, 0, 0, 0])
+        uniform = KNeighborsClassifier(n_neighbors=5).fit(X, y)
+        weighted = KNeighborsClassifier(n_neighbors=5, weights="distance").fit(X, y)
+        probe = [[0.05]]
+        assert uniform.predict(probe)[0] == 0  # majority is class 0
+        assert weighted.predict(probe)[0] == 1  # closeness wins
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(weights="nope")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            KNeighborsClassifier().predict_proba([[0.0]])
+
+
+class TestLogisticRegression:
+    def test_fits_blobs(self, blobs):
+        X, y = blobs
+        Xtr, ytr, Xte, yte = split(X, y)
+        model = LogisticRegression().fit(Xtr, ytr)
+        assert accuracy_score(yte, model.predict(Xte)) > 0.95
+
+    def test_cannot_solve_xor(self, xor_problem):
+        X, y = xor_problem
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) < 0.7  # linear model ≈ chance on XOR
+
+    def test_probabilities_monotone_along_decision_axis(self):
+        X = np.linspace(-3, 3, 50).reshape(-1, 1)
+        y = (X[:, 0] > 0).astype(int)
+        model = LogisticRegression().fit(X, y)
+        proba = model.predict_proba(X)[:, 1]
+        assert np.all(np.diff(proba) >= -1e-9)
+
+    def test_regularization_shrinks_weights(self, blobs):
+        X, y = blobs
+        loose = LogisticRegression(C=1000.0).fit(X, y)
+        tight = LogisticRegression(C=0.001).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_constant_feature_is_safe(self):
+        X = np.column_stack([np.ones(20), np.linspace(-1, 1, 20)])
+        y = (X[:, 1] > 0).astype(int)
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().decision_function([[0.0]])
+
+
+class TestSVC:
+    def test_fits_blobs(self, blobs):
+        X, y = blobs
+        Xtr, ytr, Xte, yte = split(X, y)
+        model = SVC(random_state=0).fit(Xtr, ytr)
+        assert accuracy_score(yte, model.predict(Xte)) > 0.95
+
+    def test_rbf_solves_xor(self, xor_problem):
+        X, y = xor_problem
+        Xtr, ytr, Xte, yte = split(X, y)
+        model = SVC(kernel="rbf", gamma=2.0, n_components=512, random_state=0)
+        model.fit(Xtr, ytr)
+        assert accuracy_score(yte, model.predict(Xte)) > 0.9
+
+    def test_linear_kernel_fails_xor(self, xor_problem):
+        X, y = xor_problem
+        model = SVC(kernel="linear").fit(X, y)
+        assert model.score(X, y) < 0.7
+
+    def test_gamma_scale_heuristic(self, blobs):
+        X, y = blobs
+        model = SVC(gamma="scale", random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_deterministic_given_seed(self, blobs):
+        X, y = blobs
+        a = SVC(random_state=7).fit(X, y).decision_function(X)
+        b = SVC(random_state=7).fit(X, y).decision_function(X)
+        assert np.allclose(a, b)
+
+    def test_bad_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            SVC(kernel="poly")
+
+    def test_probabilities_valid(self, blobs):
+        X, y = blobs
+        proba = SVC(random_state=0).fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SVC().decision_function([[0.0]])

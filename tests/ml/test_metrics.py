@@ -1,0 +1,99 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    accuracy_score,
+    classification_metrics,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+
+Y_TRUE = np.array([1, 1, 1, 0, 0, 0, 1, 0])
+Y_PRED = np.array([1, 1, 0, 0, 0, 1, 1, 0])
+
+
+class TestKnownValues:
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(Y_TRUE, Y_PRED)
+        # TN=3 FP=1 / FN=1 TP=3
+        assert matrix.tolist() == [[3, 1], [1, 3]]
+
+    def test_accuracy(self):
+        assert accuracy_score(Y_TRUE, Y_PRED) == pytest.approx(6 / 8)
+
+    def test_precision(self):
+        assert precision_score(Y_TRUE, Y_PRED) == pytest.approx(3 / 4)
+
+    def test_recall(self):
+        assert recall_score(Y_TRUE, Y_PRED) == pytest.approx(3 / 4)
+
+    def test_f1(self):
+        assert f1_score(Y_TRUE, Y_PRED) == pytest.approx(3 / 4)
+
+    def test_bundle(self):
+        metrics = classification_metrics(Y_TRUE, Y_PRED)
+        assert metrics.accuracy == accuracy_score(Y_TRUE, Y_PRED)
+        assert metrics.f1 == f1_score(Y_TRUE, Y_PRED)
+        assert "acc=" in str(metrics)
+        assert set(metrics.as_dict()) == {"accuracy", "f1", "precision", "recall"}
+
+
+class TestEdgeCases:
+    def test_no_positive_predictions(self):
+        assert precision_score([1, 0], [0, 0]) == 0.0
+        assert f1_score([1, 0], [0, 0]) == 0.0
+
+    def test_no_positive_truth(self):
+        assert recall_score([0, 0], [1, 0]) == 0.0
+
+    def test_perfect(self):
+        metrics = classification_metrics([0, 1, 1], [0, 1, 1])
+        assert metrics.accuracy == metrics.f1 == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([0, 1], [0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestProperties:
+    @given(
+        st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                 min_size=1, max_size=100)
+    )
+    def test_all_metrics_in_unit_interval(self, pairs):
+        y_true = [a for a, __ in pairs]
+        y_pred = [b for __, b in pairs]
+        metrics = classification_metrics(y_true, y_pred)
+        for value in metrics.as_dict().values():
+            assert 0.0 <= value <= 1.0
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                 min_size=1, max_size=100)
+    )
+    def test_f1_between_min_and_max_of_pr(self, pairs):
+        y_true = [a for a, __ in pairs]
+        y_pred = [b for __, b in pairs]
+        precision = precision_score(y_true, y_pred)
+        recall = recall_score(y_true, y_pred)
+        f1 = f1_score(y_true, y_pred)
+        assert min(precision, recall) - 1e-12 <= f1 <= max(precision, recall) + 1e-12
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                 min_size=1, max_size=60)
+    )
+    def test_confusion_matrix_sums_to_n(self, pairs):
+        y_true = [a for a, __ in pairs]
+        y_pred = [b for __, b in pairs]
+        assert confusion_matrix(y_true, y_pred).sum() == len(pairs)

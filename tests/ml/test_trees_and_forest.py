@@ -1,0 +1,173 @@
+"""Tests for the CART tree and Random Forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import accuracy_score
+from repro.ml.tree import LEAF, DecisionTreeClassifier, best_gini_split
+from repro.ml.forest import RandomForestClassifier
+
+from tests.ml.conftest import split
+
+
+class TestBestGiniSplit:
+    def test_perfect_split_found(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        feature, threshold, gain = best_gini_split(X, y, np.array([0]), 1)
+        assert feature == 0
+        assert 1.0 < threshold < 2.0
+        assert gain == pytest.approx(0.5)  # gini 0.5 → 0
+
+    def test_constant_feature_yields_none(self):
+        X = np.ones((6, 1))
+        y = np.array([0, 1, 0, 1, 0, 1])
+        assert best_gini_split(X, y, np.array([0]), 1) is None
+
+    def test_min_samples_leaf_respected(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 1, 1, 1])
+        # A leaf size of 2 forbids the 1-vs-3 perfect split.
+        result = best_gini_split(X, y, np.array([0]), 2)
+        if result is not None:
+            __, threshold, __ = result
+            left = (X[:, 0] <= threshold).sum()
+            assert left >= 2 and len(y) - left >= 2
+
+    def test_picks_most_informative_feature(self):
+        rng = np.random.default_rng(0)
+        noise = rng.normal(size=40)
+        signal = np.array([0.0] * 20 + [1.0] * 20)
+        X = np.column_stack([noise, signal])
+        y = np.array([0] * 20 + [1] * 20)
+        feature, __, __ = best_gini_split(X, y, np.array([0, 1]), 1)
+        assert feature == 1
+
+
+class TestDecisionTree:
+    def test_fits_blobs(self, blobs):
+        X, y = blobs
+        Xtr, ytr, Xte, yte = split(X, y)
+        tree = DecisionTreeClassifier().fit(Xtr, ytr)
+        assert accuracy_score(yte, tree.predict(Xte)) > 0.95
+
+    def test_solves_xor(self, xor_problem):
+        X, y = xor_problem
+        Xtr, ytr, Xte, yte = split(X, y)
+        tree = DecisionTreeClassifier(max_depth=6).fit(Xtr, ytr)
+        assert accuracy_score(yte, tree.predict(Xte)) > 0.9
+
+    def test_pure_node_is_leaf(self):
+        tree = DecisionTreeClassifier().fit(np.eye(3), [1, 1, 1])
+        assert tree.node_count == 1
+        assert tree.children_left_[0] == LEAF
+
+    def test_max_depth_zero_is_stump_prior(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        tree = DecisionTreeClassifier(max_depth=0).fit(X, [0, 1, 1])
+        assert tree.node_count == 1
+        proba = tree.predict_proba([[5.0]])
+        assert proba[0, 1] == pytest.approx(2 / 3)
+
+    def test_max_depth_respected(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.max_depth_reached <= 2
+
+    def test_training_set_memorized_when_unbounded(self, xor_problem):
+        X, y = xor_problem
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert accuracy_score(y, tree.predict(X)) == 1.0
+
+    def test_probabilities_sum_to_one(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_feature_importances_concentrate_on_signal(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(200, 4))
+        y = (X[:, 2] > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        importances = tree.feature_importances_
+        assert importances.argmax() == 2
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_apply_returns_leaves(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        leaves = tree.apply(X)
+        assert np.all(tree.children_left_[leaves] == LEAF)
+
+    def test_flat_arrays_consistent(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        for node in range(tree.node_count):
+            left = tree.children_left_[node]
+            right = tree.children_right_[node]
+            assert (left == LEAF) == (right == LEAF)
+            if left != LEAF:
+                assert tree.n_node_samples_[node] == (
+                    tree.n_node_samples_[left] + tree.n_node_samples_[right]
+                )
+
+
+class TestRandomForest:
+    def test_fits_blobs(self, blobs):
+        X, y = blobs
+        Xtr, ytr, Xte, yte = split(X, y)
+        forest = RandomForestClassifier(n_estimators=20, random_state=0)
+        forest.fit(Xtr, ytr)
+        assert accuracy_score(yte, forest.predict(Xte)) > 0.95
+
+    def test_solves_xor_better_than_stump(self, xor_problem):
+        X, y = xor_problem
+        Xtr, ytr, Xte, yte = split(X, y)
+        forest = RandomForestClassifier(
+            n_estimators=30, max_features=None, random_state=0
+        ).fit(Xtr, ytr)
+        assert accuracy_score(yte, forest.predict(Xte)) > 0.9
+
+    def test_deterministic_given_seed(self, blobs):
+        X, y = blobs
+        a = RandomForestClassifier(n_estimators=5, random_state=3).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=3).fit(X, y)
+        assert np.array_equal(a.predict_proba(X), b.predict_proba(X))
+
+    def test_seed_changes_forest(self, blobs):
+        X, y = blobs
+        a = RandomForestClassifier(n_estimators=5, random_state=3).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=4).fit(X, y)
+        assert not np.array_equal(a.predict_proba(X), b.predict_proba(X))
+
+    def test_probability_averaging(self, blobs):
+        X, y = blobs
+        forest = RandomForestClassifier(n_estimators=7, random_state=0).fit(X, y)
+        manual = np.mean(
+            [tree.predict_proba(X) for tree in forest.trees_], axis=0
+        )
+        assert np.allclose(manual, forest.predict_proba(X))
+
+    def test_unfitted_raises(self, blobs):
+        X, __ = blobs
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict_proba(X)
+        with pytest.raises(RuntimeError):
+            __ = RandomForestClassifier().feature_importances_
+
+    def test_feature_importances(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(150, 3))
+        y = (X[:, 0] > 0).astype(int)
+        forest = RandomForestClassifier(
+            n_estimators=10, max_features=None, random_state=0
+        ).fit(X, y)
+        assert forest.feature_importances_.argmax() == 0
+
+    def test_no_bootstrap_mode(self, blobs):
+        X, y = blobs
+        forest = RandomForestClassifier(
+            n_estimators=3, bootstrap=False, random_state=0
+        ).fit(X, y)
+        assert forest.score(X, y) > 0.95

@@ -1,0 +1,16 @@
+"""Shared fixture: a small labeled bytecode dataset."""
+
+import pytest
+
+from repro.datagen.corpus import CorpusConfig, build_corpus
+from repro.datagen.dataset import Dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_split():
+    """A fast 80/40 train/test bytecode split (40+40 unique contracts)."""
+    corpus = build_corpus(
+        CorpusConfig(n_phishing=100, n_benign=100, seed=99, clone_factor=4.0)
+    )
+    dataset = Dataset.from_corpus(corpus, seed=3)
+    return dataset.train_test_split(0.3, seed=4)

@@ -1,0 +1,167 @@
+"""Tests for the vision, language and vulnerability-detection models.
+
+Deep models run with tiny budgets here: the goal is correctness of the
+fit/predict plumbing and above-chance learning, not Table II accuracy
+(see benchmarks/ for the calibrated runs).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import accuracy_score
+from repro.models import (
+    ESCORTClassifier,
+    EcaEfficientNetClassifier,
+    GPT2Classifier,
+    SCSGuardClassifier,
+    T5Classifier,
+    ViTClassifier,
+)
+from repro.models.escort import SIGNATURE_NAMES, vulnerability_signatures
+
+
+def tiny_vit(**overrides):
+    params = dict(image_size=16, dim=24, depth=1, epochs=10,
+                  augment_replicas=2, seed=0)
+    params.update(overrides)
+    return ViTClassifier(**params)
+
+
+class TestViT:
+    def test_bad_encoding_rejected(self):
+        with pytest.raises(ValueError):
+            ViTClassifier(encoding="hsv")
+
+    def test_r2d2_learns(self, tiny_split):
+        train, test = tiny_split
+        model = tiny_vit(encoding="r2d2", epochs=14)
+        model.fit(train.bytecodes, train.labels)
+        accuracy = accuracy_score(test.labels, model.predict(test.bytecodes))
+        assert accuracy > 0.55
+
+    def test_freq_encoder_fitted_on_train(self, tiny_split):
+        train, test = tiny_split
+        model = tiny_vit(encoding="freq", epochs=4)
+        model.fit(train.bytecodes, train.labels)
+        assert model._freq_encoder.is_fitted
+        proba = model.predict_proba(test.bytecodes)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_names(self):
+        assert tiny_vit(encoding="r2d2").name == "ViT+R2D2"
+        assert ViTClassifier(encoding="freq").name == "ViT+Freq"
+
+    def test_cls_pooling_mode_runs(self, tiny_split):
+        train, test = tiny_split
+        model = tiny_vit(pool="cls", epochs=2)
+        model.fit(train.bytecodes, train.labels)
+        assert model.predict(test.bytecodes).shape == (len(test.bytecodes),)
+
+
+class TestEcaEfficientNet:
+    def test_learns(self, tiny_split):
+        train, test = tiny_split
+        model = EcaEfficientNetClassifier(
+            image_size=16, widths=(8, 16, 24), epochs=12, seed=0
+        )
+        model.fit(train.bytecodes, train.labels)
+        accuracy = accuracy_score(test.labels, model.predict(test.bytecodes))
+        assert accuracy > 0.6
+
+    def test_batch_norm_mode_runs(self, tiny_split):
+        train, test = tiny_split
+        model = EcaEfficientNetClassifier(
+            image_size=16, widths=(8, 16), norm="batch", epochs=2, seed=0
+        )
+        model.fit(train.bytecodes, train.labels)
+        proba = model.predict_proba(test.bytecodes)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+class TestSCSGuard:
+    def test_learns(self, tiny_split):
+        train, test = tiny_split
+        model = SCSGuardClassifier(max_length=64, epochs=5, seed=0)
+        model.fit(train.bytecodes, train.labels)
+        accuracy = accuracy_score(test.labels, model.predict(test.bytecodes))
+        assert accuracy > 0.65
+
+    def test_category(self):
+        assert SCSGuardClassifier().category == "LM"
+
+
+@pytest.mark.parametrize("model_cls", [GPT2Classifier, T5Classifier],
+                         ids=["gpt2", "t5"])
+class TestLanguageModels:
+    def test_alpha_learns(self, model_cls, tiny_split):
+        train, test = tiny_split
+        model = model_cls(variant="alpha", max_length=64, dim=24, epochs=7,
+                          seed=0)
+        model.fit(train.bytecodes, train.labels)
+        accuracy = accuracy_score(test.labels, model.predict(test.bytecodes))
+        assert accuracy > 0.58
+
+    def test_beta_windows_aggregate(self, model_cls, tiny_split):
+        train, test = tiny_split
+        model = model_cls(variant="beta", max_length=48, dim=16, epochs=2,
+                          max_windows_per_sample=2, seed=0)
+        model.fit(train.bytecodes, train.labels)
+        proba = model.predict_proba(test.bytecodes)
+        assert proba.shape == (len(test.bytecodes), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_variant_names(self, model_cls):
+        alpha = model_cls(variant="alpha")
+        beta = model_cls(variant="beta")
+        assert alpha.name.endswith("α")
+        assert beta.name.endswith("β")
+        assert alpha.name[:-1] == beta.name[:-1]
+
+    def test_bad_variant_rejected(self, model_cls):
+        with pytest.raises(ValueError):
+            model_cls(variant="gamma")
+
+
+class TestESCORT:
+    def test_signature_vector_shape(self):
+        vector = vulnerability_signatures(bytes.fromhex("6080604052"))
+        assert vector.shape == (len(SIGNATURE_NAMES),)
+        assert np.all(vector >= 0) and np.all(vector <= 1)
+
+    def test_signatures_detect_patterns(self):
+        from repro.evm.assembler import assemble
+
+        selfdestruct_code = assemble([("PUSH1", 0), "SELFDESTRUCT"])
+        vector = vulnerability_signatures(selfdestruct_code)
+        index = SIGNATURE_NAMES.index("selfdestruct_present")
+        assert vector[index] == 1.0
+
+    def test_transfer_pipeline_runs(self, tiny_split):
+        train, test = tiny_split
+        model = ESCORTClassifier(pretrain_epochs=3, transfer_epochs=4, seed=0)
+        model.fit(train.bytecodes, train.labels)
+        predictions = model.predict(test.bytecodes)
+        assert predictions.shape == (len(test.bytecodes),)
+
+    def test_trunk_frozen_during_transfer(self, tiny_split):
+        train, __ = tiny_split
+        model = ESCORTClassifier(pretrain_epochs=2, transfer_epochs=2, seed=0)
+        model.fit(train.bytecodes, train.labels)
+        trunk_parameters = model.trunk_.parameters()
+        branch_parameters = model.branch_.parameters()
+        assert not set(map(id, trunk_parameters)) & set(map(id, branch_parameters))
+
+    def test_markedly_weaker_than_hsc(self, tiny_split):
+        """The paper's core VDM finding: ESCORT ≈ weak on phishing."""
+        from repro.models.hsc import HSCDetector
+
+        train, test = tiny_split
+        escort = ESCORTClassifier(seed=0)
+        escort.fit(train.bytecodes, train.labels)
+        escort_acc = accuracy_score(test.labels, escort.predict(test.bytecodes))
+
+        forest = HSCDetector(variant="Random Forest", seed=0)
+        forest.set_params(clf__n_estimators=40)
+        forest.fit(train.bytecodes, train.labels)
+        forest_acc = accuracy_score(test.labels, forest.predict(test.bytecodes))
+        assert forest_acc - escort_acc > 0.1

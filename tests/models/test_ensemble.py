@@ -1,0 +1,209 @@
+"""Tests for the voting and stacking ensemble detectors."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import accuracy_score
+from repro.models.detector import PhishingDetector
+from repro.models.ensemble import (
+    StackingDetector,
+    VotingDetector,
+    _stratified_fold_indices,
+)
+from repro.models.hsc import HSCDetector
+
+
+class ConstantDetector(PhishingDetector):
+    """Always predicts a fixed phishing probability."""
+
+    def __init__(self, probability: float):
+        self.probability = probability
+        self.name = f"const({probability})"
+        self.fit_calls = 0
+
+    def fit(self, bytecodes, labels):
+        self.fit_calls += 1
+        return self
+
+    def predict_proba(self, bytecodes):
+        column = np.full(len(bytecodes), self.probability)
+        return np.column_stack([1.0 - column, column])
+
+
+class OracleDetector(PhishingDetector):
+    """Memorises fit labels; predicts them back for seen bytecodes."""
+
+    def __init__(self, noise: float = 0.0, seed: int = 0):
+        self.noise = noise
+        self.rng = np.random.default_rng(seed)
+        self.memory_ = {}
+        self.name = "oracle"
+
+    def fit(self, bytecodes, labels):
+        self.memory_ = dict(zip(bytecodes, np.asarray(labels)))
+        return self
+
+    def predict_proba(self, bytecodes):
+        probs = np.array(
+            [
+                0.5 if code not in self.memory_
+                else abs(self.memory_[code] - self.rng.random() * self.noise)
+                for code in bytecodes
+            ]
+        )
+        return np.column_stack([1.0 - probs, probs])
+
+
+def _fast_bases(seed=0):
+    bases = [
+        HSCDetector(variant="Random Forest", seed=seed),
+        HSCDetector(variant="k-NN", seed=seed),
+        HSCDetector(variant="Logistic Regression", seed=seed),
+    ]
+    bases[0].set_params(clf__n_estimators=20)
+    return bases
+
+
+class TestConstruction:
+    def test_needs_two_detectors(self):
+        with pytest.raises(ValueError):
+            VotingDetector([ConstantDetector(0.5)])
+        with pytest.raises(ValueError):
+            StackingDetector([ConstantDetector(0.5)])
+
+    def test_rejects_non_detectors(self):
+        with pytest.raises(TypeError):
+            VotingDetector([ConstantDetector(0.5), object()])
+
+    def test_rejects_bad_voting_mode(self):
+        with pytest.raises(ValueError):
+            VotingDetector(
+                [ConstantDetector(0.1), ConstantDetector(0.9)], voting="mean"
+            )
+
+    def test_rejects_weights_for_hard_voting(self):
+        with pytest.raises(ValueError):
+            VotingDetector(
+                [ConstantDetector(0.1), ConstantDetector(0.9)],
+                voting="hard",
+                weights=[1.0, 2.0],
+            )
+
+    def test_rejects_wrong_weight_count_and_negative(self):
+        bases = [ConstantDetector(0.1), ConstantDetector(0.9)]
+        with pytest.raises(ValueError):
+            VotingDetector(bases, weights=[1.0])
+        with pytest.raises(ValueError):
+            VotingDetector(bases, weights=[-1.0, 2.0])
+
+    def test_stacking_needs_two_folds(self):
+        with pytest.raises(ValueError):
+            StackingDetector(
+                [ConstantDetector(0.1), ConstantDetector(0.9)], n_folds=1
+            )
+
+
+class TestSoftVoting:
+    def test_unweighted_average(self):
+        ensemble = VotingDetector(
+            [ConstantDetector(0.2), ConstantDetector(0.8)]
+        ).fit([b"\x00"], [1])
+        proba = ensemble.predict_proba([b"\x00", b"\x01"])
+        assert proba.shape == (2, 2)
+        assert np.allclose(proba[:, 1], 0.5)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_weighted_average(self):
+        ensemble = VotingDetector(
+            [ConstantDetector(0.0), ConstantDetector(1.0)],
+            weights=[3.0, 1.0],
+        ).fit([b"\x00"], [1])
+        proba = ensemble.predict_proba([b"\x00"])
+        assert proba[0, 1] == pytest.approx(0.25)
+
+    def test_fits_every_base(self):
+        bases = [ConstantDetector(0.3), ConstantDetector(0.7)]
+        VotingDetector(bases).fit([b"\x00", b"\x01"], [0, 1])
+        assert all(base.fit_calls == 1 for base in bases)
+
+
+class TestHardVoting:
+    def test_majority(self):
+        ensemble = VotingDetector(
+            [ConstantDetector(0.9), ConstantDetector(0.8), ConstantDetector(0.1)],
+            voting="hard",
+        ).fit([b"\x00"], [1])
+        proba = ensemble.predict_proba([b"\x00"])
+        assert proba[0, 1] == pytest.approx(2 / 3)
+        assert ensemble.predict([b"\x00"])[0] == 1
+
+    def test_unanimous_benign(self):
+        ensemble = VotingDetector(
+            [ConstantDetector(0.2), ConstantDetector(0.3)], voting="hard"
+        ).fit([b"\x00"], [0])
+        assert ensemble.predict([b"\x00"])[0] == 0
+
+
+class TestFoldIndices:
+    def test_partition_and_stratification(self):
+        labels = np.array([0] * 30 + [1] * 30)
+        folds = _stratified_fold_indices(labels, 3, seed=0)
+        combined = np.sort(np.concatenate(folds))
+        assert np.array_equal(combined, np.arange(60))
+        for fold in folds:
+            assert labels[fold].sum() == 10  # balanced positives per fold
+
+    def test_deterministic_per_seed(self):
+        labels = np.array([0, 1] * 20)
+        first = _stratified_fold_indices(labels, 4, seed=7)
+        second = _stratified_fold_indices(labels, 4, seed=7)
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+
+class TestStacking:
+    def test_out_of_fold_prevents_leak(self):
+        # An oracle that memorises its training data returns 0.5 for
+        # unseen codes, so its out-of-fold meta-feature column is constant
+        # and carries no signal. A leaky construction (meta-features from
+        # in-fold predictions) would instead let the oracle look perfect.
+        bytecodes = [bytes([i, 255 - i]) for i in range(40)]
+        labels = np.array([0, 1] * 20)
+        stack = StackingDetector(
+            [OracleDetector(), ConstantDetector(0.5)], n_folds=4, seed=0
+        )
+        stack.fit(bytecodes, labels)
+        # Both meta-features were constant 0.5 out-of-fold, so the learned
+        # meta weights stay near zero and predictions hover at the prior.
+        proba = stack.predict_proba(bytecodes)
+        assert np.all(np.abs(proba[:, 1] - 0.5) < 0.2)
+
+    def test_label_length_mismatch(self):
+        stack = StackingDetector(
+            [ConstantDetector(0.1), ConstantDetector(0.9)]
+        )
+        with pytest.raises(ValueError):
+            stack.fit([b"\x00"], [0, 1])
+
+
+class TestOnSyntheticCorpus:
+    def test_soft_voting_beats_chance(self, tiny_split):
+        train, test = tiny_split
+        ensemble = VotingDetector(_fast_bases())
+        ensemble.fit(train.bytecodes, train.labels)
+        accuracy = accuracy_score(test.labels, ensemble.predict(test.bytecodes))
+        assert accuracy > 0.62, f"voting accuracy {accuracy:.3f}"
+
+    def test_stacking_beats_chance(self, tiny_split):
+        train, test = tiny_split
+        ensemble = StackingDetector(_fast_bases(), n_folds=3, seed=0)
+        ensemble.fit(train.bytecodes, train.labels)
+        accuracy = accuracy_score(test.labels, ensemble.predict(test.bytecodes))
+        assert accuracy > 0.62, f"stacking accuracy {accuracy:.3f}"
+
+    def test_probability_rows_sum_to_one(self, tiny_split):
+        train, test = tiny_split
+        ensemble = VotingDetector(_fast_bases(), voting="hard")
+        ensemble.fit(train.bytecodes, train.labels)
+        proba = ensemble.predict_proba(test.bytecodes)
+        assert np.allclose(proba.sum(axis=1), 1.0)

@@ -1,0 +1,71 @@
+"""Tests for the seven histogram similarity classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import accuracy_score
+from repro.models.hsc import HSC_VARIANTS, HSCDetector
+
+
+class TestConstruction:
+    def test_all_seven_variants_exist(self):
+        assert len(HSC_VARIANTS) == 7
+        assert set(HSC_VARIANTS) == {
+            "Random Forest", "k-NN", "SVM", "Logistic Regression",
+            "XGBoost", "LightGBM", "CatBoost",
+        }
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            HSCDetector(variant="AdaBoost")
+
+    def test_name_and_category(self):
+        detector = HSCDetector(variant="Random Forest")
+        assert detector.name == "Random Forest"
+        assert detector.category == "HSC"
+
+    def test_params_roundtrip(self):
+        detector = HSCDetector(variant="Random Forest", seed=5)
+        params = detector.get_params()
+        assert params["variant"] == "Random Forest"
+        assert params["clf__n_estimators"] == 120
+        detector.set_params(clf__n_estimators=10)
+        assert detector.classifier_.n_estimators == 10
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError):
+            HSCDetector().set_params(bogus=1)
+
+
+@pytest.mark.parametrize("variant", sorted(HSC_VARIANTS))
+class TestAllVariantsLearn:
+    def test_beats_chance_on_synthetic_corpus(self, variant, tiny_split):
+        train, test = tiny_split
+        detector = HSCDetector(variant=variant, seed=0)
+        if variant in ("XGBoost", "LightGBM", "CatBoost"):
+            detector.set_params(clf__n_estimators=25)
+        if variant == "Random Forest":
+            detector.set_params(clf__n_estimators=40)
+        detector.fit(train.bytecodes, train.labels)
+        accuracy = accuracy_score(test.labels, detector.predict(test.bytecodes))
+        assert accuracy > 0.62, f"{variant} accuracy {accuracy:.3f}"
+
+    def test_probabilities_shape_and_range(self, variant, tiny_split):
+        train, test = tiny_split
+        detector = HSCDetector(variant=variant, seed=0)
+        if variant in ("Random Forest", "XGBoost", "LightGBM", "CatBoost"):
+            detector.set_params(clf__n_estimators=10)
+        detector.fit(train.bytecodes, train.labels)
+        proba = detector.predict_proba(test.bytecodes)
+        assert proba.shape == (len(test.bytecodes), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+class TestVocabularyIsolation:
+    def test_vocabulary_learned_on_train_only(self, tiny_split):
+        train, test = tiny_split
+        detector = HSCDetector(variant="k-NN")
+        detector.fit(train.bytecodes, train.labels)
+        vocab_size = len(detector.extractor_.vocabulary_)
+        detector.predict(test.bytecodes)
+        assert len(detector.extractor_.vocabulary_) == vocab_size

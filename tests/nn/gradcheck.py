@@ -1,0 +1,37 @@
+"""Central-finite-difference gradient checking utilities."""
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numerical_gradient(fn, tensor: Tensor, eps: float = 1e-6) -> np.ndarray:
+    """∂fn()/∂tensor by central differences (fn returns a scalar Tensor)."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = fn().item()
+        flat[index] = original - eps
+        minus = fn().item()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def assert_grad_matches(fn, tensors, rtol=1e-4, atol=1e-6):
+    """Backprop fn() and compare every tensor's grad to finite differences."""
+    for tensor in tensors:
+        tensor.zero_grad()
+    out = fn()
+    out.backward()
+    for i, tensor in enumerate(tensors):
+        expected = numerical_gradient(fn, tensor)
+        actual = tensor.grad
+        assert actual is not None, f"tensor {i} received no gradient"
+        np.testing.assert_allclose(
+            actual, expected, rtol=rtol, atol=atol,
+            err_msg=f"gradient mismatch for tensor {i}",
+        )

@@ -1,0 +1,160 @@
+"""Tests for attention, transformer blocks and the GRU."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadAttention, RelativePositionBias
+from repro.nn.recurrent import GRU
+from repro.nn.tensor import Tensor
+from repro.nn.transformer import TransformerBlock
+
+from tests.nn.gradcheck import assert_grad_matches
+
+
+def sequence(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape),
+                  requires_grad=True)
+
+
+class TestMultiHeadAttention:
+    def test_shape_preserved(self):
+        attention = MultiHeadAttention(dim=8, n_heads=2)
+        out = attention(sequence((3, 5, 8)))
+        assert out.shape == (3, 5, 8)
+
+    def test_dim_must_divide(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(dim=7, n_heads=2)
+
+    def test_causal_mask_blocks_future(self):
+        attention = MultiHeadAttention(dim=4, n_heads=1, causal=True)
+        x = np.zeros((1, 4, 4))
+        x[0, 2] = 5.0  # a loud token at position 2
+        base = attention(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 3] = -7.0  # changing position 3 must not affect positions ≤ 2
+        out = attention(Tensor(x2)).data
+        np.testing.assert_allclose(out[0, :3], base[0, :3], atol=1e-12)
+
+    def test_bidirectional_sees_future(self):
+        attention = MultiHeadAttention(dim=4, n_heads=1, causal=False)
+        x = np.zeros((1, 4, 4))
+        base = attention(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 3] = 5.0
+        out = attention(Tensor(x2)).data
+        assert not np.allclose(out[0, 0], base[0, 0])
+
+    def test_padding_mask_blocks_positions(self):
+        attention = MultiHeadAttention(dim=4, n_heads=2)
+        x = np.random.default_rng(0).normal(size=(1, 5, 4))
+        mask = np.array([[False, False, False, True, True]])
+        base = attention(Tensor(x), key_padding_mask=mask).data.copy()
+        x2 = x.copy()
+        x2[0, 4] = 100.0  # padded position content is irrelevant
+        out = attention(Tensor(x2), key_padding_mask=mask).data
+        np.testing.assert_allclose(out[0, :3], base[0, :3], atol=1e-9)
+
+    def test_gradients_flow_to_all_projections(self):
+        attention = MultiHeadAttention(dim=4, n_heads=2)
+        x = sequence((2, 3, 4), seed=1)
+        (attention(x) ** 2).sum().backward()
+        for layer in (attention.q_proj, attention.k_proj,
+                      attention.v_proj, attention.out_proj):
+            assert layer.weight.grad is not None
+            assert np.any(layer.weight.grad != 0)
+
+    def test_gradcheck_small(self):
+        attention = MultiHeadAttention(dim=4, n_heads=1)
+        x = sequence((1, 3, 4), seed=2)
+        assert_grad_matches(lambda: (attention(x) ** 2).sum(), [x], rtol=1e-3)
+
+
+class TestRelativePositionBias:
+    def test_shape(self):
+        bias = RelativePositionBias(n_heads=3, n_buckets=8, max_distance=16)
+        out = bias(5)
+        assert out.shape == (3, 5, 5)
+
+    def test_translation_invariance(self):
+        bias = RelativePositionBias(n_heads=1, n_buckets=8, max_distance=16)
+        out = bias(6).data[0]
+        # Same relative offset → same bias value.
+        assert out[1, 3] == pytest.approx(out[2, 4])
+        assert out[3, 1] == pytest.approx(out[4, 2])
+
+    def test_direction_sensitivity(self):
+        bias = RelativePositionBias(n_heads=1, n_buckets=8, max_distance=16)
+        out = bias(6).data[0]
+        # Forward and backward offsets use different buckets (usually).
+        assert out[0, 3] != pytest.approx(out[3, 0])
+
+    def test_trainable(self):
+        bias = RelativePositionBias(n_heads=2)
+        bias(4).sum().backward()
+        assert bias.weight.grad is not None
+
+
+class TestTransformerBlock:
+    def test_shape_preserved(self):
+        block = TransformerBlock(dim=8, n_heads=2)
+        out = block(sequence((2, 4, 8)))
+        assert out.shape == (2, 4, 8)
+
+    def test_residual_path_exists(self):
+        block = TransformerBlock(dim=8, n_heads=2)
+        x = sequence((1, 3, 8), seed=3)
+        out = block(x)
+        # With random init the block output stays correlated with input.
+        correlation = np.corrcoef(out.data.ravel(), x.data.ravel())[0, 1]
+        assert correlation > 0.5
+
+    def test_end_to_end_gradient(self):
+        block = TransformerBlock(dim=8, n_heads=2)
+        x = sequence((2, 3, 8), seed=4)
+        (block(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in block.parameters())
+
+
+class TestGRU:
+    def test_output_shapes(self):
+        gru = GRU(input_dim=5, hidden_dim=7)
+        outputs, last = gru(sequence((3, 4, 5)))
+        assert outputs.shape == (3, 4, 7)
+        assert last.shape == (3, 7)
+
+    def test_last_hidden_equals_final_step(self):
+        gru = GRU(4, 6)
+        outputs, last = gru(sequence((2, 5, 4), seed=5))
+        np.testing.assert_allclose(outputs.data[:, -1, :], last.data)
+
+    def test_state_depends_on_history(self):
+        gru = GRU(2, 3)
+        x1 = np.zeros((1, 3, 2))
+        x2 = np.zeros((1, 3, 2))
+        x2[0, 0] = 1.0  # differ only at the first step
+        __, last1 = gru(Tensor(x1))
+        __, last2 = gru(Tensor(x2))
+        assert not np.allclose(last1.data, last2.data)
+
+    def test_padding_mask_freezes_state(self):
+        gru = GRU(2, 3)
+        x = np.random.default_rng(0).normal(size=(1, 4, 2))
+        mask = np.array([[False, False, True, True]])  # last two are PAD
+        __, masked_last = gru(Tensor(x), mask=mask)
+        __, short_last = gru(Tensor(x[:, :2]))
+        np.testing.assert_allclose(masked_last.data, short_last.data)
+
+    def test_gradients_flow(self):
+        gru = GRU(3, 4)
+        x = sequence((2, 3, 3), seed=6)
+        __, last = gru(x)
+        (last ** 2).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in gru.parameters())
+
+    def test_gradcheck_tiny(self):
+        gru = GRU(2, 2, seed=1)
+        x = sequence((1, 2, 2), seed=7)
+        assert_grad_matches(lambda: (gru(x)[1] ** 2).sum(), [x], rtol=1e-3)

@@ -1,0 +1,279 @@
+"""Gradient checks for every Tensor op against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, concat, no_grad, where
+from repro.nn import functional as F
+
+from tests.nn.gradcheck import assert_grad_matches
+
+
+def leaf(shape, seed=0, scale=1.0, offset=0.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape) * scale + offset, requires_grad=True)
+
+
+class TestArithmetic:
+    def test_add(self):
+        a, b = leaf((3, 4), 0), leaf((3, 4), 1)
+        assert_grad_matches(lambda: (a + b).sum(), [a, b])
+
+    def test_add_broadcast(self):
+        a, b = leaf((3, 4), 0), leaf((4,), 1)
+        assert_grad_matches(lambda: (a + b).sum(), [a, b])
+
+    def test_add_broadcast_keepdim(self):
+        a, b = leaf((3, 4), 0), leaf((3, 1), 1)
+        assert_grad_matches(lambda: (a + b).sum(), [a, b])
+
+    def test_sub_neg(self):
+        a, b = leaf((2, 3), 0), leaf((2, 3), 1)
+        assert_grad_matches(lambda: (a - b).sum(), [a, b])
+        assert_grad_matches(lambda: (-a).sum(), [a])
+
+    def test_rsub_radd(self):
+        a = leaf((4,), 2)
+        assert_grad_matches(lambda: (3.0 - a).sum(), [a])
+        assert_grad_matches(lambda: (3.0 + a).sum(), [a])
+
+    def test_mul(self):
+        a, b = leaf((3, 2), 0), leaf((3, 2), 1)
+        assert_grad_matches(lambda: (a * b).sum(), [a, b])
+
+    def test_mul_broadcast_scalar_tensor(self):
+        a = leaf((3, 2), 0)
+        assert_grad_matches(lambda: (a * 2.5).sum(), [a])
+
+    def test_div(self):
+        a = leaf((3, 2), 0)
+        b = leaf((3, 2), 1, scale=0.2, offset=2.0)  # away from zero
+        assert_grad_matches(lambda: (a / b).sum(), [a, b])
+
+    def test_rdiv(self):
+        a = leaf((4,), 1, scale=0.2, offset=2.0)
+        assert_grad_matches(lambda: (1.0 / a).sum(), [a])
+
+    def test_pow(self):
+        a = leaf((5,), 3, scale=0.3, offset=2.0)
+        assert_grad_matches(lambda: (a**3).sum(), [a])
+        with pytest.raises(TypeError):
+            __ = a ** a  # tensor exponents unsupported
+
+    def test_matmul_2d(self):
+        a, b = leaf((3, 4), 0), leaf((4, 2), 1)
+        assert_grad_matches(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_batched(self):
+        a, b = leaf((2, 3, 4), 0), leaf((2, 4, 5), 1)
+        assert_grad_matches(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_broadcast_weight(self):
+        a, b = leaf((2, 3, 4), 0), leaf((4, 5), 1)
+        assert_grad_matches(lambda: (a @ b).sum(), [a, b])
+
+
+class TestElementwise:
+    def test_exp(self):
+        a = leaf((3, 3), 0, scale=0.5)
+        assert_grad_matches(lambda: a.exp().sum(), [a])
+
+    def test_log(self):
+        a = leaf((3, 3), 0, scale=0.2, offset=2.0)
+        assert_grad_matches(lambda: a.log().sum(), [a])
+
+    def test_sqrt(self):
+        a = leaf((3, 3), 0, scale=0.2, offset=2.0)
+        assert_grad_matches(lambda: a.sqrt().sum(), [a])
+
+    def test_tanh(self):
+        a = leaf((3, 3), 0)
+        assert_grad_matches(lambda: a.tanh().sum(), [a])
+
+    def test_sigmoid(self):
+        a = leaf((3, 3), 0)
+        assert_grad_matches(lambda: a.sigmoid().sum(), [a])
+
+    def test_relu(self):
+        a = leaf((4, 4), 0, offset=0.3)  # keep away from the kink
+        assert_grad_matches(lambda: a.relu().sum(), [a])
+
+    def test_gelu(self):
+        a = leaf((4, 4), 0)
+        assert_grad_matches(lambda: a.gelu().sum(), [a])
+
+
+class TestReductionsAndShape:
+    def test_sum_all(self):
+        a = leaf((3, 4), 0)
+        assert_grad_matches(lambda: (a * a).sum(), [a])
+
+    def test_sum_axis(self):
+        a = leaf((3, 4), 0)
+        assert_grad_matches(lambda: (a.sum(axis=0) ** 2).sum(), [a])
+
+    def test_sum_keepdims(self):
+        a = leaf((3, 4), 0)
+        assert_grad_matches(
+            lambda: (a.sum(axis=1, keepdims=True) * a).sum(), [a]
+        )
+
+    def test_mean(self):
+        a = leaf((3, 4), 0)
+        assert_grad_matches(lambda: (a.mean(axis=1) ** 2).sum(), [a])
+
+    def test_mean_multi_axis(self):
+        a = leaf((2, 3, 4), 0)
+        assert_grad_matches(lambda: (a.mean(axis=(1, 2)) ** 2).sum(), [a])
+
+    def test_reshape(self):
+        a = leaf((3, 4), 0)
+        assert_grad_matches(lambda: (a.reshape(2, 6) ** 2).sum(), [a])
+
+    def test_transpose(self):
+        a = leaf((2, 3, 4), 0)
+        assert_grad_matches(
+            lambda: (a.transpose(2, 0, 1) ** 2).sum(), [a]
+        )
+
+    def test_swapaxes(self):
+        a = leaf((2, 3, 4), 0)
+        assert_grad_matches(lambda: (a.swapaxes(-1, -2) ** 2).sum(), [a])
+
+    def test_getitem_slice(self):
+        a = leaf((4, 5), 0)
+        assert_grad_matches(lambda: (a[1:3, ::2] ** 2).sum(), [a])
+
+    def test_getitem_fancy(self):
+        a = leaf((6, 3), 0)
+        rows = np.array([0, 2, 2, 5])  # repeated index accumulates
+        assert_grad_matches(lambda: (a[rows] ** 2).sum(), [a])
+
+    def test_take_rows(self):
+        table = leaf((7, 4), 0)
+        ids = np.array([[1, 2], [2, 6]])
+        assert_grad_matches(lambda: (table.take_rows(ids) ** 2).sum(), [table])
+
+    def test_pad2d(self):
+        a = leaf((1, 2, 3, 3), 0)
+        assert_grad_matches(lambda: (a.pad2d(1) ** 2).sum(), [a])
+
+    def test_concat(self):
+        a, b = leaf((2, 3), 0), leaf((2, 2), 1)
+        assert_grad_matches(lambda: (concat([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_where(self):
+        a, b = leaf((3, 3), 0), leaf((3, 3), 1)
+        condition = np.eye(3, dtype=bool)
+        assert_grad_matches(lambda: (where(condition, a, b) ** 2).sum(), [a, b])
+
+
+class TestFunctional:
+    def test_softmax_rows_sum_to_one(self):
+        logits = leaf((4, 6), 0)
+        probs = F.softmax(logits)
+        np.testing.assert_allclose(probs.data.sum(axis=-1), 1.0)
+
+    def test_softmax_gradient(self):
+        logits = leaf((3, 4), 0)
+        weights = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+        assert_grad_matches(lambda: (F.softmax(logits) * weights).sum(), [logits])
+
+    def test_log_softmax_gradient(self):
+        logits = leaf((3, 4), 0)
+        assert_grad_matches(
+            lambda: (F.log_softmax(logits)[np.arange(3), [0, 1, 2]]).sum(),
+            [logits],
+        )
+
+    def test_cross_entropy_matches_manual(self):
+        logits = leaf((4, 3), 0)
+        targets = np.array([0, 2, 1, 1])
+        loss = F.cross_entropy(logits, targets)
+        shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+        probs = np.exp(shifted) / np.exp(shifted).sum(axis=1, keepdims=True)
+        expected = -np.mean(np.log(probs[np.arange(4), targets]))
+        assert loss.item() == pytest.approx(expected)
+
+    def test_cross_entropy_gradient(self):
+        logits = leaf((5, 3), 2)
+        targets = np.array([0, 1, 2, 1, 0])
+        assert_grad_matches(lambda: F.cross_entropy(logits, targets), [logits])
+
+    def test_bce_with_logits_gradient(self):
+        logits = leaf((8,), 3)
+        targets = np.array([0, 1, 0, 1, 1, 0, 1, 0], dtype=float)
+        assert_grad_matches(
+            lambda: F.binary_cross_entropy_with_logits(logits, targets), [logits]
+        )
+
+    def test_bce_matches_stable_formula(self):
+        logits = Tensor(np.array([100.0, -100.0]), requires_grad=True)
+        targets = np.array([1.0, 0.0])
+        loss = F.binary_cross_entropy_with_logits(logits, targets)
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_dropout_scales_and_masks(self):
+        x = Tensor(np.ones((1000,)), requires_grad=True)
+        rng = np.random.default_rng(0)
+        dropped = F.dropout(x, 0.5, rng, training=True)
+        kept = dropped.data != 0
+        assert 0.35 < kept.mean() < 0.65
+        np.testing.assert_allclose(dropped.data[kept], 2.0)
+
+    def test_dropout_identity_in_eval(self):
+        x = Tensor(np.ones(10))
+        out = F.dropout(x, 0.9, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_masked_fill(self):
+        x = Tensor(np.zeros((2, 2)), requires_grad=True)
+        mask = np.array([[True, False], [False, True]])
+        filled = F.masked_fill(x, mask, -1e9)
+        assert filled.data[0, 0] == -1e9
+        assert filled.data[0, 1] == 0.0
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_over_reuse(self):
+        a = leaf((3,), 0)
+        out = (a * a + a).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data + 1)
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(3)).backward()
+
+    def test_no_grad_blocks_graph(self):
+        a = leaf((3,), 0)
+        with no_grad():
+            out = (a * 2).sum()
+        assert not out.requires_grad
+
+    def test_zero_grad(self):
+        a = leaf((3,), 0)
+        (a * 2).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_detach_breaks_graph(self):
+        a = leaf((3,), 0)
+        detached = a.detach()
+        assert not detached.requires_grad
+
+    def test_deep_chain_does_not_recurse(self):
+        a = leaf((2,), 0)
+        x = a
+        for __ in range(3000):  # deeper than CPython's recursion limit
+            x = x + 1.0
+        x.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(2))
+
+    def test_diamond_graph(self):
+        a = leaf((2,), 0)
+        b = a * 2
+        c = a * 3
+        (b + c).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full(2, 5.0))

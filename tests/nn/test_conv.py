@@ -1,0 +1,151 @@
+"""Tests for Conv2d, BatchNorm2d and pooling."""
+
+import numpy as np
+import pytest
+
+from repro.nn.conv import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    MaxPool2d,
+)
+from repro.nn.tensor import Tensor
+
+from tests.nn.gradcheck import assert_grad_matches
+
+
+def image(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape),
+                  requires_grad=True)
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        conv = Conv2d(3, 8, kernel_size=3, stride=1, padding=1)
+        out = conv(image((2, 3, 8, 8)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_stride_and_no_padding(self):
+        conv = Conv2d(1, 4, kernel_size=3, stride=2)
+        out = conv(image((1, 1, 9, 9)))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_identity_kernel(self):
+        conv = Conv2d(1, 1, kernel_size=1, bias=False)
+        conv.weight.data[:] = 1.0
+        x = image((1, 1, 4, 4), seed=3)
+        out = conv(x)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_known_convolution(self):
+        conv = Conv2d(1, 1, kernel_size=2, bias=False)
+        conv.weight.data[:] = 1.0  # summing kernel
+        x = Tensor(np.arange(9, dtype=float).reshape(1, 1, 3, 3))
+        out = conv(x)
+        np.testing.assert_allclose(
+            out.data[0, 0], [[0 + 1 + 3 + 4, 1 + 2 + 4 + 5],
+                             [3 + 4 + 6 + 7, 4 + 5 + 7 + 8]]
+        )
+
+    def test_gradcheck_dense(self):
+        conv = Conv2d(2, 3, kernel_size=2)
+        x = image((2, 2, 4, 4), seed=1)
+        assert_grad_matches(
+            lambda: (conv(x) ** 2).sum(), [x, conv.weight, conv.bias]
+        )
+
+    def test_gradcheck_padded_strided(self):
+        conv = Conv2d(1, 2, kernel_size=3, stride=2, padding=1)
+        x = image((1, 1, 5, 5), seed=2)
+        assert_grad_matches(lambda: (conv(x) ** 2).sum(), [x, conv.weight])
+
+    def test_depthwise_groups(self):
+        conv = Conv2d(4, 4, kernel_size=3, padding=1, groups=4)
+        out = conv(image((1, 4, 6, 6)))
+        assert out.shape == (1, 4, 6, 6)
+        # Depthwise weight has one input channel per filter.
+        assert conv.weight.shape == (4, 1, 3, 3)
+
+    def test_gradcheck_depthwise(self):
+        conv = Conv2d(2, 2, kernel_size=2, groups=2, bias=False)
+        x = image((1, 2, 4, 4), seed=4)
+        assert_grad_matches(lambda: (conv(x) ** 2).sum(), [x, conv.weight])
+
+    def test_grouped_channels_isolated(self):
+        conv = Conv2d(2, 2, kernel_size=1, groups=2, bias=False)
+        conv.weight.data[:] = 1.0
+        x = np.zeros((1, 2, 2, 2))
+        x[0, 0] = 5.0  # only group 0 carries signal
+        out = conv(Tensor(x))
+        assert np.all(out.data[0, 0] == 5.0)
+        assert np.all(out.data[0, 1] == 0.0)
+
+    def test_bad_groups_rejected(self):
+        with pytest.raises(ValueError):
+            Conv2d(3, 4, kernel_size=1, groups=2)
+
+    def test_non_nchw_rejected(self):
+        conv = Conv2d(1, 1, kernel_size=1)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((3, 3))))
+
+
+class TestBatchNorm2d:
+    def test_normalizes_in_train_mode(self):
+        bn = BatchNorm2d(3)
+        x = image((8, 3, 4, 4), seed=0)
+        out = bn(x)
+        mean = out.data.mean(axis=(0, 2, 3))
+        np.testing.assert_allclose(mean, 0.0, atol=1e-9)
+
+    def test_running_stats_updated(self):
+        bn = BatchNorm2d(2, momentum=0.5)
+        x = Tensor(np.full((4, 2, 2, 2), 10.0))
+        bn(x)
+        assert np.all(bn.running_mean > 0)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2d(1, momentum=1.0)
+        bn(Tensor(np.full((4, 1, 2, 2), 4.0)))  # running_mean := 4
+        bn.eval()
+        out = bn(Tensor(np.full((1, 1, 2, 2), 4.0)))
+        np.testing.assert_allclose(out.data, 0.0, atol=1e-6)
+
+    def test_gradcheck_params(self):
+        bn = BatchNorm2d(2)
+        x = image((3, 2, 2, 2), seed=5)
+        # Note: batch statistics are treated as constants (standard
+        # inference-style BN backward), so only check gamma/beta exactly.
+        assert_grad_matches(lambda: (bn(x) ** 2).sum(), [bn.gamma, bn.beta])
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = Tensor(np.arange(16, dtype=float).reshape(1, 1, 4, 4),
+                   requires_grad=True)
+        out = MaxPool2d(2)(x)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_gradient_routes_to_max(self):
+        x = Tensor(np.arange(16, dtype=float).reshape(1, 1, 4, 4),
+                   requires_grad=True)
+        MaxPool2d(2)(x).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1
+        np.testing.assert_allclose(x.grad[0, 0], expected)
+
+    def test_avgpool_values(self):
+        x = Tensor(np.ones((1, 2, 4, 4)))
+        out = AvgPool2d(2)(x)
+        np.testing.assert_allclose(out.data, 1.0)
+
+    def test_avgpool_gradcheck(self):
+        x = image((1, 1, 4, 4), seed=6)
+        assert_grad_matches(lambda: (AvgPool2d(2)(x) ** 2).sum(), [x])
+
+    def test_global_avg_pool(self):
+        x = Tensor(np.arange(8, dtype=float).reshape(1, 2, 2, 2))
+        out = GlobalAvgPool2d()(x)
+        np.testing.assert_allclose(out.data, [[1.5, 5.5]])
+        assert out.shape == (1, 2)

@@ -1,0 +1,175 @@
+"""Tests for Module/Linear/Embedding/LayerNorm and friends."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from repro.nn.tensor import Tensor
+
+from tests.nn.gradcheck import assert_grad_matches
+
+
+class TestModule:
+    def test_parameters_recursion(self):
+        model = Sequential(Linear(3, 4), ReLU(), Linear(4, 2))
+        parameters = model.parameters()
+        assert len(parameters) == 4  # two weights + two biases
+        assert model.n_parameters() == 3 * 4 + 4 + 4 * 2 + 2
+
+    def test_parameters_deduplicated(self):
+        shared = Linear(2, 2)
+
+        class Tied(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = shared
+                self.b = shared
+
+        assert len(Tied().parameters()) == 2
+
+    def test_parameters_in_dicts_and_lists(self):
+        class Container(Module):
+            def __init__(self):
+                super().__init__()
+                self.blocks = [Linear(2, 2, bias=False)]
+                self.by_name = {"head": Linear(2, 1, bias=False)}
+
+        assert len(Container().parameters()) == 2
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5), Sequential(Dropout(0.5)))
+        model.eval()
+        assert not model[0].training
+        assert not model[1][0].training
+        model.train()
+        assert model[0].training
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2)
+        out = layer(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(5, 3)
+        out = layer(Tensor(np.zeros((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_matches_manual_affine(self):
+        layer = Linear(3, 2)
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        out = layer(Tensor(x))
+        np.testing.assert_allclose(
+            out.data, x @ layer.weight.data + layer.bias.data
+        )
+
+    def test_no_bias(self):
+        layer = Linear(3, 2, bias=False)
+        assert layer.bias is None
+        assert len([p for p in [layer.weight]]) == 1
+
+    def test_gradcheck(self):
+        layer = Linear(3, 2)
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 3)), requires_grad=True)
+        assert_grad_matches(
+            lambda: (layer(x) ** 2).sum(), [x, layer.weight, layer.bias]
+        )
+
+    def test_3d_input(self):
+        layer = Linear(4, 2)
+        out = layer(Tensor(np.zeros((2, 5, 4))))
+        assert out.shape == (2, 5, 2)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        table = Embedding(10, 4)
+        out = table(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_lookup_values(self):
+        table = Embedding(5, 3)
+        out = table(np.array([2]))
+        np.testing.assert_allclose(out.data[0], table.weight.data[2])
+
+    def test_out_of_range_rejected(self):
+        table = Embedding(5, 3)
+        with pytest.raises(ValueError):
+            table(np.array([5]))
+        with pytest.raises(ValueError):
+            table(np.array([-1]))
+
+    def test_gradient_accumulates_for_repeated_ids(self):
+        table = Embedding(4, 2)
+        out = table(np.array([1, 1, 1]))
+        out.sum().backward()
+        np.testing.assert_allclose(table.weight.grad[1], [3.0, 3.0])
+        np.testing.assert_allclose(table.weight.grad[0], [0.0, 0.0])
+
+
+class TestLayerNorm:
+    def test_output_is_normalized(self):
+        layer = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).normal(loc=5, scale=3, size=(4, 8)))
+        out = layer(x)
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gradcheck(self):
+        layer = LayerNorm(5)
+        x = Tensor(np.random.default_rng(2).normal(size=(3, 5)), requires_grad=True)
+        assert_grad_matches(
+            lambda: (layer(x) ** 2).sum(), [x, layer.gamma, layer.beta]
+        )
+
+    def test_gamma_beta_applied(self):
+        layer = LayerNorm(4)
+        layer.gamma.data[:] = 2.0
+        layer.beta.data[:] = 1.0
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4)))
+        out = layer(x)
+        np.testing.assert_allclose(out.data.mean(axis=-1), 1.0, atol=1e-9)
+
+
+class TestActivationsDropout:
+    def test_relu_module(self):
+        out = ReLU()(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_gelu_module(self):
+        out = GELU()(Tensor(np.array([0.0])))
+        assert out.data[0] == pytest.approx(0.0)
+
+    def test_dropout_train_vs_eval(self):
+        layer = Dropout(0.5, seed=0)
+        x = Tensor(np.ones((100,)))
+        layer.train()
+        assert (layer(x).data == 0).any()
+        layer.eval()
+        np.testing.assert_allclose(layer(x).data, 1.0)
+
+
+class TestSequential:
+    def test_applies_in_order(self):
+        model = Sequential(Linear(2, 3), ReLU(), Linear(3, 1))
+        out = model(Tensor(np.zeros((4, 2))))
+        assert out.shape == (4, 1)
+
+    def test_len_getitem(self):
+        model = Sequential(ReLU(), GELU())
+        assert len(model) == 2
+        assert isinstance(model[1], GELU)

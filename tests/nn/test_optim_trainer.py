@@ -1,0 +1,135 @@
+"""Tests for optimizers and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear, Module, Parameter
+from repro.nn.optim import SGD, Adam, AdamW, clip_grad_norm
+from repro.nn.tensor import Tensor
+from repro.nn.trainer import Trainer, TrainingConfig
+
+
+def quadratic_parameter():
+    return Parameter(np.array([5.0, -3.0]))
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda p: SGD([p], lr=0.1),
+            lambda p: SGD([p], lr=0.05, momentum=0.9),
+            lambda p: Adam([p], lr=0.2),
+            lambda p: AdamW([p], lr=0.2, weight_decay=0.01),
+        ],
+        ids=["sgd", "sgd-momentum", "adam", "adamw"],
+    )
+    def test_minimizes_quadratic(self, make):
+        parameter = quadratic_parameter()
+        optimizer = make(parameter)
+        for __ in range(200):
+            optimizer.zero_grad()
+            loss = (parameter * parameter).sum()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, 0.0, atol=1e-2)
+
+    def test_none_grads_skipped(self):
+        parameter = quadratic_parameter()
+        before = parameter.data.copy()
+        SGD([parameter], lr=0.1).step()
+        np.testing.assert_allclose(parameter.data, before)
+
+    def test_adamw_decays_even_without_loss_gradient(self):
+        parameter = Parameter(np.array([10.0]))
+        parameter.grad = np.array([0.0])
+        AdamW([parameter], lr=0.1, weight_decay=0.5).step()
+        assert parameter.data[0] < 10.0
+
+    def test_zero_grad(self):
+        parameter = quadratic_parameter()
+        (parameter * 2).sum().backward()
+        optimizer = SGD([parameter], lr=0.1)
+        optimizer.zero_grad()
+        assert parameter.grad is None
+
+
+class TestClipGradNorm:
+    def test_large_gradients_scaled(self):
+        parameter = Parameter(np.zeros(4))
+        parameter.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([parameter], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0)
+
+    def test_small_gradients_untouched(self):
+        parameter = Parameter(np.zeros(4))
+        parameter.grad = np.full(4, 0.01)
+        clip_grad_norm([parameter], max_norm=1.0)
+        np.testing.assert_allclose(parameter.grad, 0.01)
+
+
+class _TinyLogistic(Module):
+    """Minimal model exposing the trainer protocol."""
+
+    def __init__(self):
+        super().__init__()
+        self.linear = Linear(2, 1, rng=np.random.default_rng(0))
+
+    def loss(self, X, y):
+        logits = self.linear(Tensor(np.asarray(X))).reshape(len(X))
+        return F.binary_cross_entropy_with_logits(logits, y)
+
+    def predict(self, X):
+        logits = self.linear(Tensor(np.asarray(X))).data.reshape(len(X))
+        return (logits > 0).astype(int)
+
+
+class TestTrainer:
+    def _data(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 2))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        return X, y
+
+    def test_loss_decreases(self):
+        X, y = self._data()
+        trainer = Trainer(_TinyLogistic(), TrainingConfig(epochs=20, lr=0.05))
+        trainer.fit(X, y)
+        assert trainer.history[-1] < trainer.history[0]
+        assert (trainer.model.predict(X) == y).mean() > 0.9
+
+    def test_early_stopping(self):
+        X, y = self._data()
+        config = TrainingConfig(epochs=500, lr=0.1, patience=3)
+        trainer = Trainer(_TinyLogistic(), config).fit(X, y)
+        assert len(trainer.history) < 500
+
+    def test_records_train_time(self):
+        X, y = self._data()
+        trainer = Trainer(_TinyLogistic(), TrainingConfig(epochs=2)).fit(X, y)
+        assert trainer.train_seconds > 0
+
+    def test_model_left_in_eval_mode(self):
+        X, y = self._data()
+        trainer = Trainer(_TinyLogistic(), TrainingConfig(epochs=1)).fit(X, y)
+        assert not trainer.model.training
+
+    def test_deterministic_given_seed(self):
+        X, y = self._data()
+        a = Trainer(_TinyLogistic(), TrainingConfig(epochs=3, seed=1)).fit(X, y)
+        b = Trainer(_TinyLogistic(), TrainingConfig(epochs=3, seed=1)).fit(X, y)
+        assert a.history == b.history
+
+    def test_list_inputs_supported(self):
+        X, y = self._data()
+        trainer = Trainer(_TinyLogistic(), TrainingConfig(epochs=1))
+        trainer.fit([row for row in X], y)
+        assert len(trainer.history) == 1
+
+    def test_unsupported_container_rejected(self):
+        X, y = self._data()
+        trainer = Trainer(_TinyLogistic(), TrainingConfig(epochs=1))
+        with pytest.raises(TypeError):
+            trainer.fit({"a": 1}, y)

@@ -1,0 +1,116 @@
+"""Tests for NN weight persistence."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Module, Sequential, ReLU
+from repro.nn.serialize import (
+    load_module,
+    load_state_dict,
+    save_module,
+    state_dict,
+)
+from repro.nn.tensor import Tensor
+
+
+class _Net(Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.body = Sequential(Linear(4, 8, rng=rng), ReLU(),
+                               Linear(8, 2, rng=rng))
+        self.heads = {"aux": Linear(8, 1, rng=rng)}
+        self.blocks = [Linear(2, 2, rng=rng)]
+
+    def forward(self, x):
+        return self.blocks[0](self.body(x))
+
+
+class TestStateDict:
+    def test_covers_all_parameters(self):
+        net = _Net()
+        weights = state_dict(net)
+        assert len(weights) == len(net.parameters())
+
+    def test_names_are_hierarchical(self):
+        names = set(state_dict(_Net()))
+        assert any(name.startswith("body.modules.0.") for name in names)
+        assert any(name.startswith("heads.aux.") for name in names)
+        assert any(name.startswith("blocks.0.") for name in names)
+
+    def test_arrays_are_copies(self):
+        net = _Net()
+        weights = state_dict(net)
+        # Pick a weight matrix (biases are zero-initialized).
+        name = next(n for n, v in weights.items() if v.ndim == 2)
+        weights[name][:] = 0.0
+        assert not np.all(state_dict(net)[name] == 0.0)
+
+
+class TestLoad:
+    def test_roundtrip_restores_outputs(self):
+        source = _Net(seed=1)
+        target = _Net(seed=2)
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)))
+        assert not np.allclose(source.forward(x).data, target.forward(x).data)
+        load_state_dict(target, state_dict(source))
+        np.testing.assert_allclose(
+            source.forward(x).data, target.forward(x).data
+        )
+
+    def test_missing_key_rejected(self):
+        net = _Net()
+        weights = state_dict(net)
+        weights.pop(next(iter(weights)))
+        with pytest.raises(KeyError, match="missing"):
+            load_state_dict(net, weights)
+
+    def test_unexpected_key_rejected(self):
+        net = _Net()
+        weights = state_dict(net)
+        weights["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError, match="unexpected"):
+            load_state_dict(net, weights)
+
+    def test_shape_mismatch_rejected(self):
+        net = _Net()
+        weights = state_dict(net)
+        first = next(iter(weights))
+        weights[first] = np.zeros((1, 1))
+        with pytest.raises(ValueError, match="shape"):
+            load_state_dict(net, weights)
+
+
+class TestFiles:
+    def test_save_load_file(self, tmp_path):
+        source = _Net(seed=3)
+        path = tmp_path / "weights.npz"
+        save_module(source, path)
+        target = load_module(_Net(seed=4), path)
+        x = Tensor(np.ones((2, 4)))
+        np.testing.assert_allclose(
+            source.forward(x).data, target.forward(x).data
+        )
+
+    def test_trained_model_survives_roundtrip(self, tmp_path):
+        """An end-to-end check with a real detector network."""
+        from repro.models.scsguard import SCSGuardClassifier
+        from repro.datagen.corpus import CorpusConfig, build_corpus
+        from repro.datagen.dataset import Dataset
+
+        corpus = build_corpus(
+            CorpusConfig(n_phishing=12, n_benign=12, seed=9, clone_factor=2.0)
+        )
+        dataset = Dataset.from_corpus(corpus, seed=0)
+        model = SCSGuardClassifier(max_length=32, epochs=2, seed=0)
+        model.fit(dataset.bytecodes, dataset.labels)
+        before = model.predict_proba(dataset.bytecodes)
+
+        path = save_module(model.network_, tmp_path / "scsguard.npz")
+        fresh = SCSGuardClassifier(max_length=32, epochs=0, seed=1)
+        # Rebuild architecture (epochs=0 keeps random weights), then load.
+        fresh.fit(dataset.bytecodes, dataset.labels)
+        load_module(fresh.network_, path)
+        fresh.encoder_ = model.encoder_  # vocabulary travels with the release
+        after = fresh.predict_proba(dataset.bytecodes)
+        np.testing.assert_allclose(before, after, atol=1e-12)

@@ -1,0 +1,265 @@
+"""Tests for the semantics-preserving evasion attacks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.corpus import CorpusConfig, build_corpus
+from repro.datagen.mutation import is_minimal_proxy, proxy_implementation
+from repro.evm.assembler import Label, PushLabel, assemble
+from repro.evm.disassembler import disassemble_mnemonics
+from repro.evm.machine import EVM, ExecutionContext
+from repro.robustness.attacks import (
+    AttackError,
+    append_unreachable_junk,
+    insert_junk_blocks,
+    mimicry_padding,
+    opcode_byte_distribution,
+    semantics_preserved,
+    substitute_push0,
+    wrap_in_minimal_proxy,
+)
+
+#: A small contract with a conditional jump: stores CALLVALUE at slot 1
+#: when non-zero, then returns 32 bytes of memory.
+JUMPY = assemble([
+    "CALLVALUE",
+    PushLabel("store"),
+    "JUMPI",
+    ("PUSH1", 0x2A),
+    ("PUSH1", 0x00),
+    "MSTORE",
+    PushLabel("done"),
+    "JUMP",
+    Label("store"),
+    "CALLVALUE",
+    ("PUSH1", 0x01),
+    "SSTORE",
+    Label("done"),
+    ("PUSH1", 0x20),
+    ("PUSH1", 0x00),
+    "RETURN",
+])
+
+STRAIGHT = assemble([
+    ("PUSH1", 0x07),
+    ("PUSH1", 0x00),
+    "SSTORE",
+    "STOP",
+])
+
+
+@pytest.fixture(scope="module")
+def phishing_bytecodes():
+    corpus = build_corpus(
+        CorpusConfig(n_phishing=20, n_benign=20, seed=11)
+    )
+    return [record.bytecode for record in corpus.phishing_records()]
+
+
+class TestAppendJunk:
+    def test_grows_by_exact_amount(self):
+        rng = np.random.default_rng(0)
+        attacked = append_unreachable_junk(STRAIGHT, rng, 64)
+        assert len(attacked) == len(STRAIGHT) + 64
+        assert attacked[: len(STRAIGHT)] == STRAIGHT
+
+    def test_zero_bytes_is_identity(self):
+        rng = np.random.default_rng(0)
+        assert append_unreachable_junk(STRAIGHT, rng, 0) == STRAIGHT
+
+    def test_negative_rejected(self):
+        with pytest.raises(AttackError):
+            append_unreachable_junk(STRAIGHT, np.random.default_rng(0), -1)
+
+    def test_non_terminated_code_rejected(self):
+        dangling = assemble([("PUSH1", 1), ("PUSH1", 2), "ADD"])
+        with pytest.raises(AttackError):
+            append_unreachable_junk(dangling, np.random.default_rng(0), 8)
+
+    def test_semantics_preserved(self):
+        rng = np.random.default_rng(1)
+        attacked = append_unreachable_junk(JUMPY, rng, 100)
+        assert semantics_preserved(JUMPY, attacked)
+
+    def test_changes_opcode_histogram(self):
+        rng = np.random.default_rng(2)
+        attacked = append_unreachable_junk(STRAIGHT, rng, 200)
+        assert disassemble_mnemonics(attacked) != disassemble_mnemonics(
+            STRAIGHT
+        )
+
+    @given(st.integers(0, 300), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_always_preserves_prefix(self, n_bytes, seed):
+        rng = np.random.default_rng(seed)
+        attacked = append_unreachable_junk(JUMPY, rng, n_bytes)
+        assert attacked[: len(JUMPY)] == JUMPY
+        assert len(attacked) == len(JUMPY) + n_bytes
+
+
+class TestMimicry:
+    def test_distribution_shape(self, phishing_bytecodes):
+        distribution = opcode_byte_distribution(phishing_bytecodes)
+        assert distribution.shape == (256,)
+        assert distribution.sum() == pytest.approx(1.0)
+        assert np.all(distribution > 0)  # Laplace smoothing
+
+    def test_padding_follows_distribution(self):
+        # Mass concentrated on byte 0x5B: padding must be all JUMPDESTs.
+        distribution = np.zeros(256)
+        distribution[0x5B] = 1.0
+        rng = np.random.default_rng(3)
+        attacked = mimicry_padding(STRAIGHT, rng, 50, distribution)
+        assert attacked[len(STRAIGHT):] == bytes([0x5B]) * 50
+
+    def test_semantics_preserved(self, phishing_bytecodes):
+        distribution = opcode_byte_distribution(phishing_bytecodes)
+        rng = np.random.default_rng(4)
+        attacked = mimicry_padding(JUMPY, rng, 80, distribution)
+        assert semantics_preserved(JUMPY, attacked)
+
+    def test_bad_distribution_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(AttackError):
+            mimicry_padding(STRAIGHT, rng, 8, np.ones(10))
+        with pytest.raises(AttackError):
+            mimicry_padding(STRAIGHT, rng, 8, np.zeros(256))
+        negative = np.ones(256)
+        negative[0] = -1.0
+        with pytest.raises(AttackError):
+            mimicry_padding(STRAIGHT, rng, 8, negative)
+
+
+class TestInsertJunkBlocks:
+    def test_straightline_semantics(self):
+        rng = np.random.default_rng(5)
+        attacked = insert_junk_blocks(STRAIGHT, rng, n_blocks=2,
+                                      block_length=6)
+        assert len(attacked) > len(STRAIGHT)
+        assert semantics_preserved(STRAIGHT, attacked)
+
+    def test_jumpy_semantics_many_seeds(self):
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            attacked = insert_junk_blocks(JUMPY, rng, n_blocks=3,
+                                          block_length=8)
+            assert semantics_preserved(JUMPY, attacked), f"seed {seed}"
+
+    def test_relocated_code_still_executes(self):
+        rng = np.random.default_rng(6)
+        attacked = insert_junk_blocks(JUMPY, rng)
+        result = EVM().execute(
+            attacked, context=ExecutionContext(callvalue=5)
+        )
+        assert result.success
+        assert result.storage.get(1) == 5
+
+    def test_synthetic_phishing_corpus_survives(self, phishing_bytecodes):
+        rng = np.random.default_rng(7)
+        preserved = 0
+        for bytecode in phishing_bytecodes[:10]:
+            attacked = insert_junk_blocks(bytecode, rng, n_blocks=2,
+                                          block_length=6)
+            preserved += semantics_preserved(bytecode, attacked)
+        assert preserved == 10
+
+    def test_tiny_block_rejected(self):
+        with pytest.raises(AttackError):
+            insert_junk_blocks(STRAIGHT, np.random.default_rng(0),
+                               block_length=1)
+
+    def test_empty_bytecode_rejected(self):
+        with pytest.raises(AttackError):
+            insert_junk_blocks(b"", np.random.default_rng(0))
+
+    @given(st.integers(1, 5), st.sampled_from([4, 6, 8, 12]),
+           st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_jumpy_always_preserved(self, n_blocks, block_length,
+                                             seed):
+        rng = np.random.default_rng(seed)
+        attacked = insert_junk_blocks(JUMPY, rng, n_blocks=n_blocks,
+                                      block_length=block_length)
+        assert semantics_preserved(JUMPY, attacked)
+
+
+class TestSubstitutePush0:
+    ZEROS = assemble([
+        ("PUSH1", 0x00),
+        ("PUSH1", 0x00),
+        "SSTORE",
+        "STOP",
+    ])
+
+    def test_full_substitution(self):
+        out = substitute_push0(self.ZEROS, np.random.default_rng(0))
+        assert len(out) == len(self.ZEROS)
+        assert out.hex() == "5f5b5f5b5500"
+        assert semantics_preserved(self.ZEROS, out)
+
+    def test_zero_fraction_is_identity(self):
+        out = substitute_push0(self.ZEROS, np.random.default_rng(0),
+                               fraction=0.0)
+        assert out == self.ZEROS
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(AttackError):
+            substitute_push0(self.ZEROS, np.random.default_rng(0),
+                             fraction=1.5)
+
+    def test_nonzero_push_untouched(self):
+        out = substitute_push0(STRAIGHT, np.random.default_rng(0))
+        # STRAIGHT pushes 0x07 and 0x00: only the latter rewrites.
+        assert out != STRAIGHT
+        assert out[0:2] == STRAIGHT[0:2]
+        assert semantics_preserved(STRAIGHT, out)
+
+    def test_push_operand_zero_bytes_not_confused(self):
+        # A PUSH2 0x0000 operand contains 0x60-free zeros; a PUSH1 opcode
+        # byte inside another PUSH's operand must not be rewritten.
+        tricky = assemble([("PUSH2", 0x6000), "POP", "STOP"])
+        out = substitute_push0(tricky, np.random.default_rng(0))
+        assert out == tricky  # 0x60 0x00 here is operand data, not code
+
+    def test_jumpy_contract_preserved(self):
+        out = substitute_push0(JUMPY, np.random.default_rng(1))
+        assert semantics_preserved(JUMPY, out)
+
+    def test_corpus_histogram_shift(self, phishing_bytecodes):
+        from repro.evm.disassembler import disassemble_mnemonics
+        rng = np.random.default_rng(2)
+        shifted = 0
+        for bytecode in phishing_bytecodes[:10]:
+            out = substitute_push0(bytecode, rng)
+            before = disassemble_mnemonics(bytecode).count("PUSH1")
+            after = disassemble_mnemonics(out).count("PUSH1")
+            shifted += after < before
+        assert shifted >= 5  # most contracts push at least one zero
+
+
+class TestProxyWrap:
+    def test_produces_canonical_proxy(self):
+        proxy = wrap_in_minimal_proxy(0xDEAD)
+        assert is_minimal_proxy(proxy)
+        assert proxy_implementation(proxy).endswith("dead")
+
+    def test_proxies_of_different_targets_share_opcodes(self):
+        first = wrap_in_minimal_proxy(1)
+        second = wrap_in_minimal_proxy(2**159)
+        assert disassemble_mnemonics(first) == disassemble_mnemonics(second)
+
+
+class TestSemanticsOracle:
+    def test_detects_behaviour_change(self):
+        changed = assemble([
+            ("PUSH1", 0x08),  # different value stored
+            ("PUSH1", 0x00),
+            "SSTORE",
+            "STOP",
+        ])
+        assert not semantics_preserved(STRAIGHT, changed)
+
+    def test_identity_is_preserved(self):
+        assert semantics_preserved(JUMPY, JUMPY)
