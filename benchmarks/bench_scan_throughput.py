@@ -1,0 +1,142 @@
+"""Scan-path throughput: the serve layer vs the seed per-address loop.
+
+Not a paper artifact — this is the ROADMAP's "serve heavy traffic" check.
+Three ways to answer the same batch of scan queries:
+
+* **seed loop** — `classify_address(reuse_model=False)`: retrain the model
+  for every address, exactly what the seed facade did,
+* **cold service** — one `ScanService` fit + `scan_many` over a batch the
+  cache has never seen,
+* **warm service** — the same batch again, served from the
+  content-addressed prediction cache.
+
+Prints one machine-readable JSON summary line (`SCAN_THROUGHPUT {...}`)
+with contracts/sec per mode. Shape assertions: the warm batched path must
+beat the seed loop by ≥ 5×, and cached vs uncached predictions must be
+bit-identical.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from benchmarks.conftest import SEED, run_once
+from repro.core.pipeline import PhishingHook, PipelineConfig
+
+#: Addresses in the scan batch (duplicates included — deployed bytecode is
+#: heavily duplicated in the wild, §III).
+BATCH_SIZE = 96
+
+#: Addresses timed under the seed retrain-per-scan loop (kept small: each
+#: one trains a fresh Random Forest).
+SEED_LOOP_SIZE = 6
+
+
+def _scan_addresses(corpus, count):
+    records = corpus.records
+    return [records[i % len(records)].address for i in range(count)]
+
+
+def test_scan_throughput(benchmark, corpus):
+    hook = PhishingHook(
+        corpus, PipelineConfig(run_post_hoc=False, seed=SEED)
+    )
+    train = hook.build_dataset(hook.gather())
+    addresses = _scan_addresses(corpus, BATCH_SIZE)
+
+    def run():
+        summary = {}
+
+        # Seed behavior: retrain per scan.
+        loop_addresses = addresses[:SEED_LOOP_SIZE]
+        started = time.perf_counter()
+        loop_verdicts = [
+            hook.classify_address(
+                a, "Random Forest", train_dataset=train, reuse_model=False
+            )
+            for a in loop_addresses
+        ]
+        loop_seconds = time.perf_counter() - started
+        summary["seed_loop"] = {
+            "contracts": len(loop_addresses),
+            "seconds": loop_seconds,
+            "contracts_per_sec": len(loop_addresses) / loop_seconds,
+        }
+
+        # Batched service, cold cache (fit timed separately).
+        service = hook.scan_service("Random Forest", train_dataset=train)
+        started = time.perf_counter()
+        cold = service.scan_many(addresses)
+        cold_seconds = time.perf_counter() - started
+        summary["cold_service"] = {
+            "contracts": len(addresses),
+            "seconds": cold_seconds,
+            "contracts_per_sec": len(addresses) / cold_seconds,
+        }
+
+        # Same batch again: pure cache service.
+        started = time.perf_counter()
+        warm = service.scan_many(addresses)
+        warm_seconds = time.perf_counter() - started
+        summary["warm_service"] = {
+            "contracts": len(addresses),
+            "seconds": warm_seconds,
+            "contracts_per_sec": len(addresses) / warm_seconds,
+        }
+        summary["cache"] = service.stats()
+        return summary, loop_verdicts, cold, warm
+
+    summary, loop_verdicts, cold, warm = run_once(benchmark, run)
+
+    # Cached and uncached predictions are bit-identical.
+    assert [r.probability for r in cold] == [r.probability for r in warm]
+    assert all(r.from_cache for r in warm)
+    # The service answers match the per-address facade exactly (same seed,
+    # same training set, same model class).
+    for (verdict, probability), result in zip(loop_verdicts, cold):
+        assert probability == result.probability
+        assert verdict == result.is_phishing
+
+    rate = {mode: summary[mode]["contracts_per_sec"]
+            for mode in ("seed_loop", "cold_service", "warm_service")}
+    summary["speedup_warm_vs_seed_loop"] = (
+        rate["warm_service"] / rate["seed_loop"]
+    )
+    summary["speedup_cold_vs_seed_loop"] = (
+        rate["cold_service"] / rate["seed_loop"]
+    )
+    print("\nSCAN_THROUGHPUT " + json.dumps(summary, sort_keys=True))
+    print(f"seed loop   {rate['seed_loop']:10.1f} contracts/s")
+    print(f"cold cache  {rate['cold_service']:10.1f} contracts/s")
+    print(f"warm cache  {rate['warm_service']:10.1f} contracts/s")
+
+    # Acceptance: warm batched scan ≥ 5× the seed per-address loop.
+    assert summary["speedup_warm_vs_seed_loop"] >= 5.0
+
+
+def test_feature_cache_amortizes_campaign_decodes(benchmark, corpus):
+    """One decode per unique bytecode per campaign, not per model × fold."""
+    from repro.serve.cache import FeatureCache
+
+    hook = PhishingHook(
+        corpus,
+        PipelineConfig(
+            model_names=("Random Forest", "k-NN", "Logistic Regression"),
+            n_folds=2,
+            run_post_hoc=False,
+            seed=SEED,
+        ),
+    )
+
+    outcome = run_once(benchmark, hook.run)
+    assert len(outcome.evaluation.trials) == 6
+
+    stats = hook.feature_cache.stats
+    ids_hits, ids_misses = stats.by_namespace["ids"]
+    unique = len({bytes(b) for b in outcome.dataset.bytecodes})
+    # Every decode past the first per unique bytecode is a cache hit.
+    assert ids_misses <= unique
+    assert ids_hits > ids_misses
+    print(f"\ncampaign decodes: {ids_misses} misses / {ids_hits} hits "
+          f"({unique} unique bytecodes)")

@@ -10,8 +10,11 @@ Entry points:
 * :class:`repro.core.pipeline.PhishingHook` — the end-to-end framework,
 * :func:`repro.core.registry.create_model` — any Table II model by name,
 * :func:`repro.datagen.corpus.build_corpus` — the synthetic data plane,
-* ``phishinghook`` (CLI) — demo / scan / disasm / dataset / attack /
-  calibrate commands.
+* :class:`repro.serve.ScanService` — fit-once batched scanning over the
+  content-addressed :class:`repro.serve.FeatureCache` (see
+  :mod:`repro.serve` for the design notes and cache knobs),
+* ``phishinghook`` (CLI) — demo / scan (incl. ``--batch``) / disasm /
+  dataset / attack / calibrate commands.
 
 See DESIGN.md for the architecture and EXPERIMENTS.md for results.
 """

@@ -4,7 +4,9 @@ Commands:
 
 * ``demo`` — build a synthetic corpus, run a reduced Table II evaluation
   and print the results table,
-* ``scan`` — classify one contract address on a fresh simulated chain,
+* ``scan`` — classify contract addresses on a fresh simulated chain; with
+  ``--batch`` the addresses go through the deduped, feature-cached
+  ``ScanService`` (see :mod:`repro.serve`),
 * ``disasm`` — disassemble a hex bytecode string to the BDM's CSV rows,
 * ``dataset`` — build a corpus and print Fig. 2-style monthly counts,
 * ``attack`` — demonstrate the benign-mimicry evasion sweep against a
@@ -16,6 +18,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import itertools
 import sys
 
 import numpy as np
@@ -56,12 +59,37 @@ def _cmd_scan(args) -> int:
                      n_benign=args.contracts // 2, seed=args.seed)
     )
     hook = PhishingHook(corpus, PipelineConfig(run_post_hoc=False))
-    address = args.address
-    if address == "random-phishing":
-        address = corpus.phishing_records()[0].address
-    flagged, probability = hook.classify_address(address, args.model)
-    verdict = "PHISHING" if flagged else "benign"
-    print(f"{address}: {verdict} (p={probability:.3f}, model={args.model})")
+    addresses = []
+    phishing_records = corpus.phishing_records()
+    if "random-phishing" in args.addresses and not phishing_records:
+        print("error: corpus has no phishing records to sample "
+              "(raise --contracts)", file=sys.stderr)
+        return 2
+    next_phishing = itertools.cycle(phishing_records)
+    for address in args.addresses:
+        if address == "random-phishing":
+            address = next(next_phishing).address
+        addresses.append(address)
+    if args.batch:
+        service = hook.scan_service(args.model)
+        results = service.scan_many(addresses)
+        for result in results:
+            verdict = "PHISHING" if result.is_phishing else "benign"
+            source = "cache" if result.from_cache else "model"
+            print(f"{result.address}: {verdict} "
+                  f"(p={result.probability:.3f}, model={args.model}, "
+                  f"via={source})")
+        stats = service.stats()
+        served = sum(r.from_cache for r in results)
+        print(f"batch of {len(results)}: {served} served from cache; "
+              f"overall cache hit rate {stats['hit_rate']:.2f} "
+              f"({stats['hits']} hits / {stats['misses']} misses)")
+        return 0
+    for address in addresses:
+        flagged, probability = hook.classify_address(address, args.model)
+        verdict = "PHISHING" if flagged else "benign"
+        print(f"{address}: {verdict} "
+              f"(p={probability:.3f}, model={args.model})")
     return 0
 
 
@@ -178,8 +206,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo.set_defaults(func=_cmd_demo)
 
-    scan = sub.add_parser("scan", help="classify one contract address")
-    scan.add_argument("address", help="0x… address, or 'random-phishing'")
+    scan = sub.add_parser("scan", help="classify contract addresses")
+    scan.add_argument(
+        "addresses", nargs="+", metavar="address",
+        help="0x… addresses, or 'random-phishing' (repeatable)",
+    )
+    scan.add_argument(
+        "--batch", action="store_true",
+        help="scan all addresses through the batched ScanService "
+             "(deduped, feature-cached) and print cache statistics",
+    )
     scan.add_argument("--model", default="Random Forest")
     scan.add_argument("--contracts", type=int, default=200)
     scan.add_argument("--seed", type=int, default=0)

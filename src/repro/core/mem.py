@@ -70,8 +70,16 @@ class EvaluationResult:
         )
 
     def mean_times(self, model: str) -> tuple[float, float]:
-        """(train_seconds, inference_seconds) averaged over trials."""
+        """(train_seconds, inference_seconds) averaged over trials.
+
+        Raises:
+            KeyError: If no trials were recorded for ``model`` (matching
+                :meth:`mean_metrics`, instead of returning NaN with a
+                numpy RuntimeWarning).
+        """
         trials = self.for_model(model)
+        if not trials:
+            raise KeyError(f"no trials recorded for {model!r}")
         return (
             float(np.mean([t.train_seconds for t in trials])),
             float(np.mean([t.inference_seconds for t in trials])),
@@ -109,9 +117,15 @@ class ModelEvaluationModule:
         n_folds: Cross-validation folds (paper: 10).
         n_runs: Independent repetitions (paper: 3).
         seed: Base seed; fold assignments and model seeds derive from it.
+        cache: Optional :class:`~repro.serve.cache.FeatureCache`. When
+            given, every cache-aware model decodes bytecode through it, so
+            a campaign decodes each unique bytecode once instead of once
+            per model × fold × run.
     """
 
-    def __init__(self, n_folds: int = 10, n_runs: int = 3, seed: int = 0):
+    def __init__(
+        self, n_folds: int = 10, n_runs: int = 3, seed: int = 0, cache=None
+    ):
         if n_folds < 2:
             raise ValueError("n_folds must be at least 2")
         if n_runs < 1:
@@ -119,6 +133,7 @@ class ModelEvaluationModule:
         self.n_folds = n_folds
         self.n_runs = n_runs
         self.seed = seed
+        self.cache = cache
 
     def evaluate(
         self,
@@ -163,6 +178,8 @@ class ModelEvaluationModule:
         self, name, model_factory, train: Dataset, test: Dataset, run, fold
     ) -> TrialRecord:
         model = model_factory(name, seed=self.seed + 7919 * run + fold)
+        if self.cache is not None:
+            self.cache.attach(model)
         started = time.perf_counter()
         model.fit(train.bytecodes, train.labels)
         train_seconds = time.perf_counter() - started

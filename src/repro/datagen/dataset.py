@@ -48,6 +48,7 @@ class Dataset:
             self.families = ["unknown"] * n
         if not self.addresses:
             self.addresses = [""] * n
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -86,6 +87,25 @@ class Dataset:
 
     def __len__(self) -> int:
         return len(self.bytecodes)
+
+    def fingerprint(self) -> str:
+        """Content hash of (bytecodes, labels) identifying this dataset.
+
+        Stable across processes; used to key fitted-model and prediction
+        caches ("same data + same labels → same trained model"). Memoized
+        on first call — the caches already treat dataset content as
+        immutable.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            for bytecode, label in zip(self.bytecodes, self.labels):
+                digest.update(len(bytecode).to_bytes(4, "big"))
+                digest.update(bytecode)
+                digest.update(b"\x01" if label else b"\x00")
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     @property
     def class_counts(self) -> tuple[int, int]:

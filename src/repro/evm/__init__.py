@@ -16,7 +16,14 @@ Ethereum Virtual Machine as of the *Shanghai* fork:
 
 from repro.evm.assembler import Assembler, assemble
 from repro.evm.cfg import ControlFlowGraph, build_cfg
-from repro.evm.disassembler import Disassembler, disassemble
+from repro.evm.disassembler import (
+    MNEMONIC_IDS,
+    MNEMONIC_TABLE,
+    Disassembler,
+    decode_mnemonic_ids,
+    disassemble,
+    ids_to_mnemonics,
+)
 from repro.evm.errors import (
     AssemblerError,
     DisassemblyError,
@@ -45,6 +52,10 @@ __all__ = [
     "build_cfg",
     "Disassembler",
     "disassemble",
+    "decode_mnemonic_ids",
+    "ids_to_mnemonics",
+    "MNEMONIC_IDS",
+    "MNEMONIC_TABLE",
     "AssemblerError",
     "DisassemblyError",
     "EVMError",

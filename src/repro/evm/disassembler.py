@@ -20,6 +20,8 @@ from __future__ import annotations
 import io
 from collections.abc import Iterator
 
+import numpy as np
+
 from repro.evm.errors import DisassemblyError
 from repro.evm.instruction import Instruction
 from repro.evm.opcodes import OPCODES, opcode_by_name
@@ -28,19 +30,47 @@ _INVALID = opcode_by_name("INVALID")
 
 CSV_HEADER = ("offset", "mnemonic", "operand", "gas")
 
+#: Canonical mnemonic-ID table: every Shanghai mnemonic in sorted order, so
+#: id k is ``MNEMONIC_TABLE[k]``. IDs are stable across processes (they only
+#: depend on the opcode registry) and fit in a uint8, which is what makes
+#: content-addressed caching of decoded sequences cheap.
+MNEMONIC_TABLE: tuple[str, ...] = tuple(
+    sorted({op.mnemonic for op in OPCODES.values()})
+)
+
+#: Mnemonic → mnemonic-ID (inverse of :data:`MNEMONIC_TABLE`).
+MNEMONIC_IDS: dict[str, int] = {
+    name: i for i, name in enumerate(MNEMONIC_TABLE)
+}
+
+MNEMONIC_COUNT = len(MNEMONIC_TABLE)
+
+# Per-byte lookup tables: raw byte value → mnemonic ID (undefined bytes map
+# to INVALID, mirroring instructions()) and → immediate width to skip.
+_BYTE_TO_ID: bytes = bytes(
+    MNEMONIC_IDS[OPCODES[b].mnemonic if b in OPCODES else "INVALID"]
+    for b in range(256)
+)
+_BYTE_TO_WIDTH: bytes = bytes(
+    OPCODES[b].immediate_size if b in OPCODES else 0 for b in range(256)
+)
+
 
 def normalize_bytecode(bytecode: bytes | bytearray | str) -> bytes:
     """Coerce hex-string or bytes input into raw bytes.
 
     Accepts ``bytes``/``bytearray`` verbatim, or a hex string with optional
-    ``0x`` prefix and surrounding whitespace.
+    ``0x`` prefix and whitespace (surrounding or internal, as
+    ``bytes.fromhex`` tolerates between bytes).
 
     Raises:
         DisassemblyError: If a string input is not valid hex.
     """
     if isinstance(bytecode, (bytes, bytearray)):
         return bytes(bytecode)
-    text = bytecode.strip()
+    # Drop all whitespace *before* the parity check: "60 80" is valid spaced
+    # hex, and "0x6 08" really is 3 nibbles, not "even once spaces count".
+    text = "".join(bytecode.split())
     if text.startswith(("0x", "0X")):
         text = text[2:]
     if len(text) % 2:
@@ -104,9 +134,32 @@ class Disassembler:
         """Decode the full bytecode into a list of instructions."""
         return list(self.instructions())
 
+    def mnemonic_ids(self) -> np.ndarray:
+        """The mnemonic-ID sequence as a compact ``uint8`` array.
+
+        Single-pass decode: no :class:`Instruction` objects are built, only
+        opcode bytes are visited (PUSH immediates are skipped via a byte →
+        width table). ``MNEMONIC_TABLE[id]`` recovers the mnemonic; the
+        output is what the vectorized feature extractors and the serve-layer
+        :class:`~repro.serve.cache.FeatureCache` consume.
+        """
+        code = self._code
+        ids = _BYTE_TO_ID
+        widths = _BYTE_TO_WIDTH
+        out = bytearray()
+        append = out.append
+        offset = 0
+        end = len(code)
+        while offset < end:
+            raw = code[offset]
+            append(ids[raw])
+            offset += 1 + widths[raw]
+        return np.frombuffer(bytes(out), dtype=np.uint8)
+
     def mnemonics(self) -> list[str]:
         """The opcode mnemonic sequence (what most models consume)."""
-        return [instruction.mnemonic for instruction in self.instructions()]
+        table = MNEMONIC_TABLE
+        return [table[i] for i in self.mnemonic_ids()]
 
     def jump_destinations(self) -> frozenset[int]:
         """Byte offsets of every JUMPDEST, for control-flow validation.
@@ -149,3 +202,14 @@ def disassemble(bytecode: bytes | bytearray | str) -> list[Instruction]:
 def disassemble_mnemonics(bytecode: bytes | bytearray | str) -> list[str]:
     """Disassemble ``bytecode`` and keep only the mnemonic sequence."""
     return Disassembler(bytecode).mnemonics()
+
+
+def decode_mnemonic_ids(bytecode: bytes | bytearray | str) -> np.ndarray:
+    """Single-pass decode of ``bytecode`` to a ``uint8`` mnemonic-ID array."""
+    return Disassembler(bytecode).mnemonic_ids()
+
+
+def ids_to_mnemonics(ids: np.ndarray) -> list[str]:
+    """Map a mnemonic-ID array back to mnemonic strings."""
+    table = MNEMONIC_TABLE
+    return [table[i] for i in ids]

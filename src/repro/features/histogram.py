@@ -4,13 +4,26 @@
 created. It builds a vector of length equal to the number of unique opcodes
 inside the training set. The vector is directly served as input (i.e.,
 without normalized nor standardized steps)."
+
+The extractor works on the disassembler's compact mnemonic-ID arrays: one
+``np.bincount`` per contract replaces the per-opcode dict lookups, and a
+pluggable ``decoder`` lets the serve layer substitute a content-addressed
+cache (see :mod:`repro.serve.cache`) so each unique bytecode is decoded at
+most once per process.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import numpy as np
 
-from repro.evm.disassembler import disassemble_mnemonics
+from repro.evm.disassembler import (
+    MNEMONIC_COUNT,
+    MNEMONIC_IDS,
+    MNEMONIC_TABLE,
+    decode_mnemonic_ids,
+)
 
 __all__ = ["OpcodeHistogramExtractor"]
 
@@ -20,10 +33,31 @@ class OpcodeHistogramExtractor:
 
     Opcodes never seen during :meth:`fit` are ignored at transform time
     (their column does not exist), mirroring the paper's construction.
+
+    Args:
+        decoder: Optional ``bytecode -> uint8 mnemonic-ID array`` callable
+            replacing the direct single-pass disassembly — typically
+            ``FeatureCache.mnemonic_ids`` for cached decoding.
     """
 
-    def __init__(self):
+    def __init__(
+        self,
+        decoder: Callable[[bytes], np.ndarray] | None = None,
+    ):
         self.vocabulary_: dict[str, int] | None = None
+        self._decoder = decoder
+
+    def set_decoder(
+        self, decoder: Callable[[bytes], np.ndarray] | None
+    ) -> "OpcodeHistogramExtractor":
+        """Install (or clear) a mnemonic-ID decoder, e.g. a cache's."""
+        self._decoder = decoder
+        return self
+
+    def _decode(self, bytecode: bytes) -> np.ndarray:
+        if self._decoder is not None:
+            return self._decoder(bytecode)
+        return decode_mnemonic_ids(bytecode)
 
     @property
     def is_fitted(self) -> bool:
@@ -36,27 +70,55 @@ class OpcodeHistogramExtractor:
         ordered = sorted(self.vocabulary_, key=self.vocabulary_.get)
         return ordered
 
+    def _column_ids(self) -> np.ndarray:
+        """Global mnemonic ids in column order (vocabulary gather index)."""
+        return np.array(
+            [MNEMONIC_IDS[name] for name in self.feature_names], dtype=np.intp
+        )
+
+    def _set_vocabulary(self, present_ids: np.ndarray) -> None:
+        # Global ids are assigned over the sorted mnemonic table, so
+        # ascending-id order *is* the sorted-mnemonic column order the
+        # original dict-based construction produced.
+        self.vocabulary_ = {
+            MNEMONIC_TABLE[gid]: column
+            for column, gid in enumerate(present_ids)
+        }
+
     def fit(self, bytecodes: list[bytes]) -> "OpcodeHistogramExtractor":
         """Learn the vocabulary: unique opcodes in the training set."""
-        seen: set[str] = set()
+        present = np.zeros(MNEMONIC_COUNT, dtype=bool)
         for bytecode in bytecodes:
-            seen.update(disassemble_mnemonics(bytecode))
-        self.vocabulary_ = {name: i for i, name in enumerate(sorted(seen))}
+            present[self._decode(bytecode)] = True
+        self._set_vocabulary(np.flatnonzero(present))
         return self
 
     def transform(self, bytecodes: list[bytes]) -> np.ndarray:
         """Histogram matrix of shape ``(n_samples, vocabulary size)``."""
         self._check_fitted()
-        matrix = np.zeros((len(bytecodes), len(self.vocabulary_)), dtype=np.float64)
+        columns = self._column_ids()
+        matrix = np.zeros((len(bytecodes), len(columns)), dtype=np.float64)
         for row, bytecode in enumerate(bytecodes):
-            for mnemonic in disassemble_mnemonics(bytecode):
-                column = self.vocabulary_.get(mnemonic)
-                if column is not None:
-                    matrix[row, column] += 1.0
+            counts = np.bincount(
+                self._decode(bytecode), minlength=MNEMONIC_COUNT
+            )
+            matrix[row] = counts[columns]
         return matrix
 
     def fit_transform(self, bytecodes: list[bytes]) -> np.ndarray:
-        return self.fit(bytecodes).transform(bytecodes)
+        """Learn the vocabulary and build the matrix in one decode pass.
+
+        Each bytecode is decoded exactly once (the seed implementation
+        disassembled everything twice: once in ``fit``, once in
+        ``transform``).
+        """
+        counts = np.zeros((len(bytecodes), MNEMONIC_COUNT), dtype=np.int64)
+        for row, bytecode in enumerate(bytecodes):
+            counts[row] = np.bincount(
+                self._decode(bytecode), minlength=MNEMONIC_COUNT
+            )
+        self._set_vocabulary(np.flatnonzero(counts.any(axis=0)))
+        return counts[:, self._column_ids()].astype(np.float64)
 
     def _check_fitted(self) -> None:
         if self.vocabulary_ is None:

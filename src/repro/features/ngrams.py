@@ -9,11 +9,15 @@ Tokens are therefore 6-hex-character windows (3 bytes). The vocabulary is
 learned on the training set, capped to the most frequent entries; rare or
 unseen tokens map to ``UNK`` and sequences are padded/truncated to
 ``max_length`` with ``PAD``.
+
+Internally each token is a base-16 integer code over its nibbles, computed
+vectorized from the raw bytes (no hex-string materialization); fitting and
+transforming reduce to ``np.unique``/``np.searchsorted`` over those code
+arrays. Code arrays can be served from a content-addressed cache (see
+:mod:`repro.serve.cache`) via :meth:`HexNgramEncoder.set_cache`.
 """
 
 from __future__ import annotations
-
-from collections import Counter
 
 import numpy as np
 
@@ -22,6 +26,9 @@ __all__ = ["HexNgramEncoder"]
 PAD_ID = 0
 UNK_ID = 1
 _RESERVED = 2
+
+#: Widest token (in hex chars) whose codes fit an int64 (16**15 < 2**63).
+_MAX_VECTOR_WIDTH = 15
 
 
 class HexNgramEncoder:
@@ -51,10 +58,20 @@ class HexNgramEncoder:
         self.chars_per_token = chars_per_token
         self.stride = stride or chars_per_token
         self.vocabulary_: dict[str, int] | None = None
+        self._cache = None
 
     @property
     def is_fitted(self) -> bool:
         return self.vocabulary_ is not None
+
+    def set_cache(self, cache) -> "HexNgramEncoder":
+        """Serve token-code arrays from a :class:`FeatureCache` (or clear)."""
+        self._cache = cache
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Tokenization
+    # ------------------------------------------------------------------ #
 
     def tokens(self, bytecode: bytes) -> list[str]:
         """Split a bytecode's hex string into n-gram tokens."""
@@ -65,28 +82,94 @@ class HexNgramEncoder:
             for i in range(0, max(len(text) - width + 1, 0), self.stride)
         ]
 
+    def token_codes(self, bytecode: bytes) -> np.ndarray:
+        """Vectorized base-16 integer code per token (int64 array).
+
+        ``int(token, 16)`` of every window of :meth:`tokens`, computed from
+        the raw bytes without building hex strings.
+        """
+        if self._cache is not None:
+            namespace = f"hexngram:w{self.chars_per_token}:s{self.stride}"
+            return self._cache.get(namespace, bytecode, self._compute_codes)
+        return self._compute_codes(bytecode)
+
+    def _compute_codes(self, bytecode: bytes) -> np.ndarray:
+        width = self.chars_per_token
+        if width > _MAX_VECTOR_WIDTH:
+            return np.array(
+                [int(t, 16) for t in self.tokens(bytecode)], dtype=np.int64
+            )
+        raw = np.frombuffer(bytecode, dtype=np.uint8)
+        nibbles = np.empty(2 * raw.size, dtype=np.int64)
+        nibbles[0::2] = raw >> 4
+        nibbles[1::2] = raw & 0x0F
+        if nibbles.size < width:
+            return np.empty(0, dtype=np.int64)
+        windows = np.lib.stride_tricks.sliding_window_view(nibbles, width)
+        windows = windows[:: self.stride]
+        powers = 16 ** np.arange(width - 1, -1, -1, dtype=np.int64)
+        return windows @ powers
+
+    def _code_to_token(self, code: int) -> str:
+        return format(code, f"0{self.chars_per_token}x")
+
+    # ------------------------------------------------------------------ #
+    # Fit / transform
+    # ------------------------------------------------------------------ #
+
     def fit(self, bytecodes: list[bytes]) -> "HexNgramEncoder":
-        counts: Counter = Counter()
-        for bytecode in bytecodes:
-            counts.update(self.tokens(bytecode))
-        most_common = counts.most_common(self.vocab_size - _RESERVED)
+        all_codes = [self.token_codes(code) for code in bytecodes]
+        stream = (
+            np.concatenate(all_codes) if all_codes
+            else np.empty(0, dtype=np.int64)
+        )
+        if stream.size == 0:
+            self.vocabulary_ = {}
+            return self
+        codes, first_seen, counts = np.unique(
+            stream, return_index=True, return_counts=True
+        )
+        # Count-descending with ties broken by first occurrence in the
+        # stream — exactly Counter.most_common over sequentially-updated
+        # counts, which the dict-based implementation used.
+        order = np.lexsort((first_seen, -counts))
+        kept = codes[order][: self.vocab_size - _RESERVED]
         self.vocabulary_ = {
-            token: index + _RESERVED
-            for index, (token, __) in enumerate(most_common)
+            self._code_to_token(int(code)): index + _RESERVED
+            for index, code in enumerate(kept)
         }
         return self
+
+    def _lookup_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """(sorted vocabulary codes, their ids) for searchsorted lookup."""
+        items = sorted(
+            (int(token, 16), token_id)
+            for token, token_id in self.vocabulary_.items()
+        )
+        codes = np.array([code for code, __ in items], dtype=np.int64)
+        ids = np.array([token_id for __, token_id in items], dtype=np.int64)
+        return codes, ids
 
     def transform(self, bytecodes: list[bytes]) -> np.ndarray:
         """Integer id matrix of shape ``(n_samples, max_length)``."""
         if self.vocabulary_ is None:
             raise RuntimeError("encoder is not fitted; call fit() first")
-        matrix = np.full((len(bytecodes), self.max_length), PAD_ID, dtype=np.int64)
+        vocab_codes, vocab_ids = self._lookup_tables()
+        matrix = np.full(
+            (len(bytecodes), self.max_length), PAD_ID, dtype=np.int64
+        )
         for row, bytecode in enumerate(bytecodes):
-            ids = [
-                self.vocabulary_.get(token, UNK_ID)
-                for token in self.tokens(bytecode)[: self.max_length]
-            ]
-            matrix[row, : len(ids)] = ids
+            codes = self.token_codes(bytecode)[: self.max_length]
+            if codes.size == 0:
+                continue
+            position = np.searchsorted(vocab_codes, codes)
+            position = np.minimum(position, max(vocab_codes.size - 1, 0))
+            if vocab_codes.size:
+                known = vocab_codes[position] == codes
+                ids = np.where(known, vocab_ids[position], UNK_ID)
+            else:
+                ids = np.full(codes.size, UNK_ID, dtype=np.int64)
+            matrix[row, : ids.size] = ids
         return matrix
 
     def fit_transform(self, bytecodes: list[bytes]) -> np.ndarray:

@@ -79,6 +79,13 @@ class HSCDetector(PhishingDetector):
                 super().set_params(**{name: value})
         return self
 
+    def use_feature_cache(self, cache) -> "HSCDetector":
+        """Decode mnemonic-ID arrays through a shared FeatureCache."""
+        self.extractor_.set_decoder(
+            cache.mnemonic_ids if cache is not None else None
+        )
+        return self
+
     def fit(self, bytecodes, labels) -> "HSCDetector":
         features = self.extractor_.fit_transform(bytecodes)
         self.classifier_.fit(features, np.asarray(labels))

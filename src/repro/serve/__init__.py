@@ -1,0 +1,61 @@
+"""Serve layer: batched scanning over a content-addressed feature cache.
+
+The paper's pipeline is campaign-shaped — crawl, train, evaluate, discard.
+This subpackage is the complementary *service* shape the ROADMAP's north
+star asks for: fit once, then answer a stream of "is this contract
+phishing?" queries as fast as the hardware allows.
+
+Components
+----------
+
+* :class:`~repro.serve.cache.FeatureCache` — bounded LRU keyed by SHA-256
+  of the normalized bytecode. Stores the disassembler's single-pass
+  ``uint8`` mnemonic-ID arrays, per-extractor rows (hex-ngram token
+  codes), and per-model probability rows. Exposes
+  hit/miss/eviction counters (``cache.stats``).
+* :class:`~repro.serve.service.ScanService` — one fitted model +
+  ``scan_bytecodes`` / ``scan_many`` batch entry points with in-batch
+  dedup and cache-served repeat queries.
+
+Design notes
+------------
+
+Deployed bytecode is heavily duplicated (§III: the study corpus shrinks
+~57% under dedup), so keying work by *content* rather than by address or
+request makes the steady-state cost of a scan one hash plus one dict
+probe. The same cache slots under the evaluation campaign:
+``ModelEvaluationModule(cache=...)`` decodes each unique bytecode once
+per campaign instead of once per model × fold × run, because every
+HSC model's extractor pulls ID arrays through the shared cache.
+
+Cache knobs
+-----------
+
+* ``FeatureCache(max_entries=...)`` — LRU bound across all namespaces
+  (default 8192 entries; one entry ≈ one decoded array or one float).
+* ``ScanService(cache=...)`` — pass a shared cache to pool work across
+  services/models; omit for a private one.
+* ``ScanService(threshold=...)`` — phishing verdict cut-off (default 0.5).
+* CLI: ``phishinghook scan --batch addr1 addr2 ...`` routes through a
+  ScanService and prints the cache statistics after the batch.
+
+Entry points
+------------
+
+>>> from repro.serve import FeatureCache, ScanService   # doctest: +SKIP
+>>> service = ScanService("Random Forest", train_dataset=ds, rpc=rpc)
+>>> results = service.scan_many(addresses)              # doctest: +SKIP
+
+or, from a built pipeline facade: ``PhishingHook.scan_service()``.
+"""
+
+from repro.serve.cache import CacheStats, FeatureCache, bytecode_digest
+from repro.serve.service import ScanResult, ScanService
+
+__all__ = [
+    "CacheStats",
+    "FeatureCache",
+    "bytecode_digest",
+    "ScanResult",
+    "ScanService",
+]

@@ -1,0 +1,186 @@
+"""Content-addressed feature cache for the scan/serve hot path.
+
+Every feature pipeline in the framework starts from the same expensive
+step: disassembling deployed bytecode. A scan service sees the same
+bytecodes over and over (§III measures ~57% duplicate deployments), and an
+evaluation campaign re-reads every training bytecode once per model × fold
+× run. :class:`FeatureCache` amortizes that shared work the way incremental
+QBF solvers amortize solver state across closely-related queries: the key
+is the *content* (SHA-256 of the normalized bytecode), so hits are
+independent of address, batch, model or fold.
+
+Cached values per bytecode:
+
+* ``"ids"`` — the compact ``uint8`` mnemonic-ID array from the
+  disassembler's single-pass decode (:meth:`FeatureCache.mnemonic_ids`),
+* arbitrary per-extractor rows under a caller-chosen namespace
+  (:meth:`FeatureCache.get`), e.g. hex-ngram token codes or per-model
+  probability rows.
+
+The store is a bounded LRU (``max_entries`` across all namespaces) with
+hit/miss/eviction accounting. Cached numpy arrays are marked read-only so
+a hit can be returned without a defensive copy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.evm.disassembler import decode_mnemonic_ids, normalize_bytecode
+
+__all__ = ["CacheStats", "FeatureCache", "bytecode_digest"]
+
+#: Namespace under which decoded mnemonic-ID arrays are stored.
+IDS_NAMESPACE = "ids"
+
+
+def bytecode_digest(bytecode: bytes | bytearray | str) -> bytes:
+    """SHA-256 digest of the normalized bytecode — the cache address."""
+    return hashlib.sha256(normalize_bytecode(bytecode)).digest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting, overall and per namespace."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    by_namespace: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def record(self, namespace: str, hit: bool) -> None:
+        h, m = self.by_namespace.get(namespace, (0, 0))
+        if hit:
+            self.hits += 1
+            self.by_namespace[namespace] = (h + 1, m)
+        else:
+            self.misses += 1
+            self.by_namespace[namespace] = (h, m + 1)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "by_namespace": {
+                ns: {"hits": h, "misses": m}
+                for ns, (h, m) in sorted(self.by_namespace.items())
+            },
+        }
+
+
+class FeatureCache:
+    """Bounded content-addressed LRU over per-bytecode computed values.
+
+    Args:
+        max_entries: LRU bound across all namespaces (each cached value —
+            an ID array, a feature row, a probability row — is one entry).
+    """
+
+    def __init__(self, max_entries: int = 8192):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._store: "OrderedDict[tuple[str, bytes], object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._store.clear()
+
+    # ------------------------------------------------------------------ #
+
+    def get(
+        self,
+        namespace: str,
+        bytecode: bytes | bytearray | str,
+        compute: Callable[[bytes], object],
+        digest: bytes | None = None,
+    ):
+        """Return the cached value for (namespace, bytecode), computing on miss.
+
+        ``compute`` receives the normalized bytecode. Numpy results are
+        stored read-only; callers must not mutate returned arrays. Pass a
+        precomputed ``digest`` (from :func:`bytecode_digest`) to skip
+        re-hashing when scanning a batch.
+        """
+        if digest is None:
+            digest = bytecode_digest(bytecode)
+        hit, value = self.lookup(namespace, digest)
+        if hit:
+            return value
+        value = compute(normalize_bytecode(bytecode))
+        self.put(namespace, digest, value)
+        return value
+
+    def lookup(self, namespace: str, digest: bytes) -> tuple[bool, object]:
+        """Stats-recording probe by precomputed digest: ``(hit, value)``.
+
+        The building block for batch flows that want to compute all misses
+        in one call (see :meth:`ScanService.scan_bytecodes`) instead of the
+        one-at-a-time :meth:`get` protocol.
+        """
+        key = (namespace, digest)
+        if key in self._store:
+            self._store.move_to_end(key)
+            self.stats.record(namespace, hit=True)
+            return True, self._store[key]
+        self.stats.record(namespace, hit=False)
+        return False, None
+
+    def put(self, namespace: str, digest: bytes, value) -> None:
+        """Insert a computed value at (namespace, digest), evicting LRU."""
+        if isinstance(value, np.ndarray):
+            value.setflags(write=False)
+        self._store[(namespace, digest)] = value
+        self._store.move_to_end((namespace, digest))
+        if len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+            self.stats.evictions += 1
+
+    def mnemonic_ids(self, bytecode: bytes | bytearray | str) -> np.ndarray:
+        """Cached single-pass decode to the ``uint8`` mnemonic-ID array.
+
+        Drop-in ``decoder`` for
+        :meth:`~repro.features.histogram.OpcodeHistogramExtractor.set_decoder`.
+        """
+        return self.get(IDS_NAMESPACE, bytecode, decode_mnemonic_ids)
+
+    def warm(self, bytecodes) -> int:
+        """Decode every bytecode once up front; returns unique-entry count."""
+        before = self.stats.misses
+        for bytecode in bytecodes:
+            self.mnemonic_ids(bytecode)
+        return self.stats.misses - before
+
+    # ------------------------------------------------------------------ #
+
+    def attach(self, model) -> bool:
+        """Point a model's feature extractors at this cache, if supported.
+
+        Any model exposing ``use_feature_cache`` (the HSC and SCSGuard
+        detectors do) gets cached decoding; returns whether it attached.
+        """
+        hook = getattr(model, "use_feature_cache", None)
+        if hook is None:
+            return False
+        hook(self)
+        return True

@@ -1,0 +1,218 @@
+"""Batched scan service: fit once, serve many scans.
+
+The seed facade (`PhishingHook.classify_address`) retrained a model from
+scratch on every call — fine for a demo, fatal for a service. ``ScanService``
+holds one fitted model and answers ``scan_bytecodes`` / ``scan_many``
+against it, with three layers of work-sharing:
+
+1. **in-batch dedup** — each distinct bytecode in a request is classified
+   once (the §III dedup step applied at serve time),
+2. **prediction cache** — per-model probability rows are content-addressed
+   in the :class:`~repro.serve.cache.FeatureCache`, so a bytecode seen in
+   any earlier request costs one SHA-256 and a dict hit,
+3. **feature cache** — on a prediction miss, the model's extractors decode
+   through the same cache, so even novel bytecodes reuse decoded
+   mnemonic-ID / token-code arrays across models sharing the cache.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evm.disassembler import normalize_bytecode
+from repro.serve.cache import FeatureCache, bytecode_digest
+
+__all__ = ["ScanResult", "ScanService"]
+
+_PREFIT_TOKENS = itertools.count()
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Verdict for one scanned contract."""
+
+    address: str
+    is_phishing: bool
+    probability: float
+    from_cache: bool = False
+
+
+class ScanService:
+    """One fitted model serving batched phishing scans.
+
+    Args:
+        model_name: Registry name used when ``model`` is not given.
+        model: A pre-fitted detector; skips training entirely.
+        train_dataset: Training data for the lazily-fitted model
+            (required unless ``model`` is given).
+        rpc: ``eth_getCode``-capable client; required for
+            :meth:`scan_many` over addresses.
+        cache: Shared :class:`FeatureCache`; a private one is created when
+            omitted.
+        seed: Seed for the lazily-created model.
+        threshold: Probability cut-off for the phishing verdict.
+        namespace: Prediction-cache namespace for a pre-fitted ``model``.
+            Services sharing a cache reuse each other's predictions iff
+            they share a namespace, so pass a stable one (see
+            :meth:`prediction_namespace`) when the same fitted model is
+            wrapped repeatedly; omitted, each pre-fitted service gets a
+            private namespace. Ignored when the model is fitted lazily
+            (the namespace then derives from the training data).
+    """
+
+    def __init__(
+        self,
+        model_name: str = "Random Forest",
+        *,
+        model=None,
+        train_dataset=None,
+        rpc=None,
+        cache: FeatureCache | None = None,
+        seed: int = 0,
+        threshold: float = 0.5,
+        namespace: str | None = None,
+    ):
+        if model is None and train_dataset is None:
+            raise ValueError("need either a pre-fitted model or train_dataset")
+        self.model_name = model_name
+        self.train_dataset = train_dataset
+        self.rpc = rpc
+        self.cache = cache if cache is not None else FeatureCache()
+        self.seed = seed
+        self.threshold = threshold
+        self.scanned = 0
+        self._model = model
+        self._fitted = model is not None
+        self._namespace: str | None = None
+        if model is not None:
+            self._namespace = namespace or (
+                f"pred:{model_name}:prefit{next(_PREFIT_TOKENS)}"
+            )
+            self.cache.attach(model)
+        self.fit_seconds = 0.0
+
+    @staticmethod
+    def prediction_namespace(
+        model_name: str, seed: int, fingerprint: str
+    ) -> str:
+        """The stable prediction-cache namespace for one trained model."""
+        return f"pred:{model_name}:s{seed}:{fingerprint}"
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def model(self):
+        """The fitted detector (training it on first use)."""
+        self.ensure_fitted()
+        return self._model
+
+    def ensure_fitted(self) -> "ScanService":
+        """Train the model once; every scan after this reuses it."""
+        if self._fitted:
+            return self
+        from repro.core.registry import create_model
+
+        model = create_model(self.model_name, seed=self.seed)
+        self.cache.attach(model)
+        started = time.perf_counter()
+        model.fit(self.train_dataset.bytecodes, self.train_dataset.labels)
+        self.fit_seconds = time.perf_counter() - started
+        self._model = model
+        self._namespace = self.prediction_namespace(
+            self.model_name, self.seed, self.train_dataset.fingerprint()
+        )
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------ #
+
+    def scan_bytecodes(
+        self, bytecodes: list[bytes], addresses: list[str] | None = None
+    ) -> list[ScanResult]:
+        """Classify a batch of bytecodes, deduped and served via the cache.
+
+        Distinct bytecodes not in the prediction cache are classified in a
+        single ``predict_proba`` call; everything else is a cache hit.
+        """
+        self.ensure_fitted()
+        if addresses is None:
+            addresses = [""] * len(bytecodes)
+        if len(addresses) != len(bytecodes):
+            raise ValueError("addresses/bytecodes length mismatch")
+        bytecodes = [normalize_bytecode(code) for code in bytecodes]
+        digests = [bytecode_digest(code) for code in bytecodes]
+
+        probability: dict[bytes, float] = {}
+        miss_codes: list[bytes] = []
+        miss_digests: list[bytes] = []
+        for digest, code in zip(digests, bytecodes):
+            if digest in probability:
+                continue
+            hit, value = self.cache.lookup(self._namespace, digest)
+            if hit:
+                probability[digest] = value
+            else:
+                probability[digest] = np.nan  # placeholder until predicted
+                miss_codes.append(code)
+                miss_digests.append(digest)
+        if miss_codes:
+            fresh = self._model.predict_proba(miss_codes)[:, 1]
+            for digest, p in zip(miss_digests, fresh):
+                probability[digest] = float(p)
+                self.cache.put(self._namespace, digest, float(p))
+
+        self.scanned += len(bytecodes)
+        # Only the first occurrence of a predicted-this-call bytecode is
+        # "fresh"; repeats in the same batch were served by dedup.
+        fresh = set(miss_digests)
+        results = []
+        for address, digest in zip(addresses, digests):
+            first_fresh = digest in fresh
+            fresh.discard(digest)
+            results.append(
+                ScanResult(
+                    address=address,
+                    is_phishing=probability[digest] >= self.threshold,
+                    probability=probability[digest],
+                    from_cache=not first_fresh,
+                )
+            )
+        return results
+
+    def scan_many(self, addresses: list[str]) -> list[ScanResult]:
+        """Resolve each address over RPC and classify the batch.
+
+        Raises:
+            RuntimeError: If the service has no RPC client.
+            ValueError: If an address has no deployed code.
+        """
+        if self.rpc is None:
+            raise RuntimeError("ScanService was built without an rpc client")
+        bytecodes = []
+        for address in addresses:
+            code = self.rpc.get_code(address)
+            if not code:
+                raise ValueError(f"no deployed code at {address}")
+            bytecodes.append(code)
+        return self.scan_bytecodes(bytecodes, addresses=addresses)
+
+    def scan(self, address: str) -> ScanResult:
+        """Single-address convenience wrapper over :meth:`scan_many`."""
+        return self.scan_many([address])[0]
+
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        """Service + cache counters, JSON-ready."""
+        return {
+            "model": self.model_name,
+            "fitted": self._fitted,
+            "fit_seconds": self.fit_seconds,
+            "scanned": self.scanned,
+            "cache_entries": len(self.cache),
+            **self.cache.stats.as_dict(),
+        }

@@ -64,6 +64,63 @@ class TestPipeline:
         with pytest.raises(ValueError):
             hook.classify_address("0x" + "00" * 20, train_dataset=dataset)
 
+    def test_classify_address_reuses_fitted_model(self, small_corpus,
+                                                  monkeypatch):
+        import repro.core.pipeline as pipeline_module
+
+        hook = PhishingHook(small_corpus, PipelineConfig(run_post_hoc=False))
+        dataset = hook.build_dataset(hook.gather())
+        target = small_corpus.phishing_records()[0].address
+
+        created = []
+        real_create = pipeline_module.create_model
+
+        def counting_create(name, seed=0):
+            created.append(name)
+            return real_create(name, seed=seed)
+
+        monkeypatch.setattr(pipeline_module, "create_model", counting_create)
+        first = hook.classify_address(
+            target, "Random Forest", train_dataset=dataset
+        )
+        second = hook.classify_address(
+            target, "Random Forest", train_dataset=dataset
+        )
+        assert created == ["Random Forest"]  # trained once, reused after
+        assert first == second
+        # A different model name trains its own entry.
+        hook.classify_address(target, "k-NN", train_dataset=dataset)
+        assert created == ["Random Forest", "k-NN"]
+        # reuse_model=False forces the seed retrain-per-call behavior.
+        hook.classify_address(
+            target, "Random Forest", train_dataset=dataset,
+            reuse_model=False,
+        )
+        assert created == ["Random Forest", "k-NN", "Random Forest"]
+
+    def test_classify_address_accepts_prefitted_model(self, small_corpus):
+        hook = PhishingHook(small_corpus, PipelineConfig(run_post_hoc=False))
+        dataset = hook.build_dataset(hook.gather())
+        model = hook.fitted_model("Random Forest", dataset)
+        target = small_corpus.phishing_records()[0].address
+        flagged, probability = hook.classify_address(target, model=model)
+        assert hook.classify_address(
+            target, "Random Forest", train_dataset=dataset
+        ) == (flagged, probability)
+
+    def test_scan_service_matches_classify_address(self, small_corpus):
+        hook = PhishingHook(small_corpus, PipelineConfig(run_post_hoc=False))
+        dataset = hook.build_dataset(hook.gather())
+        addresses = [r.address for r in small_corpus.records[:8]]
+        service = hook.scan_service("Random Forest", train_dataset=dataset)
+        results = service.scan_many(addresses)
+        for address, result in zip(addresses, results):
+            flagged, probability = hook.classify_address(
+                address, "Random Forest", train_dataset=dataset
+            )
+            assert result.probability == probability
+            assert result.is_phishing == flagged
+
 
 class TestCLI:
     def test_disasm(self, capsys):
@@ -90,6 +147,16 @@ class TestCLI:
         assert code == 0
         out = capsys.readouterr().out
         assert "p=" in out
+
+    def test_scan_batch(self, capsys):
+        code = main([
+            "scan", "--batch", "random-phishing", "random-phishing",
+            "--contracts", "60",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("via=") == 2
+        assert "cache hit rate" in out
 
     def test_attack(self, capsys):
         code = main([

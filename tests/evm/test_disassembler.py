@@ -6,10 +6,16 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+import numpy as np
+
 from repro.evm.disassembler import (
+    MNEMONIC_IDS,
+    MNEMONIC_TABLE,
     Disassembler,
+    decode_mnemonic_ids,
     disassemble,
     disassemble_mnemonics,
+    ids_to_mnemonics,
     normalize_bytecode,
 )
 from repro.evm.errors import DisassemblyError
@@ -28,9 +34,25 @@ class TestNormalize:
     def test_whitespace_tolerated(self):
         assert normalize_bytecode("  0x6080\n") == b"\x60\x80"
 
+    def test_internal_whitespace_tolerated(self):
+        # bytes.fromhex accepts spaced hex; the nibble count must be taken
+        # after whitespace removal, not before.
+        assert normalize_bytecode("60 80") == b"\x60\x80"
+        assert normalize_bytecode("0x60 80 60 40 52") == bytes.fromhex(
+            "6080604052"
+        )
+        assert normalize_bytecode("60\t80\n60 40 52") == bytes.fromhex(
+            "6080604052"
+        )
+
     def test_odd_length_rejected(self):
         with pytest.raises(DisassemblyError):
             normalize_bytecode("0x608")
+
+    def test_odd_nibbles_with_internal_whitespace_reported(self):
+        # "6 08" is 3 nibbles — odd — even though its raw length is even.
+        with pytest.raises(DisassemblyError, match="3 nibbles"):
+            normalize_bytecode("0x6 08")
 
     def test_non_hex_rejected(self):
         with pytest.raises(DisassemblyError):
@@ -129,6 +151,32 @@ class TestCsv:
     def test_invalid_gas_serializes_as_nan(self):
         csv = Disassembler(b"\xfe").to_csv()
         assert csv.strip().split("\n")[1] == "0,INVALID,NaN,NaN"
+
+
+class TestMnemonicIds:
+    def test_id_table_is_stable_and_complete(self):
+        assert len(MNEMONIC_TABLE) == 144
+        assert list(MNEMONIC_TABLE) == sorted(MNEMONIC_TABLE)
+        assert all(
+            MNEMONIC_TABLE[i] == name for name, i in MNEMONIC_IDS.items()
+        )
+
+    def test_paper_example_ids(self):
+        ids = decode_mnemonic_ids("0x6080604052")
+        assert ids.dtype == np.uint8
+        assert ids_to_mnemonics(ids) == ["PUSH1", "PUSH1", "MSTORE"]
+
+    def test_undefined_byte_decodes_to_invalid_id(self):
+        assert ids_to_mnemonics(decode_mnemonic_ids(b"\x0c")) == ["INVALID"]
+
+    def test_empty_bytecode(self):
+        assert decode_mnemonic_ids(b"").size == 0
+
+    @given(st.binary(max_size=512))
+    def test_single_pass_ids_match_instruction_walk(self, code):
+        assert ids_to_mnemonics(decode_mnemonic_ids(code)) == [
+            i.mnemonic for i in disassemble(code)
+        ]
 
 
 class TestProperties:

@@ -55,6 +55,59 @@ class TestFitTransform:
         assert extractor.is_fitted
 
 
+class TestSingleDecode:
+    def _counting_decoder(self):
+        from repro.evm.disassembler import decode_mnemonic_ids
+
+        calls = []
+
+        def decoder(bytecode):
+            calls.append(bytecode)
+            return decode_mnemonic_ids(bytecode)
+
+        return decoder, calls
+
+    def test_fit_transform_decodes_each_bytecode_once(self):
+        # The seed implementation disassembled everything twice (fit, then
+        # transform).
+        decoder, calls = self._counting_decoder()
+        codes = [PROLOGUE, STOP_ONLY, PROLOGUE + STOP_ONLY]
+        OpcodeHistogramExtractor(decoder=decoder).fit_transform(codes)
+        assert calls == codes
+
+    def test_fit_then_transform_decodes_twice(self):
+        decoder, calls = self._counting_decoder()
+        codes = [PROLOGUE, STOP_ONLY]
+        extractor = OpcodeHistogramExtractor(decoder=decoder).fit(codes)
+        extractor.transform(codes)
+        assert calls == codes * 2
+
+    def test_cached_decoder_yields_identical_features(self):
+        from repro.serve.cache import FeatureCache
+
+        codes = [PROLOGUE, STOP_ONLY, PROLOGUE * 4, bytes(range(64))]
+        plain = OpcodeHistogramExtractor().fit_transform(codes)
+        cache = FeatureCache()
+        cached_extractor = OpcodeHistogramExtractor(
+            decoder=cache.mnemonic_ids
+        )
+        cached = cached_extractor.fit_transform(codes)
+        assert np.array_equal(plain, cached)
+        # And again, now that every decode is a hit.
+        assert np.array_equal(cached_extractor.transform(codes), plain)
+        assert cache.stats.hits > 0
+
+    def test_set_decoder_is_clearable(self):
+        decoder, calls = self._counting_decoder()
+        extractor = OpcodeHistogramExtractor()
+        extractor.set_decoder(decoder)
+        extractor.fit([PROLOGUE])
+        assert len(calls) == 1
+        extractor.set_decoder(None)
+        extractor.transform([PROLOGUE])
+        assert len(calls) == 1  # direct decode, counter untouched
+
+
 class TestProperties:
     @given(st.lists(st.binary(min_size=1, max_size=64), min_size=1, max_size=8))
     def test_row_sums_bounded_by_instruction_count(self, codes):

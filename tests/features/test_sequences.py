@@ -72,6 +72,45 @@ class TestHexNgrams:
         assert matrix.min() >= 0
         assert matrix.max() < 64
 
+    @given(st.binary(min_size=0, max_size=200),
+           st.sampled_from([(6, None), (6, 2), (4, 3), (2, None)]))
+    def test_token_codes_match_string_tokens(self, code, params):
+        width, stride = params
+        encoder = HexNgramEncoder(chars_per_token=width, stride=stride)
+        assert encoder.token_codes(code).tolist() == [
+            int(token, 16) for token in encoder.tokens(code)
+        ]
+
+    def test_vocabulary_matches_counter_reference(self):
+        from collections import Counter
+
+        rng = np.random.default_rng(1)
+        codes = [bytes(rng.integers(0, 256, size=90, dtype=np.uint8))
+                 for __ in range(6)]
+        encoder = HexNgramEncoder(vocab_size=32).fit(codes)
+        counts = Counter()
+        for code in codes:
+            counts.update(encoder.tokens(code))
+        expected = {
+            token: index + 2
+            for index, (token, __) in enumerate(counts.most_common(30))
+        }
+        assert encoder.vocabulary_ == expected
+
+    def test_cache_served_codes_identical(self):
+        from repro.serve.cache import FeatureCache
+
+        rng = np.random.default_rng(2)
+        codes = [bytes(rng.integers(0, 256, size=60, dtype=np.uint8))
+                 for __ in range(5)]
+        plain = HexNgramEncoder(max_length=16).fit_transform(codes)
+        cache = FeatureCache()
+        encoder = HexNgramEncoder(max_length=16).set_cache(cache)
+        cached = encoder.fit_transform(codes)
+        assert np.array_equal(plain, cached)
+        assert np.array_equal(encoder.transform(codes), plain)
+        assert cache.stats.hits > 0
+
 
 class TestOpcodeTokenizer:
     PROLOGUE = bytes.fromhex("6080604052")

@@ -1,0 +1,18 @@
+"""Shared fixtures for serve-layer tests."""
+
+import pytest
+
+from repro.datagen.corpus import CorpusConfig, build_corpus
+from repro.datagen.dataset import Dataset
+
+
+@pytest.fixture(scope="session")
+def serve_corpus():
+    return build_corpus(
+        CorpusConfig(n_phishing=40, n_benign=40, seed=11, clone_factor=3.0)
+    )
+
+
+@pytest.fixture(scope="session")
+def serve_dataset(serve_corpus):
+    return Dataset.from_corpus(serve_corpus, seed=0)

@@ -1,0 +1,158 @@
+"""Tests for the content-addressed FeatureCache."""
+
+import numpy as np
+import pytest
+
+from repro.evm.disassembler import decode_mnemonic_ids
+from repro.serve.cache import FeatureCache, bytecode_digest
+
+PROLOGUE = bytes.fromhex("6080604052")
+
+
+class TestDigest:
+    def test_digest_is_content_addressed(self):
+        assert bytecode_digest(PROLOGUE) == bytecode_digest("0x6080604052")
+        assert bytecode_digest(PROLOGUE) == bytecode_digest("60 80 60 40 52")
+        assert bytecode_digest(b"\x00") != bytecode_digest(b"\x01")
+
+
+class TestHitMissAccounting:
+    def test_first_lookup_misses_then_hits(self):
+        cache = FeatureCache()
+        cache.mnemonic_ids(PROLOGUE)
+        assert (cache.stats.hits, cache.stats.misses) == (0, 1)
+        cache.mnemonic_ids(PROLOGUE)
+        cache.mnemonic_ids("0x6080604052")  # same content, different spelling
+        assert (cache.stats.hits, cache.stats.misses) == (2, 1)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_namespaces_tracked_separately(self):
+        cache = FeatureCache()
+        cache.mnemonic_ids(PROLOGUE)
+        cache.get("other", PROLOGUE, lambda code: len(code))
+        cache.get("other", PROLOGUE, lambda code: len(code))
+        assert cache.stats.by_namespace["ids"] == (0, 1)
+        assert cache.stats.by_namespace["other"] == (1, 1)
+
+    def test_idle_hit_rate_is_zero(self):
+        assert FeatureCache().stats.hit_rate == 0.0
+
+    def test_stats_as_dict(self):
+        cache = FeatureCache()
+        cache.mnemonic_ids(PROLOGUE)
+        summary = cache.stats.as_dict()
+        assert summary["misses"] == 1
+        assert summary["by_namespace"]["ids"] == {"hits": 0, "misses": 1}
+
+
+class TestCorrectness:
+    def test_cached_ids_equal_direct_decode(self):
+        cache = FeatureCache()
+        rng = np.random.default_rng(0)
+        for __ in range(20):
+            code = bytes(
+                rng.integers(0, 256, size=int(rng.integers(1, 120)),
+                             dtype=np.uint8)
+            )
+            cached = cache.mnemonic_ids(code)
+            again = cache.mnemonic_ids(code)
+            assert np.array_equal(cached, decode_mnemonic_ids(code))
+            assert np.array_equal(cached, again)
+
+    def test_cached_arrays_are_read_only(self):
+        cache = FeatureCache()
+        ids = cache.mnemonic_ids(PROLOGUE)
+        with pytest.raises(ValueError):
+            ids[0] = 1
+
+    def test_compute_called_once(self):
+        cache = FeatureCache()
+        calls = []
+
+        def compute(code):
+            calls.append(code)
+            return len(code)
+
+        assert cache.get("n", PROLOGUE, compute) == 5
+        assert cache.get("n", PROLOGUE, compute) == 5
+        assert calls == [PROLOGUE]
+
+
+class TestLRU:
+    def test_bounded_and_evictions_counted(self):
+        cache = FeatureCache(max_entries=4)
+        for value in range(6):
+            cache.mnemonic_ids(bytes([value]))
+        assert len(cache) == 4
+        assert cache.stats.evictions == 2
+
+    def test_oldest_entry_evicted_first(self):
+        cache = FeatureCache(max_entries=2)
+        cache.mnemonic_ids(b"\x00")
+        cache.mnemonic_ids(b"\x01")
+        cache.mnemonic_ids(b"\x02")  # evicts \x00
+        hit, __ = cache.lookup("ids", bytecode_digest(b"\x00"))
+        assert not hit
+        hit, __ = cache.lookup("ids", bytecode_digest(b"\x01"))
+        assert hit
+
+    def test_recently_used_survives(self):
+        cache = FeatureCache(max_entries=2)
+        cache.mnemonic_ids(b"\x00")
+        cache.mnemonic_ids(b"\x01")
+        cache.mnemonic_ids(b"\x00")  # refresh
+        cache.mnemonic_ids(b"\x02")  # evicts \x01, not \x00
+        hit, __ = cache.lookup("ids", bytecode_digest(b"\x00"))
+        assert hit
+        hit, __ = cache.lookup("ids", bytecode_digest(b"\x01"))
+        assert not hit
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError):
+            FeatureCache(max_entries=0)
+
+    def test_clear_drops_entries(self):
+        cache = FeatureCache()
+        cache.mnemonic_ids(PROLOGUE)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestWarmAndAttach:
+    def test_warm_counts_unique_bytecodes(self):
+        cache = FeatureCache()
+        assert cache.warm([b"\x00", b"\x01", b"\x00"]) == 2
+        assert cache.warm([b"\x00"]) == 0
+
+    def test_attach_hsc_detector(self):
+        from repro.models.hsc import HSCDetector
+
+        cache = FeatureCache()
+        model = HSCDetector(variant="Logistic Regression")
+        assert cache.attach(model)
+        model.fit([PROLOGUE, b"\x00"], [0, 1])
+        assert cache.stats.by_namespace["ids"] == (0, 2)
+        model.predict_proba([PROLOGUE])
+        assert cache.stats.by_namespace["ids"] == (1, 2)
+
+    def test_attach_rejects_cache_unaware_model(self):
+        cache = FeatureCache()
+        assert not cache.attach(object())
+
+    def test_attached_features_identical_to_uncached(self):
+        from repro.models.hsc import HSCDetector
+
+        codes = [PROLOGUE, b"\x00", PROLOGUE * 3, bytes(range(40))]
+        labels = [0, 1, 0, 1]
+        cached = HSCDetector(variant="Logistic Regression", seed=0)
+        FeatureCache().attach(cached)
+        plain = HSCDetector(variant="Logistic Regression", seed=0)
+        cached.fit(codes, labels)
+        plain.fit(codes, labels)
+        assert np.array_equal(
+            cached.predict_proba(codes), plain.predict_proba(codes)
+        )
+        assert np.array_equal(
+            cached.extractor_.transform(codes),
+            plain.extractor_.transform(codes),
+        )
