@@ -13,8 +13,11 @@ Entry points:
 * :class:`repro.serve.ScanService` — fit-once batched scanning over the
   content-addressed :class:`repro.serve.FeatureCache` (see
   :mod:`repro.serve` for the design notes and cache knobs),
-* ``phishinghook`` (CLI) — demo / scan (incl. ``--batch``) / disasm /
-  dataset / attack / calibrate commands.
+* :mod:`repro.stream` — event-driven streaming detection (event bus,
+  micro-batching sharded scanner, alert sinks, timeline replay) with the
+  poll-compatible :class:`repro.core.live.LiveDetector` adapter on top,
+* ``phishinghook`` (CLI) — demo / scan (incl. ``--batch``) / monitor /
+  disasm / dataset / attack / calibrate commands.
 
 See DESIGN.md for the architecture and EXPERIMENTS.md for results.
 """

@@ -18,6 +18,7 @@ from repro.chain.blockchain import (
     Block,
     Blockchain,
     ChainError,
+    DeployEvent,
     Transaction,
 )
 from repro.chain.explorer import Explorer, PHISH_HACK_LABEL
@@ -35,6 +36,7 @@ __all__ = [
     "Block",
     "Blockchain",
     "ChainError",
+    "DeployEvent",
     "Transaction",
     "BigQueryClient",
     "ContractRow",

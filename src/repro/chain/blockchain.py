@@ -18,7 +18,14 @@ from dataclasses import dataclass, field
 from repro.chain.timeline import block_number_at
 from repro.evm.disassembler import normalize_bytecode
 
-__all__ = ["Account", "Block", "Transaction", "Blockchain", "ChainError"]
+__all__ = [
+    "Account",
+    "Block",
+    "Transaction",
+    "DeployEvent",
+    "Blockchain",
+    "ChainError",
+]
 
 
 class ChainError(Exception):
@@ -79,6 +86,22 @@ class Block:
     transactions: list[str] = field(default_factory=list)
 
 
+@dataclass(frozen=True)
+class DeployEvent:
+    """Push notification for one deployment, in ledger-append order.
+
+    ``sequence`` is the 0-based position in the chain's deployment history;
+    ``block_is_new`` is True when this deployment opened its block, so
+    new-heads subscribers can be notified exactly once per block.
+    """
+
+    sequence: int
+    account: Account
+    transaction: Transaction
+    block: Block
+    block_is_new: bool
+
+
 class Blockchain:
     """The simulated ledger.
 
@@ -92,8 +115,32 @@ class Blockchain:
     def __init__(self) -> None:
         self._accounts: dict[str, Account] = {}
         self._transactions: dict[str, Transaction] = {}
+        self._by_contract: dict[str, Transaction] = {}
         self._blocks: dict[int, Block] = {}
         self._head = 0
+        self._listeners: list = []
+        self._deploy_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Event plumbing
+    # ------------------------------------------------------------------ #
+
+    def add_listener(self, listener) -> None:
+        """Register ``listener(event: DeployEvent)``, fired on every deploy.
+
+        Listeners run synchronously inside :meth:`deploy`, in registration
+        order, after the ledger state is updated — so a listener observes
+        the deployment it is being told about. A listener raising
+        propagates to the deployer (fail-loud; wrap if you need isolation).
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        """Unregister a listener; unknown listeners are ignored."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -135,6 +182,7 @@ class Blockchain:
             block_number=block_number,
             timestamp=timestamp,
         )
+        block_is_new = block_number not in self._blocks
         block = self._blocks.setdefault(
             block_number, Block(number=block_number, timestamp=timestamp)
         )
@@ -142,7 +190,20 @@ class Blockchain:
 
         self._accounts[address] = account
         self._transactions[tx_hash] = transaction
+        self._by_contract[address] = transaction
         self._head = max(self._head, block_number)
+        sequence = self._deploy_count
+        self._deploy_count += 1
+        if self._listeners:
+            event = DeployEvent(
+                sequence=sequence,
+                account=account,
+                transaction=transaction,
+                block=block,
+                block_is_new=block_is_new,
+            )
+            for listener in list(self._listeners):
+                listener(event)
         return address
 
     # ------------------------------------------------------------------ #
@@ -162,6 +223,11 @@ class Blockchain:
             return self._transactions[tx_hash]
         except KeyError:
             raise ChainError(f"unknown transaction {tx_hash}")
+
+    def get_creation_transaction(self, address: str) -> Transaction | None:
+        """The transaction that deployed ``address`` — an O(1) index lookup
+        (alert paths must not pay an O(transactions) linear scan)."""
+        return self._by_contract.get(_normalize_address(address))
 
     def get_block(self, number: int) -> Block | None:
         return self._blocks.get(number)

@@ -8,15 +8,23 @@ real JSON strings, so (de)serialization bugs are caught the same way they
 would be against a live node.
 
 Supported methods: ``eth_getCode``, ``eth_blockNumber``, ``eth_chainId``,
-``eth_getTransactionByHash``, ``web3_clientVersion``.
+``eth_getTransactionByHash``, ``web3_clientVersion``, plus the
+subscription plane the streaming pipeline consumes: ``eth_subscribe`` /
+``eth_unsubscribe`` (kinds ``newHeads`` and ``newContracts``) and
+``eth_getFilterChanges`` to drain a subscription's buffered events. The
+transport is pull-based (no socket to push on), so subscriptions follow
+the filter protocol: subscribe once, poll for changes; each buffer is
+bounded and drops its oldest events under backpressure (the drop count is
+reported alongside every drain).
 """
 
 from __future__ import annotations
 
 import json
+from collections import deque
 from typing import Any
 
-from repro.chain.blockchain import Blockchain, ChainError
+from repro.chain.blockchain import Blockchain, ChainError, DeployEvent
 
 __all__ = ["JsonRpcServer", "JsonRpcClient", "JsonRpcError"]
 
@@ -25,6 +33,38 @@ _INVALID_REQUEST = -32600
 _METHOD_NOT_FOUND = -32601
 _INVALID_PARAMS = -32602
 _SERVER_ERROR = -32000
+_FILTER_NOT_FOUND = -32001
+
+#: Subscription kinds accepted by ``eth_subscribe``.
+SUBSCRIPTION_KINDS = ("newHeads", "newContracts")
+
+
+class _RpcMethodError(Exception):
+    """Internal: a handler failing with an explicit JSON-RPC error code."""
+
+    def __init__(self, code: int, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+class _Subscription:
+    """One filter: a bounded buffer of pending events plus a drop count."""
+
+    def __init__(self, kind: str, max_pending: int):
+        self.kind = kind
+        self.pending: deque = deque(maxlen=max_pending)
+        self.dropped = 0
+
+    def push(self, payload: dict) -> None:
+        if len(self.pending) == self.pending.maxlen:
+            self.dropped += 1
+        self.pending.append(payload)
+
+    def drain(self) -> list[dict]:
+        events = list(self.pending)
+        self.pending.clear()
+        return events
 
 
 class JsonRpcError(Exception):
@@ -41,9 +81,24 @@ class JsonRpcServer:
 
     CLIENT_VERSION = "PhishingHookSim/1.0.0"
 
-    def __init__(self, chain: Blockchain, chain_id: int = 1):
+    def __init__(
+        self,
+        chain: Blockchain,
+        chain_id: int = 1,
+        max_pending_per_filter: int = 4096,
+        max_filters: int = 1024,
+    ):
+        if max_pending_per_filter < 1:
+            raise ValueError("max_pending_per_filter must be positive")
+        if max_filters < 1:
+            raise ValueError("max_filters must be positive")
         self._chain = chain
         self._chain_id = chain_id
+        self._max_pending = max_pending_per_filter
+        self._max_filters = max_filters
+        self._subscriptions: dict[str, _Subscription] = {}
+        self._next_subscription = 0
+        self._listening = False
 
     def handle(self, request_text: str) -> str:
         """Process one JSON-RPC request string, return the response string."""
@@ -65,6 +120,8 @@ class JsonRpcServer:
             )
         try:
             result = handler(params)
+        except _RpcMethodError as exc:
+            return self._error(request_id, exc.code, exc.message)
         except (ChainError, ValueError, IndexError, TypeError) as exc:
             return self._error(request_id, _INVALID_PARAMS, str(exc))
         except Exception as exc:  # noqa: BLE001 - report as server error
@@ -80,7 +137,82 @@ class JsonRpcServer:
             "eth_chainId": self._eth_chain_id,
             "eth_getTransactionByHash": self._eth_get_transaction,
             "web3_clientVersion": self._client_version,
+            "eth_subscribe": self._eth_subscribe,
+            "eth_unsubscribe": self._eth_unsubscribe,
+            "eth_getFilterChanges": self._eth_get_filter_changes,
         }
+
+    # Subscription plane ------------------------------------------------- #
+
+    def _on_deploy(self, event: DeployEvent) -> None:
+        for subscription in self._subscriptions.values():
+            if subscription.kind == "newHeads":
+                if event.block_is_new:
+                    subscription.push(
+                        {
+                            "number": hex(event.block.number),
+                            "timestamp": hex(event.block.timestamp),
+                        }
+                    )
+            else:  # newContracts
+                subscription.push(
+                    {
+                        "address": event.account.address,
+                        "code": event.account.code_hex,
+                        "blockNumber": hex(event.transaction.block_number),
+                        "timestamp": hex(event.transaction.timestamp),
+                        "transactionHash": event.transaction.tx_hash,
+                        "sequence": event.sequence,
+                    }
+                )
+
+    def _eth_subscribe(self, params: list[Any]) -> str:
+        if not params or not isinstance(params[0], str):
+            raise ValueError("eth_subscribe requires [kind]")
+        kind = params[0]
+        if kind not in SUBSCRIPTION_KINDS:
+            raise ValueError(
+                f"unknown subscription kind {kind!r}; "
+                f"supported: {', '.join(SUBSCRIPTION_KINDS)}"
+            )
+        if len(self._subscriptions) >= self._max_filters:
+            # Real nodes expire idle filters; offline we stay deterministic
+            # and instead refuse new ones once abandoned filters pile up.
+            raise _RpcMethodError(
+                _SERVER_ERROR,
+                f"too many filters (max {self._max_filters}); "
+                "unsubscribe unused ones",
+            )
+        if not self._listening:
+            self._chain.add_listener(self._on_deploy)
+            self._listening = True
+        self._next_subscription += 1
+        subscription_id = hex(self._next_subscription)
+        self._subscriptions[subscription_id] = _Subscription(
+            kind, self._max_pending
+        )
+        return subscription_id
+
+    def _eth_unsubscribe(self, params: list[Any]) -> bool:
+        if not params:
+            raise ValueError("eth_unsubscribe requires [subscription_id]")
+        removed = self._subscriptions.pop(params[0], None) is not None
+        if not self._subscriptions and self._listening:
+            self._chain.remove_listener(self._on_deploy)
+            self._listening = False
+        return removed
+
+    def _eth_get_filter_changes(self, params: list[Any]) -> dict[str, Any]:
+        if not params:
+            raise ValueError("eth_getFilterChanges requires [subscription_id]")
+        subscription = self._subscriptions.get(params[0])
+        if subscription is None:
+            raise _RpcMethodError(
+                _FILTER_NOT_FOUND, f"filter {params[0]!r} not found"
+            )
+        dropped = subscription.dropped
+        subscription.dropped = 0
+        return {"events": subscription.drain(), "dropped": dropped}
 
     def _eth_get_code(self, params: list[Any]) -> str:
         if not params:
@@ -171,3 +303,15 @@ class JsonRpcClient:
 
     def get_transaction(self, tx_hash: str) -> dict[str, Any] | None:
         return self.call("eth_getTransactionByHash", [tx_hash])
+
+    def subscribe(self, kind: str) -> str:
+        """Open a ``newHeads`` / ``newContracts`` filter; returns its id."""
+        return self.call("eth_subscribe", [kind])
+
+    def unsubscribe(self, subscription_id: str) -> bool:
+        return self.call("eth_unsubscribe", [subscription_id])
+
+    def filter_changes(self, subscription_id: str) -> tuple[list, int]:
+        """Drain a filter: ``(events, dropped_since_last_drain)``."""
+        result = self.call("eth_getFilterChanges", [subscription_id])
+        return result["events"], result["dropped"]

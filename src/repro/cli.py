@@ -9,6 +9,9 @@ Commands:
   ``ScanService`` (see :mod:`repro.serve`),
 * ``disasm`` — disassemble a hex bytecode string to the BDM's CSV rows,
 * ``dataset`` — build a corpus and print Fig. 2-style monthly counts,
+* ``monitor`` — replay a synthetic campaign through the event-driven
+  streaming pipeline (micro-batches, sharded workers, alert sinks; see
+  :mod:`repro.stream`) and report throughput + latency percentiles,
 * ``attack`` — demonstrate the benign-mimicry evasion sweep against a
   clean-trained Random Forest (extension; see ``repro.robustness``),
 * ``calibrate`` — measure a model's probability calibration (ECE/Brier)
@@ -90,6 +93,72 @@ def _cmd_scan(args) -> int:
         verdict = "PHISHING" if flagged else "benign"
         print(f"{address}: {verdict} "
               f"(p={probability:.3f}, model={args.model})")
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    from repro.datagen.dataset import Dataset
+    from repro.serve.service import ScanService
+    from repro.stream import (
+        JsonlSink,
+        MemorySink,
+        StreamScanner,
+        TimelineReplayer,
+    )
+
+    corpus = build_corpus(
+        CorpusConfig(n_phishing=args.contracts // 2,
+                     n_benign=args.contracts // 2, seed=args.seed)
+    )
+    dataset = Dataset.from_corpus(corpus, seed=args.seed)
+    service = ScanService(
+        args.model, train_dataset=dataset, seed=args.seed,
+        threshold=args.threshold,
+    )
+    sinks = [MemorySink()]
+    if args.jsonl:
+        sinks.append(JsonlSink(args.jsonl))
+    # Drop policies only bite when the producer can outrun the consumer:
+    # switch to consumer-paced intake (flush on deadline/drain, not on
+    # batch size) so the bounded queue actually overflows under load.
+    scanner = StreamScanner(
+        service,
+        shards=args.shards,
+        max_batch=args.batch_size,
+        max_queue=max(args.batch_size, args.queue),
+        policy=args.policy,
+        auto_flush=args.policy == "block",
+        flush_deadline_seconds=args.deadline,
+        sinks=sinks,
+    )
+    replayer = TimelineReplayer(scanner, rate=args.rate or None)
+    report = replayer.replay_chain(corpus.chain)
+    scanner.close()
+
+    latency = report.latency_seconds
+    print(f"replayed {report.events} deployments in "
+          f"{report.duration_seconds:.3f}s "
+          f"({report.events_per_second:.0f} events/s, "
+          f"{report.batches} micro-batches, {args.shards} shard(s))")
+    print(f"scanned {report.scanned}, flagged {report.flagged}, "
+          f"dropped {report.dropped}, empty {report.skipped_empty}")
+    print(f"latency p50 {latency['p50'] * 1e3:.2f}ms  "
+          f"p95 {latency['p95'] * 1e3:.2f}ms  "
+          f"p99 {latency['p99'] * 1e3:.2f}ms")
+    for shard in scanner.summary()["shards"]:
+        print(f"  shard {shard['shard']}: {shard['scanned']} scanned, "
+              f"{shard['flagged']} flagged over {shard['batches']} batches")
+    for sink in sinks:
+        print(f"  sink {sink.name}: {sink.stats.delivered} delivered, "
+              f"{sink.stats.failed} failed")
+    truth = set(corpus.explorer.flagged_addresses())
+    flagged = {alert.address for alert in report.alerts}
+    if flagged:
+        precision = len(flagged & truth) / len(flagged)
+        print(f"alert precision vs ground truth: {precision:.3f} "
+              f"({len(flagged & truth)}/{len(flagged)})")
+    if args.jsonl:
+        print(f"alerts appended to {args.jsonl}")
     return 0
 
 
@@ -220,6 +289,35 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--contracts", type=int, default=200)
     scan.add_argument("--seed", type=int, default=0)
     scan.set_defaults(func=_cmd_scan)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="replay a campaign through the streaming detection pipeline",
+    )
+    monitor.add_argument("--contracts", type=int, default=200)
+    monitor.add_argument("--seed", type=int, default=0)
+    monitor.add_argument("--model", default="Random Forest")
+    monitor.add_argument("--threshold", type=float, default=0.5)
+    monitor.add_argument("--shards", type=int, default=2,
+                         help="sharded scan workers")
+    monitor.add_argument("--batch-size", type=int, default=16,
+                         help="micro-batch flush threshold")
+    monitor.add_argument("--queue", type=int, default=256,
+                         help="bounded intake queue size")
+    monitor.add_argument(
+        "--policy", default="block",
+        choices=("block", "drop_oldest", "drop_newest", "sample"),
+        help="backpressure policy when the intake queue is full; a drop "
+             "policy implies consumer-paced intake (micro-batches flush "
+             "on the --deadline, so an overrun queue sheds load)",
+    )
+    monitor.add_argument("--deadline", type=float, default=0.25,
+                         help="micro-batch flush deadline (seconds)")
+    monitor.add_argument("--rate", type=float, default=0.0,
+                         help="replay rate in events/sec (0 = max speed)")
+    monitor.add_argument("--jsonl", default="",
+                         help="also append alerts to this JSONL file")
+    monitor.set_defaults(func=_cmd_monitor)
 
     disasm = sub.add_parser("disasm", help="disassemble hex bytecode to CSV")
     disasm.add_argument("bytecode", help="hex string, 0x prefix optional")

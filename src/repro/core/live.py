@@ -2,23 +2,38 @@
 
 "While the scope of PhishingHook is to detect phishing smart contracts
 before they are deployed, we consider live detection an interesting future
-work." This module provides that deployment mode: a
-:class:`LiveDetector` watches a chain for new contract deployments, scores
-each one as it lands, and raises alerts above a confidence threshold —
-with the per-scan latency accounting §IV-F motivates (wallet users sign
-within seconds).
+work." This module provides that deployment mode with the seed's poll API
+kept intact, but the engine swapped: :class:`LiveDetector` is now a thin
+adapter over the :mod:`repro.stream` subsystem. Scoring goes through a
+fit-once :class:`~repro.serve.service.ScanService` (batched, deduped,
+prediction-cached) driven by a
+:class:`~repro.stream.scanner.StreamScanner`, and alert metadata resolves
+through the chain's O(1) creation-transaction index instead of an
+O(transactions) linear scan per alert.
 
-The monitor is poll-based over the simulated ledger (block-height cursor),
-matching how production watchers tail JSON-RPC nodes.
+Two consumption modes:
+
+* **poll** (default, seed-compatible) — each :meth:`LiveDetector.poll`
+  sweeps unseen accounts into the stream and drains it,
+* **follow** (``follow=True``) — deployments push straight from the
+  chain's event bus into the scanner as they land; ``poll()`` merely
+  drains the last partial micro-batch and returns what streamed in.
+
+Predictions are bit-identical to the seed's per-contract
+``predict_proba([code])`` calls: the batch path scores the same fitted
+model on the same normalized bytes.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.chain.blockchain import Blockchain
 from repro.models.detector import PhishingDetector
+from repro.serve.service import ScanService
+from repro.stream.events import EventBus, contract_event_at
+from repro.stream.scanner import StreamScanner
+from repro.stream.sinks import AlertSink
 
 __all__ = ["Alert", "LiveDetector", "MonitorStats"]
 
@@ -34,7 +49,7 @@ class Alert:
     latency_seconds: float
 
 
-@dataclass
+@dataclass(frozen=True)
 class MonitorStats:
     """Aggregate accounting for a monitoring session."""
 
@@ -48,6 +63,34 @@ class MonitorStats:
         return self.total_latency_seconds / self.scanned if self.scanned else 0.0
 
 
+class _AdapterSink(AlertSink):
+    """Internal follow-mode sink: adapts each stream alert at flush time.
+
+    A failing ``on_alert`` must neither be silently counted away (the
+    seed surfaced callback exceptions) nor unwind out of the deployer's
+    ``chain.deploy()`` call (monitoring must not fail the ledger write) —
+    so the first exception is parked on the detector and re-raised from
+    the owner's next :meth:`LiveDetector.poll`.
+    """
+
+    name = "live-adapter"
+
+    def __init__(self, detector: "LiveDetector"):
+        super().__init__()
+        self._detector = detector
+
+    def emit(self, alert) -> bool:
+        try:
+            self._detector._adapt_new_alerts()
+        except Exception as exc:
+            self.stats.failed += 1
+            if self._detector._deferred_error is None:
+                self._detector._deferred_error = exc
+            return False
+        self.stats.delivered += 1
+        return True
+
+
 class LiveDetector:
     """Score new deployments as they appear on a chain.
 
@@ -57,6 +100,10 @@ class LiveDetector:
             monitoring — the latency budget covers scoring only).
         threshold: Alert when P(phishing) ≥ threshold.
         on_alert: Optional callback invoked with each :class:`Alert`.
+        shards: Worker count for the underlying stream scanner.
+        max_batch: Micro-batch size for the underlying stream scanner.
+        follow: Push mode — subscribe to the chain's deploy events so
+            scoring happens as deployments land, not at poll time.
     """
 
     def __init__(
@@ -65,6 +112,10 @@ class LiveDetector:
         model: PhishingDetector,
         threshold: float = 0.5,
         on_alert=None,
+        *,
+        shards: int = 1,
+        max_batch: int = 32,
+        follow: bool = False,
     ):
         if not 0.0 < threshold <= 1.0:
             raise ValueError(f"threshold must be in (0, 1], got {threshold}")
@@ -72,56 +123,127 @@ class LiveDetector:
         self.model = model
         self.threshold = threshold
         self.on_alert = on_alert
-        self.stats = MonitorStats()
-        self._seen: set[str] = set()
+        # attach_cache=False: the model is borrowed — wrapping it must not
+        # re-point its extractors away from any cache the owner attached.
+        self.service = ScanService(
+            "live", model=model, threshold=threshold, attach_cache=False
+        )
+        self.scanner = StreamScanner(
+            self.service,
+            shards=shards,
+            max_batch=max_batch,
+            max_queue=max(max_batch, 4096),
+            policy="block",
+            threshold=threshold,
+        )
         self.alerts: list[Alert] = []
+        self._delivered = 0  # stream alerts already adapted into `alerts`
+        self._polled = 0     # adapted alerts already returned by poll()
+        self._sequence = 0
+        self._deferred_error: Exception | None = None
+        self._detach = None
+        if follow:
+            # Alerts reach the caller at flush time, not only at poll():
+            # each emitted stream alert is adapted (and on_alert fired)
+            # as its micro-batch is scored.
+            self.scanner.add_sink(_AdapterSink(self))
+            bus = EventBus()
+            self.scanner.attach(bus)
+            self._detach = bus.attach(chain)
+        self.follow = follow
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stats(self) -> MonitorStats:
+        """Seed-shaped counters, read from the stream scanner.
+
+        Unlike the seed's mutable attribute this is an immutable
+        *snapshot* — hold the detector, not a stats reference, and
+        re-read after each poll.
+        """
+        raw = self.scanner.stats
+        return MonitorStats(
+            scanned=raw.scanned,
+            flagged=raw.flagged,
+            skipped_empty=raw.skipped_empty,
+            total_latency_seconds=raw.total_latency_seconds,
+        )
 
     def mark_existing_as_seen(self) -> int:
-        """Skip contracts already deployed; monitor only the future."""
-        existing = {account.address for account in self.chain.accounts()}
-        self._seen |= existing
-        return len(existing)
+        """Skip contracts already deployed; monitor only the future.
+
+        Returns the number of existing contracts (seed semantics), not
+        the number newly marked.
+        """
+        addresses = [account.address for account in self.chain.accounts()]
+        self.scanner.mark_seen(addresses)
+        return len(addresses)
 
     def poll(self) -> list[Alert]:
-        """Scan all unseen deployments; returns new alerts (oldest first)."""
-        new_alerts: list[Alert] = []
+        """Scan all unseen deployments; returns new alerts (oldest first).
+
+        In follow mode the sweep is skipped (events already streamed in);
+        the return value is everything alerted since the previous poll,
+        including alerts the follow sink delivered between polls. An
+        ``on_alert`` exception raised during a follow-mode flush is
+        re-raised here, on the monitor owner's side (the affected alerts
+        stay queued for the next successful poll).
+        """
+        if not self.follow:
+            for event in self._pending_events():
+                self.scanner.on_event(event)
+        self.scanner.flush()
+        self._adapt_new_alerts()
+        if self._deferred_error is not None:
+            error, self._deferred_error = self._deferred_error, None
+            raise error
+        fresh = self.alerts[self._polled:]
+        self._polled = len(self.alerts)
+        return fresh
+
+    def _pending_events(self):
+        """Unseen accounts as stream events (O(1) creation-tx lookups)."""
         for account in self.chain.accounts():
-            if account.address in self._seen:
+            if account.address in self.scanner.seen:
                 continue
-            self._seen.add(account.address)
-            if not account.code:
-                self.stats.skipped_empty += 1
-                continue
-            started = time.perf_counter()
-            probability = float(
-                self.model.predict_proba([account.code])[0, 1]
+            self._sequence += 1
+            yield contract_event_at(
+                address=account.address,
+                code=account.code,
+                timestamp=account.deployed_at,
+                transaction=self.chain.get_creation_transaction(
+                    account.address
+                ),
+                sequence=self._sequence,
             )
-            latency = time.perf_counter() - started
-            self.stats.scanned += 1
-            self.stats.total_latency_seconds += latency
-            if probability >= self.threshold:
-                transaction = next(
-                    (
-                        t for t in self.chain.transactions()
-                        if t.contract_address == account.address
-                    ),
-                    None,
-                )
-                alert = Alert(
-                    address=account.address,
-                    probability=probability,
-                    block_number=(
-                        transaction.block_number if transaction else 0
-                    ),
-                    timestamp=account.deployed_at,
-                    latency_seconds=latency,
-                )
-                new_alerts.append(alert)
-                self.alerts.append(alert)
-                self.stats.flagged += 1
-                if self.on_alert is not None:
-                    self.on_alert(alert)
-        return new_alerts
+
+    def _adapt_new_alerts(self) -> list[Alert]:
+        fresh = self.scanner.alerts[self._delivered:]
+        self._delivered = len(self.scanner.alerts)
+        adapted = [
+            Alert(
+                address=alert.address,
+                probability=alert.probability,
+                block_number=alert.block_number,
+                timestamp=alert.timestamp,
+                latency_seconds=alert.latency_seconds,
+            )
+            for alert in sorted(fresh, key=lambda a: (a.timestamp, a.address))
+        ]
+        self.alerts.extend(adapted)
+        if self.on_alert is not None:
+            for alert in adapted:
+                self.on_alert(alert)
+        return adapted
+
+    def close(self) -> None:
+        """Stop following the chain (no-op in poll mode)."""
+        if self._detach is not None:
+            self._detach()
+            self._detach = None
+
+    # ------------------------------------------------------------------ #
 
     def precision_against(self, ground_truth: set[str]) -> float:
         """Alert precision given the true phishing address set."""
@@ -132,7 +254,7 @@ class LiveDetector:
 
     def recall_against(self, ground_truth: set[str]) -> float:
         """Alert recall over the scanned portion of the ground truth."""
-        scanned_truth = ground_truth & self._seen
+        scanned_truth = ground_truth & self.scanner.seen
         if not scanned_truth:
             return 0.0
         hits = sum(

@@ -62,6 +62,12 @@ class ScanService:
             wrapped repeatedly; omitted, each pre-fitted service gets a
             private namespace. Ignored when the model is fitted lazily
             (the namespace then derives from the training data).
+        attach_cache: Point a pre-fitted ``model``'s feature extractors
+            at this service's cache (the default). Pass ``False`` when
+            wrapping a *borrowed* model whose existing cache wiring must
+            not be silently re-pointed; the prediction cache still works
+            either way. Lazily-fitted models (owned by the service) are
+            always attached.
     """
 
     def __init__(
@@ -75,6 +81,7 @@ class ScanService:
         seed: int = 0,
         threshold: float = 0.5,
         namespace: str | None = None,
+        attach_cache: bool = True,
     ):
         if model is None and train_dataset is None:
             raise ValueError("need either a pre-fitted model or train_dataset")
@@ -88,11 +95,13 @@ class ScanService:
         self._model = model
         self._fitted = model is not None
         self._namespace: str | None = None
+        self._attach_cache = attach_cache
         if model is not None:
             self._namespace = namespace or (
                 f"pred:{model_name}:prefit{next(_PREFIT_TOKENS)}"
             )
-            self.cache.attach(model)
+            if attach_cache:
+                self.cache.attach(model)
         self.fit_seconds = 0.0
 
     @staticmethod
@@ -127,6 +136,36 @@ class ScanService:
         )
         self._fitted = True
         return self
+
+    def sharded(self, n: int) -> list["ScanService"]:
+        """``n`` shard views of this service for partitioned workers.
+
+        Each view wraps the *same* fitted model, feature cache and
+        prediction-cache namespace — predictions stay bit-identical and
+        any shard's cache fill serves every other shard — but keeps its
+        own ``scanned`` counter, so per-worker load is observable. Fitting
+        happens here (once) if it hasn't already.
+
+        ``sharded(1)`` still returns a fresh view, so a caller embedding
+        the shards (e.g. ``repro.stream.StreamScanner``) gets counters
+        isolated from direct use of the parent service.
+        """
+        if n < 1:
+            raise ValueError("shard count must be positive")
+        self.ensure_fitted()
+        return [
+            ScanService(
+                self.model_name,
+                model=self._model,
+                rpc=self.rpc,
+                cache=self.cache,
+                seed=self.seed,
+                threshold=self.threshold,
+                namespace=self._namespace,
+                attach_cache=self._attach_cache,
+            )
+            for _ in range(n)
+        ]
 
     # ------------------------------------------------------------------ #
 

@@ -1,0 +1,293 @@
+"""Event envelope and publish/subscribe bus for the streaming pipeline.
+
+The detection side of the system must not poll: §VII's live-deployment
+mode has wallet users signing within seconds, so new-contract events are
+*pushed* from the ledger to whoever scores them. This module defines the
+two event types the pipeline speaks (:class:`BlockEvent`,
+:class:`ContractEvent`) and an in-process :class:`EventBus` with bounded,
+policy-governed subscriptions — the same drop/block/sample vocabulary a
+DDS QoS profile would express (PAPERS.md: unresolvable QoS chains come
+from *implicit* buffering decisions; here every buffer is explicit).
+
+``EventBus.attach(chain)`` bridges a :class:`~repro.chain.blockchain.
+Blockchain` onto the bus; for events arriving over the wire instead,
+open a ``newContracts`` filter (``client.subscribe``) and call
+``EventBus.pump_rpc(client, subscription_id)`` per poll cycle — either
+way the pipeline downstream of the bus is identical.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chain.blockchain import Blockchain, DeployEvent
+
+__all__ = [
+    "BlockEvent",
+    "ContractEvent",
+    "Subscription",
+    "EventBus",
+    "TOPIC_BLOCKS",
+    "TOPIC_CONTRACTS",
+]
+
+TOPIC_BLOCKS = "blocks"
+TOPIC_CONTRACTS = "contracts"
+
+#: Backpressure policies for a bounded subscription buffer.
+POLICIES = ("drop_oldest", "drop_newest", "sample")
+
+
+def shed(queue: deque, max_len: int, policy: str, rng):
+    """Bounded-buffer admission: one policy state machine for every queue.
+
+    Makes room in ``queue`` (evicting its head) as ``policy`` dictates.
+    Returns ``(admit, evicted)``: whether the caller should append the
+    incoming item, and the resident evicted to make room (``None`` when
+    nothing was evicted — so ``admit is False`` or ``evicted is not
+    None`` each count one shed item). Policies:
+
+    * ``drop_oldest`` — always admit, evicting the oldest resident,
+    * ``drop_newest`` — refuse the newcomer, keep history,
+    * ``sample`` — coin-flip (via ``rng``) between the two.
+    """
+    if len(queue) < max_len:
+        return True, None
+    if policy == "drop_newest":
+        return False, None
+    if policy == "sample" and rng.random() >= 0.5:
+        return False, None
+    return True, queue.popleft()
+
+
+@dataclass(frozen=True)
+class BlockEvent:
+    """A new block appeared at the chain head."""
+
+    number: int
+    timestamp: int
+
+    topic = TOPIC_BLOCKS
+
+
+@dataclass(frozen=True)
+class ContractEvent:
+    """A contract-creation landed on chain.
+
+    ``enqueued_at`` is the producer-side ``perf_counter`` stamp; consumers
+    subtract it from their own stamp for end-to-end latency accounting.
+    It self-stamps at construction when omitted (a zero default would
+    make latency look like process uptime and keep deadline flushes
+    permanently overdue).
+    """
+
+    address: str
+    code: bytes
+    block_number: int
+    timestamp: int
+    tx_hash: str
+    sequence: int
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+    topic = TOPIC_CONTRACTS
+
+
+@dataclass
+class Subscription:
+    """One subscriber: either a direct callback or a bounded pull buffer.
+
+    With a ``handler`` the bus delivers synchronously (the subscriber *is*
+    the backpressure — it runs inline). Without one, events land in a
+    bounded buffer governed by ``policy``:
+
+    * ``drop_oldest`` — evict the oldest pending event (tail the head),
+    * ``drop_newest`` — refuse the incoming event (keep history),
+    * ``sample`` — under overflow, admit each incoming event with
+      probability 0.5 (evicting the oldest to make room), refusing the
+      rest; deterministic under ``seed``.
+    """
+
+    topic: str
+    handler: object = None
+    max_pending: int = 1024
+    policy: str = "drop_oldest"
+    seed: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    _pending: deque = field(default_factory=deque, repr=False)
+    _rng: np.random.Generator = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; supported: {POLICIES}"
+            )
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def deliver(self, event) -> bool:
+        """Bus-side entry: hand one event to this subscriber."""
+        if self.handler is not None:
+            self.handler(event)
+            self.delivered += 1
+            return True
+        admit, evicted = shed(
+            self._pending, self.max_pending, self.policy, self._rng
+        )
+        self.dropped += int(not admit) + int(evicted is not None)
+        if not admit:
+            return False
+        self._pending.append(event)
+        self.delivered += 1
+        return True
+
+    def drain(self, limit: int | None = None) -> list:
+        """Pop up to ``limit`` pending events (all, when omitted)."""
+        count = len(self._pending) if limit is None else min(limit, len(self._pending))
+        return [self._pending.popleft() for _ in range(count)]
+
+
+class EventBus:
+    """Topic-based fan-out of chain events to subscriptions.
+
+    Example:
+        >>> bus = EventBus()
+        >>> sub = bus.subscribe(TOPIC_CONTRACTS)
+        >>> detach = bus.attach(chain)           # doctest: +SKIP
+        >>> chain.deploy(code, timestamp=t)      # doctest: +SKIP
+        >>> events = sub.drain()                 # doctest: +SKIP
+    """
+
+    def __init__(self):
+        self._subscriptions: dict[str, list[Subscription]] = {}
+        self.published = 0
+        #: Events the upstream RPC filter shed before we could pump them
+        #: (reported per drain by ``eth_getFilterChanges``). Nonzero means
+        #: the poll cadence is too slow for the deployment rate.
+        self.dropped_upstream = 0
+
+    def subscribe(
+        self,
+        topic: str,
+        handler=None,
+        *,
+        max_pending: int = 1024,
+        policy: str = "drop_oldest",
+        seed: int = 0,
+    ) -> Subscription:
+        subscription = Subscription(
+            topic=topic,
+            handler=handler,
+            max_pending=max_pending,
+            policy=policy,
+            seed=seed,
+        )
+        self._subscriptions.setdefault(topic, []).append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        listeners = self._subscriptions.get(subscription.topic, [])
+        if subscription in listeners:
+            listeners.remove(subscription)
+
+    def subscriber_count(self, topic: str | None = None) -> int:
+        if topic is not None:
+            return len(self._subscriptions.get(topic, []))
+        return sum(len(subs) for subs in self._subscriptions.values())
+
+    def publish(self, event) -> int:
+        """Fan an event out to its topic; returns deliveries (not drops)."""
+        self.published += 1
+        delivered = 0
+        for subscription in list(self._subscriptions.get(event.topic, [])):
+            if subscription.deliver(event):
+                delivered += 1
+        return delivered
+
+    # ------------------------------------------------------------------ #
+    # Producers
+    # ------------------------------------------------------------------ #
+
+    def attach(self, chain: Blockchain):
+        """Publish the chain's deployments onto the bus as they happen.
+
+        Returns a zero-argument detach callable.
+        """
+
+        def on_deploy(deploy: DeployEvent) -> None:
+            if deploy.block_is_new:
+                self.publish(
+                    BlockEvent(
+                        number=deploy.block.number,
+                        timestamp=deploy.block.timestamp,
+                    )
+                )
+            self.publish(contract_event(deploy))
+
+        chain.add_listener(on_deploy)
+        return lambda: chain.remove_listener(on_deploy)
+
+    def pump_rpc(self, client, subscription_id: str) -> int:
+        """Drain one JSON-RPC ``newContracts`` filter onto the bus.
+
+        The offline counterpart of a websocket push loop: each call maps
+        the wire envelope back to :class:`ContractEvent` and publishes.
+        Returns the number of events pumped; events the filter shed
+        between polls accumulate in :attr:`dropped_upstream`.
+        """
+        events, dropped = client.filter_changes(subscription_id)
+        self.dropped_upstream += dropped
+        for body in events:
+            self.publish(
+                ContractEvent(
+                    address=body["address"],
+                    code=bytes.fromhex(body["code"][2:]),
+                    block_number=int(body["blockNumber"], 16),
+                    timestamp=int(body["timestamp"], 16),
+                    tx_hash=body["transactionHash"],
+                    sequence=body["sequence"],
+                    enqueued_at=time.perf_counter(),
+                )
+            )
+        return len(events)
+
+
+def contract_event(deploy: DeployEvent) -> ContractEvent:
+    """Map a ledger :class:`DeployEvent` to the bus envelope."""
+    return ContractEvent(
+        address=deploy.account.address,
+        code=deploy.account.code,
+        block_number=deploy.transaction.block_number,
+        timestamp=deploy.transaction.timestamp,
+        tx_hash=deploy.transaction.tx_hash,
+        sequence=deploy.sequence,
+        enqueued_at=time.perf_counter(),
+    )
+
+
+def contract_event_at(
+    address: str, code: bytes, timestamp: int, transaction, sequence: int
+) -> ContractEvent:
+    """Envelope for a historical deployment (replay / poll backfill).
+
+    ``transaction`` is the creation transaction or ``None`` when the
+    source ledger has no record of it (block number 0, empty hash).
+    """
+    return ContractEvent(
+        address=address,
+        code=code,
+        block_number=transaction.block_number if transaction else 0,
+        timestamp=timestamp,
+        tx_hash=transaction.tx_hash if transaction else "",
+        sequence=sequence,
+        enqueued_at=time.perf_counter(),
+    )

@@ -1,0 +1,184 @@
+"""Timeline replay: drive historical campaigns through the stream.
+
+Before trusting the pipeline at the chain head, replay a recorded
+campaign through it and measure what users would have experienced: feed
+each historical deployment as a :class:`ContractEvent` in timestamp
+order (optionally paced to a target events/sec), let the scanner
+micro-batch and score, and account end-to-end throughput plus p50/p95/p99
+per-event latency. The same driver backs ``phishinghook monitor`` and
+``benchmarks/bench_stream_latency.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chain.blockchain import Blockchain
+from repro.stream.events import ContractEvent, contract_event_at
+from repro.stream.scanner import StreamAlert, StreamScanner
+
+__all__ = ["ReplayReport", "TimelineReplayer"]
+
+
+@dataclass
+class ReplayReport:
+    """What one replayed campaign experienced end to end."""
+
+    events: int
+    scanned: int
+    flagged: int
+    dropped: int
+    deduped: int
+    skipped_empty: int
+    batches: int
+    duration_seconds: float
+    alerts: list[StreamAlert]
+    latency_seconds: dict[str, float]
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.duration_seconds if self.duration_seconds else 0.0
+
+    @property
+    def scanned_per_second(self) -> float:
+        return self.scanned / self.duration_seconds if self.duration_seconds else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (alert addresses only, not full alerts)."""
+        return {
+            "events": self.events,
+            "scanned": self.scanned,
+            "flagged": self.flagged,
+            "dropped": self.dropped,
+            "deduped": self.deduped,
+            "skipped_empty": self.skipped_empty,
+            "batches": self.batches,
+            "duration_seconds": self.duration_seconds,
+            "events_per_second": self.events_per_second,
+            "scanned_per_second": self.scanned_per_second,
+            "latency_seconds": self.latency_seconds,
+            "alert_addresses": [a.address for a in self.alerts],
+        }
+
+
+class TimelineReplayer:
+    """Feed deployment history through a :class:`StreamScanner`.
+
+    Args:
+        scanner: The consumer; its queue/batch/backpressure config is
+            exactly what the replayed traffic exercises.
+        rate: Target feed rate in events/sec. ``None`` replays as fast as
+            the scanner drains — the throughput-measurement mode; a finite
+            rate paces producers to simulate chain-head cadence and lets
+            the deadline flush (``scanner.tick``) come into play.
+        tick_every: Call ``scanner.tick()`` after this many fed events, so
+            deadline flushes fire even mid-replay.
+    """
+
+    def __init__(
+        self,
+        scanner: StreamScanner,
+        *,
+        rate: float | None = None,
+        tick_every: int = 16,
+    ):
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None for max speed)")
+        if tick_every < 1:
+            raise ValueError("tick_every must be positive")
+        self.scanner = scanner
+        self.rate = rate
+        self.tick_every = tick_every
+
+    # ------------------------------------------------------------------ #
+
+    def replay_chain(self, chain: Blockchain) -> ReplayReport:
+        """Replay every deployment on ``chain``, oldest first."""
+        events = [
+            contract_event_at(
+                address=account.address,
+                code=account.code,
+                timestamp=account.deployed_at,
+                transaction=chain.get_creation_transaction(account.address),
+                sequence=sequence,
+            )
+            for sequence, account in enumerate(chain.accounts())
+        ]
+        return self.replay_events(events)
+
+    def replay_records(self, records, chain: Blockchain | None = None) -> ReplayReport:
+        """Replay corpus-style records (``address``/``bytecode``/``timestamp``).
+
+        When ``chain`` is given, block numbers and tx hashes resolve
+        through its O(1) creation-transaction index.
+        """
+        ordered = sorted(records, key=lambda r: (r.timestamp, r.address))
+        events = [
+            contract_event_at(
+                address=record.address,
+                code=record.bytecode,
+                timestamp=record.timestamp,
+                transaction=(
+                    chain.get_creation_transaction(record.address)
+                    if chain else None
+                ),
+                sequence=sequence,
+            )
+            for sequence, record in enumerate(ordered)
+        ]
+        return self.replay_events(events)
+
+    def replay_events(self, events: list[ContractEvent]) -> ReplayReport:
+        """Feed prepared events through the scanner; drain; account."""
+        scanner = self.scanner
+        before = scanner.stats.as_dict()
+        alerts_before = len(scanner.alerts)
+
+        started = time.perf_counter()
+        for index, event in enumerate(events):
+            if self.rate is not None:
+                target = started + index / self.rate
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+            # Stamp at feed time: latency measures the consumer, not the
+            # replayer's pacing backlog.
+            scanner.on_event(
+                ContractEvent(
+                    address=event.address,
+                    code=event.code,
+                    block_number=event.block_number,
+                    timestamp=event.timestamp,
+                    tx_hash=event.tx_hash,
+                    sequence=event.sequence,
+                    enqueued_at=time.perf_counter(),
+                )
+            )
+            if (index + 1) % self.tick_every == 0:
+                scanner.tick()
+        scanner.flush()
+        duration = time.perf_counter() - started
+
+        after = scanner.stats.as_dict()
+        scanned_delta = after["scanned"] - before["scanned"]
+        window = scanner.stats.recent_latencies(scanned_delta)
+        if window:
+            p50, p95, p99 = np.percentile(window, [50, 95, 99])
+            latency = {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+        else:
+            latency = {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return ReplayReport(
+            events=len(events),
+            scanned=scanned_delta,
+            flagged=after["flagged"] - before["flagged"],
+            dropped=after["dropped"] - before["dropped"],
+            deduped=after["deduped"] - before["deduped"],
+            skipped_empty=after["skipped_empty"] - before["skipped_empty"],
+            batches=after["batches"] - before["batches"],
+            duration_seconds=duration,
+            alerts=scanner.alerts[alerts_before:],
+            latency_seconds=latency,
+        )

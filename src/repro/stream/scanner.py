@@ -1,0 +1,359 @@
+"""Micro-batching streaming scanner: events in, alerts out.
+
+The seed ``LiveDetector`` rescanned the whole account set per poll and
+scored bytecodes one ``predict_proba`` call at a time. ``StreamScanner``
+inverts the shape: deployment events are *pushed* into a bounded intake
+queue, grouped into micro-batches (flushed on size or deadline — the
+classic latency/throughput dial), partitioned across N shard workers by
+address hash, and each shard scores its slice through the fit-once
+:class:`~repro.serve.service.ScanService` hot path (in-batch dedup +
+content-addressed prediction cache). Flagged deployments become
+:class:`StreamAlert` objects fanned out to the registered sinks.
+
+Backpressure is explicit: the intake queue is bounded, and the ``policy``
+chooses what happens when a producer outruns the scanner —
+
+* ``block`` — flush inline to make room (the producer pays the scan;
+  nothing is lost; the in-process analogue of blocking the publisher),
+* ``drop_oldest`` / ``drop_newest`` / ``sample`` — shed load with an
+  explicit, counted drop (freshest-first, history-first, or randomized).
+
+Every stage keeps counters (``scanner.stats``), and per-event end-to-end
+latency (enqueue → scored) feeds the p50/p95/p99 accounting the paper's
+§IV-F latency budget motivates.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.service import ScanService
+from repro.stream.events import TOPIC_CONTRACTS, ContractEvent, shed
+
+__all__ = ["StreamAlert", "ShardStats", "StreamStats", "StreamScanner"]
+
+#: Intake backpressure policies.
+SCANNER_POLICIES = ("block", "drop_oldest", "drop_newest", "sample")
+
+#: Latency samples retained for percentile accounting. The buffer compacts
+#: to this many once it doubles, so a scanner tailing the chain head for
+#: months holds O(window) memory; percentiles cover the retained tail.
+LATENCY_WINDOW = 65536
+
+
+@dataclass(frozen=True)
+class StreamAlert:
+    """One flagged deployment, as delivered to sinks."""
+
+    address: str
+    probability: float
+    block_number: int
+    timestamp: int
+    latency_seconds: float
+    shard: int
+    batch_id: int
+    from_cache: bool
+
+
+@dataclass
+class ShardStats:
+    """Per-worker accounting."""
+
+    shard: int
+    scanned: int = 0
+    flagged: int = 0
+    batches: int = 0
+
+
+@dataclass
+class StreamStats:
+    """Aggregate pipeline accounting for one scanner."""
+
+    events_in: int = 0
+    deduped: int = 0
+    skipped_empty: int = 0
+    dropped: int = 0
+    scanned: int = 0
+    flagged: int = 0
+    batches: int = 0
+    total_latency_seconds: float = 0.0
+    _latencies: list = field(default_factory=list, repr=False)
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        return self.total_latency_seconds / self.scanned if self.scanned else 0.0
+
+    def record_latency(self, latency: float) -> None:
+        """Retain a latency sample, compacting past the bounded window."""
+        self._latencies.append(latency)
+        if len(self._latencies) > 2 * LATENCY_WINDOW:
+            del self._latencies[:-LATENCY_WINDOW]
+
+    def recent_latencies(self, count: int) -> list[float]:
+        """The newest ``count`` retained samples (fewer after compaction)."""
+        return self._latencies[-count:] if count > 0 else []
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 of per-event enqueue→scored latency (seconds),
+        over the retained sample window."""
+        if not self._latencies:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        p50, p95, p99 = np.percentile(self._latencies, [50, 95, 99])
+        return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+    def as_dict(self) -> dict:
+        return {
+            "events_in": self.events_in,
+            "deduped": self.deduped,
+            "skipped_empty": self.skipped_empty,
+            "dropped": self.dropped,
+            "scanned": self.scanned,
+            "flagged": self.flagged,
+            "batches": self.batches,
+            "mean_latency_seconds": self.mean_latency_seconds,
+            "latency_seconds": self.latency_percentiles(),
+        }
+
+
+def shard_of(address: str, shards: int) -> int:
+    """Deterministic address → worker assignment (CRC32 partitioning)."""
+    return zlib.crc32(address.encode()) % shards
+
+
+class StreamScanner:
+    """Consume :class:`ContractEvent` streams into scored micro-batches.
+
+    Args:
+        service: A :class:`ScanService` (fitted or lazily fitted); its
+            model, cache and prediction namespace are shared across all
+            shard workers via :meth:`ScanService.sharded`, so predictions
+            are bit-identical to a direct ``scan_bytecodes`` call.
+        shards: Worker count; events partition by ``crc32(address)``.
+        max_batch: Micro-batch flush threshold (events per flush).
+        max_queue: Intake bound; must be ≥ ``max_batch`` when
+            ``auto_flush`` is on (so a batch can form before overflow).
+        policy: Backpressure policy (see module docstring).
+        auto_flush: Flush a micro-batch inline whenever ``max_batch``
+            events are queued (producer-paced; the default). Turn off to
+            model an independent consumer: events then accumulate until
+            :meth:`tick` / :meth:`flush_batch` / :meth:`flush` runs, and
+            the bounded queue + ``policy`` govern overflow in between.
+        flush_deadline_seconds: Age of the oldest queued event that forces
+            a flush in :meth:`tick` — bounds worst-case alert latency when
+            traffic is too thin to fill batches.
+        threshold: Alert cut-off; defaults to the service threshold.
+        sinks: Initial :class:`~repro.stream.sinks.AlertSink` list.
+        dedup_addresses: Drop redeliveries of an address already consumed
+            (at-least-once producers are the norm; scanning is idempotent
+            but alerting should not double-fire).
+        seed: Seed for the ``sample`` policy.
+    """
+
+    def __init__(
+        self,
+        service: ScanService,
+        *,
+        shards: int = 1,
+        max_batch: int = 32,
+        max_queue: int = 256,
+        policy: str = "block",
+        auto_flush: bool = True,
+        flush_deadline_seconds: float | None = None,
+        threshold: float | None = None,
+        sinks=(),
+        dedup_addresses: bool = True,
+        seed: int = 0,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if max_queue < 1:
+            raise ValueError("max_queue must be positive")
+        if auto_flush and max_queue < max_batch:
+            raise ValueError(
+                "max_queue must be >= max_batch under auto_flush "
+                "(a batch must be able to form before the queue overflows)"
+            )
+        if policy not in SCANNER_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; supported: {SCANNER_POLICIES}"
+            )
+        self.service = service
+        self.workers = service.sharded(shards)
+        self.shards = shards
+        self.max_batch = max_batch
+        self.max_queue = max_queue
+        self.policy = policy
+        self.auto_flush = auto_flush
+        self.flush_deadline_seconds = flush_deadline_seconds
+        self.threshold = service.threshold if threshold is None else threshold
+        self.sinks = list(sinks)
+        self.dedup_addresses = dedup_addresses
+        self.stats = StreamStats()
+        self.shard_stats = [ShardStats(shard=i) for i in range(shards)]
+        self.alerts: list[StreamAlert] = []
+        self._queue: deque[ContractEvent] = deque()
+        self._seen: set[str] = set()
+        self._rng = np.random.default_rng(seed)
+        self._batch_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Intake
+    # ------------------------------------------------------------------ #
+
+    def add_sink(self, sink) -> None:
+        self.sinks.append(sink)
+
+    def attach(self, bus):
+        """Subscribe this scanner to a bus's contract topic."""
+        return bus.subscribe(TOPIC_CONTRACTS, handler=self.on_event)
+
+    def mark_seen(self, addresses) -> int:
+        """Pre-populate the dedup set (monitor only the future)."""
+        before = len(self._seen)
+        self._seen.update(addresses)
+        return len(self._seen) - before
+
+    @property
+    def seen(self) -> set[str]:
+        """Addresses consumed or pre-marked (do not mutate)."""
+        return self._seen
+
+    def on_event(self, event: ContractEvent) -> bool:
+        """Admit one deployment event; returns False when shed/skipped.
+
+        A *shed* event is not marked seen — an at-least-once producer can
+        redeliver it and have it scanned; only consumed (queued or
+        empty-skipped) addresses dedup.
+        """
+        self.stats.events_in += 1
+        if self.dedup_addresses and event.address in self._seen:
+            self.stats.deduped += 1
+            return False
+        if not event.code:
+            if self.dedup_addresses:
+                self._seen.add(event.address)
+            self.stats.skipped_empty += 1
+            return False
+        if len(self._queue) >= self.max_queue and self.policy == "block":
+            self.flush_batch()
+        admit, evicted = shed(
+            self._queue, self.max_queue, self.policy, self._rng
+        )
+        self.stats.dropped += int(not admit) + int(evicted is not None)
+        if not admit:
+            return False
+        if evicted is not None and self.dedup_addresses:
+            self._seen.discard(evicted.address)
+        if self.dedup_addresses:
+            self._seen.add(event.address)
+        self._queue.append(event)
+        if self.auto_flush and len(self._queue) >= self.max_batch:
+            self.flush_batch()
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+
+    def tick(self, now: float | None = None) -> list[StreamAlert]:
+        """Deadline check: flush if the oldest queued event is overdue."""
+        if not self._queue or self.flush_deadline_seconds is None:
+            return []
+        now = time.perf_counter() if now is None else now
+        if now - self._queue[0].enqueued_at >= self.flush_deadline_seconds:
+            return self.flush_batch()
+        return []
+
+    def flush_batch(self) -> list[StreamAlert]:
+        """Score one micro-batch (up to ``max_batch`` queued events)."""
+        if not self._queue:
+            return []
+        count = min(self.max_batch, len(self._queue))
+        batch = [self._queue.popleft() for _ in range(count)]
+        return self._score(batch)
+
+    def flush(self) -> list[StreamAlert]:
+        """Drain the whole queue, one micro-batch at a time."""
+        alerts: list[StreamAlert] = []
+        while self._queue:
+            alerts.extend(self.flush_batch())
+        return alerts
+
+    def _score(self, batch: list[ContractEvent]) -> list[StreamAlert]:
+        batch_id = self._batch_id
+        self._batch_id += 1
+        self.stats.batches += 1
+
+        by_shard: dict[int, list[ContractEvent]] = {}
+        for event in batch:
+            by_shard.setdefault(shard_of(event.address, self.shards), []).append(event)
+
+        alerts: list[StreamAlert] = []
+        for shard, events in sorted(by_shard.items()):
+            worker = self.workers[shard]
+            results = worker.scan_bytecodes(
+                [e.code for e in events], addresses=[e.address for e in events]
+            )
+            scored_at = time.perf_counter()
+            stats = self.shard_stats[shard]
+            stats.scanned += len(events)
+            stats.batches += 1
+            for event, result in zip(events, results):
+                latency = max(scored_at - event.enqueued_at, 0.0)
+                self.stats.scanned += 1
+                self.stats.total_latency_seconds += latency
+                self.stats.record_latency(latency)
+                if result.probability < self.threshold:
+                    continue
+                alert = StreamAlert(
+                    address=event.address,
+                    probability=result.probability,
+                    block_number=event.block_number,
+                    timestamp=event.timestamp,
+                    latency_seconds=latency,
+                    shard=shard,
+                    batch_id=batch_id,
+                    from_cache=result.from_cache,
+                )
+                alerts.append(alert)
+                self.alerts.append(alert)
+                self.stats.flagged += 1
+                stats.flagged += 1
+                for sink in self.sinks:
+                    sink.emit(alert)
+        return alerts
+
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Drain pending events and close every sink."""
+        self.flush()
+        for sink in self.sinks:
+            sink.close()
+
+    def summary(self) -> dict:
+        """JSON-ready pipeline + shard + sink accounting."""
+        return {
+            **self.stats.as_dict(),
+            "shards": [
+                {
+                    "shard": s.shard,
+                    "scanned": s.scanned,
+                    "flagged": s.flagged,
+                    "batches": s.batches,
+                }
+                for s in self.shard_stats
+            ],
+            "sinks": {sink.name: sink.stats.as_dict() for sink in self.sinks},
+        }

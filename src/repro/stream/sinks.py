@@ -1,0 +1,143 @@
+"""Pluggable alert delivery for the streaming scanner.
+
+A flagged deployment is only useful if it reaches someone before the
+victim signs. Sinks decouple *scoring* from *delivery*: the scanner emits
+each :class:`~repro.stream.scanner.StreamAlert` to every registered sink,
+and each sink keeps its own delivery accounting so a slow or failing
+channel is visible per channel, not as a mystery in the aggregate.
+
+Provided sinks:
+
+* :class:`MemorySink` — in-process list (tests, dashboards),
+* :class:`JsonlSink` — append-only JSON-lines file (audit trail),
+* :class:`CallbackSink` — invoke a user callable per alert,
+* :class:`WebhookSink` — network-free stub of an HTTP POST channel: it
+  formats the request body and records it, standing in for the transport
+  the production deployment would add.
+
+A sink raising does not break the scan loop: :meth:`AlertSink.emit`
+swallows the error, counts it in the sink's ``stats.failed``, and the
+scanner keeps going (alert delivery must never take down detection).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+__all__ = [
+    "SinkStats",
+    "AlertSink",
+    "MemorySink",
+    "JsonlSink",
+    "CallbackSink",
+    "WebhookSink",
+]
+
+
+@dataclass
+class SinkStats:
+    """Per-sink delivery accounting."""
+
+    delivered: int = 0
+    failed: int = 0
+
+    def as_dict(self) -> dict:
+        return {"delivered": self.delivered, "failed": self.failed}
+
+
+class AlertSink:
+    """Base class: implement :meth:`_deliver`; stats come for free."""
+
+    name = "sink"
+
+    def __init__(self):
+        self.stats = SinkStats()
+
+    def emit(self, alert) -> bool:
+        """Deliver one alert; returns success. A failing delivery is
+        swallowed and counted (delivery must never take down detection)."""
+        try:
+            self._deliver(alert)
+        except Exception:
+            self.stats.failed += 1
+            return False
+        self.stats.delivered += 1
+        return True
+
+    def _deliver(self, alert) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources; idempotent. Default: nothing."""
+
+
+class MemorySink(AlertSink):
+    """Collect alerts in a list (``sink.alerts``)."""
+
+    name = "memory"
+
+    def __init__(self):
+        super().__init__()
+        self.alerts: list = []
+
+    def _deliver(self, alert) -> None:
+        self.alerts.append(alert)
+
+
+class JsonlSink(AlertSink):
+    """Append one JSON object per alert to a file."""
+
+    name = "jsonl"
+
+    def __init__(self, path):
+        super().__init__()
+        self.path = path
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def _deliver(self, alert) -> None:
+        self._handle.write(json.dumps(asdict(alert), sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+
+class CallbackSink(AlertSink):
+    """Invoke ``callback(alert)`` per alert."""
+
+    name = "callback"
+
+    def __init__(self, callback):
+        super().__init__()
+        self._callback = callback
+
+    def _deliver(self, alert) -> None:
+        self._callback(alert)
+
+
+class WebhookSink(AlertSink):
+    """Offline webhook: formats the POST a production sink would send.
+
+    ``transport`` is any callable ``(url, body_text) -> None``; the
+    default records ``(url, decoded_body)`` in ``sink.sent`` so tests can
+    assert on the wire format without a network.
+    """
+
+    name = "webhook"
+
+    def __init__(self, url: str, transport=None):
+        super().__init__()
+        self.url = url
+        self.sent: list[tuple[str, dict]] = []
+        self._transport = transport or self._record
+
+    def _record(self, url: str, body_text: str) -> None:
+        self.sent.append((url, json.loads(body_text)))
+
+    def _deliver(self, alert) -> None:
+        body = json.dumps(
+            {"type": "phishing_alert", **asdict(alert)}, sort_keys=True
+        )
+        self._transport(self.url, body)

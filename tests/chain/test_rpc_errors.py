@@ -1,0 +1,194 @@
+"""JSON-RPC error-path and subscription-plane coverage.
+
+The JSON-RPC 2.0 spec pins one error code per failure class; these tests
+pin the server to them — including the subscription methods the streaming
+pipeline tails (``eth_subscribe`` / ``eth_unsubscribe`` /
+``eth_getFilterChanges``).
+"""
+
+import json
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.rpc import JsonRpcClient, JsonRpcError, JsonRpcServer
+from repro.chain.timeline import month_to_timestamp
+
+
+@pytest.fixture
+def chain():
+    chain = Blockchain()
+    for k in range(3):
+        chain.deploy(
+            bytes([0x60, k]),
+            timestamp=month_to_timestamp(0, fraction=0.1 * (k + 1)),
+        )
+    return chain
+
+
+@pytest.fixture
+def server(chain):
+    return JsonRpcServer(chain)
+
+
+@pytest.fixture
+def client(server):
+    return JsonRpcClient(server)
+
+
+def send(server, body) -> dict:
+    return json.loads(server.handle(json.dumps(body)))
+
+
+class TestErrorEnvelope:
+    def test_parse_error_has_null_id(self, server):
+        response = json.loads(server.handle("{truncated"))
+        assert response["error"]["code"] == -32700
+        assert response["id"] is None
+
+    def test_non_object_request_is_invalid(self, server):
+        response = send(server, [1, 2, 3])
+        assert response["error"]["code"] == -32600
+
+    def test_missing_jsonrpc_version_is_invalid(self, server):
+        response = send(server, {"method": "eth_blockNumber", "id": 4})
+        assert response["error"]["code"] == -32600
+
+    def test_non_string_method_is_invalid_but_echoes_id(self, server):
+        response = send(server, {"jsonrpc": "2.0", "id": 9, "method": 42})
+        assert response["error"]["code"] == -32600
+        assert response["id"] == 9
+
+    def test_unknown_method_code_and_id_echo(self, server):
+        response = send(
+            server,
+            {"jsonrpc": "2.0", "id": 11, "method": "eth_call", "params": []},
+        )
+        assert response["error"]["code"] == -32601
+        assert response["id"] == 11
+
+    def test_missing_params_are_invalid_params(self, server):
+        for method in (
+            "eth_getCode",
+            "eth_getTransactionByHash",
+            "eth_subscribe",
+            "eth_unsubscribe",
+            "eth_getFilterChanges",
+        ):
+            response = send(
+                server,
+                {"jsonrpc": "2.0", "id": 1, "method": method, "params": []},
+            )
+            assert response["error"]["code"] == -32602, method
+
+    def test_malformed_address_is_invalid_params(self, server):
+        response = send(
+            server,
+            {
+                "jsonrpc": "2.0",
+                "id": 2,
+                "method": "eth_getCode",
+                "params": ["0x123", "latest"],
+            },
+        )
+        assert response["error"]["code"] == -32602
+
+
+class TestSubscriptionErrors:
+    def test_unknown_kind_is_invalid_params(self, client):
+        with pytest.raises(JsonRpcError) as excinfo:
+            client.subscribe("newLogs")
+        assert excinfo.value.code == -32602
+
+    def test_non_string_kind_is_invalid_params(self, client):
+        with pytest.raises(JsonRpcError) as excinfo:
+            client.call("eth_subscribe", [7])
+        assert excinfo.value.code == -32602
+
+    def test_unknown_filter_id_is_filter_not_found(self, client):
+        with pytest.raises(JsonRpcError) as excinfo:
+            client.filter_changes("0xdead")
+        assert excinfo.value.code == -32001
+
+    def test_drained_after_unsubscribe_is_filter_not_found(self, client):
+        subscription_id = client.subscribe("newContracts")
+        assert client.unsubscribe(subscription_id)
+        with pytest.raises(JsonRpcError) as excinfo:
+            client.filter_changes(subscription_id)
+        assert excinfo.value.code == -32001
+
+    def test_unsubscribe_unknown_id_returns_false(self, client):
+        assert client.unsubscribe("0xbeef") is False
+
+    def test_filter_count_is_bounded(self, chain):
+        server = JsonRpcServer(chain, max_filters=2)
+        client = JsonRpcClient(server)
+        client.subscribe("newHeads")
+        kept = client.subscribe("newContracts")
+        with pytest.raises(JsonRpcError) as excinfo:
+            client.subscribe("newHeads")
+        assert excinfo.value.code == -32000
+        # Unsubscribing frees a slot.
+        assert client.unsubscribe(kept)
+        client.subscribe("newHeads")
+
+
+class TestSubscriptionFlow:
+    def test_new_contracts_filter_sees_deploys(self, chain, client):
+        subscription_id = client.subscribe("newContracts")
+        address = chain.deploy(
+            b"\x60\x0a\x00", timestamp=month_to_timestamp(1, 0.5)
+        )
+        events, dropped = client.filter_changes(subscription_id)
+        assert dropped == 0
+        (event,) = events
+        assert event["address"] == address
+        assert bytes.fromhex(event["code"][2:]) == chain.get_code(address)
+        assert int(event["blockNumber"], 16) > 0
+        # Drained: a second poll is empty.
+        assert client.filter_changes(subscription_id) == ([], 0)
+
+    def test_new_heads_filter_reports_each_block_once(self, chain, client):
+        subscription_id = client.subscribe("newHeads")
+        same = month_to_timestamp(2, 0.5)
+        chain.deploy(b"\x60\x01", timestamp=same)
+        chain.deploy(b"\x60\x02", timestamp=same)  # same block
+        chain.deploy(b"\x60\x03", timestamp=month_to_timestamp(2, 0.9))
+        events, __ = client.filter_changes(subscription_id)
+        assert len(events) == 2
+        numbers = [int(e["number"], 16) for e in events]
+        assert numbers == sorted(numbers)
+
+    def test_independent_filters_have_independent_cursors(
+        self, chain, client
+    ):
+        first = client.subscribe("newContracts")
+        chain.deploy(b"\x60\x01", timestamp=month_to_timestamp(3, 0.2))
+        second = client.subscribe("newContracts")
+        chain.deploy(b"\x60\x02", timestamp=month_to_timestamp(3, 0.4))
+        first_events, __ = client.filter_changes(first)
+        second_events, __ = client.filter_changes(second)
+        assert len(first_events) == 2
+        assert len(second_events) == 1  # opened after the first deploy
+
+    def test_bounded_filter_drops_oldest_and_reports(self, chain):
+        server = JsonRpcServer(chain, max_pending_per_filter=2)
+        client = JsonRpcClient(server)
+        subscription_id = client.subscribe("newContracts")
+        for k in range(5):
+            chain.deploy(
+                bytes([0x61, k]), timestamp=month_to_timestamp(4, 0.1 * (k + 1))
+            )
+        events, dropped = client.filter_changes(subscription_id)
+        assert len(events) == 2
+        assert dropped == 3
+        # Drop counter resets once reported.
+        assert client.filter_changes(subscription_id) == ([], 0)
+
+    def test_unsubscribing_last_filter_detaches_listener(self, chain, client):
+        subscription_id = client.subscribe("newContracts")
+        assert client.unsubscribe(subscription_id)
+        # No filters left: deploys must not error or accumulate anywhere.
+        chain.deploy(b"\x60\x0b", timestamp=month_to_timestamp(5, 0.5))
+        fresh = client.subscribe("newContracts")
+        assert client.filter_changes(fresh) == ([], 0)

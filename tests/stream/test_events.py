@@ -1,0 +1,198 @@
+"""Tests for the event bus, subscriptions and backpressure policies."""
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.rpc import JsonRpcClient, JsonRpcServer
+from repro.chain.timeline import month_to_timestamp
+from repro.stream.events import (
+    TOPIC_BLOCKS,
+    TOPIC_CONTRACTS,
+    BlockEvent,
+    ContractEvent,
+    EventBus,
+)
+
+
+def fresh_chain(n=0, per_block=1):
+    chain = Blockchain()
+    for i in range(n):
+        # Same timestamp → same block; step a day per group of per_block.
+        timestamp = month_to_timestamp(0, 0.01 * (i // per_block + 1))
+        chain.deploy(bytes([0x60, i]), timestamp=timestamp)
+    return chain
+
+
+def make_event(i, code=b"\x60\x01"):
+    return ContractEvent(
+        address=f"0x{i:040x}",
+        code=code,
+        block_number=i + 1,
+        timestamp=1700000000 + i,
+        tx_hash=f"0x{i:x}",
+        sequence=i,
+    )
+
+
+class TestSubscription:
+    def test_handler_delivery_is_synchronous(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(TOPIC_CONTRACTS, handler=seen.append)
+        event = make_event(0)
+        assert bus.publish(event) == 1
+        assert seen == [event]
+
+    def test_buffered_delivery_and_drain(self):
+        bus = EventBus()
+        sub = bus.subscribe(TOPIC_CONTRACTS)
+        events = [make_event(i) for i in range(5)]
+        for event in events:
+            bus.publish(event)
+        assert sub.pending == 5
+        assert sub.drain(2) == events[:2]
+        assert sub.drain() == events[2:]
+        assert sub.pending == 0
+
+    def test_drop_oldest_evicts_head(self):
+        bus = EventBus()
+        sub = bus.subscribe(TOPIC_CONTRACTS, max_pending=3)
+        for i in range(5):
+            bus.publish(make_event(i))
+        drained = sub.drain()
+        assert [e.sequence for e in drained] == [2, 3, 4]
+        assert sub.dropped == 2
+        assert sub.delivered == 5
+
+    def test_drop_newest_keeps_history(self):
+        bus = EventBus()
+        sub = bus.subscribe(
+            TOPIC_CONTRACTS, max_pending=3, policy="drop_newest"
+        )
+        for i in range(5):
+            bus.publish(make_event(i))
+        assert [e.sequence for e in sub.drain()] == [0, 1, 2]
+        assert sub.dropped == 2
+
+    def test_sample_policy_is_deterministic(self):
+        def run():
+            bus = EventBus()
+            sub = bus.subscribe(
+                TOPIC_CONTRACTS, max_pending=4, policy="sample", seed=3
+            )
+            for i in range(40):
+                bus.publish(make_event(i))
+            return [e.sequence for e in sub.drain()], sub.dropped
+
+        first, dropped = run()
+        assert run() == (first, dropped)
+        assert len(first) == 4
+        assert dropped == 36
+
+    def test_bad_policy_and_bound_rejected(self):
+        bus = EventBus()
+        with pytest.raises(ValueError):
+            bus.subscribe(TOPIC_CONTRACTS, policy="spill")
+        with pytest.raises(ValueError):
+            bus.subscribe(TOPIC_CONTRACTS, max_pending=0)
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        sub = bus.subscribe(TOPIC_CONTRACTS)
+        bus.unsubscribe(sub)
+        assert bus.publish(make_event(0)) == 0
+        assert bus.subscriber_count() == 0
+
+
+def test_contract_event_self_stamps_enqueued_at():
+    event = ContractEvent(
+        address="0x" + "00" * 20, code=b"\x60", block_number=1,
+        timestamp=1_700_000_000, tx_hash="0x0", sequence=0,
+    )
+    # Omitted enqueued_at stamps construction time, not 0.0 (which would
+    # read as hours of latency and keep deadline flushes always overdue).
+    import time
+
+    assert 0 < event.enqueued_at <= time.perf_counter()
+
+
+class TestChainBridge:
+    def test_deploys_fan_out_to_both_topics(self):
+        bus = EventBus()
+        contracts = bus.subscribe(TOPIC_CONTRACTS)
+        blocks = bus.subscribe(TOPIC_BLOCKS)
+        chain = fresh_chain()
+        bus.attach(chain)
+        chain.deploy(b"\x60\x01", timestamp=month_to_timestamp(0, 0.1))
+        chain.deploy(b"\x60\x02", timestamp=month_to_timestamp(0, 0.1))
+        chain.deploy(b"\x60\x03", timestamp=month_to_timestamp(0, 0.5))
+        assert contracts.pending == 3
+        # Two distinct timestamps → two blocks, each announced once.
+        heads = blocks.drain()
+        assert len(heads) == 2
+        assert all(isinstance(e, BlockEvent) for e in heads)
+
+    def test_contract_event_carries_ledger_metadata(self):
+        bus = EventBus()
+        sub = bus.subscribe(TOPIC_CONTRACTS)
+        chain = fresh_chain()
+        bus.attach(chain)
+        address = chain.deploy(
+            b"\x60\x01\x00", timestamp=month_to_timestamp(1, 0.2)
+        )
+        (event,) = sub.drain()
+        transaction = chain.get_creation_transaction(address)
+        assert event.address == address
+        assert event.code == chain.get_code(address)
+        assert event.block_number == transaction.block_number
+        assert event.tx_hash == transaction.tx_hash
+        assert event.sequence == 0
+        assert event.enqueued_at > 0
+
+    def test_detach_stops_publishing(self):
+        bus = EventBus()
+        sub = bus.subscribe(TOPIC_CONTRACTS)
+        chain = fresh_chain()
+        detach = bus.attach(chain)
+        chain.deploy(b"\x60\x01", timestamp=month_to_timestamp(0, 0.1))
+        detach()
+        chain.deploy(b"\x60\x02", timestamp=month_to_timestamp(0, 0.2))
+        assert sub.pending == 1
+
+
+class TestRpcPump:
+    def test_pump_rpc_mirrors_in_process_envelope(self):
+        chain = fresh_chain()
+        client = JsonRpcClient(JsonRpcServer(chain))
+        subscription_id = client.subscribe("newContracts")
+
+        bus = EventBus()
+        sub = bus.subscribe(TOPIC_CONTRACTS)
+        address = chain.deploy(
+            b"\x60\x01\x02", timestamp=month_to_timestamp(0, 0.3)
+        )
+        pumped = bus.pump_rpc(client, subscription_id)
+        assert pumped == 1
+        (event,) = sub.drain()
+        assert event.address == address
+        assert event.code == chain.get_code(address)
+        assert event.block_number == chain.get_creation_transaction(
+            address
+        ).block_number
+        # Nothing new → nothing pumped.
+        assert bus.pump_rpc(client, subscription_id) == 0
+
+    def test_pump_rpc_accumulates_upstream_drops(self):
+        chain = fresh_chain()
+        server = JsonRpcServer(chain, max_pending_per_filter=1)
+        client = JsonRpcClient(server)
+        subscription_id = client.subscribe("newContracts")
+        bus = EventBus()
+        sub = bus.subscribe(TOPIC_CONTRACTS)
+        for k in range(3):
+            chain.deploy(
+                bytes([0x60, k]), timestamp=month_to_timestamp(0, 0.1 * (k + 1))
+            )
+        assert bus.pump_rpc(client, subscription_id) == 1
+        assert bus.dropped_upstream == 2  # filter shed two between polls
+        assert sub.pending == 1

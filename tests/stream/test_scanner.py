@@ -1,0 +1,250 @@
+"""Tests for the micro-batching, sharded stream scanner."""
+
+import pytest
+
+from repro.stream.scanner import StreamScanner, shard_of
+from repro.stream.sinks import CallbackSink, MemorySink
+from tests.stream.test_events import make_event
+
+
+def events_for(corpus, count=None):
+    """Corpus deployments as stream events, oldest first."""
+    records = corpus.records if count is None else corpus.records[:count]
+    return [
+        make_event_from(record, i) for i, record in enumerate(records)
+    ]
+
+
+def make_event_from(record, sequence):
+    from repro.stream.events import ContractEvent
+    import time
+
+    return ContractEvent(
+        address=record.address,
+        code=record.bytecode,
+        block_number=sequence + 1,
+        timestamp=record.timestamp,
+        tx_hash=f"0x{sequence:x}",
+        sequence=sequence,
+        enqueued_at=time.perf_counter(),
+    )
+
+
+class TestValidation:
+    def test_bad_config_rejected(self, service):
+        with pytest.raises(ValueError):
+            StreamScanner(service, shards=0)
+        with pytest.raises(ValueError):
+            StreamScanner(service, max_batch=0)
+        with pytest.raises(ValueError):
+            StreamScanner(service, max_batch=16, max_queue=8)
+        with pytest.raises(ValueError):
+            StreamScanner(service, policy="explode")
+
+
+class TestMicroBatching:
+    def test_flush_on_size(self, service, stream_corpus):
+        scanner = StreamScanner(service, max_batch=4, max_queue=16)
+        for event in events_for(stream_corpus, 3):
+            scanner.on_event(event)
+        assert scanner.stats.batches == 0  # below threshold: nothing flushed
+        assert scanner.pending == 3
+        scanner.on_event(events_for(stream_corpus, 4)[3])
+        assert scanner.stats.batches == 1
+        assert scanner.pending == 0
+        assert scanner.stats.scanned == 4
+
+    def test_flush_on_deadline(self, service, stream_corpus):
+        scanner = StreamScanner(
+            service, max_batch=64, max_queue=64,
+            flush_deadline_seconds=0.5,
+        )
+        (event,) = events_for(stream_corpus, 1)
+        scanner.on_event(event)
+        # Not yet due → no flush; past the deadline → flushed.
+        assert scanner.tick(now=event.enqueued_at + 0.1) == []
+        assert scanner.pending == 1
+        scanner.tick(now=event.enqueued_at + 0.6)
+        assert scanner.pending == 0
+        assert scanner.stats.batches == 1
+
+    def test_drain_flushes_everything_in_micro_batches(
+        self, service, stream_corpus
+    ):
+        scanner = StreamScanner(service, max_batch=8, max_queue=64)
+        events = events_for(stream_corpus, 21)
+        for event in events[:7]:  # stay under the auto-flush threshold
+            scanner.on_event(event)
+        scanner.flush()
+        assert scanner.stats.scanned == 7
+        assert scanner.pending == 0
+
+    def test_dedup_and_empty_code(self, service, stream_corpus):
+        scanner = StreamScanner(service, max_batch=4, max_queue=16)
+        (event,) = events_for(stream_corpus, 1)
+        assert scanner.on_event(event)
+        assert not scanner.on_event(event)  # redelivery deduped
+        assert scanner.stats.deduped == 1
+        empty = make_event(999, code=b"")
+        assert not scanner.on_event(empty)
+        assert scanner.stats.skipped_empty == 1
+        assert scanner.pending == 1
+
+
+class TestBackpressure:
+    def test_block_policy_flushes_inline(self, service, stream_corpus):
+        scanner = StreamScanner(
+            service, max_batch=4, max_queue=4, policy="block"
+        )
+        for event in events_for(stream_corpus, 10):
+            scanner.on_event(event)
+        scanner.flush()
+        assert scanner.stats.dropped == 0
+        assert scanner.stats.scanned == 10
+
+    def test_drop_policies_shed_counted_load(self, service, stream_corpus):
+        events = events_for(stream_corpus, 12)
+        for policy in ("drop_oldest", "drop_newest", "sample"):
+            scanner = StreamScanner(
+                service.sharded(1)[0], max_batch=64, max_queue=4,
+                policy=policy, seed=5, auto_flush=False,
+            )
+            # Consumer-paced mode: the bounded queue must shed load.
+            for event in events:
+                scanner.on_event(event)
+            assert scanner.pending == 4
+            assert scanner.stats.dropped == 8
+            scanner.flush()
+            assert scanner.stats.scanned + scanner.stats.dropped == 12
+
+    def test_shed_events_are_not_seen_poisoned(self, service, stream_corpus):
+        """A dropped event must stay re-deliverable (at-least-once)."""
+        events = events_for(stream_corpus, 3)
+        # Refused newcomer: redelivery is scanned, not deduped.
+        scanner = StreamScanner(
+            service, max_batch=2, max_queue=2, policy="drop_newest",
+            auto_flush=False,
+        )
+        for event in events:
+            scanner.on_event(event)
+        assert scanner.stats.dropped == 1
+        scanner.flush()
+        assert scanner.on_event(events[2])  # redelivery admitted
+        scanner.flush()
+        assert scanner.stats.scanned == 3
+        assert scanner.stats.deduped == 0
+
+        # Evicted resident: redelivery is scanned, not deduped.
+        scanner = StreamScanner(
+            service.sharded(1)[0], max_batch=2, max_queue=2,
+            policy="drop_oldest", auto_flush=False,
+        )
+        for event in events:
+            scanner.on_event(event)  # events[0] evicted
+        scanner.flush()
+        assert scanner.on_event(events[0])
+        scanner.flush()
+        assert scanner.stats.scanned == 3
+        assert scanner.stats.deduped == 0
+
+    def test_auto_flush_requires_room_for_a_batch(self, service):
+        with pytest.raises(ValueError):
+            StreamScanner(service, max_batch=16, max_queue=8)
+        # Fine without auto_flush: the queue bound is the consumer's pace.
+        StreamScanner(service, max_batch=16, max_queue=8, auto_flush=False)
+
+
+class TestShardingAndParity:
+    def test_shard_partition_is_deterministic(self, service, stream_corpus):
+        scanner = StreamScanner(service, shards=3, max_batch=8, max_queue=64)
+        events = events_for(stream_corpus, 24)
+        for event in events:
+            scanner.on_event(event)
+        scanner.flush()
+        by_shard = {s.shard: s.scanned for s in scanner.shard_stats}
+        assert sum(by_shard.values()) == 24
+        for alert in scanner.alerts:
+            assert alert.shard == shard_of(alert.address, 3)
+
+    def test_alerts_match_direct_batch_scan(
+        self, fitted_service, stream_corpus
+    ):
+        """Sharded streaming = one big scan_bytecodes call, bit for bit."""
+        events = events_for(stream_corpus, 30)
+        direct = fitted_service.sharded(1)[0].scan_bytecodes(
+            [e.code for e in events], addresses=[e.address for e in events]
+        )
+        expected = {
+            r.address: r.probability for r in direct if r.probability >= 0.5
+        }
+
+        scanner = StreamScanner(
+            fitted_service.sharded(1)[0],
+            shards=4, max_batch=7, max_queue=64, threshold=0.5,
+        )
+        for event in events:
+            scanner.on_event(event)
+        scanner.flush()
+        streamed = {a.address: a.probability for a in scanner.alerts}
+        assert streamed == expected
+
+    def test_latency_accounting(self, service, stream_corpus):
+        scanner = StreamScanner(service, max_batch=8, max_queue=64)
+        for event in events_for(stream_corpus, 8):
+            scanner.on_event(event)
+        scanner.flush()
+        stats = scanner.stats
+        assert stats.mean_latency_seconds > 0
+        percentiles = stats.latency_percentiles()
+        assert 0 < percentiles["p50"] <= percentiles["p95"] <= percentiles["p99"]
+
+
+class TestSinks:
+    def test_alerts_fan_out_to_sinks(self, service, stream_corpus):
+        memory = MemorySink()
+        received = []
+        scanner = StreamScanner(
+            service, max_batch=8, max_queue=64,
+            sinks=[memory, CallbackSink(received.append)],
+        )
+        for event in events_for(stream_corpus, 16):
+            scanner.on_event(event)
+        scanner.flush()
+        assert len(memory.alerts) == scanner.stats.flagged
+        assert received == memory.alerts
+        assert memory.stats.delivered == scanner.stats.flagged
+
+    def test_failing_sink_does_not_break_scanning(
+        self, service, stream_corpus
+    ):
+        def explode(alert):
+            raise RuntimeError("delivery down")
+
+        bad = CallbackSink(explode)
+        good = MemorySink()
+        scanner = StreamScanner(
+            service, max_batch=8, max_queue=64, sinks=[bad, good]
+        )
+        for event in events_for(stream_corpus, 16):
+            scanner.on_event(event)
+        scanner.flush()
+        assert scanner.stats.flagged > 0
+        assert bad.stats.failed == scanner.stats.flagged
+        assert bad.stats.delivered == 0
+        assert good.stats.delivered == scanner.stats.flagged
+
+    def test_summary_is_json_ready(self, service, stream_corpus):
+        import json
+
+        scanner = StreamScanner(
+            service, shards=2, max_batch=8, max_queue=64,
+            sinks=[MemorySink()],
+        )
+        for event in events_for(stream_corpus, 10):
+            scanner.on_event(event)
+        scanner.close()
+        summary = scanner.summary()
+        json.dumps(summary)
+        assert summary["scanned"] == 10
+        assert len(summary["shards"]) == 2
+        assert summary["sinks"]["memory"]["delivered"] == summary["flagged"]

@@ -1,0 +1,93 @@
+"""Tests for alert sinks and their delivery accounting."""
+
+import json
+
+import pytest
+
+from repro.stream.scanner import StreamAlert
+from repro.stream.sinks import (
+    AlertSink,
+    CallbackSink,
+    JsonlSink,
+    MemorySink,
+    WebhookSink,
+)
+
+
+@pytest.fixture
+def alert():
+    return StreamAlert(
+        address="0x" + "ab" * 20,
+        probability=0.93,
+        block_number=18_000_000,
+        timestamp=1_700_000_000,
+        latency_seconds=0.004,
+        shard=1,
+        batch_id=7,
+        from_cache=False,
+    )
+
+
+def test_base_sink_requires_deliver(alert):
+    sink = AlertSink()
+    assert not sink.emit(alert)  # NotImplementedError → counted failure
+    assert sink.stats.failed == 1
+
+
+def test_memory_sink_collects(alert):
+    sink = MemorySink()
+    assert sink.emit(alert)
+    assert sink.alerts == [alert]
+    assert sink.stats.as_dict() == {"delivered": 1, "failed": 0}
+
+
+def test_jsonl_sink_appends_one_object_per_alert(alert, tmp_path):
+    path = tmp_path / "alerts.jsonl"
+    sink = JsonlSink(path)
+    sink.emit(alert)
+    sink.emit(alert)
+    sink.close()
+    sink.close()  # idempotent
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 2
+    body = json.loads(lines[0])
+    assert body["address"] == alert.address
+    assert body["probability"] == alert.probability
+    assert body["shard"] == 1
+
+
+def test_callback_sink_invokes(alert):
+    received = []
+    sink = CallbackSink(received.append)
+    sink.emit(alert)
+    assert received == [alert]
+
+
+def test_callback_failure_is_swallowed_and_counted(alert):
+    def explode(_):
+        raise RuntimeError("down")
+
+    sink = CallbackSink(explode)
+    assert not sink.emit(alert)
+    assert sink.stats.failed == 1
+    assert sink.stats.delivered == 0
+
+
+def test_webhook_sink_records_wire_format(alert):
+    sink = WebhookSink("https://hooks.example/phishing")
+    sink.emit(alert)
+    (url, body), = sink.sent
+    assert url == "https://hooks.example/phishing"
+    assert body["type"] == "phishing_alert"
+    assert body["address"] == alert.address
+    assert body["block_number"] == alert.block_number
+
+
+def test_webhook_custom_transport_failure_counted(alert):
+    def transport(url, body):
+        raise ConnectionError("no route")
+
+    sink = WebhookSink("https://hooks.example/x", transport=transport)
+    assert not sink.emit(alert)
+    assert sink.stats.failed == 1
+    assert sink.sent == []
