@@ -7,7 +7,9 @@ numbers (see "Scale knobs" in DESIGN.md):
 
 * ``PHOOK_IMAGE_SIZE`` — vision input side (default 16),
 * ``PHOOK_EPOCHS`` — deep-model epoch budget multiplier base,
-* ``PHOOK_SEQ_LEN`` — LM token limit (default 96).
+* ``PHOOK_SEQ_LEN`` — LM token limit (default 96),
+* ``PHOOK_N_JOBS`` — forest-training worker processes (default serial;
+  -1 = all CPUs; predictions are bit-identical at any setting).
 """
 
 from __future__ import annotations

@@ -5,7 +5,11 @@ XGBoost/LightGBM/CatBoost packages for the Histogram Similarity
 Classifiers; none are available offline, so this package reimplements them:
 
 * :mod:`repro.ml.tree` — CART decision trees (gini),
-* :mod:`repro.ml.forest` — Random Forest (bagging + feature subsampling),
+* :mod:`repro.ml.forest` — Random Forest (bagging + feature subsampling,
+  optional process-parallel training with bit-identical derived seeds),
+* :mod:`repro.ml.flat` — the flat-array inference engine: fitted
+  ensembles compile to stacked node arrays and predict via
+  level-synchronous vectorized descent (O(depth) numpy ops per batch),
 * :mod:`repro.ml.gbdt` — three gradient-boosting variants mirroring the
   distinguishing design choice of each library: exact level-wise growth
   with second-order gain (XGBoost), histogram binning with leaf-wise
@@ -20,6 +24,7 @@ Classifiers; none are available offline, so this package reimplements them:
 """
 
 from repro.ml.base import Classifier, clone
+from repro.ml.flat import FlatEnsemble, level_descent, precompile
 from repro.ml.curves import (
     average_precision_score,
     precision_recall_curve,
@@ -48,6 +53,9 @@ from repro.ml.tree import DecisionTreeClassifier
 __all__ = [
     "Classifier",
     "clone",
+    "FlatEnsemble",
+    "level_descent",
+    "precompile",
     "DecisionTreeClassifier",
     "RandomForestClassifier",
     "XGBoostClassifier",

@@ -12,6 +12,14 @@ each library the paper benchmarks:
   histograms, best-first *leaf-wise* growth to a leaf-count bound,
 * :class:`CatBoostClassifier` — *oblivious* (symmetric) trees: every node
   at a level shares one (feature, threshold) condition.
+
+Inference is vectorized end to end: each fitted tree finalizes its node
+lists into flat numpy arrays and predicts through the level-synchronous
+descent of :mod:`repro.ml.flat`; ``decision_function`` stacks the whole
+booster into one :class:`~repro.ml.flat.FlatEnsemble` so a batch costs
+O(max_depth) numpy steps for *all* trees at once (oblivious trees are
+index-arithmetic already). The boosting fit itself benefits too — every
+round scores the training set through the same engine.
 """
 
 from __future__ import annotations
@@ -21,6 +29,9 @@ import heapq
 import numpy as np
 
 from repro.ml.base import Classifier, check_array, check_X_y
+from repro.ml.flat import FlatEnsemble, level_descent
+
+_SINGLE_ROOT = np.zeros(1, dtype=np.int64)
 
 __all__ = ["XGBoostClassifier", "LightGBMClassifier", "CatBoostClassifier"]
 
@@ -123,19 +134,19 @@ class _ExactTree:
             return node
 
         build(np.arange(len(g)), 0)
+        self.features = np.asarray(self.features, dtype=np.int64)
+        self.thresholds = np.asarray(self.thresholds, dtype=np.float64)
+        self.lefts = np.asarray(self.lefts, dtype=np.int64)
+        self.rights = np.asarray(self.rights, dtype=np.int64)
+        self.weights = np.asarray(self.weights, dtype=np.float64)
         return self
 
     def predict(self, X) -> np.ndarray:
-        out = np.empty(len(X))
-        for row in range(len(X)):
-            node = 0
-            while self.features[node] != -1:
-                if X[row, self.features[node]] <= self.thresholds[node]:
-                    node = self.lefts[node]
-                else:
-                    node = self.rights[node]
-            out[row] = self.weights[node]
-        return out
+        leaves = level_descent(
+            X, self.lefts, self.rights, self.features, self.thresholds,
+            _SINGLE_ROOT,
+        )[:, 0]
+        return self.weights[leaves]
 
 
 # --------------------------------------------------------------------- #
@@ -150,15 +161,18 @@ class _Binner:
         self.max_bins = max_bins
 
     def fit(self, X) -> "_Binner":
-        self.edges_: list[np.ndarray] = []
-        for feature in range(X.shape[1]):
-            quantiles = np.quantile(
-                X[:, feature], np.linspace(0, 1, self.max_bins + 1)[1:-1]
-            )
-            self.edges_.append(np.unique(quantiles))
+        # One quantile pass over every column at once; per-feature edge
+        # lists stay ragged only because duplicate quantiles collapse.
+        quantiles = np.quantile(
+            X, np.linspace(0, 1, self.max_bins + 1)[1:-1], axis=0
+        )
+        self.edges_ = [
+            np.unique(quantiles[:, feature]) for feature in range(X.shape[1])
+        ]
         return self
 
     def transform(self, X) -> np.ndarray:
+        """Raw values → bin ids, one ``np.searchsorted`` per feature column."""
         binned = np.empty(X.shape, dtype=np.int64)
         for feature, edges in enumerate(self.edges_):
             binned[:, feature] = np.searchsorted(edges, X[:, feature], side="left")
@@ -259,19 +273,19 @@ class _LeafwiseTree:
             n_leaves += 1
             push(left, left_rows)
             push(right, right_rows)
+        self.features = np.asarray(self.features, dtype=np.int64)
+        self.bins = np.asarray(self.bins, dtype=np.float64)
+        self.lefts = np.asarray(self.lefts, dtype=np.int64)
+        self.rights = np.asarray(self.rights, dtype=np.int64)
+        self.weights = np.asarray(self.weights, dtype=np.float64)
         return self
 
     def predict_binned(self, binned) -> np.ndarray:
-        out = np.empty(len(binned))
-        for row in range(len(binned)):
-            node = 0
-            while self.features[node] != -1:
-                if binned[row, self.features[node]] <= self.bins[node]:
-                    node = self.lefts[node]
-                else:
-                    node = self.rights[node]
-            out[row] = self.weights[node]
-        return out
+        leaves = level_descent(
+            binned, self.lefts, self.rights, self.features, self.bins,
+            _SINGLE_ROOT,
+        )[:, 0]
+        return self.weights[leaves]
 
 
 class _ObliviousTree:
@@ -352,6 +366,8 @@ class _BoostedClassifier(Classifier):
     def fit(self, X, y) -> "_BoostedClassifier":
         X, y = check_X_y(X, y)
         X = self._setup(X)
+        self.n_features_ = X.shape[1]
+        self._flat: FlatEnsemble | None = None
         positive_rate = np.clip(y.mean(), 1e-6, 1 - 1e-6)
         self.base_score_ = float(np.log(positive_rate / (1 - positive_rate)))
         raw = np.full(len(y), self.base_score_)
@@ -365,9 +381,31 @@ class _BoostedClassifier(Classifier):
             raw += self.learning_rate * self._tree_predict(tree, X)
         return self
 
+    def compile_flat(self) -> FlatEnsemble | None:
+        """The booster as one stacked :class:`FlatEnsemble` (cached).
+
+        Returns ``None`` for tree types without node arrays (oblivious
+        trees descend by index arithmetic and need no compilation).
+        """
+        if getattr(self, "_flat", None) is not None:
+            return self._flat
+        trees = getattr(self, "trees_", None)
+        if not trees or not hasattr(trees[0], "lefts"):
+            return None
+        threshold_attr = "thresholds" if hasattr(trees[0], "thresholds") else "bins"
+        self._flat = FlatEnsemble.from_regression_trees(
+            trees, self.n_features_, threshold_attr=threshold_attr
+        )
+        return self._flat
+
     def decision_function(self, X) -> np.ndarray:
         X = check_array(X)
         X = self._prepare(X)
+        flat = self.compile_flat()
+        if flat is not None:
+            # One descent for every (sample, tree) pair; contributions are
+            # added in boosting order — bit-identical to the loop below.
+            return flat.decision_sum(X, self.learning_rate, self.base_score_)
         raw = np.full(len(X), self.base_score_)
         for tree in self.trees_:
             raw += self.learning_rate * self._tree_predict(tree, X)

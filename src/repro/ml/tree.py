@@ -1,8 +1,12 @@
 """CART decision trees (gini impurity), numpy-vectorized split search.
 
-The fitted tree is exposed both as a recursive structure and as flat
-parallel arrays (``children_left`` …), the representation the exact
-TreeSHAP implementation in :mod:`repro.analysis.shap_values` consumes.
+The fitted tree is exposed as flat parallel arrays (``children_left_`` …)
+— the representation both the exact TreeSHAP implementation in
+:mod:`repro.analysis.shap_values` and the vectorized inference engine in
+:mod:`repro.ml.flat` consume. Single-tree inference (:meth:`apply`) runs
+through the engine's level-synchronous descent; the seed per-row traversal
+is retained as :func:`apply_per_row` — the bit-identical reference the
+equivalence tests and throughput benchmark compare against.
 """
 
 from __future__ import annotations
@@ -10,11 +14,22 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import Classifier, check_array, check_X_y
+from repro.ml.flat import LEAF, level_descent, max_leaf_depth, reference_apply
 
-__all__ = ["DecisionTreeClassifier", "best_gini_split"]
+__all__ = ["DecisionTreeClassifier", "best_gini_split", "apply_per_row"]
 
-#: Sentinel used in the flat arrays for leaves.
-LEAF = -1
+_SINGLE_ROOT = np.zeros(1, dtype=np.int64)
+
+
+def apply_per_row(tree: "DecisionTreeClassifier", X) -> np.ndarray:
+    """Reference leaf lookup: the seed's per-row Python ``while`` loop."""
+    return reference_apply(
+        check_array(X),
+        tree.children_left_,
+        tree.children_right_,
+        tree.feature_,
+        tree.threshold_,
+    )
 
 
 def best_gini_split(
@@ -188,54 +203,51 @@ class DecisionTreeClassifier(Classifier):
 
     @property
     def max_depth_reached(self) -> int:
-        depths = np.zeros(self.node_count, dtype=int)
-        for node in range(self.node_count):
-            left = self.children_left_[node]
-            right = self.children_right_[node]
-            for child in (left, right):
-                if child != LEAF:
-                    depths[child] = depths[node] + 1
-        return int(depths.max())
+        """Deepest node, via a vectorized breadth-first frontier sweep."""
+        return max_leaf_depth(
+            self.children_left_, self.children_right_, self.feature_,
+            _SINGLE_ROOT,
+        )
 
     def apply(self, X) -> np.ndarray:
-        """Leaf index reached by each sample."""
+        """Leaf index reached by each sample (level-synchronous descent)."""
         X = check_array(X)
-        leaves = np.empty(len(X), dtype=np.int64)
-        for row in range(len(X)):
-            node = 0
-            while self.children_left_[node] != LEAF:
-                if X[row, self.feature_[node]] <= self.threshold_[node]:
-                    node = self.children_left_[node]
-                else:
-                    node = self.children_right_[node]
-            leaves[row] = node
-        return leaves
+        return level_descent(
+            X,
+            self.children_left_,
+            self.children_right_,
+            self.feature_,
+            self.threshold_,
+            _SINGLE_ROOT,
+        )[:, 0]
 
     def predict_proba(self, X) -> np.ndarray:
         return self.value_[self.apply(X)]
 
     @property
     def feature_importances_(self) -> np.ndarray:
-        """Impurity-decrease importances, normalized to sum to 1."""
+        """Impurity-decrease importances, normalized to sum to 1.
+
+        One vectorized pass over the internal nodes; repeated features
+        accumulate via ``np.add.at`` in node order, matching the former
+        per-node Python loop float-for-float.
+        """
         importances = np.zeros(self.n_features_)
+        internal = self.children_left_ != LEAF
+        if not internal.any():
+            return importances
         total = self.n_node_samples_[0]
-        for node in range(self.node_count):
-            if self.children_left_[node] == LEAF:
-                continue
-            left = self.children_left_[node]
-            right = self.children_right_[node]
+        left = self.children_left_[internal]
+        right = self.children_right_[internal]
 
-            def gini(index: int) -> float:
-                p = self.value_[index, 1]
-                return 1.0 - p * p - (1.0 - p) ** 2
-
-            n = self.n_node_samples_[node]
-            decrease = (
-                n * gini(node)
-                - self.n_node_samples_[left] * gini(left)
-                - self.n_node_samples_[right] * gini(right)
-            )
-            importances[self.feature_[node]] += decrease / total
+        p = self.value_[:, 1]
+        gini = 1.0 - p * p - (1.0 - p) ** 2
+        decrease = (
+            self.n_node_samples_[internal] * gini[internal]
+            - self.n_node_samples_[left] * gini[left]
+            - self.n_node_samples_[right] * gini[right]
+        )
+        np.add.at(importances, self.feature_[internal], decrease / total)
         if importances.sum() > 0:
             importances /= importances.sum()
         return importances

@@ -6,6 +6,8 @@ counts, no normalization) fed to a classical classifier.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.features.histogram import OpcodeHistogramExtractor
@@ -22,11 +24,24 @@ from repro.models.detector import PhishingDetector
 
 __all__ = ["HSCDetector", "HSC_VARIANTS", "make_hsc"]
 
+def _forest_jobs() -> int | None:
+    """Worker processes for forest training (``PHOOK_N_JOBS``; -1 = all).
+
+    Predictions are bit-identical at any setting — the forest pre-derives
+    per-tree seeds — so this is purely a wall-clock knob for campaigns.
+    Unset, empty, or ``0`` all mean serial, matching the other ``PHOOK_*``
+    flags where 0 is "off".
+    """
+    value = os.environ.get("PHOOK_N_JOBS")
+    return int(value) if value and int(value) != 0 else None
+
+
 #: Factory per Table II HSC row. Hyperparameters are the defaults selected
 #: by the tuning study (see core.tuning and EXPERIMENTS.md).
 HSC_VARIANTS: dict[str, callable] = {
     "Random Forest": lambda seed: RandomForestClassifier(
-        n_estimators=120, max_features="sqrt", random_state=seed
+        n_estimators=120, max_features="sqrt", random_state=seed,
+        n_jobs=_forest_jobs(),
     ),
     "k-NN": lambda seed: KNeighborsClassifier(n_neighbors=5),
     "SVM": lambda seed: SVC(

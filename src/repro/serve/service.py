@@ -13,6 +13,12 @@ against it, with three layers of work-sharing:
 3. **feature cache** — on a prediction miss, the model's extractors decode
    through the same cache, so even novel bytecodes reuse decoded
    mnemonic-ID / token-code arrays across models sharing the cache.
+
+Below all three sits the flat inference engine (:mod:`repro.ml.flat`):
+ensemble models are compiled to stacked node arrays at fit/attach time
+(``stats()["flat_compiled"]``), so the cold path — a genuinely novel
+batch missing every cache — is vectorized level-synchronous descent, not
+a per-row Python traversal.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.evm.disassembler import normalize_bytecode
+from repro.ml.flat import precompile
 from repro.serve.cache import FeatureCache, bytecode_digest
 
 __all__ = ["ScanResult", "ScanService"]
@@ -96,12 +103,17 @@ class ScanService:
         self._fitted = model is not None
         self._namespace: str | None = None
         self._attach_cache = attach_cache
+        self.flat_compiled = 0
         if model is not None:
             self._namespace = namespace or (
                 f"pred:{model_name}:prefit{next(_PREFIT_TOKENS)}"
             )
             if attach_cache:
                 self.cache.attach(model)
+            # Pay the (cheap) flat-array compilation now, not inside the
+            # first scanned batch — cold-path scans hit the vectorized
+            # inference engine immediately.
+            self.flat_compiled = precompile(model)
         self.fit_seconds = 0.0
 
     @staticmethod
@@ -129,6 +141,9 @@ class ScanService:
         self.cache.attach(model)
         started = time.perf_counter()
         model.fit(self.train_dataset.bytecodes, self.train_dataset.labels)
+        # Flat compilation is part of making the model servable: compile
+        # inside the fit accounting so scans never pay it.
+        self.flat_compiled = precompile(model)
         self.fit_seconds = time.perf_counter() - started
         self._model = model
         self._namespace = self.prediction_namespace(
@@ -251,6 +266,7 @@ class ScanService:
             "model": self.model_name,
             "fitted": self._fitted,
             "fit_seconds": self.fit_seconds,
+            "flat_compiled": self.flat_compiled,
             "scanned": self.scanned,
             "cache_entries": len(self.cache),
             **self.cache.stats.as_dict(),

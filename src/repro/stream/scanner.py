@@ -7,7 +7,11 @@ queue, grouped into micro-batches (flushed on size or deadline — the
 classic latency/throughput dial), partitioned across N shard workers by
 address hash, and each shard scores its slice through the fit-once
 :class:`~repro.serve.service.ScanService` hot path (in-batch dedup +
-content-addressed prediction cache). Flagged deployments become
+content-addressed prediction cache). Cold starts are covered too: the
+service precompiles ensemble models into the flat inference engine
+(:mod:`repro.ml.flat`) when it fits or wraps them, so the very first
+micro-batch after a stream spin-up is scored by vectorized descent rather
+than per-row tree walks (``summary()["flat_compiled"]``). Flagged deployments become
 :class:`StreamAlert` objects fanned out to the registered sinks.
 
 Backpressure is explicit: the intake queue is bounded, and the ``policy``
@@ -346,6 +350,7 @@ class StreamScanner:
         """JSON-ready pipeline + shard + sink accounting."""
         return {
             **self.stats.as_dict(),
+            "flat_compiled": getattr(self.service, "flat_compiled", 0),
             "shards": [
                 {
                     "shard": s.shard,

@@ -11,7 +11,9 @@ from repro.ml.knn import KNeighborsClassifier
 class TestParams:
     def test_get_params(self):
         model = KNeighborsClassifier(n_neighbors=3)
-        assert model.get_params() == {"n_neighbors": 3, "weights": "uniform"}
+        assert model.get_params() == {
+            "n_neighbors": 3, "weights": "uniform", "chunk_size": 2048,
+        }
 
     def test_set_params(self):
         model = KNeighborsClassifier()
