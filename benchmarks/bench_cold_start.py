@@ -1,0 +1,101 @@
+"""Serving cold start: artifact load vs in-process retrain.
+
+The artifact layer's reason to exist, measured: a serving process that
+used to *retrain* its model on spin-up (`phishinghook scan`,
+`StreamScanner` cold starts, every MEM trial) now loads persisted bytes.
+Three claims are asserted:
+
+* **speedup** — ``load_artifact`` is ≥ 10× faster than refitting the
+  same configuration on the same data (usually orders of magnitude),
+* **bit-identity** — the loaded model's ``predict_proba`` equals the
+  trained model's exactly, through the flat-compiled serving path,
+* **serve-ready** — a ``ScanService.from_artifact`` answers its first
+  batch without any training (``fit_seconds == 0``).
+
+Prints one machine-readable JSON summary line (``COLD_START {...}``).
+
+Scale knobs (environment):
+
+* ``PHOOK_BENCH_COLD_TREES`` — forest size (default 120, the Table II
+  configuration),
+* ``PHOOK_BENCH_SMOKE`` — CI smoke mode: smaller forest, same asserts
+  (the 10× floor holds even at smoke scale — loading is milliseconds).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import env_int, run_once
+from repro.artifacts import load_artifact, save_artifact
+from repro.ml.flat import precompile
+from repro.models.hsc import HSCDetector
+from repro.serve.service import ScanService
+
+SMOKE = bool(int(os.environ.get("PHOOK_BENCH_SMOKE", "0")))
+N_TREES = env_int("PHOOK_BENCH_COLD_TREES", 24 if SMOKE else 120)
+MIN_SPEEDUP = 10.0
+
+
+def test_cold_start(benchmark, dataset, tmp_path):
+    def run():
+        # Offline training (what every cold start used to pay).
+        started = time.perf_counter()
+        model = HSCDetector(variant="Random Forest", seed=0)
+        model.set_params(clf__n_estimators=N_TREES)
+        model.fit(dataset.bytecodes, dataset.labels)
+        precompile(model)
+        train_seconds = time.perf_counter() - started
+
+        info = save_artifact(
+            model, tmp_path / "forest.npz", model_name="Random Forest",
+            dataset_fingerprint=dataset.fingerprint(),
+        )
+
+        # Serving cold start: one artifact read.
+        started = time.perf_counter()
+        loaded, __ = load_artifact(info.path)
+        load_seconds = time.perf_counter() - started
+
+        batch = dataset.bytecodes[: min(64, len(dataset))]
+        bit_identical = bool(
+            np.array_equal(
+                loaded.predict_proba(batch), model.predict_proba(batch)
+            )
+        )
+
+        service = ScanService.from_artifact(info.path)
+        results = service.scan_bytecodes(batch)
+        serve_ready = (
+            service.fit_seconds == 0.0
+            and len(results) == len(batch)
+            and service.stats()["flat_compiled"] >= 1
+        )
+
+        return {
+            "contracts": len(dataset),
+            "trees": N_TREES,
+            "train_seconds": train_seconds,
+            "load_seconds": load_seconds,
+            "speedup": train_seconds / load_seconds,
+            "artifact_bytes": info.path.stat().st_size,
+            "bit_identical": bit_identical,
+            "serve_ready": bool(serve_ready),
+            "smoke": SMOKE,
+        }
+
+    summary = run_once(benchmark, run)
+    print(f"\nCOLD_START {json.dumps(summary)}")
+
+    assert summary["bit_identical"], (
+        "loaded model diverged from the trained model"
+    )
+    assert summary["serve_ready"], (
+        "ScanService.from_artifact trained instead of loading"
+    )
+    assert summary["speedup"] >= MIN_SPEEDUP, (
+        f"artifact load speedup {summary['speedup']:.1f}x below the "
+        f"{MIN_SPEEDUP:.0f}x floor"
+    )

@@ -10,14 +10,22 @@ Entry points:
 * :class:`repro.core.pipeline.PhishingHook` — the end-to-end framework,
 * :func:`repro.core.registry.create_model` — any Table II model by name,
 * :func:`repro.datagen.corpus.build_corpus` — the synthetic data plane,
+* :mod:`repro.artifacts` — versioned model persistence: save/load any
+  fitted detector as a single verified ``.npz`` artifact, manage
+  versions and tags in a content-addressed
+  :class:`repro.artifacts.ModelStore`,
 * :class:`repro.serve.ScanService` — fit-once batched scanning over the
-  content-addressed :class:`repro.serve.FeatureCache` (see
+  content-addressed :class:`repro.serve.FeatureCache`, artifact cold
+  starts (``from_artifact``) and zero-downtime ``swap_model`` (see
   :mod:`repro.serve` for the design notes and cache knobs),
 * :mod:`repro.stream` — event-driven streaming detection (event bus,
-  micro-batching sharded scanner, alert sinks, timeline replay) with the
-  poll-compatible :class:`repro.core.live.LiveDetector` adapter on top,
-* ``phishinghook`` (CLI) — demo / scan (incl. ``--batch``) / monitor /
-  disasm / dataset / attack / calibrate commands.
+  micro-batching sharded scanner, alert sinks, timeline replay) with
+  artifact cold starts and live version ``rollout`` across shards, plus
+  the poll-compatible :class:`repro.core.live.LiveDetector` adapter,
+* ``phishinghook`` (CLI) — demo / train / models / scan (incl.
+  ``--batch``) / monitor / disasm / dataset / attack / calibrate
+  commands; ``scan``/``monitor`` serve persisted artifacts via
+  ``--model-tag``/``--model-path``.
 
 See DESIGN.md for the architecture and EXPERIMENTS.md for results.
 """

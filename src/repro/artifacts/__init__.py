@@ -1,0 +1,58 @@
+"""Model artifact layer: train once, serve anywhere.
+
+The paper's pipeline is train-once/score-forever; this package makes the
+"once" real. A fitted detector becomes a single schema-versioned ``.npz``
+artifact (arrays + JSON manifest with hyperparameters, dataset
+fingerprint, metrics, and integrity digests), and a
+:class:`~repro.artifacts.store.ModelStore` files artifacts under their
+content digest with mutable tags (``production``, ``latest``) — the
+incremental-reuse discipline of the QBF-solving literature applied to
+model state: every serving process starts from the same persisted bytes
+instead of re-deriving them.
+
+Entry points:
+
+* :func:`save_artifact` / :func:`load_artifact` — one model ⇄ one file,
+* :class:`ModelStore` — versions, tags, export/import, GC,
+* ``ScanService.from_artifact`` / ``StreamScanner.from_artifact`` — cold
+  starts from an artifact (see :mod:`repro.serve` / :mod:`repro.stream`).
+"""
+
+from repro.artifacts.errors import (
+    ArtifactError,
+    CorruptArtifactError,
+    FingerprintMismatchError,
+    IntegrityError,
+    SchemaVersionError,
+    UnknownModelClassError,
+    UnknownVersionError,
+)
+from repro.artifacts.format import (
+    ARTIFACT_FORMAT,
+    SCHEMA_VERSION,
+    ArtifactInfo,
+    artifact_digest,
+    load_artifact,
+    read_manifest,
+    save_artifact,
+)
+from repro.artifacts.store import ModelStore, default_store_root
+
+__all__ = [
+    "ArtifactError",
+    "CorruptArtifactError",
+    "IntegrityError",
+    "SchemaVersionError",
+    "FingerprintMismatchError",
+    "UnknownModelClassError",
+    "UnknownVersionError",
+    "ARTIFACT_FORMAT",
+    "SCHEMA_VERSION",
+    "ArtifactInfo",
+    "artifact_digest",
+    "save_artifact",
+    "load_artifact",
+    "read_manifest",
+    "ModelStore",
+    "default_store_root",
+]

@@ -1,0 +1,53 @@
+"""Typed failure modes of the artifact layer.
+
+Every loader error path raises one of these — a serving process must be
+able to distinguish "the file is damaged" (page the operator, keep the
+old model) from "this artifact was built for different data" (refuse the
+rollout) without string-matching messages. Nothing in this module ever
+lets a damaged artifact load as a model.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ArtifactError",
+    "CorruptArtifactError",
+    "IntegrityError",
+    "SchemaVersionError",
+    "FingerprintMismatchError",
+    "UnknownModelClassError",
+    "UnknownVersionError",
+]
+
+
+class ArtifactError(Exception):
+    """Base class for every artifact-layer failure."""
+
+
+class CorruptArtifactError(ArtifactError):
+    """The file is not a readable artifact (truncated, not a zip, bad
+    JSON manifest, missing members, wrong format marker)."""
+
+
+class IntegrityError(CorruptArtifactError):
+    """The file parses but a content digest does not match — the payload
+    was altered after save."""
+
+
+class SchemaVersionError(ArtifactError):
+    """The artifact was written under an incompatible schema version."""
+
+
+class FingerprintMismatchError(ArtifactError):
+    """The artifact's dataset fingerprint differs from the one the
+    caller requires (trained on different data)."""
+
+
+class UnknownModelClassError(ArtifactError):
+    """The manifest names a model class that cannot be resolved inside
+    the ``repro`` package."""
+
+
+class UnknownVersionError(ArtifactError, KeyError):
+    """A store lookup (tag, version, or prefix) matched nothing — or a
+    prefix matched more than one version."""

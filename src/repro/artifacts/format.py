@@ -1,0 +1,279 @@
+"""The on-disk artifact format: one ``.npz`` of arrays + JSON manifest.
+
+An artifact is a single compressed ``.npz`` holding
+
+* ``__manifest__`` — a UTF-8 JSON document (stored as a ``uint8`` array)
+  carrying the schema version, model class + constructor parameters, the
+  encoded state structure, the training-dataset fingerprint, evaluation
+  metrics, and a SHA-256 digest per payload array,
+* ``a0 … aN`` — the model's fitted arrays (tree node tables, stacked
+  :class:`~repro.ml.flat.FlatEnsemble` arrays, NN weights, …).
+
+The **artifact digest** — the content address a
+:class:`~repro.artifacts.store.ModelStore` files versions under — is the
+SHA-256 of the canonical manifest JSON *minus* volatile metadata
+(``created_at``, ``digest`` itself), so saving the same fitted model
+twice yields the same version while any change to parameters, state, or
+payload changes it.
+
+Loading never trusts the file: zip/JSON damage raises
+:class:`CorruptArtifactError`, per-array digest mismatches raise
+:class:`IntegrityError`, a foreign schema raises
+:class:`SchemaVersionError`, and a caller-supplied expected dataset
+fingerprint raises :class:`FingerprintMismatchError` on divergence —
+garbage never becomes a model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import time
+import zipfile
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.artifacts.errors import (
+    CorruptArtifactError,
+    FingerprintMismatchError,
+    IntegrityError,
+    SchemaVersionError,
+)
+from repro.artifacts.state import capture, decode, encode, restore
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ARTIFACT_FORMAT",
+    "ArtifactInfo",
+    "save_artifact",
+    "load_artifact",
+    "read_manifest",
+    "artifact_digest",
+]
+
+SCHEMA_VERSION = 1
+ARTIFACT_FORMAT = "phishinghook-model-artifact"
+
+_MANIFEST_KEY = "__manifest__"
+#: Manifest fields excluded from the content address.
+_VOLATILE = ("created_at", "digest")
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """Result of one save: where it landed and what it hashes to."""
+
+    path: pathlib.Path
+    digest: str
+    manifest: dict
+
+
+def _array_digest(array: np.ndarray) -> str:
+    array = np.ascontiguousarray(array)
+    hasher = hashlib.sha256()
+    hasher.update(array.dtype.str.encode())
+    hasher.update(repr(array.shape).encode())
+    hasher.update(array.tobytes())
+    return hasher.hexdigest()
+
+
+def _jsonable(node):
+    """Plain-JSON copy of caller metadata (numpy scalars → python)."""
+    if isinstance(node, dict):
+        return {str(key): _jsonable(value) for key, value in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_jsonable(item) for item in node]
+    if isinstance(node, (bool, str)) or node is None:
+        return node
+    if isinstance(node, (int, np.integer)):
+        return int(node)
+    if isinstance(node, (float, np.floating)):
+        return float(node)
+    return str(node)
+
+
+def _canonical(manifest: dict) -> bytes:
+    slim = {k: v for k, v in manifest.items() if k not in _VOLATILE}
+    return json.dumps(
+        slim, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+
+
+def artifact_digest(manifest: dict) -> str:
+    """Content address of an artifact (volatile metadata excluded)."""
+    return hashlib.sha256(_canonical(manifest)).hexdigest()
+
+
+def save_artifact(
+    model,
+    path: str | pathlib.Path,
+    *,
+    model_name: str | None = None,
+    dataset_fingerprint: str | None = None,
+    metrics: dict | None = None,
+    extra: dict | None = None,
+) -> ArtifactInfo:
+    """Persist one fitted model as a schema-versioned artifact file."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    captured = capture(model)
+    arrays: list[np.ndarray] = []
+    structure = {
+        "class": captured["class"],
+        "params": encode(captured["params"], arrays),
+        "state": encode(captured["state"], arrays),
+    }
+    names = [f"a{index}" for index in range(len(arrays))]
+    manifest = {
+        "format": ARTIFACT_FORMAT,
+        "schema_version": SCHEMA_VERSION,
+        "model_name": model_name or getattr(model, "name", type(model).__name__),
+        "model": structure,
+        "dataset_fingerprint": dataset_fingerprint,
+        "metrics": _jsonable(metrics) if metrics else None,
+        "extra": _jsonable(extra) if extra else None,
+        "arrays": {
+            name: {
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "sha256": _array_digest(array),
+            }
+            for name, array in zip(names, arrays)
+        },
+        "created_at": time.time(),
+    }
+    manifest["digest"] = artifact_digest(manifest)
+    payload = {
+        _MANIFEST_KEY: np.frombuffer(
+            json.dumps(manifest, ensure_ascii=False).encode("utf-8"),
+            dtype=np.uint8,
+        )
+    }
+    payload.update(dict(zip(names, arrays)))
+    # Write through an explicit handle so the artifact lands exactly at
+    # ``path`` (np.savez appends ".npz" to bare string paths).
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **payload)
+    return ArtifactInfo(path=path, digest=manifest["digest"], manifest=manifest)
+
+
+def _open_archive(path: pathlib.Path) -> np.lib.npyio.NpzFile:
+    try:
+        return np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as error:
+        raise CorruptArtifactError(
+            f"{path} is not a readable artifact: {error}"
+        ) from error
+
+
+def _read_member(archive, path, name) -> np.ndarray:
+    try:
+        return archive[name]
+    except KeyError as error:
+        raise CorruptArtifactError(
+            f"{path} is missing artifact member {name!r}"
+        ) from error
+    except (zipfile.BadZipFile, zlib.error, OSError, ValueError, EOFError) as error:
+        raise CorruptArtifactError(
+            f"{path}: artifact member {name!r} is unreadable: {error}"
+        ) from error
+
+
+def _parse_manifest(archive, path: pathlib.Path) -> dict:
+    raw = _read_member(archive, path, _MANIFEST_KEY)
+    try:
+        manifest = json.loads(bytes(raw.tobytes()).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise CorruptArtifactError(
+            f"{path} carries an unparseable manifest: {error}"
+        ) from error
+    if not isinstance(manifest, dict) or manifest.get("format") != ARTIFACT_FORMAT:
+        raise CorruptArtifactError(
+            f"{path} is not a {ARTIFACT_FORMAT} file"
+        )
+    version = manifest.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"{path} uses artifact schema {version!r}; this build reads "
+            f"schema {SCHEMA_VERSION}"
+        )
+    return manifest
+
+
+def read_manifest(path: str | pathlib.Path) -> dict:
+    """Manifest only — no payload verification, no model construction."""
+    path = pathlib.Path(path)
+    with _open_archive(path) as archive:
+        return _parse_manifest(archive, path)
+
+
+def load_artifact(
+    path: str | pathlib.Path,
+    *,
+    expected_fingerprint: str | None = None,
+):
+    """Verify and rebuild the fitted model an artifact holds.
+
+    Args:
+        path: Artifact file written by :func:`save_artifact`.
+        expected_fingerprint: When given, the manifest's
+            ``dataset_fingerprint`` must match exactly.
+
+    Returns:
+        ``(model, manifest)`` — the manifest includes the verified
+        content ``digest``.
+
+    Raises:
+        CorruptArtifactError: Unreadable zip/JSON or missing members.
+        IntegrityError: Any payload or manifest digest mismatch.
+        SchemaVersionError: Artifact written under another schema.
+        FingerprintMismatchError: Dataset fingerprint divergence.
+        UnknownModelClassError: Manifest names a non-``repro`` class.
+    """
+    path = pathlib.Path(path)
+    with _open_archive(path) as archive:
+        manifest = _parse_manifest(archive, path)
+        declared = manifest.get("arrays")
+        if not isinstance(declared, dict):
+            raise CorruptArtifactError(f"{path}: manifest lacks array table")
+        arrays: dict[int, np.ndarray] = {}
+        for name, meta in declared.items():
+            if not (name.startswith("a") and name[1:].isdigit()):
+                raise CorruptArtifactError(
+                    f"{path}: manifest declares malformed array name {name!r}"
+                )
+            array = _read_member(archive, path, name)
+            if _array_digest(array) != meta.get("sha256"):
+                raise IntegrityError(
+                    f"{path}: array {name!r} fails its SHA-256 check "
+                    "(artifact altered after save)"
+                )
+            arrays[int(name[1:])] = array
+        if artifact_digest(manifest) != manifest.get("digest"):
+            raise IntegrityError(
+                f"{path}: manifest digest mismatch (artifact altered "
+                "after save)"
+            )
+        if expected_fingerprint is not None:
+            actual = manifest.get("dataset_fingerprint")
+            if actual != expected_fingerprint:
+                raise FingerprintMismatchError(
+                    f"{path} was trained on dataset {actual!r}, caller "
+                    f"requires {expected_fingerprint!r}"
+                )
+        structure = manifest.get("model")
+        if not isinstance(structure, dict):
+            raise CorruptArtifactError(f"{path}: manifest lacks model entry")
+        model = restore(
+            {
+                "class": structure.get("class"),
+                "params": decode(structure.get("params"), arrays),
+                "state": decode(structure.get("state"), arrays),
+            }
+        )
+    return model, manifest

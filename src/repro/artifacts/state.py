@@ -1,0 +1,201 @@
+"""State-tree encoding: fitted models ⇄ (JSON structure, array list).
+
+A model's persisted form is a *state tree*: nested dicts and lists whose
+leaves are numpy arrays, ``bytes``, or JSON scalars — what
+``state_dict()`` returns across the ml / features / models layers. This
+module turns such trees into a JSON-safe structure plus a flat list of
+arrays (the ``.npz`` payload), and back. No pickle anywhere: the only
+things that execute at load time are constructors of classes resolved
+inside the ``repro`` package.
+
+Leaves that are not JSON-native are tagged:
+
+* ``{"__ndarray__": i}`` — the ``i``-th entry of the array list,
+* ``{"__bytes__": i}`` — raw bytes, stored as a ``uint8`` array,
+* ``{"__tuple__": [...]}`` — tuples (restored as tuples, so
+  ``get_params()`` round-trips exactly),
+* ``{"__pairs__": [[k, v], ...]}`` — dicts with non-string keys,
+* ``{"__model__": {...}}`` — a nested fitted model (ensemble children),
+  captured recursively via :func:`capture`.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import numpy as np
+
+from repro.artifacts.errors import CorruptArtifactError, UnknownModelClassError
+from repro.ml.base import init_param_names
+
+__all__ = ["capture", "restore", "encode", "decode", "init_params"]
+
+_TAGS = ("__ndarray__", "__bytes__", "__tuple__", "__pairs__", "__model__")
+
+
+def _is_model(obj) -> bool:
+    """A persistable model: has the state protocol and a real class."""
+    return (
+        not isinstance(obj, type)
+        and callable(getattr(obj, "state_dict", None))
+        and callable(getattr(obj, "load_state", None))
+    )
+
+
+def init_params(model) -> dict:
+    """Constructor arguments recovered from same-named attributes.
+
+    Every persistable class in the framework follows the sklearn
+    convention: ``__init__`` keyword arguments are stored under the same
+    attribute names. Capture uses the same introspection as
+    ``get_params`` (:func:`repro.ml.base.init_param_names`), applied
+    uniformly so composite detectors (whose ``get_params`` may add
+    derived entries like ``clf__*``) still reconstruct from pure
+    constructor arguments.
+    """
+    return {
+        name: getattr(model, name)
+        for name in init_param_names(type(model))
+    }
+
+
+def capture(model) -> dict:
+    """One fitted model as ``{"class", "params", "state"}`` (raw tree).
+
+    ``params`` are the constructor arguments, ``state`` the fitted
+    ``state_dict()``. Nested models inside either (ensemble children)
+    stay as live objects here; :func:`encode` captures them recursively.
+    """
+    cls = type(model)
+    return {
+        "class": f"{cls.__module__}:{cls.__qualname__}",
+        "params": init_params(model),
+        "state": model.state_dict(),
+    }
+
+
+def _resolve_class(spec: str) -> type:
+    module_name, _, class_name = spec.partition(":")
+    if not module_name.startswith("repro.") or "." in class_name:
+        raise UnknownModelClassError(
+            f"refusing to resolve model class {spec!r} outside repro.*"
+        )
+    try:
+        module = importlib.import_module(module_name)
+        cls = getattr(module, class_name)
+    except (ImportError, AttributeError) as error:
+        raise UnknownModelClassError(
+            f"cannot resolve model class {spec!r}: {error}"
+        ) from error
+    if not isinstance(cls, type):
+        raise UnknownModelClassError(f"{spec!r} is not a class")
+    return cls
+
+
+def restore(captured: dict):
+    """Rebuild the fitted model a :func:`capture` tree describes."""
+    try:
+        spec = captured["class"]
+        params = captured["params"]
+        state = captured["state"]
+    except (TypeError, KeyError) as error:
+        raise CorruptArtifactError(
+            f"malformed model capture: missing {error}"
+        ) from error
+    model = _resolve_class(spec)(**params)
+    model.load_state(state)
+    return model
+
+
+# --------------------------------------------------------------------- #
+# Tree encoding
+# --------------------------------------------------------------------- #
+
+
+def encode(node, arrays: list):
+    """Raw state tree → JSON-safe structure, appending arrays in order."""
+    if node is None or isinstance(node, (bool, str)):
+        return node
+    if isinstance(node, (int, np.integer)):
+        return int(node)
+    if isinstance(node, (float, np.floating)):
+        return float(node)
+    if isinstance(node, np.ndarray):
+        arrays.append(node)
+        return {"__ndarray__": len(arrays) - 1}
+    if isinstance(node, (bytes, bytearray)):
+        arrays.append(np.frombuffer(bytes(node), dtype=np.uint8))
+        return {"__bytes__": len(arrays) - 1}
+    if isinstance(node, tuple):
+        return {"__tuple__": [encode(item, arrays) for item in node]}
+    if isinstance(node, list):
+        return [encode(item, arrays) for item in node]
+    if isinstance(node, dict):
+        if all(isinstance(key, str) for key in node) and not any(
+            key in _TAGS for key in node
+        ):
+            return {key: encode(value, arrays) for key, value in node.items()}
+        return {
+            "__pairs__": [
+                [encode(key, arrays), encode(value, arrays)]
+                for key, value in node.items()
+            ]
+        }
+    if _is_model(node):
+        captured = capture(node)
+        return {
+            "__model__": {
+                "class": captured["class"],
+                "params": encode(captured["params"], arrays),
+                "state": encode(captured["state"], arrays),
+            }
+        }
+    raise TypeError(
+        f"state trees cannot hold {type(node).__name__!r} values"
+    )
+
+
+def decode(node, arrays: dict):
+    """Inverse of :func:`encode`; ``arrays`` maps index → ndarray."""
+    if node is None or isinstance(node, (bool, int, float, str)):
+        return node
+    if isinstance(node, list):
+        return [decode(item, arrays) for item in node]
+    if isinstance(node, dict):
+        if "__ndarray__" in node:
+            return _fetch(arrays, node["__ndarray__"])
+        if "__bytes__" in node:
+            return _fetch(arrays, node["__bytes__"]).tobytes()
+        if "__tuple__" in node:
+            return tuple(decode(item, arrays) for item in node["__tuple__"])
+        if "__pairs__" in node:
+            return {
+                _hashable(decode(key, arrays)): decode(value, arrays)
+                for key, value in node["__pairs__"]
+            }
+        if "__model__" in node:
+            inner = node["__model__"]
+            return restore(
+                {
+                    "class": inner.get("class"),
+                    "params": decode(inner.get("params"), arrays),
+                    "state": decode(inner.get("state"), arrays),
+                }
+            )
+        return {key: decode(value, arrays) for key, value in node.items()}
+    raise CorruptArtifactError(
+        f"unexpected node of type {type(node).__name__!r} in structure"
+    )
+
+
+def _fetch(arrays: dict, index):
+    try:
+        return arrays[int(index)]
+    except (KeyError, TypeError, ValueError) as error:
+        raise CorruptArtifactError(
+            f"structure references missing array {index!r}"
+        ) from error
+
+
+def _hashable(key):
+    return tuple(key) if isinstance(key, list) else key

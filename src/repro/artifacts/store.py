@@ -1,0 +1,314 @@
+"""Content-addressed model store: versions, tags, export/import, GC.
+
+Filesystem layout (git-object style, flat)::
+
+    <root>/
+      objects/<digest>.npz    # immutable artifact per version
+      tags.json               # {"production": "<digest>", "latest": ...}
+
+A *version* is the artifact's content digest (see
+:func:`~repro.artifacts.format.artifact_digest`): saving a bit-identical
+fitted model twice lands on the same object, so a store deduplicates
+retrains for free. *Tags* are mutable names over versions — the rollout
+discipline is "train → ``put(tags=("candidate",))`` → validate → ``tag
+('production', version)``" with serving processes resolving
+``production`` at (re)load time. Tag updates are atomic (write + rename),
+so a reader never observes a half-written table.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import pathlib
+import shutil
+import tempfile
+
+from repro.artifacts.errors import (
+    CorruptArtifactError,
+    IntegrityError,
+    UnknownVersionError,
+)
+from repro.artifacts.format import (
+    artifact_digest,
+    load_artifact,
+    read_manifest,
+    save_artifact,
+)
+
+__all__ = ["ModelStore", "default_store_root"]
+
+#: Environment override for every CLI entry point's store location.
+STORE_ENV = "PHOOK_MODEL_STORE"
+_DEFAULT_ROOT = "phook-models"
+_MIN_PREFIX = 6
+
+
+def default_store_root() -> pathlib.Path:
+    """``$PHOOK_MODEL_STORE`` or ``./phook-models``."""
+    return pathlib.Path(os.environ.get(STORE_ENV) or _DEFAULT_ROOT)
+
+
+class ModelStore:
+    """A directory of versioned, tagged model artifacts.
+
+    Args:
+        root: Store directory (created on first write).
+    """
+
+    def __init__(self, root: str | pathlib.Path | None = None):
+        self.root = pathlib.Path(root) if root is not None else default_store_root()
+        self.objects = self.root / "objects"
+        self._tags_path = self.root / "tags.json"
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    def put(
+        self,
+        model,
+        *,
+        model_name: str | None = None,
+        dataset_fingerprint: str | None = None,
+        metrics: dict | None = None,
+        extra: dict | None = None,
+        tags: tuple[str, ...] = ("latest",),
+    ) -> str:
+        """Save a fitted model; returns its version (content digest).
+
+        The artifact is written to a temporary file and renamed into
+        ``objects/`` under its digest — concurrent writers of the same
+        content converge on one object, and a crash never leaves a
+        half-written version behind.
+        """
+        self.objects.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            suffix=".npz", dir=self.objects, prefix=".tmp-"
+        )
+        os.close(handle)
+        temp_path = pathlib.Path(temp_name)
+        try:
+            info = save_artifact(
+                model,
+                temp_path,
+                model_name=model_name,
+                dataset_fingerprint=dataset_fingerprint,
+                metrics=metrics,
+                extra=extra,
+            )
+            os.replace(temp_path, self._object_path(info.digest))
+        finally:
+            temp_path.unlink(missing_ok=True)
+        for name in tags:
+            self.tag(name, info.digest)
+        return info.digest
+
+    def tag(self, name: str, ref: str) -> str:
+        """Point tag ``name`` at a version (or another tag); atomic.
+
+        The read-modify-write of the tag table runs under an exclusive
+        file lock, so concurrent writers (a trainer tagging ``candidate``
+        while an operator retags ``production``) cannot lose each
+        other's updates.
+        """
+        if not name or "/" in name or name.startswith("."):
+            raise ValueError(f"invalid tag name {name!r}")
+        version = self.resolve(ref)
+        with self._tag_table_lock():
+            tags = self.tags()
+            tags[name] = version
+            self._write_tags(tags)
+        return version
+
+    def untag(self, name: str) -> bool:
+        """Remove a tag; returns whether it existed."""
+        with self._tag_table_lock():
+            tags = self.tags()
+            existed = tags.pop(name, None) is not None
+            if existed:
+                self._write_tags(tags)
+        return existed
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def tags(self) -> dict[str, str]:
+        """Current tag table (name → version)."""
+        try:
+            with open(self._tags_path, encoding="utf-8") as handle:
+                table = json.load(handle)
+        except FileNotFoundError:
+            return {}
+        except (OSError, json.JSONDecodeError) as error:
+            raise CorruptArtifactError(
+                f"unreadable tag table {self._tags_path}: {error}"
+            ) from error
+        return {str(k): str(v) for k, v in table.items()}
+
+    def versions(self) -> list[str]:
+        """Every stored version digest (sorted)."""
+        if not self.objects.is_dir():
+            return []
+        return sorted(
+            path.stem
+            for path in self.objects.glob("*.npz")
+            if not path.name.startswith(".")
+        )
+
+    def resolve(self, ref: str) -> str:
+        """Tag name, full digest, or unique digest prefix → version."""
+        tags = self.tags()
+        if ref in tags:
+            return tags[ref]
+        versions = self.versions()
+        if ref in versions:
+            return ref
+        if len(ref) >= _MIN_PREFIX:
+            matches = [v for v in versions if v.startswith(ref)]
+            if len(matches) == 1:
+                return matches[0]
+            if len(matches) > 1:
+                raise UnknownVersionError(
+                    f"ambiguous version prefix {ref!r} "
+                    f"({len(matches)} matches)"
+                )
+        raise UnknownVersionError(
+            f"no tag or version matches {ref!r} in {self.root}"
+        )
+
+    def path_of(self, ref: str) -> pathlib.Path:
+        """Filesystem path of the artifact behind a tag/version/prefix."""
+        return self._object_path(self.resolve(ref))
+
+    def load(self, ref: str, *, expected_fingerprint: str | None = None):
+        """Load ``(model, manifest)`` for a tag/version/prefix."""
+        return load_artifact(
+            self.path_of(ref), expected_fingerprint=expected_fingerprint
+        )
+
+    def manifest(self, ref: str) -> dict:
+        return read_manifest(self.path_of(ref))
+
+    def list(self) -> list[dict]:
+        """One JSON-ready row per stored version (newest first)."""
+        by_version: dict[str, list[str]] = {}
+        for name, version in self.tags().items():
+            by_version.setdefault(version, []).append(name)
+        rows = []
+        for version in self.versions():
+            path = self._object_path(version)
+            manifest = read_manifest(path)
+            rows.append(
+                {
+                    "version": version,
+                    "model_name": manifest.get("model_name"),
+                    "dataset_fingerprint": manifest.get("dataset_fingerprint"),
+                    "metrics": manifest.get("metrics"),
+                    "created_at": manifest.get("created_at"),
+                    "size_bytes": path.stat().st_size,
+                    "tags": sorted(by_version.get(version, [])),
+                }
+            )
+        rows.sort(key=lambda row: row["created_at"] or 0, reverse=True)
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Transport + GC
+    # ------------------------------------------------------------------ #
+
+    def export(self, ref: str, dest: str | pathlib.Path) -> pathlib.Path:
+        """Copy one artifact out of the store (e.g. to ship to a box)."""
+        source = self.path_of(ref)
+        dest = pathlib.Path(dest)
+        if dest.is_dir():
+            dest = dest / source.name
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(source, dest)
+        return dest
+
+    def import_artifact(
+        self, source: str | pathlib.Path, *, tags: tuple[str, ...] = ()
+    ) -> str:
+        """Verify an external artifact and file it under its digest.
+
+        The manifest's declared digest is recomputed before anything is
+        written; a tampered file is rejected, never stored.
+        """
+        source = pathlib.Path(source)
+        manifest = read_manifest(source)
+        digest = manifest.get("digest")
+        if not digest or artifact_digest(manifest) != digest:
+            raise IntegrityError(
+                f"{source}: declared digest does not match manifest content"
+            )
+        # Full load exercises the per-array digests too (and proves the
+        # model actually reconstructs) before the object is admitted.
+        load_artifact(source)
+        self.objects.mkdir(parents=True, exist_ok=True)
+        # Same tmp + rename discipline as put(): a crash mid-copy must
+        # never leave a truncated object under a valid digest name.
+        handle, temp_name = tempfile.mkstemp(
+            suffix=".npz", dir=self.objects, prefix=".tmp-"
+        )
+        os.close(handle)
+        temp_path = pathlib.Path(temp_name)
+        try:
+            shutil.copyfile(source, temp_path)
+            os.replace(temp_path, self._object_path(digest))
+        finally:
+            temp_path.unlink(missing_ok=True)
+        for name in tags:
+            self.tag(name, digest)
+        return digest
+
+    def gc(self) -> list[str]:
+        """Delete untagged versions; returns what was removed."""
+        keep = set(self.tags().values())
+        removed = []
+        for version in self.versions():
+            if version not in keep:
+                self._object_path(version).unlink()
+                removed.append(version)
+        return removed
+
+    # ------------------------------------------------------------------ #
+
+    def _object_path(self, version: str) -> pathlib.Path:
+        return self.objects / f"{version}.npz"
+
+    @contextlib.contextmanager
+    def _tag_table_lock(self):
+        """Exclusive advisory lock over the tag table (cross-process)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.root / ".tags.lock", "a+") as handle:
+            try:
+                import fcntl
+            except ImportError:  # non-POSIX: best-effort, no lock
+                yield
+                return
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def _write_tags(self, tags: dict[str, str]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            suffix=".json", dir=self.root, prefix=".tags-"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(tags, stream, indent=2, sort_keys=True)
+            os.replace(temp_name, self._tags_path)
+        finally:
+            pathlib.Path(temp_name).unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return len(self.versions())
+
+    def __repr__(self) -> str:
+        return f"ModelStore(root={str(self.root)!r})"

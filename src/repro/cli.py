@@ -4,14 +4,21 @@ Commands:
 
 * ``demo`` — build a synthetic corpus, run a reduced Table II evaluation
   and print the results table,
-* ``scan`` — classify contract addresses on a fresh simulated chain; with
-  ``--batch`` the addresses go through the deduped, feature-cached
+* ``train`` — fit one registry model offline and persist it as a
+  versioned artifact (file or :class:`~repro.artifacts.ModelStore`);
+  the offline half of "train once, serve anywhere",
+* ``scan`` — classify contract addresses on a fresh simulated chain,
+  serving from a persisted artifact (``--model-path`` / ``--model-tag``);
+  ``--train-on-the-fly`` is the explicit fallback that refits in-process.
+  With ``--batch`` the addresses go through the deduped, feature-cached
   ``ScanService`` (see :mod:`repro.serve`),
+* ``models`` — inspect and manage the artifact store
+  (``list``/``export``/``import``/``tag``/``gc``),
 * ``disasm`` — disassemble a hex bytecode string to the BDM's CSV rows,
 * ``dataset`` — build a corpus and print Fig. 2-style monthly counts,
 * ``monitor`` — replay a synthetic campaign through the event-driven
   streaming pipeline (micro-batches, sharded workers, alert sinks; see
-  :mod:`repro.stream`) and report throughput + latency percentiles,
+  :mod:`repro.stream`), cold-starting every shard from one artifact,
 * ``attack`` — demonstrate the benign-mimicry evasion sweep against a
   clean-trained Random Forest (extension; see ``repro.robustness``),
 * ``calibrate`` — measure a model's probability calibration (ECE/Brier)
@@ -56,7 +63,136 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _store_from(args):
+    from repro.artifacts import ModelStore
+
+    return ModelStore(args.store) if getattr(args, "store", None) else ModelStore()
+
+
+def _artifact_source(args):
+    """(source, store) for --model-path/--model-tag, or (None, None)."""
+    if getattr(args, "model_path", None):
+        return args.model_path, None
+    if getattr(args, "model_tag", None):
+        return args.model_tag, _store_from(args)
+    return None, None
+
+
+_NO_MODEL_HINT = (
+    "error: no model artifact given. Train one offline first\n"
+    "  (phishinghook train --model {model!r} --contracts {contracts} "
+    "--seed {seed})\n"
+    "then serve it with --model-tag/--model-path, or pass "
+    "--train-on-the-fly to refit in-process."
+)
+
+
+def _cmd_train(args) -> int:
+    from repro.artifacts import save_artifact
+    from repro.core.registry import create_model
+    from repro.datagen.dataset import Dataset
+    from repro.ml.flat import precompile
+    from repro.ml.metrics import classification_metrics
+
+    if args.out and args.tag:
+        print("error: --tag records a store tag; it cannot be combined "
+              "with --out (write to the store instead, or import the "
+              "file later with 'phishinghook models import --tag …')",
+              file=sys.stderr)
+        return 2
+    corpus = build_corpus(
+        CorpusConfig(n_phishing=args.contracts // 2,
+                     n_benign=args.contracts // 2, seed=args.seed)
+    )
+    dataset = Dataset.from_corpus(corpus, seed=args.seed)
+    holdout = None
+    train = dataset
+    if args.holdout > 0:
+        train, holdout = dataset.train_test_split(args.holdout, seed=args.seed)
+
+    import time as _time
+
+    model = create_model(args.model, seed=args.seed)
+    started = _time.perf_counter()
+    model.fit(train.bytecodes, train.labels)
+    precompile(model)
+    fit_seconds = _time.perf_counter() - started
+
+    metrics = None
+    if holdout is not None:
+        measured = classification_metrics(
+            holdout.labels, model.predict(holdout.bytecodes)
+        )
+        metrics = measured.as_dict()
+    meta = dict(
+        model_name=args.model,
+        dataset_fingerprint=train.fingerprint(),
+        metrics=metrics,
+        extra={"contracts": args.contracts, "seed": args.seed},
+    )
+    if args.out:
+        info = save_artifact(model, args.out, **meta)
+        where = str(info.path)
+        version = info.digest
+    else:
+        store = _store_from(args)
+        tags = tuple(args.tag) if args.tag else ("latest",)
+        version = store.put(model, tags=tags, **meta)
+        where = f"{store.root} [{', '.join(tags)}]"
+    print(f"trained {args.model} on {len(train)} contracts "
+          f"in {fit_seconds:.2f}s")
+    if metrics:
+        print(f"holdout accuracy {metrics['accuracy']:.3f}  "
+              f"f1 {metrics['f1']:.3f}")
+    print(f"artifact {version[:16]} -> {where}")
+    return 0
+
+
+def _cmd_models(args) -> int:
+    import json
+
+    store = _store_from(args)
+    if args.models_command == "list":
+        rows = store.list()
+        if args.json:
+            print(json.dumps(rows, indent=2))
+            return 0
+        if not rows:
+            print(f"no artifacts in {store.root}")
+            return 0
+        print(f"{'VERSION':16s} {'MODEL':24s} {'ACC':>6s} {'SIZE':>9s} TAGS")
+        for row in rows:
+            accuracy = (row["metrics"] or {}).get("accuracy")
+            shown = f"{accuracy:6.3f}" if accuracy is not None else f"{'-':>6s}"
+            print(f"{row['version'][:16]:16s} "
+                  f"{(row['model_name'] or '?'):24s} "
+                  f"{shown} {row['size_bytes']:9d} "
+                  f"{','.join(row['tags']) or '-'}")
+        return 0
+    if args.models_command == "export":
+        dest = store.export(args.ref, args.dest)
+        print(f"exported {args.ref} -> {dest}")
+        return 0
+    if args.models_command == "import":
+        version = store.import_artifact(
+            args.source, tags=tuple(args.tag) if args.tag else ()
+        )
+        print(f"imported {version[:16]} into {store.root}")
+        return 0
+    if args.models_command == "tag":
+        version = store.tag(args.name, args.ref)
+        print(f"{args.name} -> {version[:16]}")
+        return 0
+    if args.models_command == "gc":
+        removed = store.gc()
+        print(f"removed {len(removed)} untagged version(s)")
+        return 0
+    raise AssertionError(f"unknown models command {args.models_command!r}")
+
+
 def _cmd_scan(args) -> int:
+    from repro.serve.service import ScanService
+
     corpus = build_corpus(
         CorpusConfig(n_phishing=args.contracts // 2,
                      n_benign=args.contracts // 2, seed=args.seed)
@@ -73,15 +209,31 @@ def _cmd_scan(args) -> int:
         if address == "random-phishing":
             address = next(next_phishing).address
         addresses.append(address)
+
+    source, store = _artifact_source(args)
+    model = None
+    model_label = args.model
+    if source is not None:
+        service = ScanService.from_artifact(
+            source, store=store, rpc=hook.bem.rpc, cache=hook.feature_cache
+        )
+        model = service.model
+        model_label = service.model_name
+    elif not args.train_on_the_fly:
+        print(_NO_MODEL_HINT.format(model=args.model,
+                                    contracts=args.contracts,
+                                    seed=args.seed), file=sys.stderr)
+        return 2
     if args.batch:
-        service = hook.scan_service(args.model)
+        if source is None:
+            service = hook.scan_service(args.model)
         results = service.scan_many(addresses)
         for result in results:
             verdict = "PHISHING" if result.is_phishing else "benign"
-            source = "cache" if result.from_cache else "model"
+            via = "cache" if result.from_cache else "model"
             print(f"{result.address}: {verdict} "
-                  f"(p={result.probability:.3f}, model={args.model}, "
-                  f"via={source})")
+                  f"(p={result.probability:.3f}, model={model_label}, "
+                  f"via={via})")
         stats = service.stats()
         served = sum(r.from_cache for r in results)
         print(f"batch of {len(results)}: {served} served from cache; "
@@ -89,10 +241,12 @@ def _cmd_scan(args) -> int:
               f"({stats['hits']} hits / {stats['misses']} misses)")
         return 0
     for address in addresses:
-        flagged, probability = hook.classify_address(address, args.model)
+        flagged, probability = hook.classify_address(
+            address, args.model, model=model
+        )
         verdict = "PHISHING" if flagged else "benign"
         print(f"{address}: {verdict} "
-              f"(p={probability:.3f}, model={args.model})")
+              f"(p={probability:.3f}, model={model_label})")
     return 0
 
 
@@ -110,11 +264,24 @@ def _cmd_monitor(args) -> int:
         CorpusConfig(n_phishing=args.contracts // 2,
                      n_benign=args.contracts // 2, seed=args.seed)
     )
-    dataset = Dataset.from_corpus(corpus, seed=args.seed)
-    service = ScanService(
-        args.model, train_dataset=dataset, seed=args.seed,
-        threshold=args.threshold,
-    )
+    source, store = _artifact_source(args)
+    if source is not None:
+        # The production shape: every shard cold-starts from one
+        # persisted artifact — no training inside the monitor.
+        service = ScanService.from_artifact(
+            source, store=store, threshold=args.threshold
+        )
+    elif args.train_on_the_fly:
+        dataset = Dataset.from_corpus(corpus, seed=args.seed)
+        service = ScanService(
+            args.model, train_dataset=dataset, seed=args.seed,
+            threshold=args.threshold,
+        )
+    else:
+        print(_NO_MODEL_HINT.format(model=args.model,
+                                    contracts=args.contracts,
+                                    seed=args.seed), file=sys.stderr)
+        return 2
     sinks = [MemorySink()]
     if args.jsonl:
         sinks.append(JsonlSink(args.jsonl))
@@ -275,6 +442,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo.set_defaults(func=_cmd_demo)
 
+    def add_artifact_options(parser):
+        parser.add_argument(
+            "--model-path", default="",
+            help="serve from this artifact file (see 'phishinghook train')",
+        )
+        parser.add_argument(
+            "--model-tag", default="",
+            help="serve the store version behind this tag/version/prefix",
+        )
+        parser.add_argument(
+            "--store", default="",
+            help="model store directory (default: $PHOOK_MODEL_STORE "
+                 "or ./phook-models)",
+        )
+        parser.add_argument(
+            "--train-on-the-fly", action="store_true",
+            help="explicit fallback: refit the model in-process instead "
+                 "of loading an artifact",
+        )
+
+    train = sub.add_parser(
+        "train",
+        help="fit one model offline and persist it as a versioned artifact",
+    )
+    train.add_argument("--model", default="Random Forest")
+    train.add_argument("--contracts", type=int, default=200)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--holdout", type=float, default=0.25,
+        help="holdout fraction for the recorded metrics (0 = train on "
+             "everything, no metrics)",
+    )
+    train.add_argument(
+        "--out", default="",
+        help="write the artifact to this file instead of the store",
+    )
+    train.add_argument(
+        "--store", default="",
+        help="model store directory (default: $PHOOK_MODEL_STORE "
+             "or ./phook-models)",
+    )
+    train.add_argument(
+        "--tag", action="append", default=[],
+        help="store tag(s) for the new version (default: latest; "
+             "repeatable)",
+    )
+    train.set_defaults(func=_cmd_train)
+
+    models = sub.add_parser(
+        "models", help="inspect and manage the model artifact store"
+    )
+    models.add_argument(
+        "--store", default="",
+        help="model store directory (default: $PHOOK_MODEL_STORE "
+             "or ./phook-models)",
+    )
+    models_sub = models.add_subparsers(dest="models_command", required=True)
+    models_list = models_sub.add_parser("list", help="list stored versions")
+    models_list.add_argument("--json", action="store_true",
+                             help="machine-readable output")
+    models_export = models_sub.add_parser(
+        "export", help="copy an artifact out of the store"
+    )
+    models_export.add_argument("ref", help="tag, version, or version prefix")
+    models_export.add_argument("dest", help="destination file or directory")
+    models_import = models_sub.add_parser(
+        "import", help="verify an artifact file and add it to the store"
+    )
+    models_import.add_argument("source", help="artifact file to import")
+    models_import.add_argument("--tag", action="append", default=[])
+    models_tag = models_sub.add_parser("tag", help="point a tag at a version")
+    models_tag.add_argument("name")
+    models_tag.add_argument("ref", help="tag, version, or version prefix")
+    models_sub.add_parser("gc", help="delete untagged versions")
+    models.set_defaults(func=_cmd_models)
+
     scan = sub.add_parser("scan", help="classify contract addresses")
     scan.add_argument(
         "addresses", nargs="+", metavar="address",
@@ -288,6 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--model", default="Random Forest")
     scan.add_argument("--contracts", type=int, default=200)
     scan.add_argument("--seed", type=int, default=0)
+    add_artifact_options(scan)
     scan.set_defaults(func=_cmd_scan)
 
     monitor = sub.add_parser(
@@ -317,6 +561,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="replay rate in events/sec (0 = max speed)")
     monitor.add_argument("--jsonl", default="",
                          help="also append alerts to this JSONL file")
+    add_artifact_options(monitor)
     monitor.set_defaults(func=_cmd_monitor)
 
     disasm = sub.add_parser("disasm", help="disassemble hex bytecode to CSV")

@@ -122,10 +122,16 @@ class ModelEvaluationModule:
             given, every cache-aware model decodes bytecode through it, so
             a campaign decodes each unique bytecode once instead of once
             per model × fold × run.
+        store: Optional :class:`~repro.artifacts.ModelStore`. When given,
+            the campaign's best fitted candidate (highest trial accuracy)
+            is persisted — 30 trials no longer end with every fitted model
+            garbage-collected; the winner is servable immediately.
+        persist_tag: Store tag for that candidate (default ``"best"``).
     """
 
     def __init__(
-        self, n_folds: int = 10, n_runs: int = 3, seed: int = 0, cache=None
+        self, n_folds: int = 10, n_runs: int = 3, seed: int = 0, cache=None,
+        store=None, persist_tag: str = "best",
     ):
         if n_folds < 2:
             raise ValueError("n_folds must be at least 2")
@@ -135,6 +141,10 @@ class ModelEvaluationModule:
         self.n_runs = n_runs
         self.seed = seed
         self.cache = cache
+        self.store = store
+        self.persist_tag = persist_tag
+        #: Version digest of the last persisted best candidate (or None).
+        self.last_persisted: str | None = None
 
     def evaluate(
         self,
@@ -144,6 +154,7 @@ class ModelEvaluationModule:
     ) -> EvaluationResult:
         """Run the full campaign; returns every trial."""
         result = EvaluationResult()
+        best = None  # (accuracy, record, model, train split)
         for run in range(self.n_runs):
             folds = dataset.stratified_kfold(
                 self.n_folds, seed=self.seed + 1000 * run
@@ -151,11 +162,12 @@ class ModelEvaluationModule:
             for fold_index, (train_idx, test_idx) in enumerate(folds):
                 train, test = dataset.subset(train_idx), dataset.subset(test_idx)
                 for name in model_names:
-                    result.trials.append(
-                        self._run_trial(
-                            name, model_factory, train, test, run, fold_index
-                        )
+                    record, model = self._run_trial(
+                        name, model_factory, train, test, run, fold_index
                     )
+                    result.trials.append(record)
+                    best = self._track_best(best, record, model, train)
+        self._persist_best(best)
         return result
 
     def evaluate_single_split(
@@ -169,15 +181,43 @@ class ModelEvaluationModule:
     ) -> EvaluationResult:
         """Evaluate on one fixed split (scalability / time-resistance)."""
         result = EvaluationResult()
+        best = None
         for name in model_names:
-            result.trials.append(
-                self._run_trial(name, model_factory, train, test, run, fold)
+            record, model = self._run_trial(
+                name, model_factory, train, test, run, fold
             )
+            result.trials.append(record)
+            best = self._track_best(best, record, model, train)
+        self._persist_best(best)
         return result
+
+    # ------------------------------------------------------------------ #
+
+    def _track_best(self, best, record, model, train):
+        """Keep (only) the strongest fitted candidate when persisting."""
+        if self.store is None:
+            return None
+        if best is None or record.metrics.accuracy > best[0]:
+            return (record.metrics.accuracy, record, model, train)
+        return best
+
+    def _persist_best(self, best) -> None:
+        if self.store is None or best is None:
+            return
+        __, record, model, train = best
+        self.last_persisted = self.store.put(
+            model,
+            model_name=record.model,
+            dataset_fingerprint=train.fingerprint(),
+            metrics=record.metrics.as_dict(),
+            extra={"run": record.run, "fold": record.fold,
+                   "protocol": f"{self.n_folds}-fold x {self.n_runs}"},
+            tags=(self.persist_tag,),
+        )
 
     def _run_trial(
         self, name, model_factory, train: Dataset, test: Dataset, run, fold
-    ) -> TrialRecord:
+    ) -> tuple[TrialRecord, object]:
         model = model_factory(name, seed=self.seed + 7919 * run + fold)
         if self.cache is not None:
             self.cache.attach(model)
@@ -191,7 +231,7 @@ class ModelEvaluationModule:
         started = time.perf_counter()
         predictions = model.predict(test.bytecodes)
         inference_seconds = time.perf_counter() - started
-        return TrialRecord(
+        record = TrialRecord(
             model=name,
             run=run,
             fold=fold,
@@ -199,3 +239,4 @@ class ModelEvaluationModule:
             train_seconds=train_seconds,
             inference_seconds=inference_seconds,
         )
+        return record, model

@@ -25,6 +25,7 @@ __all__ = [
     "GridSearch",
     "RandomSearch",
     "cross_validated_objective",
+    "fit_and_persist_best",
 ]
 
 
@@ -189,3 +190,38 @@ def cross_validated_objective(
         return float(np.mean(scores))
 
     return objective
+
+
+def fit_and_persist_best(
+    dataset: Dataset,
+    build_model,
+    result,
+    store,
+    *,
+    model_name: str = "tuned",
+    tags: tuple[str, ...] = ("tuned",),
+    extra: dict | None = None,
+):
+    """Refit a search's winning configuration and persist the artifact.
+
+    A tuning study used to end with its best *parameters* and no fitted
+    model; this closes the loop the way the artifact layer expects —
+    rebuild the winner via ``build_model(Trial(best_params))``, fit it on
+    the full ``dataset``, and file it in ``store`` with the CV score and
+    the winning parameters in the manifest.
+
+    Returns:
+        ``(model, version)`` — the fitted model and its store version.
+    """
+    model = build_model(Trial(dict(result.best_params)))
+    model.fit(dataset.bytecodes, dataset.labels)
+    precompile(model)
+    version = store.put(
+        model,
+        model_name=model_name,
+        dataset_fingerprint=dataset.fingerprint(),
+        metrics={"cv_accuracy": result.best_value},
+        extra={"best_params": dict(result.best_params), **(extra or {})},
+        tags=tags,
+    )
+    return model, version

@@ -123,3 +123,19 @@ class OpcodeHistogramExtractor:
     def _check_fitted(self) -> None:
         if self.vocabulary_ is None:
             raise RuntimeError("extractor is not fitted; call fit() first")
+
+    # ------------------------------------------------------------------ #
+    # Persistence (see repro.artifacts)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Fitted vocabulary as an artifact-ready state tree."""
+        self._check_fitted()
+        return {"vocabulary": dict(self.vocabulary_)}
+
+    def load_state(self, state: dict) -> "OpcodeHistogramExtractor":
+        self.vocabulary_ = {
+            str(name): int(column)
+            for name, column in state["vocabulary"].items()
+        }
+        return self

@@ -109,6 +109,39 @@ class FrequencyImageEncoder:
     def fit_transform(self, bytecodes: list[bytes]) -> np.ndarray:
         return self.fit(bytecodes).transform(bytecodes)
 
+    # ------------------------------------------------------------------ #
+    # Persistence (see repro.artifacts)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Fitted intensity tables as an artifact-ready state tree.
+
+        Table keys are heterogeneous (mnemonic/operand strings, integer
+        gas values), so each table is stored as a ``[key, value]`` pair
+        list rather than a JSON object, preserving key types.
+        """
+        if self._tables is None:
+            raise RuntimeError("encoder is not fitted; call fit() first")
+        return {
+            "tables": [
+                [[key, float(value)] for key, value in sorted(
+                    table.items(), key=lambda item: str(item[0])
+                )]
+                for table in self._tables
+            ]
+        }
+
+    def load_state(self, state: dict) -> "FrequencyImageEncoder":
+        self._tables = [
+            {
+                (int(key) if isinstance(key, (int, np.integer))
+                 and not isinstance(key, bool) else str(key)): float(value)
+                for key, value in pairs
+            }
+            for pairs in state["tables"]
+        ]
+        return self
+
 
 def quantize_planes(images: np.ndarray, bins: int) -> np.ndarray:
     """One-hot intensity quantization: ``(…, 3)`` → ``(…, 3 · bins)``.

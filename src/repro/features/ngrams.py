@@ -181,3 +181,20 @@ class HexNgramEncoder:
         if self.vocabulary_ is None:
             raise RuntimeError("encoder is not fitted; call fit() first")
         return _RESERVED + len(self.vocabulary_)
+
+    # ------------------------------------------------------------------ #
+    # Persistence (see repro.artifacts)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Fitted token vocabulary as an artifact-ready state tree."""
+        if self.vocabulary_ is None:
+            raise RuntimeError("encoder is not fitted; call fit() first")
+        return {"vocabulary": dict(self.vocabulary_)}
+
+    def load_state(self, state: dict) -> "HexNgramEncoder":
+        self.vocabulary_ = {
+            str(token): int(token_id)
+            for token, token_id in state["vocabulary"].items()
+        }
+        return self

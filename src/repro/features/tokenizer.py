@@ -62,6 +62,19 @@ class OpcodeTokenizer:
         }
         return self
 
+    def state_dict(self) -> dict:
+        """Fitted mnemonic vocabulary as an artifact-ready state tree."""
+        if self.vocabulary_ is None:
+            raise RuntimeError("tokenizer is not fitted; call fit() first")
+        return {"vocabulary": dict(self.vocabulary_)}
+
+    def load_state(self, state: dict) -> "OpcodeTokenizer":
+        self.vocabulary_ = {
+            str(mnemonic): int(token_id)
+            for mnemonic, token_id in state["vocabulary"].items()
+        }
+        return self
+
     def ids(self, bytecode: bytes) -> list[int]:
         """Full id sequence (BOS ... EOS), unbounded length."""
         if self.vocabulary_ is None:

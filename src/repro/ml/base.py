@@ -6,7 +6,32 @@ import inspect
 
 import numpy as np
 
-__all__ = ["Estimator", "Classifier", "clone", "check_X_y", "check_array"]
+__all__ = [
+    "Estimator",
+    "Classifier",
+    "clone",
+    "check_X_y",
+    "check_array",
+    "init_param_names",
+]
+
+
+def init_param_names(cls) -> list[str]:
+    """Constructor keyword-argument names of ``cls`` (sklearn convention).
+
+    The single introspection behind ``get_params`` across the ml and
+    models layers and constructor capture in :mod:`repro.artifacts` —
+    one definition so parameter handling can never diverge between
+    round-trip equality and artifact restore.
+    """
+    signature = inspect.signature(cls.__init__)
+    return [
+        name
+        for name, parameter in signature.parameters.items()
+        if name != "self"
+        and parameter.kind
+        in (parameter.POSITIONAL_OR_KEYWORD, parameter.KEYWORD_ONLY)
+    ]
 
 
 class Estimator:
@@ -19,14 +44,7 @@ class Estimator:
 
     @classmethod
     def _param_names(cls) -> list[str]:
-        signature = inspect.signature(cls.__init__)
-        return [
-            name
-            for name, parameter in signature.parameters.items()
-            if name != "self"
-            and parameter.kind
-            in (parameter.POSITIONAL_OR_KEYWORD, parameter.KEYWORD_ONLY)
-        ]
+        return init_param_names(cls)
 
     def get_params(self) -> dict:
         """Current hyperparameter values, keyed by name."""
@@ -42,6 +60,36 @@ class Estimator:
                 )
             setattr(self, name, value)
         return self
+
+    # ------------------------------------------------------------------ #
+    # Persistence protocol (see repro.artifacts)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Fitted state as a tree of dicts/lists/arrays/scalars.
+
+        The returned tree must round-trip through
+        :mod:`repro.artifacts.format` — keys are strings, leaves are
+        numpy arrays, bytes, or JSON scalars. Hyperparameters are *not*
+        part of the state (they travel via :meth:`get_params`).
+
+        Raises:
+            RuntimeError: If the estimator is not fitted.
+            NotImplementedError: If the estimator has no persistence.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement state_dict()"
+        )
+
+    def load_state(self, state: dict) -> "Estimator":
+        """Restore fitted state produced by :meth:`state_dict` in place.
+
+        After this, prediction methods must be bit-identical to the
+        estimator the state was captured from.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement load_state()"
+        )
 
 
 def clone(estimator: Estimator) -> Estimator:

@@ -155,6 +155,66 @@ class RandomForestClassifier(Classifier):
 
     # ------------------------------------------------------------------ #
 
+    def state_dict(self) -> dict:
+        """Fitted state: the *stacked* flat-engine arrays, not per-tree ones.
+
+        Persisting the :class:`~repro.ml.flat.FlatEnsemble` representation
+        makes a loaded forest serve-ready immediately — ``load_state``
+        installs the arrays as the compiled ensemble, so the first
+        ``predict_proba`` after a cold start pays zero recompilation.
+        """
+        flat = self.compile_flat()
+        return {
+            "flat": {
+                "children_left": flat.children_left,
+                "children_right": flat.children_right,
+                "feature": flat.feature,
+                "threshold": flat.threshold,
+                "value": flat.value,
+                "offsets": flat.offsets,
+                "n_features": int(flat.n_features),
+                "n_node_samples": flat.n_node_samples,
+            }
+        }
+
+    def load_state(self, state: dict) -> "RandomForestClassifier":
+        arrays = state["flat"]
+        flat = FlatEnsemble(
+            children_left=np.asarray(arrays["children_left"], dtype=np.int64),
+            children_right=np.asarray(arrays["children_right"], dtype=np.int64),
+            feature=np.asarray(arrays["feature"], dtype=np.int64),
+            threshold=np.asarray(arrays["threshold"], dtype=np.float64),
+            value=np.asarray(arrays["value"], dtype=np.float64),
+            offsets=np.asarray(arrays["offsets"], dtype=np.int64),
+            n_features=int(arrays["n_features"]),
+            n_node_samples=(
+                np.asarray(arrays["n_node_samples"], dtype=np.int64)
+                if arrays.get("n_node_samples") is not None
+                else None
+            ),
+        )
+        # Per-tree objects are rebuilt as views over the stacked arrays —
+        # feature_importances_ and TreeSHAP keep working — while the flat
+        # ensemble itself is installed pre-compiled.
+        params = self._tree_params()
+        trees = []
+        for index in range(flat.n_trees):
+            view = flat.tree_view(index)
+            tree = DecisionTreeClassifier(**params)
+            tree.children_left_ = view.children_left_
+            tree.children_right_ = view.children_right_
+            tree.feature_ = np.asarray(view.feature_, dtype=np.int64)
+            tree.threshold_ = np.asarray(view.threshold_, dtype=np.float64)
+            tree.value_ = np.asarray(view.value_, dtype=np.float64)
+            samples = getattr(view, "n_node_samples_", None)
+            if samples is not None:
+                tree.n_node_samples_ = np.asarray(samples, dtype=np.int64)
+            tree.n_features_ = flat.n_features
+            trees.append(tree)
+        self.trees_ = trees
+        self._flat = flat
+        return self
+
     def compile_flat(self) -> FlatEnsemble:
         """The stacked-array representation (compiled once, cached).
 

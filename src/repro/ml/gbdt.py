@@ -148,6 +148,25 @@ class _ExactTree:
         )[:, 0]
         return self.weights[leaves]
 
+    def to_state(self) -> dict:
+        return {
+            "features": self.features,
+            "thresholds": self.thresholds,
+            "lefts": self.lefts,
+            "rights": self.rights,
+            "weights": self.weights,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, **params) -> "_ExactTree":
+        tree = cls(**params)
+        tree.features = np.asarray(state["features"], dtype=np.int64)
+        tree.thresholds = np.asarray(state["thresholds"], dtype=np.float64)
+        tree.lefts = np.asarray(state["lefts"], dtype=np.int64)
+        tree.rights = np.asarray(state["rights"], dtype=np.int64)
+        tree.weights = np.asarray(state["weights"], dtype=np.float64)
+        return tree
+
 
 # --------------------------------------------------------------------- #
 # Histogram machinery (LightGBM / CatBoost styles)
@@ -181,6 +200,17 @@ class _Binner:
     @property
     def n_bins(self) -> int:
         return self.max_bins
+
+    def to_state(self) -> dict:
+        return {"max_bins": int(self.max_bins), "edges": list(self.edges_)}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "_Binner":
+        binner = cls(int(state["max_bins"]))
+        binner.edges_ = [
+            np.asarray(edges, dtype=np.float64) for edges in state["edges"]
+        ]
+        return binner
 
 
 def _histogram_gains(binned, g, h, rows, n_bins, reg_lambda, min_child):
@@ -287,6 +317,25 @@ class _LeafwiseTree:
         )[:, 0]
         return self.weights[leaves]
 
+    def to_state(self) -> dict:
+        return {
+            "features": self.features,
+            "bins": self.bins,
+            "lefts": self.lefts,
+            "rights": self.rights,
+            "weights": self.weights,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, **params) -> "_LeafwiseTree":
+        tree = cls(**params)
+        tree.features = np.asarray(state["features"], dtype=np.int64)
+        tree.bins = np.asarray(state["bins"], dtype=np.float64)
+        tree.lefts = np.asarray(state["lefts"], dtype=np.int64)
+        tree.rights = np.asarray(state["rights"], dtype=np.int64)
+        tree.weights = np.asarray(state["weights"], dtype=np.float64)
+        return tree
+
 
 class _ObliviousTree:
     """Symmetric tree: one (feature, bin) condition per level."""
@@ -342,6 +391,19 @@ class _ObliviousTree:
             index = index * 2 + goes_right
         return self.leaf_weights[index]
 
+    def to_state(self) -> dict:
+        return {
+            "conditions": [[int(f), int(b)] for f, b in self.conditions],
+            "leaf_weights": self.leaf_weights,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, **params) -> "_ObliviousTree":
+        tree = cls(**params)
+        tree.conditions = [(int(f), int(b)) for f, b in state["conditions"]]
+        tree.leaf_weights = np.asarray(state["leaf_weights"], dtype=np.float64)
+        return tree
+
 
 # --------------------------------------------------------------------- #
 # Boosting drivers
@@ -362,6 +424,39 @@ class _BoostedClassifier(Classifier):
 
     def _tree_predict(self, tree, X):  # pragma: no cover - interface
         raise NotImplementedError
+
+    def _rebuild_tree(self, state):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        if not getattr(self, "trees_", None):
+            raise RuntimeError("booster is not fitted; call fit() first")
+        state = {
+            "base_score": float(self.base_score_),
+            "n_features": int(self.n_features_),
+            "trees": [tree.to_state() for tree in self.trees_],
+        }
+        binner = getattr(self, "binner_", None)
+        if binner is not None:
+            state["binner"] = binner.to_state()
+        return state
+
+    def load_state(self, state: dict) -> "_BoostedClassifier":
+        self.base_score_ = float(state["base_score"])
+        self.n_features_ = int(state["n_features"])
+        if state.get("binner") is not None:
+            self.binner_ = _Binner.from_state(state["binner"])
+        self.trees_ = [self._rebuild_tree(s) for s in state["trees"]]
+        # Stack the booster into the flat inference engine now — a loaded
+        # model is serve-ready without paying compilation in the first
+        # scored batch (oblivious trees need none and return None).
+        self._flat = None
+        self.compile_flat()
+        return self
 
     def fit(self, X, y) -> "_BoostedClassifier":
         X, y = check_X_y(X, y)
@@ -447,6 +542,12 @@ class XGBoostClassifier(_BoostedClassifier):
     def _tree_predict(self, tree, X):
         return tree.predict(X)
 
+    def _rebuild_tree(self, state):
+        return _ExactTree.from_state(
+            state, max_depth=self.max_depth, reg_lambda=self.reg_lambda,
+            min_child_samples=self.min_child_samples,
+        )
+
 
 class LightGBMClassifier(_BoostedClassifier):
     """Histogram-binned, leaf-wise second-order boosting."""
@@ -483,6 +584,12 @@ class LightGBMClassifier(_BoostedClassifier):
     def _tree_predict(self, tree, X):
         return tree.predict_binned(X)
 
+    def _rebuild_tree(self, state):
+        return _LeafwiseTree.from_state(
+            state, num_leaves=self.num_leaves, reg_lambda=self.reg_lambda,
+            min_child_samples=self.min_child_samples, n_bins=self.max_bins,
+        )
+
 
 class CatBoostClassifier(_BoostedClassifier):
     """Oblivious-tree second-order boosting."""
@@ -517,3 +624,9 @@ class CatBoostClassifier(_BoostedClassifier):
 
     def _tree_predict(self, tree, X):
         return tree.predict_binned(X)
+
+    def _rebuild_tree(self, state):
+        return _ObliviousTree.from_state(
+            state, depth=self.depth, reg_lambda=self.reg_lambda,
+            min_child_samples=self.min_child_samples, n_bins=self.max_bins,
+        )

@@ -43,6 +43,16 @@ class KNeighborsClassifier(Classifier):
         self.X_, self.y_ = check_X_y(X, y)
         return self
 
+    def state_dict(self) -> dict:
+        if not hasattr(self, "X_"):
+            raise RuntimeError("classifier is not fitted; call fit() first")
+        return {"X": self.X_, "y": self.y_}
+
+    def load_state(self, state: dict) -> "KNeighborsClassifier":
+        self.X_ = np.asarray(state["X"], dtype=np.float64)
+        self.y_ = np.asarray(state["y"], dtype=np.int64)
+        return self
+
     def predict_proba(self, X) -> np.ndarray:
         if not hasattr(self, "X_"):
             raise RuntimeError("classifier is not fitted; call fit() first")

@@ -63,6 +63,23 @@ class LogisticRegression(Classifier):
         self.intercept_ = float(result.x[d])
         return self
 
+    def state_dict(self) -> dict:
+        if not hasattr(self, "coef_"):
+            raise RuntimeError("classifier is not fitted; call fit() first")
+        return {
+            "mean": self.mean_,
+            "scale": self.scale_,
+            "coef": self.coef_,
+            "intercept": float(self.intercept_),
+        }
+
+    def load_state(self, state: dict) -> "LogisticRegression":
+        self.mean_ = np.asarray(state["mean"], dtype=np.float64)
+        self.scale_ = np.asarray(state["scale"], dtype=np.float64)
+        self.coef_ = np.asarray(state["coef"], dtype=np.float64)
+        self.intercept_ = float(state["intercept"])
+        return self
+
     def decision_function(self, X) -> np.ndarray:
         X = check_array(X)
         if not hasattr(self, "coef_"):

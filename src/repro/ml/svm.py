@@ -102,6 +102,30 @@ class SVC(Classifier):
         self.intercept_ = float(result.x[d])
         return self
 
+    def state_dict(self) -> dict:
+        if not hasattr(self, "coef_"):
+            raise RuntimeError("classifier is not fitted; call fit() first")
+        state = {
+            "mean": self.mean_,
+            "scale": self.scale_,
+            "coef": self.coef_,
+            "intercept": float(self.intercept_),
+        }
+        if self.kernel == "rbf":
+            state["omega"] = self.omega_
+            state["phase"] = self.phase_
+        return state
+
+    def load_state(self, state: dict) -> "SVC":
+        self.mean_ = np.asarray(state["mean"], dtype=np.float64)
+        self.scale_ = np.asarray(state["scale"], dtype=np.float64)
+        self.coef_ = np.asarray(state["coef"], dtype=np.float64)
+        self.intercept_ = float(state["intercept"])
+        if self.kernel == "rbf":
+            self.omega_ = np.asarray(state["omega"], dtype=np.float64)
+            self.phase_ = np.asarray(state["phase"], dtype=np.float64)
+        return self
+
     def decision_function(self, X) -> np.ndarray:
         X = check_array(X)
         if not hasattr(self, "coef_"):

@@ -197,6 +197,31 @@ class DecisionTreeClassifier(Classifier):
 
     # ------------------------------------------------------------------ #
 
+    def state_dict(self) -> dict:
+        if not hasattr(self, "children_left_"):
+            raise RuntimeError("tree is not fitted; call fit() first")
+        return {
+            "children_left": self.children_left_,
+            "children_right": self.children_right_,
+            "feature": self.feature_,
+            "threshold": self.threshold_,
+            "value": self.value_,
+            "n_node_samples": self.n_node_samples_,
+            "n_features": int(self.n_features_),
+        }
+
+    def load_state(self, state: dict) -> "DecisionTreeClassifier":
+        self.children_left_ = np.asarray(state["children_left"], dtype=np.int64)
+        self.children_right_ = np.asarray(state["children_right"], dtype=np.int64)
+        self.feature_ = np.asarray(state["feature"], dtype=np.int64)
+        self.threshold_ = np.asarray(state["threshold"], dtype=np.float64)
+        self.value_ = np.asarray(state["value"], dtype=np.float64)
+        self.n_node_samples_ = np.asarray(state["n_node_samples"], dtype=np.int64)
+        self.n_features_ = int(state["n_features"])
+        return self
+
+    # ------------------------------------------------------------------ #
+
     @property
     def node_count(self) -> int:
         return len(self.children_left_)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ml.base import init_param_names
+
 __all__ = ["PhishingDetector"]
 
 
@@ -28,8 +30,17 @@ class PhishingDetector:
         return np.argmax(self.predict_proba(bytecodes), axis=1)
 
     def get_params(self) -> dict:
-        """Hyperparameters; overridden where tuning applies."""
-        return {}
+        """Hyperparameters: constructor arguments read back off ``self``.
+
+        Detectors follow the sklearn convention (constructor keyword
+        arguments stored under the same attribute names), so the default
+        introspects ``__init__``; overridden where derived entries apply
+        (e.g. the HSC detector's ``clf__*`` passthrough).
+        """
+        return {
+            name: getattr(self, name)
+            for name in init_param_names(type(self))
+        }
 
     def set_params(self, **params) -> "PhishingDetector":
         for name, value in params.items():
@@ -37,6 +48,30 @@ class PhishingDetector:
                 raise ValueError(f"{type(self).__name__} has no parameter {name!r}")
             setattr(self, name, value)
         return self
+
+    # ------------------------------------------------------------------ #
+    # Persistence protocol (see repro.artifacts)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Fitted state as an artifact-ready tree (see
+        :meth:`repro.ml.base.Estimator.state_dict`); composite detectors
+        compose the states of their extractors / networks / children.
+
+        Raises:
+            RuntimeError: If the detector is not fitted.
+            NotImplementedError: If the detector has no persistence.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement state_dict()"
+        )
+
+    def load_state(self, state: dict) -> "PhishingDetector":
+        """Restore fitted state in place; predictions afterwards must be
+        bit-identical to the detector the state was captured from."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement load_state()"
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

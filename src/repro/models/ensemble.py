@@ -101,6 +101,19 @@ class VotingDetector(PhishingDetector):
         votes = (stacked[:, :, 1] >= 0.5).mean(axis=0)
         return np.column_stack([1.0 - votes, votes])
 
+    # ------------------------------------------------------------------ #
+    # Persistence (see repro.artifacts)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Nothing beyond the children — base detectors are constructor
+        arguments, so the artifact layer captures each child (class,
+        params, fitted state) recursively through ``detectors``."""
+        return {}
+
+    def load_state(self, state: dict) -> "VotingDetector":
+        return self
+
 
 class StackingDetector(PhishingDetector):
     """Logistic meta-learner over out-of-fold base probabilities.
@@ -166,3 +179,17 @@ class StackingDetector(PhishingDetector):
             ]
         )
         return self.meta_.predict_proba(self._meta_features(base))
+
+    # ------------------------------------------------------------------ #
+    # Persistence (see repro.artifacts)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Meta-learner state; fitted base detectors travel as
+        constructor arguments (captured recursively by the artifact
+        layer through ``detectors``)."""
+        return {"meta": self.meta_.state_dict()}
+
+    def load_state(self, state: dict) -> "StackingDetector":
+        self.meta_.load_state(state["meta"])
+        return self

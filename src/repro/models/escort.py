@@ -192,3 +192,33 @@ class ESCORTClassifier(PhishingDetector):
         with no_grad():
             logits = self.branch_.forward(X)
         return F.softmax(Tensor(logits.data)).data
+
+    # ------------------------------------------------------------------ #
+    # Persistence (see repro.artifacts)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        from repro.nn import serialize
+
+        if getattr(self, "branch_", None) is None:
+            raise RuntimeError("ESCORT is not fitted; call fit() first")
+        # The branch walks into its frozen trunk (``_trunk`` attribute),
+        # so serializing trunk + branch separately would duplicate the
+        # trunk weights; the branch head alone is captured via its
+        # ``head`` submodule.
+        return {
+            "trunk": serialize.state_dict(self.trunk_),
+            "branch_head": serialize.state_dict(self.branch_.head),
+        }
+
+    def load_state(self, state: dict) -> "ESCORTClassifier":
+        from repro.nn import serialize
+
+        n_signatures = len(SIGNATURE_NAMES)
+        self.trunk_ = _Trunk(
+            n_signatures, self.hidden, n_signatures - 1, self.seed
+        )
+        serialize.load_state_dict(self.trunk_, state["trunk"])
+        self.branch_ = _Branch(self.trunk_, self.hidden, self.seed + 1)
+        serialize.load_state_dict(self.branch_.head, state["branch_head"])
+        return self

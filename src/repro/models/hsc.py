@@ -110,6 +110,32 @@ class HSCDetector(PhishingDetector):
         features = self.extractor_.transform(bytecodes)
         return self.classifier_.predict_proba(features)
 
+    # ------------------------------------------------------------------ #
+    # Persistence (see repro.artifacts)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Extractor vocabulary + classifier state and hyperparameters.
+
+        The classifier's ``get_params()`` ride along because tuned values
+        (``set_params(clf__…)``) diverge from the variant factory's
+        defaults — a loaded detector must serve the tuned model.
+        """
+        return {
+            "extractor": self.extractor_.state_dict(),
+            "classifier_params": self.classifier_.get_params(),
+            "classifier": self.classifier_.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> "HSCDetector":
+        self.extractor_ = OpcodeHistogramExtractor().load_state(
+            state["extractor"]
+        )
+        classifier = HSC_VARIANTS[self.variant](self.seed)
+        classifier.set_params(**state["classifier_params"])
+        self.classifier_ = classifier.load_state(state["classifier"])
+        return self
+
 
 def make_hsc(variant: str, seed: int = 0) -> HSCDetector:
     """Convenience factory mirroring the registry naming."""

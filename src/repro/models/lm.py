@@ -187,6 +187,30 @@ class _SequenceLMBase(PhishingDetector):
         counts = np.maximum(counts, 1)
         return probabilities / counts[:, None]
 
+    # ------------------------------------------------------------------ #
+    # Persistence (see repro.artifacts)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        from repro.nn import serialize
+
+        if getattr(self, "network_", None) is None:
+            raise RuntimeError(f"{self.name} is not fitted; call fit() first")
+        return {
+            "tokenizer": self.tokenizer_.state_dict(),
+            "network": serialize.state_dict(self.network_),
+        }
+
+    def load_state(self, state: dict) -> "_SequenceLMBase":
+        from repro.nn import serialize
+
+        self.tokenizer_ = OpcodeTokenizer(
+            max_length=self.max_length
+        ).load_state(state["tokenizer"])
+        self.network_ = self._build_network(self.tokenizer_.vocab_size)
+        serialize.load_state_dict(self.network_, state["network"])
+        return self
+
 
 class GPT2Classifier(_SequenceLMBase):
     """GPT-2 (causal decoder) phishing classifier, α or β."""

@@ -104,3 +104,31 @@ class SCSGuardClassifier(PhishingDetector):
         with no_grad():
             logits = self.network_.forward(ids)
         return F.softmax(Tensor(logits.data)).data
+
+    # ------------------------------------------------------------------ #
+    # Persistence (see repro.artifacts)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        from repro.nn import serialize
+
+        if getattr(self, "network_", None) is None:
+            raise RuntimeError("SCSGuard is not fitted; call fit() first")
+        return {
+            "encoder": self.encoder_.state_dict(),
+            "network": serialize.state_dict(self.network_),
+        }
+
+    def load_state(self, state: dict) -> "SCSGuardClassifier":
+        from repro.nn import serialize
+
+        self.encoder_ = HexNgramEncoder(
+            max_length=self.max_length, vocab_size=self.vocab_size
+        ).load_state(state["encoder"])
+        self.encoder_.set_cache(self._feature_cache)
+        self.network_ = _SCSGuardNetwork(
+            self.encoder_.effective_vocab_size, self.embed_dim,
+            self.hidden_dim, self.n_heads, self.seed,
+        )
+        serialize.load_state_dict(self.network_, state["network"])
+        return self

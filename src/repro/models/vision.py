@@ -192,6 +192,34 @@ class ViTClassifier(PhishingDetector):
             logits = self.network_.forward(images)
         return F.softmax(Tensor(logits.data)).data
 
+    # ------------------------------------------------------------------ #
+    # Persistence (see repro.artifacts)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        from repro.nn import serialize
+
+        if getattr(self, "network_", None) is None:
+            raise RuntimeError(f"{self.name} is not fitted; call fit() first")
+        state = {"network": serialize.state_dict(self.network_)}
+        if self.encoding == "freq":
+            state["freq_encoder"] = self._freq_encoder.state_dict()
+        return state
+
+    def load_state(self, state: dict) -> "ViTClassifier":
+        from repro.nn import serialize
+
+        if self.encoding == "freq":
+            self._freq_encoder = FrequencyImageEncoder(
+                self.image_size
+            ).load_state(state["freq_encoder"])
+        self.network_ = _ViTNetwork(
+            self.image_size, self.patch_size, self.dim, self.depth,
+            self.n_heads, self.bins, self.pool, self.seed,
+        )
+        serialize.load_state_dict(self.network_, state["network"])
+        return self
+
 
 class _ECA(Module):
     """Efficient Channel Attention: k-tap 1-D conv over channel stats."""
@@ -348,3 +376,22 @@ class EcaEfficientNetClassifier(PhishingDetector):
         with no_grad():
             logits = self.network_.forward(images)
         return F.softmax(Tensor(logits.data)).data
+
+    # ------------------------------------------------------------------ #
+    # Persistence (see repro.artifacts)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        from repro.nn import serialize
+
+        if getattr(self, "network_", None) is None:
+            raise RuntimeError(f"{self.name} is not fitted; call fit() first")
+        return {"network": serialize.state_dict(self.network_)}
+
+    def load_state(self, state: dict) -> "EcaEfficientNetClassifier":
+        from repro.nn import serialize
+
+        self.network_ = _EcaEfficientNet(self.widths, self.bins, self.seed,
+                                         norm=self.norm)
+        serialize.load_state_dict(self.network_, state["network"])
+        return self

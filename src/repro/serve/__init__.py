@@ -39,11 +39,28 @@ Cache knobs
 * CLI: ``phishinghook scan --batch addr1 addr2 ...`` routes through a
   ScanService and prints the cache statistics after the batch.
 
+Artifacts and hot swap
+----------------------
+
+With the artifact layer (:mod:`repro.artifacts`) the normal production
+entry point is a persisted model, not an in-process fit:
+
+* ``ScanService.from_artifact(path_or_ref, store=...)`` — millisecond
+  cold start; the prediction-cache namespace derives from the artifact's
+  content digest, so every process serving one version shares semantics.
+* ``service.swap_model(model)`` / ``swap_from_artifact(ref)`` — replace
+  the served version under live traffic. The serving identity is one
+  ``(model, namespace)`` tuple read atomically per batch, so in-flight
+  batches finish consistently; only the outgoing prediction namespace is
+  invalidated (``FeatureCache.invalidate_namespace``).
+* ``FeatureCache.resize(n)`` — live LRU-bound reconfiguration; ``put``
+  re-establishes the bound even when it shrank between inserts.
+
 Entry points
 ------------
 
 >>> from repro.serve import FeatureCache, ScanService   # doctest: +SKIP
->>> service = ScanService("Random Forest", train_dataset=ds, rpc=rpc)
+>>> service = ScanService.from_artifact("production", store=store)
 >>> results = service.scan_many(addresses)              # doctest: +SKIP
 
 or, from a built pipeline facade: ``PhishingHook.scan_service()``.

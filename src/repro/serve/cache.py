@@ -25,6 +25,7 @@ a hit can be returned without a defensive copy.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from collections.abc import Callable
 from dataclasses import dataclass, field
@@ -98,13 +99,47 @@ class FeatureCache:
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._store: "OrderedDict[tuple[str, bytes], object]" = OrderedDict()
+        # Serving is concurrent (sharded scan workers, hot swaps); every
+        # store mutation and probe holds this lock. Feature computation
+        # itself stays outside the lock.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
-        self._store.clear()
+        with self._lock:
+            self._store.clear()
+
+    def resize(self, max_entries: int) -> int:
+        """Change the LRU bound at runtime; evicts down to it immediately.
+
+        Returns the number of entries evicted. Lowering the bound on a
+        live service (hot-swap reconfiguration) takes effect here and is
+        *maintained* by :meth:`put`, whose eviction loop re-establishes
+        the bound even when it shrank between inserts.
+        """
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        with self._lock:
+            self.max_entries = max_entries
+            return self._evict_over_bound()
+
+    def invalidate_namespace(self, namespace: str) -> int:
+        """Drop every entry of one namespace; returns how many.
+
+        Hot-swapping a model must invalidate *its* prediction rows while
+        leaving shared feature namespaces (decoded mnemonic IDs, token
+        codes) untouched — this is the surgical tool
+        :meth:`ScanService.swap_model` uses.
+        """
+        with self._lock:
+            doomed = [key for key in self._store if key[0] == namespace]
+            for key in doomed:
+                del self._store[key]
+            return len(doomed)
 
     # ------------------------------------------------------------------ #
 
@@ -139,22 +174,37 @@ class FeatureCache:
         one-at-a-time :meth:`get` protocol.
         """
         key = (namespace, digest)
-        if key in self._store:
-            self._store.move_to_end(key)
-            self.stats.record(namespace, hit=True)
-            return True, self._store[key]
-        self.stats.record(namespace, hit=False)
-        return False, None
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                self.stats.record(namespace, hit=True)
+                return True, self._store[key]
+            self.stats.record(namespace, hit=False)
+            return False, None
 
     def put(self, namespace: str, digest: bytes, value) -> None:
-        """Insert a computed value at (namespace, digest), evicting LRU."""
+        """Insert a computed value at (namespace, digest), evicting LRU.
+
+        Eviction loops until the bound holds: ``max_entries`` may have
+        been *lowered* since the last insert (live reconfiguration via
+        :meth:`resize` or direct assignment), so a single pop is not
+        enough to re-establish the invariant.
+        """
         if isinstance(value, np.ndarray):
             value.setflags(write=False)
-        self._store[(namespace, digest)] = value
-        self._store.move_to_end((namespace, digest))
-        if len(self._store) > self.max_entries:
+        with self._lock:
+            self._store[(namespace, digest)] = value
+            self._store.move_to_end((namespace, digest))
+            self._evict_over_bound()
+
+    def _evict_over_bound(self) -> int:
+        """Pop LRU entries until ``len <= max_entries`` (lock held)."""
+        evicted = 0
+        while len(self._store) > self.max_entries:
             self._store.popitem(last=False)
-            self.stats.evictions += 1
+            evicted += 1
+        self.stats.evictions += evicted
+        return evicted
 
     def mnemonic_ids(self, bytecode: bytes | bytearray | str) -> np.ndarray:
         """Cached single-pass decode to the ``uint8`` mnemonic-ID array.

@@ -19,6 +19,17 @@ ensemble models are compiled to stacked node arrays at fit/attach time
 (``stats()["flat_compiled"]``), so the cold path — a genuinely novel
 batch missing every cache — is vectorized level-synchronous descent, not
 a per-row Python traversal.
+
+Since the artifact layer (:mod:`repro.artifacts`) landed, in-process
+training is the *fallback*, not the norm: :meth:`ScanService.from_artifact`
+cold-starts a service from persisted bytes in milliseconds, and
+:meth:`ScanService.swap_model` hot-swaps a new version under live
+traffic. The service keeps its entire serving identity in one
+``(model, namespace)`` tuple read atomically per batch, so an in-flight
+batch always scores and caches under a *consistent* pair — a swap never
+drops or mis-scores it — and the swap invalidates only the outgoing
+model's prediction namespace in the shared :class:`FeatureCache`,
+leaving decoded-feature namespaces warm for the incoming version.
 """
 
 from __future__ import annotations
@@ -36,6 +47,25 @@ from repro.serve.cache import FeatureCache, bytecode_digest
 __all__ = ["ScanResult", "ScanService"]
 
 _PREFIT_TOKENS = itertools.count()
+
+
+def _artifact_namespace(manifest: dict) -> str:
+    """Prediction namespace derived from an artifact's content digest.
+
+    Stable across processes and machines: every service serving the same
+    artifact version shares prediction-cache hits, and two versions never
+    collide.
+    """
+    return f"pred:artifact:{manifest['digest']}"
+
+
+def _load_artifact_source(source, store=None, expected_fingerprint=None):
+    """Resolve (model, manifest) from a path or a store tag/version."""
+    if store is not None:
+        return store.load(source, expected_fingerprint=expected_fingerprint)
+    from repro.artifacts import load_artifact
+
+    return load_artifact(source, expected_fingerprint=expected_fingerprint)
 
 
 @dataclass(frozen=True)
@@ -99,13 +129,17 @@ class ScanService:
         self.seed = seed
         self.threshold = threshold
         self.scanned = 0
-        self._model = model
-        self._fitted = model is not None
-        self._namespace: str | None = None
+        # The serving identity is ONE tuple: (model, prediction namespace).
+        # Batches snapshot it in a single attribute read, so a concurrent
+        # swap_model() can never pair an old model with a new namespace
+        # (or vice versa) inside a batch.
+        self._serving: tuple[object, str] | None = None
         self._attach_cache = attach_cache
         self.flat_compiled = 0
+        self.swaps = 0
+        self.artifact_digest: str | None = None
         if model is not None:
-            self._namespace = namespace or (
+            resolved = namespace or (
                 f"pred:{model_name}:prefit{next(_PREFIT_TOKENS)}"
             )
             if attach_cache:
@@ -114,6 +148,7 @@ class ScanService:
             # first scanned batch — cold-path scans hit the vectorized
             # inference engine immediately.
             self.flat_compiled = precompile(model)
+            self._serving = (model, resolved)
         self.fit_seconds = 0.0
 
     @staticmethod
@@ -123,17 +158,66 @@ class ScanService:
         """The stable prediction-cache namespace for one trained model."""
         return f"pred:{model_name}:s{seed}:{fingerprint}"
 
+    @classmethod
+    def from_artifact(
+        cls,
+        source,
+        *,
+        store=None,
+        rpc=None,
+        cache: FeatureCache | None = None,
+        threshold: float = 0.5,
+        attach_cache: bool = True,
+        expected_fingerprint: str | None = None,
+    ) -> "ScanService":
+        """Cold-start a service from a persisted model artifact.
+
+        Args:
+            source: Artifact file path — or, with ``store``, a tag /
+                version / version prefix resolved against it.
+            store: Optional :class:`~repro.artifacts.ModelStore`.
+            expected_fingerprint: Refuse artifacts trained on a different
+                dataset (raises
+                :class:`~repro.artifacts.FingerprintMismatchError`).
+
+        The prediction namespace derives from the artifact's content
+        digest, so every process serving this version — across restarts
+        and machines — shares prediction-cache semantics, and loading is
+        the whole cost: no training, no flat recompilation (ensembles
+        persist pre-compiled).
+        """
+        model, manifest = _load_artifact_source(
+            source, store=store, expected_fingerprint=expected_fingerprint
+        )
+        service = cls(
+            manifest.get("model_name") or "artifact",
+            model=model,
+            rpc=rpc,
+            cache=cache,
+            threshold=threshold,
+            namespace=_artifact_namespace(manifest),
+            attach_cache=attach_cache,
+        )
+        service.artifact_digest = manifest["digest"]
+        return service
+
     # ------------------------------------------------------------------ #
 
     @property
     def model(self):
         """The fitted detector (training it on first use)."""
         self.ensure_fitted()
-        return self._model
+        return self._serving[0]
+
+    @property
+    def _model(self):
+        """The currently served model or ``None`` (no side effects) —
+        also the hook :func:`repro.ml.flat.precompile` walks."""
+        return self._serving[0] if self._serving is not None else None
 
     def ensure_fitted(self) -> "ScanService":
         """Train the model once; every scan after this reuses it."""
-        if self._fitted:
+        if self._serving is not None:
             return self
         from repro.core.registry import create_model
 
@@ -145,12 +229,84 @@ class ScanService:
         # inside the fit accounting so scans never pay it.
         self.flat_compiled = precompile(model)
         self.fit_seconds = time.perf_counter() - started
-        self._model = model
-        self._namespace = self.prediction_namespace(
-            self.model_name, self.seed, self.train_dataset.fingerprint()
+        self._serving = (
+            model,
+            self.prediction_namespace(
+                self.model_name, self.seed, self.train_dataset.fingerprint()
+            ),
         )
-        self._fitted = True
         return self
+
+    # ------------------------------------------------------------------ #
+    # Hot swap
+    # ------------------------------------------------------------------ #
+
+    def swap_model(
+        self,
+        model,
+        *,
+        namespace: str | None = None,
+        model_name: str | None = None,
+        artifact_digest: str | None = None,
+        invalidate: bool = True,
+    ) -> "ScanService":
+        """Atomically replace the served model under live traffic.
+
+        The new ``(model, namespace)`` pair becomes visible in one
+        assignment; batches already in flight finish on the snapshot they
+        took — scored by the old model, cached under the old namespace —
+        so nothing is dropped or mis-scored. Afterwards the *old* model's
+        prediction namespace is invalidated in the shared cache
+        (``invalidate=False`` for callers coordinating several shard
+        views that share one namespace, who invalidate once themselves).
+        Feature namespaces (decoded IDs, token codes) survive: the new
+        version reuses them immediately.
+        """
+        if model is None:
+            raise ValueError("swap_model needs a fitted model")
+        resolved = namespace or (
+            f"pred:{model_name or self.model_name}:"
+            f"prefit{next(_PREFIT_TOKENS)}"
+        )
+        if self._attach_cache:
+            self.cache.attach(model)
+        self.flat_compiled = precompile(model)
+        previous = self._serving
+        self._serving = (model, resolved)  # the atomic handover
+        # The digest describes the *served* version: set for artifact
+        # swaps, cleared for direct-model swaps (stats must never report
+        # an artifact that is no longer live).
+        self.artifact_digest = artifact_digest
+        if model_name is not None:
+            self.model_name = model_name
+        self.swaps += 1
+        if (
+            invalidate
+            and previous is not None
+            and previous[1] != resolved
+        ):
+            self.cache.invalidate_namespace(previous[1])
+        return self
+
+    def swap_from_artifact(
+        self,
+        source,
+        *,
+        store=None,
+        expected_fingerprint: str | None = None,
+        invalidate: bool = True,
+    ) -> "ScanService":
+        """Hot-swap to a persisted version (path or store tag/version)."""
+        model, manifest = _load_artifact_source(
+            source, store=store, expected_fingerprint=expected_fingerprint
+        )
+        return self.swap_model(
+            model,
+            namespace=_artifact_namespace(manifest),
+            model_name=manifest.get("model_name"),
+            artifact_digest=manifest["digest"],
+            invalidate=invalidate,
+        )
 
     def sharded(self, n: int) -> list["ScanService"]:
         """``n`` shard views of this service for partitioned workers.
@@ -168,15 +324,16 @@ class ScanService:
         if n < 1:
             raise ValueError("shard count must be positive")
         self.ensure_fitted()
+        model, namespace = self._serving
         return [
             ScanService(
                 self.model_name,
-                model=self._model,
+                model=model,
                 rpc=self.rpc,
                 cache=self.cache,
                 seed=self.seed,
                 threshold=self.threshold,
-                namespace=self._namespace,
+                namespace=namespace,
                 attach_cache=self._attach_cache,
             )
             for _ in range(n)
@@ -193,6 +350,9 @@ class ScanService:
         single ``predict_proba`` call; everything else is a cache hit.
         """
         self.ensure_fitted()
+        # One snapshot for the whole batch: a concurrent swap_model()
+        # cannot split this batch across versions or cache namespaces.
+        model, namespace = self._serving
         if addresses is None:
             addresses = [""] * len(bytecodes)
         if len(addresses) != len(bytecodes):
@@ -206,7 +366,7 @@ class ScanService:
         for digest, code in zip(digests, bytecodes):
             if digest in probability:
                 continue
-            hit, value = self.cache.lookup(self._namespace, digest)
+            hit, value = self.cache.lookup(namespace, digest)
             if hit:
                 probability[digest] = value
             else:
@@ -214,10 +374,10 @@ class ScanService:
                 miss_codes.append(code)
                 miss_digests.append(digest)
         if miss_codes:
-            fresh = self._model.predict_proba(miss_codes)[:, 1]
+            fresh = model.predict_proba(miss_codes)[:, 1]
             for digest, p in zip(miss_digests, fresh):
                 probability[digest] = float(p)
-                self.cache.put(self._namespace, digest, float(p))
+                self.cache.put(namespace, digest, float(p))
 
         self.scanned += len(bytecodes)
         # Only the first occurrence of a predicted-this-call bytecode is
@@ -264,10 +424,12 @@ class ScanService:
         """Service + cache counters, JSON-ready."""
         return {
             "model": self.model_name,
-            "fitted": self._fitted,
+            "fitted": self._serving is not None,
             "fit_seconds": self.fit_seconds,
             "flat_compiled": self.flat_compiled,
             "scanned": self.scanned,
+            "swaps": self.swaps,
+            "artifact_digest": self.artifact_digest,
             "cache_entries": len(self.cache),
             **self.cache.stats.as_dict(),
         }

@@ -202,10 +202,106 @@ class StreamScanner:
         self.stats = StreamStats()
         self.shard_stats = [ShardStats(shard=i) for i in range(shards)]
         self.alerts: list[StreamAlert] = []
+        self.rollouts = 0
         self._queue: deque[ContractEvent] = deque()
         self._seen: set[str] = set()
         self._rng = np.random.default_rng(seed)
         self._batch_id = 0
+
+    @classmethod
+    def from_artifact(
+        cls,
+        source,
+        *,
+        store=None,
+        rpc=None,
+        cache=None,
+        threshold: float = 0.5,
+        expected_fingerprint: str | None = None,
+        **scanner_kwargs,
+    ) -> "StreamScanner":
+        """Cold-start a whole sharded stream pipeline from one artifact.
+
+        One :meth:`ScanService.from_artifact` load fans out to every
+        shard worker (they share the loaded model, feature cache and
+        digest-derived prediction namespace), so spinning up an N-shard
+        scanner costs a single artifact read — no training anywhere.
+        ``source``/``store``/``expected_fingerprint`` as in
+        :meth:`ScanService.from_artifact`; remaining keyword arguments go
+        to the scanner constructor.
+        """
+        service = ScanService.from_artifact(
+            source,
+            store=store,
+            rpc=rpc,
+            cache=cache,
+            threshold=threshold,
+            expected_fingerprint=expected_fingerprint,
+        )
+        return cls(service, **scanner_kwargs)
+
+    def rollout(
+        self,
+        source=None,
+        *,
+        model=None,
+        store=None,
+        namespace: str | None = None,
+        model_name: str | None = None,
+        expected_fingerprint: str | None = None,
+    ) -> "StreamScanner":
+        """Live-roll a new model version across every shard worker.
+
+        Loads the new version once (``source`` + ``store`` as in
+        :meth:`from_artifact`, or pass a fitted ``model`` directly), then
+        swaps the parent service and each shard. Swaps are per-worker
+        atomic — a shard's in-flight micro-batch finishes on the version
+        it snapshotted, nothing is dropped — and the outgoing prediction
+        namespaces are invalidated exactly once after every shard is on
+        the new version.
+        """
+        if (source is None) == (model is None):
+            raise ValueError("rollout needs an artifact source or a model")
+        digest = None
+        if source is not None:
+            from repro.serve.service import (
+                _artifact_namespace,
+                _load_artifact_source,
+            )
+
+            model, manifest = _load_artifact_source(
+                source, store=store, expected_fingerprint=expected_fingerprint
+            )
+            namespace = _artifact_namespace(manifest)
+            model_name = manifest.get("model_name")
+            digest = manifest["digest"]
+        if namespace is None:
+            from repro.serve.service import _PREFIT_TOKENS
+
+            # One namespace minted up front: every shard must keep
+            # sharing prediction-cache hits after the roll.
+            namespace = (
+                f"pred:{model_name or self.service.model_name}:"
+                f"rollout{next(_PREFIT_TOKENS)}"
+            )
+        targets = [self.service, *self.workers]
+        outgoing = {
+            target._serving[1]
+            for target in targets
+            if target._serving is not None
+        }
+        for target in targets:
+            target.swap_model(
+                model, namespace=namespace, model_name=model_name,
+                artifact_digest=digest, invalidate=False,
+            )
+        incoming = self.service._serving[1]
+        # All shards share one cache; drop each outgoing prediction
+        # namespace once (shared feature namespaces stay warm).
+        for stale in outgoing - {incoming}:
+            self.service.cache.invalidate_namespace(stale)
+        self.rollouts += 1
+        return self
 
     # ------------------------------------------------------------------ #
     # Intake
@@ -351,6 +447,8 @@ class StreamScanner:
         return {
             **self.stats.as_dict(),
             "flat_compiled": getattr(self.service, "flat_compiled", 0),
+            "rollouts": self.rollouts,
+            "artifact_digest": getattr(self.service, "artifact_digest", None),
             "shards": [
                 {
                     "shard": s.shard,

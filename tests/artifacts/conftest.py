@@ -1,0 +1,28 @@
+"""Shared fixtures: a tiny fitted detector + bytecode batch."""
+
+import pytest
+
+from repro.datagen.corpus import CorpusConfig, build_corpus
+from repro.datagen.dataset import Dataset
+from repro.models.hsc import HSCDetector
+
+
+@pytest.fixture(scope="session")
+def artifact_dataset():
+    corpus = build_corpus(
+        CorpusConfig(n_phishing=24, n_benign=24, seed=11)
+    )
+    return Dataset.from_corpus(corpus, seed=11)
+
+
+@pytest.fixture(scope="session")
+def fitted_forest(artifact_dataset):
+    detector = HSCDetector(variant="Random Forest", seed=0)
+    detector.set_params(clf__n_estimators=12)
+    detector.fit(artifact_dataset.bytecodes, artifact_dataset.labels)
+    return detector
+
+
+@pytest.fixture(scope="session")
+def probe_batch(artifact_dataset):
+    return artifact_dataset.bytecodes[:10]

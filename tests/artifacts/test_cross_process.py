@@ -1,0 +1,59 @@
+"""Train → save here; load + score in a *separate* Python process.
+
+The acceptance gate for "portable bytes": nothing about a loaded model
+may depend on in-process state, so a fresh interpreter must reproduce
+the training process's probabilities bit for bit.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import numpy as np
+
+from repro.artifacts import save_artifact
+
+_LOADER = """
+import sys
+import numpy as np
+from repro.artifacts import load_artifact
+
+artifact, codes_file, out_file = sys.argv[1:4]
+bytecodes = [
+    bytes.fromhex(line)
+    for line in open(codes_file, encoding="utf-8").read().split()
+]
+model, manifest = load_artifact(artifact)
+np.save(out_file, model.predict_proba(bytecodes))
+print(manifest["digest"])
+"""
+
+
+def test_cross_process_bit_identity(fitted_forest, probe_batch, tmp_path):
+    info = save_artifact(
+        fitted_forest, tmp_path / "forest.npz", model_name="Random Forest"
+    )
+    expected = fitted_forest.predict_proba(probe_batch)
+
+    codes_file = tmp_path / "codes.hex"
+    codes_file.write_text(
+        "\n".join(code.hex() for code in probe_batch), encoding="utf-8"
+    )
+    out_file = tmp_path / "probs.npy"
+
+    src = pathlib.Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-c", _LOADER, str(info.path), str(codes_file),
+         str(out_file)],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip() == info.digest
+
+    fresh = np.load(out_file)
+    assert np.array_equal(fresh, expected), (
+        "cross-process predict_proba diverged from the training process"
+    )

@@ -1,0 +1,193 @@
+"""Artifact format: round trips, and every error path stays typed.
+
+The load path must never hand back garbage: truncation, corruption,
+foreign schemas, and wrong-dataset artifacts each raise their own typed
+error (satellite: artifact error-path coverage).
+"""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.artifacts import (
+    CorruptArtifactError,
+    FingerprintMismatchError,
+    IntegrityError,
+    SchemaVersionError,
+    UnknownModelClassError,
+    artifact_digest,
+    load_artifact,
+    read_manifest,
+    save_artifact,
+)
+from repro.artifacts.format import _MANIFEST_KEY
+from repro.models.hsc import HSCDetector
+
+
+@pytest.fixture()
+def artifact(fitted_forest, artifact_dataset, tmp_path):
+    info = save_artifact(
+        fitted_forest,
+        tmp_path / "forest.npz",
+        model_name="Random Forest",
+        dataset_fingerprint=artifact_dataset.fingerprint(),
+        metrics={"accuracy": 0.9},
+    )
+    return info
+
+
+class TestRoundTrip:
+    def test_bit_identical_probabilities(self, artifact, fitted_forest,
+                                         probe_batch):
+        model, manifest = load_artifact(artifact.path)
+        assert isinstance(model, HSCDetector)
+        assert np.array_equal(
+            model.predict_proba(probe_batch),
+            fitted_forest.predict_proba(probe_batch),
+        )
+
+    def test_params_round_trip(self, artifact, fitted_forest):
+        model, __ = load_artifact(artifact.path)
+        assert model.get_params() == fitted_forest.get_params()
+
+    def test_manifest_carries_metadata(self, artifact, artifact_dataset):
+        manifest = read_manifest(artifact.path)
+        assert manifest["model_name"] == "Random Forest"
+        assert manifest["dataset_fingerprint"] == artifact_dataset.fingerprint()
+        assert manifest["metrics"] == {"accuracy": 0.9}
+        assert manifest["digest"] == artifact.digest
+        assert manifest["arrays"]  # stacked forest arrays present
+
+    def test_content_addressing_is_stable(self, artifact, fitted_forest,
+                                          artifact_dataset, tmp_path):
+        again = save_artifact(
+            fitted_forest,
+            tmp_path / "again.npz",
+            model_name="Random Forest",
+            dataset_fingerprint=artifact_dataset.fingerprint(),
+            metrics={"accuracy": 0.9},
+        )
+        assert again.digest == artifact.digest
+
+    def test_loaded_forest_is_precompiled(self, artifact):
+        model, __ = load_artifact(artifact.path)
+        # Serve-ready without recompilation: the flat ensemble arrives
+        # installed, not rebuilt on first predict.
+        assert model.classifier_._flat is not None
+
+    def test_fingerprint_gate_passes_on_match(self, artifact,
+                                              artifact_dataset):
+        model, __ = load_artifact(
+            artifact.path,
+            expected_fingerprint=artifact_dataset.fingerprint(),
+        )
+        assert model is not None
+
+
+class TestErrorPaths:
+    def test_truncated_file(self, artifact, tmp_path):
+        clipped = tmp_path / "clipped.npz"
+        clipped.write_bytes(artifact.path.read_bytes()[:200])
+        with pytest.raises(CorruptArtifactError):
+            load_artifact(clipped)
+
+    def test_not_a_zip(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        bogus.write_bytes(b"definitely not a zip archive")
+        with pytest.raises(CorruptArtifactError):
+            load_artifact(bogus)
+
+    def test_flipped_payload_bytes_fail_integrity(self, artifact, tmp_path):
+        # Rewrite one payload array with altered bytes but intact zip
+        # structure: only the digest check can catch this.
+        with np.load(artifact.path, allow_pickle=False) as archive:
+            members = {name: archive[name] for name in archive.files}
+        victim = next(name for name in members if name != _MANIFEST_KEY)
+        members[victim] = members[victim].copy()
+        flat = members[victim].reshape(-1)
+        flat[0] = flat[0] + 1
+        tampered = tmp_path / "tampered.npz"
+        with open(tampered, "wb") as handle:
+            np.savez_compressed(handle, **members)
+        with pytest.raises(IntegrityError):
+            load_artifact(tampered)
+
+    def test_schema_version_mismatch(self, artifact, tmp_path):
+        with np.load(artifact.path, allow_pickle=False) as archive:
+            members = {name: archive[name] for name in archive.files}
+        manifest = json.loads(bytes(members[_MANIFEST_KEY].tobytes()))
+        manifest["schema_version"] = 999
+        members[_MANIFEST_KEY] = np.frombuffer(
+            json.dumps(manifest).encode(), dtype=np.uint8
+        )
+        future = tmp_path / "future.npz"
+        with open(future, "wb") as handle:
+            np.savez_compressed(handle, **members)
+        with pytest.raises(SchemaVersionError):
+            load_artifact(future)
+        with pytest.raises(SchemaVersionError):
+            read_manifest(future)
+
+    def test_fingerprint_mismatch(self, artifact):
+        with pytest.raises(FingerprintMismatchError):
+            load_artifact(artifact.path, expected_fingerprint="deadbeef")
+
+    def test_foreign_class_refused(self, artifact, tmp_path):
+        with np.load(artifact.path, allow_pickle=False) as archive:
+            members = {name: archive[name] for name in archive.files}
+        manifest = json.loads(bytes(members[_MANIFEST_KEY].tobytes()))
+        manifest["model"]["class"] = "os.path:join"
+        manifest["digest"] = artifact_digest(manifest)
+        members[_MANIFEST_KEY] = np.frombuffer(
+            json.dumps(manifest).encode(), dtype=np.uint8
+        )
+        hostile = tmp_path / "hostile.npz"
+        with open(hostile, "wb") as handle:
+            np.savez_compressed(handle, **members)
+        with pytest.raises(UnknownModelClassError):
+            load_artifact(hostile)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_artifact(tmp_path / "absent.npz")
+
+    def test_malformed_array_name_stays_typed(self, artifact, tmp_path):
+        # A tampered manifest declaring a non-"aN" member must raise the
+        # typed error, not a bare ValueError from int().
+        with np.load(artifact.path, allow_pickle=False) as archive:
+            members = {name: archive[name] for name in archive.files}
+        manifest = json.loads(bytes(members[_MANIFEST_KEY].tobytes()))
+        victim = next(iter(manifest["arrays"]))
+        manifest["arrays"]["zz"] = manifest["arrays"].pop(victim)
+        members["zz"] = members.pop(victim)
+        members[_MANIFEST_KEY] = np.frombuffer(
+            json.dumps(manifest).encode(), dtype=np.uint8
+        )
+        renamed = tmp_path / "renamed.npz"
+        with open(renamed, "wb") as handle:
+            np.savez_compressed(handle, **members)
+        with pytest.raises(CorruptArtifactError):
+            load_artifact(renamed)
+
+    def test_wrong_format_marker(self, tmp_path):
+        impostor = tmp_path / "impostor.npz"
+        with open(impostor, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                **{_MANIFEST_KEY: np.frombuffer(
+                    json.dumps({"format": "something-else"}).encode(),
+                    dtype=np.uint8,
+                )},
+            )
+        with pytest.raises(CorruptArtifactError):
+            load_artifact(impostor)
+
+    def test_errors_share_a_catchable_base(self):
+        from repro.artifacts import ArtifactError
+
+        for error in (CorruptArtifactError, IntegrityError,
+                      SchemaVersionError, FingerprintMismatchError,
+                      UnknownModelClassError):
+            assert issubclass(error, ArtifactError)

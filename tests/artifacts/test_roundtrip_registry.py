@@ -1,0 +1,80 @@
+"""Round-trip property over the full Table II registry.
+
+For every ``MODEL_NAMES`` entry: ``save → load`` into a fresh object
+yields ``get_params()``-identical hyperparameters and **bit-identical**
+``predict_proba`` on a fixed batch — including the flat-compiled serving
+path for the ensemble models. Deep models run at smoke scale via the
+``PHOOK_*`` registry knobs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.artifacts import load_artifact, save_artifact
+from repro.core.registry import MODEL_NAMES, create_model
+
+#: Registry scale knobs for the expensive rows (1 epoch, small inputs);
+#: the round-trip property is scale-independent.
+SMOKE_ENV = {
+    "PHOOK_EPOCHS": "1",
+    "PHOOK_IMAGE_SIZE": "8",
+    "PHOOK_SEQ_LEN": "16",
+}
+
+
+@pytest.fixture(scope="module")
+def split(artifact_dataset):
+    train = artifact_dataset.subset(np.arange(24))
+    batch = artifact_dataset.bytecodes[24:34]
+    return train, batch
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+def test_registry_round_trip(name, split, tmp_path, monkeypatch):
+    for key, value in SMOKE_ENV.items():
+        monkeypatch.setenv(key, value)
+    train, batch = split
+    model = create_model(name, seed=3)
+    model.fit(train.bytecodes, train.labels)
+    expected = model.predict_proba(batch)
+
+    info = save_artifact(model, tmp_path / "model.npz", model_name=name)
+    loaded, manifest = load_artifact(info.path)
+
+    assert type(loaded) is type(model)
+    assert loaded.get_params() == model.get_params()
+    assert np.array_equal(loaded.predict_proba(batch), expected), (
+        f"{name}: loaded predict_proba diverged from the fitted model"
+    )
+    # Saving the loaded model lands on the same content address.
+    again = save_artifact(loaded, tmp_path / "again.npz", model_name=name)
+    assert again.digest == info.digest
+
+
+def test_ensemble_round_trip(split, tmp_path):
+    """Composite detectors compose child states recursively."""
+    from repro.models.ensemble import StackingDetector, VotingDetector
+    from repro.models.hsc import HSCDetector
+
+    train, batch = split
+
+    def bases():
+        forest = HSCDetector(variant="Random Forest", seed=0)
+        forest.set_params(clf__n_estimators=8)
+        return [forest, HSCDetector(variant="Logistic Regression", seed=0)]
+
+    for ensemble in (
+        VotingDetector(bases(), voting="soft", weights=[0.7, 0.3]),
+        VotingDetector(bases(), voting="hard"),
+        StackingDetector(bases(), n_folds=2, seed=1),
+    ):
+        ensemble.fit(train.bytecodes, train.labels)
+        expected = ensemble.predict_proba(batch)
+        info = save_artifact(ensemble, tmp_path / "ens.npz")
+        loaded, __ = load_artifact(info.path)
+        assert np.array_equal(loaded.predict_proba(batch), expected), (
+            ensemble.name
+        )
+        # Children arrive fitted and preserve their tuned parameters.
+        assert loaded.detectors[0].get_params() == \
+            ensemble.detectors[0].get_params()

@@ -1,0 +1,94 @@
+"""MEM and tuning persist their best fitted candidate to a ModelStore."""
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ModelStore
+from repro.core.mem import ModelEvaluationModule
+from repro.core.tuning import (
+    GridSearch,
+    SearchSpace,
+    cross_validated_objective,
+    fit_and_persist_best,
+)
+
+from tests.core.conftest import fast_hsc_factory
+
+
+class TestMemPersistence:
+    def test_best_trial_lands_in_store(self, small_dataset, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        mem = ModelEvaluationModule(
+            n_folds=2, n_runs=1, seed=0, store=store
+        )
+        result = mem.evaluate(
+            small_dataset, ["Random Forest", "k-NN"],
+            model_factory=fast_hsc_factory,
+        )
+        assert mem.last_persisted is not None
+        assert store.resolve("best") == mem.last_persisted
+        manifest = store.manifest("best")
+        best_accuracy = max(
+            trial.metrics.accuracy for trial in result.trials
+        )
+        assert manifest["metrics"]["accuracy"] == pytest.approx(best_accuracy)
+        assert manifest["model_name"] in ("Random Forest", "k-NN")
+        # The persisted candidate is servable immediately.
+        model, __ = store.load("best")
+        probabilities = model.predict_proba(small_dataset.bytecodes[:4])
+        assert probabilities.shape == (4, 2)
+
+    def test_no_store_keeps_old_behavior(self, small_dataset):
+        mem = ModelEvaluationModule(n_folds=2, n_runs=1, seed=0)
+        mem.evaluate(
+            small_dataset, ["k-NN"], model_factory=fast_hsc_factory
+        )
+        assert mem.last_persisted is None
+
+    def test_single_split_persists_too(self, small_dataset, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        mem = ModelEvaluationModule(
+            n_folds=2, n_runs=1, seed=0, store=store, persist_tag="scal"
+        )
+        train, test = small_dataset.train_test_split(0.3, seed=0)
+        mem.evaluate_single_split(
+            train, test, ["k-NN"], model_factory=fast_hsc_factory
+        )
+        manifest = store.manifest("scal")
+        assert manifest["dataset_fingerprint"] == train.fingerprint()
+
+
+class TestTuningPersistence:
+    def test_fit_and_persist_best(self, small_dataset, tmp_path):
+        store = ModelStore(tmp_path / "store")
+
+        def build(trial):
+            detector = fast_hsc_factory("Random Forest")
+            detector.set_params(
+                clf__n_estimators=trial.suggest_int("n_estimators", 5, 15)
+            )
+            return detector
+
+        objective = cross_validated_objective(
+            small_dataset, build, n_folds=2, seed=0
+        )
+        space = SearchSpace(integer={"n_estimators": (5, 15)})
+        result = GridSearch(space, resolution=2).optimize(objective)
+
+        model, version = fit_and_persist_best(
+            small_dataset, build, result, store,
+            model_name="Random Forest", tags=("tuned",),
+        )
+        assert store.resolve("tuned") == version
+        manifest = store.manifest("tuned")
+        assert manifest["metrics"]["cv_accuracy"] == pytest.approx(
+            result.best_value
+        )
+        assert manifest["extra"]["best_params"] == {
+            "n_estimators": result.best_params["n_estimators"]
+        }
+        loaded, __ = store.load("tuned")
+        assert np.array_equal(
+            loaded.predict_proba(small_dataset.bytecodes[:6]),
+            model.predict_proba(small_dataset.bytecodes[:6]),
+        )

@@ -143,20 +143,81 @@ class TestCLI:
         assert "k-NN" in out and "Accuracy" in out
 
     def test_scan_random_phishing(self, capsys):
-        code = main(["scan", "random-phishing", "--contracts", "60"])
+        # Refitting in-process is now an explicit opt-in; the default
+        # path serves from a persisted artifact (tested below).
+        code = main(["scan", "random-phishing", "--contracts", "60",
+                     "--train-on-the-fly"])
         assert code == 0
         out = capsys.readouterr().out
         assert "p=" in out
 
+    def test_scan_without_model_refuses(self, capsys):
+        code = main(["scan", "random-phishing", "--contracts", "60"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "phishinghook train" in err
+        assert "--train-on-the-fly" in err
+
     def test_scan_batch(self, capsys):
         code = main([
             "scan", "--batch", "random-phishing", "random-phishing",
-            "--contracts", "60",
+            "--contracts", "60", "--train-on-the-fly",
         ])
         assert code == 0
         out = capsys.readouterr().out
         assert out.count("via=") == 2
         assert "cache hit rate" in out
+
+    def test_train_then_scan_artifact_path(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        code = main([
+            "train", "--model", "Logistic Regression", "--contracts", "60",
+            "--store", store, "--tag", "production",
+        ])
+        assert code == 0
+        assert "artifact" in capsys.readouterr().out
+
+        code = main([
+            "scan", "--batch", "random-phishing", "--contracts", "60",
+            "--store", store, "--model-tag", "production",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "model=Logistic Regression" in out
+
+        code = main(["models", "--store", store, "list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "production" in out and "Logistic Regression" in out
+
+    def test_monitor_from_artifact(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main([
+            "train", "--model", "Logistic Regression", "--contracts", "60",
+            "--store", store,
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "monitor", "--contracts", "60", "--store", store,
+            "--model-tag", "latest", "--shards", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out and "latency" in out
+
+    def test_monitor_without_model_refuses(self, capsys):
+        code = main(["monitor", "--contracts", "60"])
+        assert code == 2
+        assert "phishinghook train" in capsys.readouterr().err
+
+    def test_train_out_rejects_tag(self, capsys, tmp_path):
+        # --tag would be silently lost with --out; refuse instead.
+        code = main([
+            "train", "--model", "k-NN", "--contracts", "60",
+            "--out", str(tmp_path / "m.npz"), "--tag", "production",
+        ])
+        assert code == 2
+        assert "--out" in capsys.readouterr().err
 
     def test_attack(self, capsys):
         code = main([

@@ -117,6 +117,49 @@ class TestLRU:
         cache.clear()
         assert len(cache) == 0
 
+    def test_put_reestablishes_bound_after_runtime_shrink(self):
+        """Regression: lowering ``max_entries`` on a live cache (hot-swap
+        reconfiguration) must not leave the store over-bound — a single
+        ``if``-pop per put would drain the excess one entry per insert."""
+        cache = FeatureCache(max_entries=10)
+        for value in range(10):
+            cache.mnemonic_ids(bytes([value]))
+        assert len(cache) == 10
+        cache.max_entries = 3  # shrunk at runtime, store still holds 10
+        cache.mnemonic_ids(bytes([200]))
+        assert len(cache) == 3  # one put re-established the whole bound
+        # The survivors are exactly the most recent entries.
+        hit, __ = cache.lookup("ids", bytecode_digest(bytes([200])))
+        assert hit
+        hit, __ = cache.lookup("ids", bytecode_digest(bytes([0])))
+        assert not hit
+
+    def test_resize_evicts_immediately_and_counts(self):
+        cache = FeatureCache(max_entries=8)
+        for value in range(8):
+            cache.mnemonic_ids(bytes([value]))
+        evicted = cache.resize(2)
+        assert evicted == 6
+        assert len(cache) == 2
+        assert cache.max_entries == 2
+        assert cache.stats.evictions == 6
+        with pytest.raises(ValueError):
+            cache.resize(0)
+
+
+class TestInvalidateNamespace:
+    def test_invalidate_targets_one_namespace(self):
+        cache = FeatureCache()
+        cache.mnemonic_ids(PROLOGUE)
+        cache.put("pred:A", bytecode_digest(b"\x00"), 0.25)
+        cache.put("pred:A", bytecode_digest(b"\x01"), 0.75)
+        cache.put("pred:B", bytecode_digest(b"\x00"), 0.5)
+        assert cache.invalidate_namespace("pred:A") == 2
+        assert len(cache) == 2  # ids + pred:B untouched
+        hit, __ = cache.lookup("pred:B", bytecode_digest(b"\x00"))
+        assert hit
+        assert cache.invalidate_namespace("pred:A") == 0
+
 
 class TestWarmAndAttach:
     def test_warm_counts_unique_bytecodes(self):
