@@ -5,19 +5,37 @@ The paper's pipeline is train-once/score-forever; this package makes the
 artifact (arrays + JSON manifest with hyperparameters, dataset
 fingerprint, metrics, and integrity digests), and a
 :class:`~repro.artifacts.store.ModelStore` files artifacts under their
-content digest with mutable tags (``production``, ``latest``) — the
+content digest with mutable tags (``production``, ``candidate``) — the
 incremental-reuse discipline of the QBF-solving literature applied to
 model state: every serving process starts from the same persisted bytes
 instead of re-deriving them.
 
+Where those bytes live is pluggable: the store's policy layer sits on a
+:class:`~repro.artifacts.backends.StoreBackend` — the classic local
+directory (``file://``, bit-compatible with pre-backend stores) or an
+S3-style object bucket (``memory://`` / ``bucket://``, ETag-verified on
+every read) — so sharded serving boxes resolve ``production`` without a
+shared mount. See ``docs/model-store.md`` for the format and URL-scheme
+reference, and :mod:`repro.rollout` for the shadow-validation discipline
+that moves the ``production`` tag.
+
 Entry points:
 
 * :func:`save_artifact` / :func:`load_artifact` — one model ⇄ one file,
-* :class:`ModelStore` — versions, tags, export/import, GC,
+* :class:`ModelStore` / :meth:`ModelStore.from_url` — versions, tags,
+  export/import, GC over any backend,
 * ``ScanService.from_artifact`` / ``StreamScanner.from_artifact`` — cold
   starts from an artifact (see :mod:`repro.serve` / :mod:`repro.stream`).
 """
 
+from repro.artifacts.backends import (
+    DiskBucket,
+    LocalFSBackend,
+    MemoryBucket,
+    ObjectStoreBackend,
+    StoreBackend,
+    backend_from_url,
+)
 from repro.artifacts.errors import (
     ArtifactError,
     CorruptArtifactError,
@@ -55,4 +73,10 @@ __all__ = [
     "read_manifest",
     "ModelStore",
     "default_store_root",
+    "StoreBackend",
+    "LocalFSBackend",
+    "ObjectStoreBackend",
+    "MemoryBucket",
+    "DiskBucket",
+    "backend_from_url",
 ]

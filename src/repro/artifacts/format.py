@@ -22,6 +22,16 @@ Loading never trusts the file: zip/JSON damage raises
 :class:`SchemaVersionError`, and a caller-supplied expected dataset
 fingerprint raises :class:`FingerprintMismatchError` on divergence —
 garbage never becomes a model.
+
+Invariants consumers rely on: a written artifact is immutable (stores
+and backends file it under its digest and never rewrite it); ``save →
+load`` is bit-identical for every registry model's ``predict_proba``
+(asserted in CI, cross-process); and :func:`save_artifact` /
+:func:`load_artifact` share no module state, so concurrent saves/loads
+of different paths need no coordination. The transport layers above —
+:class:`~repro.artifacts.store.ModelStore` and its backends — add
+content addressing and ETag checks on top of, never instead of, the
+per-array digests here.
 """
 
 from __future__ import annotations

@@ -1,30 +1,49 @@
 """Content-addressed model store: versions, tags, export/import, GC.
 
-Filesystem layout (git-object style, flat)::
+Logical layout (keys into a :class:`~repro.artifacts.backends.StoreBackend`)::
 
-    <root>/
-      objects/<digest>.npz    # immutable artifact per version
-      tags.json               # {"production": "<digest>", "latest": ...}
+    objects/<digest>.npz    # immutable artifact per version
+    tags.json               # {"production": "<digest>", "latest": ...}
 
 A *version* is the artifact's content digest (see
 :func:`~repro.artifacts.format.artifact_digest`): saving a bit-identical
 fitted model twice lands on the same object, so a store deduplicates
 retrains for free. *Tags* are mutable names over versions — the rollout
-discipline is "train → ``put(tags=("candidate",))`` → validate → ``tag
-('production', version)``" with serving processes resolving
-``production`` at (re)load time. Tag updates are atomic (write + rename),
-so a reader never observes a half-written table.
+discipline is "train → ``put(tags=("candidate",))`` → shadow-validate
+(:mod:`repro.rollout`) → ``tag('production', version)``" with serving
+processes resolving ``production`` at (re)load time. Tag updates are
+atomic, so a reader never observes a half-written table.
+
+Where the keys live is the backend's business: the default
+:class:`~repro.artifacts.backends.LocalFSBackend` keeps the original
+directory layout bit-for-bit (pre-backend stores read unchanged), and
+:meth:`ModelStore.from_url` opens the same store API over
+``memory://`` / ``bucket://`` object-store emulations — sharded serving
+boxes pull ``production`` without a shared mount. Object-backend reads
+spool artifacts through a per-store local cache (immutable digest-named
+files), so ``np.load`` always sees a real file and repeated loads of one
+version fetch it once.
+
+Thread-safety: tag read-modify-write cycles run under the backend's
+:meth:`~repro.artifacts.backends.StoreBackend.lock` (a cross-process
+``fcntl`` lock on local filesystems, an in-process mutex on object
+buckets); object writes are atomic per key; concurrent readers never
+need coordination because objects are immutable once written.
 """
 
 from __future__ import annotations
 
-import contextlib
 import json
 import os
 import pathlib
 import shutil
 import tempfile
 
+from repro.artifacts.backends import (
+    LocalFSBackend,
+    StoreBackend,
+    backend_from_url,
+)
 from repro.artifacts.errors import (
     CorruptArtifactError,
     IntegrityError,
@@ -43,24 +62,53 @@ __all__ = ["ModelStore", "default_store_root"]
 STORE_ENV = "PHOOK_MODEL_STORE"
 _DEFAULT_ROOT = "phook-models"
 _MIN_PREFIX = 6
+_TAGS_KEY = "tags.json"
+_OBJECT_PREFIX = "objects/"
 
 
-def default_store_root() -> pathlib.Path:
-    """``$PHOOK_MODEL_STORE`` or ``./phook-models``."""
-    return pathlib.Path(os.environ.get(STORE_ENV) or _DEFAULT_ROOT)
+def default_store_root() -> str:
+    """``$PHOOK_MODEL_STORE`` or ``./phook-models`` (path or store URL)."""
+    return os.environ.get(STORE_ENV) or _DEFAULT_ROOT
 
 
 class ModelStore:
-    """A directory of versioned, tagged model artifacts.
+    """Versioned, tagged model artifacts over a pluggable backend.
 
     Args:
-        root: Store directory (created on first write).
+        root: Store directory (created on first write). Ignored when
+            ``backend`` is given.
+        backend: Any :class:`~repro.artifacts.backends.StoreBackend`;
+            defaults to a :class:`LocalFSBackend` at ``root``.
+
+    ``ModelStore(path)`` keeps the historical behaviour exactly;
+    :meth:`from_url` resolves ``file://`` / ``memory://`` / ``bucket://``
+    locations (and bare paths) to the right backend.
     """
 
-    def __init__(self, root: str | pathlib.Path | None = None):
-        self.root = pathlib.Path(root) if root is not None else default_store_root()
-        self.objects = self.root / "objects"
-        self._tags_path = self.root / "tags.json"
+    def __init__(
+        self,
+        root: str | pathlib.Path | None = None,
+        *,
+        backend: StoreBackend | None = None,
+    ):
+        if backend is None:
+            location = default_store_root() if root is None else root
+            backend = backend_from_url(location)
+        self.backend = backend
+        # ``root`` stays a Path for local stores (messages, tooling);
+        # object stores surface their URL instead.
+        self.root = (
+            backend.root if isinstance(backend, LocalFSBackend)
+            else backend.url
+        )
+        self._spool_dir: tempfile.TemporaryDirectory | None = None
+
+    @classmethod
+    def from_url(cls, url: str | os.PathLike | None = None) -> "ModelStore":
+        """Open a store at a location string (path or backend URL)."""
+        return cls(backend=backend_from_url(
+            default_store_root() if url in (None, "") else url
+        ))
 
     # ------------------------------------------------------------------ #
     # Writing
@@ -78,18 +126,14 @@ class ModelStore:
     ) -> str:
         """Save a fitted model; returns its version (content digest).
 
-        The artifact is written to a temporary file and renamed into
-        ``objects/`` under its digest — concurrent writers of the same
-        content converge on one object, and a crash never leaves a
-        half-written version behind.
+        The artifact is serialized to a scratch file and handed to the
+        backend as one atomic blob install (``put_path(consume=True)``:
+        a rename on the local backend, never a whole-blob RAM copy) —
+        concurrent writers of the same content converge on one object,
+        and a crash never leaves a half-written version visible.
         """
-        self.objects.mkdir(parents=True, exist_ok=True)
-        handle, temp_name = tempfile.mkstemp(
-            suffix=".npz", dir=self.objects, prefix=".tmp-"
-        )
-        os.close(handle)
-        temp_path = pathlib.Path(temp_name)
-        try:
+        with tempfile.TemporaryDirectory(prefix="phook-put-") as scratch:
+            temp_path = pathlib.Path(scratch) / "artifact.npz"
             info = save_artifact(
                 model,
                 temp_path,
@@ -98,9 +142,9 @@ class ModelStore:
                 metrics=metrics,
                 extra=extra,
             )
-            os.replace(temp_path, self._object_path(info.digest))
-        finally:
-            temp_path.unlink(missing_ok=True)
+            self.backend.put_path(
+                self._object_key(info.digest), temp_path, consume=True
+            )
         for name in tags:
             self.tag(name, info.digest)
         return info.digest
@@ -108,15 +152,15 @@ class ModelStore:
     def tag(self, name: str, ref: str) -> str:
         """Point tag ``name`` at a version (or another tag); atomic.
 
-        The read-modify-write of the tag table runs under an exclusive
-        file lock, so concurrent writers (a trainer tagging ``candidate``
-        while an operator retags ``production``) cannot lose each
-        other's updates.
+        The read-modify-write of the tag table runs under the backend's
+        exclusive lock, so concurrent writers (a trainer tagging
+        ``candidate`` while a rollout retags ``production``) cannot lose
+        each other's updates.
         """
         if not name or "/" in name or name.startswith("."):
             raise ValueError(f"invalid tag name {name!r}")
         version = self.resolve(ref)
-        with self._tag_table_lock():
+        with self.backend.lock():
             tags = self.tags()
             tags[name] = version
             self._write_tags(tags)
@@ -124,7 +168,7 @@ class ModelStore:
 
     def untag(self, name: str) -> bool:
         """Remove a tag; returns whether it existed."""
-        with self._tag_table_lock():
+        with self.backend.lock():
             tags = self.tags()
             existed = tags.pop(name, None) is not None
             if existed:
@@ -138,25 +182,31 @@ class ModelStore:
     def tags(self) -> dict[str, str]:
         """Current tag table (name → version)."""
         try:
-            with open(self._tags_path, encoding="utf-8") as handle:
-                table = json.load(handle)
-        except FileNotFoundError:
+            raw = self.backend.get(_TAGS_KEY)
+        except KeyError:
             return {}
-        except (OSError, json.JSONDecodeError) as error:
+        except (OSError, IntegrityError) as error:
+            # Surface an unreadable or damaged tag table as the
+            # store-level typed error every caller already handles.
             raise CorruptArtifactError(
-                f"unreadable tag table {self._tags_path}: {error}"
+                f"unreadable tag table in {self.backend.url}: {error}"
+            ) from error
+        try:
+            table = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise CorruptArtifactError(
+                f"unreadable tag table in {self.backend.url}: {error}"
             ) from error
         return {str(k): str(v) for k, v in table.items()}
 
     def versions(self) -> list[str]:
         """Every stored version digest (sorted)."""
-        if not self.objects.is_dir():
-            return []
-        return sorted(
-            path.stem
-            for path in self.objects.glob("*.npz")
-            if not path.name.startswith(".")
-        )
+        versions = []
+        for key in self.backend.list(_OBJECT_PREFIX):
+            name = key[len(_OBJECT_PREFIX):]
+            if name.endswith(".npz") and "/" not in name:
+                versions.append(name[: -len(".npz")])
+        return sorted(versions)
 
     def resolve(self, ref: str) -> str:
         """Tag name, full digest, or unique digest prefix → version."""
@@ -180,8 +230,33 @@ class ModelStore:
         )
 
     def path_of(self, ref: str) -> pathlib.Path:
-        """Filesystem path of the artifact behind a tag/version/prefix."""
-        return self._object_path(self.resolve(ref))
+        """Local filesystem path of the artifact behind a tag/version.
+
+        Direct for path-addressable backends; object backends spool the
+        blob (ETag-verified by the backend's ``get``) into a per-store
+        cache of immutable digest-named files.
+        """
+        version = self.resolve(ref)
+        key = self._object_key(version)
+        direct = self.backend.local_path(key)
+        if direct is not None:
+            return direct
+        if self._spool_dir is None:
+            self._spool_dir = tempfile.TemporaryDirectory(
+                prefix="phook-store-spool-"
+            )
+        spooled = pathlib.Path(self._spool_dir.name) / f"{version}.npz"
+        if not spooled.is_file():
+            try:
+                data = self.backend.get(key)
+            except KeyError:
+                raise UnknownVersionError(
+                    f"version {version!r} vanished from {self.backend.url}"
+                ) from None
+            temp = spooled.with_name(f".tmp-{spooled.name}")
+            temp.write_bytes(data)
+            os.replace(temp, spooled)
+        return spooled
 
     def load(self, ref: str, *, expected_fingerprint: str | None = None):
         """Load ``(model, manifest)`` for a tag/version/prefix."""
@@ -199,8 +274,7 @@ class ModelStore:
             by_version.setdefault(version, []).append(name)
         rows = []
         for version in self.versions():
-            path = self._object_path(version)
-            manifest = read_manifest(path)
+            manifest = read_manifest(self.path_of(version))
             rows.append(
                 {
                     "version": version,
@@ -208,7 +282,7 @@ class ModelStore:
                     "dataset_fingerprint": manifest.get("dataset_fingerprint"),
                     "metrics": manifest.get("metrics"),
                     "created_at": manifest.get("created_at"),
-                    "size_bytes": path.stat().st_size,
+                    "size_bytes": self.backend.size(self._object_key(version)),
                     "tags": sorted(by_version.get(version, [])),
                 }
             )
@@ -247,19 +321,8 @@ class ModelStore:
         # Full load exercises the per-array digests too (and proves the
         # model actually reconstructs) before the object is admitted.
         load_artifact(source)
-        self.objects.mkdir(parents=True, exist_ok=True)
-        # Same tmp + rename discipline as put(): a crash mid-copy must
-        # never leave a truncated object under a valid digest name.
-        handle, temp_name = tempfile.mkstemp(
-            suffix=".npz", dir=self.objects, prefix=".tmp-"
-        )
-        os.close(handle)
-        temp_path = pathlib.Path(temp_name)
-        try:
-            shutil.copyfile(source, temp_path)
-            os.replace(temp_path, self._object_path(digest))
-        finally:
-            temp_path.unlink(missing_ok=True)
+        # consume=False: the caller's file must survive the import.
+        self.backend.put_path(self._object_key(digest), source)
         for name in tags:
             self.tag(name, digest)
         return digest
@@ -270,42 +333,21 @@ class ModelStore:
         removed = []
         for version in self.versions():
             if version not in keep:
-                self._object_path(version).unlink()
+                self.backend.delete(self._object_key(version))
                 removed.append(version)
         return removed
 
     # ------------------------------------------------------------------ #
 
-    def _object_path(self, version: str) -> pathlib.Path:
-        return self.objects / f"{version}.npz"
-
-    @contextlib.contextmanager
-    def _tag_table_lock(self):
-        """Exclusive advisory lock over the tag table (cross-process)."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        with open(self.root / ".tags.lock", "a+") as handle:
-            try:
-                import fcntl
-            except ImportError:  # non-POSIX: best-effort, no lock
-                yield
-                return
-            fcntl.flock(handle, fcntl.LOCK_EX)
-            try:
-                yield
-            finally:
-                fcntl.flock(handle, fcntl.LOCK_UN)
+    @staticmethod
+    def _object_key(version: str) -> str:
+        return f"{_OBJECT_PREFIX}{version}.npz"
 
     def _write_tags(self, tags: dict[str, str]) -> None:
-        self.root.mkdir(parents=True, exist_ok=True)
-        handle, temp_name = tempfile.mkstemp(
-            suffix=".json", dir=self.root, prefix=".tags-"
+        self.backend.put(
+            _TAGS_KEY,
+            json.dumps(tags, indent=2, sort_keys=True).encode("utf-8"),
         )
-        try:
-            with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                json.dump(tags, stream, indent=2, sort_keys=True)
-            os.replace(temp_name, self._tags_path)
-        finally:
-            pathlib.Path(temp_name).unlink(missing_ok=True)
 
     def __len__(self) -> int:
         return len(self.versions())

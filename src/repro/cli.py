@@ -14,6 +14,10 @@ Commands:
   ``ScanService`` (see :mod:`repro.serve`),
 * ``models`` — inspect and manage the artifact store
   (``list``/``export``/``import``/``tag``/``gc``),
+* ``rollout`` — shadow-validate a ``candidate`` artifact against
+  ``production`` on live stream traffic and promote on metric parity
+  (``start``/``status``/``promote``/``abort``; see :mod:`repro.rollout`
+  and ``docs/operations.md``),
 * ``disasm`` — disassemble a hex bytecode string to the BDM's CSV rows,
 * ``dataset`` — build a corpus and print Fig. 2-style monthly counts,
 * ``monitor`` — replay a synthetic campaign through the event-driven
@@ -66,7 +70,9 @@ def _cmd_demo(args) -> int:
 def _store_from(args):
     from repro.artifacts import ModelStore
 
-    return ModelStore(args.store) if getattr(args, "store", None) else ModelStore()
+    # from_url accepts bare paths and file:// / memory:// / bucket://
+    # URLs alike, and falls back to $PHOOK_MODEL_STORE / ./phook-models.
+    return ModelStore.from_url(getattr(args, "store", None) or None)
 
 
 def _artifact_source(args):
@@ -188,6 +194,144 @@ def _cmd_models(args) -> int:
         print(f"removed {len(removed)} untagged version(s)")
         return 0
     raise AssertionError(f"unknown models command {args.models_command!r}")
+
+
+def _print_rollout_record(record: dict) -> None:
+    comparison = record.get("comparison") or {}
+    print(f"state      {record.get('state')}")
+    print(f"candidate  {(record.get('candidate_version') or '?')[:16]} "
+          f"({record.get('candidate_name') or '?'})")
+    print(f"production {(record.get('production_version') or '?')[:16]} "
+          f"[tag {record.get('production_tag', 'production')}]")
+    if comparison.get("events"):
+        print(f"evidence   {comparison['events']} events over "
+              f"{comparison['batches']} shard batches: "
+              f"agreement {comparison['agreement_rate']:.4f}, "
+              f"mean divergence {comparison['mean_divergence']:.4f} "
+              f"(max {comparison['max_divergence']:.4f})")
+        print(f"disagree   production-only {comparison['production_only']}, "
+              f"candidate-only {comparison['candidate_only']}")
+        print(f"overhead   shadow scoring added "
+              f"{comparison['latency_overhead']:.2f}x of primary "
+              f"scoring time")
+    print(f"decision   {record.get('decision')}: {record.get('reason')}")
+
+
+def _cmd_rollout(args) -> int:
+    import json
+
+    from repro.rollout import (
+        ManualHoldPolicy,
+        MetricParityPolicy,
+        ShadowComparison,
+        ShadowRollout,
+        load_rollout_state,
+        save_rollout_state,
+    )
+
+    store = _store_from(args)
+    if args.rollout_command == "start":
+        from repro.stream import StreamScanner, TimelineReplayer
+
+        policy = (
+            ManualHoldPolicy() if args.policy == "manual"
+            else MetricParityPolicy(
+                min_events=args.min_events,
+                promote_agreement=args.promote_agreement,
+                abort_agreement=args.abort_agreement,
+                max_mean_divergence=args.max_divergence,
+            )
+        )
+        corpus = build_corpus(
+            CorpusConfig(n_phishing=args.contracts // 2,
+                         n_benign=args.contracts // 2, seed=args.seed)
+        )
+        scanner = StreamScanner.from_artifact(
+            args.production, store=store, shards=args.shards,
+            max_batch=args.batch_size, threshold=args.threshold,
+        )
+        # A still-shadowing record for the same candidate/production
+        # pair resumes its accumulated evidence ("rerun with more
+        # traffic"); anything else starts a fresh rollout.
+        previous = load_rollout_state(store)
+        resumed = None
+        if (
+            previous
+            and previous.get("state") == "shadowing"
+            and previous.get("candidate_version")
+                == store.resolve(args.candidate)
+            and previous.get("production_version")
+                == store.resolve(args.production)
+        ):
+            resumed = ShadowComparison.from_dict(
+                previous.get("comparison") or {}
+            )
+        rollout = ShadowRollout(
+            scanner, args.candidate, store=store, policy=policy,
+            production_tag=args.production, comparison=resumed,
+        )
+        if resumed is not None and resumed.events:
+            print(f"resuming shadow evidence: {resumed.events} events "
+                  "from the previous run")
+        report = TimelineReplayer(scanner).replay_chain(corpus.chain)
+        scanner.close()
+        record = save_rollout_state(store, rollout.status())
+        print(f"shadow-scored {report.scanned} deployments in "
+              f"{report.duration_seconds:.3f}s "
+              f"({args.shards} shard(s), {report.batches} micro-batches, "
+              f"{report.dropped} dropped)")
+        _print_rollout_record(record)
+        if rollout.state == "promoted":
+            print(f"promoted: tag '{args.production}' -> "
+                  f"{rollout.candidate_version[:16]}; every shard swapped "
+                  f"with zero dropped batches")
+        elif rollout.state == "aborted":
+            print("aborted: production serving untouched")
+        else:
+            print("holding: rerun with more traffic, or decide with "
+                  "'phishinghook rollout promote|abort'")
+        return 0
+
+    record = load_rollout_state(store)
+    if record is None:
+        print(f"no rollout recorded in {store.root} "
+              "(run 'phishinghook rollout start')", file=sys.stderr)
+        return 1
+    if args.rollout_command == "status":
+        if args.json:
+            print(json.dumps(record, indent=2, sort_keys=True))
+        else:
+            _print_rollout_record(record)
+        return 0
+    if args.rollout_command in ("promote", "abort"):
+        if record.get("state") != "shadowing":
+            print(f"error: rollout already {record.get('state')}; "
+                  "start a new one", file=sys.stderr)
+            return 2
+        if args.rollout_command == "promote":
+            version = record.get("candidate_version")
+            if not version:
+                print("error: rollout record has no candidate version",
+                      file=sys.stderr)
+                return 2
+            tag = record.get("production_tag", "production")
+            store.tag(tag, version)
+            record["state"] = "promoted"
+            record["decision"] = "promote"
+            record["reason"] = "operator promotion"
+            save_rollout_state(store, record)
+            print(f"{tag} -> {version[:16]} (serving processes pick up "
+                  "the new version at next load/swap)")
+        else:
+            record["state"] = "aborted"
+            record["decision"] = "abort"
+            record["reason"] = "operator abort"
+            save_rollout_state(store, record)
+            print("rollout aborted; production tag untouched")
+        return 0
+    raise AssertionError(
+        f"unknown rollout command {args.rollout_command!r}"
+    )
 
 
 def _cmd_scan(args) -> int:
@@ -453,8 +597,9 @@ def build_parser() -> argparse.ArgumentParser:
         )
         parser.add_argument(
             "--store", default="",
-            help="model store directory (default: $PHOOK_MODEL_STORE "
-                 "or ./phook-models)",
+            help="model store path or URL (file://, memory://, "
+                 "bucket://; default: $PHOOK_MODEL_STORE or "
+                 "./phook-models)",
         )
         parser.add_argument(
             "--train-on-the-fly", action="store_true",
@@ -480,8 +625,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     train.add_argument(
         "--store", default="",
-        help="model store directory (default: $PHOOK_MODEL_STORE "
-             "or ./phook-models)",
+        help="model store path or URL (file://, memory://, bucket://; "
+             "default: $PHOOK_MODEL_STORE or ./phook-models)",
     )
     train.add_argument(
         "--tag", action="append", default=[],
@@ -495,8 +640,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     models.add_argument(
         "--store", default="",
-        help="model store directory (default: $PHOOK_MODEL_STORE "
-             "or ./phook-models)",
+        help="model store path or URL (file://, memory://, bucket://; "
+             "default: $PHOOK_MODEL_STORE or ./phook-models)",
     )
     models_sub = models.add_subparsers(dest="models_command", required=True)
     models_list = models_sub.add_parser("list", help="list stored versions")
@@ -517,6 +662,73 @@ def build_parser() -> argparse.ArgumentParser:
     models_tag.add_argument("ref", help="tag, version, or version prefix")
     models_sub.add_parser("gc", help="delete untagged versions")
     models.set_defaults(func=_cmd_models)
+
+    rollout = sub.add_parser(
+        "rollout",
+        help="shadow-validate a candidate model against production",
+    )
+    rollout.add_argument(
+        "--store", default="",
+        help="model store path or URL (file://, memory://, bucket://; "
+             "default: $PHOOK_MODEL_STORE or ./phook-models)",
+    )
+    rollout_sub = rollout.add_subparsers(dest="rollout_command",
+                                         required=True)
+    rollout_start = rollout_sub.add_parser(
+        "start",
+        help="shadow-score the candidate on replayed stream traffic "
+             "and apply the rollout policy",
+    )
+    rollout_start.add_argument(
+        "--candidate", default="candidate",
+        help="store tag/version of the model under validation",
+    )
+    rollout_start.add_argument(
+        "--production", default="production",
+        help="store tag serving production (repointed on promotion)",
+    )
+    rollout_start.add_argument("--contracts", type=int, default=200)
+    rollout_start.add_argument("--seed", type=int, default=0)
+    rollout_start.add_argument("--shards", type=int, default=2,
+                               help="sharded scan workers")
+    rollout_start.add_argument("--batch-size", type=int, default=16,
+                               help="micro-batch flush threshold")
+    rollout_start.add_argument("--threshold", type=float, default=0.5)
+    rollout_start.add_argument(
+        "--policy", default="parity", choices=("parity", "manual"),
+        help="parity: promote/abort automatically on the thresholds "
+             "below; manual: only accumulate evidence, decide with "
+             "'rollout promote|abort'",
+    )
+    rollout_start.add_argument(
+        "--min-events", type=int, default=100,
+        help="evidence floor before the parity policy may decide",
+    )
+    rollout_start.add_argument(
+        "--promote-agreement", type=float, default=0.98,
+        help="verdict agreement rate required to promote",
+    )
+    rollout_start.add_argument(
+        "--abort-agreement", type=float, default=0.90,
+        help="agreement rate below which the candidate is aborted",
+    )
+    rollout_start.add_argument(
+        "--max-divergence", type=float, default=0.05,
+        help="maximum mean |p_prod - p_cand| allowed for promotion",
+    )
+    rollout_status = rollout_sub.add_parser(
+        "status", help="print the recorded rollout state"
+    )
+    rollout_status.add_argument("--json", action="store_true",
+                                help="machine-readable output")
+    rollout_sub.add_parser(
+        "promote",
+        help="manually repoint the production tag at the candidate",
+    )
+    rollout_sub.add_parser(
+        "abort", help="manually end the rollout, production untouched"
+    )
+    rollout.set_defaults(func=_cmd_rollout)
 
     scan = sub.add_parser("scan", help="classify contract addresses")
     scan.add_argument(

@@ -1,0 +1,156 @@
+"""Rollout policies: turn a live comparison into promote / abort / hold.
+
+The safety rule is written down as code, not tribal knowledge: a policy
+looks only at the :class:`~repro.rollout.compare.ShadowComparison` — the
+accumulated evidence from identical live traffic — and returns one of
+three actions with its reason. Policies are deliberately deterministic
+and side-effect free; :class:`~repro.rollout.shadow.ShadowRollout` owns
+acting on the decision (retag + swap, or detach).
+
+Provided policies:
+
+* :class:`MetricParityPolicy` — the automated discipline: no verdict
+  before ``min_events`` of traffic; *abort* the moment agreement falls
+  below the regression floor; *promote* once agreement and mean score
+  divergence are inside the parity band; hold otherwise.
+* :class:`ManualHoldPolicy` — never decides; an operator promotes or
+  aborts explicitly (``phishinghook rollout promote|abort``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rollout.compare import ShadowComparison
+
+__all__ = [
+    "HOLD",
+    "PROMOTE",
+    "ABORT",
+    "Decision",
+    "RolloutPolicy",
+    "MetricParityPolicy",
+    "ManualHoldPolicy",
+]
+
+#: The three possible policy actions.
+HOLD = "hold"
+PROMOTE = "promote"
+ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One policy verdict: what to do and why."""
+
+    action: str
+    reason: str
+
+    def __bool__(self) -> bool:
+        """True when the decision requires acting (not a hold)."""
+        return self.action != HOLD
+
+
+class RolloutPolicy:
+    """Base class: implement :meth:`decide` over a comparison."""
+
+    def decide(self, comparison: ShadowComparison) -> Decision:
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """JSON-ready parameters (recorded in the rollout state)."""
+        return {"policy": type(self).__name__}
+
+
+class ManualHoldPolicy(RolloutPolicy):
+    """Accumulate evidence forever; a human pulls the trigger."""
+
+    def decide(self, comparison: ShadowComparison) -> Decision:
+        return Decision(
+            HOLD,
+            f"manual policy: {comparison.events} events observed, "
+            "awaiting operator promote/abort",
+        )
+
+
+class MetricParityPolicy(RolloutPolicy):
+    """Promote on metric parity, abort on regression, hold in between.
+
+    Args:
+        min_events: Evidence floor — no verdict (either way) before this
+            many events have been shadow-scored; small-sample noise must
+            not promote *or* abort.
+        promote_agreement: Verdict agreement rate at or above which the
+            candidate is parity (given divergence also passes).
+        abort_agreement: Agreement rate below which the candidate is a
+            regression — abort immediately once the evidence floor is
+            met.
+        max_mean_divergence: Mean ``|p_prod − p_cand|`` allowed for a
+            promotion; catches probability drift that has not (yet)
+            crossed the verdict threshold.
+    """
+
+    def __init__(
+        self,
+        *,
+        min_events: int = 200,
+        promote_agreement: float = 0.98,
+        abort_agreement: float = 0.90,
+        max_mean_divergence: float = 0.05,
+    ):
+        if min_events < 1:
+            raise ValueError("min_events must be positive")
+        if not 0.0 <= abort_agreement <= promote_agreement <= 1.0:
+            raise ValueError(
+                "need 0 <= abort_agreement <= promote_agreement <= 1"
+            )
+        if max_mean_divergence < 0.0:
+            raise ValueError("max_mean_divergence must be non-negative")
+        self.min_events = min_events
+        self.promote_agreement = promote_agreement
+        self.abort_agreement = abort_agreement
+        self.max_mean_divergence = max_mean_divergence
+
+    def decide(self, comparison: ShadowComparison) -> Decision:
+        if comparison.events < self.min_events:
+            return Decision(
+                HOLD,
+                f"insufficient traffic: {comparison.events}/"
+                f"{self.min_events} events",
+            )
+        agreement = comparison.agreement_rate
+        if agreement < self.abort_agreement:
+            return Decision(
+                ABORT,
+                f"regression: agreement {agreement:.4f} < abort floor "
+                f"{self.abort_agreement:.4f} "
+                f"({comparison.production_only} lost alerts, "
+                f"{comparison.candidate_only} new flags over "
+                f"{comparison.events} events)",
+            )
+        divergence = comparison.mean_divergence
+        if (agreement >= self.promote_agreement
+                and divergence <= self.max_mean_divergence):
+            return Decision(
+                PROMOTE,
+                f"metric parity: agreement {agreement:.4f} >= "
+                f"{self.promote_agreement:.4f}, mean divergence "
+                f"{divergence:.4f} <= {self.max_mean_divergence:.4f} "
+                f"over {comparison.events} events",
+            )
+        return Decision(
+            HOLD,
+            f"inside the gray band: agreement {agreement:.4f}, "
+            f"mean divergence {divergence:.4f} "
+            f"(promote needs >= {self.promote_agreement:.4f} and "
+            f"<= {self.max_mean_divergence:.4f})",
+        )
+
+    def describe(self) -> dict:
+        return {
+            "policy": type(self).__name__,
+            "min_events": self.min_events,
+            "promote_agreement": self.promote_agreement,
+            "abort_agreement": self.abort_agreement,
+            "max_mean_divergence": self.max_mean_divergence,
+        }

@@ -1,0 +1,54 @@
+"""Persisted rollout record: the store remembers the rollout in flight.
+
+``phishinghook rollout`` is a sequence of one-shot processes (``start``,
+``status``, ``promote``, ``abort``), so the record of *which* candidate
+is being validated against *which* production — and the evidence
+gathered so far — lives next to the artifacts themselves, under the
+``rollout.json`` key of the store's backend. Any box that can resolve
+the store (local directory or object bucket) can read the rollout state;
+that is the same property that lets sharded serving boxes resolve the
+``production`` tag.
+
+The record is exactly :meth:`ShadowRollout.status` output plus an
+``updated_at`` stamp; nothing here interprets it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+__all__ = [
+    "ROLLOUT_KEY",
+    "save_rollout_state",
+    "load_rollout_state",
+    "clear_rollout_state",
+]
+
+#: Backend key the rollout record lives under (beside ``tags.json``).
+ROLLOUT_KEY = "rollout.json"
+
+
+def save_rollout_state(store, state: dict) -> dict:
+    """Write the rollout record into the store; returns it stamped."""
+    record = dict(state)
+    record["updated_at"] = time.time()
+    store.backend.put(
+        ROLLOUT_KEY,
+        json.dumps(record, indent=2, sort_keys=True).encode("utf-8"),
+    )
+    return record
+
+
+def load_rollout_state(store) -> dict | None:
+    """The current rollout record, or ``None`` when no rollout exists."""
+    try:
+        raw = store.backend.get(ROLLOUT_KEY)
+    except KeyError:
+        return None
+    return json.loads(raw.decode("utf-8"))
+
+
+def clear_rollout_state(store) -> bool:
+    """Delete the rollout record; returns whether one existed."""
+    return store.backend.delete(ROLLOUT_KEY)

@@ -30,6 +30,15 @@ batch always scores and caches under a *consistent* pair — a swap never
 drops or mis-scores it — and the swap invalidates only the outgoing
 model's prediction namespace in the shared :class:`FeatureCache`,
 leaving decoded-feature namespaces warm for the incoming version.
+
+Thread-safety: ``scan_bytecodes`` may run concurrently with
+``swap_model`` / ``swap_from_artifact`` (the single-tuple snapshot is
+the synchronization point, and the shared :class:`FeatureCache` locks
+internally); per-service counters (``scanned``, ``swaps``) are
+best-effort under concurrency — use :meth:`sharded` views for per-worker
+accounting. The shadow-rollout subsystem (:mod:`repro.rollout`) builds
+directly on these semantics: candidate services share the cache, and a
+promotion is one more atomic swap per shard.
 """
 
 from __future__ import annotations

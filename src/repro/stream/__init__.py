@@ -23,6 +23,11 @@ sign within seconds:
   historical campaign through the stream at a configurable rate and
   report events/sec plus p50/p95/p99 end-to-end latency.
 
+Scored shard micro-batches additionally fan out to registered
+*observers* (:meth:`StreamScanner.add_observer`) — the hook
+:mod:`repro.rollout` uses to shadow-score a candidate model on identical
+live traffic and hot-swap every shard on promotion.
+
 Entry points: ``phishinghook monitor`` (CLI),
 :class:`repro.core.live.LiveDetector` (the poll-API adapter over this
 subsystem), and ``benchmarks/bench_stream_latency.py``.

@@ -25,6 +25,19 @@ chooses what happens when a producer outruns the scanner —
 Every stage keeps counters (``scanner.stats``), and per-event end-to-end
 latency (enqueue → scored) feeds the p50/p95/p99 accounting the paper's
 §IV-F latency budget motivates.
+
+Two post-scoring hooks hang off the scanner: *sinks* receive every
+flagged alert (:mod:`repro.stream.sinks`, failure-isolated), and
+*observers* receive every scored shard micro-batch
+(:meth:`StreamScanner.add_observer`) — the seam the shadow-rollout
+subsystem (:mod:`repro.rollout`) attaches to for candidate-vs-production
+validation on identical live traffic.
+
+Thread-safety: one flusher at a time. ``on_event`` / ``tick`` / ``flush``
+mutate the intake queue without locking and must not race each other;
+concurrency lives *below* the scanner (shard workers share one
+internally-locked :class:`~repro.serve.cache.FeatureCache`, and
+:meth:`rollout` swaps are per-worker atomic against in-flight batches).
 """
 
 from __future__ import annotations
@@ -85,6 +98,7 @@ class StreamStats:
     scanned: int = 0
     flagged: int = 0
     batches: int = 0
+    observer_errors: int = 0
     total_latency_seconds: float = 0.0
     _latencies: list = field(default_factory=list, repr=False)
 
@@ -119,6 +133,7 @@ class StreamStats:
             "scanned": self.scanned,
             "flagged": self.flagged,
             "batches": self.batches,
+            "observer_errors": self.observer_errors,
             "mean_latency_seconds": self.mean_latency_seconds,
             "latency_seconds": self.latency_percentiles(),
         }
@@ -198,6 +213,7 @@ class StreamScanner:
         self.flush_deadline_seconds = flush_deadline_seconds
         self.threshold = service.threshold if threshold is None else threshold
         self.sinks = list(sinks)
+        self.observers: list = []
         self.dedup_addresses = dedup_addresses
         self.stats = StreamStats()
         self.shard_stats = [ShardStats(shard=i) for i in range(shards)]
@@ -249,11 +265,14 @@ class StreamScanner:
         namespace: str | None = None,
         model_name: str | None = None,
         expected_fingerprint: str | None = None,
+        artifact_digest: str | None = None,
     ) -> "StreamScanner":
         """Live-roll a new model version across every shard worker.
 
         Loads the new version once (``source`` + ``store`` as in
-        :meth:`from_artifact`, or pass a fitted ``model`` directly), then
+        :meth:`from_artifact`, or pass a fitted ``model`` directly —
+        ``artifact_digest`` then records which version it is, e.g. a
+        shadow rollout promoting a candidate it already loaded), then
         swaps the parent service and each shard. Swaps are per-worker
         atomic — a shard's in-flight micro-batch finishes on the version
         it snapshotted, nothing is dropped — and the outgoing prediction
@@ -262,7 +281,7 @@ class StreamScanner:
         """
         if (source is None) == (model is None):
             raise ValueError("rollout needs an artifact source or a model")
-        digest = None
+        digest = artifact_digest
         if source is not None:
             from repro.serve.service import (
                 _artifact_namespace,
@@ -309,6 +328,34 @@ class StreamScanner:
 
     def add_sink(self, sink) -> None:
         self.sinks.append(sink)
+
+    def add_observer(self, observer) -> None:
+        """Register a scored-batch observer.
+
+        After each shard micro-batch is scored (and its alerts emitted),
+        every observer's ``observe(shard=, events=, results=,
+        elapsed_seconds=)`` runs synchronously with the exact events and
+        :class:`~repro.serve.service.ScanResult` rows the production
+        model produced — the hook :class:`repro.rollout.ShadowRollout`
+        uses to score a candidate on identical live traffic. Observers
+        may swap the serving model from inside the callback (promotion):
+        the shard batch that triggered it is already fully scored and
+        delivered, and later shards of the same flush score on the new
+        version — exactly the per-worker-atomic semantics of
+        :meth:`rollout`. Observers get the same failure isolation as
+        sinks: an exception from ``observe`` is swallowed and counted
+        (``stats.observer_errors``) — production detection never dies
+        for a broken observer.
+        """
+        self.observers.append(observer)
+
+    def remove_observer(self, observer) -> bool:
+        """Detach an observer; returns whether it was registered."""
+        try:
+            self.observers.remove(observer)
+            return True
+        except ValueError:
+            return False
 
     def attach(self, bus):
         """Subscribe this scanner to a bus's contract topic."""
@@ -402,6 +449,7 @@ class StreamScanner:
         alerts: list[StreamAlert] = []
         for shard, events in sorted(by_shard.items()):
             worker = self.workers[shard]
+            shard_started = time.perf_counter()
             results = worker.scan_bytecodes(
                 [e.code for e in events], addresses=[e.address for e in events]
             )
@@ -432,6 +480,20 @@ class StreamScanner:
                 stats.flagged += 1
                 for sink in self.sinks:
                     sink.emit(alert)
+            # Observers run after delivery so a promotion they trigger
+            # can never affect the shard batch that justified it — and,
+            # like sinks, they are failure-isolated: a raising observer
+            # is counted, the remaining shards still score and alert.
+            for observer in list(self.observers):
+                try:
+                    observer.observe(
+                        shard=shard,
+                        events=events,
+                        results=results,
+                        elapsed_seconds=scored_at - shard_started,
+                    )
+                except Exception:
+                    self.stats.observer_errors += 1
         return alerts
 
     # ------------------------------------------------------------------ #

@@ -86,20 +86,29 @@ class MemorySink(AlertSink):
 
 
 class JsonlSink(AlertSink):
-    """Append one JSON object per alert to a file."""
+    """Append one JSON object per alert to a file.
+
+    The file opens lazily on the first delivery, so an unwritable path
+    (missing directory, permission denial) surfaces as counted
+    ``stats.failed`` deliveries — visible per channel in the scanner
+    summary — instead of an exception at construction time that would
+    keep the whole pipeline from starting.
+    """
 
     name = "jsonl"
 
     def __init__(self, path):
         super().__init__()
         self.path = path
-        self._handle = open(path, "a", encoding="utf-8")
+        self._handle = None
 
     def _deliver(self, alert) -> None:
+        if self._handle is None or self._handle.closed:
+            self._handle = open(self.path, "a", encoding="utf-8")
         self._handle.write(json.dumps(asdict(alert), sort_keys=True) + "\n")
 
     def close(self) -> None:
-        if not self._handle.closed:
+        if self._handle is not None and not self._handle.closed:
             self._handle.flush()
             self._handle.close()
 

@@ -1,0 +1,324 @@
+"""Store backends: layout compatibility, URL scheme, ETag integrity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.artifacts import (
+    DiskBucket,
+    IntegrityError,
+    LocalFSBackend,
+    MemoryBucket,
+    ModelStore,
+    ObjectStoreBackend,
+    backend_from_url,
+    save_artifact,
+)
+
+
+@pytest.fixture(params=["localfs", "memory", "bucket"])
+def backend(request, tmp_path):
+    if request.param == "localfs":
+        return LocalFSBackend(tmp_path / "store")
+    if request.param == "memory":
+        return ObjectStoreBackend(MemoryBucket("test"))
+    return ObjectStoreBackend(DiskBucket(tmp_path / "bucket"))
+
+
+class TestBackendContract:
+    """Every backend speaks the same blob API."""
+
+    def test_put_get_roundtrip(self, backend):
+        etag = backend.put("objects/abc.npz", b"payload-bytes")
+        assert isinstance(etag, str) and len(etag) == 64
+        assert backend.get("objects/abc.npz") == b"payload-bytes"
+        assert backend.etag("objects/abc.npz") == etag
+        assert backend.size("objects/abc.npz") == len(b"payload-bytes")
+
+    def test_missing_key_raises_keyerror(self, backend):
+        with pytest.raises(KeyError):
+            backend.get("objects/nope.npz")
+        with pytest.raises(KeyError):
+            backend.size("objects/nope.npz")
+        assert backend.etag("objects/nope.npz") is None
+        assert not backend.exists("objects/nope.npz")
+
+    def test_overwrite_replaces_content(self, backend):
+        backend.put("tags.json", b"{}")
+        backend.put("tags.json", b'{"production": "x"}')
+        assert backend.get("tags.json") == b'{"production": "x"}'
+
+    def test_delete(self, backend):
+        backend.put("objects/a.npz", b"a")
+        assert backend.delete("objects/a.npz")
+        assert not backend.delete("objects/a.npz")
+        assert not backend.exists("objects/a.npz")
+
+    def test_list_by_prefix(self, backend):
+        backend.put("objects/a.npz", b"a")
+        backend.put("objects/b.npz", b"b")
+        backend.put("tags.json", b"{}")
+        assert backend.list("objects/") == ["objects/a.npz", "objects/b.npz"]
+        assert "tags.json" in backend.list("")
+
+    def test_lock_is_reentrant_across_uses(self, backend):
+        with backend.lock():
+            pass
+        with backend.lock():  # lock must be reusable
+            pass
+
+
+class TestLocalFSLayoutCompatibility:
+    """The refactor must read and write the pre-backend directory layout."""
+
+    def test_writes_classic_layout(self, tmp_path, fitted_forest):
+        store = ModelStore(tmp_path / "store")
+        version = store.put(fitted_forest, tags=("production",))
+        # Exactly the historical on-disk shape.
+        assert (tmp_path / "store" / "objects" / f"{version}.npz").is_file()
+        table = json.loads(
+            (tmp_path / "store" / "tags.json").read_text()
+        )
+        assert table == {"production": version}
+
+    def test_reads_pre_refactor_store(self, tmp_path, fitted_forest,
+                                      probe_batch):
+        # Hand-build a store the way the pre-backend ModelStore laid it
+        # out: objects/<digest>.npz + tags.json, nothing else.
+        root = tmp_path / "legacy"
+        (root / "objects").mkdir(parents=True)
+        info = save_artifact(
+            fitted_forest, root / "objects" / "artifact.npz",
+            model_name="Random Forest",
+        )
+        (root / "objects" / "artifact.npz").rename(
+            root / "objects" / f"{info.digest}.npz"
+        )
+        (root / "tags.json").write_text(
+            json.dumps({"production": info.digest})
+        )
+
+        store = ModelStore(root)
+        assert store.versions() == [info.digest]
+        assert store.tags() == {"production": info.digest}
+        model, manifest = store.load("production")
+        assert manifest["digest"] == info.digest
+        assert np.array_equal(
+            model.predict_proba(probe_batch),
+            fitted_forest.predict_proba(probe_batch),
+        )
+
+    def test_key_escape_rejected(self, tmp_path):
+        backend = LocalFSBackend(tmp_path / "store")
+        with pytest.raises(ValueError):
+            backend.put("../outside.txt", b"x")
+
+    def test_sibling_prefix_directory_rejected(self, tmp_path):
+        # '/x/store-other' shares a string prefix with '/x/store'; a
+        # containment check must not be fooled by it.
+        (tmp_path / "store-other").mkdir()
+        backend = LocalFSBackend(tmp_path / "store")
+        with pytest.raises(ValueError):
+            backend.put("../store-other/evil.txt", b"x")
+        disk = DiskBucket(tmp_path / "store")
+        with pytest.raises(ValueError):
+            disk.put_object("../store-other/evil.txt", b"x")
+
+    def test_put_path_consume_moves_and_copy_preserves(self, tmp_path):
+        backend = LocalFSBackend(tmp_path / "store")
+        moved = tmp_path / "scratch-a.bin"
+        moved.write_bytes(b"move me")
+        backend.put_path("objects/a.npz", moved, consume=True)
+        assert not moved.exists()  # renamed into place, single write
+        assert backend.get("objects/a.npz") == b"move me"
+
+        kept = tmp_path / "scratch-b.bin"
+        kept.write_bytes(b"copy me")
+        backend.put_path("objects/b.npz", kept)
+        assert kept.exists()  # import semantics: source survives
+        assert backend.get("objects/b.npz") == b"copy me"
+
+
+class TestObjectStoreBackends:
+    def test_model_store_over_memory_bucket(self, fitted_forest,
+                                            probe_batch):
+        MemoryBucket.drop("roundtrip")
+        store = ModelStore.from_url("memory://roundtrip")
+        version = store.put(fitted_forest, tags=("production",))
+        model, manifest = store.load("production")
+        assert manifest["digest"] == version
+        assert np.array_equal(
+            model.predict_proba(probe_batch),
+            fitted_forest.predict_proba(probe_batch),
+        )
+        assert len(store.list()) == 1
+        assert store.gc() == []  # tagged version survives
+        store.untag("production")
+        assert store.gc() == [version]
+        assert store.versions() == []
+
+    def test_memory_buckets_shared_by_name(self, fitted_forest):
+        MemoryBucket.drop("shared")
+        writer = ModelStore.from_url("memory://shared")
+        version = writer.put(fitted_forest, tags=("production",))
+        reader = ModelStore.from_url("memory://shared")
+        assert reader.resolve("production") == version
+        assert reader.versions() == [version]
+
+    def test_model_store_over_disk_bucket(self, tmp_path, fitted_forest,
+                                          probe_batch):
+        url = f"bucket://{tmp_path / 'shipped'}"
+        store = ModelStore.from_url(url)
+        version = store.put(fitted_forest, tags=("production",))
+        # A second store over the same bucket path sees the objects —
+        # the no-shared-mount serving-box scenario.
+        other = ModelStore.from_url(url)
+        model, __ = other.load("production")
+        assert np.array_equal(
+            model.predict_proba(probe_batch),
+            fitted_forest.predict_proba(probe_batch),
+        )
+        assert other.versions() == [version]
+
+    def test_spool_caches_fetches(self, fitted_forest):
+        MemoryBucket.drop("spool")
+        store = ModelStore.from_url("memory://spool")
+        store.put(fitted_forest, tags=("latest",))
+        first = store.path_of("latest")
+        assert first.is_file()
+        assert store.path_of("latest") == first  # cached, not re-fetched
+
+
+class TestSharedBucketLocking:
+    """The tag lock belongs to the storage, not the backend instance."""
+
+    def test_memory_stores_share_one_tag_mutex(self):
+        MemoryBucket.drop("locking")
+        a = ModelStore.from_url("memory://locking")
+        b = ModelStore.from_url("memory://locking")
+        assert a.backend.bucket.tag_mutex is b.backend.bucket.tag_mutex
+
+    def test_disk_buckets_share_mutex_per_path(self, tmp_path):
+        first = DiskBucket(tmp_path / "bkt")
+        second = DiskBucket(tmp_path / "bkt")
+        other = DiskBucket(tmp_path / "other")
+        assert first.tag_mutex is second.tag_mutex
+        assert first.tag_mutex is not other.tag_mutex
+
+    def test_disk_bucket_tag_lock_is_cross_process(self, tmp_path):
+        # The critical section must hold an fcntl lock another process
+        # would block on — not just an in-process mutex.
+        import fcntl
+
+        bucket = DiskBucket(tmp_path / "bkt")
+        with bucket.tag_lock():
+            with open(tmp_path / "bkt" / ".tags.lock", "a+") as probe:
+                with pytest.raises(BlockingIOError):
+                    fcntl.flock(probe, fcntl.LOCK_EX | fcntl.LOCK_NB)
+
+    def test_concurrent_taggers_lose_no_updates(self, fitted_forest):
+        import threading
+
+        MemoryBucket.drop("tag-race")
+        version = ModelStore.from_url("memory://tag-race").put(
+            fitted_forest, tags=("seed",)
+        )
+
+        def tagger(prefix):
+            store = ModelStore.from_url("memory://tag-race")
+            for i in range(25):
+                store.tag(f"{prefix}{i}", version)
+
+        threads = [
+            threading.Thread(target=tagger, args=(p,)) for p in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        tags = ModelStore.from_url("memory://tag-race").tags()
+        # Every read-modify-write survived: 25 + 25 + the seed tag.
+        assert len(tags) == 51
+
+
+class TestETagIntegrity:
+    def test_disk_bucket_tamper_detected(self, tmp_path, fitted_forest):
+        bucket_root = tmp_path / "bucket"
+        store = ModelStore.from_url(f"bucket://{bucket_root}")
+        version = store.put(fitted_forest, tags=("production",))
+        blob = bucket_root / "objects" / f"{version}.npz"
+        blob.write_bytes(blob.read_bytes() + b"tampered")
+        with pytest.raises(IntegrityError):
+            store.load("production")
+
+    def test_missing_sidecar_is_an_integrity_failure(self, tmp_path):
+        # Losing the recorded ETag must not downgrade to "trust the
+        # blob" — that would make verify-on-get vacuous.
+        bucket_root = tmp_path / "bucket"
+        backend = ObjectStoreBackend(DiskBucket(bucket_root))
+        backend.put("objects/x.npz", b"original")
+        (bucket_root / "objects" / "x.npz").write_bytes(b"tampered")
+        (bucket_root / "objects" / "x.npz.etag").unlink()
+        with pytest.raises(IntegrityError):
+            backend.get("objects/x.npz")
+        with pytest.raises(IntegrityError):
+            backend.etag("objects/x.npz")
+
+    def test_memory_bucket_tamper_detected(self, fitted_forest):
+        MemoryBucket.drop("tamper")
+        bucket = MemoryBucket.named("tamper")
+        store = ModelStore(backend=ObjectStoreBackend(bucket))
+        version = store.put(fitted_forest, tags=("production",))
+        key = f"objects/{version}.npz"
+        data, etag = bucket._objects[key]
+        bucket._objects[key] = (data + b"tampered", etag)
+        with pytest.raises(IntegrityError):
+            store.load("production")
+
+
+class TestBackendFromUrl:
+    def test_bare_path_and_file_scheme(self, tmp_path):
+        bare = backend_from_url(tmp_path / "a")
+        assert isinstance(bare, LocalFSBackend)
+        explicit = backend_from_url(f"file://{tmp_path / 'a'}")
+        assert isinstance(explicit, LocalFSBackend)
+        assert explicit.root == bare.root
+
+    def test_memory_and_bucket_schemes(self, tmp_path):
+        mem = backend_from_url("memory://ci")
+        assert isinstance(mem, ObjectStoreBackend)
+        assert mem.url == "memory://ci"
+        disk = backend_from_url(f"bucket://{tmp_path / 'b'}")
+        assert isinstance(disk, ObjectStoreBackend)
+        assert disk.scheme == "bucket"
+
+    def test_invalid_urls_fail_loudly(self):
+        with pytest.raises(ValueError):
+            backend_from_url("memory://")
+        with pytest.raises(ValueError):
+            backend_from_url("bucket://")
+        with pytest.raises(ValueError):
+            backend_from_url("s3://real-bucket/prefix")
+
+    def test_from_url_default_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("PHOOK_MODEL_STORE", str(tmp_path / "env-store"))
+        store = ModelStore.from_url(None)
+        assert store.root == tmp_path / "env-store"
+
+
+class TestTypedErrors:
+    def test_unreadable_tag_table_raises_typed_error(self, tmp_path,
+                                                     fitted_forest):
+        from repro.artifacts import CorruptArtifactError
+
+        store = ModelStore(tmp_path / "store")
+        store.put(fitted_forest, tags=("production",))
+        # Replace the tag table with something that raises OSError on
+        # read (a directory); the store must surface its typed error,
+        # not a raw OSError.
+        tags_path = tmp_path / "store" / "tags.json"
+        tags_path.unlink()
+        tags_path.mkdir()
+        with pytest.raises(CorruptArtifactError):
+            store.tags()

@@ -1,0 +1,89 @@
+"""Docs link checker: every relative link and anchor must resolve.
+
+Covers ``README.md`` and ``docs/**/*.md``. External (http/https/mailto)
+targets are out of scope — this gate is about the repo not breaking its
+own references.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+DOC_FILES = sorted(
+    [REPO / "README.md", *(REPO / "docs").glob("**/*.md")],
+    key=lambda p: p.as_posix(),
+)
+
+#: ``[text](target)`` and ``![alt](target)`` inline links.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+FENCE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (basic rules, no dedup)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # code spans keep text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def extract_links(path: pathlib.Path) -> list[str]:
+    """Inline link targets, ignoring fenced code blocks."""
+    links, in_fence = [], False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            links.extend(LINK.findall(line))
+    return links
+
+
+def anchors_of(path: pathlib.Path) -> set[str]:
+    slugs, in_fence = set(), False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if match:
+            slugs.add(github_slug(match.group(1)))
+    return slugs
+
+
+def test_docs_exist_and_are_linked_from_readme():
+    for name in ("architecture.md", "model-store.md", "operations.md"):
+        assert (REPO / "docs" / name).is_file(), f"docs/{name} is missing"
+        assert f"docs/{name}" in (REPO / "README.md").read_text(), (
+            f"README.md does not link docs/{name}"
+        )
+
+
+@pytest.mark.parametrize(
+    "doc", DOC_FILES, ids=[p.relative_to(REPO).as_posix() for p in DOC_FILES]
+)
+def test_relative_links_resolve(doc):
+    problems = []
+    for target in extract_links(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        dest = doc if not path_part else (doc.parent / path_part).resolve()
+        if not dest.exists():
+            problems.append(f"{target}: file {path_part!r} not found")
+            continue
+        if fragment and dest.suffix == ".md":
+            if fragment not in anchors_of(dest):
+                problems.append(
+                    f"{target}: no heading for anchor #{fragment} "
+                    f"in {dest.name}"
+                )
+    assert not problems, (
+        f"{doc.relative_to(REPO)} has broken links:\n  "
+        + "\n  ".join(problems)
+    )

@@ -1,0 +1,64 @@
+"""Execute every fenced ``bash`` block of docs/operations.md, in order.
+
+The runbook promises that a fresh machine can follow it top to bottom;
+this test *is* that machine: one scratch directory, the documented
+commands verbatim, every block must exit 0. Transcript blocks (fenced as
+``text``) are illustrative and not compared — counts and timings vary
+with scale — but a command that errors or disappears from the CLI fails
+the docs job immediately.
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+RUNBOOK = REPO / "docs" / "operations.md"
+
+BASH_BLOCK = re.compile(r"```bash\n(.*?)```", re.DOTALL)
+
+
+def bash_blocks() -> list[str]:
+    return BASH_BLOCK.findall(RUNBOOK.read_text(encoding="utf-8"))
+
+
+def test_runbook_has_commands():
+    blocks = bash_blocks()
+    assert len(blocks) >= 8, "the runbook lost its command blocks"
+    assert any("rollout" in block for block in blocks)
+    assert any("train" in block for block in blocks)
+
+
+def test_runbook_runs_end_to_end(tmp_path):
+    workdir = tmp_path / "runbook"
+    workdir.mkdir()
+    # The docs say ``python``; guarantee it means this interpreter.
+    bindir = tmp_path / "bin"
+    bindir.mkdir()
+    (bindir / "python").symlink_to(sys.executable)
+    env = {
+        "PATH": f"{bindir}:/usr/bin:/bin",
+        "PYTHONPATH": str(REPO / "src"),
+        "HOME": str(tmp_path),
+    }
+    for index, block in enumerate(bash_blocks(), start=1):
+        result = subprocess.run(
+            ["bash", "-euo", "pipefail", "-c", block],
+            cwd=workdir,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert result.returncode == 0, (
+            f"runbook block {index} failed "
+            f"(exit {result.returncode}):\n{block}\n"
+            f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+        )
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-v"]))

@@ -1,0 +1,72 @@
+"""ShadowComparison: online paired-score accounting."""
+
+import pytest
+
+from repro.rollout import ShadowComparison
+
+
+class TestRecordBatch:
+    def test_agreement_and_disagreement_classes(self):
+        comparison = ShadowComparison()
+        comparison.record_batch(
+            [0.9, 0.8, 0.2, 0.1],   # production
+            [0.95, 0.3, 0.7, 0.05],  # candidate
+            0.5,
+        )
+        assert comparison.events == 4
+        # 0.9/0.95 both flag; 0.1/0.05 both pass → 2 agreements.
+        assert comparison.agreements == 2
+        assert comparison.agreement_rate == 0.5
+        # 0.8 vs 0.3: production flags, candidate passes.
+        assert comparison.production_only == 1
+        # 0.2 vs 0.7: candidate flags, production passes.
+        assert comparison.candidate_only == 1
+        assert comparison.disagreements == 2
+
+    def test_divergence_tracking(self):
+        comparison = ShadowComparison()
+        comparison.record_batch([0.5, 0.9], [0.6, 0.5], 0.5)
+        assert comparison.mean_divergence == pytest.approx(0.25)
+        assert comparison.max_divergence == pytest.approx(0.4)
+        comparison.record_batch([0.1], [0.1], 0.5)
+        assert comparison.max_divergence == pytest.approx(0.4)
+        assert comparison.mean_divergence == pytest.approx(0.5 / 3)
+
+    def test_latency_overhead(self):
+        comparison = ShadowComparison()
+        comparison.record_batch(
+            [0.1], [0.1], 0.5, primary_seconds=0.2, shadow_seconds=0.1
+        )
+        assert comparison.latency_overhead == pytest.approx(0.5)
+
+    def test_idle_defaults(self):
+        comparison = ShadowComparison()
+        assert comparison.agreement_rate == 1.0
+        assert comparison.mean_divergence == 0.0
+        assert comparison.latency_overhead == 0.0
+
+    def test_empty_batch_counts_batch_only(self):
+        comparison = ShadowComparison()
+        comparison.record_batch([], [], 0.5, primary_seconds=0.01)
+        assert comparison.batches == 1
+        assert comparison.events == 0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ShadowComparison().record_batch([0.1, 0.2], [0.1], 0.5)
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        comparison = ShadowComparison()
+        comparison.record_batch(
+            [0.9, 0.2, 0.6], [0.8, 0.4, 0.1], 0.5,
+            primary_seconds=0.3, shadow_seconds=0.2,
+        )
+        restored = ShadowComparison.from_dict(comparison.as_dict())
+        assert restored.as_dict() == pytest.approx(comparison.as_dict())
+
+    def test_from_dict_tolerates_missing_fields(self):
+        restored = ShadowComparison.from_dict({})
+        assert restored.events == 0
+        assert restored.agreement_rate == 1.0

@@ -1,0 +1,94 @@
+"""Rollout policies: the promote/abort/hold rules, written as tests."""
+
+import pytest
+
+from repro.rollout import (
+    ABORT,
+    HOLD,
+    PROMOTE,
+    Decision,
+    ManualHoldPolicy,
+    MetricParityPolicy,
+    ShadowComparison,
+)
+
+
+def comparison_with(events, agreements, divergence_total=0.0):
+    comparison = ShadowComparison()
+    comparison.events = events
+    comparison.agreements = agreements
+    comparison.divergence_total = divergence_total
+    return comparison
+
+
+@pytest.fixture
+def policy():
+    return MetricParityPolicy(
+        min_events=100,
+        promote_agreement=0.98,
+        abort_agreement=0.90,
+        max_mean_divergence=0.05,
+    )
+
+
+class TestMetricParityPolicy:
+    def test_holds_below_evidence_floor(self, policy):
+        # Even perfect agreement cannot promote on thin evidence …
+        decision = policy.decide(comparison_with(99, 99))
+        assert decision.action == HOLD
+        # … and even terrible agreement cannot abort on thin evidence.
+        decision = policy.decide(comparison_with(99, 10))
+        assert decision.action == HOLD
+
+    def test_promotes_on_parity(self, policy):
+        decision = policy.decide(
+            comparison_with(200, 199, divergence_total=200 * 0.01)
+        )
+        assert decision.action == PROMOTE
+        assert "parity" in decision.reason
+
+    def test_aborts_on_regression(self, policy):
+        decision = policy.decide(comparison_with(200, 150))
+        assert decision.action == ABORT
+        assert "regression" in decision.reason
+
+    def test_holds_in_gray_band(self, policy):
+        # Agreement between the abort floor and the promote bar.
+        decision = policy.decide(comparison_with(200, 190))
+        assert decision.action == HOLD
+
+    def test_divergence_blocks_promotion(self, policy):
+        # Perfect verdict agreement, but probabilities drifted.
+        decision = policy.decide(
+            comparison_with(200, 200, divergence_total=200 * 0.2)
+        )
+        assert decision.action == HOLD
+        assert "divergence" in decision.reason
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MetricParityPolicy(min_events=0)
+        with pytest.raises(ValueError):
+            MetricParityPolicy(promote_agreement=0.8, abort_agreement=0.9)
+        with pytest.raises(ValueError):
+            MetricParityPolicy(max_mean_divergence=-0.1)
+
+    def test_describe_records_parameters(self, policy):
+        description = policy.describe()
+        assert description["policy"] == "MetricParityPolicy"
+        assert description["min_events"] == 100
+        assert description["promote_agreement"] == 0.98
+
+
+class TestManualHoldPolicy:
+    def test_never_decides(self):
+        policy = ManualHoldPolicy()
+        assert policy.decide(comparison_with(10_000, 10_000)).action == HOLD
+        assert policy.decide(comparison_with(10_000, 0)).action == HOLD
+
+
+class TestDecision:
+    def test_truthiness_means_action_needed(self):
+        assert not Decision(HOLD, "wait")
+        assert Decision(PROMOTE, "go")
+        assert Decision(ABORT, "stop")

@@ -91,3 +91,92 @@ def test_webhook_custom_transport_failure_counted(alert):
     assert not sink.emit(alert)
     assert sink.stats.failed == 1
     assert sink.sent == []
+
+
+class TestFailurePaths:
+    """Delivery failures are counted per channel, never fatal."""
+
+    def test_webhook_flaky_transport_accounting(self, alert):
+        calls = {"n": 0}
+
+        def flaky(url, body):
+            calls["n"] += 1
+            if calls["n"] % 3 == 0:  # every third POST times out
+                raise TimeoutError("gateway timeout")
+
+        sink = WebhookSink("https://hooks.example/phishing", transport=flaky)
+        outcomes = [sink.emit(alert) for _ in range(9)]
+        assert outcomes.count(True) == 6
+        assert sink.stats.as_dict() == {"delivered": 6, "failed": 3}
+        # Only successful posts count as delivered; the wire log keeps
+        # everything the default recorder saw (custom transport: none).
+        assert sink.sent == []
+
+    def test_webhook_failure_then_recovery(self, alert):
+        state = {"down": True}
+
+        def transport(url, body):
+            if state["down"]:
+                raise ConnectionError("endpoint down")
+
+        sink = WebhookSink("https://hooks.example/x", transport=transport)
+        assert not sink.emit(alert)
+        state["down"] = False
+        assert sink.emit(alert)
+        assert sink.stats.as_dict() == {"delivered": 1, "failed": 1}
+
+    def test_jsonl_opens_lazily(self, alert, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        sink = JsonlSink(path)
+        assert not path.exists()  # nothing touched before traffic
+        sink.emit(alert)
+        sink.close()
+        assert path.exists()
+
+    def test_jsonl_unwritable_path_counts_failures(self, alert, tmp_path):
+        # The parent directory does not exist: every append fails, the
+        # failure is visible in the sink stats, and nothing raises out
+        # of emit() into the scan loop.
+        sink = JsonlSink(tmp_path / "missing-dir" / "alerts.jsonl")
+        assert not sink.emit(alert)
+        assert not sink.emit(alert)
+        assert sink.stats.as_dict() == {"delivered": 0, "failed": 2}
+        sink.close()  # close with no handle is a no-op
+
+    def test_jsonl_unwritable_path_recovers_when_fixed(self, alert, tmp_path):
+        target = tmp_path / "late-dir" / "alerts.jsonl"
+        sink = JsonlSink(target)
+        assert not sink.emit(alert)
+        target.parent.mkdir()
+        assert sink.emit(alert)
+        sink.close()
+        assert len(target.read_text().strip().splitlines()) == 1
+        assert sink.stats.as_dict() == {"delivered": 1, "failed": 1}
+
+    def test_failing_sink_never_breaks_the_scan_loop(self, service,
+                                                     stream_dataset,
+                                                     tmp_path):
+        from repro.stream.scanner import StreamScanner
+        from repro.stream.events import ContractEvent
+
+        broken = JsonlSink(tmp_path / "nope" / "alerts.jsonl")
+        healthy = MemorySink()
+        scanner = StreamScanner(
+            service, max_batch=4, threshold=0.0,
+            sinks=[broken, healthy],
+        )
+        codes = stream_dataset.bytecodes[:12]
+        for index, code in enumerate(codes):
+            scanner.on_event(ContractEvent(
+                address=f"0x{index:040x}", code=code, block_number=index,
+                timestamp=1_700_000_000 + index,
+                tx_hash=f"0x{index:064x}", sequence=index,
+            ))
+        scanner.flush()
+        # Scanning finished; the broken channel is visible per channel.
+        assert scanner.stats.scanned == len(codes)
+        assert len(healthy.alerts) == scanner.stats.flagged > 0
+        summary = scanner.summary()["sinks"]
+        assert summary["jsonl"]["failed"] == scanner.stats.flagged
+        assert summary["jsonl"]["delivered"] == 0
+        assert summary["memory"]["delivered"] == scanner.stats.flagged

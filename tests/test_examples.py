@@ -18,7 +18,7 @@ def _examples_on_path(monkeypatch):
     monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
     yield
     for name in ("quickstart", "model_comparison", "time_resistance",
-                 "wallet_guard", "explain_detection"):
+                 "wallet_guard", "explain_detection", "shadow_rollout"):
         sys.modules.pop(name, None)
 
 
@@ -57,3 +57,14 @@ def test_explain_detection(capsys):
     out = run_example("explain_detection", capsys)
     assert "base rate" in out
     assert "local accuracy" in out
+
+
+def test_shadow_rollout(capsys):
+    out = run_example("shadow_rollout", capsys)
+    # The parity candidate is promoted with zero dropped batches …
+    assert "state=promoted" in out
+    assert "promoted=True, dropped=0" in out
+    # … and the label-flipped candidate is aborted, production untouched.
+    assert "state=aborted" in out
+    assert "decision: abort — regression" in out
+    assert "production untouched" in out
