@@ -79,6 +79,13 @@ class ModelStore:
             ``backend`` is given.
         backend: Any :class:`~repro.artifacts.backends.StoreBackend`;
             defaults to a :class:`LocalFSBackend` at ``root``.
+        cache_dir: Persistent local spool directory for backends that
+            are not path-addressable (``memory://`` / ``bucket://``).
+            Without one, spooled artifacts land in a per-store temporary
+            directory and every process cold start re-pulls them; with
+            one, digest-named files survive across processes on the same
+            host (objects are immutable, so a cache hit never needs
+            revalidation). Ignored by path-addressable backends.
 
     ``ModelStore(path)`` keeps the historical behaviour exactly;
     :meth:`from_url` resolves ``file://`` / ``memory://`` / ``bucket://``
@@ -90,6 +97,7 @@ class ModelStore:
         root: str | pathlib.Path | None = None,
         *,
         backend: StoreBackend | None = None,
+        cache_dir: str | pathlib.Path | None = None,
     ):
         if backend is None:
             location = default_store_root() if root is None else root
@@ -101,14 +109,23 @@ class ModelStore:
             backend.root if isinstance(backend, LocalFSBackend)
             else backend.url
         )
+        self.cache_dir = pathlib.Path(cache_dir) if cache_dir else None
         self._spool_dir: tempfile.TemporaryDirectory | None = None
 
     @classmethod
-    def from_url(cls, url: str | os.PathLike | None = None) -> "ModelStore":
+    def from_url(
+        cls,
+        url: str | os.PathLike | None = None,
+        *,
+        cache_dir: str | pathlib.Path | None = None,
+    ) -> "ModelStore":
         """Open a store at a location string (path or backend URL)."""
-        return cls(backend=backend_from_url(
-            default_store_root() if url in (None, "") else url
-        ))
+        return cls(
+            backend=backend_from_url(
+                default_store_root() if url in (None, "") else url
+            ),
+            cache_dir=cache_dir,
+        )
 
     # ------------------------------------------------------------------ #
     # Writing
@@ -241,11 +258,16 @@ class ModelStore:
         direct = self.backend.local_path(key)
         if direct is not None:
             return direct
-        if self._spool_dir is None:
-            self._spool_dir = tempfile.TemporaryDirectory(
-                prefix="phook-store-spool-"
-            )
-        spooled = pathlib.Path(self._spool_dir.name) / f"{version}.npz"
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            spool_root = self.cache_dir
+        else:
+            if self._spool_dir is None:
+                self._spool_dir = tempfile.TemporaryDirectory(
+                    prefix="phook-store-spool-"
+                )
+            spool_root = pathlib.Path(self._spool_dir.name)
+        spooled = spool_root / f"{version}.npz"
         if not spooled.is_file():
             try:
                 data = self.backend.get(key)

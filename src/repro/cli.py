@@ -45,6 +45,72 @@ from repro.evm.disassembler import Disassembler
 __all__ = ["main"]
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type: an integer >= 1, rejected *at parse time*.
+
+    Worker counts, batch sizes and queue bounds used to accept 0 or
+    negative values and blow up deep inside worker setup; argparse
+    rejecting them here turns that into a one-line usage error.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}"
+        )
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    """Argparse type: a float >= 0, rejected at parse time."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative number, got {value}"
+        )
+    return value
+
+
+def _launchable_config(path):
+    """Load + statically verify a deployment config before launching.
+
+    Returns ``(config, 0)`` when launchable. On a parse/validation
+    failure or any ERROR-severity rule violation, prints the full
+    report and returns ``(None, 2)`` — the caller refuses to start.
+    WARN-severity violations are printed but do not block.
+    """
+    from repro.deploy import (
+        ConfigError,
+        DeploymentBlockedError,
+        ensure_launchable,
+        load_config,
+    )
+
+    try:
+        config = load_config(path)
+    except ConfigError as error:
+        print(error, file=sys.stderr)
+        return None, 2
+    try:
+        report = ensure_launchable(config)
+    except DeploymentBlockedError as blocked:
+        print(blocked.report.render_text(), file=sys.stderr)
+        print(
+            "refusing to launch: fix the ERROR violations above "
+            "(rule catalog: docs/configuration.md)",
+            file=sys.stderr,
+        )
+        return None, 2
+    for violation in report.warnings:
+        print(violation.render(), file=sys.stderr)
+    return config, 0
+
+
 def _cmd_demo(args) -> int:
     corpus = build_corpus(
         CorpusConfig(
@@ -229,27 +295,66 @@ def _cmd_rollout(args) -> int:
         save_rollout_state,
     )
 
-    store = _store_from(args)
     if args.rollout_command == "start":
         from repro.stream import StreamScanner, TimelineReplayer
 
-        policy = (
-            ManualHoldPolicy() if args.policy == "manual"
-            else MetricParityPolicy(
-                min_events=args.min_events,
-                promote_agreement=args.promote_agreement,
-                abort_agreement=args.abort_agreement,
-                max_mean_divergence=args.max_divergence,
+        if args.config:
+            # Config-driven launch: parse, statically verify (ERROR
+            # violations refuse to start), and build the shadow topology
+            # exactly as the file declares it.
+            from repro.deploy import (
+                build_replay_corpus,
+                build_scanner,
+                build_service,
+                open_store,
             )
-        )
-        corpus = build_corpus(
-            CorpusConfig(n_phishing=args.contracts // 2,
-                         n_benign=args.contracts // 2, seed=args.seed)
-        )
-        scanner = StreamScanner.from_artifact(
-            args.production, store=store, shards=args.shards,
-            max_batch=args.batch_size, threshold=args.threshold,
-        )
+
+            config, code = _launchable_config(args.config)
+            if config is None:
+                return code
+            if config.rollout is None:
+                print(f"error: {args.config} has no [rollout] section "
+                      "(see docs/configuration.md)", file=sys.stderr)
+                return 2
+            plan = config.rollout
+            candidate, production = plan.candidate, plan.production
+            shards = config.stream.shards
+            store = open_store(config)
+            policy = (
+                ManualHoldPolicy() if plan.policy == "manual"
+                else MetricParityPolicy(
+                    min_events=plan.min_events,
+                    promote_agreement=plan.promote_agreement,
+                    abort_agreement=plan.abort_agreement,
+                    max_mean_divergence=plan.max_divergence,
+                )
+            )
+            corpus = build_replay_corpus(config)
+            # The scanner serves the production tag; the [model] section
+            # names the same ref in a well-formed rollout config.
+            service = build_service(config, store=store, source=production)
+            scanner = build_scanner(config, service)
+        else:
+            store = _store_from(args)
+            candidate, production = args.candidate, args.production
+            shards = args.shards
+            policy = (
+                ManualHoldPolicy() if args.policy == "manual"
+                else MetricParityPolicy(
+                    min_events=args.min_events,
+                    promote_agreement=args.promote_agreement,
+                    abort_agreement=args.abort_agreement,
+                    max_mean_divergence=args.max_divergence,
+                )
+            )
+            corpus = build_corpus(
+                CorpusConfig(n_phishing=args.contracts // 2,
+                             n_benign=args.contracts // 2, seed=args.seed)
+            )
+            scanner = StreamScanner.from_artifact(
+                production, store=store, shards=shards,
+                max_batch=args.batch_size, threshold=args.threshold,
+            )
         # A still-shadowing record for the same candidate/production
         # pair resumes its accumulated evidence ("rerun with more
         # traffic"); anything else starts a fresh rollout.
@@ -259,16 +364,16 @@ def _cmd_rollout(args) -> int:
             previous
             and previous.get("state") == "shadowing"
             and previous.get("candidate_version")
-                == store.resolve(args.candidate)
+                == store.resolve(candidate)
             and previous.get("production_version")
-                == store.resolve(args.production)
+                == store.resolve(production)
         ):
             resumed = ShadowComparison.from_dict(
                 previous.get("comparison") or {}
             )
         rollout = ShadowRollout(
-            scanner, args.candidate, store=store, policy=policy,
-            production_tag=args.production, comparison=resumed,
+            scanner, candidate, store=store, policy=policy,
+            production_tag=production, comparison=resumed,
         )
         if resumed is not None and resumed.events:
             print(f"resuming shadow evidence: {resumed.events} events "
@@ -278,11 +383,11 @@ def _cmd_rollout(args) -> int:
         record = save_rollout_state(store, rollout.status())
         print(f"shadow-scored {report.scanned} deployments in "
               f"{report.duration_seconds:.3f}s "
-              f"({args.shards} shard(s), {report.batches} micro-batches, "
+              f"({shards} shard(s), {report.batches} micro-batches, "
               f"{report.dropped} dropped)")
         _print_rollout_record(record)
         if rollout.state == "promoted":
-            print(f"promoted: tag '{args.production}' -> "
+            print(f"promoted: tag '{production}' -> "
                   f"{rollout.candidate_version[:16]}; every shard swapped "
                   f"with zero dropped batches")
         elif rollout.state == "aborted":
@@ -291,6 +396,8 @@ def _cmd_rollout(args) -> int:
             print("holding: rerun with more traffic, or decide with "
                   "'phishinghook rollout promote|abort'")
         return 0
+
+    store = _store_from(args)
 
     record = load_rollout_state(store)
     if record is None:
@@ -332,6 +439,31 @@ def _cmd_rollout(args) -> int:
     raise AssertionError(
         f"unknown rollout command {args.rollout_command!r}"
     )
+
+
+def _cmd_check_config(args) -> int:
+    import json
+
+    from repro.deploy import ConfigError, check_config, load_config
+
+    try:
+        config = load_config(args.config)
+    except ConfigError as error:
+        if args.json:
+            print(json.dumps(error.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(error, file=sys.stderr)
+        return 2
+    report = check_config(config)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    if report.errors:
+        return 1
+    if args.strict and report.warnings:
+        return 1
+    return 0
 
 
 def _cmd_scan(args) -> int:
@@ -395,54 +527,76 @@ def _cmd_scan(args) -> int:
 
 
 def _cmd_monitor(args) -> int:
-    from repro.datagen.dataset import Dataset
-    from repro.serve.service import ScanService
-    from repro.stream import (
-        JsonlSink,
-        MemorySink,
-        StreamScanner,
-        TimelineReplayer,
-    )
+    from repro.stream import TimelineReplayer
 
-    corpus = build_corpus(
-        CorpusConfig(n_phishing=args.contracts // 2,
-                     n_benign=args.contracts // 2, seed=args.seed)
-    )
-    source, store = _artifact_source(args)
-    if source is not None:
-        # The production shape: every shard cold-starts from one
-        # persisted artifact — no training inside the monitor.
-        service = ScanService.from_artifact(
-            source, store=store, threshold=args.threshold
+    if args.config:
+        # Config-driven launch: the declarative topology file is parsed,
+        # statically verified (ERROR violations refuse to start — see
+        # 'phishinghook check-config'), and built as written; topology
+        # flags on the command line are ignored in this mode.
+        from repro.deploy import (
+            build_replay_corpus,
+            build_scanner,
+            build_service,
         )
-    elif args.train_on_the_fly:
-        dataset = Dataset.from_corpus(corpus, seed=args.seed)
-        service = ScanService(
-            args.model, train_dataset=dataset, seed=args.seed,
-            threshold=args.threshold,
-        )
+
+        config, code = _launchable_config(args.config)
+        if config is None:
+            return code
+        corpus = build_replay_corpus(config)
+        service = build_service(config)
+        scanner = build_scanner(config, service)
+        shards = config.stream.shards
+        rate = config.source.rate or None
+        jsonl_paths = [s.path for s in config.sinks if s.kind == "jsonl"]
     else:
-        print(_NO_MODEL_HINT.format(model=args.model,
-                                    contracts=args.contracts,
-                                    seed=args.seed), file=sys.stderr)
-        return 2
-    sinks = [MemorySink()]
-    if args.jsonl:
-        sinks.append(JsonlSink(args.jsonl))
-    # Drop policies only bite when the producer can outrun the consumer:
-    # switch to consumer-paced intake (flush on deadline/drain, not on
-    # batch size) so the bounded queue actually overflows under load.
-    scanner = StreamScanner(
-        service,
-        shards=args.shards,
-        max_batch=args.batch_size,
-        max_queue=max(args.batch_size, args.queue),
-        policy=args.policy,
-        auto_flush=args.policy == "block",
-        flush_deadline_seconds=args.deadline,
-        sinks=sinks,
-    )
-    replayer = TimelineReplayer(scanner, rate=args.rate or None)
+        from repro.datagen.dataset import Dataset
+        from repro.serve.service import ScanService
+        from repro.stream import JsonlSink, MemorySink, StreamScanner
+
+        corpus = build_corpus(
+            CorpusConfig(n_phishing=args.contracts // 2,
+                         n_benign=args.contracts // 2, seed=args.seed)
+        )
+        source, store = _artifact_source(args)
+        if source is not None:
+            # The production shape: every shard cold-starts from one
+            # persisted artifact — no training inside the monitor.
+            service = ScanService.from_artifact(
+                source, store=store, threshold=args.threshold
+            )
+        elif args.train_on_the_fly:
+            dataset = Dataset.from_corpus(corpus, seed=args.seed)
+            service = ScanService(
+                args.model, train_dataset=dataset, seed=args.seed,
+                threshold=args.threshold,
+            )
+        else:
+            print(_NO_MODEL_HINT.format(model=args.model,
+                                        contracts=args.contracts,
+                                        seed=args.seed), file=sys.stderr)
+            return 2
+        sinks = [MemorySink()]
+        if args.jsonl:
+            sinks.append(JsonlSink(args.jsonl))
+        # Drop policies only bite when the producer can outrun the
+        # consumer: switch to consumer-paced intake (flush on deadline/
+        # drain, not on batch size) so the bounded queue actually
+        # overflows under load.
+        scanner = StreamScanner(
+            service,
+            shards=args.shards,
+            max_batch=args.batch_size,
+            max_queue=max(args.batch_size, args.queue),
+            policy=args.policy,
+            auto_flush=args.policy == "block",
+            flush_deadline_seconds=args.deadline,
+            sinks=sinks,
+        )
+        shards = args.shards
+        rate = args.rate or None
+        jsonl_paths = [args.jsonl] if args.jsonl else []
+    replayer = TimelineReplayer(scanner, rate=rate)
     report = replayer.replay_chain(corpus.chain)
     scanner.close()
 
@@ -450,7 +604,7 @@ def _cmd_monitor(args) -> int:
     print(f"replayed {report.events} deployments in "
           f"{report.duration_seconds:.3f}s "
           f"({report.events_per_second:.0f} events/s, "
-          f"{report.batches} micro-batches, {args.shards} shard(s))")
+          f"{report.batches} micro-batches, {shards} shard(s))")
     print(f"scanned {report.scanned}, flagged {report.flagged}, "
           f"dropped {report.dropped}, empty {report.skipped_empty}")
     print(f"latency p50 {latency['p50'] * 1e3:.2f}ms  "
@@ -459,7 +613,7 @@ def _cmd_monitor(args) -> int:
     for shard in scanner.summary()["shards"]:
         print(f"  shard {shard['shard']}: {shard['scanned']} scanned, "
               f"{shard['flagged']} flagged over {shard['batches']} batches")
-    for sink in sinks:
+    for sink in scanner.sinks:
         print(f"  sink {sink.name}: {sink.stats.delivered} delivered, "
               f"{sink.stats.failed} failed")
     truth = set(corpus.explorer.flagged_addresses())
@@ -468,8 +622,8 @@ def _cmd_monitor(args) -> int:
         precision = len(flagged & truth) / len(flagged)
         print(f"alert precision vs ground truth: {precision:.3f} "
               f"({len(flagged & truth)}/{len(flagged)})")
-    if args.jsonl:
-        print(f"alerts appended to {args.jsonl}")
+    for path in jsonl_paths:
+        print(f"alerts appended to {path}")
     return 0
 
 
@@ -680,6 +834,12 @@ def build_parser() -> argparse.ArgumentParser:
              "and apply the rollout policy",
     )
     rollout_start.add_argument(
+        "--config", default="",
+        help="declarative deployment file (TOML/JSON) with a [rollout] "
+             "section; statically verified first — ERROR violations "
+             "refuse to launch (overrides the topology flags below)",
+    )
+    rollout_start.add_argument(
         "--candidate", default="candidate",
         help="store tag/version of the model under validation",
     )
@@ -687,11 +847,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--production", default="production",
         help="store tag serving production (repointed on promotion)",
     )
-    rollout_start.add_argument("--contracts", type=int, default=200)
+    rollout_start.add_argument("--contracts", type=_positive_int,
+                               default=200)
     rollout_start.add_argument("--seed", type=int, default=0)
-    rollout_start.add_argument("--shards", type=int, default=2,
+    rollout_start.add_argument("--shards", type=_positive_int, default=2,
                                help="sharded scan workers")
-    rollout_start.add_argument("--batch-size", type=int, default=16,
+    rollout_start.add_argument("--batch-size", type=_positive_int,
+                               default=16,
                                help="micro-batch flush threshold")
     rollout_start.add_argument("--threshold", type=float, default=0.5)
     rollout_start.add_argument(
@@ -701,7 +863,7 @@ def build_parser() -> argparse.ArgumentParser:
              "'rollout promote|abort'",
     )
     rollout_start.add_argument(
-        "--min-events", type=int, default=100,
+        "--min-events", type=_positive_int, default=100,
         help="evidence floor before the parity policy may decide",
     )
     rollout_start.add_argument(
@@ -750,15 +912,21 @@ def build_parser() -> argparse.ArgumentParser:
         "monitor",
         help="replay a campaign through the streaming detection pipeline",
     )
-    monitor.add_argument("--contracts", type=int, default=200)
+    monitor.add_argument(
+        "--config", default="",
+        help="declarative deployment file (TOML/JSON); statically "
+             "verified first — ERROR violations refuse to launch "
+             "(overrides the topology flags below)",
+    )
+    monitor.add_argument("--contracts", type=_positive_int, default=200)
     monitor.add_argument("--seed", type=int, default=0)
     monitor.add_argument("--model", default="Random Forest")
     monitor.add_argument("--threshold", type=float, default=0.5)
-    monitor.add_argument("--shards", type=int, default=2,
+    monitor.add_argument("--shards", type=_positive_int, default=2,
                          help="sharded scan workers")
-    monitor.add_argument("--batch-size", type=int, default=16,
+    monitor.add_argument("--batch-size", type=_positive_int, default=16,
                          help="micro-batch flush threshold")
-    monitor.add_argument("--queue", type=int, default=256,
+    monitor.add_argument("--queue", type=_positive_int, default=256,
                          help="bounded intake queue size")
     monitor.add_argument(
         "--policy", default="block",
@@ -767,14 +935,31 @@ def build_parser() -> argparse.ArgumentParser:
              "policy implies consumer-paced intake (micro-batches flush "
              "on the --deadline, so an overrun queue sheds load)",
     )
-    monitor.add_argument("--deadline", type=float, default=0.25,
+    monitor.add_argument("--deadline", type=_nonnegative_float,
+                         default=0.25,
                          help="micro-batch flush deadline (seconds)")
-    monitor.add_argument("--rate", type=float, default=0.0,
+    monitor.add_argument("--rate", type=_nonnegative_float, default=0.0,
                          help="replay rate in events/sec (0 = max speed)")
     monitor.add_argument("--jsonl", default="",
                          help="also append alerts to this JSONL file")
     add_artifact_options(monitor)
     monitor.set_defaults(func=_cmd_monitor)
+
+    check = sub.add_parser(
+        "check-config",
+        help="statically verify a deployment config against the "
+             "dependency-violation rule catalog without starting anything",
+    )
+    check.add_argument(
+        "config", help="deployment file to verify (TOML or JSON)"
+    )
+    check.add_argument("--json", action="store_true",
+                       help="machine-readable report")
+    check.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on WARN-severity violations too",
+    )
+    check.set_defaults(func=_cmd_check_config)
 
     disasm = sub.add_parser("disasm", help="disassemble hex bytecode to CSV")
     disasm.add_argument("bytecode", help="hex string, 0x prefix optional")

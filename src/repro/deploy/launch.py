@@ -1,0 +1,164 @@
+"""Config-driven topology construction — the *execute* half of deploy.
+
+:func:`check_config` is the static analyser; this module is the only
+place a validated :class:`~repro.deploy.config.DeployConfig` turns into
+live objects (stores, scan services, stream scanners, sinks, corpora).
+The contract is the QoS-Guard one: **verification precedes launch**.
+:func:`ensure_launchable` runs the full rule catalog and raises
+:class:`DeploymentBlockedError` on any ERROR-severity violation, so a
+topology that would lose alerts or thrash its cache is refused before a
+single worker, file handle or model load exists.
+
+Imports of the serving stack are deliberately local to the builder
+functions: importing :mod:`repro.deploy` (as ``check-config`` does)
+must never drag in — let alone construct — the runtime it is
+analysing.
+"""
+
+from __future__ import annotations
+
+from repro.deploy.config import DeployConfig
+from repro.deploy.rules import CheckReport, check_config
+
+__all__ = [
+    "DeploymentBlockedError",
+    "ensure_launchable",
+    "open_store",
+    "build_sinks",
+    "build_service",
+    "build_scanner",
+    "build_replay_corpus",
+]
+
+
+class DeploymentBlockedError(RuntimeError):
+    """A config failed verification; nothing was launched.
+
+    ``report`` carries the full :class:`CheckReport` so callers render
+    the same violations ``check-config`` would have shown.
+    """
+
+    def __init__(self, report: CheckReport):
+        self.report = report
+        errors = ", ".join(v.rule_id for v in report.errors)
+        super().__init__(
+            f"deployment config {report.config.origin} fails verification "
+            f"({errors}); run 'phishinghook check-config' for details"
+        )
+
+
+def ensure_launchable(config: DeployConfig) -> CheckReport:
+    """Verify a config before launch; ERROR violations block it.
+
+    Returns the report (so callers can still surface WARNs) or raises
+    :class:`DeploymentBlockedError` when any ERROR-severity rule fires.
+    """
+    report = check_config(config)
+    if not report.ok:
+        raise DeploymentBlockedError(report)
+    return report
+
+
+# --------------------------------------------------------------------- #
+# Builders (launch-time only; every serving import is local)
+# --------------------------------------------------------------------- #
+
+
+def open_store(config: DeployConfig):
+    """The :class:`~repro.artifacts.store.ModelStore` the config names."""
+    from repro.artifacts import ModelStore
+
+    return ModelStore.from_url(
+        config.store.url, cache_dir=config.store.cache_dir or None
+    )
+
+
+def build_sinks(config: DeployConfig) -> list:
+    """Instantiate every ``[[sinks]]`` entry, in declaration order."""
+    from repro.stream import JsonlSink, MemorySink, WebhookSink
+
+    sinks = []
+    for sink in config.sinks:
+        if sink.kind == "memory":
+            sinks.append(MemorySink())
+        elif sink.kind == "jsonl":
+            sinks.append(JsonlSink(sink.path))
+        elif sink.kind == "webhook":
+            sinks.append(WebhookSink(sink.url))
+        else:  # pragma: no cover - parse_config rejects unknown kinds
+            raise ValueError(f"unknown sink kind {sink.kind!r}")
+    return sinks
+
+
+def build_service(config: DeployConfig, *, store=None, source=None):
+    """Cold-start the configured :class:`ScanService` from its artifact.
+
+    ``source`` overrides the ``[model]`` section (the rollout launcher
+    serves the production *tag* rather than the model section); when it
+    names a store ref, ``store`` is opened from the config if not given.
+    """
+    from repro.serve.cache import FeatureCache
+    from repro.serve.service import ScanService
+
+    cache = FeatureCache(max_entries=config.serve.cache_entries)
+    if source is None and config.model.path:
+        return ScanService.from_artifact(
+            config.model.path,
+            cache=cache,
+            threshold=config.serve.threshold,
+            expected_fingerprint=config.model.expected_fingerprint or None,
+        )
+    if store is None:
+        store = open_store(config)
+    return ScanService.from_artifact(
+        source if source is not None else config.model.tag,
+        store=store,
+        cache=cache,
+        threshold=config.serve.threshold,
+        expected_fingerprint=config.model.expected_fingerprint or None,
+    )
+
+
+def build_scanner(config: DeployConfig, service, *, sinks=None):
+    """The configured :class:`StreamScanner` over a built service.
+
+    Mirrors the monitor CLI's construction rules: a ``block`` policy is
+    producer-paced (``auto_flush``), drop policies are consumer-paced so
+    the bounded queue actually governs overflow, and the deadline flush
+    bounds worst-case alert latency either way.
+    """
+    from repro.stream import StreamScanner
+
+    stream = config.stream
+    return StreamScanner(
+        service,
+        shards=stream.shards,
+        max_batch=stream.batch_size,
+        max_queue=stream.queue,
+        policy=stream.policy,
+        auto_flush=stream.policy == "block",
+        flush_deadline_seconds=stream.deadline_seconds or None,
+        threshold=config.serve.threshold,
+        sinks=sinks if sinks is not None else build_sinks(config),
+        dedup_addresses=stream.dedup_addresses,
+        seed=config.source.seed,
+    )
+
+
+def build_replay_corpus(config: DeployConfig):
+    """The synthetic campaign the ``[source]`` section describes."""
+    if config.source.mode != "replay":
+        raise ValueError(
+            f"source.mode={config.source.mode!r} has no replay corpus; "
+            "config-driven launch currently drives replay topologies "
+            "(attach a live chain through repro.stream.EventBus instead)"
+        )
+    from repro.datagen.corpus import CorpusConfig, build_corpus
+
+    return build_corpus(
+        CorpusConfig(
+            n_phishing=config.source.contracts // 2,
+            n_benign=config.source.contracts // 2,
+            seed=config.source.seed,
+        )
+    )

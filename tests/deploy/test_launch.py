@@ -1,0 +1,177 @@
+"""Config-driven launch: verified files start, ERROR files refuse.
+
+End-to-end through ``repro.cli.main`` — the same entry points CI and
+the runbook exercise — plus the argparse-level knob validation.
+"""
+
+import json
+
+import pytest
+
+import repro.cli
+from repro.deploy import (
+    DeploymentBlockedError,
+    ensure_launchable,
+    parse_config,
+)
+from tests.deploy.conftest import base_config, clean_rollout
+
+
+@pytest.fixture(scope="module")
+def trained_store(tmp_path_factory):
+    """A file store with production + candidate tags, trained once."""
+    store_dir = tmp_path_factory.mktemp("store")
+    exit_code = repro.cli.main([
+        "train", "--contracts", "80", "--store", str(store_dir),
+        "--tag", "production", "--tag", "candidate",
+    ])
+    assert exit_code == 0
+    return store_dir
+
+
+def write_config(tmp_path, **overrides):
+    path = tmp_path / "deploy.json"
+    path.write_text(json.dumps(base_config(**overrides)))
+    return path
+
+
+class TestEnsureLaunchable:
+    def test_clean_config_returns_report(self):
+        config = parse_config(base_config(), origin="<test>")
+        report = ensure_launchable(config)
+        assert report.ok
+
+    def test_error_config_raises_with_report(self):
+        config = parse_config(
+            base_config(stream={"policy": "drop_newest"},
+                        sinks=[{"kind": "jsonl", "path": "a.jsonl"}]),
+            origin="<test>",
+        )
+        with pytest.raises(DeploymentBlockedError) as excinfo:
+            ensure_launchable(config)
+        assert "D001" in str(excinfo.value)
+        assert not excinfo.value.report.ok
+
+
+class TestMonitorConfig:
+    def test_monitor_launches_from_clean_config(
+        self, tmp_path, trained_store, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        config = write_config(
+            tmp_path,
+            store={"url": str(trained_store)},
+            source={"contracts": 80},
+            sinks=[{"kind": "memory"},
+                   {"kind": "jsonl", "path": "alerts.jsonl"}],
+        )
+        exit_code = repro.cli.main(["monitor", "--config", str(config)])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "replayed" in out
+        assert "sink jsonl" in out
+        assert (tmp_path / "alerts.jsonl").exists()
+
+    def test_monitor_refuses_error_config(
+        self, tmp_path, trained_store, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        config = write_config(
+            tmp_path,
+            store={"url": str(trained_store)},
+            serve={"cache_entries": 4},  # D003 vs 2x16 working set
+            sinks=[{"kind": "jsonl", "path": "alerts.jsonl"}],
+        )
+        exit_code = repro.cli.main(["monitor", "--config", str(config)])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "D003" in captured.err
+        assert "refusing to launch" in captured.err
+        assert not (tmp_path / "alerts.jsonl").exists(), (
+            "refused launch must not touch sinks"
+        )
+
+    def test_monitor_reports_parse_failure(self, tmp_path, capsys):
+        bad = tmp_path / "broken.toml"
+        bad.write_text("[stream\nshards = ")
+        exit_code = repro.cli.main(["monitor", "--config", str(bad)])
+        assert exit_code == 2
+        assert "broken.toml" in capsys.readouterr().err
+
+
+class TestRolloutConfig:
+    def test_rollout_start_from_config(
+        self, tmp_path, trained_store, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        config = write_config(
+            tmp_path,
+            store={"url": str(trained_store)},
+            source={"contracts": 80},
+            rollout=clean_rollout(min_events=10, promote_agreement=0.9,
+                                  abort_agreement=0.5,
+                                  max_divergence=0.5),
+        )
+        exit_code = repro.cli.main(
+            ["rollout", "start", "--config", str(config)]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "shadow-scored" in out
+        assert "production" in out
+
+    def test_rollout_start_requires_rollout_section(
+        self, tmp_path, trained_store, capsys
+    ):
+        config = write_config(
+            tmp_path, store={"url": str(trained_store)}
+        )
+        exit_code = repro.cli.main(
+            ["rollout", "start", "--config", str(config)]
+        )
+        assert exit_code == 2
+        assert "[rollout]" in capsys.readouterr().err
+
+    def test_rollout_start_refuses_noop_rollout(self, tmp_path, capsys):
+        config = write_config(
+            tmp_path,
+            rollout=clean_rollout(candidate="production"),
+        )
+        exit_code = repro.cli.main(
+            ["rollout", "start", "--config", str(config)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "D005" in captured.err
+
+
+class TestKnobValidation:
+    @pytest.mark.parametrize("argv", [
+        ["monitor", "--shards", "0"],
+        ["monitor", "--shards", "-2"],
+        ["monitor", "--batch-size", "0"],
+        ["monitor", "--queue", "-1"],
+        ["monitor", "--contracts", "0"],
+        ["monitor", "--deadline", "-0.5"],
+        ["monitor", "--rate", "-1"],
+        ["rollout", "start", "--shards", "0"],
+        ["rollout", "start", "--batch-size", "-4"],
+        ["rollout", "start", "--contracts", "0"],
+        ["rollout", "start", "--min-events", "0"],
+    ])
+    def test_non_positive_knobs_rejected_at_parse_time(
+        self, argv, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            repro.cli.build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "expected a" in err
+
+    @pytest.mark.parametrize("argv", [
+        ["monitor", "--shards", "3", "--batch-size", "8"],
+        ["rollout", "start", "--shards", "1"],
+    ])
+    def test_positive_knobs_accepted(self, argv):
+        args = repro.cli.build_parser().parse_args(argv)
+        assert args.shards >= 1

@@ -1,0 +1,62 @@
+"""Every shipped deployment config must verify clean — strictly.
+
+Mirrors the CI ``check-config`` job in-process so `pytest` alone
+catches a drifting example, and pins the guarantees the docs claim:
+zero violations (WARNs included) on everything under
+``examples/deploy/``, and machine-readable JSON output.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+import repro.cli
+from repro.deploy import check_config, load_config
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+SHIPPED = sorted(
+    [
+        *(REPO / "examples" / "deploy").glob("*.toml"),
+        *(REPO / "examples" / "deploy").glob("*.json"),
+    ],
+    key=lambda p: p.name,
+)
+
+
+def test_examples_exist_in_both_formats():
+    suffixes = {path.suffix for path in SHIPPED}
+    assert ".toml" in suffixes and ".json" in suffixes
+    assert len(SHIPPED) >= 3
+
+
+@pytest.mark.parametrize(
+    "path", SHIPPED, ids=[p.name for p in SHIPPED]
+)
+def test_shipped_config_is_strictly_clean(path):
+    report = check_config(load_config(path))
+    assert report.violations == (), (
+        f"{path.name} ships with violations: "
+        + ", ".join(v.rule_id for v in report.violations)
+    )
+
+
+@pytest.mark.parametrize(
+    "path", SHIPPED, ids=[p.name for p in SHIPPED]
+)
+def test_cli_strict_exit_zero(path, capsys):
+    exit_code = repro.cli.main(
+        ["check-config", "--strict", "--json", str(path)]
+    )
+    report = json.loads(capsys.readouterr().out)
+    assert exit_code == 0
+    assert report["ok"] is True
+    assert report["violations"] == []
+
+
+def test_bucket_example_demonstrates_cache_dir():
+    config = load_config(REPO / "examples" / "deploy" / "bucket-fleet.toml")
+    assert config.store.scheme == "bucket"
+    assert config.store.cache_dir, (
+        "the bucket example exists to demonstrate cache_dir (rule D006)"
+    )
