@@ -30,6 +30,7 @@ Entry points:
 
 from repro.artifacts.backends import (
     DiskBucket,
+    HttpStoreBackend,
     LocalFSBackend,
     MemoryBucket,
     ObjectStoreBackend,
@@ -76,6 +77,7 @@ __all__ = [
     "StoreBackend",
     "LocalFSBackend",
     "ObjectStoreBackend",
+    "HttpStoreBackend",
     "MemoryBucket",
     "DiskBucket",
     "backend_from_url",

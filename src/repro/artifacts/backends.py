@@ -22,12 +22,21 @@ Backends:
   (process-wide, named — ``memory://name``) and :class:`DiskBucket`
   (a directory of blobs + ``.etag`` sidecars — ``bucket://path``).
 
+* :class:`HttpStoreBackend` — a store served over HTTP by
+  ``phishinghook store-serve`` (:func:`repro.net.store_http.serve_store`):
+  the pull path for fleet worker processes with no shared mount. Every
+  ``get`` re-verifies the response body against the ``ETag`` header, so
+  a truncated or corrupted transfer raises
+  :class:`~repro.artifacts.errors.IntegrityError` before any bytes reach
+  the artifact loader.
+
 URL scheme (:func:`backend_from_url`):
 
 ======================  =================================================
 ``/path`` / ``file://``  :class:`LocalFSBackend` (classic store directory)
 ``memory://name``        shared in-process bucket (tests, demos)
 ``bucket://path``        on-disk bucket emulation (S3 layout stand-in)
+``http(s)://host:port``  remote store endpoint (``store-serve``)
 ======================  =================================================
 """
 
@@ -48,6 +57,7 @@ __all__ = [
     "StoreBackend",
     "LocalFSBackend",
     "ObjectStoreBackend",
+    "HttpStoreBackend",
     "MemoryBucket",
     "DiskBucket",
     "backend_from_url",
@@ -569,6 +579,131 @@ class ObjectStoreBackend(StoreBackend):
             yield
 
 
+class HttpStoreBackend(StoreBackend):
+    """A store served over HTTP (``phishinghook store-serve``).
+
+    The client half of :func:`repro.net.store_http.serve_store`: keys
+    map to URL paths, the list operation is ``GET /?prefix=``, and the
+    server answers every blob with an ``ETag`` header (content SHA-256).
+    :meth:`get` re-verifies the received bytes against that header —
+    exactly the check :class:`ObjectStoreBackend` does against its
+    bucket — so a corrupt proxy, truncated body, or tampered mirror
+    raises :class:`~repro.artifacts.errors.IntegrityError` at read time.
+
+    ``local_path`` stays ``None``: artifacts pulled over HTTP spool
+    through the store's ``cache_dir`` into immutable digest-named files
+    (and the spool itself is multi-process safe; see
+    :meth:`~repro.artifacts.store.ModelStore.path_of`).
+
+    The server refuses writes unless started ``--writable``; this
+    surfaces here as ``PermissionError`` rather than a silent no-op.
+    """
+
+    scheme = "http"
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self._url = base_url.rstrip("/")
+        self.scheme = self._url.partition("://")[0] or "http"
+        self.timeout = timeout
+        # HTTP stores are read-mostly by design (workers pull, nobody
+        # here races a tag read-modify-write against another *writer on
+        # this host*); the lock still serializes this process's cycles.
+        self._lock = threading.RLock()
+
+    @property
+    def url(self) -> str:
+        return self._url
+
+    def _request(self, method: str, key: str, *, body: bytes = None):
+        from urllib.parse import quote
+
+        from repro.net.client import http_request
+
+        return http_request(
+            method, f"{self._url}/{quote(key, safe='/')}",
+            body=body, timeout=self.timeout,
+        )
+
+    def get(self, key: str) -> bytes:
+        response = self._request("GET", key)
+        if response.status == 404:
+            raise KeyError(key)
+        if not response.ok:
+            raise OSError(
+                f"GET {self._url}/{key}: HTTP {response.status}"
+            )
+        etag = response.headers.get("etag")
+        if not etag or _content_etag(response.body) != etag:
+            raise IntegrityError(
+                f"{self._url}/{key}: response body does not match its "
+                f"ETag (corrupt transfer or tampered mirror)"
+            )
+        return response.body
+
+    def put(self, key: str, data: bytes) -> str:
+        response = self._request("PUT", key, body=data)
+        if response.status == 405:
+            raise PermissionError(
+                f"{self._url} is served read-only (start store-serve "
+                f"with --writable to accept puts)"
+            )
+        if not response.ok:
+            raise OSError(
+                f"PUT {self._url}/{key}: HTTP {response.status}"
+            )
+        return response.json()["etag"]
+
+    def delete(self, key: str) -> bool:
+        response = self._request("DELETE", key)
+        if response.status == 405:
+            raise PermissionError(f"{self._url} is served read-only")
+        if not response.ok:
+            raise OSError(
+                f"DELETE {self._url}/{key}: HTTP {response.status}"
+            )
+        return bool(response.json().get("deleted"))
+
+    def list(self, prefix: str = "") -> list[str]:
+        from urllib.parse import quote
+
+        from repro.net.client import http_request
+
+        response = http_request(
+            "GET", f"{self._url}/?prefix={quote(prefix)}",
+            timeout=self.timeout,
+        )
+        if not response.ok:
+            raise OSError(
+                f"LIST {self._url}: HTTP {response.status}"
+            )
+        return list(response.json()["keys"])
+
+    def etag(self, key: str) -> str | None:
+        response = self._request("HEAD", key)
+        if response.status == 404:
+            return None
+        if not response.ok:
+            raise OSError(
+                f"HEAD {self._url}/{key}: HTTP {response.status}"
+            )
+        return response.headers.get("etag")
+
+    def size(self, key: str) -> int:
+        response = self._request("HEAD", key)
+        if response.status == 404:
+            raise KeyError(key)
+        if not response.ok:
+            raise OSError(
+                f"HEAD {self._url}/{key}: HTTP {response.status}"
+            )
+        return int(response.headers.get("content-length", "0"))
+
+    @contextlib.contextmanager
+    def lock(self):
+        with self._lock:
+            yield
+
+
 # --------------------------------------------------------------------- #
 
 
@@ -577,7 +712,8 @@ def backend_from_url(url: str | os.PathLike) -> StoreBackend:
 
     ``file://path`` (or a bare path) → :class:`LocalFSBackend`;
     ``memory://name`` → a process-shared :class:`MemoryBucket`;
-    ``bucket://path`` → an on-disk :class:`DiskBucket`. Anything else
+    ``bucket://path`` → an on-disk :class:`DiskBucket`;
+    ``http(s)://host:port`` → :class:`HttpStoreBackend`. Anything else
     raises :class:`~repro.artifacts.errors.CorruptArtifactError`'s
     sibling ``ValueError`` — unknown schemes must fail loudly, not fall
     back to a surprise local directory.
@@ -597,7 +733,11 @@ def backend_from_url(url: str | os.PathLike) -> StoreBackend:
         if not rest:
             raise ValueError("bucket:// store URLs need a directory path")
         return ObjectStoreBackend(DiskBucket(rest))
+    if scheme in ("http", "https"):
+        if not rest:
+            raise ValueError("http(s):// store URLs need a host")
+        return HttpStoreBackend(text)
     raise ValueError(
         f"unknown store scheme {scheme!r} in {text!r} "
-        "(supported: file://, memory://, bucket://)"
+        "(supported: file://, memory://, bucket://, http://, https://)"
     )

@@ -275,9 +275,21 @@ class ModelStore:
                 raise UnknownVersionError(
                     f"version {version!r} vanished from {self.backend.url}"
                 ) from None
-            temp = spooled.with_name(f".tmp-{spooled.name}")
-            temp.write_bytes(data)
-            os.replace(temp, spooled)
+            # Concurrent cold starts (N fleet workers sharing one
+            # cache_dir) may all spool this version at once: each writes
+            # a private mkstemp file and atomically renames it over the
+            # digest-named target, so a reader can never observe a
+            # half-written spool — last rename wins with identical bytes.
+            handle, temp_name = tempfile.mkstemp(
+                dir=spool_root, prefix=f".tmp-{version[:16]}-",
+                suffix=".npz",
+            )
+            try:
+                with os.fdopen(handle, "wb") as stream:
+                    stream.write(data)
+                os.replace(temp_name, spooled)
+            finally:
+                pathlib.Path(temp_name).unlink(missing_ok=True)
         return spooled
 
     def load(self, ref: str, *, expected_fingerprint: str | None = None):

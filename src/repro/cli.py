@@ -23,6 +23,11 @@ Commands:
 * ``monitor`` — replay a synthetic campaign through the event-driven
   streaming pipeline (micro-batches, sharded workers, alert sinks; see
   :mod:`repro.stream`), cold-starting every shard from one artifact,
+* ``fleet`` — run a multi-process serving fleet behind an HTTP
+  coordinator (``start``/``serve``/``status``/``scan``/``stop``; see
+  :mod:`repro.net` and ``docs/architecture.md``),
+* ``store-serve`` — publish a model store over HTTP so fleet workers
+  (or other hosts) can cold-start from it via an ``http://`` store URL,
 * ``attack`` — demonstrate the benign-mimicry evasion sweep against a
   clean-trained Random Forest (extension; see ``repro.robustness``),
 * ``calibrate`` — measure a model's probability calibration (ECE/Brier)
@@ -722,6 +727,256 @@ def _cmd_calibrate(args) -> int:
     return 0
 
 
+def _fleet_client(args):
+    """A :class:`FleetClient` from ``--url`` or the fleet state file."""
+    from repro.net import FleetClient, load_fleet_state
+
+    url = getattr(args, "url", "") or ""
+    if not url:
+        try:
+            url = load_fleet_state(args.state)["url"]
+        except FileNotFoundError:
+            print(
+                f"error: no fleet state file at {args.state}; start a "
+                "fleet first ('phishinghook fleet start --config ...') "
+                "or pass --url",
+                file=sys.stderr,
+            )
+            return None
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return None
+    return FleetClient(url)
+
+
+def _fleet_serve(args) -> int:
+    """Foreground fleet: verify, build, run until SIGTERM/SIGINT."""
+    import pathlib
+    import signal
+    import time
+
+    from repro.deploy import build_fleet
+    from repro.net import save_fleet_state
+
+    config, code = _launchable_config(args.config)
+    if config is None:
+        return code
+    if config.fleet is None:
+        print(
+            f"error: {args.config} has no [fleet] section; "
+            "'phishinghook monitor --config' serves single-process "
+            "topologies",
+            file=sys.stderr,
+        )
+        return 2
+    manager = build_fleet(config)
+    try:
+        manager.start()
+    except Exception as error:  # startup is all-or-nothing
+        print(f"error: fleet failed to start: {error}", file=sys.stderr)
+        return 1
+    save_fleet_state(args.state, url=manager.url)
+    print(
+        f"fleet up: {manager.workers} worker(s) behind {manager.url} "
+        f"(state file: {args.state})",
+        flush=True,
+    )
+    interrupted = {"flag": False}
+
+    def _on_signal(signum, frame):
+        interrupted["flag"] = True
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    try:
+        # POST /shutdown flips manager.stopped; signals flip the flag.
+        while not (interrupted["flag"] or manager.stopped):
+            time.sleep(0.2)
+    finally:
+        manager.stop()
+        pathlib.Path(args.state).unlink(missing_ok=True)
+    print("fleet stopped")
+    return 0
+
+
+def _fleet_start(args) -> int:
+    """Daemonize ``fleet serve`` and wait for the fleet to be healthy."""
+    import pathlib
+    import subprocess
+    import time
+
+    from repro.net import FleetClient, load_fleet_state
+    from repro.net.client import TransportError
+
+    # Verify locally first: a doomed config fails here in milliseconds
+    # with the full report instead of a "check the log" round-trip.
+    config, code = _launchable_config(args.config)
+    if config is None:
+        return code
+    if config.fleet is None:
+        print(f"error: {args.config} has no [fleet] section",
+              file=sys.stderr)
+        return 2
+    pathlib.Path(args.state).unlink(missing_ok=True)
+    with open(args.log, "ab") as log:
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "fleet", "serve",
+             "--config", args.config, "--state", args.state],
+            stdout=log, stderr=subprocess.STDOUT,
+            start_new_session=True,
+        )
+    deadline = time.monotonic() + args.timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            print(
+                f"error: fleet process exited with code "
+                f"{process.returncode} before becoming healthy "
+                f"(log: {args.log})",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            state = load_fleet_state(args.state)
+            if FleetClient(state["url"], timeout=2.0).healthz().get("ok"):
+                print(f"fleet up: {state['url']} "
+                      f"(pid {state['pid']}, log {args.log})")
+                return 0
+        except (FileNotFoundError, ValueError, TransportError):
+            pass
+        time.sleep(0.2)
+    print(
+        f"error: fleet not healthy within {args.timeout:.0f}s "
+        f"(log: {args.log})",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _cmd_fleet(args) -> int:
+    import json
+
+    from repro.net import FleetRpcError
+    from repro.net.client import TransportError
+
+    if args.fleet_command == "serve":
+        return _fleet_serve(args)
+    if args.fleet_command == "start":
+        return _fleet_start(args)
+
+    client = _fleet_client(args)
+    if client is None:
+        return 2
+
+    if args.fleet_command == "status":
+        try:
+            status = client.status()
+        except (FleetRpcError, TransportError) as error:
+            print(f"error: coordinator at {client.base_url} unreachable: "
+                  f"{error}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0
+        counters = status["counters"]
+        latency = status["batch_latency_seconds"]
+        print(f"coordinator {client.base_url}: "
+              f"{status['alive']}/{len(status['workers'])} worker(s) "
+              f"alive, overflow={status['overflow']}, "
+              f"queue_depth={status['queue_depth']}"
+              + (", draining" if status["draining"] else ""))
+        print(f"batches {counters['batches']}  "
+              f"scanned {counters['scanned']}  "
+              f"flagged {counters['flagged']}  "
+              f"shed {counters['shed']}  rerouted {counters['rerouted']}")
+        print(f"feature handoff: {counters['shm_batches']} shm, "
+              f"{counters['inline_batches']} inline")
+        if latency:
+            print(f"batch latency p50 {latency['p50'] * 1e3:.2f}ms  "
+                  f"p95 {latency['p95'] * 1e3:.2f}ms  "
+                  f"p99 {latency['p99'] * 1e3:.2f}ms")
+        for worker in status["workers"]:
+            state = "alive" if worker["alive"] else "DEAD"
+            print(f"  worker {worker['index']} [{state}] "
+                  f"pid={worker['pid']} inflight={worker['inflight']} "
+                  f"completed={worker['completed']} "
+                  f"failed={worker['failed']}")
+        return 0
+
+    if args.fleet_command == "scan":
+        corpus = build_corpus(
+            CorpusConfig(n_phishing=args.contracts // 2,
+                         n_benign=args.contracts // 2, seed=args.seed)
+        )
+        phishing_records = corpus.phishing_records()
+        if "random-phishing" in args.addresses and not phishing_records:
+            print("error: corpus has no phishing records to sample "
+                  "(raise --contracts)", file=sys.stderr)
+            return 2
+        next_phishing = itertools.cycle(phishing_records)
+        addresses = [
+            next(next_phishing).address if a == "random-phishing" else a
+            for a in args.addresses
+        ]
+        codes = [corpus.chain.get_code(address) for address in addresses]
+        try:
+            results = client.scan(addresses, codes)
+        except (FleetRpcError, TransportError) as error:
+            print(f"error: scan via {client.base_url} failed: {error}",
+                  file=sys.stderr)
+            return 1
+        for result in results:
+            verdict = "PHISHING" if result["is_phishing"] else "benign"
+            via = "cache" if result["from_cache"] else "model"
+            print(f"{result['address']}: {verdict} "
+                  f"(p={result['probability']:.3f}, "
+                  f"shard={result['shard']}, via={via})")
+        return 0
+
+    if args.fleet_command == "stop":
+        try:
+            alive = client.healthz().get("alive_workers", "?")
+        except TransportError:
+            print(f"fleet at {client.base_url} is already down")
+            return 0
+        client.shutdown()
+        print(f"fleet at {client.base_url} stopping "
+              f"({alive} worker(s) draining)")
+        return 0
+
+    raise AssertionError(  # pragma: no cover - argparse enforces choices
+        f"unknown fleet command {args.fleet_command!r}"
+    )
+
+
+def _cmd_store_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.net import serve_store
+
+    store = _store_from(args)
+    server = serve_store(
+        store.backend, args.host, args.port, writable=args.writable
+    )
+    host, port = server.server_address[:2]
+    mode = "read-write" if args.writable else "read-only"
+    print(f"serving store {store.backend.url} at http://{host}:{port} "
+          f"({mode})", flush=True)
+
+    def _on_signal(signum, frame):
+        # shutdown() must not run on the serve_forever thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        server.server_close()
+    print("store server stopped")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="phishinghook",
@@ -752,7 +1007,7 @@ def build_parser() -> argparse.ArgumentParser:
         parser.add_argument(
             "--store", default="",
             help="model store path or URL (file://, memory://, "
-                 "bucket://; default: $PHOOK_MODEL_STORE or "
+                 "bucket://, http://; default: $PHOOK_MODEL_STORE or "
                  "./phook-models)",
         )
         parser.add_argument(
@@ -779,8 +1034,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     train.add_argument(
         "--store", default="",
-        help="model store path or URL (file://, memory://, bucket://; "
-             "default: $PHOOK_MODEL_STORE or ./phook-models)",
+        help="model store path or URL (file://, memory://, bucket://, "
+             "http://; default: $PHOOK_MODEL_STORE or ./phook-models)",
     )
     train.add_argument(
         "--tag", action="append", default=[],
@@ -794,8 +1049,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     models.add_argument(
         "--store", default="",
-        help="model store path or URL (file://, memory://, bucket://; "
-             "default: $PHOOK_MODEL_STORE or ./phook-models)",
+        help="model store path or URL (file://, memory://, bucket://, "
+             "http://; default: $PHOOK_MODEL_STORE or ./phook-models)",
     )
     models_sub = models.add_subparsers(dest="models_command", required=True)
     models_list = models_sub.add_parser("list", help="list stored versions")
@@ -823,8 +1078,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rollout.add_argument(
         "--store", default="",
-        help="model store path or URL (file://, memory://, bucket://; "
-             "default: $PHOOK_MODEL_STORE or ./phook-models)",
+        help="model store path or URL (file://, memory://, bucket://, "
+             "http://; default: $PHOOK_MODEL_STORE or ./phook-models)",
     )
     rollout_sub = rollout.add_subparsers(dest="rollout_command",
                                          required=True)
@@ -960,6 +1215,105 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero on WARN-severity violations too",
     )
     check.set_defaults(func=_cmd_check_config)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-process serving fleet behind an HTTP coordinator",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def add_fleet_locator(parser):
+        parser.add_argument(
+            "--state", default="./phook-fleet.json",
+            help="fleet state file (written by start/serve, read by "
+                 "status/scan/stop)",
+        )
+        parser.add_argument(
+            "--url", default="",
+            help="coordinator base URL (overrides the state file)",
+        )
+
+    fleet_serve = fleet_sub.add_parser(
+        "serve",
+        help="run a fleet in the foreground until SIGTERM/Ctrl-C",
+    )
+    fleet_serve.add_argument(
+        "--config", required=True,
+        help="deployment file (TOML/JSON) with a [fleet] section; "
+             "statically verified first — ERROR violations refuse to "
+             "launch",
+    )
+    fleet_serve.add_argument(
+        "--state", default="./phook-fleet.json",
+        help="write the coordinator URL + pid here for status/scan/stop",
+    )
+
+    fleet_start = fleet_sub.add_parser(
+        "start",
+        help="launch a fleet in the background and wait until healthy",
+    )
+    fleet_start.add_argument(
+        "--config", required=True,
+        help="deployment file (TOML/JSON) with a [fleet] section; "
+             "statically verified first — ERROR violations refuse to "
+             "launch",
+    )
+    fleet_start.add_argument(
+        "--state", default="./phook-fleet.json",
+        help="write the coordinator URL + pid here for status/scan/stop",
+    )
+    fleet_start.add_argument(
+        "--log", default="phook-fleet.log",
+        help="append the daemonized fleet's output here",
+    )
+    fleet_start.add_argument(
+        "--timeout", type=_nonnegative_float, default=90.0,
+        help="seconds to wait for every worker's model cold-start",
+    )
+
+    fleet_status = fleet_sub.add_parser(
+        "status", help="print a running fleet's workers and counters"
+    )
+    add_fleet_locator(fleet_status)
+    fleet_status.add_argument("--json", action="store_true",
+                              help="machine-readable output")
+
+    fleet_scan = fleet_sub.add_parser(
+        "scan", help="classify contract addresses through the fleet"
+    )
+    fleet_scan.add_argument(
+        "addresses", nargs="+", metavar="address",
+        help="0x… addresses, or 'random-phishing' (repeatable)",
+    )
+    fleet_scan.add_argument("--contracts", type=_positive_int, default=200)
+    fleet_scan.add_argument("--seed", type=int, default=0)
+    add_fleet_locator(fleet_scan)
+
+    fleet_stop = fleet_sub.add_parser(
+        "stop", help="drain and shut down a running fleet"
+    )
+    add_fleet_locator(fleet_stop)
+    fleet.set_defaults(func=_cmd_fleet)
+
+    store_serve = sub.add_parser(
+        "store-serve",
+        help="publish a model store over HTTP (http:// store backend)",
+    )
+    store_serve.add_argument(
+        "--store", default="",
+        help="model store path or URL (file://, memory://, bucket://, "
+             "http://; default: $PHOOK_MODEL_STORE or ./phook-models)",
+    )
+    store_serve.add_argument("--host", default="127.0.0.1")
+    store_serve.add_argument(
+        "--port", type=int, default=8700,
+        help="bind port (0 = ephemeral)",
+    )
+    store_serve.add_argument(
+        "--writable", action="store_true",
+        help="accept PUT/DELETE too (default: read-only, writes get 405)",
+    )
+    store_serve.set_defaults(func=_cmd_store_serve)
 
     disasm = sub.add_parser("disasm", help="disassemble hex bytecode to CSV")
     disasm.add_argument("bytecode", help="hex string, 0x prefix optional")

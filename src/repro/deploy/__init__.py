@@ -28,6 +28,7 @@ from repro.deploy.config import (
     ConfigError,
     ConfigProblem,
     DeployConfig,
+    FleetConfig,
     ModelConfig,
     RolloutConfig,
     ServeConfig,
@@ -40,6 +41,7 @@ from repro.deploy.config import (
 )
 from repro.deploy.launch import (
     DeploymentBlockedError,
+    build_fleet,
     build_replay_corpus,
     build_scanner,
     build_service,
@@ -70,6 +72,7 @@ __all__ = [
     "SinkConfig",
     "SourceConfig",
     "RolloutConfig",
+    "FleetConfig",
     "load_config",
     "parse_config",
     # rules
@@ -88,5 +91,6 @@ __all__ = [
     "build_sinks",
     "build_service",
     "build_scanner",
+    "build_fleet",
     "build_replay_corpus",
 ]

@@ -28,6 +28,7 @@ Sections (TOML table names match the dataclass fields)::
     [[sinks]]    # alert fan-out (repeatable)        -> SinkConfig
     [source]     # traffic source (replay campaign)  -> SourceConfig
     [rollout]    # optional shadow-rollout plan      -> RolloutConfig
+    [fleet]      # optional multi-process fleet      -> FleetConfig
 """
 
 from __future__ import annotations
@@ -47,6 +48,7 @@ __all__ = [
     "SinkConfig",
     "SourceConfig",
     "RolloutConfig",
+    "FleetConfig",
     "DeployConfig",
     "load_config",
     "parse_config",
@@ -70,7 +72,11 @@ SOURCE_MODES = ("replay", "live")
 ROLLOUT_POLICIES = ("parity", "manual")
 
 #: Store URL schemes (mirrors ``repro.artifacts.backends``).
-STORE_SCHEMES = ("file", "memory", "bucket")
+STORE_SCHEMES = ("file", "memory", "bucket", "http", "https")
+
+#: Fleet admission-control overflow policies (mirrors
+#: ``repro.net.coordinator``): shed (HTTP 429) or block the submitter.
+FLEET_OVERFLOW = ("shed", "block")
 
 
 @dataclass(frozen=True)
@@ -175,6 +181,8 @@ class SinkConfig:
     kind: str = "memory"
     path: str = ""  # jsonl
     url: str = ""  # webhook
+    #: Webhook POST timeout in seconds (webhook sinks only).
+    timeout: float = 2.0
 
 
 @dataclass(frozen=True)
@@ -202,6 +210,31 @@ class RolloutConfig:
 
 
 @dataclass(frozen=True)
+class FleetConfig:
+    """Multi-process serving fleet (``[fleet]``, optional).
+
+    Present means the topology launches as worker *processes* behind a
+    coordinator (:mod:`repro.net`) instead of one in-process scanner.
+    """
+
+    workers: int = 2
+    #: Max in-flight batches per worker before admission control acts.
+    queue_depth: int = 4
+    #: Overflow policy: ``shed`` (HTTP 429) or ``block`` the submitter.
+    overflow: str = "shed"
+    #: Ship decoded feature blocks through shared memory (decode once
+    #: per host); off means workers re-decode every unique bytecode.
+    ship_features: bool = True
+    #: Shared-memory ring slots; 0 sizes it automatically
+    #: (``workers × queue_depth × 2``).
+    slots: int = 0
+    slot_bytes: int = 1 << 20
+    host: str = "127.0.0.1"
+    #: Coordinator port; 0 binds an ephemeral port.
+    port: int = 0
+
+
+@dataclass(frozen=True)
 class DeployConfig:
     """The full deployment topology, domain-valid by construction."""
 
@@ -212,6 +245,7 @@ class DeployConfig:
     sinks: tuple[SinkConfig, ...] = ()
     source: SourceConfig = SourceConfig()
     rollout: RolloutConfig | None = None
+    fleet: FleetConfig | None = None
     #: Where this config came from (file path or ``"<dict>"``).
     origin: str = "<dict>"
 
@@ -222,10 +256,23 @@ class DeployConfig:
             "model": dataclasses.asdict(self.model),
             "serve": dataclasses.asdict(self.serve),
             "stream": dataclasses.asdict(self.stream),
-            "sinks": [dataclasses.asdict(s) for s in self.sinks],
+            "sinks": [
+                # Only webhook sinks take a delivery timeout; dropping the
+                # key elsewhere keeps as_dict() re-parseable under the same
+                # strictness the parser applies to hand-written configs.
+                {
+                    k: v
+                    for k, v in dataclasses.asdict(s).items()
+                    if not (k == "timeout" and s.kind != "webhook")
+                }
+                for s in self.sinks
+            ],
             "source": dataclasses.asdict(self.source),
             "rollout": (
                 dataclasses.asdict(self.rollout) if self.rollout else None
+            ),
+            "fleet": (
+                dataclasses.asdict(self.fleet) if self.fleet else None
             ),
         }
         return data
@@ -425,6 +472,10 @@ def _parse_sinks(
         kind = section.string("kind", "", choices=SINK_KINDS)
         path = section.string("path", "")
         url = section.string("url", "")
+        has_timeout = "timeout" in section.raw
+        timeout = section.number(
+            "timeout", SinkConfig.timeout, minimum=0.0, exclusive=True
+        )
         if kind == "jsonl" and not path:
             section.complain("path", "jsonl sink needs a file path")
         if kind == "webhook" and not url:
@@ -435,8 +486,14 @@ def _parse_sinks(
             section.complain("url", "jsonl sink takes no url")
         if kind == "webhook" and path:
             section.complain("path", "webhook sink takes no path")
+        if has_timeout and kind != "webhook":
+            section.complain(
+                "timeout", "only webhook sinks take a delivery timeout"
+            )
         section.finish()
-        sinks.append(SinkConfig(kind=kind, path=path, url=url))
+        sinks.append(
+            SinkConfig(kind=kind, path=path, url=url, timeout=timeout)
+        )
     return tuple(sinks)
 
 
@@ -499,6 +556,48 @@ def _parse_rollout(
     return config
 
 
+def _parse_fleet(
+    data: dict, problems: list[ConfigProblem]
+) -> FleetConfig | None:
+    raw = data.pop("fleet", None)
+    if raw is None:
+        return None
+    if not isinstance(raw, dict):
+        problems.append(
+            ConfigProblem("fleet", f"expected a table/object, got {raw!r}")
+        )
+        return None
+    section = _Section("fleet", raw, problems)
+    host = section.string("host", FleetConfig.host)
+    if not host:
+        section.complain("host", "must not be empty")
+        host = FleetConfig.host
+    port = section.integer("port", FleetConfig.port, minimum=0)
+    if port > 65535:
+        section.complain("port", f"must be <= 65535, got {port}")
+        port = FleetConfig.port
+    config = FleetConfig(
+        workers=section.integer("workers", FleetConfig.workers, minimum=1),
+        queue_depth=section.integer(
+            "queue_depth", FleetConfig.queue_depth, minimum=1
+        ),
+        overflow=section.string(
+            "overflow", FleetConfig.overflow, choices=FLEET_OVERFLOW
+        ),
+        ship_features=section.boolean(
+            "ship_features", FleetConfig.ship_features
+        ),
+        slots=section.integer("slots", FleetConfig.slots, minimum=0),
+        slot_bytes=section.integer(
+            "slot_bytes", FleetConfig.slot_bytes, minimum=4096
+        ),
+        host=host,
+        port=port,
+    )
+    section.finish()
+    return config
+
+
 def parse_config(data: dict, *, origin: str = "<dict>") -> DeployConfig:
     """Validate a raw mapping into a :class:`DeployConfig`.
 
@@ -519,6 +618,7 @@ def parse_config(data: dict, *, origin: str = "<dict>") -> DeployConfig:
     sinks = _parse_sinks(data, problems)
     source = _parse_source(_section(data, "source", problems))
     rollout = _parse_rollout(data, problems)
+    fleet = _parse_fleet(data, problems)
 
     for key in sorted(data):
         problems.append(ConfigProblem(str(key), "unknown section"))
@@ -532,6 +632,7 @@ def parse_config(data: dict, *, origin: str = "<dict>") -> DeployConfig:
         sinks=sinks,
         source=source,
         rollout=rollout,
+        fleet=fleet,
         origin=origin,
     )
 

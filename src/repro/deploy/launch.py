@@ -27,6 +27,7 @@ __all__ = [
     "build_sinks",
     "build_service",
     "build_scanner",
+    "build_fleet",
     "build_replay_corpus",
 ]
 
@@ -84,7 +85,7 @@ def build_sinks(config: DeployConfig) -> list:
         elif sink.kind == "jsonl":
             sinks.append(JsonlSink(sink.path))
         elif sink.kind == "webhook":
-            sinks.append(WebhookSink(sink.url))
+            sinks.append(WebhookSink(sink.url, timeout=sink.timeout))
         else:  # pragma: no cover - parse_config rejects unknown kinds
             raise ValueError(f"unknown sink kind {sink.kind!r}")
     return sinks
@@ -142,6 +143,42 @@ def build_scanner(config: DeployConfig, service, *, sinks=None):
         sinks=sinks if sinks is not None else build_sinks(config),
         dedup_addresses=stream.dedup_addresses,
         seed=config.source.seed,
+    )
+
+
+def build_fleet(config: DeployConfig, *, sinks=None):
+    """The configured multi-process fleet (not yet started).
+
+    Requires a ``[fleet]`` section; the caller (the ``fleet`` CLI)
+    starts it (``manager.start()``) and owns the teardown. ``[stream]``
+    knobs map onto the fleet's per-worker topology: ``stream.shards``
+    becomes each worker's in-process shard count.
+    """
+    if config.fleet is None:
+        raise ValueError(
+            f"config {config.origin} has no [fleet] section; "
+            "add one to launch a multi-process fleet"
+        )
+    from repro.net import FleetManager
+
+    fleet = config.fleet
+    return FleetManager(
+        workers=fleet.workers,
+        store_url="" if config.model.path else config.store.url,
+        model_ref="" if config.model.path else config.model.tag,
+        model_path=config.model.path,
+        cache_dir=config.store.cache_dir,
+        threshold=config.serve.threshold,
+        worker_shards=config.stream.shards,
+        cache_entries=config.serve.cache_entries,
+        queue_depth=fleet.queue_depth,
+        overflow=fleet.overflow,
+        ship_features=fleet.ship_features,
+        slots=fleet.slots,
+        slot_bytes=fleet.slot_bytes,
+        host=fleet.host,
+        port=fleet.port,
+        sinks=sinks if sinks is not None else build_sinks(config),
     )
 
 

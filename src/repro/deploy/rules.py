@@ -176,16 +176,19 @@ def _noop_rollout(c: DeployConfig):
 
 
 def _redundant_pulls(c: DeployConfig):
-    if (
-        c.store.scheme == "bucket"
-        and c.stream.shards > 1
-        and not c.store.cache_dir
-    ):
+    remote = c.store.scheme in ("bucket", "http", "https")
+    many_cold_starts = c.stream.shards > 1 or c.fleet is not None
+    if remote and many_cold_starts and not c.store.cache_dir:
+        what = (
+            f"fleet.workers={c.fleet.workers} worker processes"
+            if c.fleet is not None
+            else f"stream.shards={c.stream.shards}"
+        )
         return (
-            f"store.url={c.store.url!r} is an object-store backend and "
-            f"stream.shards={c.stream.shards}, but store.cache_dir is "
-            f"unset: every process cold start re-pulls the artifact into a "
-            f"throwaway spool instead of a shared local cache"
+            f"store.url={c.store.url!r} is a remote backend serving "
+            f"{what}, but store.cache_dir is unset: every process cold "
+            f"start re-pulls the artifact into a throwaway spool instead "
+            f"of a shared local cache"
         )
     return None
 
@@ -321,6 +324,71 @@ def _degenerate_batching(c: DeployConfig):
     return None
 
 
+def _fleet_unreachable_store(c: DeployConfig):
+    if c.fleet is not None and c.store.scheme == "memory":
+        return (
+            f"store.url={c.store.url!r} is an in-process bucket but "
+            f"fleet.workers={c.fleet.workers} spawns worker *processes*: "
+            f"a child cannot reach the parent's memory:// registry (under "
+            f"spawn it sees an empty store; under fork, a diverging "
+            f"snapshot), so workers cold-start from a store that does not "
+            f"exist where they run"
+        )
+    return None
+
+
+def _fleet_aliased_sharding(c: DeployConfig):
+    import math
+
+    if c.fleet is None or c.fleet.workers < 2 or c.stream.shards < 2:
+        return None
+    g = math.gcd(c.fleet.workers, c.stream.shards)
+    if g > 1:
+        return (
+            f"fleet.workers={c.fleet.workers} and stream.shards="
+            f"{c.stream.shards} share a factor of {g}: both hash "
+            f"crc32(address), so worker w only ever receives addresses "
+            f"with crc32 ≡ w (mod {g}) and exercises just "
+            f"{c.stream.shards // g} of its {c.stream.shards} in-process "
+            f"shard views — the rest sit idle while their siblings "
+            f"absorb the skew"
+        )
+    return None
+
+
+def _fleet_shed_alert_loss(c: DeployConfig):
+    if c.fleet is None or c.fleet.overflow != "shed":
+        return None
+    durable = [s.kind for s in c.sinks if s.kind in _DURABLE_SINKS]
+    if c.stream.policy == "block" and durable:
+        return (
+            f"fleet.overflow='shed' drops whole batches with HTTP 429 "
+            f"while stream.policy='block' and "
+            f"{'/'.join(sorted(set(durable)))} sink(s) declare a lossless, "
+            f"durably-delivered topology: shed batches are never scored, "
+            f"so their alerts vanish from a pipeline that promises not to "
+            f"lose any"
+        )
+    return None
+
+
+def _fleet_undersized_ring(c: DeployConfig):
+    f = c.fleet
+    if f is None or not f.ship_features or f.slots == 0:
+        return None
+    needed = f.workers * f.queue_depth
+    if f.slots < needed:
+        return (
+            f"fleet.slots={f.slots} is below the worst-case in-flight "
+            f"demand fleet.workers={f.workers} x fleet.queue_depth="
+            f"{f.queue_depth} = {needed}: under full admission the ring "
+            f"runs dry and batches silently fall back to inline feature "
+            f"shipping, re-paying the serialization the ring exists to "
+            f"avoid"
+        )
+    return None
+
+
 #: The catalog. IDs are stable — tooling, dashboards and the docs rule
 #: table key on them; new rules append, old rules never renumber.
 RULES: tuple[Rule, ...] = (
@@ -374,12 +442,12 @@ RULES: tuple[Rule, ...] = (
     ),
     Rule(
         "D006", WARN, "redundant-pulls",
-        "A bucket:// store serving a multi-shard monitor without a "
-        "local cache_dir re-pulls the artifact on every process cold "
-        "start.",
+        "A remote store (bucket:// or http(s)://) serving a multi-shard "
+        "monitor or a worker fleet without a local cache_dir re-pulls "
+        "the artifact on every process cold start.",
         "set store.cache_dir to a host-local directory",
         _redundant_pulls,
-        ("store.url", "store.cache_dir", "stream.shards"),
+        ("store.url", "store.cache_dir", "stream.shards", "fleet"),
     ),
     Rule(
         "D007", ERROR, "nondeterministic-replay",
@@ -466,6 +534,47 @@ RULES: tuple[Rule, ...] = (
         "raise stream.batch_size (16-64 is the serving sweet spot)",
         _degenerate_batching,
         ("stream.batch_size", "stream.shards"),
+    ),
+    Rule(
+        "D017", ERROR, "fleet-unreachable-store",
+        "A fleet crosses process boundaries, but a memory:// store "
+        "lives inside exactly one process: workers cold-start against a "
+        "store that is empty or a diverging snapshot where they run.",
+        "use a file://, bucket:// or http(s):// store for fleet "
+        "topologies (store-serve publishes a local store over HTTP)",
+        _fleet_unreachable_store,
+        ("store.url", "fleet.workers"),
+    ),
+    Rule(
+        "D018", ERROR, "fleet-aliased-sharding",
+        "Worker count and in-process shard count sharing a common "
+        "factor alias the crc32 address hash: each worker can only ever "
+        "reach a fixed residue class of its shard views, idling the "
+        "rest and concentrating load on the survivors.",
+        "pick coprime fleet.workers and stream.shards (e.g. 4 workers "
+        "x 3 shards), or set stream.shards=1 and scale workers",
+        _fleet_aliased_sharding,
+        ("fleet.workers", "stream.shards"),
+    ),
+    Rule(
+        "D019", ERROR, "fleet-shed-alert-loss",
+        "fleet.overflow='shed' drops whole batches under load while "
+        "stream.policy='block' plus durable sinks promise a lossless "
+        "pipeline; the shed batches' alerts are silently lost.",
+        "use fleet.overflow='block' for lossless topologies, or "
+        "declare the lossy posture with a drop stream.policy",
+        _fleet_shed_alert_loss,
+        ("fleet.overflow", "stream.policy", "sinks"),
+    ),
+    Rule(
+        "D020", WARN, "fleet-undersized-ring",
+        "An explicitly-sized feature ring smaller than workers x "
+        "queue_depth runs dry under full admission and silently falls "
+        "back to inline feature shipping.",
+        "raise fleet.slots to >= fleet.workers x fleet.queue_depth, or "
+        "leave fleet.slots=0 for automatic sizing",
+        _fleet_undersized_ring,
+        ("fleet.slots", "fleet.workers", "fleet.queue_depth"),
     ),
 )
 

@@ -1,0 +1,85 @@
+"""Distributed serving fleet over HTTP (``repro.net``).
+
+Everything below one roof scaled *inside* a process: flat kernels
+(:mod:`repro.ml.flat`), thread-sharded streaming (:mod:`repro.stream`),
+artifact cold starts (:mod:`repro.artifacts`). This package is the first
+layer that crosses a process boundary — the ROADMAP's "millions of
+users" north star needs real processes and a real wire:
+
+* :mod:`repro.net.client` — stdlib ``http.client`` helpers (timeouts,
+  typed transport errors) shared by every HTTP consumer in the repo
+  (fleet dispatch, ``HttpStoreBackend``, the promoted ``WebhookSink``),
+* :mod:`repro.net.shm` — :class:`ShmRing`, a fixed-slot
+  ``multiprocessing.shared_memory`` ring carrying numpy feature blocks
+  coordinator → worker zero-copy (each unique bytecode is decoded once
+  per *host*, not once per worker),
+* :mod:`repro.net.worker` — the worker process: one
+  :class:`~repro.serve.service.ScanService` cold-started from the
+  ModelStore behind a private HTTP port,
+* :mod:`repro.net.coordinator` — address-sharded dispatch, bounded
+  per-worker admission control (429/shed or block), crash rerouting
+  with zero lost events, drain-on-shutdown, and the public
+  HTTP/JSON-RPC scan+monitor API,
+* :mod:`repro.net.fleet` — :class:`FleetManager` (spawn/collect/stop
+  lifecycle) and :class:`FleetClient` (the JSON-RPC consumer the CLI
+  and tests use),
+* :mod:`repro.net.store_http` — the ``phishinghook store-serve``
+  endpoint: any :class:`~repro.artifacts.backends.StoreBackend` served
+  over HTTP with ETag headers, so fleet workers pull ``production``
+  with no shared mount.
+
+The deploy rule engine knows this layer too: ``[fleet]`` configs are
+statically verified (rules D017–D020) before anything forks.
+"""
+
+from repro.net.client import (
+    HttpResponse,
+    TransportError,
+    http_json,
+    http_request,
+)
+from repro.net.coordinator import (
+    FleetCoordinator,
+    NoWorkersError,
+    OverloadedError,
+    ShuttingDownError,
+    WorkerHandle,
+)
+from repro.net.fleet import (
+    FleetClient,
+    FleetManager,
+    FleetRpcError,
+    load_fleet_state,
+    save_fleet_state,
+)
+from repro.net.shm import ShmRing, SlotTooSmallError
+from repro.net.store_http import serve_store
+from repro.net.worker import WorkerSpec, worker_main
+
+__all__ = [
+    # client
+    "HttpResponse",
+    "TransportError",
+    "http_request",
+    "http_json",
+    # shm
+    "ShmRing",
+    "SlotTooSmallError",
+    # worker
+    "WorkerSpec",
+    "worker_main",
+    # coordinator
+    "FleetCoordinator",
+    "WorkerHandle",
+    "OverloadedError",
+    "NoWorkersError",
+    "ShuttingDownError",
+    # fleet
+    "FleetManager",
+    "FleetClient",
+    "FleetRpcError",
+    "save_fleet_state",
+    "load_fleet_state",
+    # store over http
+    "serve_store",
+]

@@ -1,0 +1,128 @@
+"""Minimal stdlib HTTP client shared by every wire consumer in the repo.
+
+``http.client`` with three opinions layered on top:
+
+* every request carries a **timeout** (an unresponsive peer must cost a
+  bounded amount of wall clock, never a hung worker thread),
+* every transport-level failure — refused connection, reset, timeout,
+  malformed response — surfaces as one typed
+  :class:`TransportError` (a ``ConnectionError`` subclass), so callers
+  like the fleet coordinator can catch exactly "the peer is gone" and
+  reroute, without accidentally swallowing programming errors,
+* responses are fully read and the connection closed before returning
+  (:class:`HttpResponse` is a plain value), so there is no connection
+  state to leak across worker threads.
+
+Non-2xx statuses are *not* errors here: an HTTP 404 or 429 is a
+successful conversation with a live peer, and each caller maps status
+codes to its own domain (``KeyError`` for a missing store object,
+shed/retry for an overloaded worker).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.parse
+from dataclasses import dataclass, field
+
+__all__ = ["DEFAULT_TIMEOUT", "HttpResponse", "TransportError",
+           "http_request", "http_json"]
+
+#: Default per-request timeout (seconds). Generous for scan batches;
+#: latency-sensitive callers (webhook sinks, health probes) pass less.
+DEFAULT_TIMEOUT = 10.0
+
+
+class TransportError(ConnectionError):
+    """The peer was unreachable, hung up mid-conversation, or timed out.
+
+    Exactly the failure class a dispatcher may respond to by declaring
+    the peer dead and rerouting; anything else that escapes
+    :func:`http_request` is a caller bug, not a network condition.
+    """
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """One fully-buffered HTTP response (headers lower-cased)."""
+
+    status: int
+    reason: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def json(self):
+        """Decode the body as JSON (raises ``ValueError`` on garbage)."""
+        return json.loads(self.body.decode("utf-8"))
+
+
+def http_request(
+    method: str,
+    url: str,
+    *,
+    body: bytes | None = None,
+    headers: dict[str, str] | None = None,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> HttpResponse:
+    """One HTTP exchange; returns :class:`HttpResponse`, raises
+    :class:`TransportError` on any transport-level failure.
+
+    ``url`` must be ``http://`` or ``https://``; anything else is a
+    ``ValueError`` (a caller bug, not a network condition).
+    """
+    parsed = urllib.parse.urlsplit(url)
+    if parsed.scheme not in ("http", "https"):
+        raise ValueError(f"http_request needs an http(s):// URL, got {url!r}")
+    if not parsed.hostname:
+        raise ValueError(f"no host in URL {url!r}")
+    connection_class = (
+        http.client.HTTPSConnection
+        if parsed.scheme == "https"
+        else http.client.HTTPConnection
+    )
+    connection = connection_class(
+        parsed.hostname, parsed.port, timeout=timeout
+    )
+    path = parsed.path or "/"
+    if parsed.query:
+        path = f"{path}?{parsed.query}"
+    try:
+        connection.request(method, path, body=body, headers=headers or {})
+        response = connection.getresponse()
+        data = response.read()
+        return HttpResponse(
+            status=response.status,
+            reason=response.reason or "",
+            headers={k.lower(): v for k, v in response.getheaders()},
+            body=data,
+        )
+    except (OSError, http.client.HTTPException) as error:
+        raise TransportError(
+            f"{method} {url}: {error or type(error).__name__}"
+        ) from error
+    finally:
+        connection.close()
+
+
+def http_json(
+    method: str,
+    url: str,
+    payload=None,
+    *,
+    timeout: float = DEFAULT_TIMEOUT,
+    headers: dict[str, str] | None = None,
+) -> HttpResponse:
+    """JSON-in convenience over :func:`http_request`."""
+    body = None
+    merged = dict(headers or {})
+    if payload is not None:
+        body = json.dumps(payload).encode("utf-8")
+        merged.setdefault("Content-Type", "application/json")
+    return http_request(
+        method, url, body=body, headers=merged, timeout=timeout
+    )

@@ -1,0 +1,373 @@
+"""Fleet lifecycle: spawn workers, run the coordinator, tear down.
+
+:class:`FleetManager` is the single owner of every cross-process
+resource a fleet holds — worker processes, the shared-memory ring, the
+coordinator HTTP server — with one lifecycle rule: **workers fork before
+any server thread starts**. Forking a multi-threaded parent can
+duplicate a thread-held lock into the child and deadlock it; spawning
+the whole fleet first keeps the parent single-threaded at fork time.
+
+Startup is synchronous and honest: each worker reports its bound port
+(or a startup error) over a pipe *after* its model cold-start completes,
+so :meth:`FleetManager.start` returning means every worker is actually
+ready to score — not merely forked.
+
+:class:`FleetClient` is the JSON-RPC consumer (used by the CLI and the
+tests); :func:`save_fleet_state` / :func:`load_fleet_state` persist the
+tiny ``{url, pid}`` state file that lets ``phishinghook fleet
+status|scan|stop`` find a daemonized fleet.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+from pathlib import Path
+
+__all__ = [
+    "FleetClient",
+    "FleetManager",
+    "FleetRpcError",
+    "load_fleet_state",
+    "save_fleet_state",
+]
+
+#: Per-worker cold-start budget (seconds) before start() declares the
+#: worker wedged and aborts the launch.
+STARTUP_TIMEOUT = 60.0
+
+
+class FleetRpcError(RuntimeError):
+    """A JSON-RPC call failed (HTTP status + server-reported message)."""
+
+    def __init__(self, status: int, code: int, message: str):
+        super().__init__(f"HTTP {status} (rpc {code}): {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class FleetManager:
+    """Own a fleet end to end: processes, ring, coordinator, server.
+
+    Exactly one of ``model_path`` (an exported artifact file) or
+    ``store_url`` + ``model_ref`` (a ModelStore pull — the production
+    path) selects where workers load their model from.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        store_url: str = "",
+        model_ref: str = "",
+        model_path: str = "",
+        cache_dir: str = "",
+        threshold: float = 0.5,
+        worker_shards: int = 1,
+        cache_entries: int = 8192,
+        queue_depth: int = 4,
+        overflow: str = "shed",
+        ship_features: bool = True,
+        slots: int = 0,
+        slot_bytes: int = 1 << 20,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        sinks=(),
+        http_timeout: float = 10.0,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if bool(model_path) == bool(model_ref or store_url):
+            raise ValueError(
+                "pass either model_path or store_url+model_ref, not both"
+            )
+        self.workers = workers
+        self.store_url = store_url
+        self.model_ref = model_ref
+        self.model_path = model_path
+        self.cache_dir = cache_dir
+        self.threshold = threshold
+        self.worker_shards = worker_shards
+        self.cache_entries = cache_entries
+        self.queue_depth = queue_depth
+        self.overflow = overflow
+        self.ship_features = ship_features
+        # Depth of the feature ring: enough slots that every worker can
+        # have a full queue of shm batches in flight plus headroom, so a
+        # healthy fleet never falls back to inline shipping.
+        self.slots = slots or workers * queue_depth * 2
+        self.slot_bytes = slot_bytes
+        self.host = host
+        self.port = port
+        self.sinks = list(sinks)
+        self.http_timeout = http_timeout
+        self.coordinator = None
+        self.ring = None
+        self._processes: list = []
+        self._server = None
+        self._server_thread = None
+        self._stopped = False
+        self._url = ""
+
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "FleetManager":
+        """Spawn workers, wait for readiness, start the coordinator."""
+        from repro.net.coordinator import FleetCoordinator, WorkerHandle
+        from repro.net.shm import ShmRing
+        from repro.net.worker import WorkerSpec, worker_main
+
+        cache = None
+        if self.ship_features:
+            from repro.serve.cache import FeatureCache
+
+            cache = FeatureCache(max_entries=self.cache_entries)
+            self.ring = ShmRing.create(self.slots, self.slot_bytes)
+
+        context = multiprocessing.get_context()
+        pending = []
+        for index in range(self.workers):
+            spec = WorkerSpec(
+                index=index,
+                store_url=self.store_url,
+                model_ref=self.model_ref,
+                model_path=self.model_path,
+                cache_dir=self.cache_dir,
+                threshold=self.threshold,
+                shards=self.worker_shards,
+                cache_entries=self.cache_entries,
+                ring_name=self.ring.name if self.ring is not None else "",
+                ring_slots=self.slots if self.ring is not None else 0,
+                ring_slot_bytes=(
+                    self.slot_bytes if self.ring is not None else 0
+                ),
+                host=self.host,
+            )
+            receiver, sender = context.Pipe(duplex=False)
+            process = context.Process(
+                target=worker_main, args=(spec, sender),
+                name=f"fleet-worker-{index}", daemon=True,
+            )
+            process.start()
+            sender.close()
+            pending.append((index, process, receiver))
+            self._processes.append(process)
+
+        handles = []
+        try:
+            for index, process, receiver in pending:
+                if not receiver.poll(STARTUP_TIMEOUT):
+                    raise RuntimeError(
+                        f"worker {index} did not report readiness within "
+                        f"{STARTUP_TIMEOUT:.0f}s"
+                    )
+                report = receiver.recv()
+                receiver.close()
+                if "error" in report:
+                    raise RuntimeError(
+                        f"worker {index} failed to start: {report['error']}"
+                    )
+                handles.append(WorkerHandle(
+                    index, self.host, report["port"], process=process
+                ))
+        except Exception:
+            self._kill_all()
+            if self.ring is not None:
+                self.ring.unlink()
+            raise
+
+        self.coordinator = FleetCoordinator(
+            handles,
+            cache=cache,
+            ring=self.ring,
+            queue_depth=self.queue_depth,
+            overflow=self.overflow,
+            ship_features=self.ship_features,
+            timeout=self.http_timeout,
+            sinks=self.sinks,
+        )
+        # Only now — with every child forked — is it safe to go
+        # multi-threaded in this process.
+        self._server = self.coordinator.serve(
+            self.host, self.port, on_shutdown=lambda: self.stop(),
+        )
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="fleet-coordinator", daemon=True,
+        )
+        self._server_thread.start()
+        self._url = (f"http://{self.host}:"
+                     f"{self._server.server_address[1]}")
+        return self
+
+    @property
+    def url(self) -> str:
+        """Coordinator base URL (empty before :meth:`start`)."""
+        return self._url
+
+    @property
+    def stopped(self) -> bool:
+        """Whether :meth:`stop` ran (e.g. via ``POST /shutdown``)."""
+        return self._stopped
+
+    # ------------------------------------------------------------------ #
+    # In-process conveniences (the CLI foreground path and tests)
+    # ------------------------------------------------------------------ #
+
+    def scan(self, addresses, codes, **kwargs) -> list[dict]:
+        return self.coordinator.scan(addresses, codes, **kwargs)
+
+    def status(self) -> dict:
+        return self.coordinator.status()
+
+    def kill_worker(self, index: int) -> int:
+        """SIGKILL one worker (crash-injection for tests); returns pid."""
+        process = self._processes[index]
+        pid = process.pid
+        process.kill()
+        process.join(timeout=5)
+        return pid
+
+    # ------------------------------------------------------------------ #
+
+    def _kill_all(self) -> None:
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2)
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Drain, stop workers gracefully, tear everything down."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self.coordinator is not None and drain:
+            self.coordinator.drain(timeout=timeout)
+        if self.coordinator is not None:
+            from repro.net.client import TransportError, http_json
+
+            for worker in self.coordinator.workers:
+                if not worker.alive:
+                    continue
+                try:
+                    http_json("POST", f"{worker.url}/shutdown", {},
+                              timeout=2.0)
+                except TransportError:
+                    pass
+        self._kill_all()
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            if self._server_thread is not None:
+                self._server_thread.join(timeout=5)
+        if self.ring is not None:
+            self.ring.unlink()
+        for sink in self.sinks:
+            sink.close()
+
+    def __enter__(self) -> "FleetManager":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class FleetClient:
+    """JSON-RPC consumer of a coordinator (CLI ``fleet scan|status``)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def rpc(self, method: str, params: dict | None = None):
+        from repro.net.client import http_json
+
+        response = http_json(
+            "POST", f"{self.base_url}/rpc",
+            {"jsonrpc": "2.0", "id": 1, "method": method,
+             "params": params or {}},
+            timeout=self.timeout,
+        )
+        try:
+            payload = response.json()
+        except ValueError:
+            payload = {}
+        if "error" in payload:
+            error = payload["error"]
+            raise FleetRpcError(
+                response.status, int(error.get("code", 0)),
+                str(error.get("message", "")),
+            )
+        if not response.ok:
+            raise FleetRpcError(response.status, 0,
+                                response.body[:200].decode("latin-1"))
+        return payload.get("result")
+
+    def scan(self, addresses, codes, *, block_number: int = 0,
+             timestamp: int | None = None) -> list[dict]:
+        hex_codes = [
+            c if isinstance(c, str) else bytes(c).hex() for c in codes
+        ]
+        params = {
+            "addresses": list(addresses),
+            "codes": hex_codes,
+            "block_number": block_number,
+        }
+        if timestamp is not None:
+            params["timestamp"] = timestamp
+        return self.rpc("scan", params)["results"]
+
+    def status(self) -> dict:
+        return self.rpc("status")
+
+    def ping(self) -> bool:
+        return bool(self.rpc("ping").get("pong"))
+
+    def healthz(self) -> dict:
+        from repro.net.client import http_request
+
+        return http_request(
+            "GET", f"{self.base_url}/healthz", timeout=self.timeout
+        ).json()
+
+    def shutdown(self) -> bool:
+        from repro.net.client import TransportError, http_json
+
+        try:
+            return http_json(
+                "POST", f"{self.base_url}/shutdown", {},
+                timeout=self.timeout,
+            ).ok
+        except TransportError:
+            # The coordinator may die between the reply and our read.
+            return True
+
+
+# ---------------------------------------------------------------------- #
+# Daemon state file (``phishinghook fleet start`` writes it; status/
+# scan/stop read it back)
+# ---------------------------------------------------------------------- #
+
+
+def save_fleet_state(path, *, url: str, pid: int | None = None) -> None:
+    state = {"url": url, "pid": pid if pid is not None else os.getpid()}
+    Path(path).write_text(json.dumps(state, indent=2) + "\n",
+                          encoding="utf-8")
+
+
+def load_fleet_state(path) -> dict:
+    """Read a fleet state file; raises ``FileNotFoundError`` when no
+    fleet was started and ``ValueError`` on a corrupt file."""
+    text = Path(path).read_text(encoding="utf-8")
+    state = json.loads(text)
+    if "url" not in state:
+        raise ValueError(f"fleet state file {path} has no url")
+    return state

@@ -1,0 +1,219 @@
+"""Fixed-slot shared-memory ring for zero-copy feature handoff.
+
+The fleet coordinator decodes each unique bytecode **once per host**
+(through the shared :class:`~repro.serve.cache.FeatureCache`) and hands
+the resulting numpy feature blocks to worker *processes*. Serializing
+those arrays into every HTTP request body would copy them once per
+worker per batch; instead the coordinator writes them into a slot of a
+``multiprocessing.shared_memory`` segment and the HTTP request carries
+only the slot number and block lengths. The worker builds numpy views
+directly over the mapped pages — no pickling, no socket copy.
+
+Design points:
+
+* **Fixed slots, coordinator-owned allocation.** The segment is
+  ``slots × slot_bytes``; the creator hands out slot indices
+  (:meth:`ShmRing.acquire` / :meth:`ShmRing.release`) under a lock and
+  releases a slot only after the worker's HTTP response — the response
+  is the fence that makes reuse safe. Attached processes never
+  allocate.
+* **Creator-only unlink.** Python 3.11's ``resource_tracker`` registers
+  *attached* segments too, so a worker exiting would tear down the
+  coordinator's live segment; :meth:`attach` unregisters the segment
+  from the tracker in the attaching process, and :meth:`unlink` is
+  pid-guarded so a forked child that inherited the creator object
+  cannot destroy the parent's ring either. The creator registers an
+  ``atexit`` unlink, covering abnormal-exit cleanup.
+* **Graceful degradation.** A payload larger than one slot raises
+  :class:`SlotTooSmallError`; callers fall back to shipping the data
+  inline in the request body (counted, never fatal).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import threading
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = ["ShmRing", "SlotTooSmallError"]
+
+
+class SlotTooSmallError(ValueError):
+    """The payload does not fit one ring slot (fall back to inline)."""
+
+
+class ShmRing:
+    """``slots × slot_bytes`` shared-memory segment with slot leasing.
+
+    Construct through :meth:`create` (the coordinator) or :meth:`attach`
+    (workers); the two sides agree on geometry out of band (the fleet
+    ships it in the :class:`~repro.net.worker.WorkerSpec`).
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, slots: int,
+                 slot_bytes: int, *, owner: bool):
+        if slots < 1 or slot_bytes < 1:
+            raise ValueError("ring needs positive slots and slot_bytes")
+        self._shm = shm
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self.owner = owner
+        self._owner_pid = os.getpid() if owner else None
+        self._free = list(range(slots)) if owner else []
+        self._lock = threading.Lock()
+        self._closed = False
+        self._unlinked = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(cls, slots: int, slot_bytes: int) -> "ShmRing":
+        """Allocate a fresh segment; the caller owns (and unlinks) it."""
+        shm = shared_memory.SharedMemory(
+            create=True, size=slots * slot_bytes
+        )
+        ring = cls(shm, slots, slot_bytes, owner=True)
+        # Abnormal-exit cleanup: an uncaught exception (or a SIGTERM'd
+        # `fleet serve` daemon running its handlers) still unlinks the
+        # segment instead of leaking it in /dev/shm.
+        atexit.register(ring.unlink)
+        return ring
+
+    @classmethod
+    def attach(cls, name: str, slots: int, slot_bytes: int) -> "ShmRing":
+        """Map an existing segment read-mostly (worker side)."""
+        shm = shared_memory.SharedMemory(name=name)
+        # Python 3.11 registers attached segments with the resource
+        # tracker exactly like created ones. Under the fork start method
+        # every process shares the creator's tracker and the (set-based)
+        # registration is idempotent — leave it alone, so the tracker
+        # still cleans up after a SIGKILL'd coordinator. Under spawn the
+        # attaching worker has a *private* tracker that would unlink the
+        # coordinator's live segment when the worker exits; unregister
+        # there. Ownership stays with the creator either way.
+        if multiprocessing.get_start_method(allow_none=True) != "fork":
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals
+                pass
+        return cls(shm, slots, slot_bytes, owner=False)
+
+    @property
+    def name(self) -> str:
+        """OS name of the segment (what :meth:`attach` needs)."""
+        return self._shm.name
+
+    def close(self) -> None:
+        """Unmap this process's view; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a live view pins the map
+            self._closed = False
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator process only; idempotent).
+
+        A forked child inheriting the creator object is *not* the
+        creator: the pid guard keeps a worker's exit path from tearing
+        down the coordinator's ring.
+        """
+        if not self.owner or os.getpid() != self._owner_pid:
+            return
+        self.close()
+        if self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Slot leasing (creator side)
+    # ------------------------------------------------------------------ #
+
+    def acquire(self) -> int | None:
+        """Lease a free slot index, or ``None`` when the ring is full
+        (the caller falls back to inline shipping — backpressure on the
+        feature plane must not become backpressure on scanning)."""
+        with self._lock:
+            return self._free.pop() if self._free else None
+
+    def release(self, slot: int) -> None:
+        """Return a leased slot to the free list."""
+        with self._lock:
+            if slot in self._free:
+                raise ValueError(f"slot {slot} is not leased")
+            if not 0 <= slot < self.slots:
+                raise ValueError(f"slot {slot} out of range")
+            self._free.append(slot)
+
+    @property
+    def free_slots(self) -> int:
+        with self._lock:
+            return len(self._free)
+
+    # ------------------------------------------------------------------ #
+    # Data plane
+    # ------------------------------------------------------------------ #
+
+    def write_blocks(self, slot: int, blocks) -> int:
+        """Pack contiguous ``blocks`` (bytes / uint8 arrays) into a slot.
+
+        Returns the total byte length written. Raises
+        :class:`SlotTooSmallError` when the payload overflows the slot —
+        nothing is partially visible to readers because the slot is not
+        referenced by any request until the caller ships its metadata.
+        """
+        if not 0 <= slot < self.slots:
+            raise ValueError(f"slot {slot} out of range")
+        base = slot * self.slot_bytes
+        view = self._shm.buf
+        offset = 0
+        for block in blocks:
+            data = memoryview(block).cast("B")
+            length = len(data)
+            if offset + length > self.slot_bytes:
+                raise SlotTooSmallError(
+                    f"payload exceeds slot capacity "
+                    f"({offset + length} > {self.slot_bytes} bytes)"
+                )
+            view[base + offset:base + offset + length] = data
+            offset += length
+        return offset
+
+    def view(self, slot: int, length: int) -> np.ndarray:
+        """Read-only ``uint8`` numpy view over one slot's payload.
+
+        Zero-copy: the array aliases the mapped pages. It is only valid
+        until the slot is released back to the coordinator (the HTTP
+        response is that fence), so anything that must outlive the
+        request — e.g. feature blocks seeded into a worker's cache —
+        copies out of the view first.
+        """
+        if not 0 <= slot < self.slots:
+            raise ValueError(f"slot {slot} out of range")
+        if length > self.slot_bytes:
+            raise ValueError(
+                f"length {length} exceeds slot capacity {self.slot_bytes}"
+            )
+        base = slot * self.slot_bytes
+        array = np.frombuffer(
+            self._shm.buf, dtype=np.uint8, count=length, offset=base
+        )
+        array.flags.writeable = False
+        return array
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "owner" if self.owner else "attached"
+        return (f"ShmRing({self.name!r}, slots={self.slots}, "
+                f"slot_bytes={self.slot_bytes}, {role})")

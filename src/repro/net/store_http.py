@@ -1,0 +1,119 @@
+"""Serve any :class:`~repro.artifacts.backends.StoreBackend` over HTTP.
+
+``phishinghook store-serve`` wraps a local store (``file://`` or
+``bucket://``) in this tiny endpoint so fleet workers on other processes
+— or other hosts — can pull ``production`` artifacts with no shared
+mount. The wire protocol is deliberately dumb, a strict subset of what
+any blob store speaks:
+
+* ``GET /<key>``     → blob bytes, ``ETag`` header (content SHA-256 hex)
+* ``HEAD /<key>``    → ``ETag`` + ``Content-Length``, no body
+* ``GET /?prefix=p`` → JSON ``{"keys": [...]}`` (the list operation)
+* ``PUT /<key>``     → store the body; JSON ``{"etag": ...}``
+* ``DELETE /<key>``  → JSON ``{"deleted": bool}``
+
+Writes are refused with HTTP 405 unless the server was started
+``writable`` — the normal deployment is a read-only artifact mirror, and
+a fleet must not be one misconfigured client away from mutating it. The
+client side lives in :class:`~repro.artifacts.backends.HttpStoreBackend`,
+which re-verifies the ``ETag`` against the received bytes so a corrupt
+proxy or truncated body surfaces as ``IntegrityError``, not a bad model.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["serve_store"]
+
+
+def _make_handler(backend, writable: bool):
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, *args):  # noqa: D102
+            pass
+
+        def _key(self) -> tuple[str, dict]:
+            parsed = urllib.parse.urlsplit(self.path)
+            key = urllib.parse.unquote(parsed.path).lstrip("/")
+            query = dict(urllib.parse.parse_qsl(parsed.query))
+            return key, query
+
+        def _json(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self):  # noqa: N802
+            key, query = self._key()
+            if not key:
+                keys = backend.list(query.get("prefix", ""))
+                self._json(200, {"keys": keys})
+                return
+            try:
+                data = backend.get(key)
+            except KeyError:
+                self._json(404, {"error": f"no object {key!r}"})
+                return
+            etag = backend.etag(key)
+            self.send_response(200)
+            self.send_header("Content-Type", "application/octet-stream")
+            self.send_header("Content-Length", str(len(data)))
+            if etag:
+                self.send_header("ETag", etag)
+            self.end_headers()
+            self.wfile.write(data)
+
+        def do_HEAD(self):  # noqa: N802
+            key, _query = self._key()
+            etag = backend.etag(key) if key else None
+            if etag is None:
+                self.send_response(404)
+                self.end_headers()
+                return
+            self.send_response(200)
+            self.send_header("ETag", etag)
+            self.send_header("Content-Length", str(backend.size(key)))
+            self.end_headers()
+
+        def do_PUT(self):  # noqa: N802
+            key, _query = self._key()
+            if not writable:
+                self._json(405, {"error": "store served read-only"})
+                return
+            if not key:
+                self._json(400, {"error": "PUT needs a key"})
+                return
+            length = int(self.headers.get("Content-Length", "0"))
+            data = self.rfile.read(length)
+            self._json(200, {"etag": backend.put(key, data)})
+
+        def do_DELETE(self):  # noqa: N802
+            key, _query = self._key()
+            if not writable:
+                self._json(405, {"error": "store served read-only"})
+                return
+            if not key:
+                self._json(400, {"error": "DELETE needs a key"})
+                return
+            self._json(200, {"deleted": backend.delete(key)})
+
+    return Handler
+
+
+def serve_store(backend, host: str = "127.0.0.1", port: int = 0,
+                *, writable: bool = False) -> ThreadingHTTPServer:
+    """Build (not start) an HTTP server over ``backend``.
+
+    The caller runs ``server.serve_forever()`` (the CLI does so in the
+    foreground; tests run it on a daemon thread). ``port=0`` binds an
+    ephemeral port — read it back from ``server.server_address``.
+    """
+    server = ThreadingHTTPServer((host, port),
+                                 _make_handler(backend, writable))
+    server.daemon_threads = True
+    return server

@@ -1,0 +1,300 @@
+"""Fleet worker: one ``ScanService`` process behind a private HTTP port.
+
+A worker is deliberately boring: it cold-starts a
+:class:`~repro.serve.service.ScanService` from the ModelStore (exactly
+the artifact path every other serving surface uses), splits it into
+``shards`` in-process views partitioned by the same crc32 address hash
+as the streaming scanner, and answers ``POST /scan`` on a loopback
+port it binds itself (port 0 → the kernel picks; the bound port travels
+back to the coordinator over a pipe). All fleet intelligence —
+sharding, admission control, rerouting — lives in the coordinator; a
+worker that dies takes nothing with it but its own in-flight batch,
+which the coordinator re-sends elsewhere.
+
+Feature handoff: when the request names a :class:`~repro.net.shm.ShmRing`
+slot, the worker builds numpy views over the shared pages and seeds its
+:class:`~repro.serve.cache.FeatureCache` ``"ids"`` namespace from them
+(copying only on first sight — cache entries must outlive the slot
+lease), so the model's extractors hit warm decoded features without the
+worker ever disassembling anything the coordinator already decoded.
+Requests without a slot carry hex bytecodes inline (the counted
+fallback path).
+
+Endpoints:
+
+* ``GET /healthz`` — liveness (used by ``fleet start`` readiness polls),
+* ``GET /status`` — per-worker counters + service/cache stats,
+* ``POST /scan`` — scan one batch (see :func:`decode_scan_request`),
+* ``POST /shutdown`` — graceful stop (drains the HTTP server).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["WorkerSpec", "worker_main"]
+
+#: Environment test hook: per-batch scoring delay in seconds. Lets the
+#: overload tests create a sustained backlog on a fast machine without
+#: patching anything inside a child process.
+SCAN_DELAY_ENV = "PHOOK_FLEET_SCAN_DELAY"
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker process needs, picklable for any mp context."""
+
+    index: int
+    store_url: str = ""
+    model_ref: str = ""
+    model_path: str = ""
+    cache_dir: str = ""
+    threshold: float = 0.5
+    shards: int = 1
+    cache_entries: int = 8192
+    ring_name: str = ""
+    ring_slots: int = 0
+    ring_slot_bytes: int = 0
+    host: str = "127.0.0.1"
+
+
+class _WorkerState:
+    """Live state shared by the request handler threads."""
+
+    def __init__(self, spec: WorkerSpec):
+        from repro.serve.cache import FeatureCache
+        from repro.serve.service import ScanService
+
+        self.spec = spec
+        self.pid = os.getpid()
+        self.cache = FeatureCache(max_entries=spec.cache_entries)
+        if spec.model_path:
+            self.service = ScanService.from_artifact(
+                spec.model_path, cache=self.cache,
+                threshold=spec.threshold,
+            )
+        else:
+            from repro.artifacts import ModelStore
+
+            store = ModelStore.from_url(
+                spec.store_url or None,
+                cache_dir=spec.cache_dir or None,
+            )
+            self.service = ScanService.from_artifact(
+                spec.model_ref, store=store, cache=self.cache,
+                threshold=spec.threshold,
+            )
+        self.shards = self.service.sharded(spec.shards)
+        self.ring = None
+        if spec.ring_name:
+            from repro.net.shm import ShmRing
+
+            self.ring = ShmRing.attach(
+                spec.ring_name, spec.ring_slots, spec.ring_slot_bytes
+            )
+        self._lock = threading.Lock()
+        self.batches = 0
+        self.scanned = 0
+        self.flagged = 0
+        self.seeded_ids = 0
+        self.inline_batches = 0
+        self.shm_batches = 0
+        self.scan_delay = float(os.environ.get(SCAN_DELAY_ENV, "0") or 0)
+
+    # ------------------------------------------------------------------ #
+
+    def _codes_from_request(self, request: dict) -> tuple[list[bytes], int]:
+        """Unique bytecodes from the wire: shm slot or inline hex.
+
+        Returns ``(codes, seeded)`` where ``seeded`` counts feature
+        blocks copied into the cache from the shared segment.
+        """
+        from repro.serve.cache import IDS_NAMESPACE, bytecode_digest
+
+        seeded = 0
+        if request.get("slot") is None:
+            codes = [bytes.fromhex(c) for c in request["inline_codes"]]
+            with self._lock:
+                self.inline_batches += 1
+            return codes, seeded
+        slot = int(request["slot"])
+        code_lens = [int(n) for n in request["code_lens"]]
+        ids_lens = [int(n) for n in request["ids_lens"]]
+        total = sum(code_lens) + sum(ids_lens)
+        payload = self.ring.view(slot, total)
+        codes: list[bytes] = []
+        offset = 0
+        for length in code_lens:
+            codes.append(bytes(payload[offset:offset + length]))
+            offset += length
+        for code, length in zip(codes, ids_lens):
+            if length == 0:
+                offset += 0
+                continue
+            block = payload[offset:offset + length]
+            offset += length
+            digest = bytecode_digest(code)
+            before = len(self.cache)
+            # Copy on first sight only: cache entries must outlive the
+            # slot lease (the coordinator reuses the slot right after
+            # our response), and a cache hit skips even the copy.
+            self.cache.get(
+                IDS_NAMESPACE, code, lambda _code, b=block: b.copy(),
+                digest=digest,
+            )
+            seeded += int(len(self.cache) != before)
+        with self._lock:
+            self.shm_batches += 1
+            self.seeded_ids += seeded
+        return codes, seeded
+
+    def scan(self, request: dict) -> dict:
+        """Score one batch; the response preserves request order."""
+        from repro.stream.scanner import shard_of
+
+        addresses = list(request["addresses"])
+        code_of = [int(i) for i in request["code_of"]]
+        codes, seeded = self._codes_from_request(request)
+        if self.scan_delay > 0:
+            time.sleep(self.scan_delay)
+
+        by_shard: dict[int, list[int]] = {}
+        for position, address in enumerate(addresses):
+            shard = shard_of(address, self.spec.shards)
+            by_shard.setdefault(shard, []).append(position)
+        results: list[dict | None] = [None] * len(addresses)
+        flagged = 0
+        for shard, positions in sorted(by_shard.items()):
+            worker = self.shards[shard]
+            scored = worker.scan_bytecodes(
+                [codes[code_of[p]] for p in positions],
+                addresses=[addresses[p] for p in positions],
+            )
+            for position, result in zip(positions, scored):
+                flagged += int(result.is_phishing)
+                results[position] = {
+                    "address": result.address,
+                    "probability": result.probability,
+                    "is_phishing": result.is_phishing,
+                    "from_cache": result.from_cache,
+                    "shard": shard_of(result.address, self.spec.shards),
+                }
+        with self._lock:
+            self.batches += 1
+            self.scanned += len(addresses)
+            self.flagged += flagged
+        return {
+            "worker": self.spec.index,
+            "pid": self.pid,
+            "results": results,
+            "seeded_ids": seeded,
+        }
+
+    def status(self) -> dict:
+        with self._lock:
+            counters = {
+                "batches": self.batches,
+                "scanned": self.scanned,
+                "flagged": self.flagged,
+                "seeded_ids": self.seeded_ids,
+                "shm_batches": self.shm_batches,
+                "inline_batches": self.inline_batches,
+            }
+        return {
+            "worker": self.spec.index,
+            "pid": self.pid,
+            **counters,
+            "shards": [
+                {"shard": i, "scanned": view.scanned}
+                for i, view in enumerate(self.shards)
+            ],
+            "service": self.service.stats(),
+        }
+
+
+def _make_handler(state: _WorkerState, server_box: dict):
+    class Handler(BaseHTTPRequestHandler):
+        # One worker serves one coordinator on loopback; access logs
+        # would just interleave with test output.
+        def log_message(self, *args):  # noqa: D102
+            pass
+
+        def _reply(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self):  # noqa: N802
+            if self.path == "/healthz":
+                self._reply(200, {"ok": True, "worker": state.spec.index,
+                                  "pid": state.pid})
+            elif self.path == "/status":
+                self._reply(200, state.status())
+            else:
+                self._reply(404, {"error": f"no route {self.path}"})
+
+        def do_POST(self):  # noqa: N802
+            if self.path == "/shutdown":
+                self._reply(200, {"ok": True})
+                threading.Thread(
+                    target=server_box["server"].shutdown, daemon=True
+                ).start()
+                return
+            if self.path != "/scan":
+                self._reply(404, {"error": f"no route {self.path}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                request = json.loads(self.rfile.read(length))
+                self._reply(200, state.scan(request))
+            except Exception as error:  # noqa: BLE001
+                self._reply(500, {"error": f"{type(error).__name__}: "
+                                           f"{error}"})
+
+    return Handler
+
+
+def worker_main(spec: WorkerSpec, ready) -> None:
+    """Child-process entry point: load, bind, report the port, serve.
+
+    ``ready`` is the write end of a pipe; the worker sends its bound
+    port once the model is loaded and the server is listening (so the
+    parent's readiness wait covers the cold start, not just the fork),
+    or an ``{"error": ...}`` dict when startup fails.
+    """
+    try:
+        state = _WorkerState(spec)
+        server_box: dict = {}
+        server = ThreadingHTTPServer(
+            (spec.host, 0), _make_handler(state, server_box)
+        )
+        server_box["server"] = server
+        server.daemon_threads = True
+    except Exception as error:  # noqa: BLE001
+        try:
+            ready.send({"error": f"{type(error).__name__}: {error}"})
+        finally:
+            ready.close()
+        return
+
+    def _terminate(_signum, _frame):
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _terminate)
+    ready.send({"port": server.server_address[1], "pid": os.getpid()})
+    ready.close()
+    try:
+        server.serve_forever(poll_interval=0.05)
+    finally:
+        server.server_close()
+        if state.ring is not None:
+            state.ring.close()

@@ -11,9 +11,10 @@ Provided sinks:
 * :class:`MemorySink` — in-process list (tests, dashboards),
 * :class:`JsonlSink` — append-only JSON-lines file (audit trail),
 * :class:`CallbackSink` — invoke a user callable per alert,
-* :class:`WebhookSink` — network-free stub of an HTTP POST channel: it
-  formats the request body and records it, standing in for the transport
-  the production deployment would add.
+* :class:`WebhookSink` — HTTP POST per alert through the
+  :mod:`repro.net` client (bounded timeout, failures counted per
+  channel, never fatal); :meth:`WebhookSink.recording` keeps the
+  original network-free stub for tests asserting on the wire format.
 
 A sink raising does not break the scan loop: :meth:`AlertSink.emit`
 swallows the error, counts it in the sink's ``stats.failed``, and the
@@ -127,20 +128,48 @@ class CallbackSink(AlertSink):
 
 
 class WebhookSink(AlertSink):
-    """Offline webhook: formats the POST a production sink would send.
+    """POST each alert as JSON to an HTTP endpoint.
 
-    ``transport`` is any callable ``(url, body_text) -> None``; the
-    default records ``(url, decoded_body)`` in ``sink.sent`` so tests can
-    assert on the wire format without a network.
+    The default transport is a real HTTP POST through
+    :func:`repro.net.client.http_request` with a short ``timeout`` — a
+    hung webhook receiver must cost a bounded slice of the scan loop,
+    and any failure (transport error, non-2xx status) is swallowed by
+    :meth:`AlertSink.emit` and counted in ``stats.failed``: alert
+    delivery never takes down detection.
+
+    ``transport`` is any callable ``(url, body_text) -> None``;
+    :meth:`recording` builds the network-free stub (records
+    ``(url, decoded_body)`` in ``sink.sent``) the tests use to assert on
+    the wire format.
     """
 
     name = "webhook"
 
-    def __init__(self, url: str, transport=None):
+    def __init__(self, url: str, transport=None, *, timeout: float = 2.0):
         super().__init__()
         self.url = url
+        self.timeout = timeout
         self.sent: list[tuple[str, dict]] = []
-        self._transport = transport or self._record
+        self._transport = transport or self._post
+
+    @classmethod
+    def recording(cls, url: str = "https://hooks.example/phishing",
+                  **kwargs) -> "WebhookSink":
+        """The original offline stub: format + record, no network."""
+        sink = cls(url, **kwargs)
+        sink._transport = sink._record
+        return sink
+
+    def _post(self, url: str, body_text: str) -> None:
+        from repro.net.client import http_request
+
+        response = http_request(
+            "POST", url, body=body_text.encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            timeout=self.timeout,
+        )
+        if not response.ok:
+            raise OSError(f"webhook {url}: HTTP {response.status}")
 
     def _record(self, url: str, body_text: str) -> None:
         self.sent.append((url, json.loads(body_text)))

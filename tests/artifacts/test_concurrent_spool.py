@@ -1,0 +1,57 @@
+"""N processes cold-starting through one shared ``cache_dir`` at once.
+
+Exactly the fleet-worker startup pattern: every worker spools the same
+artifact version into the same digest-named cache file concurrently.
+The spool path writes a private ``mkstemp`` file and atomically renames
+it over the target, so no process can ever read a half-written
+artifact and no temp litter survives.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.artifacts import ModelStore
+
+_SPOOLER = """
+import sys
+from repro.artifacts import ModelStore, load_artifact
+
+store_url, cache_dir = sys.argv[1:3]
+store = ModelStore.from_url(store_url, cache_dir=cache_dir)
+path = store.path_of("production")
+model, manifest = load_artifact(path)  # digest-verified read
+print(manifest["digest"])
+"""
+
+
+def test_concurrent_cold_starts_share_one_spool(fitted_forest, tmp_path):
+    bucket = tmp_path / "bucket"
+    cache_dir = tmp_path / "cache"
+    # bucket:// is the object-store backend: no local_path, so every
+    # cold start must go through the spool.
+    store = ModelStore.from_url(f"bucket://{bucket}")
+    version = store.put(fitted_forest, model_name="Random Forest",
+                        tags=("production",))
+
+    src = pathlib.Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", _SPOOLER, f"bucket://{bucket}",
+             str(cache_dir)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=env,
+        )
+        for _ in range(4)
+    ]
+    outcomes = [p.communicate(timeout=120) for p in procs]
+    for process, (out, err) in zip(procs, outcomes):
+        assert process.returncode == 0, err
+        assert out.strip() == version
+
+    # One immutable digest-named file, zero mkstemp leftovers.
+    spooled = sorted(p.name for p in cache_dir.iterdir())
+    assert spooled == [f"{version}.npz"]

@@ -120,6 +120,28 @@ FIXTURES = {
         dict(stream={"batch_size": 1, "shards": 2}),
         dict(stream={"batch_size": 16, "shards": 2}),
     ),
+    # worker processes cannot reach an in-process memory:// store
+    "D017": (
+        dict(store={"url": "memory://x"}, fleet={"workers": 3}),
+        dict(store={"url": "./phook-models"}, fleet={"workers": 3}),
+    ),
+    # workers and shards share a factor: crc32 residue classes alias
+    "D018": (
+        dict(fleet={"workers": 4}, stream={"shards": 2}),
+        dict(fleet={"workers": 4}, stream={"shards": 3}),
+    ),
+    # shed overflow silently drops alerts from a lossless topology
+    "D019": (
+        dict(fleet={"workers": 3, "overflow": "shed"},
+             sinks=[{"kind": "jsonl", "path": "alerts.jsonl"}]),
+        dict(fleet={"workers": 3, "overflow": "block"},
+             sinks=[{"kind": "jsonl", "path": "alerts.jsonl"}]),
+    ),
+    # explicit ring smaller than worst-case in-flight demand
+    "D020": (
+        dict(fleet={"workers": 3, "queue_depth": 4, "slots": 8}),
+        dict(fleet={"workers": 3, "queue_depth": 4, "slots": 12}),
+    ),
 }
 
 

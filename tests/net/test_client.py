@@ -1,0 +1,84 @@
+"""Unit tests for the stdlib HTTP client wrapper."""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.net.client import TransportError, http_json, http_request
+
+
+class _EchoHandler(BaseHTTPRequestHandler):
+    def log_message(self, *args):
+        pass
+
+    def _reply(self, status, payload):
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):
+        if self.path == "/teapot":
+            self._reply(418, {"short": "stout"})
+        else:
+            self._reply(200, {"path": self.path})
+
+    def do_POST(self):
+        length = int(self.headers.get("Content-Length", "0"))
+        body = json.loads(self.rfile.read(length))
+        self._reply(200, {
+            "echo": body,
+            "content_type": self.headers.get("Content-Type", ""),
+        })
+
+
+@pytest.fixture(scope="module")
+def server():
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), _EchoHandler)
+    httpd.daemon_threads = True
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{httpd.server_address[1]}"
+    httpd.shutdown()
+    httpd.server_close()
+
+
+def test_get_roundtrip(server):
+    response = http_request("GET", f"{server}/hello")
+    assert response.ok
+    assert response.status == 200
+    assert response.json() == {"path": "/hello"}
+    assert response.headers["content-type"] == "application/json"
+
+
+def test_non_2xx_is_a_response_not_an_error(server):
+    response = http_request("GET", f"{server}/teapot")
+    assert not response.ok
+    assert response.status == 418
+    assert response.json() == {"short": "stout"}
+
+
+def test_http_json_posts_with_content_type(server):
+    response = http_json("POST", f"{server}/rpc", {"a": 1})
+    payload = response.json()
+    assert payload["echo"] == {"a": 1}
+    assert payload["content_type"] == "application/json"
+
+
+def test_connection_refused_is_transport_error():
+    with pytest.raises(TransportError):
+        # Port 9 (discard) is never listening in the test environment.
+        http_request("GET", "http://127.0.0.1:9/", timeout=2.0)
+
+
+def test_transport_error_is_a_connection_error():
+    assert issubclass(TransportError, ConnectionError)
+
+
+def test_non_http_scheme_rejected():
+    with pytest.raises(ValueError):
+        http_request("GET", "ftp://example.com/x")

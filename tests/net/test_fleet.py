@@ -1,0 +1,268 @@
+"""End-to-end fleet tests over real processes and real sockets.
+
+The module fixture boots a genuine 2-worker fleet (fork + HTTP + shm)
+from the session store; transport-failure tests boot their own small
+fleets so they can kill workers and saturate queues without poisoning
+the shared one. The ``PHOOK_FLEET_SCAN_DELAY`` env knob (inherited by
+forked workers) slows worker scans so crashes and overload land
+mid-flight deterministically.
+"""
+
+import threading
+import time
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.net import (
+    FleetClient,
+    FleetManager,
+    FleetRpcError,
+    OverloadedError,
+    ShuttingDownError,
+)
+from repro.net.worker import SCAN_DELAY_ENV
+from repro.stream import MemorySink
+
+
+def _manager(store_root, **kwargs):
+    options = dict(
+        workers=2,
+        store_url=str(store_root),
+        model_ref="production",
+        sinks=(MemorySink(),),
+    )
+    options.update(kwargs)
+    return FleetManager(**options)
+
+
+@pytest.fixture(scope="module")
+def fleet(store_root):
+    with _manager(store_root) as manager:
+        yield manager
+
+
+class TestScanPath:
+    def test_results_match_single_process_reference(
+            self, fleet, probe_batch, reference_results):
+        addresses, codes = probe_batch
+        results = fleet.scan(addresses, codes)
+        assert [r["address"] for r in results] == addresses
+        assert [r["probability"] for r in results] == [
+            r.probability for r in reference_results
+        ], "fleet probabilities diverged from the in-process service"
+        assert [r["is_phishing"] for r in results] == [
+            r.is_phishing for r in reference_results
+        ]
+
+    def test_features_travel_over_shm(self, fleet, probe_batch):
+        addresses, codes = probe_batch
+        before = fleet.status()["counters"]["shm_batches"]
+        fleet.scan(addresses, codes)
+        after = fleet.status()["counters"]["shm_batches"]
+        assert after > before
+        assert fleet.status()["ring"]["free_slots"] == fleet.slots
+
+    def test_repeat_batch_served_from_worker_cache(
+            self, fleet, probe_batch):
+        addresses, codes = probe_batch
+        fleet.scan(addresses, codes)
+        again = fleet.scan(addresses, codes)
+        assert all(r["from_cache"] for r in again)
+
+    def test_flagged_results_reach_sinks(
+            self, fleet, probe_batch, reference_results):
+        addresses, codes = probe_batch
+        sink = fleet.sinks[0]
+        sink.alerts.clear()
+        fleet.scan(addresses, codes)
+        expected = {
+            r.address for r in reference_results if r.is_phishing
+        }
+        assert {a.address for a in sink.alerts} == expected
+
+    def test_mismatched_lists_rejected(self, fleet):
+        with pytest.raises(ValueError):
+            fleet.scan(["0x1"], [])
+
+
+class TestHttpSurface:
+    def test_client_scan_matches_in_process(
+            self, fleet, probe_batch, reference_results):
+        addresses, codes = probe_batch
+        client = FleetClient(fleet.url)
+        results = client.scan(addresses, codes)
+        assert [r["probability"] for r in results] == [
+            r.probability for r in reference_results
+        ]
+
+    def test_ping_status_healthz(self, fleet):
+        client = FleetClient(fleet.url)
+        assert client.ping()
+        status = client.status()
+        assert status["alive"] == 2
+        assert len(status["workers"]) == 2
+        assert status["counters"]["batches"] >= 1
+        assert set(status["batch_latency_seconds"]) == {"p50", "p95",
+                                                        "p99"}
+        assert client.healthz()["ok"] is True
+
+    def test_unknown_method_is_rpc_error(self, fleet):
+        client = FleetClient(fleet.url)
+        with pytest.raises(FleetRpcError) as excinfo:
+            client.rpc("no_such_method")
+        assert excinfo.value.status == 400
+
+    def test_malformed_scan_is_rpc_error(self, fleet):
+        client = FleetClient(fleet.url)
+        with pytest.raises(FleetRpcError) as excinfo:
+            client.rpc("scan", {"addresses": ["0x1"]})  # codes missing
+        assert excinfo.value.status == 400
+
+
+class TestTransportFailures:
+    def test_worker_killed_mid_batch_loses_no_alerts(
+            self, store_root, probe_batch, reference_results,
+            monkeypatch):
+        """The acceptance gate: a crash mid-stream drops zero events."""
+        monkeypatch.setenv(SCAN_DELAY_ENV, "1.0")
+        addresses, codes = probe_batch
+        with _manager(store_root) as manager:
+            outcome = {}
+
+            def run():
+                outcome["results"] = manager.scan(addresses, codes)
+
+            scanner = threading.Thread(target=run)
+            scanner.start()
+            time.sleep(0.3)  # first shard group is now in flight
+            manager.kill_worker(0)
+            scanner.join(timeout=30)
+            assert "results" in outcome, "scan never completed"
+
+            results = outcome["results"]
+            assert len(results) == len(addresses)
+            assert all(r is not None for r in results)
+            assert [r["probability"] for r in results] == [
+                r.probability for r in reference_results
+            ], "rerouted batch diverged from the reference"
+
+            sink = manager.sinks[0]
+            expected = {
+                r.address for r in reference_results if r.is_phishing
+            }
+            assert {a.address for a in sink.alerts} == expected, (
+                "alert set changed after a mid-batch worker crash"
+            )
+            status = manager.status()
+            assert status["counters"]["rerouted"] >= 1
+            assert status["alive"] == 1
+
+    def test_scan_routes_around_already_dead_worker(
+            self, store_root, probe_batch, reference_results):
+        addresses, codes = probe_batch
+        with _manager(store_root) as manager:
+            manager.kill_worker(1)
+            results = manager.scan(addresses, codes)
+            assert [r["probability"] for r in results] == [
+                r.probability for r in reference_results
+            ]
+            # Every sub-batch was scored by the surviving worker.
+            assert {r["worker"] for r in results} == {0}
+
+    def test_shed_under_sustained_overload(
+            self, store_root, probe_batch, monkeypatch):
+        monkeypatch.setenv(SCAN_DELAY_ENV, "0.5")
+        addresses, codes = probe_batch
+        with _manager(store_root, workers=1, queue_depth=1,
+                      overflow="shed") as manager:
+            client = FleetClient(manager.url)
+            statuses = []
+
+            def run():
+                try:
+                    client.scan(addresses, codes)
+                    statuses.append(200)
+                except FleetRpcError as error:
+                    statuses.append(error.status)
+
+            threads = [threading.Thread(target=run) for _ in range(5)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert 200 in statuses, "overloaded fleet served nothing"
+            assert 429 in statuses, "no request was shed at queue_depth=1"
+            assert manager.status()["counters"]["shed"] >= 1
+
+    def test_block_overflow_serves_everything(
+            self, store_root, probe_batch, monkeypatch):
+        monkeypatch.setenv(SCAN_DELAY_ENV, "0.2")
+        addresses, codes = probe_batch
+        with _manager(store_root, workers=1, queue_depth=1,
+                      overflow="block") as manager:
+            client = FleetClient(manager.url)
+            outcomes = []
+
+            def run():
+                outcomes.append(len(client.scan(addresses, codes)))
+
+            threads = [threading.Thread(target=run) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert outcomes == [len(addresses)] * 4
+            assert manager.status()["counters"]["shed"] == 0
+
+    def test_drain_refuses_new_work(self, store_root, probe_batch):
+        addresses, codes = probe_batch
+        with _manager(store_root) as manager:
+            manager.scan(addresses, codes)
+            assert manager.coordinator.drain(timeout=10)
+            with pytest.raises(ShuttingDownError):
+                manager.scan(addresses, codes)
+            assert FleetClient(manager.url).healthz()["ok"] is False
+
+
+class TestLifecycle:
+    def test_stop_unlinks_the_ring(self, store_root, probe_batch):
+        addresses, codes = probe_batch
+        manager = _manager(store_root).start()
+        ring_name = manager.ring.name
+        manager.scan(addresses, codes)
+        manager.stop()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=ring_name)
+
+    def test_stop_survives_a_crashed_worker(self, store_root):
+        """Teardown with a SIGKILLed worker must still clean everything."""
+        manager = _manager(store_root).start()
+        ring_name = manager.ring.name
+        manager.kill_worker(0)
+        manager.stop()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=ring_name)
+        assert all(not p.is_alive() for p in manager._processes)
+
+    def test_exactly_one_model_source_enforced(self, store_root):
+        with pytest.raises(ValueError):
+            FleetManager(workers=1)
+        with pytest.raises(ValueError):
+            FleetManager(workers=1, model_path="m.npz",
+                         store_url=str(store_root), model_ref="production")
+
+    def test_http_shutdown_stops_the_manager(self, store_root):
+        manager = _manager(store_root).start()
+        try:
+            assert FleetClient(manager.url).shutdown()
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline and not manager.stopped:
+                time.sleep(0.1)
+            assert manager.stopped
+        finally:
+            manager.stop()
+
+
+def test_shed_error_maps_to_http_429():
+    assert issubclass(OverloadedError, RuntimeError)

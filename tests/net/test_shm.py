@@ -1,0 +1,119 @@
+"""Shared-memory feature ring: slot lifecycle, packing, crash cleanup."""
+
+import os
+import pathlib
+import subprocess
+import sys
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.net.shm import ShmRing, SlotTooSmallError
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture
+def ring():
+    ring = ShmRing.create(slots=3, slot_bytes=4096)
+    yield ring
+    ring.unlink()
+
+
+def test_write_then_view_roundtrip(ring):
+    blocks = [
+        np.arange(16, dtype=np.uint8),
+        np.arange(100, 140, dtype=np.uint8),
+    ]
+    slot = ring.acquire()
+    length = ring.write_blocks(slot, blocks)
+    assert length == 16 + 40
+
+    view = ring.view(slot, length)
+    assert view.dtype == np.uint8
+    assert not view.flags.writeable
+    np.testing.assert_array_equal(view[:16], blocks[0])
+    np.testing.assert_array_equal(view[16:], blocks[1])
+    del view
+    ring.release(slot)
+
+
+def test_acquire_exhaustion_and_release(ring):
+    slots = [ring.acquire() for _ in range(3)]
+    assert sorted(slots) == [0, 1, 2]
+    assert ring.acquire() is None  # full → caller falls back to inline
+    assert ring.free_slots == 0
+    ring.release(slots[1])
+    assert ring.free_slots == 1
+    assert ring.acquire() == slots[1]
+    for slot in (slots[0], slots[2], slots[1]):
+        ring.release(slot)
+
+
+def test_oversized_batch_raises(ring):
+    slot = ring.acquire()
+    try:
+        with pytest.raises(SlotTooSmallError):
+            ring.write_blocks(slot, [np.zeros(5000, dtype=np.uint8)])
+    finally:
+        ring.release(slot)
+
+
+def test_release_validates_slot(ring):
+    with pytest.raises(ValueError):
+        ring.release(99)
+    slot = ring.acquire()
+    ring.release(slot)
+    with pytest.raises(ValueError):
+        ring.release(slot)  # double release
+
+
+def test_attach_sees_creator_bytes(ring):
+    slot = ring.acquire()
+    payload = np.frombuffer(b"feature-bytes", dtype=np.uint8)
+    length = ring.write_blocks(slot, [payload])
+
+    attached = ShmRing.attach(ring.name, ring.slots, ring.slot_bytes)
+    try:
+        view = attached.view(slot, length)
+        assert bytes(view) == b"feature-bytes"
+        del view
+    finally:
+        attached.close()
+    ring.release(slot)
+
+
+def test_attached_ring_never_unlinks(ring):
+    attached = ShmRing.attach(ring.name, ring.slots, ring.slot_bytes)
+    attached.unlink()  # pid-guarded no-op: not the creator
+    attached.close()
+    # Segment must still exist for the creator.
+    probe = shared_memory.SharedMemory(name=ring.name)
+    probe.close()
+
+
+_CRASHER = """
+import sys
+from repro.net.shm import ShmRing
+
+ring = ShmRing.create(slots=2, slot_bytes=1024)
+print(ring.name, flush=True)
+if sys.argv[1] == "crash":
+    raise RuntimeError("simulated fleet-manager crash")
+"""
+
+
+def test_abnormal_exit_unlinks_segment(tmp_path):
+    """A creator dying on an unhandled exception must not leak shm."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{SRC}{os.pathsep}" + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-c", _CRASHER, "crash"],
+        capture_output=True, text=True, env=env, timeout=60,
+    )
+    assert completed.returncode != 0
+    assert "simulated fleet-manager crash" in completed.stderr
+    name = completed.stdout.split()[0]
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)

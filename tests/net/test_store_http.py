@@ -1,0 +1,164 @@
+"""HTTP store transport: serve_store server + HttpStoreBackend client.
+
+The pair is exercised over real sockets: a ``FileStoreBackend`` is
+published with :func:`serve_store` and every ``StoreBackend`` operation
+goes through :class:`HttpStoreBackend` — including the integrity check
+against a tampering server and the full ``ModelStore`` cold-start with
+``cache_dir`` spooling.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.artifacts import HttpStoreBackend, ModelStore, backend_from_url
+from repro.artifacts.errors import IntegrityError
+from repro.net import serve_store
+
+
+def _serve(backend, *, writable=False):
+    server = serve_store(backend, "127.0.0.1", 0, writable=writable)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{server.server_address[1]}"
+    return server, url
+
+
+@pytest.fixture
+def writable_pair(tmp_path):
+    backend = backend_from_url(str(tmp_path / "store"))
+    server, url = _serve(backend, writable=True)
+    yield backend, HttpStoreBackend(url)
+    server.shutdown()
+    server.server_close()
+
+
+@pytest.fixture
+def readonly_pair(tmp_path):
+    backend = backend_from_url(str(tmp_path / "store"))
+    backend.put("objects/a.npz", b"artifact-bytes")
+    server, url = _serve(backend, writable=False)
+    yield backend, HttpStoreBackend(url)
+    server.shutdown()
+    server.server_close()
+
+
+class TestBackendOperations:
+    def test_put_get_roundtrip(self, writable_pair):
+        local, remote = writable_pair
+        etag = remote.put("objects/x.npz", b"payload")
+        assert local.get("objects/x.npz") == b"payload"
+        assert remote.get("objects/x.npz") == b"payload"
+        assert remote.etag("objects/x.npz") == etag
+
+    def test_missing_key_raises_keyerror(self, readonly_pair):
+        _, remote = readonly_pair
+        with pytest.raises(KeyError):
+            remote.get("objects/nope.npz")
+        with pytest.raises(KeyError):
+            remote.size("objects/nope.npz")
+        assert remote.etag("objects/nope.npz") is None
+
+    def test_list_with_prefix(self, writable_pair):
+        _, remote = writable_pair
+        remote.put("objects/a.npz", b"a")
+        remote.put("objects/b.npz", b"b")
+        remote.put("tags.json", b"{}")
+        assert sorted(remote.list("objects/")) == [
+            "objects/a.npz", "objects/b.npz",
+        ]
+
+    def test_delete(self, writable_pair):
+        local, remote = writable_pair
+        remote.put("objects/gone.npz", b"x")
+        remote.delete("objects/gone.npz")
+        with pytest.raises(KeyError):
+            local.get("objects/gone.npz")
+
+    def test_size(self, readonly_pair):
+        _, remote = readonly_pair
+        assert remote.size("objects/a.npz") == len(b"artifact-bytes")
+
+    def test_readonly_server_rejects_writes(self, readonly_pair):
+        _, remote = readonly_pair
+        with pytest.raises(PermissionError):
+            remote.put("objects/new.npz", b"x")
+        with pytest.raises(PermissionError):
+            remote.delete("objects/a.npz")
+
+
+class _TamperingHandler(BaseHTTPRequestHandler):
+    """Replies with a body that does not match its ETag header."""
+
+    def log_message(self, *args):
+        pass
+
+    def do_GET(self):
+        body = b"tampered-bytes"
+        self.send_response(200)
+        self.send_header("ETag", '"' + "0" * 64 + '"')
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+def test_etag_mismatch_raises_integrity_error():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _TamperingHandler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        remote = HttpStoreBackend(
+            f"http://127.0.0.1:{server.server_address[1]}"
+        )
+        with pytest.raises(IntegrityError):
+            remote.get("objects/a.npz")
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_backend_from_url_dispatches_http():
+    assert isinstance(
+        backend_from_url("http://127.0.0.1:1/"), HttpStoreBackend
+    )
+    assert isinstance(
+        backend_from_url("https://store.example/"), HttpStoreBackend
+    )
+
+
+def test_model_store_cold_start_over_http(store_root, reference_results,
+                                          probe_batch, tmp_path):
+    """The production path: workers pull artifacts via http://."""
+    from repro.serve.service import ScanService
+
+    backend = backend_from_url(str(store_root))
+    server, url = _serve(backend, writable=False)
+    try:
+        store = ModelStore.from_url(url, cache_dir=tmp_path / "spool")
+        service = ScanService.from_artifact("production", store=store)
+        addresses, codes = probe_batch
+        results = service.scan_bytecodes(codes, addresses=addresses)
+        assert [r.probability for r in results] == [
+            r.probability for r in reference_results
+        ]
+        # The artifact was spooled through cache_dir, not a throwaway.
+        spooled = list((tmp_path / "spool").rglob("*.npz"))
+        assert spooled, "cache_dir spool is empty after a remote load"
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_served_store_lists_versions(store_root):
+    backend = backend_from_url(str(store_root))
+    server, url = _serve(backend)
+    try:
+        store = ModelStore.from_url(url)
+        rows = store.list()
+        assert len(rows) == 1
+        assert "production" in rows[0]["tags"]
+    finally:
+        server.shutdown()
+        server.server_close()

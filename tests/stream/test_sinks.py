@@ -74,7 +74,7 @@ def test_callback_failure_is_swallowed_and_counted(alert):
 
 
 def test_webhook_sink_records_wire_format(alert):
-    sink = WebhookSink("https://hooks.example/phishing")
+    sink = WebhookSink.recording("https://hooks.example/phishing")
     sink.emit(alert)
     (url, body), = sink.sent
     assert url == "https://hooks.example/phishing"

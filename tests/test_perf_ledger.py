@@ -34,11 +34,11 @@ def test_parse_summaries_extracts_tagged_json_lines():
     assert summaries == {"COLD_START": {"speedup": 42.5}}
 
 
-def test_tracked_metrics_cover_the_five_gate_benches():
+def test_tracked_metrics_cover_the_six_gate_benches():
     tags = {metric.tag for metric in ledger.TRACKED}
     assert tags == {
         "SCAN_THROUGHPUT", "STREAM_LATENCY", "PREDICT_THROUGHPUT",
-        "COLD_START", "SHADOW_ROLLOUT",
+        "COLD_START", "SHADOW_ROLLOUT", "FLEET",
     }
 
 
@@ -49,6 +49,7 @@ def write_logs(tmp_path, **values):
         "PREDICT_THROUGHPUT": {"speedup": 6.0},
         "COLD_START": {"speedup": 45.0},
         "SHADOW_ROLLOUT": {"overhead": 1.7},
+        "FLEET": {"scaling": 1.8},
     }
     for tag, payload in values.items():
         defaults[tag].update(payload)
@@ -114,7 +115,7 @@ def test_record_refuses_partial_logs_by_default(tmp_path, capsys):
 
 
 def test_committed_baseline_tracks_every_metric():
-    baseline = json.loads((REPO / "BENCH_6.json").read_text())
+    baseline = json.loads((REPO / "BENCH_7.json").read_text())
     names = {metric.name for metric in ledger.TRACKED}
     assert set(baseline["metrics"]) == names
     for entry in baseline["metrics"].values():
