@@ -5,7 +5,7 @@ Every gate benchmark prints one machine-readable line, ``TAG {json}``
 those lines into a regression gate:
 
 * ``record`` parses one or more bench logs and writes the tracked
-  metrics to a baseline file (the committed ``BENCH_7.json``),
+  metrics to a baseline file (the committed ``BENCH_8.json``),
 * ``check`` parses fresh logs and fails (exit 1) if any tracked metric
   regressed more than the tolerance (default 20%) against the baseline.
 
@@ -19,8 +19,8 @@ paths changed*, which is the thing a refactor can actually break.
 Usage::
 
     PYTHONPATH=src:. python -m pytest -q -s benchmarks/bench_cold_start.py | tee cold.log
-    python benchmarks/ledger.py record cold.log ... --out BENCH_7.json
-    python benchmarks/ledger.py check  cold.log ... --baseline BENCH_7.json
+    python benchmarks/ledger.py record cold.log ... --out BENCH_8.json
+    python benchmarks/ledger.py check  cold.log ... --baseline BENCH_8.json
 """
 
 from __future__ import annotations
@@ -69,6 +69,11 @@ TRACKED = (
     # wide: the gate exists to catch dispatch serializing (ratio
     # collapsing toward the per-request overhead floor), not OS jitter.
     Metric("FLEET", "scaling", "higher", tolerance=0.50),
+    # Seconds from SIGKILL to a respawned, re-serving worker. Absolute
+    # wall-clock (the one non-ratio metric): it crosses heartbeat
+    # detection, backoff and a full process spawn, so the band is the
+    # widest — the gate catches recovery *stalling*, not jitter.
+    Metric("FLEET", "recovery", "lower", tolerance=1.00),
 )
 
 DEFAULT_TOLERANCE = 0.20
@@ -91,9 +96,19 @@ def parse_summaries(text: str) -> dict[str, dict]:
 
 
 def collect(paths: list[str]) -> dict[str, dict]:
+    """Merge summaries across logs, *per key* within each tag.
+
+    Two benches may legitimately share a tag while owning different
+    keys (``bench_fleet`` prints ``FLEET {"scaling": ...}``,
+    ``bench_fault_recovery`` prints ``FLEET {"recovery": ...}``); a
+    tag-level overwrite would silently drop whichever log came first.
+    """
     merged: dict[str, dict] = {}
     for path in paths:
-        merged.update(parse_summaries(pathlib.Path(path).read_text()))
+        for tag, payload in parse_summaries(
+            pathlib.Path(path).read_text()
+        ).items():
+            merged.setdefault(tag, {}).update(payload)
     return merged
 
 
@@ -209,7 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
         "record", help="parse bench logs and write the baseline file"
     )
     record.add_argument("logs", nargs="+", help="bench output log file(s)")
-    record.add_argument("--out", default="BENCH_7.json")
+    record.add_argument("--out", default="BENCH_8.json")
     record.add_argument("--tolerance", type=float,
                         default=DEFAULT_TOLERANCE)
     record.add_argument(
@@ -222,7 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
         "check", help="fail if any tracked metric regressed vs baseline"
     )
     check.add_argument("logs", nargs="+", help="bench output log file(s)")
-    check.add_argument("--baseline", default="BENCH_7.json")
+    check.add_argument("--baseline", default="BENCH_8.json")
     check.add_argument(
         "--tolerance", type=float, default=None,
         help="override the tolerance stored in the baseline",

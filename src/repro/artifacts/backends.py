@@ -597,14 +597,27 @@ class HttpStoreBackend(StoreBackend):
 
     The server refuses writes unless started ``--writable``; this
     surfaces here as ``PermissionError`` rather than a silent no-op.
+
+    Transient failures — transport errors and HTTP 5xx — are retried
+    with jittered exponential backoff (``retry``, a
+    :class:`repro.net.retry.RetryPolicy`; pass ``attempts=1`` to
+    disable), so a store mirror restarting mid-pull costs a retry, not
+    a failed cold start. Integrity failures are **never** retried:
+    tampered bytes are a fact to surface, not a flake.
     """
 
     scheme = "http"
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0):
+    def __init__(self, base_url: str, *, timeout: float = 30.0,
+                 retry=None):
         self._url = base_url.rstrip("/")
         self.scheme = self._url.partition("://")[0] or "http"
         self.timeout = timeout
+        if retry is None:
+            from repro.net.retry import RetryPolicy
+
+            retry = RetryPolicy(attempts=3, base_delay=0.1, max_delay=2.0)
+        self.retry = retry
         # HTTP stores are read-mostly by design (workers pull, nobody
         # here races a tag read-modify-write against another *writer on
         # this host*); the lock still serializes this process's cycles.
@@ -614,14 +627,42 @@ class HttpStoreBackend(StoreBackend):
     def url(self) -> str:
         return self._url
 
+    class _ServerError(Exception):
+        """Internal: an HTTP >= 500 response, retried then unwrapped."""
+
+        def __init__(self, response):
+            super().__init__(f"HTTP {response.status}")
+            self.response = response
+
+    def _fetch(self, method: str, url: str, *, body: bytes = None):
+        """One retried exchange; 5xx responses count as retryable."""
+        from repro.net.client import TransportError, http_request
+
+        def attempt():
+            response = http_request(
+                method, url, body=body, timeout=self.timeout
+            )
+            if response.status >= 500:
+                raise self._ServerError(response)
+            return response
+
+        try:
+            return self.retry.call(
+                attempt,
+                should_retry=lambda exc: isinstance(
+                    exc, (TransportError, self._ServerError)
+                ),
+            )
+        except self._ServerError as error:
+            # Out of retries: hand the 5xx back so each caller raises
+            # its usual status-specific OSError.
+            return error.response
+
     def _request(self, method: str, key: str, *, body: bytes = None):
         from urllib.parse import quote
 
-        from repro.net.client import http_request
-
-        return http_request(
-            method, f"{self._url}/{quote(key, safe='/')}",
-            body=body, timeout=self.timeout,
+        return self._fetch(
+            method, f"{self._url}/{quote(key, safe='/')}", body=body
         )
 
     def get(self, key: str) -> bytes:
@@ -666,11 +707,8 @@ class HttpStoreBackend(StoreBackend):
     def list(self, prefix: str = "") -> list[str]:
         from urllib.parse import quote
 
-        from repro.net.client import http_request
-
-        response = http_request(
-            "GET", f"{self._url}/?prefix={quote(prefix)}",
-            timeout=self.timeout,
+        response = self._fetch(
+            "GET", f"{self._url}/?prefix={quote(prefix)}"
         )
         if not response.ok:
             raise OSError(

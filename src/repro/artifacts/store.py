@@ -111,6 +111,10 @@ class ModelStore:
         )
         self.cache_dir = pathlib.Path(cache_dir) if cache_dir else None
         self._spool_dir: tempfile.TemporaryDirectory | None = None
+        #: True while the store is serving tag lookups from the local
+        #: write-through cache because the backend is unreachable
+        #: (degraded mode); cleared on the next successful read.
+        self.degraded = False
 
     @classmethod
     def from_url(
@@ -197,14 +201,32 @@ class ModelStore:
     # ------------------------------------------------------------------ #
 
     def tags(self) -> dict[str, str]:
-        """Current tag table (name → version)."""
+        """Current tag table (name → version).
+
+        Degraded mode: with a ``cache_dir``, every successful read is
+        written through to ``cache_dir/tags.json``, and a *transport*
+        failure (``OSError`` — store unreachable, HTTP 5xx) falls back
+        to that copy with ``self.degraded`` set, so a worker whose
+        artifacts are already spooled keeps serving through a store
+        outage. Damaged data (:class:`IntegrityError`, malformed JSON)
+        never falls back — tampering must surface, not be papered over.
+        """
         try:
             raw = self.backend.get(_TAGS_KEY)
         except KeyError:
+            self.degraded = False
             return {}
-        except (OSError, IntegrityError) as error:
-            # Surface an unreadable or damaged tag table as the
-            # store-level typed error every caller already handles.
+        except IntegrityError as error:
+            raise CorruptArtifactError(
+                f"unreadable tag table in {self.backend.url}: {error}"
+            ) from error
+        except OSError as error:
+            cached = self._cached_tags()
+            if cached is not None:
+                self.degraded = True
+                return cached
+            # Surface an unreadable tag table as the store-level typed
+            # error every caller already handles.
             raise CorruptArtifactError(
                 f"unreadable tag table in {self.backend.url}: {error}"
             ) from error
@@ -214,7 +236,10 @@ class ModelStore:
             raise CorruptArtifactError(
                 f"unreadable tag table in {self.backend.url}: {error}"
             ) from error
-        return {str(k): str(v) for k, v in table.items()}
+        tags = {str(k): str(v) for k, v in table.items()}
+        self.degraded = False
+        self._cache_tags(tags)
+        return tags
 
     def versions(self) -> list[str]:
         """Every stored version digest (sorted)."""
@@ -376,6 +401,44 @@ class ModelStore:
     @staticmethod
     def _object_key(version: str) -> str:
         return f"{_OBJECT_PREFIX}{version}.npz"
+
+    def _tags_cache_path(self) -> pathlib.Path | None:
+        if self.cache_dir is None:
+            return None
+        # Only object backends spool; a path-addressable store *is* its
+        # own durable copy and caching its tag table would just shadow it.
+        if self.backend.local_path(_TAGS_KEY) is not None:
+            return None
+        return self.cache_dir / _TAGS_KEY
+
+    def _cache_tags(self, tags: dict[str, str]) -> None:
+        target = self._tags_cache_path()
+        if target is None:
+            return
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            handle, temp_name = tempfile.mkstemp(
+                dir=self.cache_dir, prefix=".tmp-tags-", suffix=".json"
+            )
+            try:
+                with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                    json.dump(tags, stream, indent=2, sort_keys=True)
+                os.replace(temp_name, target)
+            finally:
+                pathlib.Path(temp_name).unlink(missing_ok=True)
+        except OSError:
+            # Best-effort: a failed cache write must not fail the read.
+            pass
+
+    def _cached_tags(self) -> dict[str, str] | None:
+        target = self._tags_cache_path()
+        if target is None:
+            return None
+        try:
+            table = json.loads(target.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        return {str(k): str(v) for k, v in table.items()}
 
     def _write_tags(self, tags: dict[str, str]) -> None:
         self.backend.put(

@@ -879,10 +879,16 @@ def _cmd_fleet(args) -> int:
             return 0
         counters = status["counters"]
         latency = status["batch_latency_seconds"]
+        health = ""
+        if status.get("degraded"):
+            health += f", {status['degraded']} degraded"
+        if status.get("quarantined"):
+            health += f", {status['quarantined']} QUARANTINED"
         print(f"coordinator {client.base_url}: "
               f"{status['alive']}/{len(status['workers'])} worker(s) "
               f"alive, overflow={status['overflow']}, "
               f"queue_depth={status['queue_depth']}"
+              + health
               + (", draining" if status["draining"] else ""))
         print(f"batches {counters['batches']}  "
               f"scanned {counters['scanned']}  "
@@ -895,11 +901,18 @@ def _cmd_fleet(args) -> int:
                   f"p95 {latency['p95'] * 1e3:.2f}ms  "
                   f"p99 {latency['p99'] * 1e3:.2f}ms")
         for worker in status["workers"]:
-            state = "alive" if worker["alive"] else "DEAD"
-            print(f"  worker {worker['index']} [{state}] "
+            state = worker.get("state") or (
+                "alive" if worker["alive"] else "dead")
+            label = state.upper() if state in ("dead", "quarantined") else state
+            extras = ""
+            if worker.get("respawns"):
+                extras += f" respawns={worker['respawns']}"
+            if worker.get("degraded"):
+                extras += " degraded"
+            print(f"  worker {worker['index']} [{label}] "
                   f"pid={worker['pid']} inflight={worker['inflight']} "
                   f"completed={worker['completed']} "
-                  f"failed={worker['failed']}")
+                  f"failed={worker['failed']}" + extras)
         return 0
 
     if args.fleet_command == "scan":

@@ -29,6 +29,7 @@ Sections (TOML table names match the dataclass fields)::
     [source]     # traffic source (replay campaign)  -> SourceConfig
     [rollout]    # optional shadow-rollout plan      -> RolloutConfig
     [fleet]      # optional multi-process fleet      -> FleetConfig
+    [fault_tolerance]  # optional self-healing knobs -> FaultToleranceConfig
 """
 
 from __future__ import annotations
@@ -49,6 +50,7 @@ __all__ = [
     "SourceConfig",
     "RolloutConfig",
     "FleetConfig",
+    "FaultToleranceConfig",
     "DeployConfig",
     "load_config",
     "parse_config",
@@ -232,6 +234,39 @@ class FleetConfig:
     host: str = "127.0.0.1"
     #: Coordinator port; 0 binds an ephemeral port.
     port: int = 0
+    #: Per-batch worker HTTP timeout (seconds): the bound on how long a
+    #: hung worker can stall a dispatch before it is declared dead.
+    request_timeout: float = 10.0
+
+
+@dataclass(frozen=True)
+class FaultToleranceConfig:
+    """Self-healing knobs (``[fault_tolerance]``, optional).
+
+    Present means the fleet launches with worker supervision, retrying
+    clients, and (when ``dead_letter_path`` is set) dead-letter spooling
+    on webhook sinks. Absent keeps the PR-7 behaviour: dead workers are
+    routed around but never replaced.
+    """
+
+    #: Auto-respawn crashed workers (heartbeat + exponential backoff).
+    respawn: bool = True
+    #: Consecutive failed respawns before a worker is quarantined.
+    max_respawns: int = 3
+    #: Supervisor heartbeat interval (seconds).
+    heartbeat_seconds: float = 0.5
+    #: First-respawn backoff; doubles per consecutive failure.
+    backoff_seconds: float = 0.2
+    backoff_max_seconds: float = 5.0
+    #: Retry attempts for store/webhook HTTP calls (1 = no retry).
+    retry_attempts: int = 3
+    #: Circuit breaker: consecutive failures that open it, and how long
+    #: it stays open before one half-open probe.
+    breaker_failures: int = 5
+    breaker_reset_seconds: float = 30.0
+    #: JSONL dead-letter spool for alerts the webhook cannot deliver;
+    #: empty disables spooling (failed deliveries are only counted).
+    dead_letter_path: str = ""
 
 
 @dataclass(frozen=True)
@@ -246,6 +281,7 @@ class DeployConfig:
     source: SourceConfig = SourceConfig()
     rollout: RolloutConfig | None = None
     fleet: FleetConfig | None = None
+    fault_tolerance: FaultToleranceConfig | None = None
     #: Where this config came from (file path or ``"<dict>"``).
     origin: str = "<dict>"
 
@@ -273,6 +309,10 @@ class DeployConfig:
             ),
             "fleet": (
                 dataclasses.asdict(self.fleet) if self.fleet else None
+            ),
+            "fault_tolerance": (
+                dataclasses.asdict(self.fault_tolerance)
+                if self.fault_tolerance else None
             ),
         }
         return data
@@ -593,6 +633,61 @@ def _parse_fleet(
         ),
         host=host,
         port=port,
+        request_timeout=section.number(
+            "request_timeout", FleetConfig.request_timeout,
+            minimum=0.0, exclusive=True,
+        ),
+    )
+    section.finish()
+    return config
+
+
+def _parse_fault_tolerance(
+    data: dict, problems: list[ConfigProblem]
+) -> FaultToleranceConfig | None:
+    raw = data.pop("fault_tolerance", None)
+    if raw is None:
+        return None
+    if not isinstance(raw, dict):
+        problems.append(
+            ConfigProblem(
+                "fault_tolerance", f"expected a table/object, got {raw!r}"
+            )
+        )
+        return None
+    section = _Section("fault_tolerance", raw, problems)
+    config = FaultToleranceConfig(
+        respawn=section.boolean("respawn", FaultToleranceConfig.respawn),
+        max_respawns=section.integer(
+            "max_respawns", FaultToleranceConfig.max_respawns, minimum=1
+        ),
+        heartbeat_seconds=section.number(
+            "heartbeat_seconds", FaultToleranceConfig.heartbeat_seconds,
+            minimum=0.0, exclusive=True,
+        ),
+        backoff_seconds=section.number(
+            "backoff_seconds", FaultToleranceConfig.backoff_seconds,
+            minimum=0.0,
+        ),
+        backoff_max_seconds=section.number(
+            "backoff_max_seconds",
+            FaultToleranceConfig.backoff_max_seconds,
+            minimum=0.0,
+        ),
+        retry_attempts=section.integer(
+            "retry_attempts", FaultToleranceConfig.retry_attempts,
+            minimum=1,
+        ),
+        breaker_failures=section.integer(
+            "breaker_failures", FaultToleranceConfig.breaker_failures,
+            minimum=1,
+        ),
+        breaker_reset_seconds=section.number(
+            "breaker_reset_seconds",
+            FaultToleranceConfig.breaker_reset_seconds,
+            minimum=0.0, exclusive=True,
+        ),
+        dead_letter_path=section.string("dead_letter_path", ""),
     )
     section.finish()
     return config
@@ -619,6 +714,7 @@ def parse_config(data: dict, *, origin: str = "<dict>") -> DeployConfig:
     source = _parse_source(_section(data, "source", problems))
     rollout = _parse_rollout(data, problems)
     fleet = _parse_fleet(data, problems)
+    fault_tolerance = _parse_fault_tolerance(data, problems)
 
     for key in sorted(data):
         problems.append(ConfigProblem(str(key), "unknown section"))
@@ -633,6 +729,7 @@ def parse_config(data: dict, *, origin: str = "<dict>") -> DeployConfig:
         source=source,
         rollout=rollout,
         fleet=fleet,
+        fault_tolerance=fault_tolerance,
         origin=origin,
     )
 

@@ -75,17 +75,50 @@ def open_store(config: DeployConfig):
 
 
 def build_sinks(config: DeployConfig) -> list:
-    """Instantiate every ``[[sinks]]`` entry, in declaration order."""
-    from repro.stream import JsonlSink, MemorySink, WebhookSink
+    """Instantiate every ``[[sinks]]`` entry, in declaration order.
 
+    With a ``[fault_tolerance]`` section, webhook sinks get a
+    config-shaped :class:`~repro.net.retry.RetryPolicy`, and — when
+    ``dead_letter_path`` is set — each webhook sink is wrapped in a
+    :class:`~repro.stream.DeadLetterSink` spooling failed deliveries to
+    disk for replay once the endpoint recovers. Local sinks are never
+    wrapped: their failure domain *is* the disk the spool lives on.
+    """
+    from repro.stream import DeadLetterSink, JsonlSink, MemorySink, WebhookSink
+
+    ft = config.fault_tolerance
     sinks = []
+    webhooks = 0
     for sink in config.sinks:
         if sink.kind == "memory":
             sinks.append(MemorySink())
         elif sink.kind == "jsonl":
             sinks.append(JsonlSink(sink.path))
         elif sink.kind == "webhook":
-            sinks.append(WebhookSink(sink.url, timeout=sink.timeout))
+            retry = None
+            if ft is not None:
+                from repro.net.retry import RetryPolicy
+
+                retry = RetryPolicy(attempts=ft.retry_attempts)
+            built = WebhookSink(sink.url, timeout=sink.timeout, retry=retry)
+            if ft is not None and ft.dead_letter_path:
+                from repro.net.retry import CircuitBreaker
+
+                # One spool file per wrapped sink: replay's atomic
+                # rewrite must own its file exclusively.
+                path = ft.dead_letter_path
+                if webhooks:
+                    path = f"{path}.{webhooks}"
+                built = DeadLetterSink(
+                    built,
+                    path,
+                    breaker=CircuitBreaker(
+                        failures=ft.breaker_failures,
+                        reset_seconds=ft.breaker_reset_seconds,
+                    ),
+                )
+            webhooks += 1
+            sinks.append(built)
         else:  # pragma: no cover - parse_config rejects unknown kinds
             raise ValueError(f"unknown sink kind {sink.kind!r}")
     return sinks
@@ -162,6 +195,16 @@ def build_fleet(config: DeployConfig, *, sinks=None):
     from repro.net import FleetManager
 
     fleet = config.fleet
+    ft = config.fault_tolerance
+    supervision = {}
+    if ft is not None:
+        supervision = dict(
+            supervise=ft.respawn,
+            heartbeat_seconds=ft.heartbeat_seconds,
+            max_respawns=ft.max_respawns,
+            respawn_backoff_seconds=ft.backoff_seconds,
+            respawn_backoff_max=ft.backoff_max_seconds,
+        )
     return FleetManager(
         workers=fleet.workers,
         store_url="" if config.model.path else config.store.url,
@@ -178,7 +221,9 @@ def build_fleet(config: DeployConfig, *, sinks=None):
         slot_bytes=fleet.slot_bytes,
         host=fleet.host,
         port=fleet.port,
+        http_timeout=fleet.request_timeout,
         sinks=sinks if sinks is not None else build_sinks(config),
+        **supervision,
     )
 
 

@@ -389,6 +389,87 @@ def _fleet_undersized_ring(c: DeployConfig):
     return None
 
 
+def _respawn_cold_store(c: DeployConfig):
+    ft = c.fault_tolerance
+    if (
+        ft is None
+        or not ft.respawn
+        or c.fleet is None
+        or c.store.scheme not in ("bucket", "http", "https")
+        or c.store.cache_dir
+    ):
+        return None
+    return (
+        f"fault_tolerance.respawn with a remote store "
+        f"(store.url={c.store.url!r}) and no store.cache_dir: every "
+        f"respawn re-pulls the artifact over the network, and a respawn "
+        f"triggered *by* a store outage can never succeed — the warm "
+        f"reload that supervision depends on needs a local spool to "
+        f"reload from"
+    )
+
+
+def _dead_letter_in_store(c: DeployConfig):
+    ft = c.fault_tolerance
+    if ft is None or not ft.dead_letter_path or c.store.scheme != "file":
+        return None
+    import os.path
+
+    root = c.store.url
+    if root.startswith("file://"):
+        root = root[len("file://"):]
+    # Pure path algebra (normpath/abspath never touch the filesystem):
+    # the analyser must stay static.
+    store_root = os.path.normpath(os.path.abspath(root))
+    spool = os.path.normpath(os.path.abspath(ft.dead_letter_path))
+    if spool == store_root or spool.startswith(store_root + os.sep):
+        return (
+            f"fault_tolerance.dead_letter_path={ft.dead_letter_path!r} "
+            f"resolves inside the model store at {c.store.url!r}: the "
+            f"store is an immutable artifact surface, commonly a "
+            f"read-only mount or a store-serve mirror that refuses "
+            f"writes — spooling alerts into it fails exactly when the "
+            f"spool is needed, and store GC can delete the spool"
+        )
+    return None
+
+
+def _lagging_heartbeat(c: DeployConfig):
+    ft = c.fault_tolerance
+    if (
+        ft is None
+        or not ft.respawn
+        or c.fleet is None
+        or ft.heartbeat_seconds < c.fleet.request_timeout
+    ):
+        return None
+    return (
+        f"fault_tolerance.heartbeat_seconds={ft.heartbeat_seconds} is "
+        f">= fleet.request_timeout={c.fleet.request_timeout}: the "
+        f"supervisor probes less often than a request is allowed to "
+        f"hang, so every crash is discovered by a client-visible "
+        f"timeout before the heartbeat ever notices — the liveness "
+        f"check guards nothing"
+    )
+
+
+def _circuit_open_alert_loss(c: DeployConfig):
+    ft = c.fault_tolerance
+    if ft is None or ft.dead_letter_path:
+        return None
+    webhooks = [s for s in c.sinks if s.kind == "webhook"]
+    if not webhooks:
+        return None
+    return (
+        f"a fault-tolerant topology delivers alerts to "
+        f"{len(webhooks)} webhook sink(s) with no "
+        f"fault_tolerance.dead_letter_path: when the webhook's circuit "
+        f"opens, failed deliveries are only counted, not spooled — "
+        f"alerts are dropped during exactly the outage window this "
+        f"config exists to survive"
+    )
+
+
 #: The catalog. IDs are stable — tooling, dashboards and the docs rule
 #: table key on them; new rules append, old rules never renumber.
 RULES: tuple[Rule, ...] = (
@@ -575,6 +656,48 @@ RULES: tuple[Rule, ...] = (
         "leave fleet.slots=0 for automatic sizing",
         _fleet_undersized_ring,
         ("fleet.slots", "fleet.workers", "fleet.queue_depth"),
+    ),
+    Rule(
+        "D021", ERROR, "respawn-cold-store",
+        "Supervised respawn with a remote store and no local cache "
+        "re-pulls the artifact over the network on every respawn; a "
+        "respawn caused by a store outage deadlocks against the very "
+        "outage it is recovering from.",
+        "set store.cache_dir so respawned workers warm-reload from the "
+        "local spool",
+        _respawn_cold_store,
+        ("fault_tolerance.respawn", "store.url", "store.cache_dir"),
+    ),
+    Rule(
+        "D022", ERROR, "dead-letter-in-store",
+        "A dead-letter spool inside the model store root writes alert "
+        "JSONL into an immutable artifact surface — commonly a "
+        "read-only mount or store-serve mirror that refuses writes "
+        "exactly when the spool is needed.",
+        "point fault_tolerance.dead_letter_path at a writable path "
+        "outside the store root",
+        _dead_letter_in_store,
+        ("fault_tolerance.dead_letter_path", "store.url"),
+    ),
+    Rule(
+        "D023", ERROR, "lagging-heartbeat",
+        "A heartbeat interval at or above the fleet request timeout "
+        "discovers every crash only after a client-visible timeout has "
+        "already fired: the liveness probe guards nothing.",
+        "set fault_tolerance.heartbeat_seconds well below "
+        "fleet.request_timeout (a quarter or less)",
+        _lagging_heartbeat,
+        ("fault_tolerance.heartbeat_seconds", "fleet.request_timeout"),
+    ),
+    Rule(
+        "D024", WARN, "circuit-open-alert-loss",
+        "Webhook sinks in a fault-tolerant topology with no dead-letter "
+        "path drop alerts whenever the delivery circuit opens — during "
+        "exactly the outage window this config exists to survive.",
+        "set fault_tolerance.dead_letter_path to spool failed "
+        "deliveries for replay",
+        _circuit_open_alert_loss,
+        ("fault_tolerance.dead_letter_path", "sinks"),
     ),
 )
 

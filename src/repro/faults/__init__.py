@@ -1,0 +1,33 @@
+"""Deterministic fault injection (``repro.faults``).
+
+See :mod:`repro.faults.plan` for the model: a :class:`FaultPlan` is a
+seeded, serializable list of :class:`FaultSpec` entries fired from
+fault points compiled into the production code paths (worker scan loop,
+HTTP client, store server, alert sinks). The chaos suite
+(``tests/net/test_chaos.py``) and the ``chaos-smoke`` CI job drive the
+resilience machinery — supervision, retry/breaker, degraded serving,
+dead-letter spooling — through these plans and assert the alert-set
+invariant after every injected failure.
+"""
+
+from repro.faults.plan import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    clear_plan,
+    fire,
+    install_plan,
+)
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "active_plan",
+    "clear_plan",
+    "fire",
+    "install_plan",
+]

@@ -1,0 +1,274 @@
+"""Deterministic, seedable fault injection for the serving stack.
+
+Dependable-systems claims are only as good as the failures they were
+tested against. This module gives the repo a *machine-checkable* failure
+catalog the way the deploy rule engine gives it a machine-checkable
+config catalog: a :class:`FaultPlan` is an explicit, serializable list
+of :class:`FaultSpec` entries — kill worker 1 on its 3rd batch, return
+HTTP 500 for the first 4 store GETs, stall the webhook sink for 2s —
+installed once and fired from *fault points* compiled into the
+production code paths (worker scan loop, HTTP client, store server,
+alert sinks). No monkeypatching, no test-only subclasses: the chaos
+suite exercises exactly the binaries production runs.
+
+Determinism: triggers are **count-based** (``after`` skips the first N
+matching hits, ``count`` bounds the total firings), so a seeded plan
+replays bit-identically. The optional ``probability`` trigger draws
+from the plan's own seeded :class:`random.Random` for soak-style runs;
+the CI chaos suite uses counts only.
+
+Cross-process propagation: :func:`install_plan` also writes the plan
+into ``os.environ[FAULT_PLAN_ENV]``, and :func:`active_plan` falls back
+to that variable — so fleet worker processes (forked *or* spawned after
+installation) observe the same plan without any extra plumbing. Hit
+counters are per-process: a respawned worker starts its own count,
+which is what "this worker dies on its Nth batch" should mean.
+
+The fast path costs one global read when no plan is installed; a
+production process that never installs a plan pays nothing measurable.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FaultSpec",
+    "FaultPlan",
+    "InjectedFault",
+    "active_plan",
+    "clear_plan",
+    "fire",
+    "install_plan",
+]
+
+#: Environment variable carrying the installed plan to child processes.
+FAULT_PLAN_ENV = "PHOOK_FAULT_PLAN"
+
+#: Fault sites compiled into the production code paths. Keys are what
+#: ``fire(site, ...)`` is called with; the actions each site honours are
+#: documented at the call site and in :class:`FaultSpec`.
+SITES = (
+    "worker.start",   # worker process cold start (action: error)
+    "worker.scan",    # worker batch scoring (actions: kill, delay)
+    "store.get",      # store-serve GET (actions: error, truncate, delay)
+    "http.request",   # client, before sending (actions: drop, delay)
+    "http.response",  # client, after receiving (actions: drop, corrupt,
+                      # delay)
+    "sink.emit",      # alert sink delivery (actions: stall, error)
+)
+
+
+class InjectedFault(ConnectionError):
+    """An injected transport-level failure (``drop`` actions).
+
+    Subclasses ``ConnectionError`` so the HTTP client wraps it in its
+    usual :class:`~repro.net.client.TransportError` — callers exercise
+    their real reroute/retry paths, not a special test path.
+    """
+
+
+@dataclass
+class FaultSpec:
+    """One injectable fault: where, what, and when.
+
+    Args:
+        site: One of :data:`SITES`.
+        action: What happens when the spec fires — the site decides the
+            mechanics (``kill`` → ``os._exit``, ``error`` → HTTP
+            ``status`` / raised ``OSError``, ``truncate`` → half the
+            body, ``drop`` → :class:`InjectedFault`, ``corrupt`` →
+            flipped body bytes, ``delay``/``stall`` → ``sleep(delay)``,
+            with ``stall`` also failing the delivery).
+        match: Substring that must appear in the site's context string
+            (URL, store key, sink name) for the spec to apply; empty
+            matches everything at the site.
+        worker: Restrict to one worker index (``-1`` = any).
+        after: Skip the first ``after`` matching hits (fire on hit
+            ``after + 1``).
+        count: Fire at most ``count`` times (``-1`` = unbounded).
+        delay: Seconds for ``delay``/``stall`` actions.
+        status: HTTP status for ``error`` actions at HTTP sites.
+        probability: When > 0, fire on a seeded coin flip instead of
+            deterministically (soak runs; the chaos CI uses counts).
+    """
+
+    site: str
+    action: str
+    match: str = ""
+    worker: int = -1
+    after: int = 0
+    count: int = -1
+    delay: float = 0.0
+    status: int = 500
+    probability: float = 0.0
+
+    # Per-process bookkeeping (not serialized).
+    hits: int = field(default=0, compare=False)
+    fired: int = field(default=0, compare=False)
+
+    _FIELDS = ("site", "action", "match", "worker", "after", "count",
+               "delay", "status", "probability")
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(**{k: data[k] for k in cls._FIELDS if k in data})
+
+
+class FaultPlan:
+    """A seeded, serializable set of :class:`FaultSpec` entries."""
+
+    def __init__(self, specs=(), *, seed: int = 0):
+        self.specs = [
+            spec if isinstance(spec, FaultSpec) else FaultSpec(**spec)
+            for spec in specs
+        ]
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+        for spec in self.specs:
+            if spec.site not in SITES:
+                raise ValueError(
+                    f"unknown fault site {spec.site!r} "
+                    f"(known: {', '.join(SITES)})"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Matching
+    # ------------------------------------------------------------------ #
+
+    def fire(self, site: str, *, context: str = "",
+             worker: int = -1) -> FaultSpec | None:
+        """The first spec that triggers at this hit, if any.
+
+        Bookkeeping (hit and fire counters, the seeded RNG) is locked so
+        multi-threaded servers count deterministically.
+        """
+        with self._lock:
+            for spec in self.specs:
+                if spec.site != site:
+                    continue
+                if spec.match and spec.match not in context:
+                    continue
+                if spec.worker >= 0 and spec.worker != worker:
+                    continue
+                spec.hits += 1
+                if spec.count >= 0 and spec.fired >= spec.count:
+                    continue
+                if spec.probability > 0.0:
+                    if self._rng.random() >= spec.probability:
+                        continue
+                elif spec.hits <= spec.after:
+                    continue
+                spec.fired += 1
+                return spec
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Serialization (environment propagation to worker processes)
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "seed": self.seed,
+            "specs": [spec.as_dict() for spec in self.specs],
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        return cls(
+            [FaultSpec.from_dict(s) for s in data.get("specs", [])],
+            seed=int(data.get("seed", 0)),
+        )
+
+    @contextlib.contextmanager
+    def installed(self):
+        """``with plan.installed():`` — install for the block, then clear."""
+        install_plan(self)
+        try:
+            yield self
+        finally:
+            clear_plan()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(seed={self.seed}, specs={len(self.specs)})"
+
+
+# --------------------------------------------------------------------- #
+# Global installation + the fault-point entry call
+# --------------------------------------------------------------------- #
+
+_PLAN: FaultPlan | None = None
+#: Whether this process already looked at FAULT_PLAN_ENV (child
+#: processes under spawn start with _PLAN=None but inherit the env).
+_ENV_CHECKED = False
+_INSTALL_LOCK = threading.Lock()
+
+
+def install_plan(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` process-globally and export it to children."""
+    global _PLAN, _ENV_CHECKED
+    with _INSTALL_LOCK:
+        _PLAN = plan
+        _ENV_CHECKED = True
+        os.environ[FAULT_PLAN_ENV] = plan.to_json()
+    return plan
+
+
+def clear_plan() -> None:
+    """Remove the installed plan (and its environment export)."""
+    global _PLAN, _ENV_CHECKED
+    with _INSTALL_LOCK:
+        _PLAN = None
+        _ENV_CHECKED = True
+        os.environ.pop(FAULT_PLAN_ENV, None)
+
+
+def active_plan() -> FaultPlan | None:
+    """The installed plan, loading from the environment once if needed."""
+    global _PLAN, _ENV_CHECKED
+    if _PLAN is not None or _ENV_CHECKED:
+        return _PLAN
+    with _INSTALL_LOCK:
+        if _PLAN is None and not _ENV_CHECKED:
+            text = os.environ.get(FAULT_PLAN_ENV)
+            if text:
+                try:
+                    _PLAN = FaultPlan.from_json(text)
+                except (ValueError, TypeError):
+                    _PLAN = None
+            _ENV_CHECKED = True
+    return _PLAN
+
+
+def fire(site: str, *, context: str = "", worker: int = -1,
+         sleep=time.sleep) -> FaultSpec | None:
+    """Fault-point entry: returns the triggered spec (or ``None``).
+
+    ``delay``-type actions sleep here so every call site gets them for
+    free; anything else is interpreted by the caller. The no-plan fast
+    path is two global reads.
+    """
+    plan = _PLAN
+    if plan is None:
+        if _ENV_CHECKED:
+            return None
+        plan = active_plan()
+        if plan is None:
+            return None
+    spec = plan.fire(site, context=context, worker=worker)
+    if spec is not None and spec.delay > 0 and spec.action in (
+            "delay", "stall"):
+        sleep(spec.delay)
+    return spec

@@ -21,15 +21,27 @@ users" north star needs real processes and a real wire:
   with zero lost events, drain-on-shutdown, and the public
   HTTP/JSON-RPC scan+monitor API,
 * :mod:`repro.net.fleet` — :class:`FleetManager` (spawn/collect/stop
-  lifecycle) and :class:`FleetClient` (the JSON-RPC consumer the CLI
-  and tests use),
+  lifecycle, plus opt-in worker supervision: heartbeat liveness,
+  spawn-context respawn with exponential backoff, quarantine after
+  repeated failures) and :class:`FleetClient` (the JSON-RPC consumer
+  the CLI and tests use, with bounded refused-connect retry),
+* :mod:`repro.net.retry` — the shared :class:`RetryPolicy` (jittered
+  exponential backoff) and :class:`CircuitBreaker` (closed/open/
+  half-open) every network edge uses,
 * :mod:`repro.net.store_http` — the ``phishinghook store-serve``
   endpoint: any :class:`~repro.artifacts.backends.StoreBackend` served
   over HTTP with ETag headers, so fleet workers pull ``production``
   with no shared mount.
 
-The deploy rule engine knows this layer too: ``[fleet]`` configs are
-statically verified (rules D017–D020) before anything forks.
+Failure behaviour is testable on purpose: :mod:`repro.faults` fault
+points are compiled into the client, worker, and store server, and the
+chaos suite drives seeded :class:`~repro.faults.FaultPlan`\\ s through
+them asserting alert-set equality (or dead-letter accounting) after
+every injected crash, 5xx storm, stall, and truncation.
+
+The deploy rule engine knows this layer too: ``[fleet]`` and
+``[fault_tolerance]`` configs are statically verified (rules D017–D024)
+before anything forks.
 """
 
 from repro.net.client import (
@@ -52,6 +64,7 @@ from repro.net.fleet import (
     load_fleet_state,
     save_fleet_state,
 )
+from repro.net.retry import CircuitBreaker, CircuitOpenError, RetryPolicy
 from repro.net.shm import ShmRing, SlotTooSmallError
 from repro.net.store_http import serve_store
 from repro.net.worker import WorkerSpec, worker_main
@@ -62,6 +75,10 @@ __all__ = [
     "TransportError",
     "http_request",
     "http_json",
+    # retry/breaker
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
     # shm
     "ShmRing",
     "SlotTooSmallError",

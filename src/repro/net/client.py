@@ -26,6 +26,8 @@ import json
 import urllib.parse
 from dataclasses import dataclass, field
 
+from repro import faults
+
 __all__ = ["DEFAULT_TIMEOUT", "HttpResponse", "TransportError",
            "http_request", "http_json"]
 
@@ -92,9 +94,23 @@ def http_request(
     if parsed.query:
         path = f"{path}?{parsed.query}"
     try:
+        # Fault points (no-ops without an installed FaultPlan). Injected
+        # drops raise inside this block so they surface through the same
+        # TransportError wrapping as a real refused/reset connection.
+        fault = faults.fire("http.request", context=f"{method} {url}")
+        if fault is not None and fault.action == "drop":
+            raise faults.InjectedFault(f"injected drop before {method} {url}")
         connection.request(method, path, body=body, headers=headers or {})
         response = connection.getresponse()
         data = response.read()
+        fault = faults.fire("http.response", context=f"{method} {url}")
+        if fault is not None:
+            if fault.action == "drop":
+                raise faults.InjectedFault(
+                    f"injected drop after {method} {url}"
+                )
+            if fault.action == "corrupt":
+                data = bytes(byte ^ 0xFF for byte in data)
         return HttpResponse(
             status=response.status,
             reason=response.reason or "",

@@ -67,7 +67,17 @@ class ShuttingDownError(RuntimeError):
 
 
 class WorkerHandle:
-    """Coordinator-side view of one worker process."""
+    """Coordinator-side view of one worker process.
+
+    Health model: ``alive`` is the routing bit (only alive workers get
+    batches); ``state`` is the operator-facing life-cycle —
+    ``alive`` → ``dead`` (crash detected) → ``respawning`` (supervisor
+    restarting it) → back to ``alive``, or ``quarantined`` after the
+    supervisor gives up (``max_respawns`` consecutive failures).
+    ``respawns`` counts successful restarts; ``degraded`` mirrors the
+    worker's own report (serving from the local artifact cache because
+    the store is unreachable).
+    """
 
     def __init__(self, index: int, host: str, port: int, process=None):
         self.index = index
@@ -75,6 +85,9 @@ class WorkerHandle:
         self.port = port
         self.process = process
         self.alive = True
+        self.state = "alive"
+        self.respawns = 0
+        self.degraded = False
         self.inflight = 0
         self.capacity = threading.Condition()
         self.dispatched = 0
@@ -85,12 +98,33 @@ class WorkerHandle:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    def revive(self, port: int, process=None, *,
+               degraded: bool = False) -> None:
+        """Point this handle at a freshly respawned process.
+
+        The port/process swap and the ``alive`` flip happen under the
+        capacity condition so threads blocked in admission wake up and
+        route to the new process, never a half-updated handle.
+        """
+        with self.capacity:
+            self.port = port
+            if process is not None:
+                self.process = process
+            self.alive = True
+            self.state = "alive"
+            self.degraded = degraded
+            self.respawns += 1
+            self.capacity.notify_all()
+
     def as_dict(self) -> dict:
         return {
             "index": self.index,
             "url": self.url,
             "pid": self.process.pid if self.process is not None else None,
             "alive": self.alive,
+            "state": self.state,
+            "respawns": self.respawns,
+            "degraded": self.degraded,
             "inflight": self.inflight,
             "dispatched": self.dispatched,
             "completed": self.completed,
@@ -216,7 +250,16 @@ class FleetCoordinator:
     def mark_dead(self, worker: WorkerHandle) -> None:
         with worker.capacity:
             worker.alive = False
+            if worker.state not in ("quarantined", "respawning"):
+                worker.state = "dead"
             worker.capacity.notify_all()
+
+    def degraded_workers(self) -> list[WorkerHandle]:
+        """Alive workers serving from cache because the store is down."""
+        return [w for w in self.workers if w.alive and w.degraded]
+
+    def quarantined_workers(self) -> list[WorkerHandle]:
+        return [w for w in self.workers if w.state == "quarantined"]
 
     # ------------------------------------------------------------------ #
     # Feature plane
@@ -458,6 +501,8 @@ class FleetCoordinator:
             "draining": self._draining,
             "workers": [w.as_dict() for w in self.workers],
             "alive": len(self.alive_workers()),
+            "degraded": len(self.degraded_workers()),
+            "quarantined": len(self.quarantined_workers()),
             "queue_depth": self.queue_depth,
             "overflow": self.overflow,
             "counters": counters,
@@ -538,9 +583,19 @@ def _make_handler(coordinator: FleetCoordinator, on_shutdown):
             if self.path == "/healthz":
                 alive = len(coordinator.alive_workers())
                 status = 200 if alive and not coordinator.draining else 503
+                # Degraded is a *warning* dimension, not a liveness one:
+                # the fleet still answers 200 while serving stale-tag
+                # cached artifacts or while quarantined workers shrink
+                # capacity — operators alert on the flag, clients keep
+                # scanning.
+                degraded = bool(
+                    coordinator.degraded_workers()
+                    or coordinator.quarantined_workers()
+                )
                 self._reply(status, {
                     "ok": status == 200,
                     "alive_workers": alive,
+                    "degraded": degraded,
                     "draining": coordinator.draining,
                 })
             elif self.path == "/status":

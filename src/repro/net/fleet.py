@@ -24,6 +24,7 @@ import json
 import multiprocessing
 import os
 import threading
+import time
 from pathlib import Path
 
 __all__ = [
@@ -77,6 +78,11 @@ class FleetManager:
         port: int = 0,
         sinks=(),
         http_timeout: float = 10.0,
+        supervise: bool = False,
+        heartbeat_seconds: float = 0.5,
+        max_respawns: int = 3,
+        respawn_backoff_seconds: float = 0.2,
+        respawn_backoff_max: float = 5.0,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -104,21 +110,90 @@ class FleetManager:
         self.port = port
         self.sinks = list(sinks)
         self.http_timeout = http_timeout
+        # Supervision is opt-in: without it a dead worker stays dead and
+        # the coordinator just routes around it (the PR-7 behaviour some
+        # tests pin). With it, a heartbeat thread respawns crashed
+        # workers with exponential backoff and quarantines a worker
+        # whose respawns keep failing.
+        self.supervise = supervise
+        self.heartbeat_seconds = heartbeat_seconds
+        self.max_respawns = max_respawns
+        self.respawn_backoff_seconds = respawn_backoff_seconds
+        self.respawn_backoff_max = respawn_backoff_max
         self.coordinator = None
         self.ring = None
         self._processes: list = []
         self._server = None
         self._server_thread = None
+        self._supervisor_thread = None
+        self._supervisor_wake = threading.Event()
+        self._respawn_failures: dict[int, int] = {}
+        self._probe_failures: dict[int, int] = {}
         self._stopped = False
         self._url = ""
 
     # ------------------------------------------------------------------ #
 
+    def _worker_spec(self, index: int):
+        from repro.net.worker import WorkerSpec
+
+        return WorkerSpec(
+            index=index,
+            store_url=self.store_url,
+            model_ref=self.model_ref,
+            model_path=self.model_path,
+            cache_dir=self.cache_dir,
+            threshold=self.threshold,
+            shards=self.worker_shards,
+            cache_entries=self.cache_entries,
+            ring_name=self.ring.name if self.ring is not None else "",
+            ring_slots=self.slots if self.ring is not None else 0,
+            ring_slot_bytes=(
+                self.slot_bytes if self.ring is not None else 0
+            ),
+            host=self.host,
+        )
+
+    def _spawn_worker(self, index: int, context):
+        """Fork/spawn one worker process; returns ``(process, receiver)``."""
+        from repro.net.worker import worker_main
+
+        receiver, sender = context.Pipe(duplex=False)
+        process = context.Process(
+            target=worker_main, args=(self._worker_spec(index), sender),
+            name=f"fleet-worker-{index}", daemon=True,
+        )
+        process.start()
+        sender.close()
+        return process, receiver
+
+    @staticmethod
+    def _await_ready(index: int, receiver,
+                     timeout: float = STARTUP_TIMEOUT) -> dict:
+        """Wait for a worker's readiness report; raises on error/timeout."""
+        try:
+            if not receiver.poll(timeout):
+                raise RuntimeError(
+                    f"worker {index} did not report readiness within "
+                    f"{timeout:.0f}s"
+                )
+            report = receiver.recv()
+        except (EOFError, OSError):
+            raise RuntimeError(
+                f"worker {index} died before reporting readiness"
+            ) from None
+        finally:
+            receiver.close()
+        if "error" in report:
+            raise RuntimeError(
+                f"worker {index} failed to start: {report['error']}"
+            )
+        return report
+
     def start(self) -> "FleetManager":
         """Spawn workers, wait for readiness, start the coordinator."""
         from repro.net.coordinator import FleetCoordinator, WorkerHandle
         from repro.net.shm import ShmRing
-        from repro.net.worker import WorkerSpec, worker_main
 
         cache = None
         if self.ship_features:
@@ -130,49 +205,19 @@ class FleetManager:
         context = multiprocessing.get_context()
         pending = []
         for index in range(self.workers):
-            spec = WorkerSpec(
-                index=index,
-                store_url=self.store_url,
-                model_ref=self.model_ref,
-                model_path=self.model_path,
-                cache_dir=self.cache_dir,
-                threshold=self.threshold,
-                shards=self.worker_shards,
-                cache_entries=self.cache_entries,
-                ring_name=self.ring.name if self.ring is not None else "",
-                ring_slots=self.slots if self.ring is not None else 0,
-                ring_slot_bytes=(
-                    self.slot_bytes if self.ring is not None else 0
-                ),
-                host=self.host,
-            )
-            receiver, sender = context.Pipe(duplex=False)
-            process = context.Process(
-                target=worker_main, args=(spec, sender),
-                name=f"fleet-worker-{index}", daemon=True,
-            )
-            process.start()
-            sender.close()
+            process, receiver = self._spawn_worker(index, context)
             pending.append((index, process, receiver))
             self._processes.append(process)
 
         handles = []
         try:
             for index, process, receiver in pending:
-                if not receiver.poll(STARTUP_TIMEOUT):
-                    raise RuntimeError(
-                        f"worker {index} did not report readiness within "
-                        f"{STARTUP_TIMEOUT:.0f}s"
-                    )
-                report = receiver.recv()
-                receiver.close()
-                if "error" in report:
-                    raise RuntimeError(
-                        f"worker {index} failed to start: {report['error']}"
-                    )
-                handles.append(WorkerHandle(
+                report = self._await_ready(index, receiver)
+                handle = WorkerHandle(
                     index, self.host, report["port"], process=process
-                ))
+                )
+                handle.degraded = bool(report.get("degraded", False))
+                handles.append(handle)
         except Exception:
             self._kill_all()
             if self.ring is not None:
@@ -202,6 +247,12 @@ class FleetManager:
         self._server_thread.start()
         self._url = (f"http://{self.host}:"
                      f"{self._server.server_address[1]}")
+        if self.supervise:
+            self._supervisor_thread = threading.Thread(
+                target=self._supervise_loop,
+                name="fleet-supervisor", daemon=True,
+            )
+            self._supervisor_thread.start()
         return self
 
     @property
@@ -233,6 +284,113 @@ class FleetManager:
         return pid
 
     # ------------------------------------------------------------------ #
+    # Supervision (opt-in; see __init__)
+    # ------------------------------------------------------------------ #
+
+    def _supervise_loop(self) -> None:
+        """Heartbeat thread: detect dead workers, respawn, quarantine."""
+        while not self._stopped:
+            self._supervisor_wake.wait(self.heartbeat_seconds)
+            if self._stopped or self.coordinator is None:
+                return
+            if self.coordinator.draining:
+                continue
+            for worker in self.coordinator.workers:
+                if self._stopped:
+                    return
+                if worker.state == "quarantined":
+                    continue
+                self._check_worker(worker)
+
+    def _check_worker(self, worker) -> None:
+        from repro.net.client import TransportError, http_request
+
+        process = worker.process
+        if process is not None and not process.is_alive():
+            if worker.alive:
+                self.coordinator.mark_dead(worker)
+            self._respawn(worker)
+            return
+        if not worker.alive:
+            # The dispatcher declared it dead (TransportError mid-batch)
+            # even though the OS may still be reaping it.
+            self._respawn(worker)
+            return
+        # Liveness probe: catches a wedged-but-running worker, and
+        # carries back the degraded flag a respawned worker raises when
+        # it cold-started from the spool with the store unreachable.
+        try:
+            payload = http_request(
+                "GET", f"{worker.url}/healthz",
+                timeout=max(self.heartbeat_seconds, 1.0),
+            ).json()
+        except (TransportError, ValueError):
+            failures = self._probe_failures.get(worker.index, 0) + 1
+            self._probe_failures[worker.index] = failures
+            if failures >= 3:
+                self.coordinator.mark_dead(worker)
+                self._respawn(worker)
+            return
+        self._probe_failures[worker.index] = 0
+        worker.degraded = bool(payload.get("degraded", False))
+
+    def _respawn(self, worker) -> None:
+        """One respawn attempt with exponential backoff.
+
+        Uses the ``spawn`` multiprocessing context: by the time a worker
+        needs replacing this process runs server threads, and forking a
+        multi-threaded parent can duplicate a held lock into the child
+        (the exact hazard the start-before-threads rule exists for).
+        ``WorkerSpec`` is picklable by design, so spawn costs only a
+        fresh interpreter — and the model cold start is warm anyway
+        whenever the store spool (``cache_dir``) survived the crash.
+        """
+        index = worker.index
+        worker.state = "respawning"
+        old = worker.process
+        if old is not None:
+            if old.is_alive():
+                old.kill()
+            old.join(timeout=5)
+        failures = self._respawn_failures.get(index, 0)
+        delay = min(
+            self.respawn_backoff_seconds * (2 ** failures),
+            self.respawn_backoff_max,
+        )
+        if self._supervisor_wake.wait(delay) or self._stopped:
+            return
+        context = multiprocessing.get_context("spawn")
+        try:
+            process, receiver = self._spawn_worker(index, context)
+        except Exception:
+            self._note_respawn_failure(worker)
+            return
+        try:
+            report = self._await_ready(index, receiver)
+        except RuntimeError:
+            if process.is_alive():
+                process.kill()
+            process.join(timeout=5)
+            self._note_respawn_failure(worker)
+            return
+        if self._stopped:
+            process.kill()
+            process.join(timeout=5)
+            return
+        self._processes[index] = process
+        self._respawn_failures[index] = 0
+        worker.revive(
+            report["port"], process,
+            degraded=bool(report.get("degraded", False)),
+        )
+
+    def _note_respawn_failure(self, worker) -> None:
+        failures = self._respawn_failures.get(worker.index, 0) + 1
+        self._respawn_failures[worker.index] = failures
+        if failures >= self.max_respawns:
+            worker.state = "quarantined"
+
+    # ------------------------------------------------------------------ #
 
     def _kill_all(self) -> None:
         for process in self._processes:
@@ -249,6 +407,9 @@ class FleetManager:
         if self._stopped:
             return
         self._stopped = True
+        self._supervisor_wake.set()
+        if self._supervisor_thread is not None:
+            self._supervisor_thread.join(timeout=10)
         if self.coordinator is not None and drain:
             self.coordinator.drain(timeout=timeout)
         if self.coordinator is not None:
@@ -280,22 +441,56 @@ class FleetManager:
         self.stop()
 
 
-class FleetClient:
-    """JSON-RPC consumer of a coordinator (CLI ``fleet scan|status``)."""
+def _connection_refused(error: BaseException) -> bool:
+    """Whether a TransportError wraps a refused TCP connect.
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    Refused-connect is the one transport failure that is always safe to
+    retry blindly: the server never accepted the connection, so the
+    request cannot have had any effect. It is also exactly what a
+    ``fleet start`` client sees in the window between the coordinator
+    process launching and its socket binding.
+    """
+    cause = error.__cause__
+    return isinstance(cause, ConnectionRefusedError)
+
+
+class FleetClient:
+    """JSON-RPC consumer of a coordinator (CLI ``fleet scan|status``).
+
+    ``connect_retry`` (a :class:`repro.net.retry.RetryPolicy`) bounds
+    how long the client re-dials a refused connection before giving up —
+    closing the ``fleet start`` race where the daemonized coordinator's
+    socket is not bound yet when the first health poll arrives. Only
+    refused connects are retried; a reset or timeout mid-request is
+    surfaced immediately (the request may have been acted on).
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 *, connect_retry=None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        if connect_retry is None:
+            from repro.net.retry import RetryPolicy
+
+            connect_retry = RetryPolicy(
+                attempts=10, base_delay=0.05, max_delay=0.5
+            )
+        self.connect_retry = connect_retry
+
+    def _exchange(self, send):
+        return self.connect_retry.call(
+            send, should_retry=_connection_refused
+        )
 
     def rpc(self, method: str, params: dict | None = None):
         from repro.net.client import http_json
 
-        response = http_json(
+        response = self._exchange(lambda: http_json(
             "POST", f"{self.base_url}/rpc",
             {"jsonrpc": "2.0", "id": 1, "method": method,
              "params": params or {}},
             timeout=self.timeout,
-        )
+        ))
         try:
             payload = response.json()
         except ValueError:
@@ -334,9 +529,9 @@ class FleetClient:
     def healthz(self) -> dict:
         from repro.net.client import http_request
 
-        return http_request(
+        return self._exchange(lambda: http_request(
             "GET", f"{self.base_url}/healthz", timeout=self.timeout
-        ).json()
+        )).json()
 
     def shutdown(self) -> bool:
         from repro.net.client import TransportError, http_json

@@ -1,0 +1,174 @@
+"""Shared retry and circuit-breaker primitives for the serving stack.
+
+One :class:`RetryPolicy` implementation (jittered exponential backoff,
+bounded attempts, caller-supplied ``should_retry`` predicate) backs
+every network edge in the repo — ``FleetClient`` → coordinator,
+``HttpStoreBackend`` → store server, ``WebhookSink`` → alert endpoint —
+so backoff behaviour is tuned in exactly one place and every edge is
+tested by the same chaos suite.
+
+:class:`CircuitBreaker` is the standard three-state machine:
+
+* **closed** — calls flow; consecutive failures are counted.
+* **open** — after ``failures`` consecutive failures, calls are refused
+  (:meth:`CircuitBreaker.allow` returns ``False``) for
+  ``reset_seconds``.
+* **half-open** — after the window, exactly one probe call is allowed;
+  success closes the breaker, failure reopens it for another window.
+
+Both classes take injectable clock/rng/sleep hooks so tests run in
+virtual time; production call sites use the defaults.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+__all__ = ["CircuitBreaker", "CircuitOpenError", "RetryPolicy"]
+
+
+class CircuitOpenError(ConnectionError):
+    """Raised (by callers that choose to) when a breaker refuses a call."""
+
+
+class RetryPolicy:
+    """Bounded retries with jittered exponential backoff.
+
+    Args:
+        attempts: Total tries, including the first (``1`` = no retry).
+        base_delay: Sleep before the first retry, in seconds.
+        max_delay: Upper bound on any single sleep.
+        multiplier: Backoff growth factor per retry.
+        jitter: Fraction of each delay drawn uniformly at random and
+            added, to decorrelate competing clients (``0.1`` → up to
+            +10%).
+        sleep: Injectable sleep (tests pass a recorder).
+        rng: Injectable ``random.Random`` for deterministic jitter.
+    """
+
+    def __init__(self, attempts: int = 3, *, base_delay: float = 0.1,
+                 max_delay: float = 2.0, multiplier: float = 2.0,
+                 jitter: float = 0.1, sleep=time.sleep,
+                 rng: random.Random | None = None):
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self._sleep = sleep
+        self._rng = rng or random.Random()
+
+    def delays(self):
+        """The backoff sequence (``attempts - 1`` entries, jittered)."""
+        delay = self.base_delay
+        for _ in range(self.attempts - 1):
+            bounded = min(delay, self.max_delay)
+            yield bounded + (self._rng.random() * self.jitter * bounded
+                             if self.jitter > 0 else 0.0)
+            delay *= self.multiplier
+
+    def call(self, fn, *, should_retry=lambda exc: True,
+             on_retry=None):
+        """Run ``fn()`` with retries.
+
+        ``should_retry(exc)`` decides whether an exception is worth
+        another attempt (a 404 is not; a connection reset is). The last
+        failure is re-raised once attempts are exhausted. ``on_retry``
+        (if given) is called with ``(exc, attempt_index)`` before each
+        backoff sleep — call sites use it for counters.
+        """
+        delays = self.delays()
+        for attempt in range(self.attempts):
+            try:
+                return fn()
+            except Exception as exc:
+                last = next(delays, None)
+                if last is None or not should_retry(exc):
+                    raise
+                if on_retry is not None:
+                    on_retry(exc, attempt)
+                self._sleep(last)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing.
+
+    Thread-safe: the fleet's webhook sink and store client share
+    breakers across worker threads.
+
+    Args:
+        failures: Consecutive failures that trip the breaker open.
+        reset_seconds: How long the breaker stays open before allowing
+            one half-open probe.
+        clock: Injectable monotonic clock for tests.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, failures: int = 5, *, reset_seconds: float = 30.0,
+                 clock=time.monotonic):
+        if failures < 1:
+            raise ValueError("failures must be >= 1")
+        self.failures = failures
+        self.reset_seconds = reset_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._consecutive = 0
+        self._state = self.CLOSED
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if (self._state == self.OPEN and not self._probing
+                    and self._clock() - self._opened_at
+                    >= self.reset_seconds):
+                return self.HALF_OPEN
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        While open, returns ``False`` until ``reset_seconds`` elapse;
+        then exactly one caller gets ``True`` (the half-open probe) and
+        the rest keep getting ``False`` until that probe reports via
+        :meth:`record_success` / :meth:`record_failure`.
+        """
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._probing:
+                return False
+            if self._clock() - self._opened_at >= self.reset_seconds:
+                self._state = self.HALF_OPEN
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive = 0
+            self._state = self.CLOSED
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive += 1
+            if (self._state == self.HALF_OPEN
+                    or self._consecutive >= self.failures):
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._consecutive = 0
+            self._probing = False
+
+    def as_dict(self) -> dict:
+        return {"state": self.state, "failures": self.failures,
+                "reset_seconds": self.reset_seconds}

@@ -26,6 +26,8 @@ import json
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro import faults
+
 __all__ = ["serve_store"]
 
 
@@ -50,6 +52,15 @@ def _make_handler(backend, writable: bool):
 
         def do_GET(self):  # noqa: N802
             key, query = self._key()
+            # Fault point: a chaos plan can turn any GET into a 5xx
+            # storm or a truncated body. Truncation serves half the
+            # bytes as a well-formed response that still carries the
+            # full object's ETag — the proxy-mangled partial download
+            # the client-side digest re-check exists to catch.
+            fault = faults.fire("store.get", context=key)
+            if fault is not None and fault.action == "error":
+                self._json(fault.status, {"error": "injected fault"})
+                return
             if not key:
                 keys = backend.list(query.get("prefix", ""))
                 self._json(200, {"keys": keys})
@@ -60,6 +71,8 @@ def _make_handler(backend, writable: bool):
                 self._json(404, {"error": f"no object {key!r}"})
                 return
             etag = backend.etag(key)
+            if fault is not None and fault.action == "truncate":
+                data = data[: max(1, len(data) // 2)]
             self.send_response(200)
             self.send_header("Content-Type", "application/octet-stream")
             self.send_header("Content-Length", str(len(data)))

@@ -38,6 +38,8 @@ import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro import faults
+
 __all__ = ["WorkerSpec", "worker_main"]
 
 #: Environment test hook: per-batch scoring delay in seconds. Lets the
@@ -73,6 +75,7 @@ class _WorkerState:
 
         self.spec = spec
         self.pid = os.getpid()
+        self.store = None
         self.cache = FeatureCache(max_entries=spec.cache_entries)
         if spec.model_path:
             self.service = ScanService.from_artifact(
@@ -82,12 +85,12 @@ class _WorkerState:
         else:
             from repro.artifacts import ModelStore
 
-            store = ModelStore.from_url(
+            self.store = ModelStore.from_url(
                 spec.store_url or None,
                 cache_dir=spec.cache_dir or None,
             )
             self.service = ScanService.from_artifact(
-                spec.model_ref, store=store, cache=self.cache,
+                spec.model_ref, store=self.store, cache=self.cache,
                 threshold=spec.threshold,
             )
         self.shards = self.service.sharded(spec.shards)
@@ -154,9 +157,23 @@ class _WorkerState:
             self.seeded_ids += seeded
         return codes, seeded
 
+    @property
+    def degraded(self) -> bool:
+        """Whether this worker cold-started from the spool with the
+        store unreachable (see :meth:`repro.artifacts.ModelStore.tags`)."""
+        return bool(self.store is not None
+                    and getattr(self.store, "degraded", False))
+
     def scan(self, request: dict) -> dict:
         """Score one batch; the response preserves request order."""
         from repro.stream.scanner import shard_of
+
+        # Fault point: a chaos plan can kill this worker on exactly its
+        # Nth batch (SIGKILL-equivalent — no cleanup, no response; the
+        # coordinator sees a TransportError mid-flight) or slow it down.
+        fault = faults.fire("worker.scan", worker=self.spec.index)
+        if fault is not None and fault.action == "kill":
+            os._exit(1)
 
         addresses = list(request["addresses"])
         code_of = [int(i) for i in request["code_of"]]
@@ -209,6 +226,7 @@ class _WorkerState:
         return {
             "worker": self.spec.index,
             "pid": self.pid,
+            "degraded": self.degraded,
             **counters,
             "shards": [
                 {"shard": i, "scanned": view.scanned}
@@ -236,7 +254,8 @@ def _make_handler(state: _WorkerState, server_box: dict):
         def do_GET(self):  # noqa: N802
             if self.path == "/healthz":
                 self._reply(200, {"ok": True, "worker": state.spec.index,
-                                  "pid": state.pid})
+                                  "pid": state.pid,
+                                  "degraded": state.degraded})
             elif self.path == "/status":
                 self._reply(200, state.status())
             else:
@@ -272,6 +291,11 @@ def worker_main(spec: WorkerSpec, ready) -> None:
     or an ``{"error": ...}`` dict when startup fails.
     """
     try:
+        # Fault point: a chaos plan can fail the cold start itself (the
+        # persistent-crash case supervision must eventually quarantine).
+        fault = faults.fire("worker.start", worker=spec.index)
+        if fault is not None and fault.action == "error":
+            raise RuntimeError("injected startup failure")
         state = _WorkerState(spec)
         server_box: dict = {}
         server = ThreadingHTTPServer(
@@ -290,7 +314,8 @@ def worker_main(spec: WorkerSpec, ready) -> None:
         threading.Thread(target=server.shutdown, daemon=True).start()
 
     signal.signal(signal.SIGTERM, _terminate)
-    ready.send({"port": server.server_address[1], "pid": os.getpid()})
+    ready.send({"port": server.server_address[1], "pid": os.getpid(),
+                "degraded": state.degraded})
     ready.close()
     try:
         server.serve_forever(poll_interval=0.05)

@@ -18,7 +18,10 @@ sign within seconds:
   :class:`~repro.serve.service.ScanService` + shared
   :class:`~repro.serve.cache.FeatureCache` hot path.
 * :mod:`repro.stream.sinks` — pluggable alert delivery (memory, JSONL,
-  callback, webhook stub) with per-sink delivered/failed stats.
+  callback, webhook) with per-sink delivered/failed stats, plus
+  :class:`~repro.stream.sinks.DeadLetterSink`: a circuit-breaking
+  wrapper that spools undeliverable alerts to a JSONL dead-letter file
+  and replays them when the channel recovers.
 * :mod:`repro.stream.replay` — :class:`TimelineReplayer`: feed a
   historical campaign through the stream at a configurable rate and
   report events/sec plus p50/p95/p99 end-to-end latency.
@@ -51,6 +54,8 @@ from repro.stream.scanner import (
 from repro.stream.sinks import (
     AlertSink,
     CallbackSink,
+    DeadLetterSink,
+    DeadLetterStats,
     JsonlSink,
     MemorySink,
     SinkStats,
@@ -72,6 +77,8 @@ __all__ = [
     "StreamStats",
     "AlertSink",
     "CallbackSink",
+    "DeadLetterSink",
+    "DeadLetterStats",
     "JsonlSink",
     "MemorySink",
     "SinkStats",

@@ -24,16 +24,26 @@ scanner keeps going (alert delivery must never take down detection).
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+import os
+from dataclasses import asdict, dataclass, field, is_dataclass
+
+from repro import faults
 
 __all__ = [
     "SinkStats",
+    "DeadLetterStats",
     "AlertSink",
     "MemorySink",
     "JsonlSink",
     "CallbackSink",
     "WebhookSink",
+    "DeadLetterSink",
 ]
+
+
+def _alert_dict(alert) -> dict:
+    """Alert as a plain dict (dead-letter replay hands sinks dicts)."""
+    return dict(alert) if isinstance(alert, dict) else asdict(alert)
 
 
 @dataclass
@@ -47,6 +57,23 @@ class SinkStats:
         return {"delivered": self.delivered, "failed": self.failed}
 
 
+@dataclass
+class DeadLetterStats(SinkStats):
+    """Dead-letter accounting on top of the plain delivery counters.
+
+    ``delivered`` counts alerts the inner sink accepted (live or on
+    replay); ``spooled``/``replayed`` track the dead-letter file;
+    ``failed`` counts only alerts lost outright (spool unwritable).
+    """
+
+    spooled: int = 0
+    replayed: int = 0
+
+    def as_dict(self) -> dict:
+        return {**super().as_dict(), "spooled": self.spooled,
+                "replayed": self.replayed}
+
+
 class AlertSink:
     """Base class: implement :meth:`_deliver`; stats come for free."""
 
@@ -55,11 +82,27 @@ class AlertSink:
     def __init__(self):
         self.stats = SinkStats()
 
+    def _attempt(self, alert) -> None:
+        """One delivery attempt, raising on failure.
+
+        This is the chaos fault point for alert delivery: an installed
+        :class:`~repro.faults.FaultPlan` can ``stall`` (sleep, then
+        fail) or ``error`` any sink by name. Wrappers such as
+        :class:`DeadLetterSink` call this instead of :meth:`emit` so
+        injected faults hit the wrapped delivery too.
+        """
+        fault = faults.fire("sink.emit", context=self.name)
+        if fault is not None and fault.action in ("stall", "error"):
+            raise OSError(
+                f"injected {fault.action} in sink {self.name!r}"
+            )
+        self._deliver(alert)
+
     def emit(self, alert) -> bool:
         """Deliver one alert; returns success. A failing delivery is
         swallowed and counted (delivery must never take down detection)."""
         try:
-            self._deliver(alert)
+            self._attempt(alert)
         except Exception:
             self.stats.failed += 1
             return False
@@ -106,7 +149,9 @@ class JsonlSink(AlertSink):
     def _deliver(self, alert) -> None:
         if self._handle is None or self._handle.closed:
             self._handle = open(self.path, "a", encoding="utf-8")
-        self._handle.write(json.dumps(asdict(alert), sort_keys=True) + "\n")
+        self._handle.write(
+            json.dumps(_alert_dict(alert), sort_keys=True) + "\n"
+        )
 
     def close(self) -> None:
         if self._handle is not None and not self._handle.closed:
@@ -141,14 +186,21 @@ class WebhookSink(AlertSink):
     :meth:`recording` builds the network-free stub (records
     ``(url, decoded_body)`` in ``sink.sent``) the tests use to assert on
     the wire format.
+
+    ``retry`` (a :class:`repro.net.retry.RetryPolicy`) re-attempts a
+    failed POST with jittered backoff before the delivery counts as
+    failed — one flapping webhook receiver should not leak alerts into
+    the dead-letter spool.
     """
 
     name = "webhook"
 
-    def __init__(self, url: str, transport=None, *, timeout: float = 2.0):
+    def __init__(self, url: str, transport=None, *, timeout: float = 2.0,
+                 retry=None):
         super().__init__()
         self.url = url
         self.timeout = timeout
+        self.retry = retry
         self.sent: list[tuple[str, dict]] = []
         self._transport = transport or self._post
 
@@ -176,6 +228,121 @@ class WebhookSink(AlertSink):
 
     def _deliver(self, alert) -> None:
         body = json.dumps(
-            {"type": "phishing_alert", **asdict(alert)}, sort_keys=True
+            {"type": "phishing_alert", **_alert_dict(alert)},
+            sort_keys=True,
         )
-        self._transport(self.url, body)
+        if self.retry is None:
+            self._transport(self.url, body)
+        else:
+            self.retry.call(
+                lambda: self._transport(self.url, body),
+                should_retry=lambda exc: isinstance(exc, OSError),
+            )
+
+
+class DeadLetterSink(AlertSink):
+    """Wrap a sink with a circuit breaker and a disk-backed spool.
+
+    The alert-loss-zero invariant under a failing delivery channel:
+    every alert is either **delivered** by the inner sink or **spooled**
+    to an append-only JSONL dead-letter file — never silently dropped.
+
+    * While the breaker is closed, alerts flow to the inner sink; a
+      failed delivery is spooled and counted against the breaker.
+    * While the breaker is open, delivery is not even attempted — the
+      alert goes straight to the spool (the inner channel gets a
+      half-open probe once ``reset_seconds`` elapse).
+    * On any successful delivery, the spool is **replayed**: spooled
+      alerts are re-sent oldest-first and the file is truncated to
+      whatever still fails.
+
+    ``emit`` returns ``True`` for spooled alerts — spooling *is* the
+    accounted-for outcome; only an unwritable spool counts as
+    ``failed``.
+    """
+
+    name = "dead_letter"
+
+    def __init__(self, inner: AlertSink, path, *, breaker=None):
+        super().__init__()
+        from repro.net.retry import CircuitBreaker
+
+        self.inner = inner
+        self.path = os.fspath(path)
+        self.breaker = breaker or CircuitBreaker(
+            failures=3, reset_seconds=5.0
+        )
+        self.stats = DeadLetterStats()
+        self.name = f"dead_letter({inner.name})"
+
+    def emit(self, alert) -> bool:
+        if not self.breaker.allow():
+            return self._spool(alert)
+        try:
+            self.inner._attempt(alert)
+        except Exception:
+            self.breaker.record_failure()
+            return self._spool(alert)
+        self.breaker.record_success()
+        self.stats.delivered += 1
+        self.replay()
+        return True
+
+    def _spool(self, alert) -> bool:
+        try:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(_alert_dict(alert), sort_keys=True) + "\n"
+                )
+        except OSError:
+            self.stats.failed += 1
+            return False
+        self.stats.spooled += 1
+        return True
+
+    def spooled_alerts(self) -> list[dict]:
+        """Current spool contents (oldest first)."""
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                return [json.loads(line) for line in handle
+                        if line.strip()]
+        except FileNotFoundError:
+            return []
+
+    def replay(self) -> int:
+        """Re-deliver spooled alerts; returns how many got through.
+
+        Stops at the first alert that still fails (keeping spool order)
+        and atomically rewrites the file to the undelivered tail.
+        """
+        pending = self.spooled_alerts()
+        if not pending:
+            return 0
+        sent = 0
+        for payload in pending:
+            if not self.breaker.allow():
+                break
+            try:
+                self.inner._attempt(payload)
+            except Exception:
+                self.breaker.record_failure()
+                break
+            self.breaker.record_success()
+            sent += 1
+        if sent:
+            remainder = pending[sent:]
+            tmp = f"{self.path}.tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for payload in remainder:
+                    handle.write(
+                        json.dumps(payload, sort_keys=True) + "\n"
+                    )
+            os.replace(tmp, self.path)
+            self.stats.replayed += sent
+            self.stats.delivered += sent
+            self.stats.spooled -= sent
+        return sent
+
+    def close(self) -> None:
+        self.replay()
+        self.inner.close()

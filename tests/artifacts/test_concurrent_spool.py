@@ -52,6 +52,7 @@ def test_concurrent_cold_starts_share_one_spool(fitted_forest, tmp_path):
         assert process.returncode == 0, err
         assert out.strip() == version
 
-    # One immutable digest-named file, zero mkstemp leftovers.
+    # One immutable digest-named file plus the degraded-mode tag-table
+    # write-through copy, zero mkstemp leftovers.
     spooled = sorted(p.name for p in cache_dir.iterdir())
-    assert spooled == [f"{version}.npz"]
+    assert spooled == [f"{version}.npz", "tags.json"]

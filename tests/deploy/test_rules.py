@@ -142,6 +142,38 @@ FIXTURES = {
         dict(fleet={"workers": 3, "queue_depth": 4, "slots": 8}),
         dict(fleet={"workers": 3, "queue_depth": 4, "slots": 12}),
     ),
+    # supervised respawn cold-pulls a remote store on every restart
+    "D021": (
+        dict(fleet={"workers": 3},
+             store={"url": "bucket://phook-prod"},
+             fault_tolerance={"respawn": True}),
+        dict(fleet={"workers": 3},
+             store={"url": "bucket://phook-prod",
+                    "cache_dir": "./phook-cache"},
+             fault_tolerance={"respawn": True}),
+    ),
+    # dead-letter spool inside the (often read-only) store root
+    "D022": (
+        dict(fault_tolerance={
+            "dead_letter_path": "./phook-models/dead.jsonl"}),
+        dict(fault_tolerance={
+            "dead_letter_path": "./spool/dead.jsonl"}),
+    ),
+    # heartbeat slower than the request timeout detects nothing first
+    "D023": (
+        dict(fleet={"workers": 3, "request_timeout": 5.0},
+             fault_tolerance={"heartbeat_seconds": 5.0}),
+        dict(fleet={"workers": 3, "request_timeout": 5.0},
+             fault_tolerance={"heartbeat_seconds": 0.5}),
+    ),
+    # circuit-open webhook deliveries vanish without a dead-letter path
+    "D024": (
+        dict(sinks=[{"kind": "webhook", "url": "https://example.com/h"}],
+             fault_tolerance={}),
+        dict(sinks=[{"kind": "webhook", "url": "https://example.com/h"}],
+             fault_tolerance={
+                 "dead_letter_path": "./spool/dead.jsonl"}),
+    ),
 }
 
 

@@ -1,0 +1,158 @@
+"""Unit coverage for the fault-injection plan machinery.
+
+Everything here is pure in-process behaviour: matching, count-based
+triggers, seeded probability, JSON round-trips, and the install /
+environment-propagation contract the fleet chaos suite depends on.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    clear_plan,
+    install_plan,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_plan():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+class TestTriggering:
+    def test_unmatched_site_never_fires(self):
+        plan = FaultPlan([FaultSpec("store.get", "error")])
+        assert plan.fire("worker.scan") is None
+        assert plan.fire("store.get") is not None
+
+    def test_after_skips_the_first_n_hits(self):
+        plan = FaultPlan([FaultSpec("worker.scan", "kill", after=2)])
+        assert plan.fire("worker.scan") is None
+        assert plan.fire("worker.scan") is None
+        spec = plan.fire("worker.scan")
+        assert spec is not None and spec.action == "kill"
+        # Unbounded count: keeps firing from then on.
+        assert plan.fire("worker.scan") is spec
+
+    def test_count_bounds_total_firings(self):
+        plan = FaultPlan([FaultSpec("store.get", "error", count=2)])
+        assert plan.fire("store.get") is not None
+        assert plan.fire("store.get") is not None
+        assert plan.fire("store.get") is None
+
+    def test_match_is_a_context_substring(self):
+        plan = FaultPlan([FaultSpec("store.get", "error",
+                                    match="production")])
+        assert plan.fire("store.get", context="tags.json") is None
+        assert plan.fire("store.get", context="production-v3.npz")
+
+    def test_worker_filter(self):
+        plan = FaultPlan([FaultSpec("worker.scan", "kill", worker=1)])
+        assert plan.fire("worker.scan", worker=0) is None
+        assert plan.fire("worker.scan", worker=1) is not None
+
+    def test_first_matching_spec_wins(self):
+        plan = FaultPlan([
+            FaultSpec("store.get", "error", match="a", status=500),
+            FaultSpec("store.get", "error", status=503),
+        ])
+        assert plan.fire("store.get", context="xyz").status == 503
+        assert plan.fire("store.get", context="abc").status == 500
+
+    def test_seeded_probability_is_reproducible(self):
+        def draws(seed):
+            plan = FaultPlan(
+                [FaultSpec("sink.emit", "error", probability=0.5)],
+                seed=seed,
+            )
+            return [plan.fire("sink.emit") is not None
+                    for _ in range(64)]
+
+        assert draws(7) == draws(7)
+        assert draws(7) != draws(8)
+        assert any(draws(7)) and not all(draws(7))
+
+    def test_unknown_site_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan([FaultSpec("no.such.site", "error")])
+
+
+class TestSerialization:
+    def test_json_round_trip_preserves_specs_and_seed(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("worker.scan", "kill", worker=1, after=3),
+                FaultSpec("store.get", "error", match="prod", count=4,
+                          status=503),
+                FaultSpec("sink.emit", "stall", delay=0.25),
+            ],
+            seed=42,
+        )
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.seed == 42
+        assert clone.specs == plan.specs
+
+    def test_counters_do_not_serialize(self):
+        plan = FaultPlan([FaultSpec("store.get", "error")])
+        plan.fire("store.get")
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.specs[0].hits == 0
+        assert clone.specs[0].fired == 0
+        # And counters never break spec equality.
+        assert clone.specs == plan.specs
+
+
+class TestInstallation:
+    def test_install_exports_to_environment(self):
+        plan = install_plan(FaultPlan([FaultSpec("store.get", "error")]))
+        assert active_plan() is plan
+        assert FAULT_PLAN_ENV in os.environ
+        clear_plan()
+        assert active_plan() is None
+        assert FAULT_PLAN_ENV not in os.environ
+
+    def test_installed_context_manager_clears(self):
+        plan = FaultPlan([FaultSpec("store.get", "error")])
+        with plan.installed():
+            assert active_plan() is plan
+        assert active_plan() is None
+
+    def test_module_fire_fast_path_without_plan(self):
+        assert faults.fire("store.get", context="anything") is None
+
+    def test_module_fire_sleeps_for_delay_actions(self):
+        naps = []
+        with FaultPlan([FaultSpec("sink.emit", "stall",
+                                  delay=1.5)]).installed():
+            spec = faults.fire("sink.emit", sleep=naps.append)
+        assert spec.action == "stall"
+        assert naps == [1.5]
+
+    def test_child_process_loads_plan_from_environment(self):
+        """The spawn-propagation contract: env var alone is enough."""
+        plan = FaultPlan([FaultSpec("store.get", "error", status=503)])
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src)
+        env[FAULT_PLAN_ENV] = plan.to_json()
+        probe = (
+            "from repro import faults\n"
+            "spec = faults.fire('store.get', context='production')\n"
+            "print(spec.status if spec else 'none')\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", probe], env=env,
+            capture_output=True, text=True, timeout=60,
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == "503"

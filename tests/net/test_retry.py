@@ -1,0 +1,155 @@
+"""Virtual-time unit coverage for RetryPolicy and CircuitBreaker.
+
+Every network edge in the repo shares these two primitives, so their
+contracts are pinned here once: backoff shape, retry predicate
+semantics, and the closed → open → half-open → closed cycle.
+"""
+
+import random
+
+import pytest
+
+from repro.net import CircuitBreaker, RetryPolicy
+from repro.net.retry import CircuitOpenError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestRetryPolicy:
+    def test_delays_grow_and_cap(self):
+        policy = RetryPolicy(attempts=5, base_delay=0.1, max_delay=0.5,
+                             multiplier=2.0, jitter=0.0)
+        assert list(policy.delays()) == [0.1, 0.2, 0.4, 0.5]
+
+    def test_jitter_only_adds_and_is_seedable(self):
+        policy = RetryPolicy(attempts=4, base_delay=1.0, max_delay=8.0,
+                             jitter=0.1, rng=random.Random(3))
+        again = RetryPolicy(attempts=4, base_delay=1.0, max_delay=8.0,
+                            jitter=0.1, rng=random.Random(3))
+        first, second = list(policy.delays()), list(again.delays())
+        assert first == second
+        for base, jittered in zip([1.0, 2.0, 4.0], first):
+            assert base <= jittered <= base * 1.1
+
+    def test_call_retries_until_success(self):
+        naps = []
+        policy = RetryPolicy(attempts=4, base_delay=0.1, jitter=0.0,
+                             sleep=naps.append)
+        calls = iter([OSError("a"), OSError("b"), "ok"])
+
+        def fn():
+            outcome = next(calls)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        assert policy.call(fn) == "ok"
+        assert naps == [0.1, 0.2]
+
+    def test_call_reraises_after_exhaustion(self):
+        policy = RetryPolicy(attempts=3, sleep=lambda _: None)
+        tries = []
+
+        def fn():
+            tries.append(1)
+            raise OSError("down")
+
+        with pytest.raises(OSError, match="down"):
+            policy.call(fn)
+        assert len(tries) == 3
+
+    def test_should_retry_short_circuits(self):
+        policy = RetryPolicy(attempts=5, sleep=lambda _: None)
+        tries = []
+
+        def fn():
+            tries.append(1)
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            policy.call(fn, should_retry=lambda e: isinstance(e, OSError))
+        assert len(tries) == 1
+
+    def test_on_retry_observes_each_failure(self):
+        policy = RetryPolicy(attempts=3, sleep=lambda _: None)
+        seen = []
+
+        def fn():
+            raise OSError("x")
+
+        with pytest.raises(OSError):
+            policy.call(fn, on_retry=lambda exc, i: seen.append(i))
+        assert seen == [0, 1]
+
+    def test_zero_retries_is_a_plain_call(self):
+        policy = RetryPolicy(attempts=1)
+        with pytest.raises(OSError):
+            policy.call(lambda: (_ for _ in ()).throw(OSError()))
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failures=3, reset_seconds=10.0,
+                                 clock=clock)
+        assert breaker.state == CircuitBreaker.CLOSED
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker(failures=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_single_probe_then_close(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failures=1, reset_seconds=10.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now += 10.0
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()      # the one probe
+        assert not breaker.allow()  # everyone else still refused
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens_for_a_full_window(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failures=1, reset_seconds=10.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.now += 10.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.now += 9.9
+        assert not breaker.allow()
+        clock.now += 0.1
+        assert breaker.allow()
+
+    def test_as_dict_and_open_error_type(self):
+        breaker = CircuitBreaker(failures=2, reset_seconds=5.0)
+        assert breaker.as_dict() == {
+            "state": "closed", "failures": 2, "reset_seconds": 5.0,
+        }
+        # Callers that surface a refused call raise a ConnectionError
+        # subtype so transport-level handlers catch it uniformly.
+        assert issubclass(CircuitOpenError, ConnectionError)
+        with pytest.raises(ValueError):
+            CircuitBreaker(failures=0)

@@ -162,3 +162,119 @@ def test_served_store_lists_versions(store_root):
     finally:
         server.shutdown()
         server.server_close()
+
+
+# ---------------------------------------------------------------------- #
+# Failure paths: 5xx storms, truncated bodies, retry-then-succeed
+# (driven through the store server's compiled-in fault points)
+# ---------------------------------------------------------------------- #
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_fault_plan():
+    from repro.faults import clear_plan
+
+    clear_plan()
+    yield
+    clear_plan()
+
+
+def _fast_retry(attempts):
+    from repro.net import RetryPolicy
+
+    return RetryPolicy(attempts=attempts, base_delay=0.01,
+                       max_delay=0.02, jitter=0.0,
+                       sleep=lambda _delay: None)
+
+
+class TestInjectedStoreFailures:
+    def test_transient_5xx_is_retried_to_success(self, tmp_path):
+        from repro.faults import FaultPlan, FaultSpec
+
+        backend = backend_from_url(str(tmp_path / "store"))
+        backend.put("objects/a.npz", b"artifact-bytes")
+        server, url = _serve(backend)
+        try:
+            remote = HttpStoreBackend(url, retry=_fast_retry(3))
+            plan = FaultPlan([
+                FaultSpec("store.get", "error", match="objects/a",
+                          count=2, status=503),
+            ])
+            with plan.installed():
+                assert remote.get("objects/a.npz") == b"artifact-bytes"
+            assert plan.specs[0].fired == 2
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_5xx_storm_exhausts_retries_and_raises(self, tmp_path):
+        from repro.faults import FaultPlan, FaultSpec
+
+        backend = backend_from_url(str(tmp_path / "store"))
+        backend.put("objects/a.npz", b"artifact-bytes")
+        server, url = _serve(backend)
+        try:
+            remote = HttpStoreBackend(url, retry=_fast_retry(3))
+            plan = FaultPlan([FaultSpec("store.get", "error",
+                                        status=500)])
+            with plan.installed():
+                with pytest.raises(OSError, match="HTTP 500"):
+                    remote.get("objects/a.npz")
+            # Every attempt hit the server: retried, not given up early.
+            assert plan.specs[0].fired == 3
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_truncated_body_raises_integrity_error(self, tmp_path):
+        """A short body under the full object's ETag is tampering, not
+        a transport flake — it must never be retried into the cache."""
+        from repro.faults import FaultPlan, FaultSpec
+
+        backend = backend_from_url(str(tmp_path / "store"))
+        backend.put("objects/a.npz", b"artifact-bytes-full-length")
+        server, url = _serve(backend)
+        try:
+            remote = HttpStoreBackend(url, retry=_fast_retry(3))
+            plan = FaultPlan([FaultSpec("store.get", "truncate")])
+            with plan.installed():
+                with pytest.raises(IntegrityError):
+                    remote.get("objects/a.npz")
+            # Integrity failures are terminal: exactly one attempt.
+            assert plan.specs[0].fired == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_truncated_pull_never_poisons_the_cache_dir(
+            self, store_root, tmp_path):
+        """The spool writes only ETag-verified bytes: a truncated pull
+        leaves cache_dir empty, and the next clean pull fills it."""
+        from repro.artifacts.errors import CorruptArtifactError
+        from repro.faults import FaultPlan, FaultSpec
+
+        backend = backend_from_url(str(store_root))
+        server, url = _serve(backend)
+        cache_dir = tmp_path / "spool"
+        try:
+            store = ModelStore.from_url(url, cache_dir=cache_dir)
+            store.backend.retry = _fast_retry(2)
+            plan = FaultPlan([
+                FaultSpec("store.get", "truncate", match="objects/",
+                          count=1),
+            ])
+            with plan.installed():
+                with pytest.raises((IntegrityError,
+                                    CorruptArtifactError)):
+                    store.path_of("production")
+                assert not list(cache_dir.rglob("*.npz")), (
+                    "a truncated transfer reached the artifact cache"
+                )
+                # Fault spent (count=1): the retry-free second pull
+                # succeeds and spools the verified bytes.
+                path = store.path_of("production")
+                assert path.is_file()
+                assert path.parent == cache_dir
+        finally:
+            server.shutdown()
+            server.server_close()

@@ -180,3 +180,150 @@ class TestFailurePaths:
         assert summary["jsonl"]["failed"] == scanner.stats.flagged
         assert summary["jsonl"]["delivered"] == 0
         assert summary["memory"]["delivered"] == scanner.stats.flagged
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestDeadLetterSink:
+    """Zero-alert-loss wrapper: delivered or spooled, never dropped."""
+
+    def _sink(self, tmp_path, *, failures=2, reset=5.0):
+        from repro.net.retry import CircuitBreaker
+        from repro.stream.sinks import DeadLetterSink
+
+        clock = _Clock()
+        inner = MemorySink()
+        sink = DeadLetterSink(
+            inner, tmp_path / "dead.jsonl",
+            breaker=CircuitBreaker(failures=failures,
+                                   reset_seconds=reset, clock=clock),
+        )
+        return sink, inner, clock
+
+    def test_healthy_channel_passes_straight_through(self, alert,
+                                                     tmp_path):
+        sink, inner, _ = self._sink(tmp_path)
+        assert sink.emit(alert)
+        assert inner.alerts == [alert]
+        assert sink.stats.as_dict() == {
+            "delivered": 1, "failed": 0, "spooled": 0, "replayed": 0,
+        }
+        assert sink.spooled_alerts() == []
+
+    def test_failed_delivery_spools_and_trips_the_breaker(self, alert,
+                                                          tmp_path):
+        from repro.faults import FaultPlan, FaultSpec
+        from repro.net.retry import CircuitBreaker
+
+        sink, inner, _ = self._sink(tmp_path)
+        plan = FaultPlan([FaultSpec("sink.emit", "error",
+                                    match="memory", count=2)])
+        with plan.installed():
+            assert sink.emit(alert)  # spooled counts as accounted-for
+            assert sink.emit(alert)
+        assert inner.alerts == []
+        assert sink.stats.spooled == 2
+        assert sink.breaker.state == CircuitBreaker.OPEN
+        assert len(sink.spooled_alerts()) == 2
+
+    def test_open_breaker_spools_without_attempting(self, alert,
+                                                    tmp_path):
+        from repro.faults import FaultPlan, FaultSpec
+
+        sink, inner, _ = self._sink(tmp_path)
+        # Two injected failures open the breaker; the third emit must
+        # not even reach the inner sink (the fault budget is spent).
+        plan = FaultPlan([FaultSpec("sink.emit", "error",
+                                    match="memory", count=2)])
+        with plan.installed():
+            sink.emit(alert)
+            sink.emit(alert)
+            assert sink.emit(alert)
+            assert plan.specs[0].hits == 2, (
+                "open breaker still attempted a delivery"
+            )
+        assert sink.stats.spooled == 3
+
+    def test_recovery_replays_the_spool_in_order(self, tmp_path):
+        from repro.faults import FaultPlan, FaultSpec
+
+        sink, inner, clock = self._sink(tmp_path)
+        alerts = [{"address": f"0x{i:040x}", "probability": 0.9}
+                  for i in range(4)]
+        plan = FaultPlan([FaultSpec("sink.emit", "error",
+                                    match="memory", count=2)])
+        with plan.installed():
+            sink.emit(alerts[0])
+            sink.emit(alerts[1])
+            sink.emit(alerts[2])  # breaker open: straight to spool
+        clock.now += 5.0  # half-open: next emit is the probe
+        assert sink.emit(alerts[3])
+        # Probe delivered, then the whole spool replayed oldest-first.
+        assert inner.alerts == [alerts[3], alerts[0], alerts[1],
+                                alerts[2]]
+        assert sink.spooled_alerts() == []
+        assert sink.stats.as_dict() == {
+            "delivered": 4, "failed": 0, "spooled": 0, "replayed": 3,
+        }
+
+    def test_replay_stops_at_first_failure_and_keeps_order(self,
+                                                           tmp_path):
+        from repro.faults import FaultPlan, FaultSpec
+
+        sink, inner, clock = self._sink(tmp_path)
+        alerts = [{"address": f"0x{i:040x}"} for i in range(3)]
+        plan = FaultPlan([FaultSpec("sink.emit", "error",
+                                    match="memory", count=2)])
+        with plan.installed():
+            sink.emit(alerts[0])
+            sink.emit(alerts[1])
+            sink.emit(alerts[2])
+        clock.now += 5.0
+        # The probe succeeds, replay delivers alerts[0], then a fresh
+        # fault kills the second replay: the tail must stay spooled.
+        plan2 = FaultPlan([FaultSpec("sink.emit", "error",
+                                     match="memory", after=2)])
+        with plan2.installed():
+            sink.emit({"address": "0xprobe"})
+        assert inner.alerts == [{"address": "0xprobe"}, alerts[0]]
+        assert sink.spooled_alerts() == [alerts[1], alerts[2]]
+        assert sink.stats.replayed == 1
+
+    def test_unwritable_spool_is_the_only_true_loss(self, alert,
+                                                    tmp_path):
+        from repro.faults import FaultPlan, FaultSpec
+        from repro.net.retry import CircuitBreaker
+        from repro.stream.sinks import DeadLetterSink
+
+        clock = _Clock()
+        sink = DeadLetterSink(
+            MemorySink(), tmp_path / "no-such-dir" / "dead.jsonl",
+            breaker=CircuitBreaker(failures=1, reset_seconds=5.0,
+                                   clock=clock),
+        )
+        plan = FaultPlan([FaultSpec("sink.emit", "error",
+                                    match="memory")])
+        with plan.installed():
+            assert not sink.emit(alert)
+        assert sink.stats.failed == 1
+        assert sink.stats.spooled == 0
+
+    def test_close_replays_then_closes_inner(self, tmp_path):
+        from repro.faults import FaultPlan, FaultSpec
+
+        sink, inner, clock = self._sink(tmp_path)
+        plan = FaultPlan([FaultSpec("sink.emit", "error",
+                                    match="memory", count=2)])
+        with plan.installed():
+            sink.emit({"address": "0x1"})
+            sink.emit({"address": "0x2"})
+        clock.now += 5.0
+        sink.close()
+        assert inner.alerts == [{"address": "0x1"}, {"address": "0x2"}]
+        assert sink.spooled_alerts() == []

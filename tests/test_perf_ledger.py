@@ -49,7 +49,7 @@ def write_logs(tmp_path, **values):
         "PREDICT_THROUGHPUT": {"speedup": 6.0},
         "COLD_START": {"speedup": 45.0},
         "SHADOW_ROLLOUT": {"overhead": 1.7},
-        "FLEET": {"scaling": 1.8},
+        "FLEET": {"scaling": 1.8, "recovery": 1.2},
     }
     for tag, payload in values.items():
         defaults[tag].update(payload)
@@ -114,8 +114,21 @@ def test_record_refuses_partial_logs_by_default(tmp_path, capsys):
     ) == 0
 
 
+def test_collect_merges_shared_tags_per_key(tmp_path):
+    """bench_fleet and bench_fault_recovery both print ``FLEET {...}``
+    (different keys, different logs); neither may clobber the other."""
+    scaling = tmp_path / "fleet.log"
+    scaling.write_text('FLEET {"scaling": 1.8, "clients": 4}')
+    recovery = tmp_path / "fault.log"
+    recovery.write_text('FLEET {"recovery": 1.2, "clients": 2}')
+    merged = ledger.collect([str(scaling), str(recovery)])
+    assert merged == {
+        "FLEET": {"scaling": 1.8, "recovery": 1.2, "clients": 2},
+    }
+
+
 def test_committed_baseline_tracks_every_metric():
-    baseline = json.loads((REPO / "BENCH_7.json").read_text())
+    baseline = json.loads((REPO / "BENCH_8.json").read_text())
     names = {metric.name for metric in ledger.TRACKED}
     assert set(baseline["metrics"]) == names
     for entry in baseline["metrics"].values():
