@@ -11,7 +11,10 @@ and at four workers, by concurrent client threads:
 
 Prints one machine-readable JSON summary line (``FLEET {...}``) with
 events/sec per fleet size, the 4-vs-1 scaling ratio, parallel
-efficiency (scaling / 4) and the client-observed p99 batch latency.
+efficiency (scaling / 4), the client-observed p99 batch latency, and
+``shared_cache_hit`` — the shared feature table's hit rate when the
+same workload repeats against a cached fleet (must stay ≈ 1.0, with
+zero leaked pin leases).
 
 Shape assertions: the fleet's alert set must equal the single-process
 reference **bit for bit at both sizes** (sharding and shm handoff may
@@ -153,6 +156,37 @@ def test_fleet_scaling(corpus, dataset, tmp_path_factory):
         summary[f"throughput_{workers}"] = round(events / seconds, 2)
         summary[f"p99_seconds_{workers}"] = round(p99, 4)
 
+    # Host-wide shared feature cache: drive the same workload twice
+    # through a cached fleet. The second pass must resolve (nearly)
+    # every unique bytecode from the shared table — the hit rate is the
+    # tracked metric — and every pin lease must come back.
+    sink = MemorySink()
+    with FleetManager(
+        workers=2,
+        store_url=str(store_root),
+        model_ref="production",
+        overflow="block",
+        shared_cache=True,
+        mmap=True,
+        sinks=(sink,),
+    ) as manager:
+        _drive(manager, batches)
+        first = manager.status()["shared_cache"]
+        _drive(manager, batches)
+        status = manager.status()
+        second = status["shared_cache"]
+    hits = second["hits"] - first["hits"]
+    misses = second["misses"] - first["misses"]
+    shared_hit = hits / max(1, hits + misses)
+    fleet_alerts = {alert.address for alert in sink.alerts}
+    assert fleet_alerts == expected_alerts, (
+        "shared-cache fleet alert set diverged from the reference"
+    )
+    assert second["pinned_slots"] == 0, (
+        f"{second['pinned_slots']} shared-cache slot lease(s) leaked"
+    )
+    summary["shared_cache_hit"] = round(shared_hit, 4)
+
     scaling = throughput[4] / throughput[1]
     efficiency = scaling / 4.0
     summary["scaling"] = round(scaling, 4)
@@ -177,3 +211,7 @@ def test_fleet_scaling(corpus, dataset, tmp_path_factory):
             f"4-worker throughput collapsed to {scaling:.2f}x of one "
             f"worker on a {os.cpu_count()}-core machine"
         )
+    assert shared_hit >= 0.95, (
+        f"repeat-workload shared-cache hit rate {shared_hit:.2f} < 0.95: "
+        "the host-wide table is not retaining bytecodes across batches"
+    )

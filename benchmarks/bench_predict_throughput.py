@@ -7,6 +7,9 @@ allows" check for the model layer. Three claims are measured and asserted:
   node arrays + level-synchronous descent) against the seed per-row,
   per-tree Python traversal: ≥ 10× throughput, **bit-identical**
   probabilities,
+* **float32 kernel** — the compact float32 descent (depth-sorted trees,
+  flat linear-index gathers) over the float64 flat path: ≥ 1.5×, with
+  **zero label flips** and divergence within the accuracy gate,
 * **GBDT path** — the stacked booster `decision_function` is bit-identical
   to the sequential per-tree reference,
 * **parallel fit** — `n_jobs=2` training reproduces the serial forest
@@ -43,6 +46,9 @@ SMOKE = bool(int(os.environ.get("PHOOK_BENCH_SMOKE", "0")))
 N_TRAIN = 600
 N_FEATURES = 24
 MIN_SPEEDUP = 1.0 if SMOKE else 10.0
+#: Compact float32 kernel over the float64 flat path. Tiny smoke
+#: forests measure overhead, not bandwidth — gate only at full scale.
+MIN_F32_SPEEDUP = 0.5 if SMOKE else 1.5
 
 
 def _problem(seed=0):
@@ -75,6 +81,20 @@ def test_predict_throughput(benchmark):
         flat = forest.predict_proba(batch)
         flat_seconds = time.perf_counter() - started
 
+        # Compact float32 kernel, installed through the accuracy gate
+        # against the same flat ensemble; revert afterwards so the
+        # float64 numbers above stay the kernel-free reference.
+        flat_ensemble = forest.compile_flat()
+        report = flat_ensemble.use_kernel("float32", X_eval=batch)
+        f32_installed = report.active == "float32"
+        started = time.perf_counter()
+        f32 = forest.predict_proba(batch)
+        f32_seconds = time.perf_counter() - started
+        f32_flips = int(np.count_nonzero(
+            (flat[:, -1] >= 0.5) != (f32[:, -1] >= 0.5)
+        ))
+        flat_ensemble.use_kernel("float64")
+
         # Parallel fit must reproduce the serial forest exactly.
         serial = RandomForestClassifier(n_estimators=8, random_state=3).fit(X, y)
         parallel = RandomForestClassifier(
@@ -105,6 +125,11 @@ def test_predict_throughput(benchmark):
             "reference_rows_per_second": PREDICT_ROWS / reference_seconds,
             "flat_rows_per_second": PREDICT_ROWS / flat_seconds,
             "speedup": reference_seconds / flat_seconds,
+            "f32_rows_per_second": PREDICT_ROWS / f32_seconds,
+            "f32": flat_seconds / f32_seconds,
+            "f32_installed": f32_installed,
+            "f32_divergence": report.max_divergence,
+            "f32_label_flips": f32_flips,
             "bit_identical": bool(np.array_equal(reference, flat)),
             "parallel_fit_identical": bool(parallel_identical),
             "gbdt_identical": bool(gbdt_identical),
@@ -126,4 +151,15 @@ def test_predict_throughput(benchmark):
     assert summary["speedup"] >= MIN_SPEEDUP, (
         f"flat predict speedup {summary['speedup']:.1f}× "
         f"below the {MIN_SPEEDUP:.0f}× floor"
+    )
+    assert summary["f32_installed"], (
+        "float32 kernel failed its accuracy gate: "
+        f"divergence {summary['f32_divergence']:.3g}"
+    )
+    assert summary["f32_label_flips"] == 0, (
+        f"float32 kernel flipped {summary['f32_label_flips']} labels"
+    )
+    assert summary["f32"] >= MIN_F32_SPEEDUP, (
+        f"float32 kernel speedup {summary['f32']:.2f}× over float64 "
+        f"below the {MIN_F32_SPEEDUP:.1f}× floor"
     )

@@ -5,7 +5,7 @@ Every gate benchmark prints one machine-readable line, ``TAG {json}``
 those lines into a regression gate:
 
 * ``record`` parses one or more bench logs and writes the tracked
-  metrics to a baseline file (the committed ``BENCH_8.json``),
+  metrics to a baseline file (the committed ``BENCH_9.json``),
 * ``check`` parses fresh logs and fails (exit 1) if any tracked metric
   regressed more than the tolerance (default 20%) against the baseline.
 
@@ -19,8 +19,8 @@ paths changed*, which is the thing a refactor can actually break.
 Usage::
 
     PYTHONPATH=src:. python -m pytest -q -s benchmarks/bench_cold_start.py | tee cold.log
-    python benchmarks/ledger.py record cold.log ... --out BENCH_8.json
-    python benchmarks/ledger.py check  cold.log ... --baseline BENCH_8.json
+    python benchmarks/ledger.py record cold.log ... --out BENCH_9.json
+    python benchmarks/ledger.py check  cold.log ... --baseline BENCH_9.json
 """
 
 from __future__ import annotations
@@ -62,7 +62,16 @@ TRACKED = (
     Metric("STREAM_LATENCY", "speedup_warm_vs_seed_poll", "higher",
            tolerance=0.50),
     Metric("PREDICT_THROUGHPUT", "speedup", "higher"),
+    # Compact float32 kernel over the float64 flat path, measured in the
+    # same process on the same forest. A modest ratio (≈ 2×) with normal
+    # jitter: the gate catches the kernel regressing to parity, not
+    # run-to-run noise.
+    Metric("PREDICT_THROUGHPUT", "f32", "higher", tolerance=0.30),
     Metric("COLD_START", "speedup", "higher"),
+    # Stored-layout mmap load vs full read+verify of the same cached
+    # file. Crosses the page cache and per-array memmap setup, so the
+    # band is wide: the gate catches the map degenerating into a copy.
+    Metric("COLD_START", "mmap", "higher", tolerance=0.50),
     Metric("SHADOW_ROLLOUT", "overhead", "lower"),
     # 4-worker vs 1-worker fleet throughput, measured in one run over
     # identical workloads. Crosses process scheduling, so the band is
@@ -74,6 +83,11 @@ TRACKED = (
     # detection, backoff and a full process spawn, so the band is the
     # widest — the gate catches recovery *stalling*, not jitter.
     Metric("FLEET", "recovery", "lower", tolerance=1.00),
+    # Shared feature table hit rate when the same workload repeats
+    # against a cached fleet. Deterministic ≈ 1.0; any drop means
+    # entries stopped surviving across batches (eviction storm, lease
+    # leak, or the coordinator stopped consulting the table).
+    Metric("FLEET", "shared_cache_hit", "higher", tolerance=0.05),
 )
 
 DEFAULT_TOLERANCE = 0.20
@@ -224,7 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
         "record", help="parse bench logs and write the baseline file"
     )
     record.add_argument("logs", nargs="+", help="bench output log file(s)")
-    record.add_argument("--out", default="BENCH_8.json")
+    record.add_argument("--out", default="BENCH_9.json")
     record.add_argument("--tolerance", type=float,
                         default=DEFAULT_TOLERANCE)
     record.add_argument(
@@ -237,7 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
         "check", help="fail if any tracked metric regressed vs baseline"
     )
     check.add_argument("logs", nargs="+", help="bench output log file(s)")
-    check.add_argument("--baseline", default="BENCH_8.json")
+    check.add_argument("--baseline", default="BENCH_9.json")
     check.add_argument(
         "--tolerance", type=float, default=None,
         help="override the tolerance stored in the baseline",

@@ -46,13 +46,20 @@ from repro.artifacts.errors import (
     UnknownModelClassError,
     UnknownVersionError,
 )
+from repro.artifacts.compress import (
+    ZstdUnavailableError,
+    zstd_available,
+)
 from repro.artifacts.format import (
     ARTIFACT_FORMAT,
+    READABLE_SCHEMAS,
     SCHEMA_VERSION,
     ArtifactInfo,
     artifact_digest,
+    is_stored_layout,
     load_artifact,
     read_manifest,
+    repack_artifact,
     save_artifact,
 )
 from repro.artifacts.store import ModelStore, default_store_root
@@ -67,11 +74,16 @@ __all__ = [
     "UnknownVersionError",
     "ARTIFACT_FORMAT",
     "SCHEMA_VERSION",
+    "READABLE_SCHEMAS",
     "ArtifactInfo",
     "artifact_digest",
     "save_artifact",
     "load_artifact",
     "read_manifest",
+    "repack_artifact",
+    "is_stored_layout",
+    "zstd_available",
+    "ZstdUnavailableError",
     "ModelStore",
     "default_store_root",
     "StoreBackend",

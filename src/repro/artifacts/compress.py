@@ -1,0 +1,86 @@
+"""Optional zstd transport compression for artifact export/import.
+
+zstd is strictly a *transport* wrapper: an exported ``.npz.zst`` is the
+artifact's exact bytes through a zstd frame, so decompress-then-import
+reproduces the original file and its content digest. The dependency is
+optional by design — this repo must run on a bare numpy toolchain — so
+every entry point gates on :func:`zstd_available` and raises
+:class:`ZstdUnavailableError` with an actionable message instead of an
+``ImportError`` at import time.
+
+Backends probed, in order:
+
+* ``compression.zstd`` — the Python 3.14+ standard library module,
+* ``zstandard`` — the de-facto third-party binding.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ZSTD_MAGIC",
+    "ZstdUnavailableError",
+    "zstd_available",
+    "zstd_compress",
+    "zstd_decompress",
+    "is_zstd",
+]
+
+#: First four bytes of every zstd frame (RFC 8878 §3.1.1).
+ZSTD_MAGIC = b"\x28\xb5\x2f\xfd"
+
+
+class ZstdUnavailableError(RuntimeError):
+    """zstd was requested but no backend is importable."""
+
+    def __init__(self, action: str):
+        super().__init__(
+            f"cannot {action}: no zstd backend available (needs Python "
+            "3.14's compression.zstd or the 'zstandard' package); "
+            "export/import without compression, or use the default "
+            "deflate artifact layout"
+        )
+
+
+def _backend():
+    try:
+        from compression import zstd  # Python 3.14+ stdlib
+
+        return "stdlib", zstd
+    except ImportError:
+        pass
+    try:
+        import zstandard
+
+        return "zstandard", zstandard
+    except ImportError:
+        return None
+
+
+def zstd_available() -> bool:
+    """Whether a zstd backend can be imported in this interpreter."""
+    return _backend() is not None
+
+
+def zstd_compress(data: bytes, *, level: int = 3) -> bytes:
+    backend = _backend()
+    if backend is None:
+        raise ZstdUnavailableError("compress artifact")
+    kind, module = backend
+    if kind == "stdlib":
+        return module.compress(data, level)
+    return module.ZstdCompressor(level=level).compress(data)
+
+
+def zstd_decompress(data: bytes) -> bytes:
+    backend = _backend()
+    if backend is None:
+        raise ZstdUnavailableError("decompress artifact")
+    kind, module = backend
+    if kind == "stdlib":
+        return module.decompress(data)
+    return module.ZstdDecompressor().decompress(data)
+
+
+def is_zstd(data: bytes) -> bool:
+    """Cheap frame sniff: does ``data`` start with the zstd magic?"""
+    return data[:4] == ZSTD_MAGIC

@@ -49,10 +49,17 @@ from repro.artifacts.errors import (
     IntegrityError,
     UnknownVersionError,
 )
+from repro.artifacts.compress import (
+    is_zstd,
+    zstd_compress,
+    zstd_decompress,
+)
 from repro.artifacts.format import (
     artifact_digest,
+    is_stored_layout,
     load_artifact,
     read_manifest,
+    repack_artifact,
     save_artifact,
 )
 
@@ -271,6 +278,17 @@ class ModelStore:
             f"no tag or version matches {ref!r} in {self.root}"
         )
 
+    def _spool_root(self) -> pathlib.Path:
+        """Where spooled and derived (stored-layout) artifacts live."""
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            return self.cache_dir
+        if self._spool_dir is None:
+            self._spool_dir = tempfile.TemporaryDirectory(
+                prefix="phook-store-spool-"
+            )
+        return pathlib.Path(self._spool_dir.name)
+
     def path_of(self, ref: str) -> pathlib.Path:
         """Local filesystem path of the artifact behind a tag/version.
 
@@ -283,16 +301,7 @@ class ModelStore:
         direct = self.backend.local_path(key)
         if direct is not None:
             return direct
-        if self.cache_dir is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            spool_root = self.cache_dir
-        else:
-            if self._spool_dir is None:
-                self._spool_dir = tempfile.TemporaryDirectory(
-                    prefix="phook-store-spool-"
-                )
-            spool_root = pathlib.Path(self._spool_dir.name)
-        spooled = spool_root / f"{version}.npz"
+        spooled = self._spool_root() / f"{version}.npz"
         if not spooled.is_file():
             try:
                 data = self.backend.get(key)
@@ -306,7 +315,7 @@ class ModelStore:
             # digest-named target, so a reader can never observe a
             # half-written spool — last rename wins with identical bytes.
             handle, temp_name = tempfile.mkstemp(
-                dir=spool_root, prefix=f".tmp-{version[:16]}-",
+                dir=spooled.parent, prefix=f".tmp-{version[:16]}-",
                 suffix=".npz",
             )
             try:
@@ -317,8 +326,51 @@ class ModelStore:
                 pathlib.Path(temp_name).unlink(missing_ok=True)
         return spooled
 
-    def load(self, ref: str, *, expected_fingerprint: str | None = None):
-        """Load ``(model, manifest)`` for a tag/version/prefix."""
+    def mmap_path_of(self, ref: str) -> pathlib.Path:
+        """A stored-layout (uncompressed) artifact file for zero-copy maps.
+
+        The primary spool keeps the backend's bytes verbatim (digest
+        named, ETag-verified on fetch); mapping needs uncompressed zip
+        members, so the store derives ``<digest>.stored.npz`` once per
+        version via :func:`repack_artifact` — which re-verifies every
+        array digest while copying, and installs the file with
+        mkstemp + atomic rename so concurrent derivations converge and
+        existing maps stay valid. Artifacts that are already fully
+        stored (e.g. ``export --layout stored`` output re-imported, or
+        a local store written with ``compression="stored"``) map
+        directly with no derived copy.
+        """
+        source = self.path_of(ref)
+        if is_stored_layout(source):
+            return source
+        derived = self._spool_root() / f"{self.resolve(ref)}.stored.npz"
+        # Derived files are content-named like the spool itself: once a
+        # version's stored copy exists it is immutable, so a hit needs
+        # no revalidation.
+        if not derived.is_file():
+            repack_artifact(source, derived, compression="stored")
+        return derived
+
+    def load(
+        self,
+        ref: str,
+        *,
+        expected_fingerprint: str | None = None,
+        mmap_mode: str | None = None,
+    ):
+        """Load ``(model, manifest)`` for a tag/version/prefix.
+
+        ``mmap_mode="r"`` serves the model's arrays as read-only maps of
+        a stored-layout spool file (derived on first use, see
+        :meth:`mmap_path_of`): the cold start copies no array bytes and
+        N processes loading one version share its page cache.
+        """
+        if mmap_mode is not None:
+            return load_artifact(
+                self.mmap_path_of(ref),
+                expected_fingerprint=expected_fingerprint,
+                mmap_mode=mmap_mode,
+            )
         return load_artifact(
             self.path_of(ref), expected_fingerprint=expected_fingerprint
         )
@@ -352,14 +404,49 @@ class ModelStore:
     # Transport + GC
     # ------------------------------------------------------------------ #
 
-    def export(self, ref: str, dest: str | pathlib.Path) -> pathlib.Path:
-        """Copy one artifact out of the store (e.g. to ship to a box)."""
+    def export(
+        self,
+        ref: str,
+        dest: str | pathlib.Path,
+        *,
+        layout: str | None = None,
+        compress: str | None = None,
+    ) -> pathlib.Path:
+        """Copy one artifact out of the store (e.g. to ship to a box).
+
+        ``layout`` repacks the zip on the way out (``"stored"`` for a
+        file the destination box can mmap directly, ``"deflate"`` to
+        re-compress a stored artifact for the wire); ``compress="zstd"``
+        additionally wraps the file in a zstd frame (``.zst`` suffix
+        appended when ``dest`` is a directory). Neither changes the
+        content digest :meth:`import_artifact` recovers.
+        """
+        if layout not in (None, "stored", "deflate"):
+            raise ValueError(
+                f"unknown export layout {layout!r}; "
+                "choose 'stored' or 'deflate'"
+            )
+        if compress not in (None, "zstd"):
+            raise ValueError(
+                f"unknown export compression {compress!r}; choose 'zstd'"
+            )
         source = self.path_of(ref)
         dest = pathlib.Path(dest)
         if dest.is_dir():
-            dest = dest / source.name
+            name = source.name
+            if compress == "zstd":
+                name += ".zst"
+            dest = dest / name
         dest.parent.mkdir(parents=True, exist_ok=True)
-        shutil.copyfile(source, dest)
+        with tempfile.TemporaryDirectory(prefix="phook-export-") as scratch:
+            staged = source
+            if layout is not None:
+                staged = pathlib.Path(scratch) / "layout.npz"
+                repack_artifact(source, staged, compression=layout)
+            if compress == "zstd":
+                dest.write_bytes(zstd_compress(staged.read_bytes()))
+            else:
+                shutil.copyfile(staged, dest)
         return dest
 
     def import_artifact(
@@ -368,20 +455,30 @@ class ModelStore:
         """Verify an external artifact and file it under its digest.
 
         The manifest's declared digest is recomputed before anything is
-        written; a tampered file is rejected, never stored.
+        written; a tampered file is rejected, never stored. A
+        zstd-wrapped export (``.zst``, detected by frame magic, not
+        suffix) is transparently unwrapped first.
         """
         source = pathlib.Path(source)
-        manifest = read_manifest(source)
-        digest = manifest.get("digest")
-        if not digest or artifact_digest(manifest) != digest:
-            raise IntegrityError(
-                f"{source}: declared digest does not match manifest content"
-            )
-        # Full load exercises the per-array digests too (and proves the
-        # model actually reconstructs) before the object is admitted.
-        load_artifact(source)
-        # consume=False: the caller's file must survive the import.
-        self.backend.put_path(self._object_key(digest), source)
+        with tempfile.TemporaryDirectory(prefix="phook-import-") as scratch:
+            with source.open("rb") as stream:
+                head = stream.read(4)
+            if is_zstd(head):
+                plain = pathlib.Path(scratch) / "artifact.npz"
+                plain.write_bytes(zstd_decompress(source.read_bytes()))
+                source = plain
+            manifest = read_manifest(source)
+            digest = manifest.get("digest")
+            if not digest or artifact_digest(manifest) != digest:
+                raise IntegrityError(
+                    f"{source}: declared digest does not match manifest "
+                    "content"
+                )
+            # Full load exercises the per-array digests too (and proves
+            # the model actually reconstructs) before it is admitted.
+            load_artifact(source)
+            # consume=False: the caller's file must survive the import.
+            self.backend.put_path(self._object_key(digest), source)
         for name in tags:
             self.tag(name, digest)
         return digest

@@ -247,7 +247,11 @@ def _cmd_models(args) -> int:
                   f"{','.join(row['tags']) or '-'}")
         return 0
     if args.models_command == "export":
-        dest = store.export(args.ref, args.dest)
+        dest = store.export(
+            args.ref, args.dest,
+            layout=args.layout,
+            compress="zstd" if args.zstd else None,
+        )
         print(f"exported {args.ref} -> {dest}")
         return 0
     if args.models_command == "import":
@@ -896,6 +900,14 @@ def _cmd_fleet(args) -> int:
               f"shed {counters['shed']}  rerouted {counters['rerouted']}")
         print(f"feature handoff: {counters['shm_batches']} shm, "
               f"{counters['inline_batches']} inline")
+        shared = status.get("shared_cache")
+        if shared:
+            print(f"shared feature cache: {shared['hits']} hits  "
+                  f"{shared['misses']} misses  "
+                  f"{shared['entries']}/{shared['slots']} slots "
+                  f"({shared['resident_bytes']} bytes resident)  "
+                  f"evictions {shared['evictions']}  "
+                  f"pinned {shared['pinned_slots']}")
         if latency:
             print(f"batch latency p50 {latency['p50'] * 1e3:.2f}ms  "
                   f"p95 {latency['p95'] * 1e3:.2f}ms  "
@@ -1074,6 +1086,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     models_export.add_argument("ref", help="tag, version, or version prefix")
     models_export.add_argument("dest", help="destination file or directory")
+    models_export.add_argument(
+        "--layout", choices=("stored", "deflate"), default=None,
+        help="repack on the way out: 'stored' for an mmap-ready file, "
+             "'deflate' to shrink a stored artifact for the wire",
+    )
+    models_export.add_argument(
+        "--zstd", action="store_true",
+        help="wrap the exported file in a zstd frame (.zst)",
+    )
     models_import = models_sub.add_parser(
         "import", help="verify an artifact file and add it to the store"
     )

@@ -231,6 +231,19 @@ class FleetConfig:
     #: (``workers × queue_depth × 2``).
     slots: int = 0
     slot_bytes: int = 1 << 20
+    #: Host-wide shared feature cache: keep each unique bytecode and its
+    #: decoded ids resident across batches (and workers) so repeat
+    #: deployments are never re-shipped or re-decoded. Needs
+    #: ``ship_features``.
+    shared_cache: bool = False
+    #: Shared-cache entry slots; 0 picks the default (256).
+    shared_cache_slots: int = 0
+    #: Bytes per shared-cache slot; 0 inherits ``slot_bytes``.
+    shared_cache_slot_bytes: int = 0
+    #: Map worker model artifacts with ``mmap_mode="r"`` (zero-copy cold
+    #: starts; node arrays page in on demand and are shared between
+    #: workers by the OS cache).
+    mmap: bool = False
     host: str = "127.0.0.1"
     #: Coordinator port; 0 binds an ephemeral port.
     port: int = 0
@@ -631,6 +644,17 @@ def _parse_fleet(
         slot_bytes=section.integer(
             "slot_bytes", FleetConfig.slot_bytes, minimum=4096
         ),
+        shared_cache=section.boolean(
+            "shared_cache", FleetConfig.shared_cache
+        ),
+        shared_cache_slots=section.integer(
+            "shared_cache_slots", FleetConfig.shared_cache_slots, minimum=0
+        ),
+        shared_cache_slot_bytes=section.integer(
+            "shared_cache_slot_bytes",
+            FleetConfig.shared_cache_slot_bytes, minimum=0,
+        ),
+        mmap=section.boolean("mmap", FleetConfig.mmap),
         host=host,
         port=port,
         request_timeout=section.number(

@@ -219,6 +219,10 @@ def build_fleet(config: DeployConfig, *, sinks=None):
         ship_features=fleet.ship_features,
         slots=fleet.slots,
         slot_bytes=fleet.slot_bytes,
+        shared_cache=fleet.shared_cache,
+        shared_cache_slots=fleet.shared_cache_slots,
+        shared_cache_slot_bytes=fleet.shared_cache_slot_bytes,
+        mmap=fleet.mmap,
         host=fleet.host,
         port=fleet.port,
         http_timeout=fleet.request_timeout,

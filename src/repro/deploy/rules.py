@@ -389,6 +389,34 @@ def _fleet_undersized_ring(c: DeployConfig):
     return None
 
 
+#: EIP-170 contract-code size cap — the worst-case bytecode one scan
+#: row can carry, and (decoded ids are at most one byte per code byte)
+#: half the worst-case ring footprint of a shared-cache miss.
+EIP170_MAX_CODE_BYTES = 24_576
+
+
+def _shared_cache_thin_ring(c: DeployConfig):
+    f = c.fleet
+    if f is None or not f.shared_cache or not f.ship_features:
+        return None
+    # A shared-cache miss ships [code][ids] through one ring slot; a
+    # cold cache makes the first batch all-miss, so the slot must hold
+    # a full batch of worst-case rows or the cache warms through the
+    # inline fallback it was meant to remove.
+    needed = c.stream.batch_size * 2 * EIP170_MAX_CODE_BYTES
+    if f.slot_bytes < needed:
+        return (
+            f"fleet.slot_bytes={f.slot_bytes} is below one cold batch "
+            f"of worst-case feature rows: stream.batch_size="
+            f"{c.stream.batch_size} x 2 x {EIP170_MAX_CODE_BYTES} "
+            f"(EIP-170 code cap, code + decoded ids) = {needed}. The "
+            f"shared cache turns first-sight batches into all-miss "
+            f"bursts that overflow the ring slot and fall back to "
+            f"inline shipping exactly while the cache is cold"
+        )
+    return None
+
+
 def _respawn_cold_store(c: DeployConfig):
     ft = c.fault_tolerance
     if (
@@ -698,6 +726,18 @@ RULES: tuple[Rule, ...] = (
         "deliveries for replay",
         _circuit_open_alert_loss,
         ("fault_tolerance.dead_letter_path", "sinks"),
+    ),
+    Rule(
+        "D025", WARN, "shared-cache-thin-ring",
+        "A shared feature cache over a ring slot smaller than one "
+        "cold batch of worst-case rows warms through the inline "
+        "fallback: every first-sight batch is all-miss and overflows "
+        "the slot it was supposed to ride.",
+        "raise fleet.slot_bytes to >= stream.batch_size x 2 x 24576 "
+        "(EIP-170 code cap, code + decoded ids), or lower "
+        "stream.batch_size",
+        _shared_cache_thin_ring,
+        ("fleet.shared_cache", "fleet.slot_bytes", "stream.batch_size"),
     ),
 )
 

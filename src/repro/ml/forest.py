@@ -20,6 +20,8 @@ import os
 
 import numpy as np
 
+from collections.abc import Sequence
+
 from repro.ml.base import Classifier, check_array, check_X_y
 from repro.ml.flat import FlatEnsemble
 from repro.ml.tree import DecisionTreeClassifier
@@ -45,6 +47,53 @@ def _fit_one_tree(task):
     return tree.fit(
         _WORKER_CONTEXT["X"], _WORKER_CONTEXT["y"], sample_indices=rows
     )
+
+
+class _StackedTrees(Sequence):
+    """``trees_`` for a loaded forest: per-tree views built on demand.
+
+    A cold-started forest serves straight off the stacked
+    :class:`FlatEnsemble` arrays; the per-tree
+    :class:`DecisionTreeClassifier` objects exist only for analysis
+    paths (``feature_importances_``, TreeSHAP). Building them eagerly
+    on every load copies — and, under ``mmap_mode="r"``, faults in —
+    node data serving never touches, so each tree materializes on
+    first access and is cached.
+    """
+
+    def __init__(self, flat: FlatEnsemble, tree_params: dict):
+        self._flat = flat
+        self._params = tree_params
+        self._built: list[DecisionTreeClassifier | None] = (
+            [None] * flat.n_trees
+        )
+
+    def __len__(self) -> int:
+        return len(self._built)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        tree = self._built[index]
+        if tree is None:
+            flat = self._flat
+            view = flat.tree_view(index)
+            tree = DecisionTreeClassifier(**self._params)
+            tree.children_left_ = view.children_left_
+            tree.children_right_ = view.children_right_
+            tree.feature_ = np.asarray(view.feature_, dtype=np.int64)
+            tree.threshold_ = np.asarray(view.threshold_, dtype=np.float64)
+            tree.value_ = np.asarray(view.value_, dtype=np.float64)
+            samples = getattr(view, "n_node_samples_", None)
+            if samples is not None:
+                tree.n_node_samples_ = np.asarray(samples, dtype=np.int64)
+            tree.n_features_ = flat.n_features
+            self._built[index] = tree
+        return tree
 
 
 class RandomForestClassifier(Classifier):
@@ -193,25 +242,13 @@ class RandomForestClassifier(Classifier):
                 else None
             ),
         )
-        # Per-tree objects are rebuilt as views over the stacked arrays —
-        # feature_importances_ and TreeSHAP keep working — while the flat
-        # ensemble itself is installed pre-compiled.
-        params = self._tree_params()
-        trees = []
-        for index in range(flat.n_trees):
-            view = flat.tree_view(index)
-            tree = DecisionTreeClassifier(**params)
-            tree.children_left_ = view.children_left_
-            tree.children_right_ = view.children_right_
-            tree.feature_ = np.asarray(view.feature_, dtype=np.int64)
-            tree.threshold_ = np.asarray(view.threshold_, dtype=np.float64)
-            tree.value_ = np.asarray(view.value_, dtype=np.float64)
-            samples = getattr(view, "n_node_samples_", None)
-            if samples is not None:
-                tree.n_node_samples_ = np.asarray(samples, dtype=np.int64)
-            tree.n_features_ = flat.n_features
-            trees.append(tree)
-        self.trees_ = trees
+        # Per-tree objects are rebuilt lazily as views over the stacked
+        # arrays — feature_importances_ and TreeSHAP keep working — while
+        # the flat ensemble itself is installed pre-compiled. Laziness
+        # matters for cold starts: serving only descends the stacked
+        # arrays, so a loaded (especially mmap-loaded) forest should not
+        # pay per-tree copies — or page in per-tree data — it never uses.
+        self.trees_ = _StackedTrees(flat, self._tree_params())
         self._flat = flat
         return self
 

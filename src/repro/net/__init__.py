@@ -11,8 +11,12 @@ users" north star needs real processes and a real wire:
   (fleet dispatch, ``HttpStoreBackend``, the promoted ``WebhookSink``),
 * :mod:`repro.net.shm` — :class:`ShmRing`, a fixed-slot
   ``multiprocessing.shared_memory`` ring carrying numpy feature blocks
-  coordinator → worker zero-copy (each unique bytecode is decoded once
-  per *host*, not once per worker),
+  coordinator → worker zero-copy,
+* :mod:`repro.net.shared_cache` — :class:`ShmFeatureCache`, the
+  cross-*batch* promotion of the ring's per-batch dedup: a digest-keyed
+  shared-memory table where each unique bytecode (and its decoded
+  mnemonic-id block) lands once per host, referenced by every later
+  request from every worker,
 * :mod:`repro.net.worker` — the worker process: one
   :class:`~repro.serve.service.ScanService` cold-started from the
   ModelStore behind a private HTTP port,
@@ -65,6 +69,7 @@ from repro.net.fleet import (
     save_fleet_state,
 )
 from repro.net.retry import CircuitBreaker, CircuitOpenError, RetryPolicy
+from repro.net.shared_cache import SharedEntry, ShmFeatureCache
 from repro.net.shm import ShmRing, SlotTooSmallError
 from repro.net.store_http import serve_store
 from repro.net.worker import WorkerSpec, worker_main
@@ -82,6 +87,9 @@ __all__ = [
     # shm
     "ShmRing",
     "SlotTooSmallError",
+    # shared feature cache
+    "ShmFeatureCache",
+    "SharedEntry",
     # worker
     "WorkerSpec",
     "worker_main",

@@ -22,8 +22,11 @@ The coordinator is the only public face of a fleet. It owns:
   host through the coordinator's :class:`~repro.serve.cache.FeatureCache`
   and the ``uint8`` ids blocks travel to workers through a
   :class:`~repro.net.shm.ShmRing` slot; the HTTP body carries only slot
-  geometry. A full ring or an oversized payload degrades to inline hex
-  shipping — counted, never fatal.
+  geometry. With a :class:`~repro.net.shared_cache.ShmFeatureCache`
+  attached, popular bytecodes skip even the per-batch slot write: the
+  request references the host-wide entry (pinned for the exchange) and
+  only table misses ride the ring. A full ring or an oversized payload
+  degrades to inline hex shipping — counted, never fatal.
 * **The monitor plane.** Flagged results become real
   :class:`~repro.stream.scanner.StreamAlert` objects fanned out to the
   configured sinks, and :meth:`FleetCoordinator.status` reports
@@ -144,6 +147,12 @@ class FleetCoordinator:
             ``ship_features``.
         ring: :class:`~repro.net.shm.ShmRing` for zero-copy handoff
             (``None`` → inline shipping).
+        shared: :class:`~repro.net.shared_cache.ShmFeatureCache` holding
+            each unique bytecode + decoded ids once per host across
+            batches; requests reference entries by slot instead of
+            re-shipping, and only codes missing from the table fall
+            through to the ring / inline path (``None`` → per-batch
+            shipping only).
         queue_depth: Max in-flight batches per worker.
         overflow: ``"shed"`` (raise :class:`OverloadedError`) or
             ``"block"`` (wait for capacity).
@@ -159,6 +168,7 @@ class FleetCoordinator:
         *,
         cache=None,
         ring=None,
+        shared=None,
         queue_depth: int = 4,
         overflow: str = "shed",
         ship_features: bool = True,
@@ -173,9 +183,13 @@ class FleetCoordinator:
             raise ValueError(f"unknown overflow policy {overflow!r}")
         if ship_features and ring is not None and cache is None:
             raise ValueError("ship_features over shm needs a FeatureCache")
+        if shared is not None and cache is None:
+            raise ValueError("a shared feature cache needs a FeatureCache "
+                             "to decode misses")
         self.workers = list(workers)
         self.cache = cache
         self.ring = ring
+        self.shared = shared
         self.queue_depth = queue_depth
         self.overflow = overflow
         self.ship_features = ship_features
@@ -196,6 +210,9 @@ class FleetCoordinator:
             "inline_batches": 0,
             "ring_full": 0,
             "slot_too_small": 0,
+            "shared_cache_hits": 0,
+            "shared_cache_stores": 0,
+            "shared_cache_fallback": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -266,12 +283,49 @@ class FleetCoordinator:
     # ------------------------------------------------------------------ #
 
     def _build_request(self, addresses, code_of, unique_codes):
-        """Wire payload + slot lease: shm when possible, inline otherwise.
+        """Wire payload + leases: shared-cache refs, then shm, then inline.
 
-        Returns ``(payload_dict, slot_or_None)``; the caller must release
-        a returned slot after the HTTP exchange (success or not).
+        Returns ``(payload_dict, slot_or_None, pinned_slots)``; the
+        caller must release the ring slot and unpin every shared-cache
+        slot after the HTTP exchange (success or not — the response is
+        the fence that makes slot reuse safe).
         """
         payload = {"addresses": list(addresses), "code_of": list(code_of)}
+        pinned: list[int] = []
+        rest = list(range(len(unique_codes)))
+        if self.shared is not None and self.ship_features:
+            from repro.serve.cache import bytecode_digest
+
+            shared_refs: dict[str, list[int]] = {}
+            rest = []
+            hits = stores = fallbacks = 0
+            for index, code in enumerate(unique_codes):
+                digest = bytecode_digest(code)
+                entry = self.shared.pin(digest)
+                if entry is None:
+                    ids = np.ascontiguousarray(
+                        self.cache.mnemonic_ids(code)
+                    )
+                    entry = self.shared.store(digest, code, ids)
+                    stores += int(entry is not None)
+                else:
+                    hits += 1
+                if entry is None:
+                    fallbacks += 1
+                    rest.append(index)
+                    continue
+                pinned.append(entry.slot)
+                shared_refs[str(index)] = list(entry)
+            if shared_refs:
+                payload["shared_refs"] = shared_refs
+                payload["rest"] = rest
+            with self._lock:
+                self.counters["shared_cache_hits"] += hits
+                self.counters["shared_cache_stores"] += stores
+                self.counters["shared_cache_fallback"] += fallbacks
+        rest_codes = [unique_codes[index] for index in rest]
+        if not rest_codes:
+            return payload, None, pinned
         slot = None
         if self.ring is not None and self.ship_features:
             slot = self.ring.acquire()
@@ -281,9 +335,9 @@ class FleetCoordinator:
         if slot is not None:
             ids_blocks = [
                 np.ascontiguousarray(self.cache.mnemonic_ids(code))
-                for code in unique_codes
+                for code in rest_codes
             ]
-            blocks = list(unique_codes) + ids_blocks
+            blocks = list(rest_codes) + ids_blocks
             try:
                 self.ring.write_blocks(slot, blocks)
             except Exception as error:
@@ -297,7 +351,7 @@ class FleetCoordinator:
                     self.counters["slot_too_small"] += 1
             else:
                 payload["slot"] = slot
-                payload["code_lens"] = [len(c) for c in unique_codes]
+                payload["code_lens"] = [len(c) for c in rest_codes]
                 payload["ids_lens"] = [
                     b.nbytes for b in ids_blocks
                 ]
@@ -305,11 +359,11 @@ class FleetCoordinator:
                     self.counters["shm_batches"] += 1
         if slot is None:
             payload["inline_codes"] = [
-                bytes(code).hex() for code in unique_codes
+                bytes(code).hex() for code in rest_codes
             ]
             with self._lock:
                 self.counters["inline_batches"] += 1
-        return payload, slot
+        return payload, slot, pinned
 
     # ------------------------------------------------------------------ #
     # Scan path
@@ -330,8 +384,9 @@ class FleetCoordinator:
 
             raise TransportError(f"worker {worker.index} died in admission")
         slot = None
+        pinned: list[int] = []
         try:
-            payload, slot = self._build_request(
+            payload, slot, pinned = self._build_request(
                 addresses, code_of, unique_codes
             )
             response = http_json(
@@ -352,6 +407,8 @@ class FleetCoordinator:
         finally:
             if slot is not None:
                 self.ring.release(slot)
+            for shared_slot in pinned:
+                self.shared.unpin(shared_slot)
             self._release(worker)
 
     def _dispatch(self, shard: int, addresses, code_of,
@@ -515,6 +572,8 @@ class FleetCoordinator:
                 "slot_bytes": self.ring.slot_bytes,
                 "free_slots": self.ring.free_slots,
             }
+        if self.shared is not None:
+            payload["shared_cache"] = self.shared.stats()
         if self.cache is not None:
             payload["cache"] = self.cache.stats.as_dict()
         return payload

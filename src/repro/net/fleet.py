@@ -74,6 +74,10 @@ class FleetManager:
         ship_features: bool = True,
         slots: int = 0,
         slot_bytes: int = 1 << 20,
+        shared_cache: bool = False,
+        shared_cache_slots: int = 0,
+        shared_cache_slot_bytes: int = 0,
+        mmap: bool = False,
         host: str = "127.0.0.1",
         port: int = 0,
         sinks=(),
@@ -106,6 +110,14 @@ class FleetManager:
         # healthy fleet never falls back to inline shipping.
         self.slots = slots or workers * queue_depth * 2
         self.slot_bytes = slot_bytes
+        # Host-wide shared feature cache: one entry per unique bytecode
+        # resident across batches. Entries hold [code][ids]; a single
+        # contract fits one ring slot, so the ring's slot size is the
+        # right default here too.
+        self.shared_cache = shared_cache
+        self.shared_cache_slots = shared_cache_slots or 256
+        self.shared_cache_slot_bytes = shared_cache_slot_bytes or slot_bytes
+        self.mmap = mmap
         self.host = host
         self.port = port
         self.sinks = list(sinks)
@@ -122,6 +134,7 @@ class FleetManager:
         self.respawn_backoff_max = respawn_backoff_max
         self.coordinator = None
         self.ring = None
+        self.shared = None
         self._processes: list = []
         self._server = None
         self._server_thread = None
@@ -151,6 +164,17 @@ class FleetManager:
             ring_slot_bytes=(
                 self.slot_bytes if self.ring is not None else 0
             ),
+            shared_name=(
+                self.shared.name if self.shared is not None else ""
+            ),
+            shared_slots=(
+                self.shared_cache_slots if self.shared is not None else 0
+            ),
+            shared_slot_bytes=(
+                self.shared_cache_slot_bytes
+                if self.shared is not None else 0
+            ),
+            mmap=self.mmap,
             host=self.host,
         )
 
@@ -201,6 +225,12 @@ class FleetManager:
 
             cache = FeatureCache(max_entries=self.cache_entries)
             self.ring = ShmRing.create(self.slots, self.slot_bytes)
+            if self.shared_cache:
+                from repro.net.shared_cache import ShmFeatureCache
+
+                self.shared = ShmFeatureCache.create(
+                    self.shared_cache_slots, self.shared_cache_slot_bytes
+                )
 
         context = multiprocessing.get_context()
         pending = []
@@ -222,12 +252,15 @@ class FleetManager:
             self._kill_all()
             if self.ring is not None:
                 self.ring.unlink()
+            if self.shared is not None:
+                self.shared.unlink()
             raise
 
         self.coordinator = FleetCoordinator(
             handles,
             cache=cache,
             ring=self.ring,
+            shared=self.shared,
             queue_depth=self.queue_depth,
             overflow=self.overflow,
             ship_features=self.ship_features,
@@ -431,6 +464,8 @@ class FleetManager:
                 self._server_thread.join(timeout=5)
         if self.ring is not None:
             self.ring.unlink()
+        if self.shared is not None:
+            self.shared.unlink()
         for sink in self.sinks:
             sink.close()
 

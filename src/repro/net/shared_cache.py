@@ -1,0 +1,308 @@
+"""Host-wide shared feature cache: decode once, serve every worker.
+
+The :class:`~repro.net.shm.ShmRing` removed the per-worker *copy* of
+feature blocks, but each batch still rewrote its unique bytecodes and
+decoded ids into a fresh ring slot — the same popular contract shipped
+over and over, once per batch. :class:`ShmFeatureCache` promotes the
+coordinator's per-batch dedup to a cross-batch, cross-worker table: a
+digest-keyed store in one ``multiprocessing.shared_memory`` segment
+where each unique bytecode (and its decoded ``uint8`` mnemonic-ids
+block) lands **once per host**. Requests then carry only
+``(slot, code_len, ids_len)`` references; any worker — including one
+that has never seen the contract — reads the bytes straight off the
+mapped pages.
+
+Concurrency model (deliberately the ring's, extended with leases):
+
+* **Single writer.** Only the creating (coordinator) process stores or
+  evicts entries; attached workers are strictly readers. All index
+  state — digest map, LRU order, pin counts — lives coordinator-side,
+  so there is no cross-process locking at all.
+* **Pin leases, response-fenced.** A request that references an entry
+  pins its slot; the coordinator unpins after the worker's HTTP
+  exchange (success or not). Eviction skips pinned slots, so a reader
+  can never observe a slot being rewritten under it. A pin left behind
+  is a leak — :meth:`audit` reports outstanding pins so tests can
+  assert the fleet returned every lease (mirroring the ring's
+  ``free_slots`` audit).
+* **LRU eviction, graceful fallback.** A full table (or an entry larger
+  than one slot) is never fatal: :meth:`store` returns ``None`` and the
+  coordinator falls back to the ring / inline path, counted.
+* **Creator-only unlink.** Same ``resource_tracker`` unregistration and
+  pid-guarded :meth:`unlink` as the ring, so a worker exit cannot tear
+  down the live segment.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import threading
+from collections import OrderedDict
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = ["ShmFeatureCache", "SharedEntry"]
+
+
+class SharedEntry(tuple):
+    """``(slot, code_len, ids_len)`` reference into the shared table."""
+
+    __slots__ = ()
+
+    def __new__(cls, slot: int, code_len: int, ids_len: int):
+        return super().__new__(cls, (slot, code_len, ids_len))
+
+    @property
+    def slot(self) -> int:
+        return self[0]
+
+    @property
+    def code_len(self) -> int:
+        return self[1]
+
+    @property
+    def ids_len(self) -> int:
+        return self[2]
+
+
+class ShmFeatureCache:
+    """Digest-keyed ``[code][ids]`` slots in shared memory; see module docs.
+
+    Construct through :meth:`create` (coordinator) or :meth:`attach`
+    (workers); geometry travels in the
+    :class:`~repro.net.worker.WorkerSpec` like the ring's.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, slots: int,
+                 slot_bytes: int, *, owner: bool):
+        if slots < 1 or slot_bytes < 1:
+            raise ValueError(
+                "shared cache needs positive slots and slot_bytes"
+            )
+        self._shm = shm
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self.owner = owner
+        self._owner_pid = os.getpid() if owner else None
+        self._lock = threading.Lock()
+        self._closed = False
+        self._unlinked = False
+        # Owner-side index. _entries maps digest -> SharedEntry in LRU
+        # order (oldest first); _pins counts outstanding leases per slot.
+        self._entries: "OrderedDict[bytes, SharedEntry]" = OrderedDict()
+        self._free: list[int] = list(range(slots)) if owner else []
+        self._pins: dict[int, int] = {}
+        self._counters = {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "evictions": 0,
+            "too_large": 0,
+            "full": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle (the ring's discipline, verbatim)
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(cls, slots: int, slot_bytes: int) -> "ShmFeatureCache":
+        """Allocate a fresh table; the caller owns (and unlinks) it."""
+        shm = shared_memory.SharedMemory(
+            create=True, size=slots * slot_bytes
+        )
+        cache = cls(shm, slots, slot_bytes, owner=True)
+        atexit.register(cache.unlink)
+        return cache
+
+    @classmethod
+    def attach(cls, name: str, slots: int,
+               slot_bytes: int) -> "ShmFeatureCache":
+        """Map an existing table read-only (worker side)."""
+        shm = shared_memory.SharedMemory(name=name)
+        # See ShmRing.attach: under spawn the attaching process has a
+        # private resource tracker that would unlink the coordinator's
+        # live segment on worker exit; unregister there. Under fork the
+        # registration is shared and idempotent — leave it alone.
+        if multiprocessing.get_start_method(allow_none=True) != "fork":
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals
+                pass
+        return cls(shm, slots, slot_bytes, owner=False)
+
+    @property
+    def name(self) -> str:
+        """OS name of the segment (what :meth:`attach` needs)."""
+        return self._shm.name
+
+    def close(self) -> None:
+        """Unmap this process's view; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a live view pins the map
+            self._closed = False
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator process only; idempotent)."""
+        if not self.owner or os.getpid() != self._owner_pid:
+            return
+        self.close()
+        if self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Owner side: lookup, store, leases, eviction
+    # ------------------------------------------------------------------ #
+
+    def _require_owner(self) -> None:
+        if not self.owner:
+            raise RuntimeError(
+                "only the creating process mutates the shared cache"
+            )
+
+    def pin(self, digest: bytes) -> SharedEntry | None:
+        """Look up ``digest``; on a hit, lease its slot and return the
+        entry (bumping LRU recency). ``None`` on miss — the caller
+        decodes and calls :meth:`store`."""
+        self._require_owner()
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                self._counters["misses"] += 1
+                return None
+            self._entries.move_to_end(digest)
+            self._pins[entry.slot] = self._pins.get(entry.slot, 0) + 1
+            self._counters["hits"] += 1
+            return entry
+
+    def store(self, digest: bytes, code: bytes,
+              ids: np.ndarray | bytes) -> SharedEntry | None:
+        """Write ``[code][ids]`` into a slot and return a pinned entry.
+
+        Returns ``None`` (counted, never fatal) when the payload exceeds
+        one slot or every slot is pinned by in-flight requests — the
+        caller ships through the ring / inline instead. Storing a digest
+        that raced in through another thread pins the existing entry.
+        """
+        self._require_owner()
+        code = bytes(code)
+        ids_view = memoryview(ids).cast("B")
+        total = len(code) + len(ids_view)
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is not None:
+                self._entries.move_to_end(digest)
+                self._pins[entry.slot] = self._pins.get(entry.slot, 0) + 1
+                self._counters["hits"] += 1
+                return entry
+            if total > self.slot_bytes:
+                self._counters["too_large"] += 1
+                return None
+            slot = self._claim_slot_locked()
+            if slot is None:
+                self._counters["full"] += 1
+                return None
+            base = slot * self.slot_bytes
+            view = self._shm.buf
+            view[base:base + len(code)] = code
+            view[base + len(code):base + total] = ids_view
+            entry = SharedEntry(slot, len(code), len(ids_view))
+            self._entries[digest] = entry
+            self._pins[slot] = self._pins.get(slot, 0) + 1
+            self._counters["stores"] += 1
+            return entry
+
+    def _claim_slot_locked(self) -> int | None:
+        """A free slot, evicting the LRU unpinned entry if needed."""
+        if self._free:
+            return self._free.pop()
+        for digest, entry in self._entries.items():
+            if self._pins.get(entry.slot, 0) == 0:
+                del self._entries[digest]
+                self._counters["evictions"] += 1
+                return entry.slot
+        return None
+
+    def unpin(self, slot: int) -> None:
+        """Release one lease on ``slot`` (after the HTTP exchange)."""
+        self._require_owner()
+        with self._lock:
+            count = self._pins.get(slot, 0)
+            if count <= 0:
+                raise ValueError(f"slot {slot} is not pinned")
+            if count == 1:
+                del self._pins[slot]
+            else:
+                self._pins[slot] = count - 1
+
+    def audit(self) -> dict:
+        """Lease-leak report: outstanding pins per slot (empty when every
+        request released its leases — the invariant tests assert)."""
+        self._require_owner()
+        with self._lock:
+            return {slot: count for slot, count in self._pins.items()
+                    if count > 0}
+
+    def stats(self) -> dict:
+        """Counters + occupancy, JSON-ready (surfaced by fleet status)."""
+        with self._lock:
+            resident = sum(
+                e.code_len + e.ids_len for e in self._entries.values()
+            )
+            return {
+                **self._counters,
+                "entries": len(self._entries),
+                "pinned_slots": sum(
+                    1 for c in self._pins.values() if c > 0
+                ),
+                "resident_bytes": resident,
+                "slots": self.slots,
+                "slot_bytes": self.slot_bytes,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Reader side
+    # ------------------------------------------------------------------ #
+
+    def read(self, slot: int, code_len: int,
+             ids_len: int) -> tuple[bytes, np.ndarray]:
+        """``(code, ids_view)`` for one referenced entry.
+
+        The code is copied out (it is small and outlives nothing); the
+        ids block is a zero-copy read-only ``uint8`` view valid only
+        until the coordinator's lease is released — anything that must
+        outlive the request (a worker cache seed) copies first.
+        """
+        if not 0 <= slot < self.slots:
+            raise ValueError(f"slot {slot} out of range")
+        total = code_len + ids_len
+        if total > self.slot_bytes:
+            raise ValueError(
+                f"entry length {total} exceeds slot capacity "
+                f"{self.slot_bytes}"
+            )
+        base = slot * self.slot_bytes
+        code = bytes(self._shm.buf[base:base + code_len])
+        ids = np.frombuffer(
+            self._shm.buf, dtype=np.uint8, count=ids_len,
+            offset=base + code_len,
+        )
+        ids.flags.writeable = False
+        return code, ids
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "owner" if self.owner else "attached"
+        return (f"ShmFeatureCache({self.name!r}, slots={self.slots}, "
+                f"slot_bytes={self.slot_bytes}, {role})")

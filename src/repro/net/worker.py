@@ -17,8 +17,12 @@ slot, the worker builds numpy views over the shared pages and seeds its
 (copying only on first sight — cache entries must outlive the slot
 lease), so the model's extractors hit warm decoded features without the
 worker ever disassembling anything the coordinator already decoded.
-Requests without a slot carry hex bytecodes inline (the counted
-fallback path).
+Requests may also reference entries of the host-wide
+:class:`~repro.net.shared_cache.ShmFeatureCache` (``shared_refs``):
+those bytecodes and ids blocks never travel at all — any worker,
+including one scanning a contract for the first time, reads them
+straight out of the shared table. Requests without either carry hex
+bytecodes inline (the counted fallback path).
 
 Endpoints:
 
@@ -63,6 +67,10 @@ class WorkerSpec:
     ring_name: str = ""
     ring_slots: int = 0
     ring_slot_bytes: int = 0
+    shared_name: str = ""
+    shared_slots: int = 0
+    shared_slot_bytes: int = 0
+    mmap: bool = False
     host: str = "127.0.0.1"
 
 
@@ -77,10 +85,11 @@ class _WorkerState:
         self.pid = os.getpid()
         self.store = None
         self.cache = FeatureCache(max_entries=spec.cache_entries)
+        mmap_mode = "r" if spec.mmap else None
         if spec.model_path:
             self.service = ScanService.from_artifact(
                 spec.model_path, cache=self.cache,
-                threshold=spec.threshold,
+                threshold=spec.threshold, mmap_mode=mmap_mode,
             )
         else:
             from repro.artifacts import ModelStore
@@ -91,7 +100,7 @@ class _WorkerState:
             )
             self.service = ScanService.from_artifact(
                 spec.model_ref, store=self.store, cache=self.cache,
-                threshold=spec.threshold,
+                threshold=spec.threshold, mmap_mode=mmap_mode,
             )
         self.shards = self.service.sharded(spec.shards)
         self.ring = None
@@ -101,6 +110,14 @@ class _WorkerState:
             self.ring = ShmRing.attach(
                 spec.ring_name, spec.ring_slots, spec.ring_slot_bytes
             )
+        self.shared = None
+        if spec.shared_name:
+            from repro.net.shared_cache import ShmFeatureCache
+
+            self.shared = ShmFeatureCache.attach(
+                spec.shared_name, spec.shared_slots,
+                spec.shared_slot_bytes,
+            )
         self._lock = threading.Lock()
         self.batches = 0
         self.scanned = 0
@@ -108,53 +125,86 @@ class _WorkerState:
         self.seeded_ids = 0
         self.inline_batches = 0
         self.shm_batches = 0
+        self.shared_reads = 0
         self.scan_delay = float(os.environ.get(SCAN_DELAY_ENV, "0") or 0)
 
     # ------------------------------------------------------------------ #
 
-    def _codes_from_request(self, request: dict) -> tuple[list[bytes], int]:
-        """Unique bytecodes from the wire: shm slot or inline hex.
-
-        Returns ``(codes, seeded)`` where ``seeded`` counts feature
-        blocks copied into the cache from the shared segment.
-        """
+    def _seed_ids(self, code: bytes, block) -> int:
+        """Copy-on-first-sight seed of the local ids cache from a shared
+        view: cache entries must outlive the slot lease / pin (the
+        coordinator reuses the memory right after our response), and a
+        cache hit skips even the copy."""
         from repro.serve.cache import IDS_NAMESPACE, bytecode_digest
 
+        before = len(self.cache)
+        self.cache.get(
+            IDS_NAMESPACE, code, lambda _code, b=block: b.copy(),
+            digest=bytecode_digest(code),
+        )
+        return int(len(self.cache) != before)
+
+    def _codes_from_request(self, request: dict) -> tuple[list[bytes], int]:
+        """Unique bytecodes from the wire.
+
+        Three sources, in precedence order per unique code: a host-wide
+        shared-cache reference (``shared_refs``), the batch's ring slot,
+        or inline hex. Returns ``(codes, seeded)`` where ``seeded``
+        counts feature blocks copied into the local cache from shared
+        memory.
+        """
         seeded = 0
-        if request.get("slot") is None:
-            codes = [bytes.fromhex(c) for c in request["inline_codes"]]
+        shared_refs = request.get("shared_refs") or {}
+        rest: list[bytes] = []
+        if request.get("slot") is not None:
+            slot = int(request["slot"])
+            code_lens = [int(n) for n in request["code_lens"]]
+            ids_lens = [int(n) for n in request["ids_lens"]]
+            total = sum(code_lens) + sum(ids_lens)
+            payload = self.ring.view(slot, total)
+            offset = 0
+            for length in code_lens:
+                rest.append(bytes(payload[offset:offset + length]))
+                offset += length
+            for code, length in zip(rest, ids_lens):
+                if length == 0:
+                    continue
+                block = payload[offset:offset + length]
+                offset += length
+                seeded += self._seed_ids(code, block)
+            with self._lock:
+                self.shm_batches += 1
+        elif "inline_codes" in request:
+            rest = [bytes.fromhex(c) for c in request["inline_codes"]]
             with self._lock:
                 self.inline_batches += 1
-            return codes, seeded
-        slot = int(request["slot"])
-        code_lens = [int(n) for n in request["code_lens"]]
-        ids_lens = [int(n) for n in request["ids_lens"]]
-        total = sum(code_lens) + sum(ids_lens)
-        payload = self.ring.view(slot, total)
+        if not shared_refs:
+            with self._lock:
+                self.seeded_ids += seeded
+            return rest, seeded
+        # Interleave shared-cache entries with the rest of the batch,
+        # restoring the coordinator's unique-code index space.
+        rest_index = {
+            position: code
+            for position, code in zip(request.get("rest", ()), rest)
+        }
+        n_unique = len(shared_refs) + len(rest_index)
         codes: list[bytes] = []
-        offset = 0
-        for length in code_lens:
-            codes.append(bytes(payload[offset:offset + length]))
-            offset += length
-        for code, length in zip(codes, ids_lens):
-            if length == 0:
-                offset += 0
+        reads = 0
+        for index in range(n_unique):
+            ref = shared_refs.get(str(index))
+            if ref is None:
+                codes.append(rest_index[index])
                 continue
-            block = payload[offset:offset + length]
-            offset += length
-            digest = bytecode_digest(code)
-            before = len(self.cache)
-            # Copy on first sight only: cache entries must outlive the
-            # slot lease (the coordinator reuses the slot right after
-            # our response), and a cache hit skips even the copy.
-            self.cache.get(
-                IDS_NAMESPACE, code, lambda _code, b=block: b.copy(),
-                digest=digest,
-            )
-            seeded += int(len(self.cache) != before)
+            slot, code_len, ids_len = (int(v) for v in ref)
+            code, ids_view = self.shared.read(slot, code_len, ids_len)
+            if ids_len:
+                seeded += self._seed_ids(code, ids_view)
+            codes.append(code)
+            reads += 1
         with self._lock:
-            self.shm_batches += 1
             self.seeded_ids += seeded
+            self.shared_reads += reads
         return codes, seeded
 
     @property
@@ -222,6 +272,7 @@ class _WorkerState:
                 "seeded_ids": self.seeded_ids,
                 "shm_batches": self.shm_batches,
                 "inline_batches": self.inline_batches,
+                "shared_reads": self.shared_reads,
             }
         return {
             "worker": self.spec.index,
@@ -323,3 +374,5 @@ def worker_main(spec: WorkerSpec, ready) -> None:
         server.server_close()
         if state.ring is not None:
             state.ring.close()
+        if state.shared is not None:
+            state.shared.close()

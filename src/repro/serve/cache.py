@@ -45,14 +45,38 @@ def bytecode_digest(bytecode: bytes | bytearray | str) -> bytes:
     return hashlib.sha256(normalize_bytecode(bytecode)).digest()
 
 
+def _value_bytes(value) -> int:
+    """Estimated payload size of one cached value.
+
+    ``nbytes`` for arrays, ``len`` for byte strings, and a small flat
+    charge for anything opaque — an *estimate* for capacity planning
+    (fleet status, eviction tuning), not an allocator audit.
+    """
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    return 64
+
+
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction accounting, overall and per namespace."""
+    """Hit/miss/eviction accounting plus resident-size estimates.
+
+    ``by_namespace`` keeps its historical ``(hits, misses)`` tuple
+    shape; residency (entry counts and estimated bytes, maintained by
+    :class:`FeatureCache` on insert/evict) lives in ``resident_bytes``
+    and ``resident_by_namespace`` as ``(entries, bytes)``.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     by_namespace: dict[str, tuple[int, int]] = field(default_factory=dict)
+    resident_bytes: int = 0
+    resident_by_namespace: dict[str, tuple[int, int]] = field(
+        default_factory=dict
+    )
 
     def record(self, namespace: str, hit: bool) -> None:
         h, m = self.by_namespace.get(namespace, (0, 0))
@@ -62,6 +86,17 @@ class CacheStats:
         else:
             self.misses += 1
             self.by_namespace[namespace] = (h, m + 1)
+
+    def account(self, namespace: str, nbytes: int, sign: int) -> None:
+        """Adjust residency by one entry (``sign`` +1 insert / -1 drop)."""
+        entries, total = self.resident_by_namespace.get(namespace, (0, 0))
+        entries += sign
+        total += sign * nbytes
+        if entries <= 0:
+            self.resident_by_namespace.pop(namespace, None)
+        else:
+            self.resident_by_namespace[namespace] = (entries, total)
+        self.resident_bytes = max(0, self.resident_bytes + sign * nbytes)
 
     @property
     def lookups(self) -> int:
@@ -78,8 +113,16 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
+            "resident_bytes": self.resident_bytes,
             "by_namespace": {
-                ns: {"hits": h, "misses": m}
+                ns: {
+                    "hits": h,
+                    "misses": m,
+                    "entries": self.resident_by_namespace.get(ns, (0, 0))[0],
+                    "resident_bytes": self.resident_by_namespace.get(
+                        ns, (0, 0)
+                    )[1],
+                }
                 for ns, (h, m) in sorted(self.by_namespace.items())
             },
         }
@@ -109,9 +152,11 @@ class FeatureCache:
             return len(self._store)
 
     def clear(self) -> None:
-        """Drop every entry (statistics are kept)."""
+        """Drop every entry (statistics are kept, residency zeroed)."""
         with self._lock:
             self._store.clear()
+            self.stats.resident_bytes = 0
+            self.stats.resident_by_namespace.clear()
 
     def resize(self, max_entries: int) -> int:
         """Change the LRU bound at runtime; evicts down to it immediately.
@@ -138,6 +183,7 @@ class FeatureCache:
         with self._lock:
             doomed = [key for key in self._store if key[0] == namespace]
             for key in doomed:
+                self.stats.account(namespace, _value_bytes(self._store[key]), -1)
                 del self._store[key]
             return len(doomed)
 
@@ -192,16 +238,22 @@ class FeatureCache:
         """
         if isinstance(value, np.ndarray):
             value.setflags(write=False)
+        key = (namespace, digest)
         with self._lock:
-            self._store[(namespace, digest)] = value
-            self._store.move_to_end((namespace, digest))
+            previous = self._store.get(key)
+            if previous is not None:
+                self.stats.account(namespace, _value_bytes(previous), -1)
+            self._store[key] = value
+            self._store.move_to_end(key)
+            self.stats.account(namespace, _value_bytes(value), +1)
             self._evict_over_bound()
 
     def _evict_over_bound(self) -> int:
         """Pop LRU entries until ``len <= max_entries`` (lock held)."""
         evicted = 0
         while len(self._store) > self.max_entries:
-            self._store.popitem(last=False)
+            (namespace, _digest), value = self._store.popitem(last=False)
+            self.stats.account(namespace, _value_bytes(value), -1)
             evicted += 1
         self.stats.evictions += evicted
         return evicted

@@ -68,13 +68,23 @@ def _artifact_namespace(manifest: dict) -> str:
     return f"pred:artifact:{manifest['digest']}"
 
 
-def _load_artifact_source(source, store=None, expected_fingerprint=None):
+def _load_artifact_source(
+    source, store=None, expected_fingerprint=None, mmap_mode=None
+):
     """Resolve (model, manifest) from a path or a store tag/version."""
     if store is not None:
-        return store.load(source, expected_fingerprint=expected_fingerprint)
+        return store.load(
+            source,
+            expected_fingerprint=expected_fingerprint,
+            mmap_mode=mmap_mode,
+        )
     from repro.artifacts import load_artifact
 
-    return load_artifact(source, expected_fingerprint=expected_fingerprint)
+    return load_artifact(
+        source,
+        expected_fingerprint=expected_fingerprint,
+        mmap_mode=mmap_mode,
+    )
 
 
 @dataclass(frozen=True)
@@ -178,6 +188,7 @@ class ScanService:
         threshold: float = 0.5,
         attach_cache: bool = True,
         expected_fingerprint: str | None = None,
+        mmap_mode: str | None = None,
     ) -> "ScanService":
         """Cold-start a service from a persisted model artifact.
 
@@ -188,6 +199,11 @@ class ScanService:
             expected_fingerprint: Refuse artifacts trained on a different
                 dataset (raises
                 :class:`~repro.artifacts.FingerprintMismatchError`).
+            mmap_mode: ``"r"`` serves the model's node arrays as
+                read-only memory maps of the artifact (or of the
+                store's stored-layout spool) instead of heap copies —
+                the zero-copy cold start. Every worker process mapping
+                the same version shares one set of physical pages.
 
         The prediction namespace derives from the artifact's content
         digest, so every process serving this version — across restarts
@@ -196,7 +212,10 @@ class ScanService:
         persist pre-compiled).
         """
         model, manifest = _load_artifact_source(
-            source, store=store, expected_fingerprint=expected_fingerprint
+            source,
+            store=store,
+            expected_fingerprint=expected_fingerprint,
+            mmap_mode=mmap_mode,
         )
         service = cls(
             manifest.get("model_name") or "artifact",

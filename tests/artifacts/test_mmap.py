@@ -1,0 +1,173 @@
+"""Zero-copy mmap loads: correctness, sharing, and re-spool safety.
+
+``load_artifact(mmap_mode="r")`` must serve bit-identical predictions
+while backing the model's node arrays with read-only maps of the file
+(no heap copies), survive a concurrent re-spool of the same path
+(mkstemp + rename replaces the directory entry, never the mapped
+inode), and wire through ``ModelStore.load`` / ``mmap_path_of`` and
+``ScanService.from_artifact``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.artifacts import (
+    ModelStore,
+    is_stored_layout,
+    load_artifact,
+    repack_artifact,
+    save_artifact,
+)
+from repro.serve.service import ScanService
+
+
+@pytest.fixture()
+def stored_artifact(fitted_forest, tmp_path):
+    return save_artifact(
+        fitted_forest, tmp_path / "m.npz", compression="stored"
+    )
+
+
+def _leaf_arrays(node):
+    """Every ndarray reachable through a model's state tree."""
+    stack, found = [node], []
+    while stack:
+        current = stack.pop()
+        if isinstance(current, np.ndarray):
+            found.append(current)
+        elif isinstance(current, dict):
+            stack.extend(current.values())
+        elif isinstance(current, (list, tuple)):
+            stack.extend(current)
+    return found
+
+
+class TestMappedLoad:
+    def test_bit_identical(self, stored_artifact, fitted_forest,
+                           probe_batch):
+        model, manifest = load_artifact(stored_artifact.path, mmap_mode="r")
+        assert manifest["digest"] == stored_artifact.digest
+        assert np.array_equal(
+            model.predict_proba(probe_batch),
+            fitted_forest.predict_proba(probe_batch),
+        )
+
+    def test_arrays_are_memory_mapped(self, stored_artifact, fitted_forest):
+        model, __ = load_artifact(stored_artifact.path, mmap_mode="r")
+        mapped = [
+            a for a in _leaf_arrays(model.state_dict())
+            if isinstance(a, np.memmap)
+            or isinstance(getattr(a, "base", None), np.memmap)
+        ]
+        assert mapped, "no state array is backed by a memory map"
+
+    def test_deflated_artifact_falls_back_to_copy(self, fitted_forest,
+                                                  probe_batch, tmp_path):
+        info = save_artifact(fitted_forest, tmp_path / "m.npz")
+        model, __ = load_artifact(info.path, mmap_mode="r")
+        assert np.array_equal(
+            model.predict_proba(probe_batch),
+            fitted_forest.predict_proba(probe_batch),
+        )
+
+    def test_writable_modes_rejected(self, stored_artifact):
+        with pytest.raises(ValueError, match="read-only"):
+            load_artifact(stored_artifact.path, mmap_mode="r+")
+
+    def test_fingerprint_gate_still_runs(self, stored_artifact):
+        from repro.artifacts import FingerprintMismatchError
+
+        with pytest.raises(FingerprintMismatchError):
+            load_artifact(
+                stored_artifact.path,
+                mmap_mode="r",
+                expected_fingerprint="deadbeef",
+            )
+
+
+class TestConcurrentRespool:
+    def test_open_maps_survive_respool(self, stored_artifact,
+                                       fitted_forest, probe_batch,
+                                       tmp_path):
+        # Two "workers" map the spooled artifact; a third re-spools the
+        # same path (mkstemp + rename, exactly like ModelStore.path_of
+        # and repack_artifact). The old inode must stay alive under the
+        # open maps, so both workers keep serving bit-identical scores,
+        # while a fresh load maps the new directory entry.
+        reference = fitted_forest.predict_proba(probe_batch)
+        worker_a, __ = load_artifact(stored_artifact.path, mmap_mode="r")
+        worker_b, __ = load_artifact(stored_artifact.path, mmap_mode="r")
+        inode_before = os.stat(stored_artifact.path).st_ino
+
+        # Third party re-derives the spool file in place.
+        repack_artifact(
+            stored_artifact.path, stored_artifact.path,
+            compression="stored",
+        )
+        inode_after = os.stat(stored_artifact.path).st_ino
+        assert inode_before != inode_after, (
+            "re-spool rewrote in place instead of mkstemp+rename"
+        )
+
+        assert np.array_equal(worker_a.predict_proba(probe_batch),
+                              reference)
+        assert np.array_equal(worker_b.predict_proba(probe_batch),
+                              reference)
+        fresh, __ = load_artifact(stored_artifact.path, mmap_mode="r")
+        assert np.array_equal(fresh.predict_proba(probe_batch), reference)
+
+
+class TestStoreWiring:
+    def test_store_mmap_load(self, fitted_forest, probe_batch, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        store.put(fitted_forest, tags=("production",))
+        model, __ = store.load("production", mmap_mode="r")
+        assert np.array_equal(
+            model.predict_proba(probe_batch),
+            fitted_forest.predict_proba(probe_batch),
+        )
+
+    def test_derived_stored_spool_is_cached(self, fitted_forest, tmp_path):
+        from repro.artifacts.backends import MemoryBucket, ObjectStoreBackend
+
+        store = ModelStore(
+            backend=ObjectStoreBackend(MemoryBucket()),
+            cache_dir=tmp_path / "spool",
+        )
+        version = store.put(fitted_forest, tags=("production",))
+        derived = store.mmap_path_of("production")
+        assert derived.name == f"{version}.stored.npz"
+        assert is_stored_layout(derived)
+        stamp = derived.stat().st_mtime_ns
+        # Second resolution reuses the immutable derived file.
+        assert store.mmap_path_of("production") == derived
+        assert derived.stat().st_mtime_ns == stamp
+
+    def test_already_stored_artifact_maps_directly(self, fitted_forest,
+                                                   tmp_path):
+        # An imported stored-layout artifact needs no derived copy on
+        # path-addressable backends.
+        info = save_artifact(
+            fitted_forest, tmp_path / "m.npz", compression="stored"
+        )
+        store = ModelStore(tmp_path / "store")
+        store.import_artifact(info.path, tags=("production",))
+        path = store.mmap_path_of("production")
+        assert is_stored_layout(path)
+
+    def test_service_cold_start_mmap(self, fitted_forest, probe_batch,
+                                     tmp_path):
+        store = ModelStore(tmp_path / "store")
+        store.put(fitted_forest, tags=("production",))
+        plain = ScanService.from_artifact("production", store=store)
+        mapped = ScanService.from_artifact(
+            "production", store=store, mmap_mode="r"
+        )
+        for left, right in zip(
+            plain.scan_bytecodes(probe_batch),
+            mapped.scan_bytecodes(probe_batch),
+        ):
+            assert left.probability == right.probability
+            assert left.is_phishing == right.is_phishing

@@ -166,6 +166,14 @@ FIXTURES = {
         dict(fleet={"workers": 3, "request_timeout": 5.0},
              fault_tolerance={"heartbeat_seconds": 0.5}),
     ),
+    # shared cache over a ring slot below one cold (all-miss) batch
+    "D025": (
+        dict(fleet={"workers": 3, "shared_cache": True,
+                    "slot_bytes": 65536},
+             stream={"batch_size": 16}),
+        dict(fleet={"workers": 3, "shared_cache": True},
+             stream={"batch_size": 16}),
+    ),
     # circuit-open webhook deliveries vanish without a dead-letter path
     "D024": (
         dict(sinks=[{"kind": "webhook", "url": "https://example.com/h"}],

@@ -1,0 +1,168 @@
+"""Compact descent kernels: install gate, fallback, and bit-identity.
+
+``use_kernel`` installs a float32 or quantized descent only when its
+measured ``predict_proba`` divergence and label-flip count on an eval
+matrix stay within bounds; otherwise the ensemble keeps float64 and the
+report says why. When a compact descent lands every sample on the same
+leaves (the common case away from split boundaries), predictions are
+bit-identical — the leaf-value accumulation never changes width.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.flat import (
+    KERNELS,
+    KernelReport,
+    compact_precompile,
+    precompile,
+)
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.gbdt import XGBoostClassifier
+
+
+@pytest.fixture(scope="module")
+def forest(blobs):
+    X, y = blobs
+    model = RandomForestClassifier(n_estimators=12, random_state=0)
+    model.fit(X, y)
+    return model, X
+
+
+@pytest.fixture(scope="module")
+def flat(forest):
+    model, __ = forest
+    return model.compile_flat()
+
+
+class TestKernelInstall:
+    def test_default_kernel_is_float64(self, flat):
+        assert flat.kernel == "float64"
+        assert flat.kernel_report is None
+
+    def test_unknown_kernel_rejected(self, flat):
+        with pytest.raises(ValueError, match="kernel"):
+            flat.use_kernel("float16")
+
+    def test_kernels_tuple_is_exhaustive(self):
+        assert KERNELS == ("float64", "float32", "quantized")
+
+    def test_float32_installs_and_reports(self, forest, flat):
+        __, X = forest
+        report = flat.use_kernel("float32", X)
+        try:
+            assert report.active == "float32"
+            assert not report.fell_back
+            assert report.label_flips == 0
+            assert report.max_divergence <= 1e-6
+            assert flat.kernel == "float32"
+            assert flat.kernel_report is report
+        finally:
+            flat.use_kernel("float64")
+
+    def test_ungated_install_records_nan_divergence(self, flat):
+        report = flat.use_kernel("quantized")
+        try:
+            assert report.active == "quantized"
+            assert np.isnan(report.max_divergence)
+        finally:
+            flat.use_kernel("float64")
+
+    def test_reinstalling_float64_clears_compact_serving(self, forest, flat):
+        __, X = forest
+        flat.use_kernel("float32", X)
+        report = flat.use_kernel("float64")
+        assert flat.kernel == "float64"
+        assert report.active == report.requested == "float64"
+
+
+class TestAccuracyGate:
+    def test_gate_falls_back_on_tight_bound(self, forest, flat):
+        # An impossible bound (negative divergence) must always fall
+        # back, whatever the measured delta.
+        __, X = forest
+        report = flat.use_kernel("float32", X, max_divergence=-1.0)
+        assert report.fell_back
+        assert report.active == "float64"
+        assert "divergence" in report.fallback_reason
+        assert flat.kernel == "float64"
+
+    def test_gate_admits_loose_bound(self, forest, flat):
+        __, X = forest
+        report = flat.use_kernel(
+            "quantized", X, max_divergence=0.5, max_label_flips=len(X)
+        )
+        try:
+            assert report.active == "quantized"
+            assert report.max_divergence <= 0.5
+        finally:
+            flat.use_kernel("float64")
+
+    def test_fallback_keeps_serving_float64_results(self, forest, flat):
+        __, X = forest
+        reference = flat.predict_proba_mean(X)
+        flat.use_kernel("float32", X, max_divergence=-1.0)
+        assert np.array_equal(flat.predict_proba_mean(X), reference)
+
+    def test_report_is_frozen(self):
+        report = KernelReport("float32", "float32", 0.0, 0)
+        with pytest.raises(AttributeError):
+            report.active = "quantized"
+
+
+class TestBitIdentity:
+    def test_float32_leaves_match_float64(self, forest, flat):
+        __, X = forest
+        assert np.array_equal(
+            flat.apply(X, kernel="float64"),
+            flat.apply(X, kernel="float32"),
+        )
+
+    def test_float32_predictions_bit_identical(self, forest, flat):
+        __, X = forest
+        reference = flat.predict_proba_mean(X)
+        flat.use_kernel("float32", X)
+        try:
+            assert np.array_equal(flat.predict_proba_mean(X), reference)
+        finally:
+            flat.use_kernel("float64")
+
+    def test_chunked_descent_matches_single_chunk(self, forest, flat):
+        __, X = forest
+        rng = np.random.default_rng(3)
+        big = rng.normal(size=(900, X.shape[1]))
+        assert np.array_equal(
+            flat.apply(big, kernel="float32", chunk_rows=128),
+            flat.apply(big, kernel="float64"),
+        )
+
+    def test_quantized_parks_leaves(self, forest, flat):
+        # Inputs far beyond every split clip to the top input code,
+        # which is still below the reserved leaf code: descents
+        # terminate and never bounce off a parked leaf.
+        __, X = forest
+        extreme = np.full((4, X.shape[1]), 1e9)
+        assert np.array_equal(
+            flat.apply(extreme, kernel="quantized"),
+            flat.apply(extreme, kernel="float64"),
+        )
+
+
+class TestCompactPrecompile:
+    def test_walks_like_precompile(self, blobs):
+        X, y = blobs
+        model = XGBoostClassifier(n_estimators=8)
+        model.fit(X, y)
+        assert precompile(model) >= 1
+        reports = compact_precompile(model, "float32", X)
+        assert len(reports) >= 1
+        assert all(isinstance(r, KernelReport) for r in reports)
+        assert all(r.requested == "float32" for r in reports)
+
+    def test_gated_install_serves_identically(self, blobs):
+        X, y = blobs
+        model = RandomForestClassifier(n_estimators=8, random_state=1)
+        model.fit(X, y)
+        reference = model.predict_proba(X)
+        compact_precompile(model, "float32", X)
+        assert np.array_equal(model.predict_proba(X), reference)

@@ -266,3 +266,86 @@ class TestLifecycle:
 
 def test_shed_error_maps_to_http_429():
     assert issubclass(OverloadedError, RuntimeError)
+
+
+class TestSharedFeatureCache:
+    """Host-wide shared cache + mmap cold starts, end to end.
+
+    The ISSUE-9 acceptance: with the shared cache on, a second batch of
+    the *same* bytecodes must extract zero times per worker — the ids
+    land in the shared table on batch one and every later reference is
+    a zero-copy read.
+    """
+
+    @pytest.fixture(scope="class")
+    def cached_fleet(self, store_root):
+        with _manager(store_root, shared_cache=True, mmap=True) as manager:
+            yield manager
+
+    @staticmethod
+    def _worker_ids_misses(manager):
+        """Per-worker (ids-namespace misses, shared_reads) from /status."""
+        from repro.net.client import http_json
+
+        out = {}
+        for worker in manager.coordinator.workers:
+            status = http_json(
+                "GET", f"{worker.url}/status", timeout=5.0
+            ).json()
+            ids = status["service"]["by_namespace"].get("ids", {})
+            out[worker.index] = (ids.get("misses", 0),
+                                 status["shared_reads"])
+        return out
+
+    def test_results_match_reference_with_cache_and_mmap(
+            self, cached_fleet, probe_batch, reference_results):
+        addresses, codes = probe_batch
+        results = cached_fleet.scan(addresses, codes)
+        assert [r["probability"] for r in results] == [
+            r.probability for r in reference_results
+        ]
+
+    def test_second_batch_extracts_nothing_per_worker(
+            self, cached_fleet, probe_batch):
+        addresses, codes = probe_batch
+        cached_fleet.scan(addresses, codes)
+        before = self._worker_ids_misses(cached_fleet)
+        cached_fleet.scan(addresses, codes)
+        after = self._worker_ids_misses(cached_fleet)
+        for index, (misses, reads) in after.items():
+            assert misses == before[index][0], (
+                f"worker {index} re-extracted a duplicate bytecode"
+            )
+            assert reads > before[index][1], (
+                f"worker {index} never read the shared table"
+            )
+
+    def test_coordinator_counts_hits_and_stores(
+            self, cached_fleet, probe_batch):
+        addresses, codes = probe_batch
+        cached_fleet.scan(addresses, codes)
+        status = cached_fleet.status()
+        counters = status["counters"]
+        shared = status["shared_cache"]
+        assert shared["entries"] >= 1
+        assert counters["shared_cache_stores"] == shared["stores"]
+        assert counters["shared_cache_fallback"] == 0
+        # A repeat batch resolves every code from the table: one pin per
+        # unique digest per *shard request* (duplicates that land in
+        # different shards pin once each), so the hit delta is bounded by
+        # [global unique, batch size].
+        from repro.serve.cache import bytecode_digest
+
+        unique = len({bytecode_digest(code) for code in codes})
+        before = counters["shared_cache_hits"]
+        cached_fleet.scan(addresses, codes)
+        after = cached_fleet.status()["counters"]["shared_cache_hits"]
+        assert unique <= after - before <= len(codes)
+
+    def test_no_lease_leaks_after_scans(self, cached_fleet, probe_batch):
+        addresses, codes = probe_batch
+        cached_fleet.scan(addresses, codes)
+        shared = cached_fleet.status()["shared_cache"]
+        assert shared["pinned_slots"] == 0, (
+            "a request finished without releasing its shared-cache lease"
+        )

@@ -1,0 +1,180 @@
+"""Host-wide shared feature cache: leases, LRU eviction, fallback, audit."""
+
+from multiprocessing import resource_tracker
+
+import numpy as np
+import pytest
+
+from repro.net.shared_cache import SharedEntry, ShmFeatureCache
+
+
+@pytest.fixture
+def table():
+    cache = ShmFeatureCache.create(slots=3, slot_bytes=256)
+    yield cache
+    cache.unlink()
+
+
+def _attach(table):
+    """In-process attach for tests.
+
+    ``attach`` unregisters the segment from the local resource tracker
+    (worker discipline — a worker exit must not tear down the live
+    segment). Here owner and reader share one process, so re-register
+    to keep the owner's eventual ``unlink`` balanced.
+    """
+    reader = ShmFeatureCache.attach(table.name, table.slots,
+                                    table.slot_bytes)
+    resource_tracker.register(reader._shm._name, "shared_memory")
+    return reader
+
+
+def _ids(n, start=0):
+    return np.arange(start, start + n, dtype=np.uint8)
+
+
+class TestGeometry:
+    def test_rejects_nonpositive_dimensions(self):
+        for slots, slot_bytes in ((0, 64), (4, 0), (-1, 64)):
+            with pytest.raises(ValueError):
+                ShmFeatureCache.create(slots=slots, slot_bytes=slot_bytes)
+
+    def test_entry_is_a_plain_tuple(self):
+        entry = SharedEntry(2, 10, 30)
+        assert entry == (2, 10, 30)
+        assert (entry.slot, entry.code_len, entry.ids_len) == (2, 10, 30)
+        assert list(entry) == [2, 10, 30]  # wire form
+
+
+class TestStoreAndRead:
+    def test_store_then_read_roundtrip(self, table):
+        code, ids = b"\x60\x80\x60\x40\x52", _ids(40)
+        entry = table.store(b"d1", code, ids)
+        assert entry is not None
+        got_code, got_ids = table.read(*entry)
+        assert got_code == code
+        np.testing.assert_array_equal(got_ids, ids)
+        assert not got_ids.flags.writeable
+        del got_ids
+        table.unpin(entry.slot)
+
+    def test_attached_reader_sees_owner_writes(self, table):
+        code, ids = b"\xfe" * 9, _ids(17, start=100)
+        entry = table.store(b"d1", code, ids)
+        reader = _attach(table)
+        try:
+            got_code, got_ids = reader.read(*entry)
+            assert got_code == code
+            np.testing.assert_array_equal(got_ids, ids)
+            del got_ids
+        finally:
+            reader.close()
+        table.unpin(entry.slot)
+
+    def test_read_validates_slot_and_length(self, table):
+        with pytest.raises(ValueError):
+            table.read(table.slots, 1, 1)
+        with pytest.raises(ValueError):
+            table.read(0, table.slot_bytes, 1)
+
+
+class TestLeases:
+    def test_pin_miss_then_store_then_hit(self, table):
+        assert table.pin(b"d1") is None
+        stored = table.store(b"d1", b"\x00", _ids(4))
+        hit = table.pin(b"d1")
+        assert hit == stored
+        stats = table.stats()
+        assert stats["misses"] == 1
+        assert stats["stores"] == 1
+        assert stats["hits"] == 1
+        table.unpin(stored.slot)
+        table.unpin(stored.slot)
+        assert table.audit() == {}
+
+    def test_store_raced_digest_pins_existing(self, table):
+        first = table.store(b"d1", b"\x00", _ids(4))
+        second = table.store(b"d1", b"\x00", _ids(4))
+        assert second == first
+        assert table.stats()["stores"] == 1
+        assert table.audit() == {first.slot: 2}
+        table.unpin(first.slot)
+        table.unpin(first.slot)
+
+    def test_unpin_without_lease_raises(self, table):
+        with pytest.raises(ValueError, match="not pinned"):
+            table.unpin(0)
+
+    def test_audit_reports_outstanding_leases(self, table):
+        entry = table.store(b"d1", b"\x00", _ids(4))
+        assert table.audit() == {entry.slot: 1}
+        assert table.stats()["pinned_slots"] == 1
+        table.unpin(entry.slot)
+        assert table.audit() == {}
+        assert table.stats()["pinned_slots"] == 0
+
+
+class TestEvictionAndFallback:
+    def test_lru_eviction_reclaims_unpinned_slot(self, table):
+        entries = {}
+        for i in range(3):
+            entries[i] = table.store(bytes([i]), bytes([i]), _ids(4))
+            table.unpin(entries[i].slot)
+        table.pin(bytes([0]))  # bump digest 0 to most-recent
+        table.unpin(entries[0].slot)
+        fourth = table.store(b"\x03", b"\x03", _ids(4))
+        assert fourth is not None
+        assert fourth.slot == entries[1].slot, "LRU entry was not evicted"
+        assert table.pin(bytes([1])) is None, "evicted digest still resolves"
+        assert table.stats()["evictions"] == 1
+        table.unpin(fourth.slot)
+
+    def test_pinned_slots_are_never_evicted(self, table):
+        held = [table.store(bytes([i]), bytes([i]), _ids(4))
+                for i in range(3)]
+        overflow = table.store(b"\x03", b"\x03", _ids(4))
+        assert overflow is None, "evicted a slot with an outstanding lease"
+        assert table.stats()["full"] == 1
+        for entry in held:
+            table.unpin(entry.slot)
+
+    def test_oversized_entry_is_refused_not_fatal(self, table):
+        entry = table.store(b"d1", b"\x00" * 200, _ids(200))
+        assert entry is None
+        assert table.stats()["too_large"] == 1
+        assert table.stats()["entries"] == 0
+
+    def test_stats_report_occupancy(self, table):
+        entry = table.store(b"d1", b"\x00" * 10, _ids(30))
+        table.unpin(entry.slot)
+        stats = table.stats()
+        assert stats["entries"] == 1
+        assert stats["resident_bytes"] == 40
+        assert (stats["slots"], stats["slot_bytes"]) == (3, 256)
+
+
+class TestOwnership:
+    def test_reader_cannot_mutate(self, table):
+        reader = _attach(table)
+        try:
+            with pytest.raises(RuntimeError):
+                reader.pin(b"d1")
+            with pytest.raises(RuntimeError):
+                reader.store(b"d1", b"\x00", _ids(4))
+            with pytest.raises(RuntimeError):
+                reader.unpin(0)
+        finally:
+            reader.close()
+
+    def test_attached_unlink_is_a_noop(self, table):
+        reader = _attach(table)
+        reader.unlink()  # must not destroy the owner's segment
+        reader.close()
+        entry = table.store(b"d1", b"\x00", _ids(4))
+        assert entry is not None
+        table.unpin(entry.slot)
+
+    def test_unlink_is_idempotent(self):
+        cache = ShmFeatureCache.create(slots=2, slot_bytes=64)
+        cache.unlink()
+        cache.unlink()

@@ -39,10 +39,48 @@ class TestHitMissAccounting:
 
     def test_stats_as_dict(self):
         cache = FeatureCache()
-        cache.mnemonic_ids(PROLOGUE)
+        ids = cache.mnemonic_ids(PROLOGUE)
         summary = cache.stats.as_dict()
         assert summary["misses"] == 1
-        assert summary["by_namespace"]["ids"] == {"hits": 0, "misses": 1}
+        assert summary["by_namespace"]["ids"] == {
+            "hits": 0,
+            "misses": 1,
+            "entries": 1,
+            "resident_bytes": ids.nbytes,
+        }
+        assert summary["resident_bytes"] == ids.nbytes
+
+
+class TestResidency:
+    def test_put_and_evict_balance_resident_bytes(self):
+        cache = FeatureCache(max_entries=2)
+        rows = [np.zeros(n, dtype=np.uint8) for n in (10, 20, 40)]
+        for i, row in enumerate(rows):
+            cache.put("ids", bytes([i]), row)
+        # max_entries=2 evicted the oldest (10-byte) row.
+        assert cache.stats.resident_bytes == 60
+        assert cache.stats.resident_by_namespace["ids"] == (2, 60)
+
+    def test_replacing_a_key_does_not_double_count(self):
+        cache = FeatureCache()
+        cache.put("ids", b"k", np.zeros(8, dtype=np.uint8))
+        cache.put("ids", b"k", np.zeros(16, dtype=np.uint8))
+        assert cache.stats.resident_by_namespace["ids"] == (1, 16)
+
+    def test_invalidate_namespace_releases_bytes(self):
+        cache = FeatureCache()
+        cache.put("ids", b"a", np.zeros(8, dtype=np.uint8))
+        cache.put("proba", b"a", np.zeros(16, dtype=np.float64))
+        cache.invalidate_namespace("proba")
+        assert "proba" not in cache.stats.resident_by_namespace
+        assert cache.stats.resident_bytes == 8
+
+    def test_clear_zeroes_residency(self):
+        cache = FeatureCache()
+        cache.mnemonic_ids(PROLOGUE)
+        cache.clear()
+        assert cache.stats.resident_bytes == 0
+        assert cache.stats.resident_by_namespace == {}
 
 
 class TestCorrectness:

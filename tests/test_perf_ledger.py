@@ -46,10 +46,11 @@ def write_logs(tmp_path, **values):
     defaults = {
         "SCAN_THROUGHPUT": {"speedup_warm_vs_seed_loop": 50000.0},
         "STREAM_LATENCY": {"speedup_warm_vs_seed_poll": 70.0},
-        "PREDICT_THROUGHPUT": {"speedup": 6.0},
-        "COLD_START": {"speedup": 45.0},
+        "PREDICT_THROUGHPUT": {"speedup": 6.0, "f32": 2.0},
+        "COLD_START": {"speedup": 45.0, "mmap": 4.0},
         "SHADOW_ROLLOUT": {"overhead": 1.7},
-        "FLEET": {"scaling": 1.8, "recovery": 1.2},
+        "FLEET": {"scaling": 1.8, "recovery": 1.2,
+                  "shared_cache_hit": 1.0},
     }
     for tag, payload in values.items():
         defaults[tag].update(payload)
@@ -128,7 +129,7 @@ def test_collect_merges_shared_tags_per_key(tmp_path):
 
 
 def test_committed_baseline_tracks_every_metric():
-    baseline = json.loads((REPO / "BENCH_8.json").read_text())
+    baseline = json.loads((REPO / "BENCH_9.json").read_text())
     names = {metric.name for metric in ledger.TRACKED}
     assert set(baseline["metrics"]) == names
     for entry in baseline["metrics"].values():
