@@ -5,7 +5,7 @@ Every gate benchmark prints one machine-readable line, ``TAG {json}``
 those lines into a regression gate:
 
 * ``record`` parses one or more bench logs and writes the tracked
-  metrics to a baseline file (the committed ``BENCH_9.json``),
+  metrics to a baseline file (the committed ``BENCH_10.json``),
 * ``check`` parses fresh logs and fails (exit 1) if any tracked metric
   regressed more than the tolerance (default 20%) against the baseline.
 
@@ -19,8 +19,8 @@ paths changed*, which is the thing a refactor can actually break.
 Usage::
 
     PYTHONPATH=src:. python -m pytest -q -s benchmarks/bench_cold_start.py | tee cold.log
-    python benchmarks/ledger.py record cold.log ... --out BENCH_9.json
-    python benchmarks/ledger.py check  cold.log ... --baseline BENCH_9.json
+    python benchmarks/ledger.py record cold.log ... --out BENCH_10.json
+    python benchmarks/ledger.py check  cold.log ... --baseline BENCH_10.json
 """
 
 from __future__ import annotations
@@ -88,6 +88,17 @@ TRACKED = (
     # entries stopped surviving across batches (eviction storm, lease
     # leak, or the coordinator stopped consulting the table).
     Metric("FLEET", "shared_cache_hit", "higher", tolerance=0.05),
+    # Warm-start retrain (fit_more on the drift window) vs cold refit of
+    # an equal-sized forest on the same window, same process. The loop's
+    # economics rest on this ratio staying well above 1; the wide band
+    # catches it collapsing toward parity, not fit-time jitter.
+    Metric("LOOP", "warm_speedup", "higher", tolerance=0.50),
+    # Wall seconds for the drifted replay that contains one full
+    # detect -> subprocess retrain -> shadow -> promote cycle. Absolute
+    # wall-clock (like FLEET.recovery): it crosses a process fork and a
+    # forest fit, so the band is the widest — the gate catches the loop
+    # *stalling*, not scheduler noise.
+    Metric("LOOP", "promotion_latency", "lower", tolerance=1.00),
 )
 
 DEFAULT_TOLERANCE = 0.20
@@ -238,7 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
         "record", help="parse bench logs and write the baseline file"
     )
     record.add_argument("logs", nargs="+", help="bench output log file(s)")
-    record.add_argument("--out", default="BENCH_9.json")
+    record.add_argument("--out", default="BENCH_10.json")
     record.add_argument("--tolerance", type=float,
                         default=DEFAULT_TOLERANCE)
     record.add_argument(
@@ -251,7 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
         "check", help="fail if any tracked metric regressed vs baseline"
     )
     check.add_argument("logs", nargs="+", help="bench output log file(s)")
-    check.add_argument("--baseline", default="BENCH_9.json")
+    check.add_argument("--baseline", default="BENCH_10.json")
     check.add_argument(
         "--tolerance", type=float, default=None,
         help="override the tolerance stored in the baseline",

@@ -23,6 +23,11 @@ Commands:
 * ``monitor`` — replay a synthetic campaign through the event-driven
   streaming pipeline (micro-batches, sharded workers, alert sinks; see
   :mod:`repro.stream`), cold-starting every shard from one artifact,
+* ``loop`` — close the learning loop over a config-declared topology:
+  drift on live scores triggers a warm-start retrain, the candidate
+  shadows production and the rollout policy promotes or aborts, every
+  decision logged durably (``start``/``status``/``history``; see
+  :mod:`repro.loop` and ``docs/operations.md``),
 * ``fleet`` — run a multi-process serving fleet behind an HTTP
   coordinator (``start``/``serve``/``status``/``scan``/``stop``; see
   :mod:`repro.net` and ``docs/architecture.md``),
@@ -296,6 +301,7 @@ def _cmd_rollout(args) -> int:
     import json
 
     from repro.rollout import (
+        AdaptivePromotionPolicy,
         ManualHoldPolicy,
         MetricParityPolicy,
         ShadowComparison,
@@ -303,6 +309,21 @@ def _cmd_rollout(args) -> int:
         load_rollout_state,
         save_rollout_state,
     )
+
+    def _policy_from(name, *, min_events, promote_agreement,
+                     abort_agreement, max_divergence, max_lost_rate):
+        if name == "manual":
+            return ManualHoldPolicy()
+        if name == "adaptive":
+            return AdaptivePromotionPolicy(
+                min_events=min_events, max_lost_rate=max_lost_rate,
+            )
+        return MetricParityPolicy(
+            min_events=min_events,
+            promote_agreement=promote_agreement,
+            abort_agreement=abort_agreement,
+            max_mean_divergence=max_divergence,
+        )
 
     if args.rollout_command == "start":
         from repro.stream import StreamScanner, TimelineReplayer
@@ -329,14 +350,13 @@ def _cmd_rollout(args) -> int:
             candidate, production = plan.candidate, plan.production
             shards = config.stream.shards
             store = open_store(config)
-            policy = (
-                ManualHoldPolicy() if plan.policy == "manual"
-                else MetricParityPolicy(
-                    min_events=plan.min_events,
-                    promote_agreement=plan.promote_agreement,
-                    abort_agreement=plan.abort_agreement,
-                    max_mean_divergence=plan.max_divergence,
-                )
+            policy = _policy_from(
+                plan.policy,
+                min_events=plan.min_events,
+                promote_agreement=plan.promote_agreement,
+                abort_agreement=plan.abort_agreement,
+                max_divergence=plan.max_divergence,
+                max_lost_rate=plan.max_lost_rate,
             )
             corpus = build_replay_corpus(config)
             # The scanner serves the production tag; the [model] section
@@ -347,14 +367,13 @@ def _cmd_rollout(args) -> int:
             store = _store_from(args)
             candidate, production = args.candidate, args.production
             shards = args.shards
-            policy = (
-                ManualHoldPolicy() if args.policy == "manual"
-                else MetricParityPolicy(
-                    min_events=args.min_events,
-                    promote_agreement=args.promote_agreement,
-                    abort_agreement=args.abort_agreement,
-                    max_mean_divergence=args.max_divergence,
-                )
+            policy = _policy_from(
+                args.policy,
+                min_events=args.min_events,
+                promote_agreement=args.promote_agreement,
+                abort_agreement=args.abort_agreement,
+                max_divergence=args.max_divergence,
+                max_lost_rate=args.max_lost_rate,
             )
             corpus = build_corpus(
                 CorpusConfig(n_phishing=args.contracts // 2,
@@ -633,6 +652,141 @@ def _cmd_monitor(args) -> int:
               f"({len(flagged & truth)}/{len(flagged)})")
     for path in jsonl_paths:
         print(f"alerts appended to {path}")
+    return 0
+
+
+def _cmd_loop(args) -> int:
+    import json
+
+    if args.loop_command == "start":
+        from repro.deploy import (
+            build_loop,
+            build_scanner,
+            build_service,
+            open_store,
+        )
+        from repro.loop import read_history, save_loop_state
+        from repro.stream import TimelineReplayer
+
+        config, code = _launchable_config(args.config)
+        if config is None:
+            return code
+        if config.loop is None:
+            print(f"error: {args.config} has no [loop] section "
+                  "(see docs/configuration.md)", file=sys.stderr)
+            return 2
+        store = open_store(config)
+        service = build_service(config, store=store)
+        scanner = build_scanner(config, service)
+
+        # Two seeded campaigns: a stationary baseline (uniform monthly
+        # profile, balanced mix) and a drifted continuation — the same
+        # generator with a heavier phishing mix, the scam-family surge
+        # the loop exists to catch.
+        half = config.source.contracts // 2
+        base = build_corpus(
+            CorpusConfig(n_phishing=half, n_benign=half,
+                         seed=config.source.seed,
+                         phishing_profile="uniform")
+        )
+        drift_total = args.drift_contracts or config.source.contracts
+        drifted = build_corpus(
+            CorpusConfig(n_phishing=int(drift_total * 0.75),
+                         n_benign=drift_total - int(drift_total * 0.75),
+                         seed=(args.drift_seed if args.drift_seed is not None
+                               else config.source.seed + 1),
+                         phishing_profile="uniform")
+        )
+        labels = {}
+        for corpus in (base, drifted):
+            for record in corpus.records:
+                labels[record.address] = record.label
+        loop = build_loop(config, scanner, store, label_of=labels.get)
+
+        production_before = store.tags().get(config.rollout.production
+                                             if config.rollout
+                                             else "production")
+        replayer = TimelineReplayer(scanner, rate=config.source.rate or None)
+        replayer.replay_chain(base.chain)
+        replayer.replay_chain(drifted.chain)
+        status = loop.status()
+        save_loop_state(store, status)
+        loop.detach()
+        scanner.close()
+
+        history = read_history(store)
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0
+        print(f"loop: {loop.events_seen} events replayed, "
+              f"{loop.drifts} drift(s), {loop.promotions} promotion(s), "
+              f"{loop.aborts} abort(s)")
+        production_after = status.get("production")
+        if production_before != production_after:
+            print(f"production {str(production_before)[:16]} -> "
+                  f"{str(production_after)[:16]}")
+        else:
+            print(f"production unchanged "
+                  f"({str(production_after)[:16]})")
+        print(f"history    {len(history)} entries in loop-history.jsonl "
+              f"(phishinghook loop history)")
+        return 0
+
+    from repro.artifacts import ModelStore
+
+    store = ModelStore.from_url(getattr(args, "store", None) or None)
+    if args.loop_command == "history":
+        from repro.loop import read_history
+
+        entries = read_history(store)
+        if args.tail:
+            entries = entries[-args.tail:]
+        for entry in entries:
+            if args.json:
+                print(json.dumps(entry, sort_keys=True))
+            else:
+                stage = entry.get("stage")
+                detail = entry.get("reason") or entry.get("error") or ""
+                if entry.get("event") == "drift":
+                    detail = (f"p={entry.get('p_value'):.4f} "
+                              f"effect={entry.get('effect'):.3f}")
+                elif entry.get("event") == "retrain":
+                    metrics = entry.get("metrics") or {}
+                    detail = (f"candidate {str(entry.get('candidate'))[:12]} "
+                              f"holdout_accuracy="
+                              f"{metrics.get('holdout_accuracy')}")
+                label = entry.get("event", "?")
+                if stage:
+                    label = f"{label}({stage})"
+                print(f"{entry.get('seq'):>4}  {label:<16} {detail}")
+        if not entries and not args.json:
+            print("no loop history (loop-history.jsonl is empty)")
+        return 0
+
+    # status
+    from repro.loop import load_loop_state
+
+    record = load_loop_state(store)
+    if record is None:
+        print("no loop state recorded (run 'phishinghook loop start')",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    print(f"state      {record.get('state')}")
+    print(f"events     {record.get('events_seen')} seen, "
+          f"{record.get('window_events')} labeled in window")
+    print(f"cycles     {record.get('drifts')} drift(s), "
+          f"{record.get('promotions')} promotion(s), "
+          f"{record.get('aborts')} abort(s)")
+    print(f"production {str(record.get('production'))[:16]}")
+    monitor = record.get("monitor") or {}
+    print(f"monitor    window {monitor.get('window')} x "
+          f"{monitor.get('blocks')} blocks, alpha {monitor.get('alpha')}, "
+          f"ready {monitor.get('ready')}")
+    if record.get("last_error"):
+        print(f"last error {record['last_error']}")
     return 0
 
 
@@ -1146,10 +1300,12 @@ def build_parser() -> argparse.ArgumentParser:
                                help="micro-batch flush threshold")
     rollout_start.add_argument("--threshold", type=float, default=0.5)
     rollout_start.add_argument(
-        "--policy", default="parity", choices=("parity", "manual"),
+        "--policy", default="parity",
+        choices=("parity", "manual", "adaptive"),
         help="parity: promote/abort automatically on the thresholds "
-             "below; manual: only accumulate evidence, decide with "
-             "'rollout promote|abort'",
+             "below; adaptive: loss-averse learning-loop gate (promote "
+             "unless production alerts are dropped); manual: only "
+             "accumulate evidence, decide with 'rollout promote|abort'",
     )
     rollout_start.add_argument(
         "--min-events", type=_positive_int, default=100,
@@ -1166,6 +1322,11 @@ def build_parser() -> argparse.ArgumentParser:
     rollout_start.add_argument(
         "--max-divergence", type=float, default=0.05,
         help="maximum mean |p_prod - p_cand| allowed for promotion",
+    )
+    rollout_start.add_argument(
+        "--max-lost-rate", type=_nonnegative_float, default=0.02,
+        help="adaptive policy: highest tolerated fraction of shadow "
+             "events where only production flagged",
     )
     rollout_status = rollout_sub.add_parser(
         "status", help="print the recorded rollout state"
@@ -1233,6 +1394,52 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also append alerts to this JSONL file")
     add_artifact_options(monitor)
     monitor.set_defaults(func=_cmd_monitor)
+
+    loop = sub.add_parser(
+        "loop",
+        help="run the continuous-learning loop: drift detection, "
+             "warm-start retrain, shadow validation, promotion",
+    )
+    loop_sub = loop.add_subparsers(dest="loop_command", required=True)
+    loop_start = loop_sub.add_parser(
+        "start",
+        help="replay a stationary baseline then a drifted campaign "
+             "through a config-declared loop topology",
+    )
+    loop_start.add_argument(
+        "--config", required=True,
+        help="declarative deployment file (TOML/JSON) with a [loop] "
+             "section; statically verified first — ERROR violations "
+             "refuse to launch",
+    )
+    loop_start.add_argument(
+        "--drift-contracts", type=_positive_int, default=0,
+        help="deployments in the drifted continuation campaign "
+             "(default: source.contracts)",
+    )
+    loop_start.add_argument(
+        "--drift-seed", type=int, default=None,
+        help="seed of the drifted campaign (default: source.seed + 1)",
+    )
+    loop_start.add_argument("--json", action="store_true",
+                            help="print the final loop status as JSON")
+    loop_status = loop_sub.add_parser(
+        "status", help="print the last saved loop state from the store"
+    )
+    loop_status.add_argument("--store", default="",
+                             help="model store URL or path")
+    loop_status.add_argument("--json", action="store_true")
+    loop_history = loop_sub.add_parser(
+        "history",
+        help="print the durable decision log (loop-history.jsonl)",
+    )
+    loop_history.add_argument("--store", default="",
+                              help="model store URL or path")
+    loop_history.add_argument("--tail", type=_positive_int, default=0,
+                              help="only the last N entries")
+    loop_history.add_argument("--json", action="store_true",
+                              help="one canonical JSON entry per line")
+    loop.set_defaults(func=_cmd_loop)
 
     check = sub.add_parser(
         "check-config",

@@ -29,6 +29,7 @@ from repro.deploy.config import (
     ConfigProblem,
     DeployConfig,
     FleetConfig,
+    LoopConfig,
     ModelConfig,
     RolloutConfig,
     ServeConfig,
@@ -42,6 +43,7 @@ from repro.deploy.config import (
 from repro.deploy.launch import (
     DeploymentBlockedError,
     build_fleet,
+    build_loop,
     build_replay_corpus,
     build_scanner,
     build_service,
@@ -73,6 +75,7 @@ __all__ = [
     "SourceConfig",
     "RolloutConfig",
     "FleetConfig",
+    "LoopConfig",
     "load_config",
     "parse_config",
     # rules
@@ -92,5 +95,6 @@ __all__ = [
     "build_service",
     "build_scanner",
     "build_fleet",
+    "build_loop",
     "build_replay_corpus",
 ]

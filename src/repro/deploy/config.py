@@ -30,6 +30,7 @@ Sections (TOML table names match the dataclass fields)::
     [rollout]    # optional shadow-rollout plan      -> RolloutConfig
     [fleet]      # optional multi-process fleet      -> FleetConfig
     [fault_tolerance]  # optional self-healing knobs -> FaultToleranceConfig
+    [loop]       # optional continuous-learning loop -> LoopConfig
 """
 
 from __future__ import annotations
@@ -51,6 +52,7 @@ __all__ = [
     "RolloutConfig",
     "FleetConfig",
     "FaultToleranceConfig",
+    "LoopConfig",
     "DeployConfig",
     "load_config",
     "parse_config",
@@ -71,7 +73,9 @@ SINK_KINDS = ("memory", "jsonl", "webhook")
 SOURCE_MODES = ("replay", "live")
 
 #: Rollout decision policies (mirrors the CLI / ``repro.rollout``).
-ROLLOUT_POLICIES = ("parity", "manual")
+#: ``adaptive`` is the learning-loop gate: loss-averse, tolerant of new
+#: flags the retrained candidate raises on drifted traffic.
+ROLLOUT_POLICIES = ("parity", "manual", "adaptive")
 
 #: Store URL schemes (mirrors ``repro.artifacts.backends``).
 STORE_SCHEMES = ("file", "memory", "bucket", "http", "https")
@@ -79,6 +83,15 @@ STORE_SCHEMES = ("file", "memory", "bucket", "http", "https")
 #: Fleet admission-control overflow policies (mirrors
 #: ``repro.net.coordinator``): shed (HTTP 429) or block the submitter.
 FLEET_OVERFLOW = ("shed", "block")
+
+#: Retrain execution modes for the continuous-learning loop (mirrors
+#: ``repro.loop.retrain.RETRAIN_MODES`` without importing the ML stack).
+LOOP_RETRAIN_MODES = ("subprocess", "inline")
+
+#: HSC variants whose fitted state can be *grown* with ``fit_more``
+#: (mirrors the ensembles of ``repro.models.hsc.HSC_VARIANTS``; k-NN is
+#: instance-based and has nothing to warm-start).
+WARM_START_FAMILIES = ("Random Forest", "XGBoost", "LightGBM", "CatBoost")
 
 
 @dataclass(frozen=True)
@@ -209,6 +222,9 @@ class RolloutConfig:
     promote_agreement: float = 0.98
     abort_agreement: float = 0.90
     max_divergence: float = 0.05
+    #: Highest tolerated fraction of shadow events where only production
+    #: flagged (``adaptive`` policy only): alerts the candidate drops.
+    max_lost_rate: float = 0.02
 
 
 @dataclass(frozen=True)
@@ -283,6 +299,43 @@ class FaultToleranceConfig:
 
 
 @dataclass(frozen=True)
+class LoopConfig:
+    """Continuous-learning loop (``[loop]``, optional).
+
+    Present means the topology runs a :class:`repro.loop.LoopOrchestrator`
+    over the scanner: drift on the live score distribution triggers an
+    incremental warm-start retrain, the candidate shadows production, and
+    the ``[rollout]`` policy promotes or aborts — every decision appended
+    to the store's ``loop-history.jsonl``.
+    """
+
+    #: Scores per drift window (reference and live both hold this many).
+    window: int = 256
+    #: Labeled-event cadence between drift checks.
+    check_every: int = 64
+    #: Paired blocks per window (the Wilcoxon sample size).
+    blocks: int = 8
+    #: Significance level on the Holm-adjusted p-value.
+    alpha: float = 0.05
+    #: Cliff's-delta magnitude floor; smaller shifts are noise.
+    min_effect: float = 0.1
+    #: Consecutive positive checks required to confirm drift.
+    confirm_checks: int = 2
+    #: Estimators grown per warm-start retrain.
+    grow: int = 40
+    #: Held-out fraction of the retrain window.
+    holdout: float = 0.25
+    #: Store tag the fresh candidate registers under.
+    candidate: str = "candidate"
+    #: Retrain execution: forked ``subprocess`` (serving never stalls)
+    #: or ``inline`` (deterministic single-process tests).
+    retrain: str = "subprocess"
+    #: Declared production model family, checked against the
+    #: warm-startable set (D028); empty skips the static check.
+    model_family: str = ""
+
+
+@dataclass(frozen=True)
 class DeployConfig:
     """The full deployment topology, domain-valid by construction."""
 
@@ -295,6 +348,7 @@ class DeployConfig:
     rollout: RolloutConfig | None = None
     fleet: FleetConfig | None = None
     fault_tolerance: FaultToleranceConfig | None = None
+    loop: LoopConfig | None = None
     #: Where this config came from (file path or ``"<dict>"``).
     origin: str = "<dict>"
 
@@ -326,6 +380,9 @@ class DeployConfig:
             "fault_tolerance": (
                 dataclasses.asdict(self.fault_tolerance)
                 if self.fault_tolerance else None
+            ),
+            "loop": (
+                dataclasses.asdict(self.loop) if self.loop else None
             ),
         }
         return data
@@ -604,6 +661,10 @@ def _parse_rollout(
             "max_divergence", RolloutConfig.max_divergence,
             minimum=0.0, maximum=1.0, exclusive=True,
         ),
+        max_lost_rate=section.number(
+            "max_lost_rate", RolloutConfig.max_lost_rate,
+            minimum=0.0, maximum=1.0,
+        ),
     )
     section.finish()
     return config
@@ -717,6 +778,68 @@ def _parse_fault_tolerance(
     return config
 
 
+def _parse_loop(
+    data: dict, problems: list[ConfigProblem]
+) -> LoopConfig | None:
+    raw = data.pop("loop", None)
+    if raw is None:
+        return None
+    if not isinstance(raw, dict):
+        problems.append(
+            ConfigProblem("loop", f"expected a table/object, got {raw!r}")
+        )
+        return None
+    section = _Section("loop", raw, problems)
+    candidate = section.string("candidate", LoopConfig.candidate)
+    if not candidate:
+        section.complain("candidate", "must not be empty")
+        candidate = LoopConfig.candidate
+    window = section.integer("window", LoopConfig.window, minimum=4)
+    blocks = section.integer("blocks", LoopConfig.blocks, minimum=2)
+    # Window/blocks consistency is same-section, so the parser owns it
+    # (like model.tag vs model.path): the monitor rejects these shapes
+    # at construction, deep inside launch.
+    if window < 2 * blocks:
+        section.complain(
+            "window", f"must be >= 2 x loop.blocks ({2 * blocks}), "
+                      f"got {window}"
+        )
+    elif window % blocks:
+        section.complain(
+            "window",
+            f"must be divisible by loop.blocks={blocks}, got {window}",
+        )
+    config = LoopConfig(
+        window=window,
+        check_every=section.integer(
+            "check_every", LoopConfig.check_every, minimum=1
+        ),
+        blocks=blocks,
+        alpha=section.number(
+            "alpha", LoopConfig.alpha,
+            minimum=0.0, maximum=1.0, exclusive=True,
+        ),
+        min_effect=section.number(
+            "min_effect", LoopConfig.min_effect, minimum=0.0, maximum=1.0
+        ),
+        confirm_checks=section.integer(
+            "confirm_checks", LoopConfig.confirm_checks, minimum=1
+        ),
+        grow=section.integer("grow", LoopConfig.grow, minimum=1),
+        holdout=section.number(
+            "holdout", LoopConfig.holdout,
+            minimum=0.0, maximum=1.0, exclusive=True,
+        ),
+        candidate=candidate,
+        retrain=section.string(
+            "retrain", LoopConfig.retrain, choices=LOOP_RETRAIN_MODES
+        ),
+        model_family=section.string("model_family", ""),
+    )
+    section.finish()
+    return config
+
+
 def parse_config(data: dict, *, origin: str = "<dict>") -> DeployConfig:
     """Validate a raw mapping into a :class:`DeployConfig`.
 
@@ -739,6 +862,7 @@ def parse_config(data: dict, *, origin: str = "<dict>") -> DeployConfig:
     rollout = _parse_rollout(data, problems)
     fleet = _parse_fleet(data, problems)
     fault_tolerance = _parse_fault_tolerance(data, problems)
+    loop = _parse_loop(data, problems)
 
     for key in sorted(data):
         problems.append(ConfigProblem(str(key), "unknown section"))
@@ -754,6 +878,7 @@ def parse_config(data: dict, *, origin: str = "<dict>") -> DeployConfig:
         rollout=rollout,
         fleet=fleet,
         fault_tolerance=fault_tolerance,
+        loop=loop,
         origin=origin,
     )
 

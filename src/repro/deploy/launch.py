@@ -28,6 +28,7 @@ __all__ = [
     "build_service",
     "build_scanner",
     "build_fleet",
+    "build_loop",
     "build_replay_corpus",
 ]
 
@@ -228,6 +229,71 @@ def build_fleet(config: DeployConfig, *, sinks=None):
         http_timeout=fleet.request_timeout,
         sinks=sinks if sinks is not None else build_sinks(config),
         **supervision,
+    )
+
+
+def build_loop(config: DeployConfig, scanner, store, *, label_of,
+               on_invalidate=None):
+    """The configured continuous-learning loop, attached to ``scanner``.
+
+    Requires a ``[loop]`` section. The drift monitor comes from
+    ``[loop]``; the promotion policy comes from ``[rollout]`` (its
+    defaults when the section is absent) — the loop's auto-started
+    shadow is an ordinary rollout and obeys the same thresholds an
+    operator-started one would. ``label_of`` maps an address to its
+    ground-truth label (0/1) or ``None`` for unlabeled traffic.
+    """
+    if config.loop is None:
+        raise ValueError(
+            f"config {config.origin} has no [loop] section; "
+            "add one to run the continuous-learning loop"
+        )
+    from repro.deploy.config import RolloutConfig
+    from repro.loop import DriftMonitor, LoopOrchestrator
+    from repro.rollout.policy import (
+        AdaptivePromotionPolicy,
+        ManualHoldPolicy,
+        MetricParityPolicy,
+    )
+
+    loop = config.loop
+    rollout = config.rollout or RolloutConfig()
+    if rollout.policy == "manual":
+        policy = ManualHoldPolicy()
+    elif rollout.policy == "adaptive":
+        policy = AdaptivePromotionPolicy(
+            min_events=rollout.min_events,
+            max_lost_rate=rollout.max_lost_rate,
+        )
+    else:
+        policy = MetricParityPolicy(
+            min_events=rollout.min_events,
+            promote_agreement=rollout.promote_agreement,
+            abort_agreement=rollout.abort_agreement,
+            max_mean_divergence=rollout.max_divergence,
+        )
+    monitor = DriftMonitor(
+        window=loop.window,
+        blocks=loop.blocks,
+        alpha=loop.alpha,
+        min_effect=loop.min_effect,
+        confirm_checks=loop.confirm_checks,
+    )
+    return LoopOrchestrator(
+        scanner,
+        store,
+        label_of=label_of,
+        monitor=monitor,
+        check_every=loop.check_every,
+        grow=loop.grow,
+        holdout=loop.holdout,
+        policy=policy,
+        retrain_mode=loop.retrain,
+        store_url=config.store.url,
+        cache_dir=config.store.cache_dir or None,
+        candidate_tag=loop.candidate,
+        production_tag=rollout.production,
+        on_invalidate=on_invalidate,
     )
 
 

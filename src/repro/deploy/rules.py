@@ -28,7 +28,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.deploy.config import DeployConfig
+from repro.deploy.config import (
+    WARM_START_FAMILIES,
+    DeployConfig,
+    RolloutConfig,
+)
 
 __all__ = [
     "ERROR",
@@ -498,6 +502,69 @@ def _circuit_open_alert_loss(c: DeployConfig):
     )
 
 
+def _loop_without_sink(c: DeployConfig):
+    if c.loop is None:
+        return None
+    durable = [s.kind for s in c.sinks if s.kind in _DURABLE_SINKS]
+    if not durable:
+        return (
+            "a [loop] topology autonomously retrains and repoints "
+            "production, but no jsonl/webhook sink is configured: the "
+            "loop's promotions change what every future alert means with "
+            "no durable channel telling an operator the model changed "
+            "under them"
+        )
+    return None
+
+
+def _loop_window_below_evidence(c: DeployConfig):
+    if c.loop is None:
+        return None
+    min_events = (
+        c.rollout.min_events if c.rollout is not None
+        else RolloutConfig.min_events
+    )
+    if c.loop.window < min_events:
+        return (
+            f"loop.window={c.loop.window} is below the rollout evidence "
+            f"floor rollout.min_events={min_events}: the loop confirms "
+            f"drift and retrains on less evidence than its own shadow "
+            f"needs to even judge the candidate, so every triggered "
+            f"rollout starts in a hold it may never leave"
+        )
+    return None
+
+
+def _loop_unsupported_family(c: DeployConfig):
+    if c.loop is None or not c.loop.model_family:
+        return None
+    if c.loop.model_family not in WARM_START_FAMILIES:
+        return (
+            f"loop.model_family={c.loop.model_family!r} cannot be "
+            f"warm-started: fit_more grows fitted ensembles, and only "
+            f"{', '.join(WARM_START_FAMILIES)} have trees to grow — "
+            f"every drift trigger would fail the retrain and abort, "
+            f"leaving a loop that detects but can never adapt"
+        )
+    return None
+
+
+def _loop_subprocess_memory_store(c: DeployConfig):
+    if (
+        c.loop is not None
+        and c.loop.retrain == "subprocess"
+        and c.store.scheme == "memory"
+    ):
+        return (
+            f"loop.retrain='subprocess' forks the retrain into a child "
+            f"process, but store.url={c.store.url!r} is an in-process "
+            f"bucket: the child's candidate registration lands in *its* "
+            f"copy of the store and evaporates on exit — the parent "
+            f"waits for a candidate tag that can never appear"
+        )
+    return None
+
+
 #: The catalog. IDs are stable — tooling, dashboards and the docs rule
 #: table key on them; new rules append, old rules never renumber.
 RULES: tuple[Rule, ...] = (
@@ -738,6 +805,46 @@ RULES: tuple[Rule, ...] = (
         "stream.batch_size",
         _shared_cache_thin_ring,
         ("fleet.shared_cache", "fleet.slot_bytes", "stream.batch_size"),
+    ),
+    Rule(
+        "D026", ERROR, "loop-without-sink",
+        "A continuous-learning loop retrains and repoints production "
+        "autonomously; with no durable sink, the model changes under "
+        "every downstream consumer and nobody is told.",
+        "add a jsonl or webhook [[sinks]] entry so loop promotions are "
+        "observable, or drop the [loop] section",
+        _loop_without_sink,
+        ("loop", "sinks"),
+    ),
+    Rule(
+        "D027", ERROR, "loop-window-below-evidence-floor",
+        "A drift window smaller than the rollout's min_events floor "
+        "triggers retrains whose shadow can never gather the evidence "
+        "the promotion gate demands; the loop stalls in SHADOWING.",
+        "raise loop.window to >= rollout.min_events, or lower the "
+        "evidence floor",
+        _loop_window_below_evidence,
+        ("loop.window", "rollout.min_events"),
+    ),
+    Rule(
+        "D028", ERROR, "warm-start-on-unsupported-model",
+        "Declaring a production model family without fit_more support "
+        "plans an incremental retrain that must fail on every drift "
+        "trigger: the loop detects but can never adapt.",
+        "serve a warm-startable ensemble (Random Forest, XGBoost, "
+        "LightGBM, CatBoost), or clear loop.model_family",
+        _loop_unsupported_family,
+        ("loop.model_family", "model.tag"),
+    ),
+    Rule(
+        "D029", ERROR, "loop-subprocess-memory-store",
+        "A forked retrain child registers its candidate in a copy of a "
+        "memory:// store that dies with the child; the parent's loop "
+        "waits on a tag that can never appear.",
+        "use a file:// or bucket:// store, or set loop.retrain='inline' "
+        "for single-process topologies",
+        _loop_subprocess_memory_store,
+        ("loop.retrain", "store.url"),
     ),
 )
 

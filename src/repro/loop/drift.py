@@ -1,0 +1,193 @@
+"""Sliding two-window drift detection over live score distributions.
+
+The monitor keeps two windows of production scores: a *reference* window
+frozen from the first ``window`` scores it sees (or re-frozen after
+:meth:`DriftMonitor.reset`, e.g. post-promotion), and a *live* window
+sliding over the most recent ``window`` scores. A check blocks each
+window into ``blocks`` equal consecutive chunks and compares the paired
+block means through :func:`repro.analysis.cdd.critical_difference` — the
+paper's own Friedman + exact-Wilcoxon + Holm machinery, applied to two
+treatments — so "drift" means *statistically significant* (adjusted
+``p <= alpha``) **and** *practically large* (``|Cliff's delta| >=
+min_effect``). A single positive check arms the detector; only
+``confirm_checks`` consecutive positives confirm, which is what keeps a
+one-off weird micro-batch from triggering a retrain.
+
+Stationarity safety: identical block means produce zero Wilcoxon
+differences, which the exact test discards (``p = 1.0``), so a constant
+or stationary stream can never confirm drift no matter how long it runs
+— the false-positive guard the negative-path tests pin down.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.cdd import critical_difference
+
+__all__ = ["DriftMonitor", "DriftReport"]
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Outcome of one :meth:`DriftMonitor.check`."""
+
+    checked: bool          #: both windows were full; a test actually ran
+    drifted: bool          #: this check was positive (significant + large)
+    confirmed: bool        #: ``consecutive >= confirm_checks``
+    p_value: float         #: Holm-adjusted Wilcoxon p (1.0 when unchecked)
+    effect: float          #: Cliff's delta, live vs reference (0.0 unchecked)
+    consecutive: int       #: positive checks in a row, including this one
+    checks: int            #: total checks run since the last reset
+    reference_size: int
+    live_size: int
+
+    def as_dict(self) -> dict:
+        return {
+            "checked": self.checked,
+            "drifted": self.drifted,
+            "confirmed": self.confirmed,
+            "p_value": self.p_value,
+            "effect": self.effect,
+            "consecutive": self.consecutive,
+            "checks": self.checks,
+            "reference_size": self.reference_size,
+            "live_size": self.live_size,
+        }
+
+
+class DriftMonitor:
+    """Two-window blockwise drift detector; see module docs.
+
+    Args:
+        window: Scores per window. Must be divisible by ``blocks`` so
+            the paired block means are equal-sized.
+        blocks: Paired blocks per window (the Wilcoxon sample size; the
+            exact test is used for ``blocks <= 15``, where 8 all-shifted
+            blocks reach ``p ≈ 0.008``).
+        alpha: Significance level on the adjusted p-value.
+        min_effect: Cliff's-delta magnitude floor — distribution shifts
+            smaller than this are noise by definition, whatever their p.
+        confirm_checks: Consecutive positive checks required to confirm.
+    """
+
+    def __init__(
+        self,
+        window: int = 256,
+        blocks: int = 8,
+        alpha: float = 0.05,
+        min_effect: float = 0.1,
+        confirm_checks: int = 2,
+    ):
+        if blocks < 2:
+            raise ValueError("blocks must be >= 2")
+        if window < 2 * blocks:
+            raise ValueError("window must be >= 2 * blocks")
+        if window % blocks:
+            raise ValueError("window must be divisible by blocks")
+        if not 0 < alpha < 1:
+            raise ValueError("alpha must be in (0, 1)")
+        if not 0 <= min_effect <= 1:
+            raise ValueError("min_effect must be in [0, 1]")
+        if confirm_checks < 1:
+            raise ValueError("confirm_checks must be >= 1")
+        self.window = window
+        self.blocks = blocks
+        self.alpha = alpha
+        self.min_effect = min_effect
+        self.confirm_checks = confirm_checks
+        self._reference: list[float] = []
+        self._live: deque[float] = deque(maxlen=window)
+        self.consecutive = 0
+        self.checks = 0
+
+    # ------------------------------------------------------------------ #
+
+    def observe(self, scores) -> None:
+        """Feed production scores (in stream order).
+
+        The first ``window`` scores freeze the reference; everything
+        after slides through the live window.
+        """
+        for score in scores:
+            value = float(score)
+            if len(self._reference) < self.window:
+                self._reference.append(value)
+            else:
+                self._live.append(value)
+
+    @property
+    def ready(self) -> bool:
+        """Both windows full — a check would actually test something."""
+        return (
+            len(self._reference) >= self.window
+            and len(self._live) >= self.window
+        )
+
+    def _block_means(self, values) -> list[float]:
+        data = np.asarray(list(values), dtype=float)
+        return [
+            float(chunk.mean()) for chunk in np.split(data, self.blocks)
+        ]
+
+    def check(self) -> DriftReport:
+        """Run one drift test; never raises on an under-filled monitor."""
+        if not self.ready:
+            return DriftReport(
+                checked=False, drifted=False, confirmed=False,
+                p_value=1.0, effect=0.0, consecutive=self.consecutive,
+                checks=self.checks, reference_size=len(self._reference),
+                live_size=len(self._live),
+            )
+        self.checks += 1
+        reference = self._block_means(self._reference)
+        live = self._block_means(self._live)
+        diagram = critical_difference(
+            {"reference": reference, "live": live}, alpha=self.alpha
+        )
+        pair = diagram.pairwise[0]
+        effect = float(diagram.effect_sizes[("reference", "live")])
+        drifted = bool(
+            pair.significant(self.alpha) and abs(effect) >= self.min_effect
+        )
+        self.consecutive = self.consecutive + 1 if drifted else 0
+        return DriftReport(
+            checked=True,
+            drifted=drifted,
+            confirmed=self.consecutive >= self.confirm_checks,
+            p_value=float(pair.p_adjusted),
+            effect=effect,
+            consecutive=self.consecutive,
+            checks=self.checks,
+            reference_size=len(self._reference),
+            live_size=len(self._live),
+        )
+
+    def reset(self) -> None:
+        """Forget everything and re-baseline (post-promotion re-arm).
+
+        The next ``window`` observed scores freeze the new reference —
+        scored by the *new* production model, so the loop does not
+        immediately re-detect the drift it just corrected.
+        """
+        self._reference = []
+        self._live.clear()
+        self.consecutive = 0
+        self.checks = 0
+
+    def status(self) -> dict:
+        return {
+            "window": self.window,
+            "blocks": self.blocks,
+            "alpha": self.alpha,
+            "min_effect": self.min_effect,
+            "confirm_checks": self.confirm_checks,
+            "reference_size": len(self._reference),
+            "live_size": len(self._live),
+            "consecutive": self.consecutive,
+            "checks": self.checks,
+            "ready": self.ready,
+        }

@@ -1,0 +1,65 @@
+"""Durable promotion-history log: ``loop-history.jsonl`` in the store.
+
+Every loop decision — drift evidence, retrain metrics, the shadow
+verdict, aborts — appends exactly one line to one key in the
+:class:`~repro.artifacts.backends.StoreBackend`, next to the tag table
+it explains. The format is an audit log, so three properties are
+non-negotiable:
+
+* **Durability.** The append is a read-modify-write of the whole key
+  under the backend's exclusive lock — the same ``fcntl``/mutex lock
+  that guards ``tags.json`` — so concurrent appenders (two loops, a
+  loop racing an operator CLI) cannot lose each other's entries, and a
+  crash between lock and put leaves the previous complete log.
+* **Determinism.** Lines are canonical JSON: sorted keys, no
+  whitespace, ``allow_nan=False``. Entries carry *event time* from the
+  replayed chain, never wall clock — a seeded replay writes a
+  byte-identical log, which is exactly what the loop's end-to-end test
+  asserts across two runs.
+* **Self-numbering.** Each entry's ``seq`` is the number of lines
+  already in the log at append time, assigned under the lock — gaps or
+  duplicates in ``seq`` would prove a lost or doubled write.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["HISTORY_KEY", "append_history", "read_history"]
+
+#: Backend key of the promotion-history log (store-root relative).
+HISTORY_KEY = "loop-history.jsonl"
+
+
+def append_history(store, entry: dict) -> dict:
+    """Append one decision entry; returns it with ``seq`` assigned.
+
+    ``entry`` must be JSON-serializable and NaN-free (a NaN in an audit
+    log is a bug upstream, not something to encode).
+    """
+    backend = store.backend
+    with backend.lock():
+        try:
+            raw = backend.get(HISTORY_KEY)
+        except KeyError:
+            raw = b""
+        record = dict(entry)
+        record["seq"] = raw.count(b"\n")
+        line = json.dumps(
+            record, sort_keys=True, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+        backend.put(HISTORY_KEY, raw + line + b"\n")
+    return record
+
+
+def read_history(store) -> list[dict]:
+    """All entries, oldest first (empty list when no loop ever ran)."""
+    try:
+        raw = store.backend.get(HISTORY_KEY)
+    except KeyError:
+        return []
+    return [
+        json.loads(line)
+        for line in raw.decode("utf-8").splitlines()
+        if line.strip()
+    ]

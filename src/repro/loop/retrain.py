@@ -1,0 +1,244 @@
+"""Incremental retrain: warm-start production into a ``candidate``.
+
+One retrain = load the production model from the store, grow it with
+``fit_more`` on the loop's sliding event window (the incremental-solving
+pattern: keep fitted state across related instances instead of refitting
+from scratch), score a deterministic held-out slice, and register the
+result under the candidate tag. The whole step runs equally well inline
+(tests, ``memory://`` stores) or in a forked subprocess
+(:func:`run_retrain`), which is how the orchestrator keeps serving
+latency flat while trees grow — the scanner's process never fits
+anything.
+
+Failure contract: *nothing* in this module mutates production. A retrain
+that raises (unsupported model family, bad window, dead store) leaves
+the production tag, the serving model and the feature cache exactly as
+they were; the orchestrator logs the abort and re-arms.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import numpy as np
+
+__all__ = [
+    "RetrainError",
+    "retrain_candidate",
+    "run_retrain",
+    "start_retrain",
+]
+
+#: How a retrain runs: forked child (serving never stalls) or inline
+#: (deterministic single-process tests, memory:// stores a child could
+#: never see).
+RETRAIN_MODES = ("subprocess", "inline")
+
+
+class RetrainError(RuntimeError):
+    """The retrain step failed; production is untouched."""
+
+
+def _holdout_split(n: int, holdout: float, seed: int):
+    """Deterministic (train, holdout) index split of ``n`` events."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    n_holdout = max(1, int(round(n * holdout)))
+    if n_holdout >= n:
+        raise RetrainError(
+            f"holdout={holdout} leaves no training events out of {n}"
+        )
+    return order[n_holdout:], order[:n_holdout]
+
+
+def _holdout_metrics(model, bytecodes, labels) -> dict:
+    probabilities = model.predict_proba(bytecodes)[:, 1]
+    predicted = (probabilities >= 0.5).astype(int)
+    labels = np.asarray(labels, dtype=int)
+    return {
+        "holdout_events": int(len(labels)),
+        "holdout_accuracy": float((predicted == labels).mean()),
+        "holdout_positive_rate": float(labels.mean()),
+    }
+
+
+def retrain_candidate(
+    *,
+    store_url: str | None = None,
+    store=None,
+    bytecodes,
+    labels,
+    grow: int,
+    holdout: float = 0.25,
+    seed: int = 0,
+    production_tag: str = "production",
+    candidate_tag: str = "candidate",
+    cache_dir: str | None = None,
+) -> dict:
+    """Warm-start one candidate from the production artifact.
+
+    Returns a JSON-ready result: candidate/base digests, holdout
+    metrics, the grown-tree count and the fit wall seconds (the caller
+    decides what of it enters the durable history — wall seconds never
+    do).
+
+    Raises:
+        RetrainError: On any failure; the store's tags are untouched
+            (the candidate tag moves only after a fully successful fit
+            and holdout evaluation).
+    """
+    from repro.artifacts import ModelStore
+
+    if len(bytecodes) != len(labels):
+        raise RetrainError("bytecodes and labels must be parallel")
+    if len(bytecodes) < 4:
+        raise RetrainError(
+            f"retrain window has only {len(bytecodes)} labeled events"
+        )
+    if grow < 1:
+        raise RetrainError("grow must be >= 1")
+
+    if store is None:
+        store = ModelStore.from_url(store_url or None, cache_dir=cache_dir)
+    model, manifest = store.load(production_tag)
+    base_digest = manifest["digest"]
+    if getattr(model, "fit_more", None) is None:
+        raise RetrainError(
+            f"production model {manifest.get('model_name')!r} does not "
+            "support warm-start fit_more"
+        )
+
+    train_idx, hold_idx = _holdout_split(len(bytecodes), holdout, seed)
+    codes = list(bytecodes)
+    marks = list(labels)
+    train_codes = [codes[i] for i in train_idx]
+    train_labels = [marks[i] for i in train_idx]
+    hold_codes = [codes[i] for i in hold_idx]
+    hold_labels = [marks[i] for i in hold_idx]
+    if len(set(train_labels)) < 2:
+        raise RetrainError("retrain window is single-class; cannot fit")
+
+    started = time.perf_counter()
+    try:
+        model.fit_more(train_codes, train_labels, int(grow))
+    except RetrainError:
+        raise
+    except Exception as error:
+        raise RetrainError(
+            f"warm-start fit failed: {type(error).__name__}: {error}"
+        ) from error
+    seconds = time.perf_counter() - started
+
+    metrics = _holdout_metrics(model, hold_codes, hold_labels)
+    metrics["grown_trees"] = int(grow)
+    metrics["train_events"] = int(len(train_codes))
+    candidate_digest = store.put(
+        model,
+        model_name=manifest.get("model_name"),
+        metrics=metrics,
+        extra={
+            "warm_started_from": base_digest,
+            "grown_trees": int(grow),
+            "retrain_seed": int(seed),
+        },
+        tags=(candidate_tag,),
+    )
+    return {
+        "candidate": candidate_digest,
+        "base": base_digest,
+        "model_name": manifest.get("model_name"),
+        "metrics": metrics,
+        "seconds": seconds,
+    }
+
+
+def _retrain_child(connection, kwargs: dict) -> None:
+    try:
+        result = retrain_candidate(**kwargs)
+        connection.send({"ok": True, "result": result})
+    except BaseException as error:  # noqa: BLE001 - must report, not die
+        connection.send(
+            {"ok": False, "error": f"{type(error).__name__}: {error}"}
+        )
+    finally:
+        connection.close()
+
+
+def run_retrain(
+    *,
+    mode: str = "subprocess",
+    timeout: float = 600.0,
+    **kwargs,
+) -> dict:
+    """Run :func:`retrain_candidate` per ``mode``; see RETRAIN_MODES.
+
+    Subprocess mode prefers ``fork`` (the window's bytecodes ship to the
+    child by page sharing, not pickling) and falls back to the
+    platform's default context. The parent blocks on the result pipe up
+    to ``timeout`` seconds — but the *serving* process only ever blocks
+    here when the orchestrator runs in its synchronous test mode; the
+    fleet path polls.
+
+    Raises:
+        RetrainError: Child error, timeout, or a child that died
+            without reporting (OOM kill, SIGKILL).
+    """
+    if mode not in RETRAIN_MODES:
+        raise ValueError(
+            f"unknown retrain mode {mode!r}; supported: {RETRAIN_MODES}"
+        )
+    if mode == "inline":
+        return retrain_candidate(**kwargs)
+    child, receiver = start_retrain(**kwargs)
+    try:
+        if not receiver.poll(timeout):
+            raise RetrainError(
+                f"retrain subprocess timed out after {timeout:.0f}s"
+            )
+        try:
+            report = receiver.recv()
+        except EOFError as error:
+            raise RetrainError(
+                "retrain subprocess died without reporting"
+            ) from error
+    finally:
+        receiver.close()
+        child.join(timeout=10.0)
+        if child.is_alive():
+            child.terminate()
+            child.join(timeout=5.0)
+    if not report.get("ok"):
+        raise RetrainError(report.get("error", "retrain failed"))
+    return report["result"]
+
+
+def start_retrain(**kwargs):
+    """Fork a retrain child without waiting; returns ``(process, pipe)``.
+
+    The non-blocking half of subprocess mode: the orchestrator's
+    asynchronous path starts the child here and polls the receive end
+    of the pipe between scored batches, so a fleet's monitor process
+    keeps serving while trees grow. The caller owns both handles —
+    poll/recv the pipe, then join the process.
+    """
+    if kwargs.get("store") is not None:
+        # A forked child's store writes land in *its* copy of an
+        # in-process backend — invisible to the parent. Subprocess mode
+        # must reopen the store by URL (rule D029 rejects the memory://
+        # combination statically).
+        raise ValueError(
+            "subprocess retrain reopens the store by URL; "
+            "pass store_url, not a live store object"
+        )
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+    receiver, sender = context.Pipe(duplex=False)
+    child = context.Process(
+        target=_retrain_child, args=(sender, kwargs), daemon=True
+    )
+    child.start()
+    sender.close()
+    return child, receiver

@@ -181,6 +181,66 @@ class RandomForestClassifier(Classifier):
         self._flat: FlatEnsemble | None = None
         return self
 
+    def fit_more(self, X, y, n_more: int) -> "RandomForestClassifier":
+        """Grow ``n_more`` trees on new data, keeping the fitted ones.
+
+        The incremental-retrain primitive for the continuous-learning
+        loop: instead of refitting all ``n_estimators`` trees from
+        scratch on every drift window, the already-fitted ensemble is
+        kept verbatim and only the new trees train — on the *new*
+        window. Determinism: each new tree's generator is seeded with
+        ``(random_state, absolute_tree_index)``, so growing 40 trees in
+        one call or in two calls of 20 produces identical forests, and a
+        warm-started model round-trips :meth:`state_dict` bit-for-bit.
+
+        Raises:
+            RuntimeError: If the forest is not fitted.
+            ValueError: If ``n_more < 1``.
+        """
+        if not getattr(self, "trees_", None):
+            raise RuntimeError("forest is not fitted; call fit() first")
+        if n_more < 1:
+            raise ValueError("n_more must be >= 1")
+        X, y = check_X_y(X, y)
+        # Materialize lazily-built views (a loaded forest's trees_ is a
+        # _StackedTrees sequence) so the grown list is a plain list.
+        existing = list(self.trees_)
+        n = len(y)
+        # One generator per absolute tree index, seeded (random_state,
+        # index): tree 27's randomness is the same whether it grew in
+        # one call of 40 or two calls of 20.
+        tasks = []
+        for offset in range(int(n_more)):
+            index = len(existing) + offset
+            seed = (
+                None
+                if self.random_state is None
+                else (int(self.random_state), index)
+            )
+            rng = np.random.default_rng(seed)
+            tree_seed = int(rng.integers(0, 2**31 - 1))
+            rows = (
+                rng.integers(0, n, size=n)
+                if self.bootstrap
+                else np.arange(n)
+            )
+            tasks.append((tree_seed, rows))
+
+        jobs = max(1, min(self._effective_jobs(), len(tasks)))
+        grown = self._fit_parallel(X, y, tasks, jobs) if jobs > 1 else None
+        if grown is None:
+            params = self._tree_params()
+            grown = [
+                DecisionTreeClassifier(random_state=s, **params).fit(
+                    X, y, sample_indices=rows
+                )
+                for s, rows in tasks
+            ]
+        self.trees_ = existing + grown
+        self.n_estimators = len(self.trees_)
+        self._flat = None
+        return self
+
     def _fit_parallel(self, X, y, tasks, jobs) -> list | None:
         """Train trees on a process pool; None falls back to serial.
 

@@ -476,6 +476,47 @@ class _BoostedClassifier(Classifier):
             raw += self.learning_rate * self._tree_predict(tree, X)
         return self
 
+    def fit_more(self, X, y, n_more: int) -> "_BoostedClassifier":
+        """Continue boosting for ``n_more`` rounds on new data.
+
+        The incremental-retrain primitive: existing trees, the fitted
+        base score and (for binned boosters) the quantile binner are all
+        frozen — only the new rounds train, on the *new* window, starting
+        from the fitted ensemble's raw margin. Freezing the binner is
+        what makes continuation well-defined: rebinning on the new
+        window would silently re-map the thresholds every old tree
+        splits on.
+
+        Raises:
+            RuntimeError: If the booster is not fitted.
+            ValueError: If ``n_more < 1`` or the feature count changed.
+        """
+        if not getattr(self, "trees_", None):
+            raise RuntimeError("booster is not fitted; call fit() first")
+        if n_more < 1:
+            raise ValueError("n_more must be >= 1")
+        X, y = check_X_y(X, y)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"fit_more expects {self.n_features_} features, "
+                f"got {X.shape[1]}"
+            )
+        # Raw margins of the fitted ensemble on the new window — computed
+        # through decision_function so the frozen binner transforms the
+        # raw features exactly as inference does.
+        raw = self.decision_function(X)
+        X = self._prepare(check_array(X))
+        self._flat = None
+        for __ in range(int(n_more)):
+            p = _sigmoid(raw)
+            g = p - y
+            h = np.maximum(p * (1 - p), 1e-6)
+            tree = self._fit_tree(X, g, h)
+            self.trees_.append(tree)
+            raw += self.learning_rate * self._tree_predict(tree, X)
+        self.n_estimators = len(self.trees_)
+        return self
+
     def compile_flat(self) -> FlatEnsemble | None:
         """The booster as one stacked :class:`FlatEnsemble` (cached).
 

@@ -106,6 +106,27 @@ class HSCDetector(PhishingDetector):
         self.classifier_.fit(features, np.asarray(labels))
         return self
 
+    def fit_more(self, bytecodes, labels, n_more: int) -> "HSCDetector":
+        """Grow the fitted classifier by ``n_more`` trees on new data.
+
+        Warm-start entry point for the continuous-learning loop: the
+        extractor's vocabulary stays frozen (``transform``, not
+        ``fit_transform`` — old trees split on the fitted feature space)
+        and the classifier continues from its fitted state. Only
+        ensemble variants support this; anything else raises
+        ``TypeError`` so the loop can surface a config error instead of
+        silently cold-refitting.
+        """
+        grow = getattr(self.classifier_, "fit_more", None)
+        if grow is None:
+            raise TypeError(
+                f"HSC variant {self.variant!r} does not support "
+                "warm-start fit_more"
+            )
+        features = self.extractor_.transform(bytecodes)
+        grow(features, np.asarray(labels), n_more)
+        return self
+
     def predict_proba(self, bytecodes) -> np.ndarray:
         features = self.extractor_.transform(bytecodes)
         return self.classifier_.predict_proba(features)

@@ -536,6 +536,56 @@ class FleetCoordinator:
             self.counters["alerts"] += len(flagged)
 
     # ------------------------------------------------------------------ #
+    # Cache plane
+    # ------------------------------------------------------------------ #
+
+    def invalidate_namespace(self, namespace: str) -> dict:
+        """Evict one :class:`FeatureCache` namespace host-wide.
+
+        Fans a ``POST /invalidate`` out to every alive worker (each owns
+        a private local cache) after dropping the namespace from the
+        coordinator's own decode cache. The host-wide
+        :class:`~repro.net.shared_cache.ShmFeatureCache` is deliberately
+        untouched: it holds bytecodes and decoded mnemonic ids keyed by
+        content digest — model-independent features that stay valid
+        across promotions. Only per-model *prediction* namespaces go
+        stale when the serving model changes, and those live exclusively
+        in the local caches this method reaches.
+
+        A dead or unreachable worker reports ``None`` (its cache dies
+        with the process anyway; a respawn cold-starts empty). Returns
+        per-worker eviction counts so callers — the learning loop's
+        promotion hook, the ``invalidate`` RPC — can assert the sweep
+        actually landed.
+        """
+        from repro.net.client import TransportError, http_json
+
+        evicted = 0
+        if self.cache is not None:
+            evicted = self.cache.invalidate_namespace(namespace)
+        workers: dict[int, int | None] = {}
+        for worker in self.alive_workers():
+            try:
+                response = http_json(
+                    "POST", f"{worker.url}/invalidate",
+                    {"namespace": namespace}, timeout=self.timeout,
+                )
+                if response.ok:
+                    workers[worker.index] = int(response.json()["evicted"])
+                else:
+                    workers[worker.index] = None
+            except TransportError:
+                workers[worker.index] = None
+        return {
+            "namespace": namespace,
+            "coordinator_evicted": evicted,
+            "workers": workers,
+            "total_evicted": evicted + sum(
+                count for count in workers.values() if count
+            ),
+        }
+
+    # ------------------------------------------------------------------ #
     # Monitor + lifecycle
     # ------------------------------------------------------------------ #
 
@@ -708,6 +758,10 @@ def _make_handler(coordinator: FleetCoordinator, on_shutdown):
                         timestamp=params.get("timestamp"),
                     )
                     result({"results": results})
+                elif method == "invalidate":
+                    result(coordinator.invalidate_namespace(
+                        str(params["namespace"])
+                    ))
                 else:
                     error(400, _RPC_METHOD_NOT_FOUND,
                           f"unknown method {method!r}")

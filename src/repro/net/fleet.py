@@ -308,6 +308,12 @@ class FleetManager:
     def status(self) -> dict:
         return self.coordinator.status()
 
+    def invalidate_namespace(self, namespace: str) -> dict:
+        """Evict one local-cache namespace on every alive worker (and
+        the coordinator's decode cache); see
+        :meth:`FleetCoordinator.invalidate_namespace`."""
+        return self.coordinator.invalidate_namespace(namespace)
+
     def kill_worker(self, index: int) -> int:
         """SIGKILL one worker (crash-injection for tests); returns pid."""
         process = self._processes[index]
@@ -557,6 +563,10 @@ class FleetClient:
 
     def status(self) -> dict:
         return self.rpc("status")
+
+    def invalidate(self, namespace: str) -> dict:
+        """Fleet-wide namespace eviction; returns per-worker counts."""
+        return self.rpc("invalidate", {"namespace": namespace})
 
     def ping(self) -> bool:
         return bool(self.rpc("ping").get("pong"))

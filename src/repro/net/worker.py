@@ -29,6 +29,9 @@ Endpoints:
 * ``GET /healthz`` — liveness (used by ``fleet start`` readiness polls),
 * ``GET /status`` — per-worker counters + service/cache stats,
 * ``POST /scan`` — scan one batch (see :func:`decode_scan_request`),
+* ``POST /invalidate`` — drop one local-cache namespace (the learning
+  loop evicts a demoted model's prediction rows fleet-wide on
+  promotion),
 * ``POST /shutdown`` — graceful stop (drains the HTTP server).
 """
 
@@ -318,6 +321,19 @@ def _make_handler(state: _WorkerState, server_box: dict):
                 threading.Thread(
                     target=server_box["server"].shutdown, daemon=True
                 ).start()
+                return
+            if self.path == "/invalidate":
+                try:
+                    length = int(self.headers.get("Content-Length", "0"))
+                    request = json.loads(self.rfile.read(length))
+                    namespace = str(request["namespace"])
+                    evicted = state.cache.invalidate_namespace(namespace)
+                    self._reply(200, {"worker": state.spec.index,
+                                      "namespace": namespace,
+                                      "evicted": evicted})
+                except Exception as error:  # noqa: BLE001
+                    self._reply(500, {"error": f"{type(error).__name__}: "
+                                               f"{error}"})
                 return
             if self.path != "/scan":
                 self._reply(404, {"error": f"no route {self.path}"})

@@ -17,8 +17,9 @@ measured, reversible, written-down rule:
   overhead.
 * :mod:`repro.rollout.policy` — :class:`RolloutPolicy` implementations:
   :class:`MetricParityPolicy` (promote on parity, abort on regression,
-  hold in the gray band) and :class:`ManualHoldPolicy` (operator
-  decides).
+  hold in the gray band), :class:`AdaptivePromotionPolicy` (the
+  learning-loop gate: loss-averse, tolerant of new flags on drifted
+  traffic) and :class:`ManualHoldPolicy` (operator decides).
 * :mod:`repro.rollout.state` — the ``rollout.json`` record persisted in
   the store so the CLI workflow spans processes.
 
@@ -33,6 +34,7 @@ from repro.rollout.policy import (
     ABORT,
     HOLD,
     PROMOTE,
+    AdaptivePromotionPolicy,
     Decision,
     ManualHoldPolicy,
     MetricParityPolicy,
@@ -54,6 +56,7 @@ __all__ = [
     "Decision",
     "RolloutPolicy",
     "MetricParityPolicy",
+    "AdaptivePromotionPolicy",
     "ManualHoldPolicy",
     "ShadowRollout",
     "ROLLOUT_KEY",

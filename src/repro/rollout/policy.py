@@ -13,6 +13,12 @@ Provided policies:
   before ``min_events`` of traffic; *abort* the moment agreement falls
   below the regression floor; *promote* once agreement and mean score
   divergence are inside the parity band; hold otherwise.
+* :class:`AdaptivePromotionPolicy` — the learning-loop gate: a
+  warm-start candidate exists precisely *because* the stream drifted, so
+  symmetric agreement is the wrong yardstick — new flags on drifted
+  traffic are the adaptation the retrain was for, while alerts the
+  candidate *drops* are regressions. Promote once the evidence floor is
+  met and the lost-alert rate stays under the cap; abort otherwise.
 * :class:`ManualHoldPolicy` — never decides; an operator promotes or
   aborts explicitly (``phishinghook rollout promote|abort``).
 """
@@ -30,6 +36,7 @@ __all__ = [
     "Decision",
     "RolloutPolicy",
     "MetricParityPolicy",
+    "AdaptivePromotionPolicy",
     "ManualHoldPolicy",
 ]
 
@@ -153,4 +160,63 @@ class MetricParityPolicy(RolloutPolicy):
             "promote_agreement": self.promote_agreement,
             "abort_agreement": self.abort_agreement,
             "max_mean_divergence": self.max_mean_divergence,
+        }
+
+
+class AdaptivePromotionPolicy(RolloutPolicy):
+    """Asymmetric gate for warm-start candidates on drifted traffic.
+
+    A parity policy counts every verdict flip against the candidate —
+    but a loop candidate was retrained *because* production is missing
+    the drifted scams, so the flips where only the candidate flags are
+    the point, not a defect. This policy is loss-averse instead of
+    symmetric: the candidate must keep (nearly) every alert production
+    raises, and is otherwise free to raise new ones.
+
+    Args:
+        min_events: Evidence floor — no verdict before this many events
+            have been shadow-scored.
+        max_lost_rate: Highest tolerated fraction of shadow events where
+            *only production* flagged (``production_only / events``) —
+            alerts the candidate would silently drop. At or under the
+            cap the candidate promotes; over it, it aborts.
+    """
+
+    def __init__(self, *, min_events: int = 200,
+                 max_lost_rate: float = 0.02):
+        if min_events < 1:
+            raise ValueError("min_events must be positive")
+        if not 0.0 <= max_lost_rate <= 1.0:
+            raise ValueError("max_lost_rate must be in [0, 1]")
+        self.min_events = min_events
+        self.max_lost_rate = max_lost_rate
+
+    def decide(self, comparison: ShadowComparison) -> Decision:
+        if comparison.events < self.min_events:
+            return Decision(
+                HOLD,
+                f"insufficient traffic: {comparison.events}/"
+                f"{self.min_events} events",
+            )
+        lost_rate = comparison.production_only / comparison.events
+        if lost_rate > self.max_lost_rate:
+            return Decision(
+                ABORT,
+                f"regression: candidate drops {comparison.production_only} "
+                f"of production's alerts (lost-alert rate {lost_rate:.4f} "
+                f"> {self.max_lost_rate:.4f} over {comparison.events} "
+                f"events)",
+            )
+        return Decision(
+            PROMOTE,
+            f"adaptation: lost-alert rate {lost_rate:.4f} <= "
+            f"{self.max_lost_rate:.4f} with {comparison.candidate_only} "
+            f"new flag(s) over {comparison.events} events",
+        )
+
+    def describe(self) -> dict:
+        return {
+            "policy": type(self).__name__,
+            "min_events": self.min_events,
+            "max_lost_rate": self.max_lost_rate,
         }

@@ -85,6 +85,12 @@ class ShadowRollout:
             rollout record via ``ShadowComparison.from_dict``) instead
             of starting at zero — how ``phishinghook rollout start``
             accumulates across process boundaries.
+        on_decision: Callback invoked with this rollout right after a
+            promote or abort completes (state already final, production
+            already swapped/untouched). The continuous-learning loop
+            uses it to append the verdict to the promotion history and
+            re-arm drift detection; exceptions propagate to the caller
+            that triggered the decision.
 
     Thread-safety: observers run synchronously inside the scanner's
     flush, so a rollout shares whatever threading discipline the scanner
@@ -104,6 +110,7 @@ class ShadowRollout:
         production_tag: str = "production",
         expected_fingerprint: str | None = None,
         comparison: ShadowComparison | None = None,
+        on_decision=None,
     ):
         if (source is None) == (model is None):
             raise ValueError(
@@ -116,6 +123,7 @@ class ShadowRollout:
         self.production_tag = production_tag
         self.comparison = comparison if comparison is not None \
             else ShadowComparison()
+        self.on_decision = on_decision
         self.state = SHADOWING
         self.last_decision = Decision(HOLD, "no traffic observed yet")
         self.shadow_errors = 0
@@ -220,6 +228,8 @@ class ShadowRollout:
         self.state = PROMOTED
         self.last_decision = Decision(PROMOTE, reason)
         self.detach()
+        if self.on_decision is not None:
+            self.on_decision(self)
 
     def abort(self, reason: str = "operator abort") -> None:
         """Stop shadowing; production serving is untouched."""
@@ -227,6 +237,8 @@ class ShadowRollout:
         self.state = ABORTED
         self.last_decision = Decision(ABORT, reason)
         self.detach()
+        if self.on_decision is not None:
+            self.on_decision(self)
 
     def detach(self) -> None:
         """Unregister from the scanner (idempotent)."""

@@ -72,6 +72,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    invalidations: int = 0
     by_namespace: dict[str, tuple[int, int]] = field(default_factory=dict)
     resident_bytes: int = 0
     resident_by_namespace: dict[str, tuple[int, int]] = field(
@@ -112,6 +113,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
             "resident_bytes": self.resident_bytes,
             "by_namespace": {
@@ -185,6 +187,10 @@ class FeatureCache:
             for key in doomed:
                 self.stats.account(namespace, _value_bytes(self._store[key]), -1)
                 del self._store[key]
+            # Counted separately from capacity evictions: an invalidation
+            # is a correctness event (stale rows dropped on promotion),
+            # not an LRU pressure signal.
+            self.stats.invalidations += len(doomed)
             return len(doomed)
 
     # ------------------------------------------------------------------ #

@@ -129,6 +129,65 @@ class TestRejections:
         assert len(as_dict["problems"]) >= 3
 
 
+class TestLoopSection:
+    def test_absent_section_means_no_loop(self, parsed):
+        assert parsed().loop is None
+
+    def test_defaults_fill_unset_keys(self, parsed):
+        config = parsed(loop={})
+        assert config.loop is not None
+        assert config.loop.window == 256
+        assert config.loop.blocks == 8
+        assert config.loop.check_every == 64
+        assert config.loop.alpha == 0.05
+        assert config.loop.confirm_checks == 2
+        assert config.loop.grow == 40
+        assert config.loop.candidate == "candidate"
+        assert config.loop.retrain == "subprocess"
+
+    def test_as_dict_roundtrips_loop(self, parsed):
+        config = parsed(loop={"window": 320, "blocks": 8, "grow": 25})
+        again = parse_config(config.as_dict(), origin="<roundtrip>")
+        assert again.loop == config.loop
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"window": 2},                     # below the minimum
+            {"window": 10, "blocks": 8},       # window < 2 x blocks
+            {"window": 100, "blocks": 8},      # not divisible by blocks
+            {"blocks": 1},
+            {"check_every": 0},
+            {"alpha": 0.0},                    # exclusive bounds
+            {"alpha": 1.0},
+            {"min_effect": 1.5},
+            {"min_effect": -0.1},
+            {"confirm_checks": 0},
+            {"grow": 0},
+            {"holdout": 0.0},
+            {"holdout": 1.0},
+            {"candidate": ""},
+            {"retrain": "thread"},             # not a RETRAIN_MODE
+            {"unknown_knob": 1},
+        ],
+    )
+    def test_loop_domain_violations(self, parsed, bad):
+        with pytest.raises(ConfigError):
+            parsed(loop=bad)
+
+    def test_window_blocks_violation_names_the_constraint(self, parsed):
+        with pytest.raises(ConfigError) as excinfo:
+            parsed(loop={"window": 10, "blocks": 8})
+        assert any("2 x loop.blocks" in p for p in problems_of(excinfo))
+
+    def test_non_table_section_rejected(self):
+        data = base_config()
+        data["loop"] = "yes please"
+        with pytest.raises(ConfigError) as excinfo:
+            parse_config(data, origin="<test>")
+        assert any(p.startswith("loop:") for p in problems_of(excinfo))
+
+
 class TestLoadConfig:
     def test_toml_and_json_parse_identically(self, tmp_path):
         toml_file = tmp_path / "deploy.toml"

@@ -182,6 +182,35 @@ FIXTURES = {
              fault_tolerance={
                  "dead_letter_path": "./spool/dead.jsonl"}),
     ),
+    # autonomous promotions with no durable channel telling anyone
+    "D026": (
+        dict(loop={}, sinks=[{"kind": "memory"}]),
+        dict(loop={}, sinks=[{"kind": "jsonl", "path": "alerts.jsonl"}]),
+    ),
+    # drift window below the shadow's evidence floor: loop stalls
+    "D027": (
+        dict(loop={"window": 64, "blocks": 8},
+             rollout=rollout(min_events=100),
+             sinks=[{"kind": "jsonl", "path": "alerts.jsonl"}]),
+        dict(loop={"window": 256, "blocks": 8},
+             rollout=rollout(min_events=100),
+             sinks=[{"kind": "jsonl", "path": "alerts.jsonl"}]),
+    ),
+    # declared model family has no fitted state to warm-start
+    "D028": (
+        dict(loop={"model_family": "k-NN"},
+             sinks=[{"kind": "jsonl", "path": "alerts.jsonl"}]),
+        dict(loop={"model_family": "Random Forest"},
+             sinks=[{"kind": "jsonl", "path": "alerts.jsonl"}]),
+    ),
+    # forked retrain registers its candidate in a store that dies with it
+    "D029": (
+        dict(loop={"retrain": "subprocess"}, store={"url": "memory://x"},
+             sinks=[{"kind": "jsonl", "path": "alerts.jsonl"}]),
+        dict(loop={"retrain": "subprocess"},
+             store={"url": "./phook-models"},
+             sinks=[{"kind": "jsonl", "path": "alerts.jsonl"}]),
+    ),
 }
 
 

@@ -1,0 +1,142 @@
+"""DriftMonitor: two-window blockwise detection, armed vs confirmed."""
+
+import numpy as np
+import pytest
+
+from repro.loop import DriftMonitor
+
+
+def _fill_reference(monitor, value=0.5):
+    monitor.observe([value] * monitor.window)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"blocks": 1},
+        {"window": 10, "blocks": 8},          # window < 2 * blocks
+        {"window": 100, "blocks": 8},         # not divisible
+        {"alpha": 0.0},
+        {"alpha": 1.0},
+        {"min_effect": 1.5},
+        {"min_effect": -0.1},
+        {"confirm_checks": 0},
+    ])
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DriftMonitor(**kwargs)
+
+
+class TestReadiness:
+    def test_underfilled_check_never_raises(self):
+        monitor = DriftMonitor(window=32, blocks=8)
+        report = monitor.check()
+        assert not report.checked and not report.confirmed
+        assert report.p_value == 1.0
+
+    def test_first_window_freezes_reference(self):
+        monitor = DriftMonitor(window=32, blocks=8)
+        monitor.observe([0.2] * 32)      # reference
+        assert not monitor.ready         # live still empty
+        monitor.observe([0.9] * 32)      # live
+        assert monitor.ready
+        report = monitor.check()
+        assert report.checked
+        assert report.reference_size == 32 and report.live_size == 32
+
+    def test_live_window_slides(self):
+        monitor = DriftMonitor(window=32, blocks=8, min_effect=0.2)
+        monitor.observe([0.2] * 32)
+        monitor.observe([0.9] * 32)
+        # Refill live with reference-like scores: the shifted batch
+        # slides out entirely, so the check sees no difference.
+        monitor.observe([0.2] * 32)
+        report = monitor.check()
+        assert not report.drifted
+
+
+class TestStationarity:
+    def test_constant_stream_never_confirms(self):
+        """Zero Wilcoxon differences are discarded → p = 1.0 forever."""
+        monitor = DriftMonitor(window=32, blocks=8, confirm_checks=1)
+        monitor.observe([0.5] * 64)
+        for _ in range(50):
+            monitor.observe([0.5] * 8)
+            report = monitor.check()
+            assert not report.drifted and not report.confirmed
+            assert report.p_value == 1.0
+
+    def test_stationary_noise_never_confirms(self):
+        rng = np.random.default_rng(0)
+        monitor = DriftMonitor(window=64, blocks=8, min_effect=0.2)
+        monitor.observe(rng.uniform(0.3, 0.7, size=128))
+        for _ in range(50):
+            monitor.observe(rng.uniform(0.3, 0.7, size=16))
+            assert not monitor.check().confirmed
+
+
+class TestDetection:
+    def test_shift_confirms_after_consecutive_checks(self):
+        monitor = DriftMonitor(window=32, blocks=8, min_effect=0.2,
+                               confirm_checks=2)
+        rng = np.random.default_rng(1)
+        monitor.observe(rng.uniform(0.1, 0.3, size=32))   # reference
+        monitor.observe(rng.uniform(0.7, 0.9, size=32))   # shifted live
+        first = monitor.check()
+        assert first.drifted and not first.confirmed      # armed
+        assert first.consecutive == 1
+        monitor.observe(rng.uniform(0.7, 0.9, size=8))
+        second = monitor.check()
+        assert second.drifted and second.confirmed
+        assert second.consecutive == 2
+        assert second.p_value <= 0.05
+        assert abs(second.effect) >= 0.2
+
+    def test_one_weird_window_does_not_confirm(self):
+        """A single positive check arms; recovery disarms."""
+        monitor = DriftMonitor(window=32, blocks=8, min_effect=0.2,
+                               confirm_checks=2)
+        monitor.observe([0.2] * 32)
+        monitor.observe([0.9] * 32)                       # weird batch
+        assert monitor.check().consecutive == 1
+        monitor.observe([0.2] * 32)                       # back to normal
+        report = monitor.check()
+        assert not report.drifted and report.consecutive == 0
+
+    def test_small_effect_is_noise_whatever_the_p(self):
+        """A consistent but tiny shift stays under the effect floor."""
+        monitor = DriftMonitor(window=32, blocks=8, min_effect=1.0)
+        monitor.observe([0.2] * 32)
+        monitor.observe([0.9] * 32)
+        report = monitor.check()
+        # Cliff's delta of fully separated blocks is 1.0; the floor of
+        # exactly 1.0 still passes — so tighten via alpha instead.
+        assert abs(report.effect) == 1.0
+        strict = DriftMonitor(window=32, blocks=8, alpha=0.001)
+        strict.observe([0.2] * 32)
+        strict.observe([0.9] * 32)
+        assert not strict.check().drifted  # 8 blocks bottom out at ~0.008
+
+
+class TestReset:
+    def test_reset_rebaselines(self):
+        monitor = DriftMonitor(window=32, blocks=8, min_effect=0.2,
+                               confirm_checks=1)
+        monitor.observe([0.2] * 32)
+        monitor.observe([0.9] * 32)
+        assert monitor.check().confirmed
+        monitor.reset()
+        assert not monitor.ready
+        assert monitor.consecutive == 0 and monitor.checks == 0
+        # The corrected distribution becomes the new reference: the
+        # drift the loop just handled must not instantly re-fire.
+        monitor.observe([0.9] * 64)
+        report = monitor.check()
+        assert report.checked and not report.drifted
+
+    def test_status_is_json_ready(self):
+        import json
+
+        monitor = DriftMonitor(window=32, blocks=8)
+        status = monitor.status()
+        assert json.loads(json.dumps(status)) == status
+        assert status["ready"] is False

@@ -349,3 +349,84 @@ class TestSharedFeatureCache:
         assert shared["pinned_slots"] == 0, (
             "a request finished without releasing its shared-cache lease"
         )
+
+
+class TestNamespaceInvalidation:
+    """ISSUE-10 regression: promotion must evict the demoted model's
+    prediction namespace on *every* worker's local cache, while the
+    digest-keyed host-wide feature table — model-independent by
+    construction — survives the sweep untouched.
+    """
+
+    @staticmethod
+    def _per_worker_entries(manager, namespace):
+        """Resident entry count of one namespace in each worker's local
+        cache, straight from the per-worker /status accounting."""
+        from repro.net.client import http_json
+
+        out = {}
+        for worker in manager.coordinator.workers:
+            status = http_json(
+                "GET", f"{worker.url}/status", timeout=5.0
+            ).json()
+            ns = status["service"]["by_namespace"].get(namespace, {})
+            out[worker.index] = ns.get("entries", 0)
+        return out
+
+    def test_prediction_namespace_evicted_fleet_wide(
+            self, store_root, probe_batch):
+        from repro.artifacts import ModelStore
+
+        digest = ModelStore.from_url(str(store_root)).resolve("production")
+        namespace = f"pred:artifact:{digest}"
+        addresses, codes = probe_batch
+        with _manager(store_root, shared_cache=True) as manager:
+            manager.scan(addresses, codes)
+            before = self._per_worker_entries(manager, namespace)
+            assert all(count > 0 for count in before.values()), (
+                "every worker should hold prediction rows after a scan"
+            )
+            shared_before = manager.status()["shared_cache"]["entries"]
+            assert shared_before >= 1
+
+            report = manager.invalidate_namespace(namespace)
+            assert set(report["workers"]) == set(before)
+            for index, evicted in report["workers"].items():
+                assert evicted == before[index], (
+                    f"worker {index} reported {evicted} evictions but "
+                    f"held {before[index]} prediction rows"
+                )
+            assert report["total_evicted"] >= sum(before.values())
+
+            after = self._per_worker_entries(manager, namespace)
+            assert all(count == 0 for count in after.values()), (
+                "stale prediction rows survived the fleet-wide sweep"
+            )
+            # The shared table holds bytecodes + decoded ids keyed by
+            # content digest — valid for any model — so the sweep must
+            # not have touched it.
+            assert (manager.status()["shared_cache"]["entries"]
+                    == shared_before)
+
+            # The fleet still serves: the rescan recomputes predictions
+            # (no stale hit can exist) and repopulates the namespace.
+            again = manager.scan(addresses, codes)
+            assert not any(r["from_cache"] for r in again)
+            repopulated = self._per_worker_entries(manager, namespace)
+            assert all(count > 0 for count in repopulated.values())
+
+    def test_invalidate_rpc_reaches_every_worker(
+            self, store_root, probe_batch):
+        addresses, codes = probe_batch
+        with _manager(store_root) as manager:
+            manager.scan(addresses, codes)
+            client = FleetClient(manager.url)
+            report = client.invalidate("ids")
+            assert report["namespace"] == "ids"
+            # JSON stringifies the worker indices; both must answer.
+            assert set(report["workers"]) == {"0", "1"}
+            assert all(count is not None and count > 0
+                       for count in report["workers"].values())
+            # The coordinator's own decode cache holds the ids blocks it
+            # shipped; the sweep covers it too.
+            assert report["coordinator_evicted"] > 0

@@ -6,6 +6,7 @@ from repro.rollout import (
     ABORT,
     HOLD,
     PROMOTE,
+    AdaptivePromotionPolicy,
     Decision,
     ManualHoldPolicy,
     MetricParityPolicy,
@@ -78,6 +79,62 @@ class TestMetricParityPolicy:
         assert description["policy"] == "MetricParityPolicy"
         assert description["min_events"] == 100
         assert description["promote_agreement"] == 0.98
+
+
+def drift_comparison(events, production_only, candidate_only=0):
+    comparison = ShadowComparison()
+    comparison.events = events
+    comparison.production_only = production_only
+    comparison.candidate_only = candidate_only
+    comparison.agreements = events - production_only - candidate_only
+    return comparison
+
+
+class TestAdaptivePromotionPolicy:
+    """The loop's gate: loss-averse, not symmetric — a candidate
+    retrained *for* drifted traffic may raise new alerts freely but
+    must not drop production's."""
+
+    @pytest.fixture
+    def adaptive(self):
+        return AdaptivePromotionPolicy(min_events=100, max_lost_rate=0.02)
+
+    def test_holds_below_evidence_floor(self, adaptive):
+        decision = adaptive.decide(drift_comparison(99, 0))
+        assert decision.action == HOLD
+        assert "99/100" in decision.reason
+
+    def test_new_alerts_do_not_block_promotion(self, adaptive):
+        # 40 % candidate-only flags would abort any parity policy; here
+        # they are the adaptation the loop exists for.
+        decision = adaptive.decide(drift_comparison(200, 0,
+                                                    candidate_only=80))
+        assert decision.action == PROMOTE
+        assert "adaptation" in decision.reason
+
+    def test_lost_alerts_abort(self, adaptive):
+        # 5 dropped alerts over 200 events = 2.5 % > the 2 % cap.
+        decision = adaptive.decide(drift_comparison(200, 5))
+        assert decision.action == ABORT
+        assert "lost-alert rate" in decision.reason
+
+    def test_lost_rate_exactly_at_cap_promotes(self, adaptive):
+        decision = adaptive.decide(drift_comparison(200, 4))
+        assert decision.action == PROMOTE
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AdaptivePromotionPolicy(min_events=0)
+        with pytest.raises(ValueError):
+            AdaptivePromotionPolicy(max_lost_rate=1.5)
+        with pytest.raises(ValueError):
+            AdaptivePromotionPolicy(max_lost_rate=-0.1)
+
+    def test_describe_records_parameters(self, adaptive):
+        description = adaptive.describe()
+        assert description["policy"] == "AdaptivePromotionPolicy"
+        assert description["min_events"] == 100
+        assert description["max_lost_rate"] == 0.02
 
 
 class TestManualHoldPolicy:

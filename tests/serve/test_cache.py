@@ -75,6 +75,30 @@ class TestResidency:
         assert "proba" not in cache.stats.resident_by_namespace
         assert cache.stats.resident_bytes == 8
 
+    def test_invalidations_counted_separately_from_evictions(self):
+        """ISSUE-10 regression: a promotion-driven namespace sweep is a
+        correctness event, not LRU pressure — it must land in the
+        ``invalidations`` counter and leave ``evictions`` alone, with
+        the per-namespace residency books balancing to zero for the
+        swept namespace only."""
+        cache = FeatureCache()
+        for key in (b"a", b"b", b"c"):
+            cache.put("pred:old", key, np.zeros(16, dtype=np.float64))
+        cache.put("ids", b"a", np.zeros(8, dtype=np.uint8))
+
+        assert cache.invalidate_namespace("pred:old") == 3
+        assert cache.stats.invalidations == 3
+        assert cache.stats.evictions == 0
+        summary = cache.stats.as_dict()
+        assert summary["invalidations"] == 3
+        # The swept namespace's residency books drop to zero (and out of
+        # the accounting entirely); the surviving namespace is intact.
+        assert "pred:old" not in cache.stats.resident_by_namespace
+        assert cache.stats.resident_by_namespace["ids"] == (1, 8)
+        # A second sweep finds nothing and must not inflate the counter.
+        assert cache.invalidate_namespace("pred:old") == 0
+        assert cache.stats.invalidations == 3
+
     def test_clear_zeroes_residency(self):
         cache = FeatureCache()
         cache.mnemonic_ids(PROLOGUE)

@@ -34,11 +34,11 @@ def test_parse_summaries_extracts_tagged_json_lines():
     assert summaries == {"COLD_START": {"speedup": 42.5}}
 
 
-def test_tracked_metrics_cover_the_six_gate_benches():
+def test_tracked_metrics_cover_the_seven_gate_benches():
     tags = {metric.tag for metric in ledger.TRACKED}
     assert tags == {
         "SCAN_THROUGHPUT", "STREAM_LATENCY", "PREDICT_THROUGHPUT",
-        "COLD_START", "SHADOW_ROLLOUT", "FLEET",
+        "COLD_START", "SHADOW_ROLLOUT", "FLEET", "LOOP",
     }
 
 
@@ -51,6 +51,7 @@ def write_logs(tmp_path, **values):
         "SHADOW_ROLLOUT": {"overhead": 1.7},
         "FLEET": {"scaling": 1.8, "recovery": 1.2,
                   "shared_cache_hit": 1.0},
+        "LOOP": {"warm_speedup": 7.0, "promotion_latency": 0.2},
     }
     for tag, payload in values.items():
         defaults[tag].update(payload)
@@ -129,7 +130,7 @@ def test_collect_merges_shared_tags_per_key(tmp_path):
 
 
 def test_committed_baseline_tracks_every_metric():
-    baseline = json.loads((REPO / "BENCH_9.json").read_text())
+    baseline = json.loads((REPO / "BENCH_10.json").read_text())
     names = {metric.name for metric in ledger.TRACKED}
     assert set(baseline["metrics"]) == names
     for entry in baseline["metrics"].values():
